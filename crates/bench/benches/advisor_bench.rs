@@ -1,0 +1,63 @@
+//! B4 — Advisor pipeline benchmarks: enumeration, configuration
+//! evaluation, and full recommendation runs per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xia::prelude::*;
+use xia_bench::{standard_queries, workload_from, xmark_collection};
+
+fn bench_enumerate(c: &mut Criterion) {
+    let q = compile("/site/regions/africa/item[price > 100]/quantity", "auctions").unwrap();
+    c.bench_function("advisor_enumerate_indexes", |b| {
+        b.iter(|| black_box(enumerate_indexes(&q)).len())
+    });
+}
+
+fn bench_evaluate_config(c: &mut Criterion) {
+    let coll = xmark_collection(100);
+    let model = CostModel::default();
+    let queries: Vec<NormalizedQuery> = standard_queries()
+        .iter()
+        .map(|t| compile(t, "auctions").unwrap())
+        .collect();
+    let config = vec![
+        IndexDefinition::virtual_index(
+            IndexId(1),
+            LinearPath::parse("/site/regions/*/item/quantity").unwrap(),
+            DataType::Varchar,
+        ),
+        IndexDefinition::virtual_index(
+            IndexId(2),
+            LinearPath::parse("//closed_auction/price").unwrap(),
+            DataType::Double,
+        ),
+    ];
+    c.bench_function("advisor_evaluate_9_queries_2_indexes", |b| {
+        b.iter(|| black_box(evaluate_indexes(&coll, &model, &config, &queries)).total())
+    });
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let coll = xmark_collection(100);
+    let workload = workload_from(&standard_queries(), "auctions");
+    let advisor = Advisor::default();
+    let mut g = c.benchmark_group("advisor_recommend");
+    g.sample_size(10);
+    for strategy in [
+        SearchStrategy::GreedyBaseline,
+        SearchStrategy::GreedyHeuristic,
+        SearchStrategy::TopDown,
+    ] {
+        g.bench_function(strategy.to_string(), |b| {
+            b.iter(|| {
+                black_box(advisor.recommend(&coll, &workload, 1 << 20, strategy))
+                    .indexes
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumerate, bench_evaluate_config, bench_recommend);
+criterion_main!(benches);

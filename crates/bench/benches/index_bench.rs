@@ -1,0 +1,112 @@
+//! B3 — Index layer microbenchmarks: containment, build, probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::ops::Bound;
+use xia::index::{contains, IndexKey, PhysicalIndex};
+use xia::prelude::*;
+
+fn bench_containment(c: &mut Criterion) {
+    let pairs = [
+        ("//*", "/site/regions/africa/item/price"),
+        ("/site/regions/*/item/*", "/site/regions/africa/item/price"),
+        ("//item//price", "/site/regions/africa/item/x/y/price"),
+        ("/*//c", "//a/c"),
+        ("/a/b/c/d/e", "/a/b/c/d/e"),
+    ];
+    let parsed: Vec<(LinearPath, LinearPath)> = pairs
+        .iter()
+        .map(|(p, q)| (LinearPath::parse(p).unwrap(), LinearPath::parse(q).unwrap()))
+        .collect();
+    c.bench_function("containment_5_pairs", |b| {
+        b.iter(|| {
+            for (p, q) in &parsed {
+                black_box(contains(p, q));
+            }
+        })
+    });
+}
+
+fn bench_label_matching(c: &mut Criterion) {
+    let pattern = LinearPath::parse("/site/regions/*/item/price").unwrap();
+    let labels = ["site", "regions", "africa", "item", "price"];
+    c.bench_function("label_path_match_anchored", |b| {
+        b.iter(|| black_box(pattern.matches_label_path(&labels, false)))
+    });
+    let pattern = LinearPath::parse("//item//price").unwrap();
+    c.bench_function("label_path_match_descendant", |b| {
+        b.iter(|| black_box(pattern.matches_label_path(&labels, false)))
+    });
+}
+
+fn indexed_collection() -> Collection {
+    let mut coll = Collection::new("bench");
+    XMarkGen::new(XMarkConfig { docs: 100, ..Default::default() }).populate(&mut coll);
+    coll.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    coll
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let docs = XMarkGen::new(XMarkConfig { docs: 20, ..Default::default() }).generate();
+    c.bench_function("index_build_20_docs", |b| {
+        b.iter(|| {
+            let def = IndexDefinition::new(
+                IndexId(1),
+                LinearPath::parse("//item/price").unwrap(),
+                DataType::Double,
+            );
+            let mut ix = PhysicalIndex::build(def);
+            for (i, d) in docs.iter().enumerate() {
+                ix.insert_document(i as u32, d);
+            }
+            black_box(ix.len())
+        })
+    });
+}
+
+fn bench_index_probe(c: &mut Criterion) {
+    let coll = indexed_collection();
+    let ix = coll.index(IndexId(1)).unwrap();
+    c.bench_function("index_probe_eq", |b| {
+        b.iter(|| black_box(ix.probe_eq(&IndexKey::Num(250.0)).len()))
+    });
+    c.bench_function("index_probe_range", |b| {
+        b.iter(|| {
+            black_box(
+                ix.probe_range(Bound::Included(&IndexKey::Num(450.0)), Bound::Unbounded)
+                    .count(),
+            )
+        })
+    });
+}
+
+fn bench_stats_lookup(c: &mut Criterion) {
+    let coll = indexed_collection();
+    let pattern = LinearPath::parse("/site/regions/*/item/price").unwrap();
+    c.bench_function("stats_count_matching", |b| {
+        b.iter(|| black_box(coll.stats().count_matching(&pattern)))
+    });
+    c.bench_function("stats_selectivity", |b| {
+        b.iter(|| {
+            black_box(coll.stats().selectivity(
+                &pattern,
+                xia::xpath::CmpOp::Gt,
+                &xia::xpath::Literal::Num(250.0),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_containment,
+    bench_label_matching,
+    bench_index_build,
+    bench_index_probe,
+    bench_stats_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! B1 — XML layer microbenchmarks: parse, build, serialize.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use xia::prelude::*;
+
+fn xmark_text(docs: usize) -> String {
+    let gen = XMarkGen::new(XMarkConfig { docs, ..Default::default() });
+    gen.generate().iter().map(xia::xml::serialize).collect::<Vec<_>>().join("\n")
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let one = xmark_text(1);
+    let mut g = c.benchmark_group("xml_parse");
+    g.throughput(Throughput::Bytes(one.len() as u64));
+    g.bench_function("xmark_document", |b| {
+        b.iter(|| Document::parse(black_box(&one)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("xml_generate_xmark_doc", |b| {
+        let gen = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() });
+        b.iter(|| black_box(gen.generate()))
+    });
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let doc = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() })
+        .generate()
+        .pop()
+        .unwrap();
+    c.bench_function("xml_serialize_xmark_doc", |b| {
+        b.iter(|| black_box(xia::xml::serialize(&doc)))
+    });
+}
+
+fn bench_string_value(c: &mut Criterion) {
+    let doc = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() })
+        .generate()
+        .pop()
+        .unwrap();
+    let root = doc.root_element().unwrap();
+    c.bench_function("xml_string_value_root", |b| {
+        b.iter(|| black_box(doc.string_value(root)))
+    });
+}
+
+fn bench_insert_into_collection(c: &mut Criterion) {
+    let docs = XMarkGen::new(XMarkConfig { docs: 16, ..Default::default() }).generate();
+    c.bench_function("storage_insert_16_docs_with_stats", |b| {
+        b.iter_batched(
+            || (Collection::new("bench"), docs.clone()),
+            |(mut coll, docs)| {
+                for d in docs {
+                    coll.insert(d);
+                }
+                black_box(coll.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_build,
+    bench_serialize,
+    bench_string_value,
+    bench_insert_into_collection
+);
+criterion_main!(benches);

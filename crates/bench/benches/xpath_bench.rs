@@ -1,0 +1,73 @@
+//! B2 — XPath microbenchmarks: query parsing and navigational evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xia::prelude::*;
+
+fn doc() -> Document {
+    XMarkGen::new(XMarkConfig { docs: 1, items_per_region: 8, people: 10, ..Default::default() })
+        .generate()
+        .pop()
+        .unwrap()
+}
+
+fn bench_query_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xpath_parse");
+    for q in [
+        "/site/regions/africa/item/price",
+        "//item[price > 100 and quantity = 2]/name",
+        "/site//open_auction[bidder/increase > 3]/current",
+    ] {
+        g.bench_function(q, |b| b.iter(|| parse(black_box(q)).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let d = doc();
+    let mut g = c.benchmark_group("xpath_evaluate");
+    for q in [
+        "/site/regions/africa/item/price",
+        "//item/price",
+        "//item[price > 250]/name",
+        "//person[profile/age > 40]/name",
+        "//*",
+    ] {
+        let parsed = parse(q).unwrap();
+        g.bench_function(q, |b| b.iter(|| black_box(evaluate(&d, &parsed)).len()));
+    }
+    g.finish();
+}
+
+fn bench_compile_frontends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend_compile");
+    g.bench_function("xpath", |b| {
+        b.iter(|| compile(black_box("//item[price > 100]/name"), "c").unwrap())
+    });
+    g.bench_function("xquery", |b| {
+        b.iter(|| {
+            compile(
+                black_box(
+                    r#"for $i in collection("c")//item where $i/price > 100 return $i/name"#,
+                ),
+                "c",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("sqlxml", |b| {
+        b.iter(|| {
+            compile(
+                black_box(
+                    r#"SELECT XMLQUERY('$d//item/name') FROM c WHERE XMLEXISTS('$d//item[price > 100]')"#,
+                ),
+                "c",
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_parse, bench_evaluate, bench_compile_frontends);
+criterion_main!(benches);

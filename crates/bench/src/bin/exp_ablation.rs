@@ -1,0 +1,100 @@
+//! T7 — Ablation of the greedy search heuristics.
+//!
+//! The paper adds two heuristics to plain greedy search: redundancy
+//! detection (the workload coverage bitmap + space reclamation) and the
+//! every-index-is-used guarantee. This experiment switches them off one
+//! at a time and measures what each buys: configuration size, number of
+//! recommended-but-unused indexes, and estimated improvement.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_ablation --release
+//! ```
+
+use xia::advisor::generate_basic_candidates;
+use xia::prelude::*;
+use xia_bench::{pct, print_table, workload_from, xmark_collection};
+
+fn main() {
+    let coll = xmark_collection(250);
+    // An adversarial workload for redundancy: every region queried both
+    // ways, so the generalized /site/regions/*/item/... candidates have
+    // the best initial benefit/size ratio, and the specific indexes added
+    // later make them redundant.
+    let mut queries: Vec<String> = Vec::new();
+    for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
+        queries.push(format!("/site/regions/{region}/item/quantity"));
+        queries.push(format!("/site/regions/{region}/item[price > 450]/name"));
+    }
+    let workload = workload_from(&queries, "auctions");
+    let advisor = Advisor::default();
+    let overtrained: u64 = generate_basic_candidates(&coll, &workload)
+        .iter()
+        .map(|b| b.size_bytes)
+        .sum();
+    // A generous budget: without the heuristics there is room for junk.
+    let budget = overtrained * 2;
+
+    let variants: Vec<(&str, SearchStrategy)> = vec![
+        ("all heuristics (paper)", SearchStrategy::GreedyHeuristic),
+        (
+            "no coverage bitmap",
+            SearchStrategy::GreedyAblated(GreedyKnobs {
+                coverage_bitmap: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "no eviction pass",
+            SearchStrategy::GreedyAblated(GreedyKnobs { eviction: false, ..Default::default() }),
+        ),
+        (
+            "no drop-unused",
+            SearchStrategy::GreedyAblated(GreedyKnobs {
+                drop_unused: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            "none (≈ interaction-aware baseline)",
+            SearchStrategy::GreedyAblated(GreedyKnobs {
+                coverage_bitmap: false,
+                eviction: false,
+                drop_unused: false,
+            }),
+        ),
+        ("plain baseline [Valentin 2000]", SearchStrategy::GreedyBaseline),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, strategy) in variants {
+        let start = std::time::Instant::now();
+        let rec = advisor.recommend(&coll, &workload, budget, strategy);
+        let elapsed = start.elapsed().as_secs_f64();
+        let used: std::collections::HashSet<usize> =
+            rec.outcome.used_per_query.iter().flatten().copied().collect();
+        let unused = rec
+            .outcome
+            .chosen
+            .iter()
+            .filter(|i| !used.contains(i))
+            .count();
+        rows.push(vec![
+            label.to_string(),
+            pct(rec.benefit(), rec.outcome.base_cost),
+            rec.indexes.len().to_string(),
+            format!("{}", rec.outcome.size_bytes / 1024),
+            unused.to_string(),
+            format!("{:.2}s", elapsed),
+        ]);
+    }
+    println!(
+        "workload: {} queries; budget {} KiB (200% of overtrained)",
+        workload.query_count(),
+        budget / 1024
+    );
+    print_table(
+        "T7: greedy heuristics ablation",
+        &["variant", "improvement", "#indexes", "size KiB", "unused idx", "advisor time"],
+        &rows,
+    );
+}

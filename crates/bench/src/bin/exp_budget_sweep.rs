@@ -1,0 +1,60 @@
+//! T1 — Workload benefit vs. disk budget.
+//!
+//! Sweep the disk budget from 5% to 200% of the overtrained configuration
+//! size for all three search strategies plus the greedy baseline, and
+//! report estimated workload improvement. Expected shape: improvement
+//! grows with budget and saturates at the overtrained ceiling; the
+//! paper's strategies dominate the baseline at tight budgets.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_budget_sweep --release
+//! ```
+
+use xia::advisor::generate_basic_candidates;
+use xia::prelude::*;
+use xia_bench::{pct, print_table, standard_queries, workload_from, xmark_collection};
+
+fn main() {
+    let coll = xmark_collection(250);
+    let workload = workload_from(&standard_queries(), "auctions");
+    let advisor = Advisor::default();
+
+    let overtrained: u64 = generate_basic_candidates(&coll, &workload)
+        .iter()
+        .map(|b| b.size_bytes)
+        .sum();
+    let fractions = [0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 2.0];
+
+    let strategies = [
+        SearchStrategy::GreedyBaseline,
+        SearchStrategy::GreedyHeuristic,
+        SearchStrategy::TopDown,
+    ];
+    let mut rows = Vec::new();
+    for &frac in &fractions {
+        let budget = ((overtrained as f64) * frac) as u64;
+        let mut row = vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{}", budget / 1024),
+        ];
+        for strategy in strategies {
+            let rec = advisor.recommend(&coll, &workload, budget, strategy);
+            row.push(format!(
+                "{} ({} idx)",
+                pct(rec.benefit(), rec.outcome.base_cost),
+                rec.indexes.len()
+            ));
+        }
+        rows.push(row);
+    }
+    println!(
+        "workload: {} queries; overtrained configuration: {} KiB",
+        workload.query_count(),
+        overtrained / 1024
+    );
+    print_table(
+        "T1: estimated improvement vs disk budget",
+        &["budget %", "KiB", "greedy-baseline", "greedy-heuristic", "top-down"],
+        &rows,
+    );
+}

@@ -1,0 +1,63 @@
+//! T8 — Cost model validation: estimated I/O vs measured page reads.
+//!
+//! The advisor's choices are only as good as the optimizer's cost
+//! estimates. For every standard query under both an empty and a tuned
+//! physical configuration, compare the plan's estimated I/O (in page
+//! units) against the executor's simulated cold-cache page reads.
+//! Expected shape: ratios near 1 for scans (the estimate *is* the page
+//! count) and within a small factor for index plans (estimates use
+//! statistics, measurement uses actual postings/doc sizes).
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_cost_validation --release
+//! ```
+
+use xia::prelude::*;
+use xia_bench::{print_table, standard_queries, truncate, workload_from, xmark_collection_heavy};
+
+fn main() {
+    let mut coll = xmark_collection_heavy(200);
+    let workload = workload_from(&standard_queries(), "auctions");
+    let advisor = Advisor::default();
+    let model = CostModel::default();
+
+    for phase in ["no indexes", "recommended configuration"] {
+        if phase == "recommended configuration" {
+            let rec =
+                advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
+            Advisor::create_indexes(&rec, &mut coll);
+        }
+        let mut rows = Vec::new();
+        let mut sum_est = 0.0;
+        let mut sum_meas = 0usize;
+        for (q, _) in workload.queries() {
+            let ex = explain(&coll, &model, q);
+            let (_, stats) = execute(&coll, q, &ex.plan).expect("physical plans run");
+            let est_io = ex.plan.cost.io / model.page_io;
+            sum_est += est_io;
+            sum_meas += stats.pages_read;
+            let ratio = if stats.pages_read > 0 { est_io / stats.pages_read as f64 } else { 0.0 };
+            rows.push(vec![
+                truncate(&q.text, 52),
+                if ex.plan.uses_indexes() { "index" } else { "scan" }.to_string(),
+                format!("{est_io:.0}"),
+                stats.pages_read.to_string(),
+                format!("{ratio:.2}x"),
+            ]);
+        }
+        rows.push(vec![
+            "TOTAL".into(),
+            String::new(),
+            format!("{sum_est:.0}"),
+            sum_meas.to_string(),
+            format!("{:.2}x", sum_est / sum_meas.max(1) as f64),
+        ]);
+        print_table(
+            &format!("T8: estimated vs measured page I/O ({phase})"),
+            &["query", "plan", "est pages", "measured pages", "est/meas"],
+            &rows,
+        );
+    }
+}
+
+

@@ -1,0 +1,77 @@
+//! T3 — Generalized vs basic candidates on unseen ("future") queries.
+//!
+//! Train the advisor on a subset of regional queries, then evaluate the
+//! recommended configuration on held-out variations (other regions, other
+//! constants). Compare: (a) greedy over basic candidates only
+//! (generalization disabled), (b) greedy with the full DAG, (c) top-down.
+//! Expected shape: on the *training* workload all do well; on the
+//! *unseen* workload the generalized configurations retain far more
+//! benefit — the paper's §2.3 motivation for the top-down search.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_generalization --release
+//! ```
+
+use xia::advisor::{AdvisorConfig, GeneralizationConfig};
+use xia::prelude::*;
+use xia_bench::{pct, print_table, workload_from, xmark_collection_heavy};
+
+fn main() {
+    let coll = xmark_collection_heavy(200);
+    let training = vec![
+        "/site/regions/africa/item/quantity".to_string(),
+        "/site/regions/asia/item/quantity".to_string(),
+        "/site/regions/africa/item[price > 460]/name".to_string(),
+        "/site/regions/asia/item[price > 460]/name".to_string(),
+    ];
+    let unseen_texts =
+        synthetic_variations(&training, &SynthConfig { per_template: 4, seed: 23 });
+    let workload = workload_from(&training, "auctions");
+    let unseen: Vec<NormalizedQuery> = unseen_texts
+        .iter()
+        .filter_map(|t| compile(t, "auctions").ok())
+        .collect();
+    println!("training queries: {}; unseen variations: {}", training.len(), unseen.len());
+
+    let no_gen = Advisor::new(AdvisorConfig {
+        generalization: GeneralizationConfig {
+            enable_lgg: false,
+            enable_collapse: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let full = Advisor::default();
+
+    let configs = [
+        ("basic-only greedy", &no_gen, SearchStrategy::GreedyHeuristic),
+        ("DAG greedy", &full, SearchStrategy::GreedyHeuristic),
+        ("DAG top-down", &full, SearchStrategy::TopDown),
+    ];
+    let budget = 2 << 20;
+    let mut rows = Vec::new();
+    for (label, advisor, strategy) in configs {
+        let rec = advisor.recommend(&coll, &workload, budget, strategy);
+        let report = analyze(advisor, &coll, &workload, &rec, &unseen);
+        let train_no = report.total_no_index();
+        let train_rec = report.total_recommended();
+        let unseen_no: f64 = report.unseen_rows.iter().map(|r| r.no_index).sum();
+        let unseen_rec: f64 = report.unseen_rows.iter().map(|r| r.recommended).sum();
+        rows.push(vec![
+            label.to_string(),
+            rec.indexes.len().to_string(),
+            pct(train_no - train_rec, train_no),
+            pct(unseen_no - unseen_rec, unseen_no),
+            rec.indexes
+                .iter()
+                .map(|d| d.pattern.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    print_table(
+        "T3: training vs unseen improvement",
+        &["configuration", "#idx", "training improv.", "unseen improv.", "patterns"],
+        &rows,
+    );
+}

@@ -1,0 +1,71 @@
+//! T6 — Advisor scalability.
+//!
+//! Advisor wall time and candidate counts as the workload grows (more
+//! queries via synthetic variations) and as the database grows. Expected
+//! shape: candidate set grows roughly linearly with distinct query
+//! patterns; advisor time stays interactive (well under a minute) at
+//! every point, dominated by configuration evaluations.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_scalability --release
+//! ```
+
+use std::time::Instant;
+use xia::advisor::generate_basic_candidates;
+use xia::prelude::*;
+use xia_bench::{print_table, standard_queries, workload_from, xmark_collection};
+
+fn main() {
+    // --- Sweep workload size at fixed data. -------------------------------
+    let coll = xmark_collection(150);
+    let advisor = Advisor::default();
+    let mut rows = Vec::new();
+    for per_template in [0usize, 1, 2, 4, 8] {
+        let mut texts = standard_queries();
+        if per_template > 0 {
+            texts.extend(synthetic_variations(
+                &standard_queries(),
+                &SynthConfig { per_template, seed: 11 },
+            ));
+        }
+        let workload = workload_from(&texts, "auctions");
+        let basics = generate_basic_candidates(&coll, &workload);
+        let start = Instant::now();
+        let rec = advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            workload.query_count().to_string(),
+            basics.len().to_string(),
+            rec.dag.nodes.len().to_string(),
+            rec.indexes.len().to_string(),
+            format!("{elapsed:.2}s"),
+        ]);
+    }
+    print_table(
+        "T6a: advisor time vs workload size (150 docs)",
+        &["#queries", "#basic cands", "#DAG nodes", "#recommended", "advisor time"],
+        &rows,
+    );
+
+    // --- Sweep database size at fixed workload. ---------------------------
+    let mut rows = Vec::new();
+    for docs in [50usize, 200, 800, 2000] {
+        let coll = xmark_collection(docs);
+        let workload = workload_from(&standard_queries(), "auctions");
+        let start = Instant::now();
+        let rec = advisor.recommend(&coll, &workload, 4 << 20, SearchStrategy::GreedyHeuristic);
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            docs.to_string(),
+            coll.stats().total_nodes.to_string(),
+            coll.stats().path_count().to_string(),
+            rec.indexes.len().to_string(),
+            format!("{elapsed:.2}s"),
+        ]);
+    }
+    print_table(
+        "T6b: advisor time vs database size (standard workload)",
+        &["#docs", "#nodes", "#paths", "#recommended", "advisor time"],
+        &rows,
+    );
+}

@@ -1,0 +1,70 @@
+//! T2 — Search strategy comparison at a fixed budget.
+//!
+//! For one budget (40% of overtrained), compare the three strategies on:
+//! estimated improvement, number of indexes, configuration size, how many
+//! recommended indexes are actually used by some plan (the redundancy
+//! measure motivating the paper's heuristics), how many workload queries
+//! get an index, and advisor running time.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_search_compare --release
+//! ```
+
+use std::time::Instant;
+use xia::advisor::generate_basic_candidates;
+use xia::prelude::*;
+use xia_bench::{pct, print_table, standard_queries, workload_from, xmark_collection};
+
+fn main() {
+    let coll = xmark_collection(250);
+    let workload = workload_from(&standard_queries(), "auctions");
+    let advisor = Advisor::default();
+    let overtrained: u64 = generate_basic_candidates(&coll, &workload)
+        .iter()
+        .map(|b| b.size_bytes)
+        .sum();
+    let budget = (overtrained * 2) / 5;
+
+    let mut rows = Vec::new();
+    for strategy in [
+        SearchStrategy::GreedyBaseline,
+        SearchStrategy::GreedyHeuristic,
+        SearchStrategy::TopDown,
+    ] {
+        let start = Instant::now();
+        let rec = advisor.recommend(&coll, &workload, budget, strategy);
+        let elapsed = start.elapsed().as_secs_f64();
+        let used: std::collections::HashSet<usize> =
+            rec.outcome.used_per_query.iter().flatten().copied().collect();
+        let used_count = rec.outcome.chosen.iter().filter(|i| used.contains(i)).count();
+        let queries_with_index = rec
+            .outcome
+            .used_per_query
+            .iter()
+            .filter(|u| !u.is_empty())
+            .count();
+        rows.push(vec![
+            strategy.to_string(),
+            pct(rec.benefit(), rec.outcome.base_cost),
+            rec.indexes.len().to_string(),
+            format!("{}", rec.outcome.size_bytes / 1024),
+            format!("{used_count}/{}", rec.indexes.len()),
+            format!("{queries_with_index}/{}", workload.query_count()),
+            format!("{:.2}s", elapsed),
+        ]);
+    }
+    println!("budget: {} KiB (40% of overtrained {} KiB)", budget / 1024, overtrained / 1024);
+    print_table(
+        "T2: search strategy comparison",
+        &[
+            "strategy",
+            "improvement",
+            "#indexes",
+            "size KiB",
+            "used/total",
+            "queries indexed",
+            "advisor time",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! T5 — Virtual-index size estimation accuracy.
+//!
+//! For a spread of patterns and data scales, compare the statistics-based
+//! size/entry estimates used for virtual indexes against the actual built
+//! index. The advisor's budget handling is only as good as these
+//! estimates. Expected shape: entry counts exact (the path dictionary is
+//! exact); byte sizes within a small constant factor.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_size_accuracy --release
+//! ```
+
+use xia::prelude::*;
+use xia_bench::{print_table, xmark_collection};
+
+fn main() {
+    let patterns: [(&str, DataType); 7] = [
+        ("/site/regions/africa/item/price", DataType::Double),
+        ("/site/regions/*/item/quantity", DataType::Varchar),
+        ("//item/price", DataType::Double),
+        ("//item/@id", DataType::Varchar),
+        ("//person/name", DataType::Varchar),
+        ("/site/regions/*/item/*", DataType::Varchar),
+        ("//*", DataType::Varchar),
+    ];
+
+    for docs in [50usize, 200, 800] {
+        let mut coll = xmark_collection(docs);
+        let mut rows = Vec::new();
+        for (i, (pat, ty)) in patterns.iter().enumerate() {
+            let pattern = LinearPath::parse(pat).unwrap();
+            let est_entries = coll.stats().estimated_index_entries(&pattern, *ty);
+            let est_bytes = coll.stats().estimated_index_bytes(&pattern, *ty);
+            coll.create_index(IndexDefinition::new(IndexId(i as u32), pattern, *ty));
+            let actual = coll.index(IndexId(i as u32)).unwrap();
+            let ratio = est_bytes as f64 / actual.byte_size().max(1) as f64;
+            rows.push(vec![
+                format!("{pat} ({ty})"),
+                est_entries.to_string(),
+                actual.len().to_string(),
+                format!("{}", est_bytes / 1024),
+                format!("{}", actual.byte_size() / 1024),
+                format!("{ratio:.2}x"),
+            ]);
+            coll.drop_index(IndexId(i as u32));
+        }
+        print_table(
+            &format!("T5: size estimate accuracy at {docs} documents"),
+            &["pattern", "est entries", "actual", "est KiB", "actual KiB", "bytes ratio"],
+            &rows,
+        );
+    }
+}

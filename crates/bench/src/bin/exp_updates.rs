@@ -1,0 +1,46 @@
+//! T4 — Update-aware recommendation.
+//!
+//! Sweep the insert:query frequency ratio and report how the recommended
+//! configuration shrinks as maintenance cost eats into index benefit
+//! (the paper: "taking into account the cost of updating the index on
+//! data modification"). Expected shape: monotone decrease in indexes and
+//! size; net benefit stays non-negative throughout.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_updates --release
+//! ```
+
+use xia::prelude::*;
+use xia_bench::{f, print_table, standard_queries, workload_from, xmark_collection};
+
+fn main() {
+    let coll = xmark_collection(250);
+    let advisor = Advisor::default();
+    let sample = coll.get(DocId(0)).expect("collection is populated").clone();
+
+    let ratios: [f64; 6] = [0.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0];
+    let mut rows = Vec::new();
+    for ratio in ratios {
+        let mut workload = workload_from(&standard_queries(), "auctions");
+        if ratio > 0.0 {
+            workload.add_insert(sample.clone(), ratio);
+        }
+        let rec = advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
+        rows.push(vec![
+            format!("{ratio:.0}"),
+            rec.indexes.len().to_string(),
+            format!("{}", rec.outcome.size_bytes / 1024),
+            f(rec.benefit()),
+            rec.indexes
+                .iter()
+                .map(|d| d.pattern.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    print_table(
+        "T4: recommendation vs insert frequency (per workload unit)",
+        &["inserts/unit", "#indexes", "size KiB", "net benefit", "patterns"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 4 — Searching the space of candidate indexes.
+//!
+//! Reproduces the demo's DAG view and search-traversal view: print the
+//! generalization DAG for the workload (text and Graphviz DOT), then show
+//! how the greedy-with-heuristics and top-down searches traverse it under
+//! a budget, step by step.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin fig4_search --release
+//! ```
+
+use xia::advisor::{generate_basic_candidates, generalize, GeneralizationConfig};
+use xia::prelude::*;
+use xia_bench::{standard_queries, workload_from, xmark_collection};
+
+fn main() {
+    let coll = xmark_collection(200);
+    let workload = workload_from(&standard_queries(), "auctions");
+
+    let basics = generate_basic_candidates(&coll, &workload);
+    println!("== basic candidates ({}) ==", basics.len());
+    for b in &basics {
+        println!("  {b}");
+    }
+
+    let dag = generalize(&coll, &basics, &GeneralizationConfig::default());
+    println!(
+        "\n== generalization DAG ({} nodes, {} roots) ==",
+        dag.nodes.len(),
+        dag.roots().len()
+    );
+    print!("{}", dag.render_text());
+    println!("\n== DOT (paste into graphviz) ==\n{}", dag.to_dot());
+
+    let advisor = Advisor::default();
+    // Budget: 40% of the overtrained size, so both searches must choose.
+    let overtrained: u64 = basics.iter().map(|b| b.size_bytes).sum();
+    let budget = (overtrained * 2) / 5;
+    println!(
+        "== search traversals (budget {} KiB = 40% of overtrained {} KiB) ==",
+        budget / 1024,
+        overtrained / 1024
+    );
+    for strategy in [
+        SearchStrategy::GreedyBaseline,
+        SearchStrategy::GreedyHeuristic,
+        SearchStrategy::TopDown,
+    ] {
+        let rec = advisor.recommend(&coll, &workload, budget, strategy);
+        println!("\n--- {strategy} ---");
+        for line in &rec.outcome.trace {
+            println!("  {line}");
+        }
+        println!("{}", rec.render());
+    }
+}

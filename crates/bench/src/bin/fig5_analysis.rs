@@ -1,0 +1,79 @@
+//! Figure 5 — Analyzing the XML Index Advisor recommendations.
+//!
+//! Per-query comparison of three estimated costs: no indexes, the
+//! recommended configuration, and the overtrained all-basic-candidates
+//! configuration; then extra unseen queries under the recommended
+//! configuration (the generalization payoff); then the recommended
+//! indexes are actually created and real execution times displayed —
+//! the complete Figure-5 feature list.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin fig5_analysis --release
+//! ```
+
+use xia::advisor::analysis::measure_execution;
+use xia::prelude::*;
+use xia_bench::{standard_queries, workload_from, xmark_collection_heavy};
+
+fn main() {
+    let mut coll = xmark_collection_heavy(200);
+    let workload = workload_from(&standard_queries(), "auctions");
+    let advisor = Advisor::default();
+
+    let rec = advisor.recommend(&coll, &workload, 512 << 10, SearchStrategy::GreedyHeuristic);
+    println!("{}", rec.render());
+
+    // Unseen queries: synthetic variations of the training set.
+    let unseen_texts =
+        synthetic_variations(&standard_queries(), &SynthConfig { per_template: 2, seed: 31 });
+    let unseen: Vec<NormalizedQuery> = unseen_texts
+        .iter()
+        .filter_map(|t| compile(t, "auctions").ok())
+        .collect();
+
+    let report = analyze(&advisor, &coll, &workload, &rec, &unseen);
+    println!("{}", report.render());
+
+    // Create the recommendation and measure actual execution.
+    let before = measure_execution(&coll, &workload);
+    let entries = Advisor::create_indexes(&rec, &mut coll);
+    let after = measure_execution(&coll, &workload);
+    println!("== actual execution (recommended indexes created: {entries} entries) ==");
+    println!(
+        "{:<28} {:>10} {:>16} {:>12} {:>10}",
+        "", "time ms", "docs evaluated", "pages read", "results"
+    );
+    println!(
+        "{:<28} {:>10.2} {:>16} {:>12} {:>10}",
+        "no indexes",
+        before.seconds * 1e3,
+        before.docs_evaluated,
+        before.pages_read,
+        before.results
+    );
+    println!(
+        "{:<28} {:>10.2} {:>16} {:>12} {:>10}",
+        "recommended configuration",
+        after.seconds * 1e3,
+        after.docs_evaluated,
+        after.pages_read,
+        after.results
+    );
+
+    // The demo also lets the user modify the configuration: drop one
+    // index and observe the effect.
+    if let Some(first) = rec.indexes.first() {
+        let mut modified = coll;
+        modified.drop_index(first.id);
+        let dropped = measure_execution(&modified, &workload);
+        println!(
+            "{:<28} {:>10.2} {:>16} {:>12} {:>10}   (dropped {})",
+            "modified (one index less)",
+            dropped.seconds * 1e3,
+            dropped.docs_evaluated,
+            dropped.pages_read,
+            dropped.results,
+            first.pattern
+        );
+    }
+}

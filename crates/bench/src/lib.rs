@@ -1,0 +1,127 @@
+//! Shared scaffolding for the figure/experiment harnesses.
+//!
+//! Every demo figure and experiment table has a binary under `src/bin/`
+//! (see `DESIGN.md` §4 for the index); this library holds the dataset
+//! builders and the table printer they share so each binary is a short,
+//! readable script.
+
+use xia::prelude::*;
+
+/// Standard XMark-like collection used by the figure harnesses.
+pub fn xmark_collection(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    c
+}
+
+/// Larger, deeper documents for experiments that need scans to hurt.
+pub fn xmark_collection_heavy(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs,
+        items_per_region: 6,
+        people: 8,
+        open_auctions: 5,
+        closed_auctions: 4,
+        ..Default::default()
+    })
+    .populate(&mut c);
+    c
+}
+
+/// The demo's standard training workload over the XMark-like schema:
+/// regional extractions (generalizable), selective value predicates on
+/// both key types, an attribute lookup, and non-XPath surface languages.
+pub fn standard_queries() -> Vec<String> {
+    vec![
+        "/site/regions/africa/item/quantity".into(),
+        "/site/regions/namerica/item/quantity".into(),
+        "/site/regions/samerica/item/price".into(),
+        "/site/regions/europe/item[price > 450]/name".into(),
+        "//person[profile/age > 70]/name".into(),
+        "//closed_auction[price >= 700]/date".into(),
+        r#"//item[@featured = "yes"]/name"#.into(),
+        r#"for $a in collection("auctions")//open_auction where $a/initial >= 90 return $a/current"#
+            .into(),
+        r#"SELECT XMLQUERY('$d//person/emailaddress') FROM auctions WHERE XMLEXISTS('$d//person[profile/age > 75]')"#
+            .into(),
+    ]
+}
+
+/// Build an advisor workload from query texts.
+pub fn workload_from(texts: &[String], collection: &str) -> Workload {
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    Workload::from_queries(&refs, collection).expect("harness queries compile")
+}
+
+/// Render an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}  ", h, w = widths[i]))
+        .collect();
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let line: String = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{line}");
+    }
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Shorten a query string to `n` bytes on a char boundary for table cells.
+pub fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        let cut = s.char_indices().take_while(|(i, _)| *i < n).last().map_or(0, |(i, _)| i);
+        format!("{}…", &s[..cut])
+    }
+}
+
+/// Format a percentage cell.
+pub fn pct(part: f64, whole: f64) -> String {
+    if whole <= 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:.1}%", 100.0 * part / whole)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_queries_compile() {
+        let w = workload_from(&standard_queries(), "auctions");
+        assert_eq!(w.query_count(), standard_queries().len());
+    }
+
+    #[test]
+    fn builders_produce_data() {
+        assert_eq!(xmark_collection(3).len(), 3);
+        assert!(
+            xmark_collection_heavy(2).stats().total_nodes
+                > xmark_collection(2).stats().total_nodes
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Interactive console for the XML Index Advisor.
+//!
+//! Run `cargo run -p xia-cli --release`, then `help` for commands, or
+//! pipe a script: `echo "demo" | cargo run -p xia-cli --release`.
+
+use std::io::{BufRead, Write};
+use xia_cli::Session;
+
+fn main() {
+    let mut session = Session::new();
+    let stdin = std::io::stdin();
+    let interactive = std::env::args().all(|a| a != "--quiet");
+    if interactive {
+        println!("xia — XML Index Advisor console. Type 'help' for commands.");
+    }
+    let mut lock = stdin.lock();
+    let mut line = String::new();
+    loop {
+        if interactive {
+            print!("xia> ");
+            std::io::stdout().flush().ok();
+        }
+        line.clear();
+        match lock.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        }
+        match session.exec(cmd) {
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Recommendation analysis — the demo's Figure 5 view.
+//!
+//! For every workload query, compare three estimated costs:
+//! (1) no indexes, (2) the recommended configuration, (3) the
+//! "overtrained" configuration of *all* basic candidates (the maximum
+//! achievable benefit for the training workload, usually over budget).
+//! Additional, unseen queries can be evaluated against the recommended
+//! configuration to show the payoff of generalized indexes. Finally, the
+//! recommended indexes can be physically created and the workload
+//! actually executed, before/after.
+
+use crate::advisor::{Advisor, Recommendation};
+use crate::workload::Workload;
+use std::time::Instant;
+use xia_optimizer::{evaluate_indexes, execute, explain, CostModel};
+use xia_storage::Collection;
+use xia_xquery::NormalizedQuery;
+
+/// The three estimated costs for one query.
+#[derive(Debug, Clone)]
+pub struct QueryCostTriple {
+    pub query: String,
+    pub no_index: f64,
+    pub recommended: f64,
+    pub overtrained: f64,
+}
+
+/// The full analysis report.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// One row per workload query.
+    pub rows: Vec<QueryCostTriple>,
+    /// Rows for extra (unseen) queries under no-index vs recommended.
+    pub unseen_rows: Vec<QueryCostTriple>,
+    /// Total size of the overtrained configuration (bytes).
+    pub overtrained_size: u64,
+    /// Total size of the recommended configuration (bytes).
+    pub recommended_size: u64,
+}
+
+impl AnalysisReport {
+    pub fn total_no_index(&self) -> f64 {
+        self.rows.iter().map(|r| r.no_index).sum()
+    }
+
+    pub fn total_recommended(&self) -> f64 {
+        self.rows.iter().map(|r| r.recommended).sum()
+    }
+
+    pub fn total_overtrained(&self) -> f64 {
+        self.rows.iter().map(|r| r.overtrained).sum()
+    }
+
+    /// Tabular rendering for the demo harness.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>12} {:>12} {:>12}\n",
+            "query", "no-index", "recommended", "overtrained"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<52} {:>12.1} {:>12.1} {:>12.1}\n",
+                truncate(&r.query, 52),
+                r.no_index,
+                r.recommended,
+                r.overtrained
+            ));
+        }
+        out.push_str(&format!(
+            "{:<52} {:>12.1} {:>12.1} {:>12.1}\n",
+            "TOTAL",
+            self.total_no_index(),
+            self.total_recommended(),
+            self.total_overtrained()
+        ));
+        if !self.unseen_rows.is_empty() {
+            out.push_str("\nunseen queries (no-index vs recommended):\n");
+            for r in &self.unseen_rows {
+                out.push_str(&format!(
+                    "{:<52} {:>12.1} {:>12.1}\n",
+                    truncate(&r.query, 52),
+                    r.no_index,
+                    r.recommended
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "\nconfig sizes: recommended {} KiB, overtrained {} KiB\n",
+            self.recommended_size / 1024,
+            self.overtrained_size / 1024
+        ));
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..s.char_indices().take_while(|(i, _)| *i < n - 1).count()])
+    }
+}
+
+/// Build the Figure-5 analysis for a recommendation.
+pub fn analyze(
+    advisor: &Advisor,
+    collection: &Collection,
+    workload: &Workload,
+    rec: &Recommendation,
+    unseen: &[NormalizedQuery],
+) -> AnalysisReport {
+    let model = &advisor.config.cost_model;
+    let queries: Vec<NormalizedQuery> = workload.queries().map(|(q, _)| q.clone()).collect();
+
+    let rec_defs: Vec<_> = rec
+        .indexes
+        .iter()
+        .cloned()
+        .map(|mut d| {
+            d.is_virtual = true;
+            d
+        })
+        .collect();
+    let over_defs = advisor.overtrained_config(collection, workload);
+
+    let none = evaluate_indexes(collection, model, &[], &queries);
+    let with_rec = evaluate_indexes(collection, model, &rec_defs, &queries);
+    let with_over = evaluate_indexes(collection, model, &over_defs, &queries);
+
+    let rows = queries
+        .iter()
+        .zip(none.per_query.iter().zip(with_rec.per_query.iter().zip(with_over.per_query.iter())))
+        .map(|(q, (n, (r, o)))| QueryCostTriple {
+            query: q.text.clone(),
+            no_index: n.cost.total(),
+            recommended: r.cost.total(),
+            overtrained: o.cost.total(),
+        })
+        .collect();
+
+    let unseen_none = evaluate_indexes(collection, model, &[], unseen);
+    let unseen_rec = evaluate_indexes(collection, model, &rec_defs, unseen);
+    let unseen_rows = unseen
+        .iter()
+        .zip(unseen_none.per_query.iter().zip(unseen_rec.per_query.iter()))
+        .map(|(q, (n, r))| QueryCostTriple {
+            query: q.text.clone(),
+            no_index: n.cost.total(),
+            recommended: r.cost.total(),
+            overtrained: f64::NAN,
+        })
+        .collect();
+
+    let stats = collection.stats();
+    AnalysisReport {
+        rows,
+        unseen_rows,
+        recommended_size: rec
+            .indexes
+            .iter()
+            .map(|d| stats.estimated_index_bytes(&d.pattern, d.data_type))
+            .sum(),
+        overtrained_size: over_defs
+            .iter()
+            .map(|d| stats.estimated_index_bytes(&d.pattern, d.data_type))
+            .sum(),
+    }
+}
+
+/// Measured (wall-clock) execution of a workload, used by the demo's
+/// final step: create the recommended indexes and display actual times.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeasuredRun {
+    pub seconds: f64,
+    pub docs_evaluated: usize,
+    pub results: usize,
+    /// Simulated cold-cache page reads (see `ExecStats::pages_read`).
+    pub pages_read: usize,
+}
+
+/// Execute every workload query against the collection's current physical
+/// indexes, returning wall time and work counters.
+pub fn measure_execution(collection: &Collection, workload: &Workload) -> MeasuredRun {
+    let model = CostModel::default();
+    let start = Instant::now();
+    let mut docs = 0usize;
+    let mut results = 0usize;
+    let mut pages = 0usize;
+    for (q, _f) in workload.queries() {
+        let ex = explain(collection, &model, q);
+        let (rows, stats) =
+            execute(collection, q, &ex.plan).expect("plans over real catalogs are executable");
+        docs += stats.docs_evaluated;
+        results += rows.len();
+        pages += stats.pages_read;
+    }
+    MeasuredRun {
+        seconds: start.elapsed().as_secs_f64(),
+        docs_evaluated: docs,
+        results,
+        pages_read: pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchStrategy;
+    use xia_xml::DocumentBuilder;
+
+    fn collection(n: usize) -> Collection {
+        let regions = ["africa", "asia", "europe"];
+        let mut c = Collection::new("shop");
+        for i in 0..n {
+            let mut b = DocumentBuilder::new();
+            b.open("site");
+            b.open(regions[i % 3]);
+            b.open("item");
+            b.leaf("price", &format!("{}", i % 30));
+            b.leaf("quantity", &format!("{}", i % 5));
+            b.close();
+            b.close();
+            b.close();
+            c.insert(b.finish().unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn analysis_orders_costs_correctly() {
+        let c = collection(300);
+        let w = Workload::from_queries(
+            &[
+                "/site/africa/item[price = 3]/quantity",
+                "/site/asia/item[price = 7]/quantity",
+            ],
+            "shop",
+        )
+        .unwrap();
+        let advisor = Advisor::default();
+        let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+        let report = analyze(&advisor, &c, &w, &rec, &[]);
+        assert_eq!(report.rows.len(), 2);
+        for r in &report.rows {
+            assert!(
+                r.recommended <= r.no_index + 1e-6,
+                "recommended must not exceed no-index for {}",
+                r.query
+            );
+            assert!(
+                r.overtrained <= r.recommended + 1e-6,
+                "overtrained is the benefit ceiling for {}",
+                r.query
+            );
+        }
+        let text = report.render();
+        assert!(text.contains("TOTAL"));
+    }
+
+    #[test]
+    fn unseen_queries_benefit_from_generalized_indexes() {
+        let c = collection(600);
+        // Train on two regions; the third region's query is unseen.
+        let w = Workload::from_queries(
+            &[
+                "/site/africa/item[price = 3]/quantity",
+                "/site/asia/item[price = 7]/quantity",
+            ],
+            "shop",
+        )
+        .unwrap();
+        let advisor = Advisor::default();
+        // Generous budget + top-down → general /site/*/item/... indexes.
+        let rec = advisor.recommend(&c, &w, 8 << 20, SearchStrategy::TopDown);
+        let unseen = vec![
+            xia_xquery::compile("/site/europe/item[price = 11]/quantity", "shop").unwrap(),
+        ];
+        let report = analyze(&advisor, &c, &w, &rec, &unseen);
+        assert_eq!(report.unseen_rows.len(), 1);
+        let row = &report.unseen_rows[0];
+        assert!(
+            row.recommended < row.no_index,
+            "generalized indexes should help the unseen query: {} vs {}",
+            row.recommended,
+            row.no_index
+        );
+    }
+
+    #[test]
+    fn measured_execution_improves_with_indexes() {
+        let mut c = collection(400);
+        let w = Workload::from_queries(&["/site/africa/item[price = 3]/quantity"], "shop").unwrap();
+        let advisor = Advisor::default();
+        let before = measure_execution(&c, &w);
+        let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+        Advisor::create_indexes(&rec, &mut c);
+        let after = measure_execution(&c, &w);
+        assert_eq!(before.results, after.results, "same answers");
+        assert!(
+            after.docs_evaluated < before.docs_evaluated,
+            "indexes should cut documents evaluated: {} -> {}",
+            before.docs_evaluated,
+            after.docs_evaluated
+        );
+    }
+}

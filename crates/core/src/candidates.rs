@@ -1,0 +1,129 @@
+//! Basic candidate generation via the optimizer's Enumerate Indexes mode.
+
+use crate::workload::Workload;
+use xia_index::DataType;
+use xia_optimizer::enumerate_indexes;
+use xia_storage::Collection;
+use xia_xpath::LinearPath;
+
+/// A candidate index the search can choose, with its statistics-estimated
+/// size and provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    pub pattern: LinearPath,
+    pub data_type: DataType,
+    /// Estimated on-disk size (bytes), from the path dictionary.
+    pub size_bytes: u64,
+    /// Workload statement indices whose enumeration produced this
+    /// candidate (empty for generalized candidates).
+    pub source_queries: Vec<usize>,
+    /// True for candidates enumerated by the optimizer; false for
+    /// candidates added by generalization.
+    pub basic: bool,
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} AS {} (~{} KiB{}{})",
+            self.pattern,
+            self.data_type,
+            self.size_bytes / 1024,
+            if self.basic { "" } else { ", generalized" },
+            if self.source_queries.is_empty() {
+                String::new()
+            } else {
+                format!(", q{:?}", self.source_queries)
+            },
+        )
+    }
+}
+
+/// Run Enumerate Indexes over every workload query and merge the results
+/// into a deduplicated basic candidate set sized from statistics.
+pub fn generate_basic_candidates(collection: &Collection, workload: &Workload) -> Vec<Candidate> {
+    let stats = collection.stats();
+    let mut out: Vec<Candidate> = Vec::new();
+    for (qi, stmt) in workload.statements.iter().enumerate() {
+        let crate::workload::StatementKind::Query(q) = &stmt.kind else { continue };
+        for cand in enumerate_indexes(q) {
+            match out
+                .iter_mut()
+                .find(|c| c.pattern == cand.pattern && c.data_type == cand.data_type)
+            {
+                Some(existing) => existing.source_queries.push(qi),
+                None => out.push(Candidate {
+                    size_bytes: stats.estimated_index_bytes(&cand.pattern, cand.data_type),
+                    pattern: cand.pattern,
+                    data_type: cand.data_type,
+                    source_queries: vec![qi],
+                    basic: true,
+                }),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xml::Document;
+
+    fn collection() -> Collection {
+        let mut c = Collection::new("shop");
+        for i in 0..10 {
+            let xml = format!(
+                r#"<shop><item id="i{i}"><price>{}</price><name>n{}</name></item></shop>"#,
+                i % 3,
+                i % 2
+            );
+            c.insert(Document::parse(&xml).unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn candidates_from_single_query() {
+        let c = collection();
+        let w = Workload::from_queries(&["/shop/item[price = 1]/name"], "shop").unwrap();
+        let cands = generate_basic_candidates(&c, &w);
+        let strs: Vec<String> = cands.iter().map(|c| format!("{} {}", c.pattern, c.data_type)).collect();
+        assert_eq!(strs, vec!["/shop/item/price DOUBLE", "/shop/item/name VARCHAR"]);
+        assert!(cands.iter().all(|c| c.basic));
+        assert!(cands[0].size_bytes > 0);
+    }
+
+    #[test]
+    fn shared_patterns_merge_sources() {
+        let c = collection();
+        let w = Workload::from_queries(
+            &["/shop/item[price = 1]", "/shop/item[price > 2]/name"],
+            "shop",
+        )
+        .unwrap();
+        let cands = generate_basic_candidates(&c, &w);
+        let price = cands
+            .iter()
+            .find(|c| c.pattern.to_string() == "/shop/item/price")
+            .unwrap();
+        assert_eq!(price.source_queries, vec![0, 1]);
+    }
+
+    #[test]
+    fn updates_do_not_produce_candidates() {
+        let c = collection();
+        let mut w = Workload::from_queries(&["/shop/item/name"], "shop").unwrap();
+        w.add_insert(Document::parse("<shop><item><price>1</price></item></shop>").unwrap(), 3.0);
+        let cands = generate_basic_candidates(&c, &w);
+        assert_eq!(cands.len(), 1);
+    }
+
+    #[test]
+    fn empty_workload_no_candidates() {
+        let c = collection();
+        let w = Workload::new();
+        assert!(generate_basic_candidates(&c, &w).is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! Candidate generalization and the generalization DAG.
+//!
+//! The optimizer enumerates patterns *specific to each query*; the
+//! advisor expands them with more general patterns that can serve several
+//! workload queries — and future queries with similar shapes. Rules
+//! (following the paper's §2.2 examples):
+//!
+//! * **Pairwise unification (LGG)** — two candidates of the same key type
+//!   and shape that differ in some positions generalize to the pattern
+//!   with `*` at every disagreeing position:
+//!   `/regions/namerica/item/quantity` + `/regions/africa/item/quantity`
+//!   → `/regions/*/item/quantity`, and that with
+//!   `/regions/samerica/item/price` → `/regions/*/item/*`.
+//! * **Wildcard-run collapse** — a run of ≥ 2 consecutive `*` child steps
+//!   widens to a descendant step: `/a/*/*/b` → `/a//*/b`.
+//!
+//! Applied to fixpoint (bounded), the candidates form a DAG: each node's
+//! parents are its direct generalizations. The DAG's roots are the most
+//! general indexes obtainable from the workload — the starting
+//! configuration of the top-down search.
+
+use crate::candidates::Candidate;
+use xia_index::{contains, strictly_contains};
+use xia_storage::Collection;
+use xia_xpath::{LinearPath, LinearStep, PathAxis, PathTest};
+
+/// Tuning knobs for generalization.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizationConfig {
+    /// Enable pairwise least-general-generalization.
+    pub enable_lgg: bool,
+    /// Enable the wildcard-run → descendant collapse.
+    pub enable_collapse: bool,
+    /// Hard cap on generated (non-basic) candidates.
+    pub max_generated: usize,
+}
+
+impl Default for GeneralizationConfig {
+    fn default() -> Self {
+        GeneralizationConfig { enable_lgg: true, enable_collapse: true, max_generated: 256 }
+    }
+}
+
+/// One DAG node: a candidate plus its direct generalization edges.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    pub candidate: Candidate,
+    /// Indices of direct generalizations (more general patterns).
+    pub parents: Vec<usize>,
+    /// Indices of direct specializations.
+    pub children: Vec<usize>,
+}
+
+/// The generalization DAG over all candidates (basic + generated).
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    pub nodes: Vec<DagNode>,
+}
+
+impl Dag {
+    /// Nodes with no parents — the most general candidates.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].parents.is_empty())
+            .collect()
+    }
+
+    /// All candidates, basic and generalized.
+    pub fn candidates(&self) -> impl Iterator<Item = &Candidate> {
+        self.nodes.iter().map(|n| &n.candidate)
+    }
+
+    /// Graphviz rendering (Figure 4's DAG view).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph generalization {\n  rankdir=BT;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            out.push_str(&format!(
+                "  n{} [label=\"{} ({})\"{}];\n",
+                i,
+                n.candidate.pattern,
+                n.candidate.data_type,
+                if n.candidate.basic { "" } else { ", style=dashed" }
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &p in &n.parents {
+                out.push_str(&format!("  n{i} -> n{p};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Indented text rendering, roots first.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        fn rec(dag: &Dag, i: usize, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{}\n", dag.nodes[i].candidate));
+            for &c in &dag.nodes[i].children {
+                rec(dag, c, depth + 1, out);
+            }
+        }
+        for r in self.roots() {
+            rec(self, r, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// Expand `basic` candidates with generalizations and build the DAG.
+pub fn generalize(
+    collection: &Collection,
+    basic: &[Candidate],
+    cfg: &GeneralizationConfig,
+) -> Dag {
+    let stats = collection.stats();
+    let mut all: Vec<Candidate> = basic.to_vec();
+    let mut generated = 0usize;
+
+    // Fixpoint loop: try to derive new patterns from every current pair.
+    let mut changed = true;
+    while changed && generated < cfg.max_generated {
+        changed = false;
+        let len = all.len();
+        for i in 0..len {
+            for j in (i + 1)..len {
+                if generated >= cfg.max_generated {
+                    break;
+                }
+                if !cfg.enable_lgg {
+                    continue;
+                }
+                let Some(lgg) = least_general_generalization(&all[i], &all[j]) else { continue };
+                if push_candidate(&mut all, lgg, stats) {
+                    generated += 1;
+                    changed = true;
+                }
+            }
+        }
+        if cfg.enable_collapse {
+            let len = all.len();
+            for i in 0..len {
+                if generated >= cfg.max_generated {
+                    break;
+                }
+                if let Some(collapsed) = collapse_wildcard_run(&all[i]) {
+                    if push_candidate(&mut all, collapsed, stats) {
+                        generated += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    build_dag(all)
+}
+
+/// Insert a candidate if its pattern/type is new. Returns true if added.
+fn push_candidate(
+    all: &mut Vec<Candidate>,
+    mut cand: Candidate,
+    stats: &xia_storage::CollectionStats,
+) -> bool {
+    if all
+        .iter()
+        .any(|c| c.data_type == cand.data_type && c.pattern == cand.pattern)
+    {
+        return false;
+    }
+    cand.size_bytes = stats.estimated_index_bytes(&cand.pattern, cand.data_type);
+    all.push(cand);
+    true
+}
+
+/// Position-wise unification of two same-shape patterns.
+fn least_general_generalization(a: &Candidate, b: &Candidate) -> Option<Candidate> {
+    if a.data_type != b.data_type {
+        return None;
+    }
+    let (pa, pb) = (&a.pattern, &b.pattern);
+    if pa.len() != pb.len() {
+        return None;
+    }
+    let mut steps = Vec::with_capacity(pa.len());
+    let mut agree_on_label = false;
+    let mut differs = false;
+    for (sa, sb) in pa.steps.iter().zip(&pb.steps) {
+        // Shapes must agree: same axis, same attribute-ness.
+        if sa.axis != sb.axis || sa.is_attribute != sb.is_attribute {
+            return None;
+        }
+        let test = if sa.test == sb.test {
+            if matches!(sa.test, PathTest::Label(_)) {
+                agree_on_label = true;
+            }
+            sa.test.clone()
+        } else {
+            differs = true;
+            PathTest::Wildcard
+        };
+        steps.push(LinearStep { axis: sa.axis, test, is_attribute: sa.is_attribute });
+    }
+    // Useless unless the inputs actually differ, and degenerate if no
+    // concrete label survives to anchor the pattern.
+    if !differs || !agree_on_label {
+        return None;
+    }
+    let mut sources = a.source_queries.clone();
+    sources.extend(&b.source_queries);
+    sources.sort_unstable();
+    sources.dedup();
+    Some(Candidate {
+        pattern: LinearPath::new(steps),
+        data_type: a.data_type,
+        size_bytes: 0, // filled by push_candidate
+        source_queries: sources,
+        basic: false,
+    })
+}
+
+/// `/a/*/*/b` → `/a//*/b`: a run of ≥2 consecutive child-`*` steps widens
+/// to a single descendant-`*` step followed by the run's remainder.
+fn collapse_wildcard_run(c: &Candidate) -> Option<Candidate> {
+    let steps = &c.pattern.steps;
+    let run_start = steps.windows(2).position(|w| {
+        w.iter().all(|s| {
+            s.axis == PathAxis::Child && s.test == PathTest::Wildcard && !s.is_attribute
+        })
+    })?;
+    let mut out = steps.to_vec();
+    // Remove one of the two wildcards and make the survivor a descendant.
+    out.remove(run_start);
+    out[run_start].axis = PathAxis::Descendant;
+    Some(Candidate {
+        pattern: LinearPath::new(out),
+        data_type: c.data_type,
+        size_bytes: 0,
+        source_queries: c.source_queries.clone(),
+        basic: false,
+    })
+}
+
+/// Build direct parent/child edges by containment + transitive reduction.
+fn build_dag(all: Vec<Candidate>) -> Dag {
+    let n = all.len();
+    // ancestors[i][j] = candidate j strictly contains candidate i.
+    let mut strict = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j
+                && all[i].data_type == all[j].data_type
+                && strictly_contains(&all[j].pattern, &all[i].pattern)
+            {
+                strict[i][j] = true;
+            }
+        }
+    }
+    let mut nodes: Vec<DagNode> = all
+        .into_iter()
+        .map(|candidate| DagNode { candidate, parents: vec![], children: vec![] })
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            if !strict[i][j] {
+                continue;
+            }
+            // Direct edge unless an intermediate k sits between them.
+            let direct = (0..n).all(|k| !(strict[i][k] && strict[k][j]));
+            if direct {
+                nodes[i].parents.push(j);
+                nodes[j].children.push(i);
+            }
+        }
+    }
+    Dag { nodes }
+}
+
+/// Convenience for tests and analysis: does any DAG candidate contain the
+/// given pattern?
+pub fn covered_by_dag(dag: &Dag, pattern: &LinearPath) -> bool {
+    dag.nodes.iter().any(|n| contains(&n.candidate.pattern, pattern))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_index::DataType;
+    use xia_xml::Document;
+
+    fn collection() -> Collection {
+        let mut c = Collection::new("regions");
+        for (region, what, val) in [
+            ("namerica", "quantity", "5"),
+            ("africa", "quantity", "2"),
+            ("samerica", "price", "9"),
+            ("europe", "price", "3"),
+        ] {
+            let xml = format!("<regions><{region}><item><{what}>{val}</{what}></item></{region}></regions>");
+            c.insert(Document::parse(&xml).unwrap());
+        }
+        c
+    }
+
+    fn cand(pattern: &str, qi: usize) -> Candidate {
+        Candidate {
+            pattern: LinearPath::parse(pattern).unwrap(),
+            data_type: DataType::Double,
+            size_bytes: 0,
+            source_queries: vec![qi],
+            basic: true,
+        }
+    }
+
+    #[test]
+    fn paper_example_generalizes_in_two_steps() {
+        let c = collection();
+        let basics = vec![
+            cand("/regions/namerica/item/quantity", 0),
+            cand("/regions/africa/item/quantity", 1),
+            cand("/regions/samerica/item/price", 2),
+        ];
+        let dag = generalize(&c, &basics, &GeneralizationConfig::default());
+        let patterns: Vec<String> = dag.candidates().map(|c| c.pattern.to_string()).collect();
+        assert!(
+            patterns.contains(&"/regions/*/item/quantity".to_string()),
+            "first-step generalization missing: {patterns:?}"
+        );
+        assert!(
+            patterns.contains(&"/regions/*/item/*".to_string()),
+            "second-step generalization missing: {patterns:?}"
+        );
+    }
+
+    #[test]
+    fn generalized_candidates_inherit_sources() {
+        let c = collection();
+        let basics = vec![
+            cand("/regions/namerica/item/quantity", 0),
+            cand("/regions/africa/item/quantity", 1),
+        ];
+        let dag = generalize(&c, &basics, &GeneralizationConfig::default());
+        let general = dag
+            .candidates()
+            .find(|c| c.pattern.to_string() == "/regions/*/item/quantity")
+            .expect("generalization exists");
+        assert_eq!(general.source_queries, vec![0, 1]);
+        assert!(!general.basic);
+        assert!(general.size_bytes > 0, "size estimated from stats");
+    }
+
+    #[test]
+    fn dag_edges_point_to_direct_generalizations() {
+        let c = collection();
+        let basics = vec![
+            cand("/regions/namerica/item/quantity", 0),
+            cand("/regions/africa/item/quantity", 1),
+            cand("/regions/samerica/item/price", 2),
+        ];
+        let dag = generalize(&c, &basics, &GeneralizationConfig::default());
+        let idx = |p: &str| {
+            dag.nodes
+                .iter()
+                .position(|n| n.candidate.pattern.to_string() == p)
+                .unwrap_or_else(|| panic!("{p} not in DAG"))
+        };
+        let specific = idx("/regions/namerica/item/quantity");
+        let mid = idx("/regions/*/item/quantity");
+        let top = idx("/regions/*/item/*");
+        // specific's parent is mid, not top (transitive reduction).
+        assert!(dag.nodes[specific].parents.contains(&mid));
+        assert!(!dag.nodes[specific].parents.contains(&top));
+        assert!(dag.nodes[mid].parents.contains(&top));
+        assert!(dag.nodes[top].children.contains(&mid));
+        // top is a root.
+        assert!(dag.roots().contains(&top));
+    }
+
+    #[test]
+    fn different_types_do_not_unify() {
+        let c = collection();
+        let mut a = cand("/regions/namerica/item/quantity", 0);
+        let mut b = cand("/regions/africa/item/quantity", 1);
+        a.data_type = DataType::Double;
+        b.data_type = DataType::Varchar;
+        let dag = generalize(&c, &[a, b], &GeneralizationConfig::default());
+        assert_eq!(dag.nodes.len(), 2, "no generalization across key types");
+    }
+
+    #[test]
+    fn degenerate_all_wildcard_not_generated() {
+        let c = collection();
+        let dag = generalize(
+            &c,
+            &[cand("/a/b", 0), cand("/x/y", 1)],
+            &GeneralizationConfig::default(),
+        );
+        let patterns: Vec<String> = dag.candidates().map(|c| c.pattern.to_string()).collect();
+        assert!(
+            !patterns.contains(&"/*/*".to_string()),
+            "unanchored pattern must not be generated: {patterns:?}"
+        );
+    }
+
+    #[test]
+    fn wildcard_run_collapses_to_descendant() {
+        let c = collection();
+        let dag = generalize(
+            &c,
+            &[cand("/regions/*/*/quantity", 0)],
+            &GeneralizationConfig::default(),
+        );
+        let patterns: Vec<String> = dag.candidates().map(|c| c.pattern.to_string()).collect();
+        assert!(
+            patterns.contains(&"/regions//*/quantity".to_string()),
+            "collapse missing: {patterns:?}"
+        );
+    }
+
+    #[test]
+    fn cap_limits_generated_candidates() {
+        let c = collection();
+        let basics: Vec<Candidate> = (0..8)
+            .map(|i| cand(&format!("/regions/r{i}/item/quantity"), i))
+            .collect();
+        let cfg = GeneralizationConfig { max_generated: 1, ..Default::default() };
+        let dag = generalize(&c, &basics, &cfg);
+        assert_eq!(dag.nodes.len(), 9);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let c = collection();
+        let dag = generalize(
+            &c,
+            &[cand("/regions/namerica/item/quantity", 0), cand("/regions/africa/item/quantity", 1)],
+            &GeneralizationConfig::default(),
+        );
+        let dot = dag.to_dot();
+        for n in &dag.nodes {
+            assert!(dot.contains(&n.candidate.pattern.to_string()));
+        }
+        assert!(dot.starts_with("digraph"));
+        let text = dag.render_text();
+        assert!(text.contains("/regions/*/item/quantity"));
+    }
+}

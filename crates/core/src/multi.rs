@@ -1,0 +1,329 @@
+//! Database-level advice: one disk budget shared across collections.
+//!
+//! The demo advises one collection at a time; a real deployment (e.g.
+//! TPoX's order/custacc/security trio) has a single disk budget for the
+//! whole database. This module runs candidate generation per collection
+//! and then a *global* greedy knapsack: at every step the marginal
+//! benefit per byte is compared across all collections, so space flows
+//! to wherever it currently buys the most.
+
+use crate::advisor::Advisor;
+use crate::candidates::generate_basic_candidates;
+use crate::generalize::{generalize, Dag};
+use crate::workload::Workload;
+use std::collections::HashMap;
+use xia_index::{IndexDefinition, IndexId};
+use xia_optimizer::evaluate_indexes;
+use xia_storage::Database;
+use xia_xquery::NormalizedQuery;
+
+/// Advice for one collection within a database recommendation.
+#[derive(Debug, Clone)]
+pub struct CollectionAdvice {
+    pub collection: String,
+    /// Recommended indexes, ready to create.
+    pub indexes: Vec<IndexDefinition>,
+    /// Estimated workload cost with no indexes.
+    pub base_cost: f64,
+    /// Estimated workload cost under the recommendation.
+    pub final_cost: f64,
+    /// Estimated size of this collection's share (bytes).
+    pub size_bytes: u64,
+}
+
+/// A whole-database recommendation.
+#[derive(Debug, Clone)]
+pub struct DatabaseRecommendation {
+    pub per_collection: Vec<CollectionAdvice>,
+    pub budget_bytes: u64,
+    /// Step-by-step allocation trace.
+    pub trace: Vec<String>,
+}
+
+impl DatabaseRecommendation {
+    pub fn total_size(&self) -> u64 {
+        self.per_collection.iter().map(|c| c.size_bytes).sum()
+    }
+
+    pub fn total_benefit(&self) -> f64 {
+        self.per_collection.iter().map(|c| c.base_cost - c.final_cost).sum()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Database recommendation (budget {} KiB, used {} KiB, benefit {:.1}):\n",
+            self.budget_bytes / 1024,
+            self.total_size() / 1024,
+            self.total_benefit()
+        );
+        for c in &self.per_collection {
+            out.push_str(&format!(
+                "  [{}] {:.1} -> {:.1} with {} indexes ({} KiB)\n",
+                c.collection,
+                c.base_cost,
+                c.final_cost,
+                c.indexes.len(),
+                c.size_bytes / 1024
+            ));
+            for d in &c.indexes {
+                out.push_str(&format!("      {}\n", d));
+            }
+        }
+        out
+    }
+}
+
+/// Per-collection search state for the global greedy.
+struct CollState<'a> {
+    name: String,
+    coll: &'a xia_storage::Collection,
+    queries: Vec<NormalizedQuery>,
+    freqs: Vec<f64>,
+    dag: Dag,
+    chosen: Vec<usize>,
+    cache: HashMap<Vec<usize>, f64>,
+}
+
+impl CollState<'_> {
+    fn cost(&mut self, advisor: &Advisor, chosen: &[usize]) -> f64 {
+        let mut key = chosen.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&c) = self.cache.get(&key) {
+            return c;
+        }
+        let defs: Vec<IndexDefinition> = key
+            .iter()
+            .map(|&i| {
+                let c = &self.dag.nodes[i].candidate;
+                IndexDefinition::virtual_index(IndexId(i as u32), c.pattern.clone(), c.data_type)
+            })
+            .collect();
+        let eval = evaluate_indexes(self.coll, &advisor.config.cost_model, &defs, &self.queries);
+        let total: f64 = eval
+            .per_query
+            .iter()
+            .zip(&self.freqs)
+            .map(|(q, f)| q.cost.total() * f)
+            .sum();
+        self.cache.insert(key, total);
+        total
+    }
+
+    fn size(&self, chosen: &[usize]) -> u64 {
+        chosen.iter().map(|&i| self.dag.nodes[i].candidate.size_bytes).sum()
+    }
+}
+
+impl Advisor {
+    /// Recommend indexes for several collections under one shared budget.
+    ///
+    /// `workloads` pairs collection names (which must exist in `db`) with
+    /// their read workloads. Uses the global greedy strategy; update
+    /// statements are currently ignored at the database level (advise
+    /// per-collection with [`Advisor::recommend`] when update cost
+    /// matters).
+    pub fn recommend_database(
+        &self,
+        db: &Database,
+        workloads: &[(&str, &Workload)],
+        budget_bytes: u64,
+    ) -> DatabaseRecommendation {
+        let mut states: Vec<CollState<'_>> = workloads
+            .iter()
+            .filter_map(|(name, workload)| {
+                let coll = db.collection(name)?;
+                let basics = generate_basic_candidates(coll, workload);
+                let dag = generalize(coll, &basics, &self.config.generalization);
+                let mut queries = Vec::new();
+                let mut freqs = Vec::new();
+                for (q, f) in workload.queries() {
+                    queries.push(q.clone());
+                    freqs.push(f);
+                }
+                Some(CollState {
+                    name: name.to_string(),
+                    coll,
+                    queries,
+                    freqs,
+                    dag,
+                    chosen: Vec::new(),
+                    cache: HashMap::new(),
+                })
+            })
+            .collect();
+
+        let mut trace = Vec::new();
+        let mut used: u64 = 0;
+        loop {
+            // Global best (collection, candidate) by marginal benefit/byte.
+            // Re-scanning every pair each iteration looks quadratic, but
+            // `CollState::cost` memoizes by configuration key, so unchanged
+            // collections cost two hash lookups per candidate.
+            let mut best: Option<(usize, usize, f64, f64)> = None; // (state, node, marginal, ratio)
+            #[allow(clippy::needless_range_loop)] // `si` is stored in `best`
+            for si in 0..states.len() {
+                let chosen = states[si].chosen.clone();
+                let current = states[si].cost(self, &chosen);
+                for ni in 0..states[si].dag.nodes.len() {
+                    if chosen.contains(&ni) {
+                        continue;
+                    }
+                    let size = states[si].dag.nodes[ni].candidate.size_bytes;
+                    if used + size > budget_bytes {
+                        continue;
+                    }
+                    let mut with = chosen.clone();
+                    with.push(ni);
+                    let marginal = current - states[si].cost(self, &with);
+                    if marginal <= 0.0 {
+                        continue;
+                    }
+                    let ratio = marginal / size.max(1) as f64;
+                    if best.is_none_or(|(_, _, _, r)| ratio > r) {
+                        best = Some((si, ni, marginal, ratio));
+                    }
+                }
+            }
+            let Some((si, ni, marginal, ratio)) = best else { break };
+            used += states[si].dag.nodes[ni].candidate.size_bytes;
+            trace.push(format!(
+                "[{}] add {} (marginal {:.1}, ratio {:.6}, used {} KiB)",
+                states[si].name,
+                states[si].dag.nodes[ni].candidate.pattern,
+                marginal,
+                ratio,
+                used / 1024
+            ));
+            states[si].chosen.push(ni);
+        }
+
+        let per_collection = states
+            .iter_mut()
+            .map(|st| {
+                let base_cost = st.cost(self, &[]);
+                let chosen = st.chosen.clone();
+                let final_cost = st.cost(self, &chosen);
+                let indexes = chosen
+                    .iter()
+                    .enumerate()
+                    .map(|(seq, &i)| {
+                        let c = &st.dag.nodes[i].candidate;
+                        IndexDefinition::new(
+                            IndexId(seq as u32 + 1),
+                            c.pattern.clone(),
+                            c.data_type,
+                        )
+                    })
+                    .collect();
+                CollectionAdvice {
+                    collection: st.name.clone(),
+                    indexes,
+                    base_cost,
+                    final_cost,
+                    size_bytes: st.size(&chosen),
+                }
+            })
+            .collect();
+
+        DatabaseRecommendation { per_collection, budget_bytes, trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::SearchStrategy;
+    use xia_workload::{tpox_queries, TpoxConfig, TpoxGen};
+
+    fn tpox_db() -> Database {
+        let mut db = Database::new();
+        TpoxGen::new(TpoxConfig { orders: 200, customers: 40, securities: 30, seed: 3 })
+            .populate_all(&mut db);
+        db
+    }
+
+    fn workload_for(coll: &str) -> Workload {
+        let texts: Vec<String> = tpox_queries()
+            .into_iter()
+            .filter(|(c, _)| *c == coll)
+            .map(|(_, q)| q)
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        Workload::from_queries(&refs, coll).unwrap()
+    }
+
+    #[test]
+    fn database_recommendation_respects_shared_budget() {
+        let db = tpox_db();
+        let (wo, wc, ws) = (workload_for("order"), workload_for("custacc"), workload_for("security"));
+        let workloads = vec![("order", &wo), ("custacc", &wc), ("security", &ws)];
+        let advisor = Advisor::default();
+        let rec = advisor.recommend_database(&db, &workloads, 256 << 10);
+        assert!(rec.total_size() <= 256 << 10);
+        assert!(rec.total_benefit() > 0.0);
+        assert_eq!(rec.per_collection.len(), 3);
+        // The biggest workload (order) should get indexes.
+        let order = rec.per_collection.iter().find(|c| c.collection == "order").unwrap();
+        assert!(!order.indexes.is_empty());
+        assert!(rec.render().contains("[order]"));
+        assert!(!rec.trace.is_empty());
+    }
+
+    #[test]
+    fn tight_budget_prioritizes_highest_ratio_collection() {
+        let db = tpox_db();
+        let (wo, wc) = (workload_for("order"), workload_for("custacc"));
+        let workloads = vec![("order", &wo), ("custacc", &wc)];
+        let advisor = Advisor::default();
+        let generous = advisor.recommend_database(&db, &workloads, 4 << 20);
+        // Budget = size of the smallest recommended index, measured against
+        // its own collection's statistics.
+        let smallest = generous
+            .per_collection
+            .iter()
+            .flat_map(|c| c.indexes.iter().map(move |d| (c.collection.as_str(), d)))
+            .map(|(coll_name, d)| {
+                let coll = db.collection(coll_name).unwrap();
+                coll.stats().estimated_index_bytes(&d.pattern, d.data_type).max(1)
+            })
+            .min()
+            .unwrap_or(1024);
+        let tight = advisor.recommend_database(&db, &workloads, smallest.max(2048));
+        assert!(tight.total_size() <= smallest.max(2048));
+        let total: usize = tight.per_collection.iter().map(|c| c.indexes.len()).sum();
+        assert!(total <= 2, "tight budget should pick very few indexes, got {total}");
+    }
+
+    #[test]
+    fn database_advice_matches_per_collection_advice_when_budget_is_ample() {
+        let db = tpox_db();
+        let wo = workload_for("order");
+        let advisor = Advisor::default();
+        let single = advisor.recommend(
+            db.collection("order").unwrap(),
+            &wo,
+            4 << 20,
+            SearchStrategy::GreedyHeuristic,
+        );
+        let multi = advisor.recommend_database(&db, &[("order", &wo)], 4 << 20);
+        let multi_order = &multi.per_collection[0];
+        // Same ballpark benefit (algorithms differ slightly in redundancy
+        // pruning, so allow slack).
+        let single_benefit = single.benefit();
+        let multi_benefit = multi_order.base_cost - multi_order.final_cost;
+        assert!(
+            (single_benefit - multi_benefit).abs() / single_benefit.max(1.0) < 0.3,
+            "single {single_benefit} vs multi {multi_benefit}"
+        );
+    }
+
+    #[test]
+    fn unknown_collections_are_skipped() {
+        let db = tpox_db();
+        let wo = workload_for("order");
+        let advisor = Advisor::default();
+        let rec = advisor.recommend_database(&db, &[("nope", &wo)], 1 << 20);
+        assert!(rec.per_collection.is_empty());
+    }
+}

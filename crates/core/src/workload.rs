@@ -1,0 +1,332 @@
+//! Workload representation: weighted queries and updates.
+
+use xia_xml::Document;
+use xia_xquery::{compile, NormalizedQuery, QueryError};
+
+/// One workload statement.
+#[derive(Debug, Clone)]
+pub enum StatementKind {
+    /// A read query (XPath / mini-XQuery / SQL/XML, already compiled).
+    Query(NormalizedQuery),
+    /// Insertion of documents shaped like the sample — the advisor
+    /// charges index-maintenance cost per insert against index benefit.
+    Insert { sample: Document },
+    /// Deletion of documents shaped like the sample (same maintenance
+    /// charge model as inserts).
+    Delete { sample: Document },
+}
+
+/// A statement with its relative frequency (executions per workload unit).
+#[derive(Debug, Clone)]
+pub struct Statement {
+    pub kind: StatementKind,
+    pub frequency: f64,
+}
+
+/// A query/update workload over one collection.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    pub statements: Vec<Statement>,
+}
+
+impl Workload {
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Build a read-only workload with uniform frequency 1.
+    pub fn from_queries(texts: &[&str], collection: &str) -> Result<Workload, QueryError> {
+        let mut w = Workload::new();
+        for t in texts {
+            w.add_query(t, collection, 1.0)?;
+        }
+        Ok(w)
+    }
+
+    /// Add a query with a frequency.
+    pub fn add_query(
+        &mut self,
+        text: &str,
+        collection: &str,
+        frequency: f64,
+    ) -> Result<&mut Self, QueryError> {
+        let q = compile(text, collection)?;
+        self.statements.push(Statement { kind: StatementKind::Query(q), frequency });
+        Ok(self)
+    }
+
+    /// Add an insert statement with a sample document.
+    pub fn add_insert(&mut self, sample: Document, frequency: f64) -> &mut Self {
+        self.statements.push(Statement { kind: StatementKind::Insert { sample }, frequency });
+        self
+    }
+
+    /// Add a delete statement with a sample document.
+    pub fn add_delete(&mut self, sample: Document, frequency: f64) -> &mut Self {
+        self.statements.push(Statement { kind: StatementKind::Delete { sample }, frequency });
+        self
+    }
+
+    /// The compiled queries with frequencies, in statement order.
+    pub fn queries(&self) -> impl Iterator<Item = (&NormalizedQuery, f64)> {
+        self.statements.iter().filter_map(|s| match &s.kind {
+            StatementKind::Query(q) => Some((q, s.frequency)),
+            _ => None,
+        })
+    }
+
+    /// The update statements (inserts and deletes) with frequencies.
+    pub fn updates(&self) -> impl Iterator<Item = (&Document, f64)> {
+        self.statements.iter().filter_map(|s| match &s.kind {
+            StatementKind::Insert { sample } | StatementKind::Delete { sample } => {
+                Some((sample, s.frequency))
+            }
+            _ => None,
+        })
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries().count()
+    }
+
+    pub fn is_read_only(&self) -> bool {
+        self.updates().next().is_none()
+    }
+
+    /// Parse a workload file: one statement per line,
+    /// `[<frequency>;]<query>`, `#` comments and blank lines ignored.
+    /// Updates are written as `INSERT <frequency>` and take the given
+    /// sample document.
+    ///
+    /// ```text
+    /// # training workload
+    /// /site/regions/africa/item/quantity
+    /// 10; //person[profile/age > 70]/name
+    /// INSERT 500
+    /// ```
+    pub fn parse(
+        text: &str,
+        collection: &str,
+        insert_sample: Option<&Document>,
+    ) -> Result<Workload, QueryError> {
+        let mut w = Workload::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Update lines have the exact shape `INSERT <freq>` /
+            // `DELETE <freq>`; anything else (e.g. a relative-path query
+            // over an element that happens to start with those letters)
+            // falls through to query parsing.
+            let update = line
+                .strip_prefix("INSERT")
+                .map(|rest| (true, rest))
+                .or_else(|| line.strip_prefix("DELETE").map(|rest| (false, rest)))
+                .filter(|(_, rest)| rest.starts_with(char::is_whitespace))
+                .and_then(|(ins, rest)| rest.trim().parse::<f64>().ok().map(|f| (ins, f)));
+            if let Some((is_insert, freq)) = update {
+                let sample = insert_sample.ok_or_else(|| QueryError {
+                    message: format!(
+                        "line {}: update statement but no sample document provided",
+                        lineno + 1
+                    ),
+                })?;
+                if is_insert {
+                    w.add_insert(sample.clone(), freq);
+                } else {
+                    w.add_delete(sample.clone(), freq);
+                }
+                continue;
+            }
+            // `<freq>;<query>` or bare `<query>`. Only split when the text
+            // before ';' parses as a number, since ';' never starts a query.
+            let (freq, query) = match line.split_once(';') {
+                Some((f, q)) if f.trim().parse::<f64>().is_ok() => {
+                    (f.trim().parse::<f64>().expect("just checked"), q.trim())
+                }
+                _ => (1.0, line),
+            };
+            w.add_query(query, collection, freq).map_err(|e| QueryError {
+                message: format!("line {}: {}", lineno + 1, e.message),
+            })?;
+        }
+        Ok(w)
+    }
+
+    /// Serialize the workload back into the [`Workload::parse`] format.
+    /// Insert/delete samples are reduced to `INSERT/DELETE <freq>` lines
+    /// (the sample document itself is supplied again at parse time).
+    pub fn to_file_format(&self) -> String {
+        let mut out = String::new();
+        for stmt in &self.statements {
+            match &stmt.kind {
+                StatementKind::Query(q) => {
+                    if stmt.frequency == 1.0 {
+                        out.push_str(&q.text);
+                    } else {
+                        out.push_str(&format!("{}; {}", stmt.frequency, q.text));
+                    }
+                }
+                StatementKind::Insert { .. } => {
+                    out.push_str(&format!("INSERT {}", stmt.frequency));
+                }
+                StatementKind::Delete { .. } => {
+                    out.push_str(&format!("DELETE {}", stmt.frequency));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn query_text() -> impl Strategy<Value = String> {
+        prop_oneof![
+            "[a-z]{1,5}(/[a-z]{1,5}){0,3}".prop_map(|p| format!("/{p}")),
+            ("[a-z]{1,5}", "[a-z]{1,5}", 0u32..100)
+                .prop_map(|(a, b, v)| format!("//{a}[{b} > {v}]")),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any workload serialized by to_file_format parses back with the
+        /// same statements (kinds, frequencies, query texts).
+        #[test]
+        fn file_format_round_trips_arbitrary_workloads(
+            queries in prop::collection::vec((query_text(), 1u32..100), 1..8),
+            inserts in prop::collection::vec(1u32..1000, 0..3),
+        ) {
+            let sample = Document::parse("<a/>").unwrap();
+            let mut w = Workload::new();
+            for (q, f) in &queries {
+                w.add_query(q, "c", f64::from(*f)).unwrap();
+            }
+            for f in &inserts {
+                w.add_insert(sample.clone(), f64::from(*f));
+            }
+            let text = w.to_file_format();
+            let again = Workload::parse(&text, "c", Some(&sample)).unwrap();
+            prop_assert_eq!(again.statements.len(), w.statements.len());
+            for (x, y) in w.statements.iter().zip(&again.statements) {
+                prop_assert_eq!(x.frequency, y.frequency);
+                match (&x.kind, &y.kind) {
+                    (StatementKind::Query(a), StatementKind::Query(b)) => {
+                        prop_assert_eq!(&a.text, &b.text);
+                    }
+                    (StatementKind::Insert { .. }, StatementKind::Insert { .. }) => {}
+                    (StatementKind::Delete { .. }, StatementKind::Delete { .. }) => {}
+                    _ => prop_assert!(false, "statement kind changed across round trip"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_file_format() {
+        let text = "\n# comment\n/site/a/b\n5; //item[price > 3]\nINSERT 100\n";
+        let sample = Document::parse("<site><a><b>1</b></a></site>").unwrap();
+        let w = Workload::parse(text, "c", Some(&sample)).unwrap();
+        assert_eq!(w.query_count(), 2);
+        let freqs: Vec<f64> = w.queries().map(|(_, f)| f).collect();
+        assert_eq!(freqs, vec![1.0, 5.0]);
+        assert_eq!(w.updates().count(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(Workload::parse("///broken", "c", None).is_err());
+        assert!(Workload::parse("INSERT 5", "c", None).is_err(), "no sample");
+        // `INSERT abc` is not a well-formed update line; it is treated as a
+        // (relative-path) query and fails XPath-side since `abc` after
+        // INSERT isn't a path — actually `INSERT abc` parses as two names,
+        // which the XPath parser rejects as trailing input.
+        assert!(Workload::parse("INSERT abc", "c", None).is_err());
+    }
+
+    #[test]
+    fn queries_over_insert_like_names_are_not_eaten() {
+        // A query on an element literally named INSERTLOG must not be
+        // claimed by the update-line fast path.
+        let w = Workload::parse("//INSERTLOG/ts", "c", None).unwrap();
+        assert_eq!(w.query_count(), 1);
+        assert!(w.is_read_only());
+    }
+
+    #[test]
+    fn file_format_round_trips() {
+        let sample = Document::parse("<a/>").unwrap();
+        let mut w = Workload::from_queries(&["//a", "//b[c = 1]"], "col").unwrap();
+        w.add_query("//d", "col", 7.0).unwrap();
+        w.add_insert(sample.clone(), 42.0);
+        w.add_delete(sample.clone(), 9.0);
+        let text = w.to_file_format();
+        assert!(text.contains("DELETE 9"), "{text}");
+        let again = Workload::parse(&text, "col", Some(&sample)).unwrap();
+        assert_eq!(again.query_count(), 3);
+        let freqs: Vec<f64> = again.queries().map(|(_, f)| f).collect();
+        assert_eq!(freqs, vec![1.0, 1.0, 7.0]);
+        assert_eq!(again.updates().map(|(_, f)| f).collect::<Vec<_>>(), vec![42.0, 9.0]);
+        // Round-tripped kinds are preserved, not collapsed to inserts.
+        let kinds: Vec<bool> = again
+            .statements
+            .iter()
+            .filter_map(|s| match s.kind {
+                StatementKind::Insert { .. } => Some(true),
+                StatementKind::Delete { .. } => Some(false),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![true, false]);
+    }
+
+    #[test]
+    fn from_queries_builds_uniform_workload() {
+        let w = Workload::from_queries(&["//a", "//b[c = 1]"], "col").unwrap();
+        assert_eq!(w.query_count(), 2);
+        assert!(w.is_read_only());
+        assert!(w.queries().all(|(_, f)| f == 1.0));
+    }
+
+    #[test]
+    fn bad_query_is_an_error() {
+        assert!(Workload::from_queries(&["//a", "///"], "col").is_err());
+    }
+
+    #[test]
+    fn updates_are_tracked() {
+        let mut w = Workload::from_queries(&["//a"], "col").unwrap();
+        w.add_insert(Document::parse("<a><b>1</b></a>").unwrap(), 5.0);
+        w.add_delete(Document::parse("<a/>").unwrap(), 2.0);
+        assert!(!w.is_read_only());
+        assert_eq!(w.updates().count(), 2);
+        let freqs: Vec<f64> = w.updates().map(|(_, f)| f).collect();
+        assert_eq!(freqs, vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn mixed_language_workload() {
+        let mut w = Workload::new();
+        w.add_query("//item[price > 3]", "c", 1.0).unwrap();
+        w.add_query(
+            r#"for $i in collection("c")//item where $i/price > 3 return $i"#,
+            "c",
+            2.0,
+        )
+        .unwrap();
+        w.add_query(
+            r#"SELECT 1 FROM c WHERE XMLEXISTS('$d//item[price > 3]')"#,
+            "c",
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(w.query_count(), 3);
+    }
+}

@@ -1,0 +1,238 @@
+//! Index matching: deciding which indexes can answer which query atoms.
+//!
+//! The optimizer decomposes a query into *path predicates*: a linear path
+//! plus an optional value comparison on the selected node. Index matching
+//! checks each catalog index against each path predicate. This is the
+//! component the paper's Enumerate Indexes mode exercises against the
+//! `//*` virtual index, and the Evaluate Indexes mode exercises against a
+//! virtual candidate configuration.
+
+use crate::containment::{contains, equivalent};
+use crate::pattern::{DataType, IndexDefinition};
+use xia_xpath::{CmpOp, LinearPath, Literal};
+
+/// A value comparison applied to the nodes selected by a path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuePredicate {
+    pub op: CmpOp,
+    pub value: Literal,
+}
+
+impl ValuePredicate {
+    /// The index data type able to evaluate this comparison.
+    pub fn required_type(&self) -> DataType {
+        match self.value {
+            Literal::Num(_) => DataType::Double,
+            Literal::Str(_) => DataType::Varchar,
+        }
+    }
+}
+
+/// One indexable atom of a query: a rooted linear path and an optional
+/// value predicate on its result nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPredicate {
+    pub path: LinearPath,
+    pub value: Option<ValuePredicate>,
+}
+
+impl PathPredicate {
+    pub fn structural(path: LinearPath) -> PathPredicate {
+        PathPredicate { path, value: None }
+    }
+
+    pub fn with_value(path: LinearPath, op: CmpOp, value: Literal) -> PathPredicate {
+        PathPredicate { path, value: Some(ValuePredicate { op, value }) }
+    }
+
+    /// The data type an index should have to serve this atom best.
+    pub fn preferred_type(&self) -> DataType {
+        self.value
+            .as_ref()
+            .map_or(DataType::Varchar, ValuePredicate::required_type)
+    }
+}
+
+/// The result of matching one index against one path predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexMatch {
+    /// The index pattern strictly generalizes the query path, so postings
+    /// are a superset and each result needs a structural re-check against
+    /// the query path.
+    pub needs_path_recheck: bool,
+    /// The index key type cannot evaluate the value predicate (or there is
+    /// no value predicate), so the probe is structural: scan all postings
+    /// and apply the value predicate (if any) afterwards.
+    pub structural_only: bool,
+}
+
+/// Can `index` answer `atom`? Returns how, or `None` if unusable.
+///
+/// Rules (mirroring DB2's XML index eligibility):
+/// * the index pattern must contain the query path (`L(query) ⊆ L(pattern)`)
+///   — otherwise the index may miss qualifying nodes;
+/// * a value predicate is pushed into the index probe only when the key
+///   type can evaluate it (numeric literals need DOUBLE, string literals
+///   VARCHAR); a DOUBLE index additionally cannot prove *inequality or
+///   absence* for non-numeric values, so `!=` on it stays structural;
+/// * with no value predicate the index serves as a structural
+///   (existence/extraction) index; a DOUBLE index is unusable for that
+///   because it silently drops non-numeric nodes.
+pub fn match_index(index: &IndexDefinition, atom: &PathPredicate) -> Option<IndexMatch> {
+    if !contains(&index.pattern, &atom.path) {
+        return None;
+    }
+    let needs_path_recheck = !equivalent(&index.pattern, &atom.path);
+    match &atom.value {
+        None => {
+            // Structural use: VARCHAR indexes every matched node; DOUBLE
+            // omits non-numeric nodes, so it cannot prove existence.
+            (index.data_type == DataType::Varchar).then_some(IndexMatch {
+                needs_path_recheck,
+                structural_only: true,
+            })
+        }
+        Some(vp) => {
+            let ty = vp.required_type();
+            if index.data_type == ty {
+                // `!=` cannot be answered by a key probe (it needs the
+                // complement), and `contains` can match anywhere in the
+                // key; both degrade to structural scans. `starts-with`
+                // stays sargable as a prefix range.
+                let sargable = !matches!(vp.op, CmpOp::Ne | CmpOp::Contains);
+                // A DOUBLE index used for != would miss non-numeric nodes.
+                if !sargable && index.data_type == DataType::Double {
+                    return None;
+                }
+                Some(IndexMatch { needs_path_recheck, structural_only: !sargable })
+            } else if index.data_type == DataType::Varchar {
+                // VARCHAR contains every node; numeric predicate applied
+                // as residual after a structural scan.
+                Some(IndexMatch { needs_path_recheck, structural_only: true })
+            } else {
+                // DOUBLE index, string predicate: the index may be missing
+                // qualifying (non-numeric) nodes entirely.
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::IndexId;
+
+    fn def(pattern: &str, ty: DataType) -> IndexDefinition {
+        IndexDefinition::new(IndexId(1), LinearPath::parse(pattern).unwrap(), ty)
+    }
+
+    fn atom(path: &str) -> PathPredicate {
+        PathPredicate::structural(LinearPath::parse(path).unwrap())
+    }
+
+    fn atom_num(path: &str, op: CmpOp, v: f64) -> PathPredicate {
+        PathPredicate::with_value(LinearPath::parse(path).unwrap(), op, Literal::Num(v))
+    }
+
+    fn atom_str(path: &str, op: CmpOp, v: &str) -> PathPredicate {
+        PathPredicate::with_value(LinearPath::parse(path).unwrap(), op, Literal::Str(v.into()))
+    }
+
+    #[test]
+    fn exact_pattern_no_recheck() {
+        let m = match_index(
+            &def("/site/item/price", DataType::Double),
+            &atom_num("/site/item/price", CmpOp::Gt, 10.0),
+        )
+        .unwrap();
+        assert!(!m.needs_path_recheck);
+        assert!(!m.structural_only);
+    }
+
+    #[test]
+    fn general_pattern_needs_recheck() {
+        let m = match_index(
+            &def("//price", DataType::Double),
+            &atom_num("/site/item/price", CmpOp::Eq, 10.0),
+        )
+        .unwrap();
+        assert!(m.needs_path_recheck);
+    }
+
+    #[test]
+    fn non_containing_pattern_rejected() {
+        assert!(match_index(
+            &def("/site/item/name", DataType::Varchar),
+            &atom_num("/site/item/price", CmpOp::Eq, 10.0),
+        )
+        .is_none());
+        assert!(match_index(
+            &def("/site/item/price", DataType::Double),
+            &atom_num("//price", CmpOp::Eq, 10.0),
+        )
+        .is_none(), "index on a specific path cannot answer a general query");
+    }
+
+    #[test]
+    fn type_mismatch_rules() {
+        // Numeric predicate on VARCHAR index: structural fallback.
+        let m = match_index(
+            &def("//price", DataType::Varchar),
+            &atom_num("//price", CmpOp::Lt, 5.0),
+        )
+        .unwrap();
+        assert!(m.structural_only);
+        // String predicate on DOUBLE index: unusable.
+        assert!(match_index(
+            &def("//name", DataType::Double),
+            &atom_str("//name", CmpOp::Eq, "drum"),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn structural_atom_needs_varchar() {
+        assert!(match_index(&def("//item", DataType::Varchar), &atom("//item")).is_some());
+        assert!(match_index(&def("//item", DataType::Double), &atom("//item")).is_none());
+    }
+
+    #[test]
+    fn not_equal_is_never_sargable() {
+        let m = match_index(
+            &def("//name", DataType::Varchar),
+            &atom_str("//name", CmpOp::Ne, "x"),
+        )
+        .unwrap();
+        assert!(m.structural_only);
+        assert!(match_index(
+            &def("//price", DataType::Double),
+            &atom_num("//price", CmpOp::Ne, 3.0),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn any_virtual_index_matches_every_element_path() {
+        let any = IndexDefinition::virtual_index(
+            IndexId(0),
+            LinearPath::any(),
+            DataType::Varchar,
+        );
+        for q in ["/site/item", "//price", "/a/*/c"] {
+            let m = match_index(&any, &atom(q)).expect("//* must match element paths");
+            assert!(m.needs_path_recheck);
+        }
+        assert!(match_index(&any, &atom("//item/@id")).is_none(), "//* skips attributes");
+    }
+
+    #[test]
+    fn attribute_queries_need_attribute_patterns() {
+        let m = match_index(
+            &def("//*/@*", DataType::Varchar),
+            &atom_str("//order/@status", CmpOp::Eq, "filled"),
+        )
+        .unwrap();
+        assert!(m.needs_path_recheck);
+    }
+}

@@ -1,0 +1,126 @@
+//! Index definitions: the catalog-level description of an XML pattern
+//! index, shared by physical and virtual indexes.
+
+use std::fmt;
+use xia_xpath::LinearPath;
+
+/// Key data type of an index, mirroring DB2's `AS SQL VARCHAR` /
+/// `AS SQL DOUBLE` XML index clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// String keys; answers equality and lexicographic range predicates,
+    /// and pure structural (existence) probes.
+    Varchar,
+    /// Numeric keys; nodes whose value does not parse as a number are
+    /// skipped (DB2 `IGNORE INVALID VALUES`). Answers numeric predicates.
+    Double,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Varchar => "VARCHAR",
+            DataType::Double => "DOUBLE",
+        })
+    }
+}
+
+/// Identifier of an index within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexId(pub u32);
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "idx{}", self.0)
+    }
+}
+
+/// Catalog entry describing an XML pattern index over one collection.
+///
+/// A *virtual* index has no physical structure — it exists so the
+/// optimizer can match and cost it. This is the paper's core mechanism:
+/// virtual indexes are "added to the database catalog and to all the
+/// internal data structures of the optimizer, but ... not physically
+/// created on disk".
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDefinition {
+    pub id: IndexId,
+    pub name: String,
+    pub pattern: LinearPath,
+    pub data_type: DataType,
+    pub is_virtual: bool,
+}
+
+impl IndexDefinition {
+    pub fn new(id: IndexId, pattern: LinearPath, data_type: DataType) -> IndexDefinition {
+        let name = format!("{}_{}_{}", id, data_type, pattern).to_lowercase();
+        IndexDefinition { id, name, pattern, data_type, is_virtual: false }
+    }
+
+    pub fn virtual_index(id: IndexId, pattern: LinearPath, data_type: DataType) -> IndexDefinition {
+        let mut def = IndexDefinition::new(id, pattern, data_type);
+        def.is_virtual = true;
+        def
+    }
+
+    /// DB2-style DDL for this index, for display in explain output.
+    pub fn ddl(&self, collection: &str) -> String {
+        format!(
+            "CREATE {}INDEX {} ON {} GENERATE KEY USING XMLPATTERN '{}' AS SQL {}",
+            if self.is_virtual { "VIRTUAL " } else { "" },
+            self.name,
+            collection,
+            self.pattern,
+            match self.data_type {
+                DataType::Varchar => "VARCHAR(64)",
+                DataType::Double => "DOUBLE",
+            }
+        )
+    }
+}
+
+impl fmt::Display for IndexDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} AS {}{}]",
+            self.id,
+            self.pattern,
+            self.data_type,
+            if self.is_virtual { ", virtual" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def() -> IndexDefinition {
+        IndexDefinition::new(
+            IndexId(7),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        )
+    }
+
+    #[test]
+    fn ddl_mentions_pattern_and_type() {
+        let d = def().ddl("auctions");
+        assert!(d.contains("XMLPATTERN '//item/price'"), "{d}");
+        assert!(d.contains("AS SQL DOUBLE"), "{d}");
+        assert!(!d.contains("VIRTUAL"), "{d}");
+    }
+
+    #[test]
+    fn virtual_ddl_is_marked() {
+        let mut d = def();
+        d.is_virtual = true;
+        assert!(d.ddl("auctions").starts_with("CREATE VIRTUAL INDEX"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(def().to_string(), "idx7[//item/price AS DOUBLE]");
+    }
+}

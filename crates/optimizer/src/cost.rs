@@ -1,0 +1,115 @@
+//! The cost model.
+//!
+//! Costs are in abstract units where reading one 4 KiB page sequentially
+//! costs 1.0. CPU work is charged per node/entry touched. The constants
+//! are deliberately simple — what matters for the advisor is that the
+//! model ranks plans the way a real optimizer would: index probes beat
+//! scans when selective, general indexes pay re-check overhead, and
+//! index maintenance has a per-entry price.
+
+/// Tunable cost constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Sequential page read.
+    pub page_io: f64,
+    /// Random page read (index leaf / document fetch).
+    pub random_io: f64,
+    /// Visiting one node during navigational evaluation.
+    pub cpu_node: f64,
+    /// Scanning one index entry.
+    pub cpu_entry: f64,
+    /// Re-checking one candidate's label path against the query path.
+    pub cpu_recheck: f64,
+    /// Fetching one candidate document for residual evaluation.
+    pub fetch: f64,
+    /// Per-entry index maintenance cost on insert/delete.
+    pub cpu_maintain: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            page_io: 1.0,
+            random_io: 2.0,
+            cpu_node: 0.002,
+            cpu_entry: 0.0005,
+            cpu_recheck: 0.002,
+            fetch: 0.05,
+            cpu_maintain: 0.001,
+        }
+    }
+}
+
+/// A cost estimate split into I/O and CPU components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryCost {
+    pub io: f64,
+    pub cpu: f64,
+}
+
+impl QueryCost {
+    pub fn new(io: f64, cpu: f64) -> QueryCost {
+        QueryCost { io, cpu }
+    }
+
+    pub fn total(&self) -> f64 {
+        self.io + self.cpu
+    }
+}
+
+impl std::ops::Add for QueryCost {
+    type Output = QueryCost;
+    fn add(self, rhs: QueryCost) -> QueryCost {
+        QueryCost { io: self.io + rhs.io, cpu: self.cpu + rhs.cpu }
+    }
+}
+
+impl std::ops::AddAssign for QueryCost {
+    fn add_assign(&mut self, rhs: QueryCost) {
+        self.io += rhs.io;
+        self.cpu += rhs.cpu;
+    }
+}
+
+impl std::fmt::Display for QueryCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} (io {:.2}, cpu {:.2})", self.total(), self.io, self.cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let a = QueryCost::new(10.0, 1.0);
+        let b = QueryCost::new(2.0, 0.5);
+        let c = a + b;
+        assert_eq!(c.total(), 13.5);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn default_model_orders_io_sensibly() {
+        let m = CostModel::default();
+        assert!(m.random_io > m.page_io);
+        assert!(m.cpu_node < m.page_io);
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let c = QueryCost::new(12.5, 0.75);
+        let text = c.to_string();
+        assert!(text.contains("13.25"));
+        assert!(text.contains("io 12.50"));
+        assert!(text.contains("cpu 0.75"));
+    }
+
+    #[test]
+    fn default_cost_is_zero() {
+        assert_eq!(QueryCost::default().total(), 0.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Plan enumeration and selection.
+//!
+//! For each required atom of the query, every catalog index is matched
+//! (`xia_index::match_index`) and costed as an access leg; the optimizer
+//! then compares a full document scan, the best single-leg plan, and an
+//! index-ANDing plan over the most selective legs, and keeps the cheapest.
+//!
+//! Cardinalities come from the path dictionary; value selectivities from
+//! the per-path histograms. Candidate verification is document-grained
+//! (an index leg yields candidate documents; residual predicates are
+//! evaluated navigationally on those documents), matching the executor's
+//! semantics so estimated and actual behaviour correspond.
+
+use crate::catalog::Catalog;
+use crate::cost::{CostModel, QueryCost};
+use crate::plan::{AccessPath, IndexLeg, Plan};
+use xia_index::{match_index, IndexDefinition, PathPredicate};
+use xia_xquery::{NormalizedQuery, QueryAtom};
+
+/// Maximum legs combined by index-ANDing.
+const MAX_AND_LEGS: usize = 3;
+
+/// Convert a query atom into the index layer's matching form.
+pub(crate) fn atom_predicate(atom: &QueryAtom) -> PathPredicate {
+    match &atom.value {
+        Some((op, lit)) => PathPredicate::with_value(atom.path.clone(), *op, lit.clone()),
+        None => PathPredicate::structural(atom.path.clone()),
+    }
+}
+
+/// Choose the cheapest plan for `query` against `catalog`.
+pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuery) -> Plan {
+    let stats = catalog.collection().stats();
+    let doc_count = (stats.doc_count as f64).max(1.0);
+    let avg_doc_pages = (stats.data_pages() as f64 / doc_count).max(0.25);
+    let avg_doc_nodes = (stats.total_nodes as f64 / doc_count).max(1.0);
+
+    // --- Baseline: full scan. -------------------------------------------
+    let scan_cost = QueryCost::new(
+        stats.data_pages() as f64 * model.page_io,
+        stats.total_nodes as f64 * model.cpu_node,
+    );
+    let est_results = estimate_results(catalog, query);
+    let doc_scan = Plan {
+        access: AccessPath::DocScan,
+        cost: scan_cost,
+        est_results,
+        est_docs_fetched: doc_count,
+    };
+
+    // --- Candidate legs per required atom. ------------------------------
+    let mut legs: Vec<IndexLeg> = Vec::new();
+    for (i, atom) in query.atoms.iter().enumerate() {
+        if !atom.required {
+            continue;
+        }
+        let pred = atom_predicate(atom);
+        let mut best: Option<IndexLeg> = None;
+        for def in catalog.indexes() {
+            if let Some(leg) = cost_leg(catalog, model, def, i, atom, &pred) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => leg_score(&leg, model) < leg_score(b, model),
+                };
+                if better {
+                    best = Some(leg);
+                }
+            }
+        }
+        if let Some(leg) = best {
+            legs.push(leg);
+        }
+    }
+
+    let mut plans = vec![doc_scan];
+
+    // --- Index-ORing for disjunctive predicates. ---------------------------
+    // An OR group is coverable when *every* branch has a usable leg: the
+    // union of per-branch candidate documents then over-approximates the
+    // qualifying documents, and navigational verification finishes the job.
+    {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<u32, BTreeMap<u32, Vec<usize>>> = BTreeMap::new();
+        for (i, atom) in query.atoms.iter().enumerate() {
+            if let Some((g, b)) = atom.or_group {
+                groups.entry(g).or_default().entry(b).or_default().push(i);
+            }
+        }
+        // One OR group per plan keeps things simple; pick the group whose
+        // union is most selective if several exist.
+        let mut best_or: Option<Plan> = None;
+        for branches in groups.values() {
+            let mut legs: Vec<IndexLeg> = Vec::new();
+            let mut covered = true;
+            for atom_idxs in branches.values() {
+                let mut best: Option<IndexLeg> = None;
+                for &i in atom_idxs {
+                    let atom = &query.atoms[i];
+                    let pred = atom_predicate(atom);
+                    for def in catalog.indexes() {
+                        if let Some(leg) = cost_leg(catalog, model, def, i, atom, &pred) {
+                            let better = best
+                                .as_ref()
+                                .is_none_or(|b| leg_score(&leg, model) < leg_score(b, model));
+                            if better {
+                                best = Some(leg);
+                            }
+                        }
+                    }
+                }
+                match best {
+                    Some(leg) => legs.push(leg),
+                    None => {
+                        covered = false;
+                        break;
+                    }
+                }
+            }
+            if !covered || legs.is_empty() {
+                continue;
+            }
+            let mut cost = QueryCost::default();
+            let mut docs_union = 0.0;
+            for leg in &legs {
+                cost += leg.cost;
+                docs_union += leg.est_results.min(doc_count);
+            }
+            let docs_fetched = docs_union.min(doc_count);
+            cost += QueryCost::new(
+                docs_fetched * model.random_io * avg_doc_pages.min(4.0),
+                docs_fetched * avg_doc_nodes * model.cpu_node,
+            );
+            let plan = Plan {
+                access: AccessPath::IndexOr { legs },
+                cost,
+                est_results,
+                est_docs_fetched: docs_fetched,
+            };
+            let better = best_or
+                .as_ref()
+                .is_none_or(|b| plan.cost.total() < b.cost.total());
+            if better {
+                best_or = Some(plan);
+            }
+        }
+        if let Some(p) = best_or {
+            plans.push(p);
+        }
+    }
+
+    // --- Index-only access for pure extraction queries. -------------------
+    // A query whose single atom is the extraction path (no predicates at
+    // all) can be answered entirely from a covering index's postings,
+    // DB2-style index-only access: no document is ever fetched.
+    if query.atoms.len() == 1 && query.atoms[0].is_extraction && query.atoms[0].exact {
+        let atom = &query.atoms[0];
+        let pred = atom_predicate(atom);
+        for def in catalog.indexes() {
+            let Some(matched) = xia_index::match_index(def, &pred) else { continue };
+            let istats = catalog.index_stats(def);
+            let entries = istats.entries as f64;
+            let est_results = stats.count_matching(&atom.path) as f64;
+            let mut cpu = entries * model.cpu_entry;
+            if matched.needs_path_recheck {
+                cpu += entries * model.cpu_recheck;
+            }
+            let leg = IndexLeg {
+                index: def.id,
+                pattern: def.pattern.clone(),
+                atom: 0,
+                matched,
+                est_entries_scanned: entries,
+                est_results,
+                cost: QueryCost::new(
+                    model.random_io * istats.btree_levels as f64 + istats.pages as f64,
+                    cpu,
+                ),
+            };
+            plans.push(Plan {
+                cost: leg.cost,
+                access: AccessPath::IndexOnly { leg },
+                est_results,
+                est_docs_fetched: 0.0,
+            });
+        }
+    }
+
+    // --- Single best leg. -------------------------------------------------
+    legs.sort_by(|a, b| {
+        leg_score(a, model)
+            .partial_cmp(&leg_score(b, model))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for take in 1..=legs.len().min(MAX_AND_LEGS) {
+        let chosen: Vec<IndexLeg> = legs[..take].to_vec();
+        plans.push(combine_legs(
+            chosen,
+            model,
+            doc_count,
+            avg_doc_pages,
+            avg_doc_nodes,
+            est_results,
+        ));
+    }
+
+    plans
+        .into_iter()
+        .min_by(|a, b| {
+            a.cost
+                .total()
+                .partial_cmp(&b.cost.total())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("at least the scan plan exists")
+}
+
+/// Rank legs by their own cost plus the downstream fetch work their
+/// output implies.
+fn leg_score(leg: &IndexLeg, model: &CostModel) -> f64 {
+    leg.cost.total() + leg.est_results * model.fetch
+}
+
+fn cost_leg(
+    catalog: &Catalog<'_>,
+    model: &CostModel,
+    def: &IndexDefinition,
+    atom_idx: usize,
+    atom: &QueryAtom,
+    pred: &PathPredicate,
+) -> Option<IndexLeg> {
+    let matched = match_index(def, pred)?;
+    let stats = catalog.collection().stats();
+    let istats = catalog.index_stats(def);
+    let entries = istats.entries as f64;
+
+    // Nodes actually reachable by the *query* path (≤ index entries).
+    let path_count = stats.count_matching(&atom.path) as f64;
+
+    let (entries_scanned, est_results) = if matched.structural_only {
+        // Full posting scan; value predicate (if any) applied after fetch.
+        (entries, path_count)
+    } else {
+        let (op, lit) = atom.value.as_ref().expect("sargable implies value");
+        // Fraction of *index keys* the probe selects.
+        let key_sel = stats.selectivity(&def.pattern, *op, lit);
+        // Fraction of *query path* nodes that satisfy the predicate.
+        let result_sel = stats.selectivity(&atom.path, *op, lit);
+        (entries * key_sel, path_count * result_sel)
+    };
+
+    let frac = if entries > 0.0 { (entries_scanned / entries).clamp(0.0, 1.0) } else { 0.0 };
+    let io = model.random_io * istats.btree_levels as f64 + istats.pages as f64 * frac;
+    let mut cpu = entries_scanned * model.cpu_entry;
+    if matched.needs_path_recheck {
+        cpu += entries_scanned * model.cpu_recheck;
+    }
+    Some(IndexLeg {
+        index: def.id,
+        pattern: def.pattern.clone(),
+        atom: atom_idx,
+        matched,
+        est_entries_scanned: entries_scanned,
+        est_results,
+        cost: QueryCost::new(io, cpu),
+    })
+}
+
+fn combine_legs(
+    legs: Vec<IndexLeg>,
+    model: &CostModel,
+    doc_count: f64,
+    avg_doc_pages: f64,
+    avg_doc_nodes: f64,
+    est_results: f64,
+) -> Plan {
+    let mut cost = QueryCost::default();
+    // Candidate documents after intersecting all legs, assuming
+    // independence: docs * prod(per-leg document selectivity).
+    let mut doc_frac = 1.0;
+    for leg in &legs {
+        cost += leg.cost;
+        let docs_leg = leg.est_results.min(doc_count);
+        doc_frac *= (docs_leg / doc_count).clamp(0.0, 1.0);
+    }
+    let docs_fetched = (doc_count * doc_frac).min(doc_count);
+    // Fetch candidate documents (random I/O) and verify navigationally.
+    cost += QueryCost::new(
+        docs_fetched * model.random_io * avg_doc_pages.min(4.0),
+        docs_fetched * avg_doc_nodes * model.cpu_node,
+    );
+    // Intersection bookkeeping.
+    if legs.len() > 1 {
+        let total_entries: f64 = legs.iter().map(|l| l.est_results).sum();
+        cost += QueryCost::new(0.0, total_entries * model.cpu_entry);
+    }
+    Plan {
+        access: AccessPath::IndexAccess { legs },
+        cost,
+        est_results,
+        est_docs_fetched: docs_fetched,
+    }
+}
+
+/// Estimated number of result nodes for the whole query.
+fn estimate_results(catalog: &Catalog<'_>, query: &NormalizedQuery) -> f64 {
+    let stats = catalog.collection().stats();
+    let base = query
+        .extraction()
+        .map(|e| stats.count_matching(&e.path) as f64)
+        .unwrap_or(0.0);
+    let mut sel = 1.0;
+    for atom in query.required_atoms() {
+        if let Some((op, lit)) = &atom.value {
+            sel *= stats.selectivity(&atom.path, *op, lit).clamp(0.0, 1.0);
+        }
+    }
+    base * sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_index::{DataType, IndexId};
+    use xia_storage::Collection;
+    use xia_xml::DocumentBuilder;
+    use xia_xpath::LinearPath;
+    use xia_xquery::compile;
+
+    /// A collection with enough items that scans are clearly worse than
+    /// selective index probes.
+    fn collection(n: usize) -> Collection {
+        let mut c = Collection::new("auctions");
+        for i in 0..n {
+            let mut b = DocumentBuilder::new();
+            b.open("site");
+            b.open("item");
+            b.attr("id", &format!("i{i}"));
+            b.leaf("price", &format!("{}", (i % 100) as f64));
+            b.leaf("name", &format!("thing{}", i % 7));
+            b.close();
+            b.close();
+            c.insert(b.finish().unwrap());
+        }
+        c
+    }
+
+    fn q(text: &str) -> NormalizedQuery {
+        compile(text, "auctions").unwrap()
+    }
+
+    #[test]
+    fn no_indexes_means_docscan() {
+        let c = collection(50);
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(&cat, &CostModel::default(), &q("//item[price = 3]/name"));
+        assert_eq!(plan.access, AccessPath::DocScan);
+    }
+
+    #[test]
+    fn selective_index_beats_scan() {
+        let mut c = collection(500);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(&cat, &CostModel::default(), &q("//item[price = 3]/name"));
+        assert!(plan.uses_indexes(), "plan: {}", plan.render("q"));
+        assert_eq!(plan.used_indexes(), vec![IndexId(1)]);
+    }
+
+    #[test]
+    fn virtual_index_is_chosen_like_a_real_one() {
+        let c = collection(500);
+        let vdef = IndexDefinition::new(
+            IndexId(7),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        );
+        let cat = Catalog::with_virtuals(&c, vec![vdef]);
+        let plan = optimize(&cat, &CostModel::default(), &q("//item[price = 3]/name"));
+        assert_eq!(plan.used_indexes(), vec![IndexId(7)]);
+    }
+
+    #[test]
+    fn unselective_predicate_prefers_scan() {
+        let mut c = collection(300);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        let cat = Catalog::real_only(&c);
+        // price >= 0 selects everything; scanning is cheaper than probing
+        // the index and fetching every document.
+        let plan = optimize(&cat, &CostModel::default(), &q("//item[price >= 0]/name"));
+        assert_eq!(plan.access, AccessPath::DocScan, "plan: {}", plan.render("q"));
+    }
+
+    #[test]
+    fn index_anding_on_two_predicates() {
+        let mut c = collection(800);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        c.create_index(IndexDefinition::new(
+            IndexId(2),
+            LinearPath::parse("//item/name").unwrap(),
+            DataType::Varchar,
+        ));
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(
+            &cat,
+            &CostModel::default(),
+            &q(r#"//item[price = 3 and name = "thing2"]"#),
+        );
+        assert!(plan.uses_indexes());
+        let used = plan.used_indexes();
+        assert!(!used.is_empty(), "expected at least one leg: {}", plan.render("q"));
+    }
+
+    #[test]
+    fn more_specific_index_wins_over_general() {
+        let mut c = collection(500);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//*").unwrap(),
+            DataType::Varchar,
+        ));
+        c.create_index(IndexDefinition::new(
+            IndexId(2),
+            LinearPath::parse("//item/name").unwrap(),
+            DataType::Varchar,
+        ));
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(
+            &cat,
+            &CostModel::default(),
+            &q(r#"//item[name = "thing2"]"#),
+        );
+        assert_eq!(plan.used_indexes(), vec![IndexId(2)], "plan: {}", plan.render("q"));
+    }
+
+    #[test]
+    fn estimated_results_reflect_selectivity() {
+        let c = collection(100);
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(&cat, &CostModel::default(), &q("//item[price = 3]/name"));
+        // 1 of 100 distinct prices (i % 100) → ~1 result.
+        assert!(plan.est_results >= 0.5 && plan.est_results <= 2.0, "{}", plan.est_results);
+    }
+
+    #[test]
+    fn empty_collection_still_plans() {
+        let c = Collection::new("empty");
+        let cat = Catalog::real_only(&c);
+        let plan = optimize(&cat, &CostModel::default(), &q("//item/name"));
+        assert_eq!(plan.access, AccessPath::DocScan);
+        assert_eq!(plan.est_results, 0.0);
+    }
+}

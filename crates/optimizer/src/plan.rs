@@ -1,0 +1,186 @@
+//! Query execution plans.
+
+use crate::cost::QueryCost;
+use xia_index::{IndexId, IndexMatch};
+use xia_xpath::LinearPath;
+
+/// One index access within a plan: which index serves which query atom,
+/// and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexLeg {
+    pub index: IndexId,
+    /// The index's pattern (kept for explain output).
+    pub pattern: LinearPath,
+    /// Index of the atom (into `NormalizedQuery::atoms`) this leg covers.
+    pub atom: usize,
+    /// How the index matched (re-check / sargability).
+    pub matched: IndexMatch,
+    /// Estimated entries this leg touches in the index.
+    pub est_entries_scanned: f64,
+    /// Estimated candidates the leg produces after the value predicate
+    /// and (if needed) the path re-check.
+    pub est_results: f64,
+    /// Estimated cost of running this leg alone.
+    pub cost: QueryCost,
+}
+
+/// How the plan reaches qualifying documents/nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every document, evaluate the query navigationally.
+    DocScan,
+    /// Probe one or more indexes, intersect candidates, then verify on
+    /// the fetched documents.
+    IndexAccess { legs: Vec<IndexLeg> },
+    /// Answer a pure extraction query entirely from one index's postings
+    /// (with a per-posting path re-check when the pattern is more general
+    /// than the query path) — no document fetch at all.
+    IndexOnly { leg: IndexLeg },
+    /// Index-ORing: one leg per branch of a disjunctive predicate; the
+    /// per-leg candidate documents are unioned, then verified.
+    IndexOr { legs: Vec<IndexLeg> },
+}
+
+/// A costed plan for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub access: AccessPath,
+    /// Total estimated cost (access + fetch + residual verification).
+    pub cost: QueryCost,
+    /// Estimated number of result nodes.
+    pub est_results: f64,
+    /// Estimated candidate documents fetched (IndexAccess only).
+    pub est_docs_fetched: f64,
+}
+
+impl Plan {
+    /// Ids of the indexes the plan uses, in leg order.
+    pub fn used_indexes(&self) -> Vec<IndexId> {
+        match &self.access {
+            AccessPath::DocScan => Vec::new(),
+            AccessPath::IndexAccess { legs } | AccessPath::IndexOr { legs } => {
+                legs.iter().map(|l| l.index).collect()
+            }
+            AccessPath::IndexOnly { leg } => vec![leg.index],
+        }
+    }
+
+    /// True if the plan uses any index.
+    pub fn uses_indexes(&self) -> bool {
+        match &self.access {
+            AccessPath::DocScan => false,
+            AccessPath::IndexAccess { legs } | AccessPath::IndexOr { legs } => !legs.is_empty(),
+            AccessPath::IndexOnly { .. } => true,
+        }
+    }
+
+    /// Multi-line explain text, in the spirit of DB2's explain output.
+    pub fn render(&self, query_text: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Query: {query_text}\n"));
+        out.push_str(&format!(
+            "Estimated cost: {} | est. results: {:.1}\n",
+            self.cost, self.est_results
+        ));
+        match &self.access {
+            AccessPath::DocScan => out.push_str("  -> XSCAN (full collection scan)\n"),
+            AccessPath::IndexOnly { leg } => {
+                out.push_str(&format!(
+                    "  -> XISCAN-ONLY {} pattern='{}'{} (entries {:.1}, out {:.1}, cost {})\n",
+                    leg.index,
+                    leg.pattern,
+                    if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                    leg.est_entries_scanned,
+                    leg.est_results,
+                    leg.cost,
+                ));
+            }
+            AccessPath::IndexOr { legs } => {
+                out.push_str("  -> IXOR (index ORing)\n");
+                for leg in legs {
+                    out.push_str(&format!(
+                        "  -> XISCAN {} pattern='{}'{}{} (entries {:.1}, out {:.1}, cost {})\n",
+                        leg.index,
+                        leg.pattern,
+                        if leg.matched.structural_only { " [structural]" } else { " [sargable]" },
+                        if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                        leg.est_entries_scanned,
+                        leg.est_results,
+                        leg.cost,
+                    ));
+                }
+                out.push_str(&format!(
+                    "  -> FETCH + residual predicates ({:.1} docs)\n",
+                    self.est_docs_fetched
+                ));
+            }
+            AccessPath::IndexAccess { legs } => {
+                if legs.len() > 1 {
+                    out.push_str("  -> IXAND (index ANDing)\n");
+                }
+                for leg in legs {
+                    out.push_str(&format!(
+                        "  -> XISCAN {} pattern='{}'{}{} (entries {:.1}, out {:.1}, cost {})\n",
+                        leg.index,
+                        leg.pattern,
+                        if leg.matched.structural_only { " [structural]" } else { " [sargable]" },
+                        if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                        leg.est_entries_scanned,
+                        leg.est_results,
+                        leg.cost,
+                    ));
+                }
+                out.push_str(&format!(
+                    "  -> FETCH + residual predicates ({:.1} docs)\n",
+                    self.est_docs_fetched
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_index::IndexMatch;
+
+    #[test]
+    fn render_docscan() {
+        let p = Plan {
+            access: AccessPath::DocScan,
+            cost: QueryCost::new(10.0, 2.0),
+            est_results: 5.0,
+            est_docs_fetched: 0.0,
+        };
+        let text = p.render("//a");
+        assert!(text.contains("XSCAN"));
+        assert!(p.used_indexes().is_empty());
+        assert!(!p.uses_indexes());
+    }
+
+    #[test]
+    fn render_index_access() {
+        let leg = IndexLeg {
+            index: IndexId(3),
+            pattern: LinearPath::parse("//price").unwrap(),
+            atom: 0,
+            matched: IndexMatch { needs_path_recheck: true, structural_only: false },
+            est_entries_scanned: 100.0,
+            est_results: 10.0,
+            cost: QueryCost::new(3.0, 0.1),
+        };
+        let p = Plan {
+            access: AccessPath::IndexAccess { legs: vec![leg] },
+            cost: QueryCost::new(4.0, 0.2),
+            est_results: 10.0,
+            est_docs_fetched: 8.0,
+        };
+        let text = p.render("//item[price>10]");
+        assert!(text.contains("XISCAN idx3"));
+        assert!(text.contains("[sargable]"));
+        assert!(text.contains("[recheck]"));
+        assert_eq!(p.used_indexes(), vec![IndexId(3)]);
+        assert!(p.uses_indexes());
+    }
+}

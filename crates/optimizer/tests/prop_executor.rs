@@ -1,0 +1,170 @@
+//! End-to-end property test: for random documents, random queries and
+//! random physical index configurations, the optimizer's chosen plan
+//! executes to exactly the same results as pure navigational evaluation.
+//!
+//! This is the system's central safety property — indexes may change how
+//! much work a query takes, never what it returns.
+
+use proptest::prelude::*;
+use xia_index::{DataType, IndexDefinition, IndexId};
+use xia_optimizer::{execute, explain, CostModel};
+use xia_storage::{Collection, DocId};
+use xia_xml::DocumentBuilder;
+use xia_xpath::LinearPath;
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+/// Small random documents over a fixed vocabulary so queries hit often.
+fn doc_strategy() -> impl Strategy<Value = xia_xml::Document> {
+    #[derive(Debug, Clone)]
+    struct T(&'static str, Option<u8>, Vec<T>);
+    let label = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    let leaf = (label.clone(), prop::option::of(0u8..20)).prop_map(|(l, v)| T(l, v, vec![]));
+    let tree = leaf.prop_recursive(3, 16, 3, move |inner| {
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(l, kids)| T(l, None, kids))
+    });
+    tree.prop_map(|t| {
+        fn rec(b: &mut DocumentBuilder, t: &T) {
+            b.open(t.0);
+            if let Some(v) = t.1 {
+                b.text(&v.to_string());
+            }
+            for k in &t.2 {
+                rec(b, k);
+            }
+            b.close();
+        }
+        let mut b = DocumentBuilder::new();
+        b.open("r"); // fixed root so absolute paths can match
+        rec(&mut b, &t);
+        b.close();
+        b.finish().unwrap()
+    })
+}
+
+/// Random queries of the supported fragment, as text.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let label = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d"), Just("*")];
+    let axis = prop_oneof![Just("/"), Just("//")];
+    let steps = prop::collection::vec((axis, label), 1..4).prop_map(|steps| {
+        steps.into_iter().map(|(a, l)| format!("{a}{l}")).collect::<String>()
+    });
+    let pred = prop_oneof![
+        Just(String::new()),
+        (prop_oneof![Just("a"), Just("b"), Just("c")], 0u8..20, prop_oneof![
+            Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")
+        ])
+            .prop_map(|(l, v, op)| format!("[{l} {op} {v}]")),
+        prop_oneof![Just("a"), Just("b")].prop_map(|l| format!("[{l}]")),
+        (prop_oneof![Just("a"), Just("b")], 0u8..20, prop_oneof![Just("a"), Just("c")], 0u8..20)
+            .prop_map(|(l1, v1, l2, v2)| format!("[{l1} = {v1} and {l2} < {v2}]")),
+    ];
+    (steps, pred, prop_oneof![Just(""), Just("/a"), Just("/b")]).prop_map(
+        |(steps, pred, tail)| format!("/r{steps}{pred}{tail}"),
+    )
+}
+
+/// Random index configurations over the same vocabulary.
+fn config_strategy() -> impl Strategy<Value = Vec<(String, DataType)>> {
+    let pattern = prop_oneof![
+        Just("//*"),
+        Just("//a"),
+        Just("//b"),
+        Just("//c"),
+        Just("//d"),
+        Just("//a/b"),
+        Just("//b/c"),
+        Just("/r//a"),
+        Just("/r/*"),
+        Just("//*/a"),
+        Just("//a//c"),
+    ];
+    let ty = prop_oneof![Just(DataType::Varchar), Just(DataType::Double)];
+    prop::collection::vec((pattern.prop_map(str::to_string), ty), 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn chosen_plans_match_ground_truth(
+        docs in prop::collection::vec(doc_strategy(), 1..8),
+        queries in prop::collection::vec(query_strategy(), 1..5),
+        config in config_strategy(),
+    ) {
+        let mut coll = Collection::new("c");
+        for d in docs {
+            coll.insert(d);
+        }
+        for (i, (pat, ty)) in config.iter().enumerate() {
+            coll.create_index(IndexDefinition::new(
+                IndexId(i as u32),
+                LinearPath::parse(pat).unwrap(),
+                *ty,
+            ));
+        }
+        let model = CostModel::default();
+        for text in &queries {
+            let Ok(q) = xia_xquery::compile(text, "c") else { continue };
+            let ex = explain(&coll, &model, &q);
+            let (got, _) = execute(&coll, &q, &ex.plan).unwrap();
+            let got: Vec<(DocId, u32)> =
+                got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+            let mut want: Vec<(DocId, u32)> = Vec::new();
+            for (id, doc) in coll.documents() {
+                for n in q.run_on_document(doc) {
+                    want.push((id, n.as_u32()));
+                }
+            }
+            prop_assert_eq!(
+                &got, &want,
+                "plan for {} disagrees with ground truth under config {:?}:\n{}",
+                text, config, ex.text
+            );
+        }
+    }
+
+    /// Index maintenance under churn preserves the agreement.
+    #[test]
+    fn agreement_survives_churn(
+        docs in prop::collection::vec(doc_strategy(), 4..10),
+        kill in prop::collection::vec(0usize..10, 1..4),
+        query in query_strategy(),
+    ) {
+        let mut coll = Collection::new("c");
+        coll.create_index(IndexDefinition::new(
+            IndexId(0),
+            LinearPath::parse("//*").unwrap(),
+            DataType::Varchar,
+        ));
+        coll.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//b").unwrap(),
+            DataType::Double,
+        ));
+        let n = docs.len();
+        for d in docs {
+            coll.insert(d);
+        }
+        for k in kill {
+            coll.delete(DocId((k % n) as u32));
+        }
+        let Ok(q) = xia_xquery::compile(&query, "c") else { return Ok(()) };
+        let ex = explain(&coll, &CostModel::default(), &q);
+        let (got, _) = execute(&coll, &q, &ex.plan).unwrap();
+        let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+        let mut want: Vec<(DocId, u32)> = Vec::new();
+        for (id, doc) in coll.documents() {
+            for node in q.run_on_document(doc) {
+                want.push((id, node.as_u32()));
+            }
+        }
+        prop_assert_eq!(got, want, "post-churn disagreement for {}", query);
+    }
+}

@@ -1,0 +1,91 @@
+//! The top-level database: named collections plus an index-id allocator.
+
+use crate::collection::Collection;
+use std::collections::BTreeMap;
+use xia_index::IndexId;
+
+/// An in-memory XML database instance.
+///
+/// Collections are independent (each has its own path dictionary,
+/// statistics and indexes); the database allocates globally unique index
+/// ids so explain output and advisor recommendations can name indexes
+/// unambiguously.
+#[derive(Debug, Default)]
+pub struct Database {
+    collections: BTreeMap<String, Collection>,
+    next_index_id: u32,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create an empty collection. Returns false if the name is taken.
+    pub fn create_collection(&mut self, name: &str) -> bool {
+        if self.collections.contains_key(name) {
+            return false;
+        }
+        self.collections.insert(name.to_string(), Collection::new(name));
+        true
+    }
+
+    pub fn collection(&self, name: &str) -> Option<&Collection> {
+        self.collections.get(name)
+    }
+
+    pub fn collection_mut(&mut self, name: &str) -> Option<&mut Collection> {
+        self.collections.get_mut(name)
+    }
+
+    /// Iterate collections in name order.
+    pub fn collections(&self) -> impl Iterator<Item = &Collection> {
+        self.collections.values()
+    }
+
+    /// Allocate a fresh index id (shared across real and virtual indexes).
+    pub fn allocate_index_id(&mut self) -> IndexId {
+        let id = IndexId(self.next_index_id);
+        self.next_index_id += 1;
+        id
+    }
+
+    /// Total pages across all collections (data + indexes).
+    pub fn total_pages(&self) -> u64 {
+        self.collections.values().map(Collection::total_pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xml::Document;
+
+    #[test]
+    fn create_and_lookup_collections() {
+        let mut db = Database::new();
+        assert!(db.create_collection("auctions"));
+        assert!(!db.create_collection("auctions"), "duplicate rejected");
+        assert!(db.collection("auctions").is_some());
+        assert!(db.collection("missing").is_none());
+    }
+
+    #[test]
+    fn index_ids_are_unique() {
+        let mut db = Database::new();
+        let a = db.allocate_index_id();
+        let b = db.allocate_index_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn total_pages_spans_collections() {
+        let mut db = Database::new();
+        db.create_collection("a");
+        db.create_collection("b");
+        db.collection_mut("a")
+            .unwrap()
+            .insert(Document::parse("<x><y>1</y></x>").unwrap());
+        assert!(db.total_pages() >= 2);
+    }
+}

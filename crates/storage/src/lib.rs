@@ -1,0 +1,26 @@
+//! # xia-storage
+//!
+//! The XML database substrate standing in for DB2 pureXML: named
+//! collections of XML documents with page-based size accounting, a
+//! DB2-style *path dictionary* (one entry per distinct root-to-node label
+//! path), per-path value statistics with equi-depth histograms, physical
+//! XML pattern indexes maintained under insert/delete, and the update
+//! cost accounting the advisor charges against index benefit.
+//!
+//! The query optimizer (`xia-optimizer`) consumes three things from this
+//! layer: cardinalities (`count_matching` over the path dictionary),
+//! value selectivities (histograms), and page counts — the same inputs
+//! DB2's optimizer reads from its catalog statistics.
+
+pub mod collection;
+pub mod database;
+pub mod persist;
+pub mod stats;
+
+pub use collection::{Collection, DocId, UpdateReport};
+pub use database::Database;
+pub use persist::{load_collection, load_database, save_collection, save_database, PersistError};
+pub use stats::{CollectionStats, PathId, PathStats, ValueDist};
+
+/// Simulated page size shared with the index layer.
+pub const PAGE_SIZE: usize = xia_index::physical::PAGE_SIZE;

@@ -1,0 +1,312 @@
+//! Disk persistence: save/load collections and databases as snapshots.
+//!
+//! Layout (one directory per collection):
+//!
+//! ```text
+//! <dir>/manifest.txt       # name, doc count, index DDL lines
+//! <dir>/docs/000000.xml    # one file per live document
+//! ```
+//!
+//! Documents are stored as plain XML (the round-trippable serialization
+//! from `xia-xml`); indexes are stored as definitions and rebuilt on
+//! load. Loading compacts document ids (dead slots are not persisted).
+
+use crate::collection::Collection;
+use crate::database::Database;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use xia_index::{DataType, IndexDefinition, IndexId};
+use xia_xml::Document;
+use xia_xpath::LinearPath;
+
+/// Errors raised by snapshot save/load.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    /// A document file failed to parse.
+    BadDocument { file: String, error: String },
+    /// The manifest is missing or malformed.
+    BadManifest(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadDocument { file, error } => {
+                write!(f, "document {file} failed to parse: {error}")
+            }
+            PersistError::BadManifest(msg) => write!(f, "bad manifest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const MANIFEST: &str = "manifest.txt";
+const DOCS_DIR: &str = "docs";
+
+/// Save a collection snapshot into `dir` (created if absent; existing
+/// snapshot files are replaced).
+pub fn save_collection(coll: &Collection, dir: &Path) -> Result<(), PersistError> {
+    let docs_dir = dir.join(DOCS_DIR);
+    if docs_dir.exists() {
+        fs::remove_dir_all(&docs_dir)?;
+    }
+    fs::create_dir_all(&docs_dir)?;
+
+    let mut manifest = fs::File::create(dir.join(MANIFEST))?;
+    writeln!(manifest, "collection {}", coll.name())?;
+    for ix in coll.indexes() {
+        let def = ix.definition();
+        writeln!(manifest, "index {} {} {}", def.id.0, def.data_type, def.pattern)?;
+    }
+    let mut count = 0usize;
+    for (_, doc) in coll.documents() {
+        let file = docs_dir.join(format!("{count:06}.xml"));
+        fs::write(file, xia_xml::serialize(doc))?;
+        count += 1;
+    }
+    writeln!(manifest, "documents {count}")?;
+    Ok(())
+}
+
+/// Load a collection snapshot from `dir`. Document ids are compacted to
+/// `0..n` in saved order; statistics and indexes are rebuilt.
+pub fn load_collection(dir: &Path) -> Result<Collection, PersistError> {
+    let manifest = fs::read_to_string(dir.join(MANIFEST))
+        .map_err(|e| PersistError::BadManifest(format!("{}: {e}", dir.display())))?;
+    let mut name = None;
+    let mut expected_docs: Option<usize> = None;
+    let mut index_defs: Vec<IndexDefinition> = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "collection" => name = Some(rest.to_string()),
+            "index" => {
+                let mut parts = rest.splitn(3, ' ');
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| PersistError::BadManifest(format!("index line: {line}")))?;
+                let ty = match parts.next() {
+                    Some("VARCHAR") => DataType::Varchar,
+                    Some("DOUBLE") => DataType::Double,
+                    other => {
+                        return Err(PersistError::BadManifest(format!(
+                            "unknown index type {other:?}"
+                        )))
+                    }
+                };
+                let pattern = parts
+                    .next()
+                    .ok_or_else(|| PersistError::BadManifest(format!("index line: {line}")))?;
+                let pattern = LinearPath::parse(pattern)
+                    .map_err(|e| PersistError::BadManifest(format!("pattern: {e}")))?;
+                index_defs.push(IndexDefinition::new(IndexId(id), pattern, ty));
+            }
+            "documents" => {
+                expected_docs = rest.trim().parse::<usize>().ok();
+            }
+            other => {
+                return Err(PersistError::BadManifest(format!("unknown line kind {other:?}")))
+            }
+        }
+    }
+    let name = name.ok_or_else(|| PersistError::BadManifest("missing collection name".into()))?;
+
+    let mut coll = Collection::new(name);
+    let docs_dir = dir.join(DOCS_DIR);
+    let mut files: Vec<_> = fs::read_dir(&docs_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+        .collect();
+    files.sort();
+    for file in files {
+        let text = fs::read_to_string(&file)?;
+        let doc = Document::parse(&text).map_err(|e| PersistError::BadDocument {
+            file: file.display().to_string(),
+            error: e.to_string(),
+        })?;
+        coll.insert(doc);
+    }
+    if let Some(expected) = expected_docs {
+        if coll.len() != expected {
+            return Err(PersistError::BadManifest(format!(
+                "snapshot has {} document files but the manifest recorded {expected} \
+                 (partial copy or interrupted save?)",
+                coll.len()
+            )));
+        }
+    }
+    for def in index_defs {
+        coll.create_index(def);
+    }
+    Ok(coll)
+}
+
+/// Save every collection of `db` into `<dir>/<collection-name>/`.
+pub fn save_database(db: &Database, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    for coll in db.collections() {
+        save_collection(coll, &dir.join(coll.name()))?;
+    }
+    Ok(())
+}
+
+/// Load a database saved by [`save_database`]: every subdirectory with a
+/// manifest becomes a collection.
+pub fn load_database(dir: &Path) -> Result<Database, PersistError> {
+    let mut db = Database::new();
+    let mut subdirs: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join(MANIFEST).exists())
+        .collect();
+    subdirs.sort();
+    for sub in subdirs {
+        let coll = load_collection(&sub)?;
+        let name = coll.name().to_string();
+        db.create_collection(&name);
+        *db.collection_mut(&name).expect("just created") = coll;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xml::Document;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xia_persist_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_collection() -> Collection {
+        let mut c = Collection::new("shop");
+        for i in 0..5 {
+            let xml = format!(
+                r#"<shop><item id="i{i}"><price>{}</price><note>a &amp; b</note></item></shop>"#,
+                i * 10
+            );
+            c.insert(Document::parse(&xml).unwrap());
+        }
+        c.create_index(IndexDefinition::new(
+            IndexId(3),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        c
+    }
+
+    #[test]
+    fn collection_round_trip() {
+        let dir = tmp("coll");
+        let orig = sample_collection();
+        save_collection(&orig, &dir).unwrap();
+        let loaded = load_collection(&dir).unwrap();
+
+        assert_eq!(loaded.name(), "shop");
+        assert_eq!(loaded.len(), orig.len());
+        // Documents byte-identical in saved order.
+        for ((_, a), (_, b)) in orig.documents().zip(loaded.documents()) {
+            assert_eq!(xia_xml::serialize(a), xia_xml::serialize(b));
+        }
+        // Index rebuilt with same definition and contents.
+        let ix = loaded.index(IndexId(3)).expect("index restored");
+        assert_eq!(ix.definition().pattern.to_string(), "//item/price");
+        assert_eq!(ix.len(), orig.index(IndexId(3)).unwrap().len());
+        // Statistics rebuilt.
+        let p = LinearPath::parse("//item/price").unwrap();
+        assert_eq!(loaded.stats().count_matching(&p), orig.stats().count_matching(&p));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleted_documents_are_compacted() {
+        let dir = tmp("compact");
+        let mut orig = sample_collection();
+        orig.delete(crate::DocId(1)).unwrap();
+        orig.delete(crate::DocId(3)).unwrap();
+        save_collection(&orig, &dir).unwrap();
+        let loaded = load_collection(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        let ids: Vec<u32> = loaded.documents().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2], "ids compacted");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let dir = tmp("db");
+        let mut db = Database::new();
+        db.create_collection("a");
+        db.collection_mut("a").unwrap().insert(Document::parse("<x><y>1</y></x>").unwrap());
+        db.create_collection("b");
+        db.collection_mut("b").unwrap().insert(Document::parse("<z/>").unwrap());
+        save_database(&db, &dir).unwrap();
+        let loaded = load_database(&dir).unwrap();
+        assert_eq!(loaded.collections().count(), 2);
+        assert_eq!(loaded.collection("a").unwrap().len(), 1);
+        assert_eq!(loaded.collection("b").unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = tmp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        let err = load_collection(&dir).unwrap_err();
+        assert!(matches!(err, PersistError::BadManifest(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_document_is_reported() {
+        let dir = tmp("corrupt");
+        save_collection(&sample_collection(), &dir).unwrap();
+        fs::write(dir.join("docs/000002.xml"), "<broken>").unwrap();
+        let err = load_collection(&dir).unwrap_err();
+        assert!(matches!(err, PersistError::BadDocument { .. }), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_document_file_is_detected() {
+        let dir = tmp("count");
+        save_collection(&sample_collection(), &dir).unwrap();
+        fs::remove_file(dir.join("docs/000004.xml")).unwrap();
+        let err = load_collection(&dir).unwrap_err();
+        assert!(
+            matches!(err, PersistError::BadManifest(_)),
+            "doc-count mismatch must be reported, got {err}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_is_idempotent_overwrite() {
+        let dir = tmp("idem");
+        let orig = sample_collection();
+        save_collection(&orig, &dir).unwrap();
+        save_collection(&orig, &dir).unwrap(); // second save replaces
+        let loaded = load_collection(&dir).unwrap();
+        assert_eq!(loaded.len(), 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

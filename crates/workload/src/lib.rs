@@ -1,0 +1,29 @@
+//! # xia-workload
+//!
+//! Deterministic synthetic data and query generators standing in for the
+//! XMark and TPoX benchmarks the demo uses ("XML data from standard
+//! benchmarks such as XMark and TPoX; the workloads used consist of the
+//! standard benchmark queries augmented with synthetic queries").
+//!
+//! The real benchmark kits (XML documents + query sets) are not
+//! redistributable here, so these generators reproduce the *structural
+//! properties* the advisor experiments depend on:
+//!
+//! * **XMark-like** auction data: a `site` tree with regional item
+//!   subtrees (so generalization finds `/site/regions/*/item/...`),
+//!   people with profiles, and open/closed auctions with value-bearing
+//!   leaves for selective predicates.
+//! * **TPoX-like** financial data: FIXML-flavoured orders (attribute
+//!   heavy), customer accounts, and securities — three differently-shaped
+//!   collections.
+//!
+//! All generation is seeded (`rand::SmallRng`) and therefore
+//! reproducible: the same config always yields byte-identical documents.
+
+pub mod synth;
+pub mod tpox;
+pub mod xmark;
+
+pub use synth::{synthetic_variations, SynthConfig};
+pub use tpox::{tpox_queries, TpoxConfig, TpoxGen};
+pub use xmark::{xmark_queries, XMarkConfig, XMarkGen};

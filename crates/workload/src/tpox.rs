@@ -1,0 +1,227 @@
+//! TPoX-like financial transaction data generator.
+//!
+//! TPoX (Transaction Processing over XML) models a brokerage: FIXML
+//! orders, customer accounts, and securities. This generator reproduces
+//! the three document shapes — notably the attribute-heavy FIXML orders,
+//! which exercise attribute index patterns (`/FIXML/Order/@Acct`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xia_xml::{Document, DocumentBuilder};
+
+const SYMBOLS: [&str; 10] =
+    ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "INTC", "AMD", "CSCO", "DELL", "HPQ"];
+const SECTORS: [&str; 5] = ["Technology", "Energy", "Finance", "Health", "Consumer"];
+const SEC_TYPES: [&str; 3] = ["Stock", "Bond", "Fund"];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpoxConfig {
+    pub orders: usize,
+    pub customers: usize,
+    pub securities: usize,
+    pub seed: u64,
+}
+
+impl Default for TpoxConfig {
+    fn default() -> Self {
+        TpoxConfig { orders: 200, customers: 50, securities: 40, seed: 7 }
+    }
+}
+
+/// The TPoX-like generator. Each `*_docs` method produces one collection's
+/// documents; `populate_all` fills a three-collection database.
+#[derive(Debug, Clone)]
+pub struct TpoxGen {
+    pub config: TpoxConfig,
+}
+
+impl TpoxGen {
+    pub fn new(config: TpoxConfig) -> TpoxGen {
+        TpoxGen { config }
+    }
+
+    /// FIXML-style order documents (attribute heavy).
+    pub fn order_docs(&self) -> Vec<Document> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        (0..self.config.orders)
+            .map(|i| {
+                let mut b = DocumentBuilder::new();
+                b.open("FIXML");
+                b.open("Order");
+                b.attr("ID", &format!("103_{i}"));
+                b.attr("Side", if rng.gen_bool(0.5) { "1" } else { "2" });
+                b.attr("Acct", &format!("ACCT{:05}", rng.gen_range(0..self.config.customers.max(1))));
+                b.attr("TrdDt", &date(&mut rng));
+                b.open("Instrmt");
+                b.attr("Sym", SYMBOLS[rng.gen_range(0..SYMBOLS.len())]);
+                b.attr("Typ", "CS");
+                b.close();
+                b.open("OrdQty");
+                b.attr("Qty", &format!("{}", rng.gen_range(1..5000)));
+                b.close();
+                b.leaf("Px", &format!("{:.2}", rng.gen_range(5.0..2000.0)));
+                b.leaf("Ccy", "USD");
+                b.close();
+                b.close();
+                b.finish().expect("balanced")
+            })
+            .collect()
+    }
+
+    /// Customer account documents.
+    pub fn custacc_docs(&self) -> Vec<Document> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        (0..self.config.customers)
+            .map(|i| {
+                let mut b = DocumentBuilder::new();
+                b.open("Customer");
+                b.attr("id", &format!("C{i:05}"));
+                b.leaf("Name", &format!("Customer {i}"));
+                b.open("Nationality");
+                b.text(if rng.gen_bool(0.6) { "US" } else { "DE" });
+                b.close();
+                b.open("Accounts");
+                let accounts = rng.gen_range(1..4);
+                for a in 0..accounts {
+                    b.open("Account");
+                    b.attr("id", &format!("ACCT{:05}", i * 3 + a));
+                    b.leaf("Balance", &format!("{:.2}", rng.gen_range(0.0..1_000_000.0)));
+                    b.leaf("Currency", "USD");
+                    b.open("Holdings");
+                    let holdings = rng.gen_range(1..5);
+                    for _ in 0..holdings {
+                        b.open("Position");
+                        b.leaf("Symbol", SYMBOLS[rng.gen_range(0..SYMBOLS.len())]);
+                        b.leaf("Quantity", &format!("{}", rng.gen_range(1..1000)));
+                        b.close();
+                    }
+                    b.close();
+                    b.close();
+                }
+                b.close();
+                b.close();
+                b.finish().expect("balanced")
+            })
+            .collect()
+    }
+
+    /// Security reference documents.
+    pub fn security_docs(&self) -> Vec<Document> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed.wrapping_add(2));
+        (0..self.config.securities)
+            .map(|i| {
+                let mut b = DocumentBuilder::new();
+                b.open("Security");
+                b.leaf("Symbol", &format!("{}{}", SYMBOLS[i % SYMBOLS.len()], i / SYMBOLS.len()));
+                b.leaf("Name", &format!("Security {i}"));
+                b.leaf("SecurityType", SEC_TYPES[rng.gen_range(0..SEC_TYPES.len())]);
+                b.open("SecurityInformation");
+                b.leaf("Sector", SECTORS[rng.gen_range(0..SECTORS.len())]);
+                b.close();
+                b.leaf("Price", &format!("{:.2}", rng.gen_range(1.0..3000.0)));
+                b.leaf("Yield", &format!("{:.2}", rng.gen_range(0.0..9.0)));
+                b.close();
+                b.finish().expect("balanced")
+            })
+            .collect()
+    }
+
+    /// Create and fill the three TPoX collections in `db`.
+    pub fn populate_all(&self, db: &mut xia_storage::Database) {
+        for (name, docs) in [
+            ("order", self.order_docs()),
+            ("custacc", self.custacc_docs()),
+            ("security", self.security_docs()),
+        ] {
+            db.create_collection(name);
+            let c = db.collection_mut(name).expect("just created");
+            for d in docs {
+                c.insert(d);
+            }
+        }
+    }
+}
+
+fn date(rng: &mut SmallRng) -> String {
+    format!("2007-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29))
+}
+
+/// TPoX-inspired queries per collection: `(collection, query)` pairs.
+pub fn tpox_queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("order", r#"/FIXML/Order[@ID = "103_7"]"#.to_string()),
+        ("order", r#"//Order[@Side = "2"]/Px"#.to_string()),
+        ("order", r#"//Order/Instrmt[@Sym = "IBM"]"#.to_string()),
+        ("order", "//Order[Px > 1500]/@Acct".to_string()),
+        ("custacc", r#"/Customer[@id = "C00007"]/Name"#.to_string()),
+        ("custacc", "//Account[Balance > 900000]/@id".to_string()),
+        (
+            "custacc",
+            r#"for $p in collection("custacc")//Position where $p/Symbol = "AAPL" return $p/Quantity"#
+                .to_string(),
+        ),
+        ("security", r#"//Security[SecurityType = "Stock"]/Symbol"#.to_string()),
+        ("security", "//Security[Yield > 8]/Symbol".to_string()),
+        (
+            "security",
+            r#"SELECT XMLQUERY('$d/Security/Name') FROM security WHERE XMLEXISTS('$d/Security/SecurityInformation[Sector = "Energy"]')"#
+                .to_string(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_storage::Database;
+
+    #[test]
+    fn populate_creates_three_collections() {
+        let mut db = Database::new();
+        let cfg = TpoxConfig { orders: 20, customers: 10, securities: 8, seed: 1 };
+        TpoxGen::new(cfg).populate_all(&mut db);
+        assert_eq!(db.collection("order").unwrap().len(), 20);
+        assert_eq!(db.collection("custacc").unwrap().len(), 10);
+        assert_eq!(db.collection("security").unwrap().len(), 8);
+    }
+
+    #[test]
+    fn orders_are_attribute_heavy() {
+        let docs = TpoxGen::new(TpoxConfig { orders: 5, ..Default::default() }).order_docs();
+        for d in &docs {
+            let q = xia_xpath::parse("/FIXML/Order/@Acct").unwrap();
+            assert_eq!(xia_xpath::evaluate(d, &q).len(), 1);
+            let q = xia_xpath::parse("//Instrmt/@Sym").unwrap();
+            assert_eq!(xia_xpath::evaluate(d, &q).len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TpoxConfig { orders: 3, customers: 3, securities: 3, seed: 9 };
+        let a = TpoxGen::new(cfg).order_docs();
+        let b = TpoxGen::new(cfg).order_docs();
+        assert_eq!(xia_xml::serialize(&a[2]), xia_xml::serialize(&b[2]));
+    }
+
+    #[test]
+    fn tpox_queries_compile_against_their_collections() {
+        let mut db = Database::new();
+        TpoxGen::new(TpoxConfig::default()).populate_all(&mut db);
+        let mut matched = 0;
+        for (coll, q) in tpox_queries() {
+            let compiled = xia_xquery::compile(&q, coll)
+                .unwrap_or_else(|e| panic!("query {q} failed: {e}"));
+            let c = db.collection(coll).unwrap();
+            let hits: usize = c
+                .documents()
+                .map(|(_, d)| xia_xpath::evaluate(d, &compiled.xpath).len())
+                .sum();
+            if hits > 0 {
+                matched += 1;
+            }
+        }
+        assert!(matched >= 8, "most TPoX queries should match ({matched}/10)");
+    }
+}

@@ -1,0 +1,305 @@
+//! XMark-like auction site generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xia_xml::{Document, DocumentBuilder};
+
+/// The six XMark regions.
+pub const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const CATEGORIES: [&str; 8] =
+    ["art", "books", "coins", "computers", "garden", "music", "sports", "toys"];
+const PAYMENTS: [&str; 4] = ["Creditcard", "Cash", "Money order", "Personal Check"];
+const CITIES: [&str; 6] = ["Cairo", "Tokyo", "Sydney", "Berlin", "Toronto", "Lima"];
+const FIRST: [&str; 10] =
+    ["Ann", "Bob", "Carla", "Dmitri", "Eve", "Farid", "Grace", "Hugo", "Ines", "Jun"];
+const LAST: [&str; 8] = ["Smith", "Kumar", "Okafor", "Mueller", "Tanaka", "Silva", "Novak", "Diaz"];
+const WORDS: [&str; 12] = [
+    "vintage", "rare", "handmade", "signed", "antique", "mint", "boxed", "limited", "classic",
+    "original", "restored", "imported",
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct XMarkConfig {
+    /// Number of documents to generate.
+    pub docs: usize,
+    /// Items per region per document.
+    pub items_per_region: usize,
+    /// People per document.
+    pub people: usize,
+    /// Open auctions per document.
+    pub open_auctions: usize,
+    /// Closed auctions per document.
+    pub closed_auctions: usize,
+    /// RNG seed — same seed, same documents.
+    pub seed: u64,
+}
+
+impl Default for XMarkConfig {
+    fn default() -> Self {
+        XMarkConfig {
+            docs: 100,
+            items_per_region: 2,
+            people: 4,
+            open_auctions: 3,
+            closed_auctions: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// The XMark-like document generator.
+#[derive(Debug, Clone)]
+pub struct XMarkGen {
+    pub config: XMarkConfig,
+}
+
+impl XMarkGen {
+    pub fn new(config: XMarkConfig) -> XMarkGen {
+        XMarkGen { config }
+    }
+
+    /// Generate all documents.
+    pub fn generate(&self) -> Vec<Document> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        (0..self.config.docs).map(|i| self.document(i, &mut rng)).collect()
+    }
+
+    /// Generate and insert into a collection. Returns document count.
+    pub fn populate(&self, collection: &mut xia_storage::Collection) -> usize {
+        let docs = self.generate();
+        let n = docs.len();
+        for d in docs {
+            collection.insert(d);
+        }
+        n
+    }
+
+    fn document(&self, doc_idx: usize, rng: &mut SmallRng) -> Document {
+        let c = &self.config;
+        let mut b = DocumentBuilder::with_capacity(
+            64 + REGIONS.len() * c.items_per_region * 14
+                + c.people * 12
+                + c.open_auctions * 10
+                + c.closed_auctions * 8,
+        );
+        b.open("site");
+
+        b.open("regions");
+        for region in REGIONS {
+            b.open(region);
+            for j in 0..c.items_per_region {
+                let id = format!("item{}_{}_{}", doc_idx, region, j);
+                b.open("item");
+                b.attr("id", &id);
+                b.attr("featured", if rng.gen_bool(0.1) { "yes" } else { "no" });
+                b.leaf("location", CITIES[rng.gen_range(0..CITIES.len())]);
+                b.leaf("name", &item_name(rng));
+                b.open("description");
+                b.leaf("text", &description(rng));
+                b.close();
+                b.leaf("price", &format!("{:.2}", rng.gen_range(1.0..500.0)));
+                b.leaf("quantity", &format!("{}", rng.gen_range(1..10)));
+                b.leaf("payment", PAYMENTS[rng.gen_range(0..PAYMENTS.len())]);
+                b.leaf("category", CATEGORIES[rng.gen_range(0..CATEGORIES.len())]);
+                b.close();
+            }
+            b.close();
+        }
+        b.close();
+
+        b.open("people");
+        for j in 0..c.people {
+            let pid = format!("person{}_{}", doc_idx, j);
+            b.open("person");
+            b.attr("id", &pid);
+            b.leaf(
+                "name",
+                &format!(
+                    "{} {}",
+                    FIRST[rng.gen_range(0..FIRST.len())],
+                    LAST[rng.gen_range(0..LAST.len())]
+                ),
+            );
+            b.leaf("emailaddress", &format!("{pid}@example.org"));
+            if rng.gen_bool(0.7) {
+                b.leaf("phone", &format!("+1-555-{:04}", rng.gen_range(0..10000)));
+            }
+            b.open("address");
+            b.leaf("city", CITIES[rng.gen_range(0..CITIES.len())]);
+            b.leaf("country", "XX");
+            b.close();
+            b.open("profile");
+            b.leaf("interest", CATEGORIES[rng.gen_range(0..CATEGORIES.len())]);
+            b.leaf("age", &format!("{}", rng.gen_range(18..80)));
+            b.leaf("income", &format!("{:.2}", rng.gen_range(10_000.0..200_000.0)));
+            b.close();
+            b.close();
+        }
+        b.close();
+
+        b.open("open_auctions");
+        for j in 0..c.open_auctions {
+            b.open("open_auction");
+            b.attr("id", &format!("open{}_{}", doc_idx, j));
+            let initial = rng.gen_range(1.0..100.0);
+            b.leaf("initial", &format!("{initial:.2}"));
+            let bidders = rng.gen_range(0..4);
+            let mut current = initial;
+            for _ in 0..bidders {
+                b.open("bidder");
+                b.leaf("date", &date(rng));
+                let inc = rng.gen_range(1.0..25.0);
+                current += inc;
+                b.leaf("increase", &format!("{inc:.2}"));
+                b.close();
+            }
+            b.leaf("current", &format!("{current:.2}"));
+            if rng.gen_bool(0.5) {
+                b.leaf("reserve", &format!("{:.2}", initial * 2.0));
+            }
+            b.leaf("itemref", &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]));
+            b.leaf("seller", &format!("person{}_{}", doc_idx, j % c.people.max(1)));
+            b.close();
+        }
+        b.close();
+
+        b.open("closed_auctions");
+        for j in 0..c.closed_auctions {
+            b.open("closed_auction");
+            b.leaf("price", &format!("{:.2}", rng.gen_range(5.0..800.0)));
+            b.leaf("date", &date(rng));
+            b.leaf("buyer", &format!("person{}_{}", doc_idx, j % c.people.max(1)));
+            b.leaf("seller", &format!("person{}_{}", doc_idx, (j + 1) % c.people.max(1)));
+            b.leaf("itemref", &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]));
+            b.close();
+        }
+        b.close();
+
+        b.close();
+        b.finish().expect("generator produces balanced documents")
+    }
+}
+
+fn item_name(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        WORDS[rng.gen_range(0..WORDS.len())],
+        CATEGORIES[rng.gen_range(0..CATEGORIES.len())]
+    )
+}
+
+fn description(rng: &mut SmallRng) -> String {
+    let n = rng.gen_range(3..8);
+    (0..n)
+        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn date(rng: &mut SmallRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        rng.gen_range(1998..2008),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    )
+}
+
+/// The standard query set (XMark-inspired, over the generated schema).
+/// A mix of anchored paths, descendant paths, value predicates on both
+/// key types, attributes, and all three surface languages.
+pub fn xmark_queries() -> Vec<String> {
+    vec![
+        // Regional item queries — the generalization showcase.
+        "/site/regions/africa/item/quantity".to_string(),
+        "/site/regions/namerica/item/quantity".to_string(),
+        "/site/regions/samerica/item/price".to_string(),
+        // Value predicates.
+        "/site/regions/europe/item[price > 400]/name".to_string(),
+        r#"//item[payment = "Creditcard"]/name"#.to_string(),
+        "//person[profile/age > 60]/name".to_string(),
+        "//person[profile/income < 20000]/name".to_string(),
+        "//open_auction[initial >= 90]/current".to_string(),
+        "//closed_auction[price >= 700]/date".to_string(),
+        // Attribute predicate.
+        r#"//item[@featured = "yes"]/name"#.to_string(),
+        // Mini-XQuery and SQL/XML forms of auction lookups.
+        r#"for $a in collection("auctions")//open_auction where $a/current > 100 return $a/itemref"#
+            .to_string(),
+        r#"SELECT XMLQUERY('$d//person/emailaddress') FROM auctions WHERE XMLEXISTS('$d//person[profile/age > 70]')"#
+            .to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_storage::Collection;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = XMarkConfig { docs: 5, ..Default::default() };
+        let a = XMarkGen::new(cfg).generate();
+        let b = XMarkGen::new(cfg).generate();
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(xia_xml::serialize(x), xia_xml::serialize(y));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = XMarkGen::new(XMarkConfig { docs: 2, seed: 1, ..Default::default() }).generate();
+        let b = XMarkGen::new(XMarkConfig { docs: 2, seed: 2, ..Default::default() }).generate();
+        assert_ne!(xia_xml::serialize(&a[0]), xia_xml::serialize(&b[0]));
+    }
+
+    #[test]
+    fn documents_have_expected_shape() {
+        let docs = XMarkGen::new(XMarkConfig { docs: 3, ..Default::default() }).generate();
+        for d in &docs {
+            let root = d.root_element().unwrap();
+            assert_eq!(d.name(root), "site");
+            let q = xia_xpath::parse("/site/regions/africa/item/price").unwrap();
+            assert_eq!(xia_xpath::evaluate(d, &q).len(), 2);
+            let q = xia_xpath::parse("//person/profile/age").unwrap();
+            assert_eq!(xia_xpath::evaluate(d, &q).len(), 4);
+        }
+    }
+
+    #[test]
+    fn populate_fills_collection_and_dictionary() {
+        let mut c = Collection::new("auctions");
+        let n = XMarkGen::new(XMarkConfig { docs: 10, ..Default::default() }).populate(&mut c);
+        assert_eq!(n, 10);
+        assert_eq!(c.len(), 10);
+        let stats = c.stats();
+        assert!(stats.path_count() > 30, "rich path dictionary, got {}", stats.path_count());
+        let lp = xia_xpath::LinearPath::parse("/site/regions/*/item/price").unwrap();
+        assert_eq!(stats.count_matching(&lp), (10 * REGIONS.len() * 2) as u64);
+    }
+
+    #[test]
+    fn standard_queries_compile_and_return_results() {
+        let mut c = Collection::new("auctions");
+        XMarkGen::new(XMarkConfig { docs: 30, ..Default::default() }).populate(&mut c);
+        let mut any_results = 0;
+        for q in xmark_queries() {
+            let compiled = xia_xquery::compile(&q, "auctions")
+                .unwrap_or_else(|e| panic!("query {q} failed: {e}"));
+            let mut results = 0;
+            for (_, doc) in c.documents() {
+                results += xia_xpath::evaluate(doc, &compiled.xpath).len();
+            }
+            if results > 0 {
+                any_results += 1;
+            }
+        }
+        assert!(
+            any_results >= xmark_queries().len() - 2,
+            "most standard queries should match generated data ({any_results})"
+        );
+    }
+}

@@ -1,0 +1,381 @@
+//! Arena-allocated document model with region-encoded node labels.
+//!
+//! Every node carries a `(start, end, level)` region label assigned in
+//! document order: `start` is the node's pre-order rank, `end` is one
+//! past the largest `start` in its subtree, and `level` is its depth.
+//! This is the classic interval encoding used by native XML stores
+//! (DB2 pureXML uses a variant): `a` is an ancestor of `d` iff
+//! `a.start < d.start && d.end <= a.end`, and document order is `start`
+//! order. Indexes store `(doc, start)` pairs and structural verification
+//! never has to re-walk the tree.
+
+use crate::name::{NameId, NameTable};
+
+/// Index of a node inside its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub(crate) const NONE: u32 = u32::MAX;
+
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstruct a `NodeId` from a raw index, e.g. one stored in an index
+    /// posting list. The caller must ensure it refers to the same document.
+    #[inline]
+    pub fn from_u32(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// The three node kinds the advisor's substrate needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    Element,
+    Attribute,
+    Text,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) name: NameId,
+    /// Text content for text nodes, attribute value for attributes.
+    pub(crate) value: Option<Box<str>>,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) next_sibling: u32,
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) level: u16,
+}
+
+/// A parsed XML document. Nodes live in a flat arena and are addressed by
+/// [`NodeId`]; the document is immutable after construction (updates at the
+/// database layer replace whole documents, as DB2 pureXML does per-document).
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) names: NameTable,
+    pub(crate) root: u32,
+    /// Approximate in-memory size, computed once at construction —
+    /// `byte_size()` sits on the executor's per-fetch hot path.
+    pub(crate) byte_size: usize,
+}
+
+impl Document {
+    /// Parse a document from its textual form.
+    pub fn parse(input: &str) -> Result<Document, crate::ParseError> {
+        crate::parse::parse_document(input)
+    }
+
+    /// The single root element.
+    pub fn root_element(&self) -> Option<NodeId> {
+        (self.root != NodeId::NONE).then_some(NodeId(self.root))
+    }
+
+    /// Total number of nodes (elements + attributes + text).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The document's name table.
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    #[inline]
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Kind of `id`.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.node(id).kind
+    }
+
+    /// Interned name of `id` (`NameId::NONE` for text nodes).
+    #[inline]
+    pub fn name_id(&self, id: NodeId) -> NameId {
+        self.node(id).name
+    }
+
+    /// Name of `id` as a string. Text nodes resolve to `""`.
+    pub fn name(&self, id: NodeId) -> &str {
+        let n = self.node(id);
+        if n.name == NameId::NONE {
+            ""
+        } else {
+            self.names.resolve(n.name)
+        }
+    }
+
+    /// Parent node, if any.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.node(id).parent;
+        (p != NodeId::NONE).then_some(NodeId(p))
+    }
+
+    /// Pre-order rank (document order position).
+    #[inline]
+    pub fn start(&self, id: NodeId) -> u32 {
+        self.node(id).start
+    }
+
+    /// One past the largest `start` in the subtree of `id`.
+    #[inline]
+    pub fn end(&self, id: NodeId) -> u32 {
+        self.node(id).end
+    }
+
+    /// Depth of `id`; the root element has level 0.
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u16 {
+        self.node(id).level
+    }
+
+    /// True iff `anc` is a proper ancestor of `desc` — O(1) via regions.
+    #[inline]
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        let a = self.node(anc);
+        let d = self.node(desc);
+        a.start < d.start && d.end <= a.end
+    }
+
+    /// Attribute value for a text/attribute node; `None` for elements.
+    pub fn value(&self, id: NodeId) -> Option<&str> {
+        self.node(id).value.as_deref()
+    }
+
+    /// Child nodes of kind element or text, in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.raw_children(id)
+            .filter(move |&c| self.node(c).kind != NodeKind::Attribute)
+    }
+
+    /// Element children only.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.raw_children(id)
+            .filter(move |&c| self.node(c).kind == NodeKind::Element)
+    }
+
+    /// Attribute nodes of `id`, in source order.
+    pub fn attributes(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.raw_children(id)
+            .take_while(move |&c| self.node(c).kind == NodeKind::Attribute)
+    }
+
+    /// Value of the attribute named `name`, if present.
+    pub fn attribute(&self, id: NodeId, name: &str) -> Option<&str> {
+        let name_id = self.names.get(name)?;
+        self.attributes(id)
+            .find(|&a| self.node(a).name == name_id)
+            .and_then(|a| self.value(a))
+    }
+
+    fn raw_children(&self, id: NodeId) -> RawChildren<'_> {
+        RawChildren {
+            doc: self,
+            next: self.node(id).first_child,
+        }
+    }
+
+    /// All descendants of `id` (excluding `id`), in document order,
+    /// including attributes and text.
+    ///
+    /// Nodes are arena-allocated in pre-order, so `start` equals the arena
+    /// index and a subtree is the contiguous index range `(start, end)`.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let n = self.node(id);
+        debug_assert_eq!(n.start, id.0, "pre-order arena invariant");
+        (n.start + 1..n.end).map(NodeId)
+    }
+
+    /// All nodes in document order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// XPath string-value: concatenation of all descendant text for
+    /// elements, the stored value for text and attribute nodes.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match self.node(id).kind {
+            NodeKind::Text | NodeKind::Attribute => {
+                self.node(id).value.as_deref().unwrap_or("").to_string()
+            }
+            NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for c in self.children(id) {
+            match self.node(c).kind {
+                NodeKind::Text => out.push_str(self.node(c).value.as_deref().unwrap_or("")),
+                NodeKind::Element => self.collect_text(c, out),
+                NodeKind::Attribute => {}
+            }
+        }
+    }
+
+    /// String-value parsed as a number, if it is one (XPath `number()` on
+    /// the trimmed string-value).
+    pub fn number_value(&self, id: NodeId) -> Option<f64> {
+        self.string_value(id).trim().parse::<f64>().ok()
+    }
+
+    /// The root-to-node label path of `id`, e.g. `["site", "item", "price"]`.
+    /// Attribute steps get their attribute name as the final label.
+    pub fn label_path(&self, id: NodeId) -> Vec<NameId> {
+        let mut path = Vec::with_capacity(self.node(id).level as usize + 1);
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            let node = self.node(n);
+            if node.kind != NodeKind::Text {
+                path.push(node.name);
+            }
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Approximate in-memory size of this document in bytes, used by the
+    /// page-accounting model in `xia-storage`. Precomputed at
+    /// construction; O(1) here.
+    pub fn byte_size(&self) -> usize {
+        self.byte_size
+    }
+
+    /// Compute the size estimate (called once by the parser/builder).
+    pub(crate) fn compute_byte_size(nodes: &[Node], names: &NameTable) -> usize {
+        let node_bytes = std::mem::size_of_val(nodes);
+        let value_bytes: usize =
+            nodes.iter().map(|n| n.value.as_deref().map_or(0, str::len)).sum();
+        let name_bytes: usize = names.iter().map(|(_, n)| n.len() + 16).sum();
+        node_bytes + value_bytes + name_bytes
+    }
+}
+
+struct RawChildren<'a> {
+    doc: &'a Document,
+    next: u32,
+}
+
+impl Iterator for RawChildren<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next == NodeId::NONE {
+            return None;
+        }
+        let id = NodeId(self.next);
+        self.next = self.doc.nodes[self.next as usize].next_sibling;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<site><regions><africa><item id="i1"><price>12.5</price><name>mask</name></item></africa><europe><item id="i2"><price>7</price></item></europe></regions></site>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn root_and_counts() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        assert_eq!(d.name(root), "site");
+        assert_eq!(d.kind(root), NodeKind::Element);
+        assert!(d.parent(root).is_none());
+    }
+
+    #[test]
+    fn regions_encode_ancestry() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        for n in d.descendants(root) {
+            assert!(d.is_ancestor(root, n), "root must be ancestor of all");
+            assert!(!d.is_ancestor(n, root));
+        }
+    }
+
+    #[test]
+    fn children_skip_attributes() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        let regions = d.child_elements(root).next().unwrap();
+        let africa = d.child_elements(regions).next().unwrap();
+        let item = d.child_elements(africa).next().unwrap();
+        assert_eq!(d.name(item), "item");
+        let kids: Vec<_> = d.children(item).map(|c| d.name(c).to_string()).collect();
+        assert_eq!(kids, vec!["price", "name"]);
+        assert_eq!(d.attribute(item, "id"), Some("i1"));
+        assert_eq!(d.attribute(item, "missing"), None);
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        assert_eq!(d.string_value(root), "12.5mask7");
+    }
+
+    #[test]
+    fn number_value_parses_numeric_text() {
+        let d = Document::parse("<a><b> 42.5 </b></a>").unwrap();
+        let root = d.root_element().unwrap();
+        let b = d.child_elements(root).next().unwrap();
+        assert_eq!(d.number_value(b), Some(42.5));
+    }
+
+    #[test]
+    fn label_path_includes_attribute_name() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        let item = d
+            .descendants(root)
+            .find(|&n| d.kind(n) == NodeKind::Element && d.name(n) == "item")
+            .unwrap();
+        let attr = d.attributes(item).next().unwrap();
+        let path: Vec<_> = d
+            .label_path(attr)
+            .iter()
+            .map(|&n| d.names().resolve(n).to_string())
+            .collect();
+        assert_eq!(path, vec!["site", "regions", "africa", "item", "id"]);
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        let starts: Vec<_> = d.descendants(root).map(|n| d.start(n)).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn levels_increase_by_one() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        for n in d.descendants(root) {
+            let p = d.parent(n).unwrap();
+            assert_eq!(d.level(n), d.level(p) + 1);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// What went wrong while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that is not legal at this position.
+    UnexpectedChar(char),
+    /// Close tag does not match the innermost open tag.
+    MismatchedTag { expected: String, found: String },
+    /// More than one element at the top level, or text outside the root.
+    ContentOutsideRoot,
+    /// The document has no root element.
+    EmptyDocument,
+    /// `&name;` where `name` is not one of the predefined entities.
+    UnknownEntity(String),
+    /// Malformed numeric character reference.
+    BadCharRef,
+    /// An attribute appears twice on the same element.
+    DuplicateAttribute(String),
+    /// A name (element/attribute) is syntactically invalid.
+    InvalidName,
+    /// Unterminated comment, CDATA section, or processing instruction.
+    Unterminated(&'static str),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            ParseErrorKind::ContentOutsideRoot => write!(f, "content outside the root element"),
+            ParseErrorKind::EmptyDocument => write!(f, "document has no root element"),
+            ParseErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            ParseErrorKind::BadCharRef => write!(f, "malformed character reference"),
+            ParseErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ParseErrorKind::InvalidName => write!(f, "invalid XML name"),
+            ParseErrorKind::Unterminated(what) => write!(f, "unterminated {what}"),
+        }
+    }
+}
+
+/// A parse error annotated with the 1-based line and column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub kind: ParseErrorKind,
+    pub line: u32,
+    pub column: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,38 @@
+//! # xia-xml
+//!
+//! A from-scratch XML 1.0 subset parser and document model used as the
+//! storage substrate for the XML Index Advisor reproduction.
+//!
+//! The paper's advisor runs against DB2 pureXML; this crate provides the
+//! equivalent document layer: a fast arena-allocated DOM with
+//! region-encoded node labels (`start`/`end`/`level`) that make document
+//! order, ancestor/descendant tests and structural joins O(1)/O(log n),
+//! which is what DB2-style XML indexes assume.
+//!
+//! Scope: elements, attributes, text, CDATA, comments (skipped),
+//! processing instructions (skipped), the five predefined entities and
+//! numeric character references. No DTDs and no namespaces (names with a
+//! `:` are treated as opaque labels), which matches what the advisor's
+//! index patterns need.
+//!
+//! ```
+//! use xia_xml::Document;
+//!
+//! let doc = Document::parse("<site><item id=\"i1\"><price>10</price></item></site>").unwrap();
+//! let root = doc.root_element().unwrap();
+//! assert_eq!(doc.name(root), "site");
+//! assert_eq!(doc.node_count(), 5); // site, item, @id, price, text
+//! ```
+
+mod builder;
+mod dom;
+mod error;
+mod name;
+mod parse;
+mod serialize;
+
+pub use builder::DocumentBuilder;
+pub use dom::{Document, NodeId, NodeKind};
+pub use error::{ParseError, ParseErrorKind};
+pub use name::{NameId, NameTable};
+pub use serialize::{serialize, serialize_pretty};

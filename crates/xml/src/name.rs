@@ -1,0 +1,119 @@
+//! Per-document name interning.
+//!
+//! Element and attribute names repeat heavily in XML data; every distinct
+//! name is stored once in a [`NameTable`] and nodes carry a 4-byte
+//! [`NameId`]. Name-test comparisons during XPath evaluation then reduce
+//! to integer equality after a single per-document lookup.
+
+use std::collections::HashMap;
+
+/// Interned name handle, valid only within the [`NameTable`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub(crate) u32);
+
+impl NameId {
+    /// Sentinel used by nodes that have no name (text nodes).
+    pub const NONE: NameId = NameId(u32::MAX);
+
+    /// Raw index into the table. `NONE` maps to `u32::MAX`.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+/// Append-only string interner for element and attribute names.
+#[derive(Debug, Default, Clone)]
+pub struct NameTable {
+    names: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, NameId>,
+}
+
+impl NameTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        id
+    }
+
+    /// Look up a name without interning it. Returns `None` for unseen names,
+    /// which callers use to short-circuit name tests that can never match.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Resolve an id back to its string. Panics on `NameId::NONE` or a
+    /// foreign id; both indicate a logic error.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (NameId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NameId(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("item");
+        let b = t.intern("item");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = NameTable::new();
+        let a = t.intern("item");
+        let b = t.intern("price");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "item");
+        assert_eq!(t.resolve(b), "price");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = NameTable::new();
+        assert_eq!(t.get("missing"), None);
+        let id = t.intern("present");
+        assert_eq!(t.get("present"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut t = NameTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

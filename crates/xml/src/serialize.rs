@@ -1,0 +1,123 @@
+//! Document serialization back to XML text.
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// Serialize `doc` to compact XML (no added whitespace).
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.byte_size() / 2);
+    if let Some(root) = doc.root_element() {
+        write_node(doc, root, &mut out, None, 0);
+    }
+    out
+}
+
+/// Serialize `doc` with two-space indentation, one element per line.
+/// Elements with mixed or text-only content keep their text inline.
+pub fn serialize_pretty(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.byte_size());
+    if let Some(root) = doc.root_element() {
+        write_node(doc, root, &mut out, Some("  "), 0);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String, indent: Option<&str>, depth: usize) {
+    match doc.kind(id) {
+        NodeKind::Text => escape_into(doc.value(id).unwrap_or(""), out, false),
+        NodeKind::Attribute => {
+            out.push(' ');
+            out.push_str(doc.name(id));
+            out.push_str("=\"");
+            escape_into(doc.value(id).unwrap_or(""), out, true);
+            out.push('"');
+        }
+        NodeKind::Element => {
+            out.push('<');
+            out.push_str(doc.name(id));
+            for attr in doc.attributes(id) {
+                write_node(doc, attr, out, indent, depth);
+            }
+            let mut children = doc.children(id).peekable();
+            if children.peek().is_none() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let has_text_child = doc.children(id).any(|c| doc.kind(c) == NodeKind::Text);
+            let pretty_children = indent.filter(|_| !has_text_child);
+            for child in children {
+                if let Some(pad) = pretty_children {
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str(pad);
+                    }
+                }
+                write_node(doc, child, out, indent, depth + 1);
+            }
+            if let Some(pad) = pretty_children {
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str(pad);
+                }
+            }
+            out.push_str("</");
+            out.push_str(doc.name(id));
+            out.push('>');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String, in_attr: bool) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    #[test]
+    fn round_trip_compact() {
+        let src = r#"<site><item id="i1"><price>10</price><note>a &amp; b</note></item><empty/></site>"#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn reparse_of_serialized_is_stable() {
+        let src = r#"<a x="1 &lt; 2"><b>t1<c/>t2</b></a>"#;
+        let once = serialize(&Document::parse(src).unwrap());
+        let twice = serialize(&Document::parse(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pretty_prints_structure() {
+        let doc = Document::parse("<a><b>1</b><c/></a>").unwrap();
+        let pretty = serialize_pretty(&doc);
+        assert_eq!(pretty, "<a>\n  <b>1</b>\n  <c/>\n</a>\n");
+    }
+
+    #[test]
+    fn escapes_attribute_quotes() {
+        let mut b = crate::DocumentBuilder::new();
+        b.open("a");
+        b.attr("t", "say \"hi\" & <go>");
+        b.close();
+        let doc = b.finish().unwrap();
+        let s = serialize(&doc);
+        assert_eq!(s, r#"<a t="say &quot;hi&quot; &amp; &lt;go&gt;"/>"#);
+        // And it re-parses to the same value.
+        let re = Document::parse(&s).unwrap();
+        assert_eq!(re.attribute(re.root_element().unwrap(), "t"), Some("say \"hi\" & <go>"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property tests: serialize/parse round-trips and structural invariants
+//! hold for arbitrary generated documents.
+
+use proptest::prelude::*;
+use xia_xml::{Document, DocumentBuilder, NodeKind};
+
+/// A recursive tree shape we can both build and compare.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes XML-special characters to exercise escaping.
+    "[ -~]{1,20}".prop_filter("non-blank", |s| !s.trim().is_empty())
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+            .prop_map(|(name, mut attrs)| {
+                dedup_attrs(&mut attrs);
+                Tree::Element { name, attrs, children: vec![] }
+            }),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                dedup_attrs(&mut attrs);
+                Tree::Element { name, attrs, children: merge_adjacent_text(children) }
+            })
+    })
+}
+
+fn dedup_attrs(attrs: &mut Vec<(String, String)>) {
+    let mut seen = std::collections::HashSet::new();
+    attrs.retain(|(k, _)| seen.insert(k.clone()));
+}
+
+/// Adjacent text children parse back as one text node; normalize the model
+/// the same way so comparisons are exact.
+fn merge_adjacent_text(children: Vec<Tree>) -> Vec<Tree> {
+    let mut out: Vec<Tree> = Vec::new();
+    for c in children {
+        match (out.last_mut(), c) {
+            (Some(Tree::Text(prev)), Tree::Text(t)) => prev.push_str(&t),
+            (_, c) => out.push(c),
+        }
+    }
+    out
+}
+
+fn root_strategy() -> impl Strategy<Value = Tree> {
+    tree_strategy().prop_filter_map("root must be an element", |t| match t {
+        Tree::Element { .. } => Some(t),
+        Tree::Text(_) => None,
+    })
+}
+
+fn build(tree: &Tree) -> Document {
+    let mut b = DocumentBuilder::new();
+    fn rec(b: &mut DocumentBuilder, t: &Tree) {
+        match t {
+            Tree::Element { name, attrs, children } => {
+                b.open(name);
+                for (k, v) in attrs {
+                    b.attr(k, v);
+                }
+                for c in children {
+                    rec(b, c);
+                }
+                b.close();
+            }
+            Tree::Text(s) => {
+                b.text(s);
+            }
+        }
+    }
+    rec(&mut b, tree);
+    b.finish().unwrap()
+}
+
+fn assert_equivalent(t: &Tree, doc: &Document, node: xia_xml::NodeId) {
+    match t {
+        Tree::Element { name, attrs, children } => {
+            assert_eq!(doc.kind(node), NodeKind::Element);
+            assert_eq!(doc.name(node), name.as_str());
+            let doc_attrs: Vec<(String, String)> = doc
+                .attributes(node)
+                .map(|a| (doc.name(a).to_string(), doc.value(a).unwrap().to_string()))
+                .collect();
+            let want: Vec<(String, String)> = attrs.clone();
+            assert_eq!(doc_attrs, want);
+            let doc_children: Vec<_> = doc.children(node).collect();
+            assert_eq!(doc_children.len(), children.len(), "child count for <{name}>");
+            for (c, &d) in children.iter().zip(&doc_children) {
+                assert_equivalent(c, doc, d);
+            }
+        }
+        Tree::Text(s) => {
+            assert_eq!(doc.kind(node), NodeKind::Text);
+            // Leading/trailing whitespace of standalone text runs may be
+            // significant; our generator never produces blank-only text so
+            // the parser preserves it verbatim.
+            assert_eq!(doc.value(node), Some(s.as_str()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Building a tree, serializing it and re-parsing yields an equivalent tree.
+    #[test]
+    fn serialize_parse_round_trip(tree in root_strategy()) {
+        let built = build(&tree);
+        let text = xia_xml::serialize(&built);
+        let parsed = Document::parse(&text).unwrap();
+        assert_equivalent(&tree, &parsed, parsed.root_element().unwrap());
+    }
+
+    /// Serialization is a fixpoint: serialize(parse(serialize(d))) == serialize(d).
+    #[test]
+    fn serialization_fixpoint(tree in root_strategy()) {
+        let built = build(&tree);
+        let once = xia_xml::serialize(&built);
+        let twice = xia_xml::serialize(&Document::parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Region labels always describe properly nested intervals.
+    #[test]
+    fn regions_are_well_nested(tree in root_strategy()) {
+        let doc = build(&tree);
+        for a in doc.all_nodes() {
+            let (s, e) = (doc.start(a), doc.end(a));
+            prop_assert!(s < e);
+            for b in doc.all_nodes() {
+                let (s2, e2) = (doc.start(b), doc.end(b));
+                // Intervals nest or are disjoint; they never partially overlap.
+                let nested = (s <= s2 && e2 <= e) || (s2 <= s && e <= e2);
+                let disjoint = e <= s2 || e2 <= s;
+                prop_assert!(nested || disjoint, "intervals partially overlap");
+            }
+            if let Some(p) = doc.parent(a) {
+                prop_assert!(doc.is_ancestor(p, a));
+                prop_assert_eq!(doc.level(a), doc.level(p) + 1);
+            }
+        }
+    }
+
+    /// `descendants` agrees with transitive parent closure.
+    #[test]
+    fn descendants_match_parent_closure(tree in root_strategy()) {
+        let doc = build(&tree);
+        let root = doc.root_element().unwrap();
+        let via_regions: std::collections::HashSet<_> = doc.descendants(root).collect();
+        let via_parents: std::collections::HashSet<_> = doc
+            .all_nodes()
+            .filter(|&n| {
+                let mut cur = doc.parent(n);
+                while let Some(p) = cur {
+                    if p == root { return true; }
+                    cur = doc.parent(p);
+                }
+                false
+            })
+            .collect();
+        prop_assert_eq!(via_regions, via_parents);
+    }
+
+    /// Pretty output re-parses to a document with identical compact form
+    /// whenever no element mixes text and element children.
+    #[test]
+    fn pretty_round_trip(tree in root_strategy()) {
+        let doc = build(&tree);
+        let has_mixed = doc.all_nodes().any(|n| {
+            doc.kind(n) == NodeKind::Element
+                && doc.children(n).any(|c| doc.kind(c) == NodeKind::Text)
+                && doc.children(n).any(|c| doc.kind(c) == NodeKind::Element)
+        });
+        prop_assume!(!has_mixed);
+        let pretty = xia_xml::serialize_pretty(&doc);
+        let re = Document::parse(&pretty).unwrap();
+        prop_assert_eq!(xia_xml::serialize(&re), xia_xml::serialize(&doc));
+    }
+}

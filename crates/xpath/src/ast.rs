@@ -1,0 +1,312 @@
+//! XPath expression trees.
+
+use std::fmt;
+
+/// The axes our fragment supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/step`
+    Child,
+    /// `//step` — descendant-or-self::node()/child, abbreviated.
+    Descendant,
+    /// `@name`
+    Attribute,
+    /// `..` — the parent element. Queries using it still evaluate
+    /// navigationally, but their paths have no linear normal form, so
+    /// they are *not indexable* (one of the "certain language features"
+    /// the paper notes prevent index use).
+    Parent,
+}
+
+/// Node test of a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NameTest {
+    /// An element or attribute name.
+    Name(String),
+    /// `*` (any element) or `@*` (any attribute).
+    Wildcard,
+    /// `text()`.
+    Text,
+}
+
+/// One location step: axis, node test and zero or more predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NameTest,
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    pub fn child(name: &str) -> Step {
+        Step { axis: Axis::Child, test: NameTest::Name(name.into()), predicates: vec![] }
+    }
+
+    pub fn descendant(name: &str) -> Step {
+        Step { axis: Axis::Descendant, test: NameTest::Name(name.into()), predicates: vec![] }
+    }
+}
+
+/// A location path. In this fragment paths used as queries are absolute
+/// (start at the document root); paths inside predicates are relative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationPath {
+    pub steps: Vec<Step>,
+}
+
+impl LocationPath {
+    /// True if any step anywhere (including inside predicates) uses the
+    /// descendant axis.
+    pub fn uses_descendant(&self) -> bool {
+        self.steps.iter().any(|s| {
+            s.axis == Axis::Descendant
+                || s.predicates.iter().any(Predicate::uses_descendant)
+        })
+    }
+
+    /// Total number of steps including predicate paths.
+    pub fn total_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| 1 + s.predicates.iter().map(Predicate::total_steps).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `starts-with(path, "prefix")` — string-function predicate;
+    /// sargable on a VARCHAR index as a prefix range.
+    StartsWith,
+    /// `contains(path, "needle")` — string-function predicate; never
+    /// sargable, evaluated as a residual.
+    Contains,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on an ordering of `left` vs `right`.
+    /// Panics for the string-function operators, which are not defined by
+    /// an ordering — use [`CmpOp::holds_str`] for those.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::StartsWith | CmpOp::Contains => {
+                unreachable!("string-function operators have no ordering semantics")
+            }
+        }
+    }
+
+    /// Evaluate the comparison directly on string operands (covers the
+    /// string-function operators; falls back to ordering for the rest).
+    pub fn holds_str(self, left: &str, right: &str) -> bool {
+        match self {
+            CmpOp::StartsWith => left.starts_with(right),
+            CmpOp::Contains => left.contains(right),
+            _ => self.holds(left.cmp(right)),
+        }
+    }
+
+    /// True for the XPath string functions.
+    pub fn is_string_function(self) -> bool {
+        matches!(self, CmpOp::StartsWith | CmpOp::Contains)
+    }
+
+    /// True for `<, <=, >, >=` — these need a range-capable (typed) index.
+    pub fn is_range(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+/// Literal operand of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Str(String),
+    Num(f64),
+}
+
+/// Predicate expression inside `[...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `[rel/path]` — true iff the relative path selects at least one node.
+    Exists(LocationPath),
+    /// `[rel/path op literal]` — XPath existential comparison semantics.
+    Compare(LocationPath, CmpOp, Literal),
+    And(Box<Predicate>, Box<Predicate>),
+    Or(Box<Predicate>, Box<Predicate>),
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    pub fn uses_descendant(&self) -> bool {
+        match self {
+            Predicate::Exists(p) => p.uses_descendant(),
+            Predicate::Compare(p, _, _) => p.uses_descendant(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.uses_descendant() || b.uses_descendant()
+            }
+            Predicate::Not(a) => a.uses_descendant(),
+        }
+    }
+
+    pub fn total_steps(&self) -> usize {
+        match self {
+            Predicate::Exists(p) | Predicate::Compare(p, _, _) => p.total_steps(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.total_steps() + b.total_steps(),
+            Predicate::Not(a) => a.total_steps(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: regenerate canonical XPath text.
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for NameTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTest::Name(n) => f.write_str(n),
+            NameTest::Wildcard => f.write_str("*"),
+            NameTest::Text => f.write_str("text()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.axis == Axis::Parent {
+            f.write_str("..")?;
+        } else if self.axis == Axis::Attribute {
+            write!(f, "@{}", self.test)?;
+        } else {
+            write!(f, "{}", self.test)?;
+        }
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            match step.axis {
+                Axis::Child | Axis::Attribute | Axis::Parent => f.write_str("/")?,
+                Axis::Descendant => f.write_str("//")?,
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::StartsWith => "starts-with",
+            CmpOp::Contains => "contains",
+        })
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "\"{s}\""),
+            Literal::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rel(p: &LocationPath) -> String {
+            // Relative paths render without the leading '/'.
+            let s = p.to_string();
+            s.strip_prefix('/')
+                .filter(|_| !s.starts_with("//"))
+                .map_or(s.clone(), str::to_string)
+        }
+        match self {
+            Predicate::Exists(p) => f.write_str(&rel(p)),
+            Predicate::Compare(p, op, lit) if op.is_string_function() => {
+                write!(f, "{op}({}, {lit})", if p.steps.is_empty() { ".".into() } else { rel(p) })
+            }
+            Predicate::Compare(p, op, lit) => write!(f, "{} {op} {lit}", rel(p)),
+            Predicate::And(a, b) => write!(f, "{a} and {b}"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+            Predicate::Not(a) => write!(f, "not({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_holds() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.holds(Equal));
+        assert!(!CmpOp::Eq.holds(Less));
+        assert!(CmpOp::Ne.holds(Greater));
+        assert!(CmpOp::Lt.holds(Less));
+        assert!(CmpOp::Le.holds(Equal));
+        assert!(CmpOp::Gt.holds(Greater));
+        assert!(CmpOp::Ge.holds(Equal));
+        assert!(!CmpOp::Ge.holds(Less));
+    }
+
+    #[test]
+    fn range_ops() {
+        assert!(CmpOp::Lt.is_range());
+        assert!(CmpOp::Ge.is_range());
+        assert!(!CmpOp::Eq.is_range());
+        assert!(!CmpOp::Ne.is_range());
+    }
+
+    #[test]
+    fn display_simple_path() {
+        let p = LocationPath {
+            steps: vec![Step::child("site"), Step::descendant("item"), Step::child("price")],
+        };
+        assert_eq!(p.to_string(), "/site//item/price");
+    }
+
+    #[test]
+    fn uses_descendant_sees_predicates() {
+        let inner = LocationPath { steps: vec![Step::descendant("x")] };
+        let mut step = Step::child("a");
+        step.predicates.push(Predicate::Exists(inner));
+        let p = LocationPath { steps: vec![step] };
+        assert!(p.uses_descendant());
+    }
+
+    #[test]
+    fn total_steps_counts_predicates() {
+        let inner = LocationPath { steps: vec![Step::child("x"), Step::child("y")] };
+        let mut step = Step::child("a");
+        step.predicates.push(Predicate::Exists(inner));
+        let p = LocationPath { steps: vec![step, Step::child("b")] };
+        assert_eq!(p.total_steps(), 4);
+    }
+}

@@ -1,0 +1,373 @@
+//! Navigational XPath evaluator.
+//!
+//! Direct interpretation of a [`LocationPath`] against a document, with
+//! no index assistance. This is both the executor's fallback access path
+//! (a "document scan" in optimizer terms) and the ground truth that
+//! index-based plans are validated against in tests.
+
+use crate::ast::{Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step};
+use xia_xml::{Document, NodeId, NodeKind};
+
+/// Evaluate an absolute path against the document. Results are distinct
+/// nodes in document order.
+pub fn evaluate(doc: &Document, path: &LocationPath) -> Vec<NodeId> {
+    let Some(root) = doc.root_element() else {
+        return Vec::new();
+    };
+    // The absolute path starts at the (virtual) document node whose only
+    // element child is the root.
+    let mut current: Vec<NodeId> = Vec::new();
+    if let Some(first) = path.steps.first() {
+        seed_from_root(doc, root, first, &mut current);
+        current.retain(|&n| check_predicates(doc, n, &path.steps[0].predicates));
+    }
+    advance(doc, &path.steps[1..], current)
+}
+
+/// Evaluate a relative path from a context node.
+pub fn evaluate_from(doc: &Document, context: NodeId, path: &LocationPath) -> Vec<NodeId> {
+    advance(doc, &path.steps, vec![context])
+}
+
+fn advance(doc: &Document, steps: &[Step], mut current: Vec<NodeId>) -> Vec<NodeId> {
+    for step in steps {
+        let mut next: Vec<NodeId> = Vec::new();
+        for &node in &current {
+            apply_step(doc, node, step, &mut next);
+        }
+        dedup_doc_order(doc, &mut next);
+        next.retain(|&n| check_predicates(doc, n, &step.predicates));
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// First step of an absolute path: the context is the document node, whose
+/// child axis contains exactly the root element and whose descendant axis
+/// contains every node.
+fn seed_from_root(doc: &Document, root: NodeId, step: &Step, out: &mut Vec<NodeId>) {
+    match step.axis {
+        Axis::Child => {
+            if node_test(doc, root, &step.test, NodeKind::Element) {
+                out.push(root);
+            }
+        }
+        Axis::Descendant => {
+            if node_test(doc, root, &step.test, NodeKind::Element) {
+                out.push(root);
+            }
+            for d in doc.descendants(root) {
+                if test_kind(&step.test)
+                    .map(|k| doc.kind(d) == k)
+                    .unwrap_or(false)
+                    && node_test(doc, d, &step.test, doc.kind(d))
+                {
+                    out.push(d);
+                }
+            }
+        }
+        Axis::Attribute | Axis::Parent => {
+            // `/@x` or `/..` on the document node selects nothing.
+        }
+    }
+}
+
+fn apply_step(doc: &Document, node: NodeId, step: &Step, out: &mut Vec<NodeId>) {
+    match step.axis {
+        Axis::Child => {
+            for c in doc.children(node) {
+                if node_test(doc, c, &step.test, doc.kind(c)) {
+                    out.push(c);
+                }
+            }
+        }
+        Axis::Descendant => {
+            for d in doc.descendants(node) {
+                if doc.kind(d) != NodeKind::Attribute && node_test(doc, d, &step.test, doc.kind(d))
+                {
+                    out.push(d);
+                }
+            }
+        }
+        Axis::Attribute => {
+            for a in doc.attributes(node) {
+                if match &step.test {
+                    NameTest::Name(n) => doc.name(a) == n,
+                    NameTest::Wildcard => true,
+                    NameTest::Text => false,
+                } {
+                    out.push(a);
+                }
+            }
+        }
+        Axis::Parent => {
+            // parent::node(); the document node (parent of the root
+            // element) is not representable, so the root's parent is ∅.
+            if let Some(p) = doc.parent(node) {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// Which node kind a test selects on the child/descendant axes.
+fn test_kind(test: &NameTest) -> Option<NodeKind> {
+    match test {
+        NameTest::Name(_) | NameTest::Wildcard => Some(NodeKind::Element),
+        NameTest::Text => Some(NodeKind::Text),
+    }
+}
+
+fn node_test(doc: &Document, node: NodeId, test: &NameTest, kind: NodeKind) -> bool {
+    match test {
+        NameTest::Name(n) => kind == NodeKind::Element && doc.name(node) == n,
+        NameTest::Wildcard => kind == NodeKind::Element,
+        NameTest::Text => kind == NodeKind::Text,
+    }
+}
+
+fn dedup_doc_order(doc: &Document, nodes: &mut Vec<NodeId>) {
+    nodes.sort_unstable_by_key(|&n| doc.start(n));
+    nodes.dedup();
+}
+
+fn check_predicates(doc: &Document, node: NodeId, preds: &[Predicate]) -> bool {
+    preds.iter().all(|p| eval_predicate(doc, node, p))
+}
+
+fn eval_predicate(doc: &Document, node: NodeId, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Exists(rel) => !evaluate_from(doc, node, rel).is_empty(),
+        Predicate::Compare(rel, op, lit) => {
+            let targets: Vec<NodeId> = if rel.steps.is_empty() {
+                vec![node]
+            } else {
+                evaluate_from(doc, node, rel)
+            };
+            // XPath existential semantics: true if ANY selected node's
+            // value satisfies the comparison.
+            targets.iter().any(|&t| compare_value(doc, t, *op, lit))
+        }
+        Predicate::And(a, b) => eval_predicate(doc, node, a) && eval_predicate(doc, node, b),
+        Predicate::Or(a, b) => eval_predicate(doc, node, a) || eval_predicate(doc, node, b),
+        Predicate::Not(a) => !eval_predicate(doc, node, a),
+    }
+}
+
+fn compare_value(doc: &Document, node: NodeId, op: CmpOp, lit: &Literal) -> bool {
+    match lit {
+        Literal::Num(n) => match doc.number_value(node) {
+            Some(v) => v.partial_cmp(n).is_some_and(|ord| op.holds(ord)),
+            None => false,
+        },
+        Literal::Str(s) => {
+            let v = doc.string_value(node);
+            if op.is_range() {
+                // Range comparison on strings falls back to numeric if both
+                // sides are numbers (XPath coerces), else lexicographic.
+                match (v.trim().parse::<f64>(), s.trim().parse::<f64>()) {
+                    (Ok(a), Ok(b)) => a.partial_cmp(&b).is_some_and(|ord| op.holds(ord)),
+                    _ => op.holds(v.as_str().cmp(s.as_str())),
+                }
+            } else {
+                // Covers =, != and the string functions
+                // (starts-with / contains).
+                op.holds_str(v.as_str(), s.as_str())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use xia_xml::Document;
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<site>
+                <regions>
+                  <africa>
+                    <item id="i1"><name>mask</name><price>12.5</price><quantity>2</quantity></item>
+                  </africa>
+                  <namerica>
+                    <item id="i2"><name>drum</name><price>7</price><quantity>5</quantity></item>
+                    <item id="i3"><name>flute</name><price>30</price><quantity>1</quantity></item>
+                  </namerica>
+                </regions>
+                <people>
+                  <person id="p1"><name>Ann</name><age>34</age></person>
+                  <person id="p2"><name>Bob</name></person>
+                </people>
+              </site>"#,
+        )
+        .unwrap()
+    }
+
+    fn eval_names(d: &Document, q: &str) -> Vec<String> {
+        evaluate(d, &parse(q).unwrap())
+            .into_iter()
+            .map(|n| d.name(n).to_string())
+            .collect()
+    }
+
+    fn eval_count(d: &Document, q: &str) -> usize {
+        evaluate(d, &parse(q).unwrap()).len()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "/site/regions/africa/item"), 1);
+        assert_eq!(eval_count(&d, "/site/regions/namerica/item"), 2);
+        assert_eq!(eval_count(&d, "/site/regions/europe/item"), 0);
+    }
+
+    #[test]
+    fn root_name_must_match() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "/wrong/regions"), 0);
+    }
+
+    #[test]
+    fn descendant_axis_finds_all() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//item"), 3);
+        assert_eq!(eval_count(&d, "//name"), 5);
+        assert_eq!(eval_count(&d, "/site//item/price"), 3);
+    }
+
+    #[test]
+    fn descendant_includes_root() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//site"), 1);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "/site/regions/*/item"), 3);
+        assert_eq!(eval_count(&d, "/site/*"), 2);
+    }
+
+    #[test]
+    fn star_star_counts_all_elements() {
+        let d = doc();
+        let all_elems = eval_count(&d, "//*");
+        assert_eq!(all_elems, 22);
+    }
+
+    #[test]
+    fn attribute_steps() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//item/@id"), 3);
+        assert_eq!(eval_count(&d, "//@id"), 5);
+        let ids: Vec<String> = evaluate(&d, &parse("/site/people/person/@id").unwrap())
+            .into_iter()
+            .map(|n| d.value(n).unwrap().to_string())
+            .collect();
+        assert_eq!(ids, vec!["p1", "p2"]);
+    }
+
+    #[test]
+    fn text_step() {
+        let d = doc();
+        let texts: Vec<String> = evaluate(&d, &parse("//person/name/text()").unwrap())
+            .into_iter()
+            .map(|n| d.value(n).unwrap().to_string())
+            .collect();
+        assert_eq!(texts, vec!["Ann", "Bob"]);
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//person[age]"), 1);
+        assert_eq!(eval_count(&d, "//person[name]"), 2);
+        assert_eq!(eval_count(&d, "//item[missing]"), 0);
+    }
+
+    #[test]
+    fn numeric_comparison_predicates() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//item[price > 10]"), 2);
+        assert_eq!(eval_count(&d, "//item[price >= 30]"), 1);
+        assert_eq!(eval_count(&d, "//item[price < 10]"), 1);
+        assert_eq!(eval_count(&d, "//item[price = 7]"), 1);
+        assert_eq!(eval_count(&d, "//item[price != 7]"), 2);
+    }
+
+    #[test]
+    fn string_comparison_predicates() {
+        let d = doc();
+        assert_eq!(eval_count(&d, r#"//item[name = "drum"]"#), 1);
+        assert_eq!(eval_count(&d, r#"//item[@id = "i3"]"#), 1);
+        assert_eq!(eval_count(&d, r#"//item[name = "nope"]"#), 0);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "//item[price > 10 and quantity > 1]"), 1);
+        assert_eq!(eval_count(&d, "//item[price > 10 or quantity > 1]"), 3);
+        assert_eq!(eval_count(&d, "//person[not(age)]"), 1);
+    }
+
+    #[test]
+    fn dot_comparison() {
+        let d = doc();
+        assert_eq!(eval_count(&d, r#"//name[. = "Ann"]"#), 1);
+        assert_eq!(eval_count(&d, "//price[. > 10]"), 2);
+    }
+
+    #[test]
+    fn predicate_path_then_continue() {
+        let d = doc();
+        let names = eval_names(&d, r#"//item[price > 10]/name"#);
+        assert_eq!(names, vec!["name", "name"]);
+        let texts: Vec<String> = evaluate(&d, &parse(r#"//item[price > 10]/name"#).unwrap())
+            .iter()
+            .map(|&n| d.string_value(n))
+            .collect();
+        assert_eq!(texts, vec!["mask", "flute"]);
+    }
+
+    #[test]
+    fn results_in_document_order_and_distinct() {
+        let d = doc();
+        let nodes = evaluate(&d, &parse("//item//text()").unwrap());
+        let starts: Vec<u32> = nodes.iter().map(|&n| d.start(n)).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn descendant_within_predicate() {
+        let d = doc();
+        assert_eq!(eval_count(&d, r#"/site[.//name = "drum"]"#), 1);
+        assert_eq!(eval_count(&d, r#"/site[.//name = "zzz"]"#), 0);
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let d = doc();
+        assert_eq!(eval_count(&d, "/site/regions[*/item[price > 20]]"), 1);
+    }
+
+    #[test]
+    fn existential_comparison_multiple_values() {
+        // person has two phone numbers; = matches if ANY equals.
+        let d2 = Document::parse(
+            "<p><person><tel>1</tel><tel>2</tel></person><person><tel>3</tel></person></p>",
+        )
+        .unwrap();
+        assert_eq!(evaluate(&d2, &parse("//person[tel = 2]").unwrap()).len(), 1);
+        assert_eq!(evaluate(&d2, &parse("//person[tel != 1]").unwrap()).len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # xia-xpath
+//!
+//! An XPath subset sufficient for the XML Index Advisor reproduction:
+//! the fragment DB2's XML index machinery cares about — rooted location
+//! paths over the `child` (`/`), `descendant-or-self` (`//`) and
+//! `attribute` (`@`) axes, name tests with wildcards, and predicates
+//! comparing relative paths against string/number literals, combined
+//! with `and` / `or` / `not`.
+//!
+//! Three layers:
+//! * [`ast`] — parsed expression trees ([`LocationPath`], [`Predicate`]).
+//! * [`linear`] — the *linear path* normal form over `{/, //, *}` used by
+//!   index patterns and the generalization DAG (no predicates).
+//! * [`eval`] — a navigational evaluator over [`xia_xml::Document`],
+//!   the correctness baseline the optimizer's index plans are tested
+//!   against.
+//!
+//! ```
+//! use xia_xml::Document;
+//! use xia_xpath::{parse, evaluate};
+//!
+//! let doc = Document::parse("<site><item><price>9</price></item><item><price>20</price></item></site>").unwrap();
+//! let path = parse("/site/item[price > 10]").unwrap();
+//! let hits = evaluate(&doc, &path);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod linear;
+mod parser;
+
+pub use ast::{Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step};
+pub use eval::{evaluate, evaluate_from};
+pub use linear::{LinearPath, LinearStep, PathAxis, PathTest};
+pub use parser::{parse, XPathError};

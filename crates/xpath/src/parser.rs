@@ -1,0 +1,526 @@
+//! Recursive-descent parser for the XPath fragment.
+//!
+//! Grammar (whitespace insignificant except inside strings):
+//!
+//! ```text
+//! path      := ('/' | '//') steps | steps          (leading '/' optional for relative paths)
+//! steps     := step (('/' | '//') step)*
+//! step      := ('@')? (NAME | '*' | 'text()') predicate*
+//! predicate := '[' or-expr ']'
+//! or-expr   := and-expr ('or' and-expr)*
+//! and-expr  := unary ('and' unary)*
+//! unary     := 'not' '(' or-expr ')' | '(' or-expr ')' | comparison
+//! comparison:= path (CMP literal)?
+//! literal   := STRING | NUMBER
+//! CMP       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! ```
+
+use crate::ast::{Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step};
+use std::fmt;
+
+/// XPath syntax error with byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parse an XPath expression of the supported fragment.
+pub fn parse(input: &str) -> Result<LocationPath, XPathError> {
+    let mut p = P { s: input.as_bytes(), pos: 0 };
+    p.ws();
+    let path = p.path()?;
+    p.ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    if path.steps.is_empty() {
+        return Err(p.err("empty path"));
+    }
+    Ok(path)
+}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: &str) -> XPathError {
+        XPathError { message: msg.to_string(), offset: self.pos }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.s.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.s[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Does a keyword (`and`/`or`/`not`) start here, followed by a non-name char?
+    fn keyword(&mut self, kw: &str) -> bool {
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            let after = self.s.get(self.pos + kw.len()).copied();
+            if !after.is_some_and(is_name_byte) {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn path(&mut self) -> Result<LocationPath, XPathError> {
+        let mut steps = Vec::new();
+        let first_axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            // Leading '/' is consumed if present; relative paths also
+            // start with a child step.
+            self.eat("/");
+            Axis::Child
+        };
+        self.step(first_axis, &mut steps)?;
+        loop {
+            self.ws();
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.eat("/") {
+                Axis::Child
+            } else {
+                break;
+            };
+            self.step(axis, &mut steps)?;
+        }
+        Ok(LocationPath { steps })
+    }
+
+    fn step(&mut self, axis: Axis, out: &mut Vec<Step>) -> Result<(), XPathError> {
+        self.ws();
+        if self.s[self.pos..].starts_with(b"..") {
+            self.pos += 2;
+            if axis == Axis::Descendant {
+                return Err(self.err("'//..' is not supported"));
+            }
+            out.push(Step { axis: Axis::Parent, test: NameTest::Wildcard, predicates: vec![] });
+            return Ok(());
+        }
+        let (axis, test) = if self.eat("@") {
+            // `//@a` means "attribute a at any depth"; normalize it to the
+            // equivalent `//*/@a` so the attribute axis is always a plain
+            // child-of-element hop.
+            if axis == Axis::Descendant {
+                out.push(Step {
+                    axis: Axis::Descendant,
+                    test: NameTest::Wildcard,
+                    predicates: vec![],
+                });
+            }
+            if self.eat("*") {
+                (Axis::Attribute, NameTest::Wildcard)
+            } else {
+                (Axis::Attribute, NameTest::Name(self.name()?))
+            }
+        } else if self.eat("*") {
+            (axis, NameTest::Wildcard)
+        } else if self.s[self.pos..].starts_with(b"text()") {
+            self.pos += 6;
+            (axis, NameTest::Text)
+        } else {
+            (axis, NameTest::Name(self.name()?))
+        };
+        let mut step = Step { axis, test, predicates: vec![] };
+        loop {
+            self.ws();
+            if self.eat("[") {
+                let pred = self.or_expr()?;
+                self.ws();
+                if !self.eat("]") {
+                    return Err(self.err("expected ']'"));
+                }
+                step.predicates.push(pred);
+            } else {
+                break;
+            }
+        }
+        out.push(step);
+        Ok(())
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.and_expr()?;
+        loop {
+            self.ws();
+            if self.keyword("or") {
+                let right = self.and_expr()?;
+                left = Predicate::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, XPathError> {
+        let mut left = self.unary()?;
+        loop {
+            self.ws();
+            if self.keyword("and") {
+                let right = self.unary()?;
+                left = Predicate::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Predicate, XPathError> {
+        self.ws();
+        if self.keyword("contains") {
+            return self.string_function(CmpOp::Contains);
+        }
+        if self.keyword("starts-with") {
+            return self.string_function(CmpOp::StartsWith);
+        }
+        if self.keyword("not") {
+            self.ws();
+            if !self.eat("(") {
+                return Err(self.err("expected '(' after not"));
+            }
+            let inner = self.or_expr()?;
+            self.ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(Predicate::Not(Box::new(inner)));
+        }
+        if self.eat("(") {
+            let inner = self.or_expr()?;
+            self.ws();
+            if !self.eat(")") {
+                return Err(self.err("expected ')'"));
+            }
+            return Ok(inner);
+        }
+        self.comparison()
+    }
+
+    /// `contains(rel/path, "lit")` / `starts-with(rel/path, "lit")`.
+    /// The keyword has already been consumed.
+    fn string_function(&mut self, op: CmpOp) -> Result<Predicate, XPathError> {
+        self.ws();
+        if !self.eat("(") {
+            return Err(self.err("expected '(' after string function"));
+        }
+        self.ws();
+        // First argument: a relative path or `.`.
+        let path = if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'/')) {
+                self.path()?
+            } else {
+                LocationPath { steps: vec![] }
+            }
+        } else {
+            self.path()?
+        };
+        self.ws();
+        if !self.eat(",") {
+            return Err(self.err("expected ',' in string function"));
+        }
+        let lit = self.literal()?;
+        if !matches!(lit, Literal::Str(_)) {
+            return Err(self.err("string function argument must be a string literal"));
+        }
+        self.ws();
+        if !self.eat(")") {
+            return Err(self.err("expected ')' after string function"));
+        }
+        Ok(Predicate::Compare(path, op, lit))
+    }
+
+    fn comparison(&mut self) -> Result<Predicate, XPathError> {
+        self.ws();
+        // A predicate path may also be `.` (the context node's own value) or
+        // start with `.` as in `.//b`.
+        let path = if self.peek() == Some(b'.') && !self.s[self.pos..].starts_with(b"..") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'/')) {
+                self.path()?
+            } else {
+                LocationPath { steps: vec![] }
+            }
+        } else {
+            self.path()?
+        };
+        self.ws();
+        let op = if self.eat("!=") {
+            Some(CmpOp::Ne)
+        } else if self.eat("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => {
+                if path.steps.is_empty() {
+                    Err(self.err("'.' requires a comparison"))
+                } else {
+                    Ok(Predicate::Exists(path))
+                }
+            }
+            Some(op) => {
+                let lit = self.literal()?;
+                Ok(Predicate::Compare(path, op, lit))
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, XPathError> {
+        self.ws();
+        match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == q {
+                        let s = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                        self.pos += 1;
+                        return Ok(Literal::Str(s));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' || b == b'.' => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.') {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
+                text.parse::<f64>()
+                    .map(Literal::Num)
+                    .map_err(|_| self.err("invalid number literal"))
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XPathError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => self.pos += 1,
+            _ => return Err(self.err("expected name")),
+        }
+        while matches!(self.peek(), Some(b) if is_name_byte(b)) {
+            self.pos += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> LocationPath {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_absolute_child_path() {
+        let path = p("/site/regions/africa");
+        assert_eq!(path.steps.len(), 3);
+        assert!(path.steps.iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(path.to_string(), "/site/regions/africa");
+    }
+
+    #[test]
+    fn parses_descendant_axis() {
+        let path = p("//item/price");
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[1].axis, Axis::Child);
+        assert_eq!(path.to_string(), "//item/price");
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let path = p("/regions/*/item/*");
+        assert_eq!(path.steps[1].test, NameTest::Wildcard);
+        assert_eq!(path.steps[3].test, NameTest::Wildcard);
+    }
+
+    #[test]
+    fn parses_attribute_step() {
+        let path = p("/site/item/@id");
+        assert_eq!(path.steps[2].axis, Axis::Attribute);
+        assert_eq!(path.steps[2].test, NameTest::Name("id".into()));
+        assert_eq!(path.to_string(), "/site/item/@id");
+    }
+
+    #[test]
+    fn descendant_attribute_normalizes_to_wildcard_hop() {
+        let path = p("//@id");
+        assert_eq!(path.steps.len(), 2);
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[0].test, NameTest::Wildcard);
+        assert_eq!(path.steps[1].axis, Axis::Attribute);
+        assert_eq!(path.to_string(), "//*/@id");
+    }
+
+    #[test]
+    fn parses_text_step() {
+        let path = p("/a/b/text()");
+        assert_eq!(path.steps[2].test, NameTest::Text);
+    }
+
+    #[test]
+    fn parses_exists_predicate() {
+        let path = p("/site/item[price]");
+        assert_eq!(path.steps[1].predicates.len(), 1);
+        match &path.steps[1].predicates[0] {
+            Predicate::Exists(rel) => assert_eq!(rel.steps[0].test, NameTest::Name("price".into())),
+            other => panic!("expected Exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_comparison_predicates() {
+        let path = p("/site/item[price > 10.5]");
+        match &path.steps[1].predicates[0] {
+            Predicate::Compare(_, CmpOp::Gt, Literal::Num(n)) => assert_eq!(*n, 10.5),
+            other => panic!("unexpected {other:?}"),
+        }
+        let path = p(r#"//order[@status = "filled"]"#);
+        match &path.steps[0].predicates[0] {
+            Predicate::Compare(rel, CmpOp::Eq, Literal::Str(s)) => {
+                assert_eq!(rel.steps[0].axis, Axis::Attribute);
+                assert_eq!(s, "filled");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_combinations() {
+        let path = p(r#"/a/b[c = 1 and d = 2 or not(e)]"#);
+        match &path.steps[1].predicates[0] {
+            Predicate::Or(left, right) => {
+                assert!(matches!(**left, Predicate::And(_, _)));
+                assert!(matches!(**right, Predicate::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_predicate_paths() {
+        let path = p("/site//item[payment/status = \"ok\"]/name");
+        assert_eq!(path.steps.len(), 3);
+        match &path.steps[1].predicates[0] {
+            Predicate::Compare(rel, _, _) => assert_eq!(rel.steps.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dot_comparison() {
+        let path = p("/a/b[. = \"x\"]");
+        match &path.steps[1].predicates[0] {
+            Predicate::Compare(rel, CmpOp::Eq, _) => assert!(rel.steps.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_descendant_inside_predicate() {
+        let path = p("/a[.//b = 3]");
+        match &path.steps[0].predicates[0] {
+            Predicate::Compare(rel, _, _) => {
+                assert_eq!(rel.steps[0].axis, Axis::Descendant);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("/").is_err());
+        assert!(parse("/a/[b]").is_err());
+        assert!(parse("/a[b").is_err());
+        assert!(parse("/a]").is_err());
+        assert!(parse("/a[b = ]").is_err());
+        assert!(parse("/a[= 3]").is_err());
+        assert!(parse("/a[b = 'x]").is_err());
+        assert!(parse("/a bcd").is_err());
+    }
+
+    #[test]
+    fn names_with_punctuation() {
+        let path = p("/ns:doc/my-elem/my.field");
+        assert_eq!(path.steps[0].test, NameTest::Name("ns:doc".into()));
+        assert_eq!(path.steps[1].test, NameTest::Name("my-elem".into()));
+    }
+
+    #[test]
+    fn and_or_are_not_greedy_over_names() {
+        // `android` starts with `and` but is a name.
+        let path = p("/a[android = 1]");
+        match &path.steps[0].predicates[0] {
+            Predicate::Compare(rel, _, _) => {
+                assert_eq!(rel.steps[0].test, NameTest::Name("android".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for src in [
+            "/site/regions/africa/item/quantity",
+            "//item[price > 10]/name",
+            "/site//open_auction[bidder/increase = 3]",
+            "/a/b[c = \"v\" and d]",
+            "/order/@id",
+            "//*",
+        ] {
+            let once = p(src);
+            let again = p(&once.to_string());
+            assert_eq!(once, again, "round trip failed for {src}");
+        }
+    }
+}

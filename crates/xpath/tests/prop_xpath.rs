@@ -1,0 +1,179 @@
+//! Property tests: XPath display/parse round-trips, linearization, and
+//! evaluator sanity against generated documents.
+
+use proptest::prelude::*;
+use xia_xpath::{parse, Axis, LinearPath, LocationPath, NameTest, Step};
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (
+        prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
+        prop_oneof![
+            name().prop_map(NameTest::Name),
+            Just(NameTest::Wildcard),
+        ],
+    )
+        .prop_map(|(axis, test)| Step { axis, test, predicates: vec![] })
+}
+
+fn path_strategy() -> impl Strategy<Value = LocationPath> {
+    prop::collection::vec(step_strategy(), 1..6).prop_map(|mut steps| {
+        // Optionally end with an attribute step.
+        if steps.len() > 1 {
+            if let NameTest::Name(_) = steps.last().unwrap().test {
+                // leave as-is; attribute variant covered separately
+            }
+        }
+        for s in &mut steps {
+            s.predicates.clear();
+        }
+        LocationPath { steps }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// display → parse is the identity on predicate-free paths.
+    #[test]
+    fn display_parse_identity(path in path_strategy()) {
+        let text = path.to_string();
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(path, reparsed);
+    }
+
+    /// Linearization preserves the rendered form for predicate-free paths.
+    #[test]
+    fn linearization_preserves_text(path in path_strategy()) {
+        let lin = LinearPath::from_location_path(&path).unwrap();
+        prop_assert_eq!(lin.to_string(), path.to_string());
+        // And LinearPath::parse agrees.
+        let lin2 = LinearPath::parse(&path.to_string()).unwrap();
+        prop_assert_eq!(lin, lin2);
+    }
+
+    /// `//*` subsumes every linear path's matches on concrete label paths.
+    #[test]
+    fn any_pattern_is_top(labels in prop::collection::vec(name(), 1..6)) {
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        prop_assert!(LinearPath::any().matches_label_path(&refs, false));
+    }
+
+    /// A concrete path built from labels matches itself and nothing shorter.
+    #[test]
+    fn concrete_path_self_match(labels in prop::collection::vec(name(), 1..6)) {
+        let text = format!("/{}", labels.join("/"));
+        let lin = LinearPath::parse(&text).unwrap();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        prop_assert!(lin.matches_label_path(&refs, false));
+        if refs.len() > 1 {
+            prop_assert!(!lin.matches_label_path(&refs[..refs.len()-1], false));
+        }
+    }
+
+    /// Replacing any single step's test with a wildcard only widens matching.
+    #[test]
+    fn wildcard_generalization_widens(
+        labels in prop::collection::vec(name(), 1..6),
+        idx in 0usize..5,
+    ) {
+        let text = format!("/{}", labels.join("/"));
+        let mut lin = LinearPath::parse(&text).unwrap();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let idx = idx % lin.steps.len();
+        lin.steps[idx].test = xia_xpath::PathTest::Wildcard;
+        prop_assert!(lin.matches_label_path(&refs, false),
+            "wildcarded pattern {} must still match original labels", lin);
+    }
+
+    /// Turning a child axis into descendant only widens matching.
+    #[test]
+    fn descendant_generalization_widens(
+        labels in prop::collection::vec(name(), 1..6),
+        idx in 0usize..5,
+    ) {
+        let text = format!("/{}", labels.join("/"));
+        let mut lin = LinearPath::parse(&text).unwrap();
+        let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let idx = idx % lin.steps.len();
+        lin.steps[idx].axis = xia_xpath::PathAxis::Descendant;
+        prop_assert!(lin.matches_label_path(&refs, false));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator vs. label-path matcher cross-check on generated documents.
+// ---------------------------------------------------------------------------
+
+use xia_xml::{Document, DocumentBuilder};
+
+fn small_doc_strategy() -> impl Strategy<Value = Document> {
+    // Trees over a tiny alphabet so descendant/wildcard patterns hit often.
+    #[derive(Debug, Clone)]
+    struct T(String, Vec<T>);
+    let label = prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string);
+    let leaf = label.clone().prop_map(|l| T(l, vec![]));
+    let tree = leaf.prop_recursive(3, 20, 3, move |inner| {
+        (prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
+         prop::collection::vec(inner, 0..3))
+            .prop_map(|(l, kids)| T(l, kids))
+    });
+    tree.prop_map(|t| {
+        fn rec(b: &mut DocumentBuilder, t: &T) {
+            b.open(&t.0);
+            for k in &t.1 {
+                rec(b, k);
+            }
+            b.close();
+        }
+        let mut b = DocumentBuilder::new();
+        rec(&mut b, &t);
+        b.finish().unwrap()
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just("/"), Just("//")],
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("*")],
+        ),
+        1..4,
+    )
+    .prop_map(|steps| steps.into_iter().map(|(a, t)| format!("{a}{t}")).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The navigational evaluator and the label-path matcher agree on
+    /// which element nodes a linear pattern selects.
+    #[test]
+    fn evaluator_agrees_with_label_matcher(doc in small_doc_strategy(), pat in pattern_strategy()) {
+        let path = parse(&pat).unwrap();
+        let lin = LinearPath::from_location_path(&path).unwrap();
+        let selected: std::collections::HashSet<_> =
+            xia_xpath::evaluate(&doc, &path).into_iter().collect();
+        for n in doc.all_nodes() {
+            if doc.kind(n) != xia_xml::NodeKind::Element {
+                continue;
+            }
+            let labels_owned: Vec<String> = doc
+                .label_path(n)
+                .iter()
+                .map(|&id| doc.names().resolve(id).to_string())
+                .collect();
+            let labels: Vec<&str> = labels_owned.iter().map(String::as_str).collect();
+            let by_matcher = lin.matches_label_path(&labels, false);
+            let by_eval = selected.contains(&n);
+            prop_assert_eq!(
+                by_matcher, by_eval,
+                "disagreement on node {:?} (path {}) for pattern {}",
+                labels, n.as_u32(), lin
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The normalized query IR consumed by the optimizer and advisor.
+
+use std::fmt;
+use xia_xpath::{CmpOp, LinearPath, Literal};
+
+/// Surface language a query was written in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    XPath,
+    XQuery,
+    SqlXml,
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Language::XPath => "XPath",
+            Language::XQuery => "XQuery",
+            Language::SqlXml => "SQL/XML",
+        })
+    }
+}
+
+/// One indexable atom of a query: a rooted linear path, an optional value
+/// comparison on the selected nodes, and how the atom participates in the
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAtom {
+    /// Rooted linear path selecting the nodes this atom concerns.
+    pub path: LinearPath,
+    /// Optional value comparison applied to the selected nodes.
+    pub value: Option<(CmpOp, Literal)>,
+    /// True when the atom must hold for a result row (AND-connected
+    /// selection); false for atoms under `or`/`not` or pure extraction
+    /// paths. Only required atoms drive index-AND plan selection, but all
+    /// atoms are visible to candidate enumeration.
+    pub required: bool,
+    /// True when this atom is the query's result/extraction path rather
+    /// than a filter.
+    pub is_extraction: bool,
+    /// Disjunction membership: `Some((group, branch))` when the atom came
+    /// from one branch of a top-level OR inside a predicate. Every
+    /// qualifying node satisfies at least one branch of each group, so an
+    /// index-ORing plan may union per-branch index results. `None` for
+    /// conjunctive atoms.
+    pub or_group: Option<(u32, u32)>,
+    /// For extraction atoms: true when the linear path selects *exactly*
+    /// the query's result nodes. False when linearization was lossy (a
+    /// trailing `text()` step was dropped, or a `..` step was folded
+    /// away), in which case the path over-approximates the results and
+    /// index-only plans must not be used.
+    pub exact: bool,
+}
+
+impl QueryAtom {
+    pub fn filter(path: LinearPath, value: Option<(CmpOp, Literal)>, required: bool) -> QueryAtom {
+        QueryAtom { path, value, required, is_extraction: false, or_group: None, exact: true }
+    }
+
+    pub fn extraction(path: LinearPath) -> QueryAtom {
+        QueryAtom {
+            path,
+            value: None,
+            required: false,
+            is_extraction: true,
+            or_group: None,
+            exact: true,
+        }
+    }
+}
+
+impl fmt::Display for QueryAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.path)?;
+        if let Some((op, lit)) = &self.value {
+            write!(f, " {op} {lit}")?;
+        }
+        if self.is_extraction {
+            write!(f, " (extract)")?;
+        } else if !self.required {
+            write!(f, " (opt)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A compiled query: the collection it runs over, its path atoms, and the
+/// full XPath retained for exact (navigational) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedQuery {
+    pub collection: String,
+    /// Path atoms in source order. The *first extraction atom* is the
+    /// query's result path.
+    pub atoms: Vec<QueryAtom>,
+    /// The full predicate-bearing XPath equivalent of the query's result
+    /// expression, used by the executor as ground truth.
+    pub xpath: xia_xpath::LocationPath,
+    /// Document-level existence conditions (SQL/XML `XMLEXISTS` clauses):
+    /// a document contributes results only if *every* filter selects at
+    /// least one node in it. Empty for XPath and XQuery queries, whose
+    /// conditions live inside `xpath` itself.
+    pub doc_filters: Vec<xia_xpath::LocationPath>,
+    /// Original query text.
+    pub text: String,
+    pub language: Language,
+}
+
+impl NormalizedQuery {
+    /// Atoms that must hold for every result (drive plan selection).
+    pub fn required_atoms(&self) -> impl Iterator<Item = &QueryAtom> {
+        self.atoms.iter().filter(|a| a.required)
+    }
+
+    /// The result path of the query.
+    pub fn extraction(&self) -> Option<&QueryAtom> {
+        self.atoms.iter().find(|a| a.is_extraction)
+    }
+
+    /// Execute this query navigationally on one document — the reference
+    /// semantics every plan must reproduce. Applies the document-level
+    /// filters, then evaluates the result expression.
+    pub fn run_on_document(&self, doc: &xia_xml::Document) -> Vec<xia_xml::NodeId> {
+        if self
+            .doc_filters
+            .iter()
+            .any(|f| xia_xpath::evaluate(doc, f).is_empty())
+        {
+            return Vec::new();
+        }
+        xia_xpath::evaluate(doc, &self.xpath)
+    }
+}
+
+impl fmt::Display for NormalizedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} query over '{}':", self.language, self.collection)?;
+        for a in &self.atoms {
+            writeln!(f, "  atom: {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compilation error for any front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryError {
+    pub message: String,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<xia_xpath::XPathError> for QueryError {
+    fn from(e: xia_xpath::XPathError) -> Self {
+        QueryError { message: e.to_string() }
+    }
+}

@@ -1,0 +1,56 @@
+//! # xia-xquery
+//!
+//! Query front ends. The paper's advisor supports "the different query
+//! languages supported by the optimizer (XQuery and SQL/XML in the case
+//! of DB2)" *for free*, because it only ever sees what the optimizer's
+//! index-matching phase matched. We reproduce that architecture: three
+//! surface languages all lower to one [`NormalizedQuery`] IR of path
+//! atoms, and everything downstream (optimizer, advisor) is
+//! language-agnostic.
+//!
+//! Supported surfaces:
+//! * **XPath** — used directly as a query.
+//! * **mini-XQuery** — single-variable FLWOR:
+//!   `for $i in collection("c")//item where $i/price > 3 return $i/name`.
+//! * **SQL/XML-lite** — `SELECT XMLQUERY('...') FROM c WHERE
+//!   XMLEXISTS('...') AND XMLEXISTS('...')`.
+//!
+//! ```
+//! use xia_xquery::{compile, Language};
+//!
+//! let q = compile(
+//!     r#"for $i in collection("auctions")//item where $i/price > 100 return $i/name"#,
+//!     "auctions",
+//! ).unwrap();
+//! assert_eq!(q.language, Language::XQuery);
+//! assert_eq!(q.collection, "auctions");
+//! assert_eq!(q.atoms.len(), 2); // //item/price > 100, //item/name extraction
+//! ```
+
+mod ir;
+mod lower;
+mod sqlxml;
+mod xquery;
+
+pub use ir::{Language, NormalizedQuery, QueryAtom, QueryError};
+pub use lower::lower_xpath;
+
+/// Compile any supported query text into the normalized IR.
+///
+/// The language is auto-detected: `for $…` is XQuery, `SELECT …` is
+/// SQL/XML, anything else is treated as XPath. `default_collection` is
+/// used when the query text does not name one (bare XPath).
+pub fn compile(text: &str, default_collection: &str) -> Result<NormalizedQuery, QueryError> {
+    let trimmed = text.trim();
+    let lower = trimmed.to_ascii_lowercase();
+    if lower.starts_with("for ") || lower.starts_with("for$") {
+        xquery::parse_xquery(trimmed)
+    } else if lower.starts_with("select") {
+        sqlxml::parse_sqlxml(trimmed)
+    } else {
+        let path = xia_xpath::parse(trimmed).map_err(|e| QueryError {
+            message: format!("XPath: {e}"),
+        })?;
+        Ok(lower::lower_xpath(&path, default_collection, trimmed, Language::XPath)?)
+    }
+}

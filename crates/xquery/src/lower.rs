@@ -1,0 +1,403 @@
+//! Lowering a predicate-bearing XPath into path atoms.
+//!
+//! Every predicate contributes a filter atom rooted at the document: for
+//! `/site//item[price > 10]/name`, the trunk `/site//item` concatenated
+//! with the relative predicate path `price` yields the filter atom
+//! `/site//item/price > 10`, and the full trunk `/site//item/name` is the
+//! extraction atom. Atoms under `or`/`not` are recorded as non-required:
+//! candidate enumeration sees them, plan selection does not rely on them.
+
+use crate::ir::{Language, NormalizedQuery, QueryAtom, QueryError};
+use xia_xpath::{LinearPath, LinearStep, LocationPath, Predicate};
+
+/// Monotone counter for OR-group ids within one lowering run.
+struct GroupAlloc(u32);
+
+/// Lower a parsed XPath into the normalized IR.
+pub fn lower_xpath(
+    path: &LocationPath,
+    collection: &str,
+    text: &str,
+    language: Language,
+) -> Result<NormalizedQuery, QueryError> {
+    let mut atoms = Vec::new();
+    let mut trunk: Vec<LinearStep> = Vec::new();
+    let mut groups = GroupAlloc(0);
+    // True once the trunk stops being an exact description of the result
+    // set (a `..` was folded away or a `text()` tail dropped): the trunk
+    // is then only an over-approximation usable for filtering, never for
+    // index-only answering.
+    let mut lossy = false;
+    let mut opaque = false;
+    // A dropped text() step contributes nothing to the trunk, so a `..`
+    // right after it must not pop the text node's element — the trunk
+    // already denotes the text node's parent.
+    let mut last_was_text = false;
+    for step in &path.steps {
+        // Extend the trunk with this step, mirroring trunk_of's rules.
+        match step.axis {
+            xia_xpath::Axis::Parent => {
+                lossy = true;
+                if last_was_text {
+                    last_was_text = false;
+                    continue;
+                }
+                match trunk.pop() {
+                    Some(prev)
+                        if prev.axis == xia_xpath::PathAxis::Child && !prev.is_attribute => {}
+                    _ => {
+                        // Cannot express the trunk linearly at all; the
+                        // query stays executable but unindexable.
+                        opaque = true;
+                        break;
+                    }
+                }
+            }
+            _ => {
+                let partial = LocationPath {
+                    steps: vec![xia_xpath::Step {
+                        axis: step.axis,
+                        test: step.test.clone(),
+                        predicates: vec![],
+                    }],
+                };
+                match LinearPath::trunk_of(&partial) {
+                    Some(lin) => {
+                        last_was_text = matches!(step.test, xia_xpath::NameTest::Text);
+                        if last_was_text {
+                            lossy = true;
+                        }
+                        trunk.extend(lin.steps);
+                    }
+                    None => {
+                        opaque = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for pred in &step.predicates {
+            lower_predicate(&trunk, pred, true, &mut atoms, &mut groups)?;
+        }
+    }
+    if opaque {
+        // Navigationally executable, not indexable (paper: "indexes cannot
+        // be used for some [patterns] because of certain language
+        // features").
+        return Ok(NormalizedQuery {
+            collection: collection.to_string(),
+            atoms: Vec::new(),
+            xpath: path.clone(),
+            doc_filters: Vec::new(),
+            text: text.to_string(),
+            language,
+        });
+    }
+    let extraction = LinearPath::new(trunk);
+    if extraction.is_empty() {
+        if lossy {
+            // `/a/..` folded the trunk away entirely; the query is still
+            // executable (it selects the document node's children-of-parent
+            // — nothing, in our model) but has no indexable form.
+            return Ok(NormalizedQuery {
+                collection: collection.to_string(),
+                atoms: Vec::new(),
+                xpath: path.clone(),
+                doc_filters: Vec::new(),
+                text: text.to_string(),
+                language,
+            });
+        }
+        return Err(QueryError { message: "query selects nothing".into() });
+    }
+    let mut ext = QueryAtom::extraction(extraction);
+    // The result path must be reachable for any result to exist, so it is
+    // also a required structural condition.
+    ext.required = true;
+    ext.exact = !lossy;
+    atoms.push(ext);
+    Ok(NormalizedQuery {
+        collection: collection.to_string(),
+        atoms,
+        xpath: path.clone(),
+        doc_filters: Vec::new(),
+        text: text.to_string(),
+        language,
+    })
+}
+
+fn lower_predicate(
+    trunk: &[LinearStep],
+    pred: &Predicate,
+    required: bool,
+    out: &mut Vec<QueryAtom>,
+    groups: &mut GroupAlloc,
+) -> Result<(), QueryError> {
+    match pred {
+        Predicate::Exists(rel) => {
+            match join(trunk, rel) {
+                Join::Path(path) => out.push(QueryAtom::filter(path, None, required)),
+                Join::Dot => {}
+                // Parent axis / mid-path text() in the predicate: the
+                // predicate stays executable through `xpath`, it just
+                // contributes no indexable atom.
+                Join::Unindexable => return Ok(()),
+            }
+            lower_nested(trunk, rel, out, groups)?;
+        }
+        Predicate::Compare(rel, op, lit) => {
+            let path = match join(trunk, rel) {
+                Join::Path(p) => p,
+                // `. = v`: the comparison applies to the trunk itself.
+                Join::Dot => LinearPath::new(trunk.to_vec()),
+                Join::Unindexable => return Ok(()),
+            };
+            out.push(QueryAtom::filter(path, Some((*op, lit.clone())), required));
+            lower_nested(trunk, rel, out, groups)?;
+        }
+        Predicate::And(a, b) => {
+            lower_predicate(trunk, a, required, out, groups)?;
+            lower_predicate(trunk, b, required, out, groups)?;
+        }
+        Predicate::Or(a, b) => {
+            // Flatten the OR chain into branches. If this disjunction sits
+            // at a required position, its branches form an OR group an
+            // index-ORing plan can cover; mark each branch's atoms.
+            let mut branches = Vec::new();
+            flatten_or(pred, &mut branches);
+            let _ = (a, b);
+            // A group is only sound when EVERY branch is a pure conjunction
+            // of taggable filters: the index-ORing plan unions exactly the
+            // tagged branches, so one untagged (not(...)/nested-or) branch
+            // would make the union silently drop that branch's documents.
+            let group = if required && branches.iter().all(|br| branch_is_conjunctive(br)) {
+                let id = groups.0;
+                groups.0 += 1;
+                Some(id)
+            } else {
+                None
+            };
+            let group_start = out.len();
+            let mut every_branch_tagged = true;
+            for (bi, branch) in branches.iter().enumerate() {
+                let start = out.len();
+                lower_predicate(trunk, branch, false, out, groups)?;
+                if group.is_some() && out.len() == start {
+                    // A syntactically conjunctive branch can still produce
+                    // zero atoms (parent axis / mid-path text() in its
+                    // relative path). The optimizer reconstructs groups from
+                    // visible atoms only, so an atom-less branch would make
+                    // an index-ORing plan silently drop that branch's
+                    // documents. Invalidate the whole group.
+                    every_branch_tagged = false;
+                }
+                if let Some(g) = group {
+                    for atom in &mut out[start..] {
+                        atom.or_group = Some((g, bi as u32));
+                    }
+                }
+            }
+            if group.is_some() && !every_branch_tagged {
+                for atom in &mut out[group_start..] {
+                    atom.or_group = None;
+                }
+            }
+        }
+        Predicate::Not(a) => {
+            lower_predicate(trunk, a, false, out, groups)?;
+        }
+    }
+    Ok(())
+}
+
+/// Flatten nested Or chains into a list of branches.
+fn flatten_or<'p>(pred: &'p Predicate, out: &mut Vec<&'p Predicate>) {
+    match pred {
+        Predicate::Or(a, b) => {
+            flatten_or(a, out);
+            flatten_or(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// True if the branch is built only from Compare/Exists/And — the shapes
+/// whose atoms all over-approximate the branch's qualifying documents.
+fn branch_is_conjunctive(pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Compare(..) | Predicate::Exists(_) => true,
+        Predicate::And(a, b) => branch_is_conjunctive(a) && branch_is_conjunctive(b),
+        Predicate::Or(..) | Predicate::Not(_) => false,
+    }
+}
+
+/// Predicates nested inside a relative path (e.g. `[a[b=1]/c]`) become
+/// their own atoms, never required (the outer structure already is).
+fn lower_nested(
+    trunk: &[LinearStep],
+    rel: &LocationPath,
+    out: &mut Vec<QueryAtom>,
+    groups: &mut GroupAlloc,
+) -> Result<(), QueryError> {
+    let mut inner_trunk = trunk.to_vec();
+    for step in &rel.steps {
+        let partial = LocationPath { steps: vec![xia_xpath::Step {
+            axis: step.axis,
+            test: step.test.clone(),
+            predicates: vec![],
+        }] };
+        if let Some(lin) = LinearPath::trunk_of(&partial) {
+            inner_trunk.extend(lin.steps);
+        }
+        for p in &step.predicates {
+            lower_predicate(&inner_trunk, p, false, out, groups)?;
+        }
+    }
+    Ok(())
+}
+
+/// Result of joining the trunk with a predicate-relative path.
+enum Join {
+    /// The empty (`.`) relative path: the predicate targets the trunk.
+    Dot,
+    /// A linearizable predicate path, rooted at the document.
+    Path(LinearPath),
+    /// The relative path has no linear form (parent axis, mid-path
+    /// `text()`): no atom can be derived, execution handles it.
+    Unindexable,
+}
+
+/// Concatenate trunk and a relative path.
+fn join(trunk: &[LinearStep], rel: &LocationPath) -> Join {
+    if rel.steps.is_empty() {
+        return Join::Dot;
+    }
+    let Some(lin) = LinearPath::trunk_of(rel) else {
+        return Join::Unindexable;
+    };
+    let mut steps = trunk.to_vec();
+    steps.extend(lin.steps);
+    Join::Path(LinearPath::new(steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xpath::parse;
+
+    fn lower(q: &str) -> NormalizedQuery {
+        lower_xpath(&parse(q).unwrap(), "c", q, Language::XPath).unwrap()
+    }
+
+    fn atom_strings(q: &str) -> Vec<String> {
+        lower(q).atoms.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_path_yields_one_extraction() {
+        let atoms = atom_strings("/site/item/name");
+        assert_eq!(atoms, vec!["/site/item/name (extract)"]);
+        let q = lower("/site/item/name");
+        assert!(q.extraction().unwrap().required);
+    }
+
+    #[test]
+    fn predicate_becomes_filter_atom() {
+        let atoms = atom_strings("/site//item[price > 10]/name");
+        assert_eq!(
+            atoms,
+            vec!["/site//item/price > 10", "/site//item/name (extract)"]
+        );
+    }
+
+    #[test]
+    fn exists_predicate_atom() {
+        let atoms = atom_strings("//person[age]");
+        assert_eq!(atoms, vec!["//person/age", "//person (extract)"]);
+    }
+
+    #[test]
+    fn and_keeps_required_or_does_not() {
+        let q = lower(r#"//item[price > 10 and quantity = 2]"#);
+        assert!(q.atoms[0].required && q.atoms[1].required);
+        let q = lower(r#"//item[price > 10 or quantity = 2]"#);
+        assert!(!q.atoms[0].required && !q.atoms[1].required);
+        let q = lower("//item[not(sold)]");
+        assert!(!q.atoms[0].required);
+    }
+
+    #[test]
+    fn attribute_predicates_and_extraction() {
+        let atoms = atom_strings(r#"//order[@status = "filled"]/@id"#);
+        assert_eq!(
+            atoms,
+            vec!["//order/@status = \"filled\"", "//order/@id (extract)"]
+        );
+    }
+
+    #[test]
+    fn dot_comparison_targets_trunk() {
+        let atoms = atom_strings(r#"//name[. = "Ann"]"#);
+        assert_eq!(atoms, vec!["//name = \"Ann\"", "//name (extract)"]);
+    }
+
+    #[test]
+    fn trailing_text_step_is_dropped_in_atoms() {
+        let atoms = atom_strings("/a/b/text()");
+        assert_eq!(atoms, vec!["/a/b (extract)"]);
+    }
+
+    #[test]
+    fn nested_predicates_lowered() {
+        let atoms = atom_strings("/site/regions[*/item[price > 20]]");
+        assert_eq!(
+            atoms,
+            vec![
+                "/site/regions/*/item",
+                "/site/regions/*/item/price > 20 (opt)",
+                "/site/regions (extract)",
+            ]
+        );
+    }
+
+    #[test]
+    fn parent_axis_in_predicate_skips_atom_but_compiles() {
+        // `[../promo]` has no linear form; the query still compiles and
+        // keeps its extraction atom.
+        let q = lower("/shop/item[../promo]/name");
+        let strs: Vec<String> = q.atoms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(strs, vec!["/shop/item/name (extract)"]);
+    }
+
+    #[test]
+    fn trunk_folded_to_nothing_compiles_opaque() {
+        let q = lower("/shop/..");
+        assert!(q.atoms.is_empty());
+    }
+
+    #[test]
+    fn parent_after_text_does_not_pop_the_element() {
+        // /a/text()/../b selects b children of the text node's parent (a).
+        // text() adds no trunk step, so `..` must not pop `a`.
+        let q = lower("/a/text()/../b");
+        let ext = q.extraction().expect("extraction survives");
+        assert_eq!(ext.path.to_string(), "/a/b");
+        assert!(!ext.exact, "folded paths are never exact");
+    }
+
+    #[test]
+    fn parent_axis_in_predicate_compiles_and_skips_atom() {
+        let q = lower("//item[../sold = 1]");
+        let strs: Vec<String> = q.atoms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(strs, vec!["//item (extract)"]);
+    }
+
+    #[test]
+    fn multi_step_predicate_path() {
+        let atoms = atom_strings(r#"//open_auction[bidder/increase > 3]"#);
+        assert_eq!(
+            atoms,
+            vec!["//open_auction/bidder/increase > 3", "//open_auction (extract)"]
+        );
+    }
+}

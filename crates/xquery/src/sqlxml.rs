@@ -1,0 +1,226 @@
+//! SQL/XML-lite front end.
+//!
+//! ```text
+//! SELECT XMLQUERY('$d//item/name' PASSING doc AS "d")
+//! FROM auctions
+//! WHERE XMLEXISTS('$d//item[price > 100]' PASSING doc AS "d")
+//!   AND XMLEXISTS('$d//item[quantity = 2]')
+//! ```
+//!
+//! The `PASSING` clause is accepted and ignored (there is a single XML
+//! column). The XMLQUERY path is the extraction; every XMLEXISTS argument
+//! contributes its filter atoms. All `$var` prefixes inside the quoted
+//! XPath are stripped, since they all refer to the document root.
+
+use crate::ir::{Language, NormalizedQuery, QueryAtom, QueryError};
+use crate::lower::lower_xpath;
+
+pub(crate) fn parse_sqlxml(text: &str) -> Result<NormalizedQuery, QueryError> {
+    let lower = text.to_ascii_lowercase();
+    let from_pos = find_kw(&lower, "from")
+        .ok_or_else(|| QueryError { message: "SQL/XML: missing FROM".into() })?;
+    let after_from = text[from_pos + 4..].trim_start();
+    let collection: String = after_from
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if collection.is_empty() {
+        return Err(QueryError { message: "SQL/XML: missing collection after FROM".into() });
+    }
+
+    // Extraction: XMLQUERY('...'). Optional — SELECT 1 FROM ... WHERE
+    // XMLEXISTS(...) is a pure existence query.
+    let query_path = extract_fn_arg(text, &lower, "xmlquery")?;
+    let exists_paths = extract_all_fn_args(text, &lower, "xmlexists")?;
+    if query_path.is_none() && exists_paths.is_empty() {
+        return Err(QueryError {
+            message: "SQL/XML: no XMLQUERY or XMLEXISTS found".into(),
+        });
+    }
+
+    // Lower the extraction (or a trivial root query) to get the base IR.
+    let mut atoms: Vec<QueryAtom> = Vec::new();
+    let mut xpath_for_exec = None;
+    let mut doc_filters = Vec::new();
+    if let Some(qp) = &query_path {
+        let parsed = xia_xpath::parse(qp).map_err(|e| QueryError {
+            message: format!("XMLQUERY path: {e}"),
+        })?;
+        let base = lower_xpath(&parsed, &collection, text, Language::SqlXml)?;
+        atoms.extend(base.atoms);
+        xpath_for_exec = Some(parsed);
+    }
+    for ep in &exists_paths {
+        let parsed = xia_xpath::parse(ep).map_err(|e| QueryError {
+            message: format!("XMLEXISTS path: {e}"),
+        })?;
+        let sub = lower_xpath(&parsed, &collection, text, Language::SqlXml)?;
+        // The extraction atom of an XMLEXISTS argument is a required
+        // structural filter, not an extraction, for the outer query.
+        for mut a in sub.atoms {
+            if a.is_extraction {
+                a.is_extraction = false;
+            }
+            atoms.push(a);
+        }
+        if xpath_for_exec.is_none() {
+            // Pure-existence query: the "result" is the existence witness.
+            xpath_for_exec = Some(parsed.clone());
+        } else {
+            doc_filters.push(parsed);
+        }
+    }
+
+    Ok(NormalizedQuery {
+        collection,
+        atoms,
+        xpath: xpath_for_exec.expect("at least one path exists"),
+        doc_filters,
+        text: text.to_string(),
+        language: Language::SqlXml,
+    })
+}
+
+/// Find keyword at word boundary.
+fn find_kw(haystack_lower: &str, kw: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = haystack_lower[from..].find(kw) {
+        let pos = from + rel;
+        let before_ok = pos == 0
+            || !haystack_lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
+        let after = haystack_lower.as_bytes().get(pos + kw.len());
+        let after_ok = !after.is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + kw.len();
+    }
+    None
+}
+
+/// First `fname('...')` argument, with `$var` prefixes stripped.
+fn extract_fn_arg(
+    text: &str,
+    lower: &str,
+    fname: &str,
+) -> Result<Option<String>, QueryError> {
+    Ok(extract_all_fn_args_inner(text, lower, fname)?.into_iter().next())
+}
+
+fn extract_all_fn_args(
+    text: &str,
+    lower: &str,
+    fname: &str,
+) -> Result<Vec<String>, QueryError> {
+    extract_all_fn_args_inner(text, lower, fname)
+}
+
+fn extract_all_fn_args_inner(
+    text: &str,
+    lower: &str,
+    fname: &str,
+) -> Result<Vec<String>, QueryError> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = lower[from..].find(fname) {
+        let pos = from + rel;
+        let after = &text[pos + fname.len()..];
+        let after_trim = after.trim_start();
+        if !after_trim.starts_with('(') {
+            from = pos + fname.len();
+            continue;
+        }
+        let inner = after_trim[1..].trim_start();
+        let quote = inner
+            .chars()
+            .next()
+            .filter(|&c| c == '\'' || c == '"')
+            .ok_or_else(|| QueryError {
+                message: format!("{fname}: expected quoted XPath argument"),
+            })?;
+        let rest = &inner[1..];
+        let end = rest.find(quote).ok_or_else(|| QueryError {
+            message: format!("{fname}: unterminated XPath argument"),
+        })?;
+        out.push(strip_vars(&rest[..end]));
+        from = pos + fname.len();
+    }
+    Ok(out)
+}
+
+/// Remove `$name` variable references (they all denote the document root
+/// in our single-column model): `$d//item` → `//item`.
+fn strip_vars(xpath: &str) -> String {
+    let mut out = String::with_capacity(xpath.len());
+    let mut chars = xpath.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '$' {
+            while chars.peek().is_some_and(|c| c.is_alphanumeric() || *c == '_') {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(q: &str) -> Vec<String> {
+        parse_sqlxml(q).unwrap().atoms.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn select_with_query_and_exists() {
+        let q = parse_sqlxml(
+            r#"SELECT XMLQUERY('$d//item/name' PASSING doc AS "d") FROM auctions WHERE XMLEXISTS('$d//item[price > 100]' PASSING doc AS "d")"#,
+        )
+        .unwrap();
+        assert_eq!(q.collection, "auctions");
+        assert_eq!(q.language, Language::SqlXml);
+        let strs: Vec<String> = q.atoms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            strs,
+            vec!["//item/name (extract)", "//item/price > 100", "//item"]
+        );
+    }
+
+    #[test]
+    fn exists_only_query() {
+        let strs = atoms(
+            r#"SELECT 1 FROM orders WHERE XMLEXISTS('$d/FIXML/Order[@Side = "2"]')"#,
+        );
+        assert_eq!(strs, vec!["/FIXML/Order/@Side = \"2\"", "/FIXML/Order"]);
+    }
+
+    #[test]
+    fn multiple_exists_clauses() {
+        let strs = atoms(
+            r#"SELECT 1 FROM c WHERE XMLEXISTS('$d//a[x = 1]') AND XMLEXISTS('$d//b[y = 2]')"#,
+        );
+        assert_eq!(
+            strs,
+            vec!["//a/x = 1", "//a", "//b/y = 2", "//b"]
+        );
+    }
+
+    #[test]
+    fn missing_from_is_error() {
+        assert!(parse_sqlxml("SELECT XMLQUERY('//a')").is_err());
+    }
+
+    #[test]
+    fn no_xml_functions_is_error() {
+        assert!(parse_sqlxml("SELECT 1 FROM t WHERE x = 1").is_err());
+    }
+
+    #[test]
+    fn strip_vars_removes_dollar_names() {
+        assert_eq!(strip_vars("$doc//item/$x/name"), "//item//name");
+        assert_eq!(strip_vars("$d//item"), "//item");
+        assert_eq!(strip_vars("//plain"), "//plain");
+    }
+}

@@ -1,0 +1,452 @@
+//! Mini-XQuery front end: single-variable FLWOR expressions.
+//!
+//! ```text
+//! for $i in collection("auctions")//item
+//! where $i/price > 100 and $i/@id = "x17"
+//! return $i/name
+//! ```
+//!
+//! Also accepts `doc("...")` as the source and a bare `return $i`. The
+//! binding path, the where-clause comparisons and the return path are
+//! fused into a single predicate-bearing XPath, which then goes through
+//! the common lowering — so XQuery and XPath queries with the same
+//! meaning produce identical atoms (the language-independence the paper
+//! gets from optimizer coupling).
+
+use crate::ir::{Language, NormalizedQuery, QueryError};
+use crate::lower::lower_xpath;
+use xia_xpath::{LocationPath, Predicate};
+
+pub(crate) fn parse_xquery(text: &str) -> Result<NormalizedQuery, QueryError> {
+    let mut p = Cursor { s: text, pos: 0 };
+    p.expect_kw("for")?;
+    let var = p.variable()?;
+    p.expect_kw("in")?;
+    let (collection, bind_path) = p.source()?;
+
+    // `let $v := $base/rel/path` clauses: resolved to paths relative to
+    // the for-variable, then substituted into where/return.
+    let mut lets: Vec<(String, String)> = Vec::new();
+    while p.try_kw("let") {
+        let name = p.variable()?;
+        p.skip_ws();
+        if !p.s[p.pos..].starts_with(":=") {
+            return Err(p.err("expected ':=' in let clause"));
+        }
+        p.pos += 2;
+        let expr = p.take_until_kw(&["let", "where", "return"]).trim().to_string();
+        let resolved = resolve_var_expr(&expr, &var, &lets)
+            .ok_or_else(|| p.err(format!("let ${name} must be a path under ${var}")))?;
+        lets.push((name, resolved));
+    }
+
+    let mut where_pred: Option<Predicate> = None;
+    if p.try_kw("where") {
+        where_pred = Some(p.condition_with_lets(&var, &lets)?);
+    }
+    p.expect_kw("return")?;
+    let ret_rel = p.return_path_with_lets(&var, &lets)?;
+    p.skip_ws();
+    if p.pos < p.s.len() {
+        return Err(QueryError { message: format!("trailing XQuery input at {}", p.pos) });
+    }
+
+    // Fuse: bind_path [where] / return_rel
+    let mut fused: LocationPath = bind_path;
+    if let Some(pred) = where_pred {
+        fused
+            .steps
+            .last_mut()
+            .expect("binding path is non-empty")
+            .predicates
+            .push(pred);
+    }
+    if let Some(rel) = ret_rel {
+        fused.steps.extend(rel.steps);
+    }
+    lower_xpath(&fused, &collection, text, Language::XQuery)
+}
+
+/// Resolve `$x/rel` (where `$x` is the for-variable or an earlier let)
+/// to a path relative to the for-variable. Returns `None` when the
+/// expression is not rooted in a known variable.
+fn resolve_var_expr(expr: &str, base: &str, lets: &[(String, String)]) -> Option<String> {
+    let expr = expr.trim();
+    let rest = expr.strip_prefix('$')?;
+    // Longest variable name match first, so `$price2` is not read as
+    // `$price` + garbage.
+    let mut candidates: Vec<(&str, &str)> = lets
+        .iter()
+        .map(|(n, r)| (n.as_str(), r.as_str()))
+        .chain(std::iter::once((base, "")))
+        .collect();
+    candidates.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+    for (name, prefix) in candidates {
+        if let Some(tail) = rest.strip_prefix(name) {
+            if tail.is_empty() {
+                return Some(prefix.to_string());
+            }
+            if let Some(tail) = tail.strip_prefix('/') {
+                return Some(if prefix.is_empty() {
+                    tail.to_string()
+                } else {
+                    format!("{prefix}/{tail}")
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Substitute every `$var` occurrence in a clause with its resolved
+/// relative path (lets first, then the for-variable → `.`). Replacement
+/// is name-boundary aware, so `$p` never eats the front of `$price`.
+fn substitute_vars(clause: &str, base: &str, lets: &[(String, String)]) -> String {
+    let mut subs: Vec<(&str, String)> = lets
+        .iter()
+        // An alias let (`let $p := $i`) resolves to the empty path; it
+        // must substitute as `.`, not as nothing.
+        .map(|(n, r)| (n.as_str(), if r.is_empty() { ".".to_string() } else { r.clone() }))
+        .collect();
+    subs.push((base, ".".to_string()));
+    subs.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+
+    let mut out = String::with_capacity(clause.len());
+    let bytes = clause.as_bytes();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        if bytes[i] == b'$' {
+            for (name, rel) in &subs {
+                let end = i + 1 + name.len();
+                if clause[i + 1..].starts_with(name)
+                    && !bytes
+                        .get(end)
+                        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    // `$v/rest` → `rel/rest`; a bare `$v` → `rel` (where an
+                    // alias/base rel is `.`). `./rest` would double the
+                    // context step, so strip the dot before a slash.
+                    if bytes.get(end) == Some(&b'/') && rel == "." {
+                        i = end + 1; // skip "$name/"
+                    } else {
+                        out.push_str(rel);
+                        i = end;
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+        let ch = clause[i..].chars().next().expect("in bounds");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.s[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QueryError {
+        QueryError { message: format!("{} (at offset {})", msg.into(), self.pos) }
+    }
+
+
+    fn try_kw(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let rest = &self.s[self.pos..];
+        if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+            let after = rest[kw.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), QueryError> {
+        if self.try_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}'")))
+        }
+    }
+
+    fn variable(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        if !self.s[self.pos..].starts_with('$') {
+            return Err(self.err("expected variable"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.s[self.pos..]
+            .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("empty variable name"));
+        }
+        Ok(self.s[start..self.pos].to_string())
+    }
+
+    /// `collection("name")path` or `doc("name")path`.
+    fn source(&mut self) -> Result<(String, LocationPath), QueryError> {
+        self.skip_ws();
+        let rest = &self.s[self.pos..];
+        let fname = if rest.to_ascii_lowercase().starts_with("collection(") {
+            "collection("
+        } else if rest.to_ascii_lowercase().starts_with("doc(") {
+            "doc("
+        } else {
+            return Err(self.err("expected collection(\"...\") or doc(\"...\")"));
+        };
+        self.pos += fname.len();
+        self.skip_ws();
+        let quote = self.s[self.pos..]
+            .chars()
+            .next()
+            .filter(|&c| c == '"' || c == '\'')
+            .ok_or_else(|| self.err("expected quoted collection name"))?;
+        self.pos += 1;
+        let start = self.pos;
+        let end = self.s[self.pos..]
+            .find(quote)
+            .ok_or_else(|| self.err("unterminated collection name"))?;
+        let name = self.s[start..start + end].to_string();
+        self.pos = start + end + 1;
+        self.skip_ws();
+        if !self.s[self.pos..].starts_with(')') {
+            return Err(self.err("expected ')'"));
+        }
+        self.pos += 1;
+        // Binding path: up to the next `let`/`where`/`return` keyword.
+        let path_text = self.take_until_kw(&["let", "where", "return"]);
+        let path = xia_xpath::parse(path_text.trim())
+            .map_err(|e| QueryError { message: format!("binding path: {e}") })?;
+        Ok((name, path))
+    }
+
+    /// Consume text until one of `kws` appears at a word boundary
+    /// (outside of string literals).
+    fn take_until_kw(&mut self, kws: &[&str]) -> &'a str {
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        let mut in_str: Option<u8> = None;
+        while self.pos < self.s.len() {
+            let b = bytes[self.pos];
+            if let Some(q) = in_str {
+                if b == q {
+                    in_str = None;
+                }
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' || b == b'\'' {
+                in_str = Some(b);
+                self.pos += 1;
+                continue;
+            }
+            let rest = &self.s[self.pos..];
+            let boundary_before = self.pos == 0
+                || !bytes[self.pos - 1].is_ascii_alphanumeric() && bytes[self.pos - 1] != b'_';
+            if boundary_before {
+                for kw in kws {
+                    if rest.len() >= kw.len() && rest[..kw.len()].eq_ignore_ascii_case(kw) {
+                        let after = rest[kw.len()..].chars().next();
+                        if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                            return &self.s[start..self.pos];
+                        }
+                    }
+                }
+            }
+            self.pos += 1;
+        }
+        &self.s[start..]
+    }
+
+    /// Where-clause: `$v/rel op lit (and|or ...)` — re-expressed as an
+    /// XPath predicate string and parsed by the XPath parser.
+    fn condition_with_lets(
+        &mut self,
+        var: &str,
+        lets: &[(String, String)],
+    ) -> Result<Predicate, QueryError> {
+        let cond_text = self.take_until_kw(&["return"]).trim().to_string();
+        if cond_text.is_empty() {
+            return Err(self.err("empty where clause"));
+        }
+        // Replace let variables with their paths, `$var/` with nothing and
+        // bare `$var` with `.`: the condition becomes a predicate relative
+        // to the binding.
+        let rel = substitute_vars(&cond_text, var, lets);
+        let wrapped = format!("/__x[{rel}]");
+        let parsed = xia_xpath::parse(&wrapped)
+            .map_err(|e| QueryError { message: format!("where clause: {e}") })?;
+        let pred = parsed.steps[0]
+            .predicates
+            .first()
+            .cloned()
+            .ok_or_else(|| self.err("where clause did not parse as a predicate"))?;
+        Ok(pred)
+    }
+
+    /// `return $v`, `return $v/rel/path` — `$v` may be the for-variable
+    /// or a let binding.
+    fn return_path_with_lets(
+        &mut self,
+        var: &str,
+        lets: &[(String, String)],
+    ) -> Result<Option<LocationPath>, QueryError> {
+        self.skip_ws();
+        let expr = self.take_until_kw(&[]).trim().to_string();
+        let resolved = resolve_var_expr(&expr, var, lets)
+            .ok_or_else(|| self.err(format!("return must be a path under ${var}")))?;
+        if resolved.is_empty() {
+            return Ok(None);
+        }
+        let rel = xia_xpath::parse(&resolved)
+            .map_err(|e| QueryError { message: format!("return path: {e}") })?;
+        Ok(Some(rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(q: &str) -> Vec<String> {
+        parse_xquery(q).unwrap().atoms.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn basic_flwor() {
+        let q = parse_xquery(
+            r#"for $i in collection("auctions")//item where $i/price > 100 return $i/name"#,
+        )
+        .unwrap();
+        assert_eq!(q.collection, "auctions");
+        assert_eq!(q.language, Language::XQuery);
+        let strs: Vec<String> = q.atoms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(strs, vec!["//item/price > 100", "//item/name (extract)"]);
+    }
+
+    #[test]
+    fn return_bare_variable() {
+        let strs = atoms(r#"for $p in doc("people")/site/people/person where $p/age >= 18 return $p"#);
+        assert_eq!(
+            strs,
+            vec!["/site/people/person/age >= 18", "/site/people/person (extract)"]
+        );
+    }
+
+    #[test]
+    fn where_with_and_and_attributes() {
+        let strs = atoms(
+            r#"for $o in collection("orders")//order where $o/@status = "filled" and $o/total > 5000 return $o/@id"#,
+        );
+        assert_eq!(
+            strs,
+            vec![
+                "//order/@status = \"filled\"",
+                "//order/total > 5000",
+                "//order/@id (extract)"
+            ]
+        );
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let strs = atoms(r#"for $i in collection("c")/site/item return $i/price"#);
+        assert_eq!(strs, vec!["/site/item/price (extract)"]);
+    }
+
+    #[test]
+    fn binding_path_with_predicate() {
+        let strs = atoms(r#"for $i in collection("c")//item[quantity = 2] return $i/name"#);
+        assert_eq!(strs, vec!["//item/quantity = 2", "//item/name (extract)"]);
+    }
+
+    #[test]
+    fn or_conditions_are_optional_atoms() {
+        let strs = atoms(
+            r#"for $i in collection("c")//item where $i/price > 9 or $i/quantity = 1 return $i"#,
+        );
+        assert_eq!(
+            strs,
+            vec!["//item/price > 9 (opt)", "//item/quantity = 1 (opt)", "//item (extract)"]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_xquery("for $i collection(\"c\")//x return $i").is_err());
+        assert!(parse_xquery("for $i in collection(\"c\")//x where return $i").is_err());
+        assert!(parse_xquery("for $i in collection(\"c\")//x return $j").is_err());
+        assert!(parse_xquery("for $i in nowhere//x return $i").is_err());
+    }
+
+    #[test]
+    fn let_clauses_resolve_through_where_and_return() {
+        let strs = atoms(
+            r#"for $i in collection("c")//item let $p := $i/price where $p > 100 return $i/name"#,
+        );
+        assert_eq!(strs, vec!["//item/price > 100", "//item/name (extract)"]);
+        // Returning a let variable.
+        let strs = atoms(
+            r#"for $i in collection("c")//item let $p := $i/price where $p > 100 return $p"#,
+        );
+        assert_eq!(strs, vec!["//item/price > 100", "//item/price (extract)"]);
+        // Chained lets.
+        let strs = atoms(
+            r#"for $o in collection("c")//order let $l := $o/lines let $q := $l/qty where $q = 2 return $o/@id"#,
+        );
+        assert_eq!(strs, vec!["//order/lines/qty = 2", "//order/@id (extract)"]);
+    }
+
+    #[test]
+    fn let_name_prefix_of_other_variable_is_safe() {
+        // `$p` must not corrupt `$price`.
+        let strs = atoms(
+            r#"for $i in collection("c")//item let $p := $i/weight let $price := $i/price where $price > 9 and $p < 2 return $i"#,
+        );
+        assert_eq!(
+            strs,
+            vec!["//item/price > 9", "//item/weight < 2", "//item (extract)"]
+        );
+    }
+
+    #[test]
+    fn alias_let_substitutes_as_context_dot() {
+        let strs = atoms(
+            r#"for $n in collection("c")//item/price let $v := $n where $v > 7 return $n"#,
+        );
+        assert_eq!(strs, vec!["//item/price > 7", "//item/price (extract)"]);
+    }
+
+    #[test]
+    fn let_errors() {
+        assert!(parse_xquery(r#"for $i in collection("c")//x let $p = $i/y return $i"#).is_err());
+        assert!(
+            parse_xquery(r#"for $i in collection("c")//x let $p := $other/y return $i"#).is_err()
+        );
+        assert!(parse_xquery(r#"for $i in collection("c")//x return $unknown"#).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse_xquery(
+            r#"FOR $i IN collection("c")//item WHERE $i/price = 1 RETURN $i"#,
+        );
+        assert!(q.is_ok(), "{q:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Auction-site scenario (XMark-like): train the advisor on one set of
+//! regional queries, then show how generalized indexes pay off on a
+//! "future" workload the advisor never saw — the motivating scenario for
+//! the paper's top-down search.
+//!
+//! ```text
+//! cargo run -p xia --example auction_site --release
+//! ```
+
+use xia::advisor::analysis::measure_execution;
+use xia::prelude::*;
+
+fn main() {
+    let mut coll = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs: 200,
+        items_per_region: 8,
+        people: 10,
+        open_auctions: 6,
+        closed_auctions: 5,
+        ..Default::default()
+    })
+    .populate(&mut coll);
+
+    // DBA's representative training workload: two regions only.
+    let training = [
+        "/site/regions/africa/item[price > 460]/name".to_string(),
+        "/site/regions/asia/item[price > 460]/name".to_string(),
+        "/site/regions/africa/item/quantity".to_string(),
+        "/site/regions/asia/item/quantity".to_string(),
+    ];
+    // The production workload drifts: same shapes, other regions/values.
+    let unseen = synthetic_variations(training.as_ref(), &SynthConfig { per_template: 3, seed: 17 });
+    println!("training queries: {}", training.len());
+    println!("unseen variations: {}\n", unseen.len());
+
+    let train_refs: Vec<&str> = training.iter().map(String::as_str).collect();
+    let workload = Workload::from_queries(&train_refs, "auctions").unwrap();
+    let advisor = Advisor::default();
+
+    for strategy in [SearchStrategy::GreedyHeuristic, SearchStrategy::TopDown] {
+        let rec = advisor.recommend(&coll, &workload, 1 << 20, strategy);
+        println!("=== {strategy} ===");
+        println!("{}", rec.render());
+
+        // How do the recommended indexes do on the unseen workload?
+        let unseen_compiled: Vec<NormalizedQuery> = unseen
+            .iter()
+            .map(|q| compile(q, "auctions").unwrap())
+            .collect();
+        let report = analyze(&advisor, &coll, &workload, &rec, &unseen_compiled);
+        let unseen_no: f64 = report.unseen_rows.iter().map(|r| r.no_index).sum();
+        let unseen_rec: f64 = report.unseen_rows.iter().map(|r| r.recommended).sum();
+        println!(
+            "unseen workload estimated cost: {:.1} -> {:.1} ({:.1}% retained benefit)\n",
+            unseen_no,
+            unseen_rec,
+            if unseen_no > 0.0 { 100.0 * (unseen_no - unseen_rec) / unseen_no } else { 0.0 }
+        );
+    }
+
+    // Build the top-down recommendation and run the unseen queries for real.
+    let rec = advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::TopDown);
+    let mut unseen_workload = Workload::new();
+    for q in &unseen {
+        unseen_workload.add_query(q, "auctions", 1.0).unwrap();
+    }
+    let before = measure_execution(&coll, &unseen_workload);
+    Advisor::create_indexes(&rec, &mut coll);
+    let after = measure_execution(&coll, &unseen_workload);
+    println!(
+        "actual unseen-workload execution: {:.1} ms ({} docs) -> {:.1} ms ({} docs)",
+        before.seconds * 1e3,
+        before.docs_evaluated,
+        after.seconds * 1e3,
+        after.docs_evaluated
+    );
+}

@@ -1,0 +1,99 @@
+//! The two new EXPLAIN modes, demonstrated exactly as in the paper's
+//! first demo scenario (Figures 2 and 3):
+//!
+//! 1. given a query, invoke the optimizer in *Enumerate Indexes* mode to
+//!    get the basic candidate set;
+//! 2. given a query and a configuration of XML index patterns, invoke
+//!    *Evaluate Indexes* mode to estimate the query's cost under it.
+//!
+//! ```text
+//! cargo run -p xia --example explain_modes --release
+//! ```
+
+use xia::prelude::*;
+
+fn main() {
+    let mut coll = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs: 150, ..Default::default() }).populate(&mut coll);
+    let model = CostModel::default();
+
+    // One query in each supported surface language.
+    let queries = [
+        "/site/regions/namerica/item[price > 460]/name",
+        r#"for $p in collection("auctions")//person where $p/profile/age > 60 return $p/name"#,
+        r#"SELECT XMLQUERY('$d//closed_auction/date') FROM auctions WHERE XMLEXISTS('$d//closed_auction[price >= 700]')"#,
+    ];
+
+    println!("==================== Enumerate Indexes mode ====================");
+    for text in &queries {
+        let q = compile(text, "auctions").expect("query compiles");
+        println!("\n[{}] {}", q.language, text);
+        for cand in enumerate_indexes(&q) {
+            println!("   -> {cand}");
+        }
+    }
+
+    println!("\n==================== Evaluate Indexes mode =====================");
+    let q = compile(queries[0], "auctions").unwrap();
+    let configs: Vec<(&str, Vec<IndexDefinition>)> = vec![
+        ("no indexes", vec![]),
+        (
+            "exact pattern",
+            vec![IndexDefinition::virtual_index(
+                IndexId(1),
+                LinearPath::parse("/site/regions/namerica/item/price").unwrap(),
+                DataType::Double,
+            )],
+        ),
+        (
+            "generalized pattern",
+            vec![IndexDefinition::virtual_index(
+                IndexId(2),
+                LinearPath::parse("/site/regions/*/item/price").unwrap(),
+                DataType::Double,
+            )],
+        ),
+        (
+            "overly general //*",
+            vec![IndexDefinition::virtual_index(
+                IndexId(3),
+                LinearPath::parse("//price").unwrap(),
+                DataType::Double,
+            )],
+        ),
+    ];
+    println!("query: {}\n", q.text);
+    for (label, config) in &configs {
+        let eval = evaluate_indexes(&coll, &model, config, std::slice::from_ref(&q));
+        let pq = &eval.per_query[0];
+        println!(
+            "{label:<24} estimated cost {:>10.1}   uses {:?}",
+            pq.cost.total(),
+            pq.used_indexes
+        );
+        print!("{}", indent(&pq.plan.render(&q.text)));
+    }
+
+    println!("\n==================== Normal explain (real catalog) =============");
+    let q2 = compile(queries[0], "auctions").unwrap();
+    let before = explain(&coll, &model, &q2);
+    println!("before creating indexes:\n{}", indent(&before.text));
+    coll.create_index(IndexDefinition::new(
+        IndexId(10),
+        LinearPath::parse("/site/regions/*/item/price").unwrap(),
+        DataType::Double,
+    ));
+    let after = explain(&coll, &model, &q2);
+    println!("after creating the generalized index:\n{}", indent(&after.text));
+    let (rows, stats) = execute(&coll, &q2, &after.plan).expect("physical plan runs");
+    println!(
+        "executed: {} results, {} docs evaluated, {} index entries scanned",
+        rows.len(),
+        stats.docs_evaluated,
+        stats.entries_scanned
+    );
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

@@ -1,0 +1,92 @@
+//! Financial scenario (TPoX-like): three differently-shaped collections
+//! (FIXML orders, customer accounts, securities), advised independently —
+//! including attribute-pattern indexes on the FIXML documents and
+//! update-cost-aware recommendation for the high-churn order collection.
+//!
+//! ```text
+//! cargo run -p xia --example financial_tpox --release
+//! ```
+
+use xia::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    TpoxGen::new(TpoxConfig { orders: 400, customers: 80, securities: 60, seed: 7 })
+        .populate_all(&mut db);
+
+    let advisor = Advisor::default();
+    let queries = tpox_queries();
+
+    for coll_name in ["order", "custacc", "security"] {
+        let texts: Vec<&str> = queries
+            .iter()
+            .filter(|(c, _)| *c == coll_name)
+            .map(|(_, q)| q.as_str())
+            .collect();
+        let workload = Workload::from_queries(&texts, coll_name).expect("queries compile");
+        let coll = db.collection(coll_name).expect("populated");
+        let rec = advisor.recommend(coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
+        println!("=== collection '{coll_name}' ({} docs) ===", coll.len());
+        println!("{}", rec.render());
+        for ddl in rec.ddl(coll_name) {
+            println!("  {ddl};");
+        }
+        println!();
+    }
+
+    // Orders churn: same queries, but with a heavy insert rate. The
+    // advisor charges index maintenance and recommends less.
+    let order_texts: Vec<&str> = queries
+        .iter()
+        .filter(|(c, _)| *c == "order")
+        .map(|(_, q)| q.as_str())
+        .collect();
+    let coll = db.collection("order").unwrap();
+    let mut churny = Workload::from_queries(&order_texts, "order").unwrap();
+    let sample = coll.get(DocId(0)).expect("orders exist").clone();
+    churny.add_insert(sample, 50_000.0);
+    // Database-level advice: one budget shared across the three
+    // collections; space flows to whichever collection's next index buys
+    // the most benefit per byte.
+    let wo = Workload::from_queries(
+        &queries.iter().filter(|(c, _)| *c == "order").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        "order",
+    )
+    .unwrap();
+    let wc = Workload::from_queries(
+        &queries.iter().filter(|(c, _)| *c == "custacc").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        "custacc",
+    )
+    .unwrap();
+    let ws = Workload::from_queries(
+        &queries.iter().filter(|(c, _)| *c == "security").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        "security",
+    )
+    .unwrap();
+    let db_rec = advisor.recommend_database(
+        &db,
+        &[("order", &wo), ("custacc", &wc), ("security", &ws)],
+        96 << 10,
+    );
+    println!("=== shared-budget database advice (96 KiB total) ===");
+    println!("{}", db_rec.render());
+
+    let rec_ro = advisor.recommend(
+        coll,
+        &Workload::from_queries(&order_texts, "order").unwrap(),
+        1 << 20,
+        SearchStrategy::GreedyHeuristic,
+    );
+    let rec_uh = advisor.recommend(coll, &churny, 1 << 20, SearchStrategy::GreedyHeuristic);
+    println!("=== update-aware recommendation (order collection) ===");
+    println!(
+        "read-only workload: {} indexes ({} KiB)",
+        rec_ro.indexes.len(),
+        rec_ro.outcome.size_bytes / 1024
+    );
+    println!(
+        "with 50k inserts:   {} indexes ({} KiB)",
+        rec_uh.indexes.len(),
+        rec_uh.outcome.size_bytes / 1024
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: the full Figure-1 pipeline on a small XMark-like database.
+//!
+//! ```text
+//! cargo run -p xia --example quickstart --release
+//! ```
+
+use xia::prelude::*;
+
+fn main() {
+    // --- 1. Build an XML database (the substrate DB2 provides in the paper).
+    let mut coll = Collection::new("auctions");
+    let gen = XMarkGen::new(XMarkConfig { docs: 200, ..Default::default() });
+    gen.populate(&mut coll);
+    println!(
+        "loaded {} documents, {} nodes, {} distinct paths, {} data pages\n",
+        coll.len(),
+        coll.stats().total_nodes,
+        coll.stats().path_count(),
+        coll.stats().data_pages()
+    );
+
+    // --- 2. The training workload: regional queries + value predicates.
+    let queries = [
+        "/site/regions/africa/item/quantity",
+        "/site/regions/namerica/item/quantity",
+        "/site/regions/samerica/item/price",
+        "//person[profile/age > 60]/name",
+        "//closed_auction[price >= 700]/date",
+    ];
+    let workload = Workload::from_queries(&queries, "auctions").expect("queries compile");
+
+    // --- 3. Basic candidates via the Enumerate Indexes optimizer mode.
+    println!("== basic candidates (Enumerate Indexes mode) ==");
+    for (q, _) in workload.queries() {
+        println!("query: {}", q.text);
+        for cand in enumerate_indexes(q) {
+            println!("  candidate: {cand}");
+        }
+    }
+
+    // --- 4. Recommend within a 512 KiB budget.
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&coll, &workload, 512 << 10, SearchStrategy::GreedyHeuristic);
+    println!("\n== recommendation ==\n{}", rec.render());
+    println!("== generalization DAG ==\n{}", rec.dag.render_text());
+    println!("== search trace ==");
+    for line in &rec.outcome.trace {
+        println!("  {line}");
+    }
+
+    // --- 5. Create the indexes and compare actual execution.
+    let before = xia::advisor::analysis::measure_execution(&coll, &workload);
+    Advisor::create_indexes(&rec, &mut coll);
+    let after = xia::advisor::analysis::measure_execution(&coll, &workload);
+    println!("\n== actual execution ==");
+    println!(
+        "without indexes: {:.1} ms, {} docs evaluated, {} pages read, {} results",
+        before.seconds * 1e3,
+        before.docs_evaluated,
+        before.pages_read,
+        before.results
+    );
+    println!(
+        "with recommended indexes: {:.1} ms, {} docs evaluated, {} pages read, {} results",
+        after.seconds * 1e3,
+        after.docs_evaluated,
+        after.pages_read,
+        after.results
+    );
+    println!("\nDDL to reproduce:");
+    for ddl in rec.ddl("auctions") {
+        println!("  {ddl};");
+    }
+}

@@ -1,0 +1,68 @@
+//! Operational workflow: build a tuned database, snapshot it to disk,
+//! reload it elsewhere, and verify the recommendation still holds —
+//! statistics, indexes and plans all survive the round trip.
+//!
+//! ```text
+//! cargo run -p xia --example snapshot_workflow --release
+//! ```
+
+use xia::advisor::analysis::measure_execution;
+use xia::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join("xia_snapshot_example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Day 1: load data, advise, create indexes, snapshot. -------------
+    let mut db = Database::new();
+    db.create_collection("auctions");
+    let coll = db.collection_mut("auctions").unwrap();
+    XMarkGen::new(XMarkConfig { docs: 150, ..Default::default() }).populate(coll);
+
+    let workload = Workload::parse(
+        "# regional training workload\n\
+         /site/regions/africa/item/quantity\n\
+         /site/regions/namerica/item/quantity\n\
+         3; //closed_auction[price >= 700]/date\n",
+        "auctions",
+        None,
+    )
+    .expect("workload file parses");
+
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(coll, &workload, 512 << 10, SearchStrategy::GreedyHeuristic);
+    println!("day 1 recommendation:\n{}", rec.render());
+    Advisor::create_indexes(&rec, coll);
+    let day1 = measure_execution(coll, &workload);
+
+    save_database(&db, &dir).expect("snapshot saves");
+    println!("snapshot written to {}\n", dir.display());
+
+    // --- Day 2: fresh process, reload, same behaviour. --------------------
+    let restored = load_database(&dir).expect("snapshot loads");
+    let coll2 = restored.collection("auctions").expect("collection restored");
+    println!(
+        "restored: {} documents, {} indexes, {} distinct paths",
+        coll2.len(),
+        coll2.indexes().len(),
+        coll2.stats().path_count()
+    );
+    for ix in coll2.indexes() {
+        println!("  {}", ix.definition().ddl("auctions"));
+    }
+    let day2 = measure_execution(coll2, &workload);
+    println!(
+        "\nworkload execution: day1 {:.2} ms / {} docs -> day2 {:.2} ms / {} docs (same plans)",
+        day1.seconds * 1e3,
+        day1.docs_evaluated,
+        day2.seconds * 1e3,
+        day2.docs_evaluated
+    );
+    assert_eq!(day1.results, day2.results, "identical answers after restore");
+
+    // Plans still use the restored physical indexes.
+    let q = compile("//closed_auction[price >= 700]/date", "auctions").unwrap();
+    let ex = explain(coll2, &CostModel::default(), &q);
+    println!("\nrestored plan:\n{}", ex.text);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,198 @@
+//! End-to-end advisor integration on generated benchmark data: the full
+//! enumerate → generalize → search → create → execute pipeline, plus the
+//! cross-strategy and budget behaviours the paper demonstrates.
+
+use xia::advisor::analysis::measure_execution;
+use xia::prelude::*;
+
+fn xmark(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    c
+}
+
+fn regional_workload() -> Workload {
+    Workload::from_queries(
+        &[
+            "/site/regions/africa/item/quantity",
+            "/site/regions/namerica/item/quantity",
+            "/site/regions/samerica/item/price",
+            "/site/regions/europe/item[price > 450]/name",
+            "//closed_auction[price >= 700]/date",
+        ],
+        "auctions",
+    )
+    .unwrap()
+}
+
+#[test]
+fn full_pipeline_on_xmark() {
+    let mut c = xmark(150);
+    let w = regional_workload();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+
+    assert!(!rec.indexes.is_empty());
+    assert!(rec.outcome.size_bytes <= 1 << 20);
+    assert!(rec.benefit() > 0.0);
+    // The DAG contains the paper's generalization for the regional queries.
+    let dag_patterns: Vec<String> =
+        rec.dag.candidates().map(|c| c.pattern.to_string()).collect();
+    assert!(
+        dag_patterns.iter().any(|p| p == "/site/regions/*/item/quantity"),
+        "expected regional generalization in {dag_patterns:?}"
+    );
+
+    // Create the indexes; estimated improvements must appear for real.
+    let before = measure_execution(&c, &w);
+    Advisor::create_indexes(&rec, &mut c);
+    let after = measure_execution(&c, &w);
+    assert_eq!(before.results, after.results);
+    assert!(after.docs_evaluated < before.docs_evaluated);
+}
+
+#[test]
+fn budget_sweep_is_monotone_and_respected() {
+    let c = xmark(120);
+    let w = regional_workload();
+    let advisor = Advisor::default();
+    let mut prev_benefit = -1.0;
+    for budget in [8 << 10, 32 << 10, 128 << 10, 1 << 20, 8 << 20] {
+        let rec = advisor.recommend(&c, &w, budget, SearchStrategy::GreedyHeuristic);
+        assert!(
+            rec.outcome.size_bytes <= budget,
+            "budget {budget} violated: {}",
+            rec.outcome.size_bytes
+        );
+        // Greedy benefit is not strictly monotone in theory, but must
+        // never collapse as budget grows.
+        assert!(
+            rec.benefit() + 1e-6 >= prev_benefit * 0.8,
+            "benefit collapsed at budget {budget}: {} after {prev_benefit}",
+            rec.benefit()
+        );
+        prev_benefit = prev_benefit.max(rec.benefit());
+    }
+}
+
+#[test]
+fn strategies_tradeoff_generality_for_seen_benefit() {
+    let c = xmark(150);
+    // Train on two regions only.
+    let w = Workload::from_queries(
+        &[
+            "/site/regions/africa/item/quantity",
+            "/site/regions/asia/item/quantity",
+        ],
+        "auctions",
+    )
+    .unwrap();
+    let advisor = Advisor::default();
+    let greedy = advisor.recommend(&c, &w, 4 << 20, SearchStrategy::GreedyHeuristic);
+    let topdown = advisor.recommend(&c, &w, 4 << 20, SearchStrategy::TopDown);
+
+    // Both help the training workload.
+    assert!(greedy.benefit() > 0.0);
+    assert!(topdown.benefit() > 0.0);
+
+    // Unseen query: a region the workload never mentioned.
+    let unseen = vec![compile("/site/regions/europe/item/quantity", "auctions").unwrap()];
+    let g_report = analyze(&advisor, &c, &w, &greedy, &unseen);
+    let t_report = analyze(&advisor, &c, &w, &topdown, &unseen);
+    let g_unseen = &g_report.unseen_rows[0];
+    let t_unseen = &t_report.unseen_rows[0];
+    assert!(
+        t_unseen.recommended < t_unseen.no_index,
+        "top-down's general indexes must help the unseen region"
+    );
+    assert!(
+        t_unseen.recommended <= g_unseen.recommended + 1e-6,
+        "top-down should serve the unseen region at least as well as greedy \
+         (topdown {} vs greedy {})",
+        t_unseen.recommended,
+        g_unseen.recommended
+    );
+}
+
+#[test]
+fn analysis_costs_are_ordered() {
+    let c = xmark(100);
+    let w = regional_workload();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&c, &w, 256 << 10, SearchStrategy::GreedyHeuristic);
+    let report = analyze(&advisor, &c, &w, &rec, &[]);
+    for row in &report.rows {
+        assert!(row.recommended <= row.no_index + 1e-6, "{}", row.query);
+        assert!(row.overtrained <= row.recommended + 1e-6, "{}", row.query);
+    }
+    assert!(report.recommended_size <= report.overtrained_size);
+}
+
+#[test]
+fn update_cost_shrinks_configurations() {
+    let c = xmark(120);
+    let mut w = regional_workload();
+    let advisor = Advisor::default();
+    let ro = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+
+    let sample = c.get(DocId(0)).unwrap().clone();
+    w.add_insert(sample, 1_000_000.0);
+    let uh = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    assert!(
+        uh.indexes.len() < ro.indexes.len() || uh.outcome.size_bytes < ro.outcome.size_bytes,
+        "extreme update rates must shrink the recommendation \
+         ({} idx / {} B vs {} idx / {} B)",
+        uh.indexes.len(),
+        uh.outcome.size_bytes,
+        ro.indexes.len(),
+        ro.outcome.size_bytes
+    );
+}
+
+#[test]
+fn tpox_attribute_indexes_are_recommended() {
+    let mut db = Database::new();
+    TpoxGen::new(TpoxConfig { orders: 300, customers: 40, securities: 30, seed: 3 })
+        .populate_all(&mut db);
+    let order_queries: Vec<String> = tpox_queries()
+        .into_iter()
+        .filter(|(c, _)| *c == "order")
+        .map(|(_, q)| q)
+        .collect();
+    let refs: Vec<&str> = order_queries.iter().map(String::as_str).collect();
+    let w = Workload::from_queries(&refs, "order").unwrap();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(db.collection("order").unwrap(), &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    assert!(
+        rec.indexes.iter().any(|d| d.pattern.targets_attribute()),
+        "FIXML workload should yield attribute-pattern indexes: {:?}",
+        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn mixed_language_workload_is_advised_uniformly() {
+    let c = xmark(120);
+    let mut w = Workload::new();
+    w.add_query("//open_auction[initial >= 90]/current", "auctions", 1.0).unwrap();
+    w.add_query(
+        r#"for $a in collection("auctions")//open_auction where $a/initial >= 90 return $a/current"#,
+        "auctions",
+        1.0,
+    )
+    .unwrap();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    // Both statements produce the same pattern, so one index serves both
+    // and appears once.
+    let initial_indexes: Vec<_> = rec
+        .indexes
+        .iter()
+        .filter(|d| d.pattern.to_string() == "//open_auction/initial")
+        .collect();
+    assert_eq!(initial_indexes.len(), 1, "{:?}", rec.indexes);
+    // And both queries' plans use it.
+    for used in &rec.outcome.used_per_query {
+        assert!(!used.is_empty(), "each query should use an index");
+    }
+}

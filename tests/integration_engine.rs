@@ -1,0 +1,174 @@
+//! Cross-crate engine integration: generated data flows through parsing,
+//! storage, statistics, physical indexes, plan selection and execution,
+//! and every indexed plan returns exactly what navigational evaluation
+//! returns.
+
+use xia::prelude::*;
+
+fn xmark_collection(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    c
+}
+
+/// Evaluate a query navigationally over every document (ground truth).
+fn ground_truth(c: &Collection, q: &NormalizedQuery) -> Vec<(DocId, u32)> {
+    let mut out = Vec::new();
+    for (id, doc) in c.documents() {
+        for n in q.run_on_document(doc) {
+            out.push((id, n.as_u32()));
+        }
+    }
+    out
+}
+
+#[test]
+fn indexed_plans_agree_with_ground_truth_on_xmark() {
+    let mut c = xmark_collection(60);
+    // A broad physical configuration: typed, attribute, general patterns.
+    for (i, (pat, ty)) in [
+        ("/site/regions/africa/item/price", DataType::Double),
+        ("//item/price", DataType::Double),
+        ("//item/quantity", DataType::Varchar),
+        ("//person/profile/age", DataType::Double),
+        ("//item/@id", DataType::Varchar),
+        ("//*", DataType::Varchar),
+        ("//closed_auction/price", DataType::Double),
+    ]
+    .iter()
+    .enumerate()
+    {
+        c.create_index(IndexDefinition::new(
+            IndexId(i as u32 + 1),
+            LinearPath::parse(pat).unwrap(),
+            *ty,
+        ));
+    }
+
+    let queries = [
+        "/site/regions/africa/item[price > 400]/name",
+        "//item[price < 20]/quantity",
+        r#"//item[quantity = "3"]/name"#,
+        "//person[profile/age >= 70]/name",
+        r#"//item[@id = "item3_africa_0"]"#,
+        "//closed_auction[price >= 600]/date",
+        "/site/regions/europe/item/price",
+        "//person/emailaddress",
+        r#"for $i in collection("auctions")//item where $i/price > 450 return $i/name"#,
+        r#"SELECT XMLQUERY('$d//person/name') FROM auctions WHERE XMLEXISTS('$d//person[profile/age > 75]')"#,
+    ];
+    let model = CostModel::default();
+    let mut indexed_plans = 0;
+    for text in queries {
+        let q = compile(text, "auctions").unwrap();
+        let ex = explain(&c, &model, &q);
+        let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+        let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+        let want = ground_truth(&c, &q);
+        assert_eq!(got, want, "plan for {text} returned wrong results:\n{}", ex.text);
+        if ex.plan.uses_indexes() {
+            indexed_plans += 1;
+        }
+    }
+    assert!(
+        indexed_plans >= 6,
+        "most of these selective queries should use indexes ({indexed_plans}/10)"
+    );
+}
+
+#[test]
+fn index_maintenance_keeps_plans_correct_under_churn() {
+    let mut c = xmark_collection(30);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    let gen = XMarkGen::new(XMarkConfig { docs: 10, seed: 777, ..Default::default() });
+    for d in gen.generate() {
+        let (_, rep) = c.insert(d);
+        assert!(rep.index_entries_touched > 0);
+    }
+    // Delete every other original document.
+    for i in (0..30).step_by(2) {
+        c.delete(DocId(i)).unwrap();
+    }
+    let q = compile("//item[price < 50]/name", "auctions").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let want = ground_truth(&c, &q);
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, want, "post-churn plan disagrees");
+}
+
+#[test]
+fn statistics_survive_churn() {
+    let mut c = xmark_collection(20);
+    let pattern = LinearPath::parse("//item/price").unwrap();
+    let before = c.stats().count_matching(&pattern);
+    assert_eq!(before, 20 * 6 * 2); // 20 docs × 6 regions × 2 items
+
+    for i in 0..10 {
+        c.delete(DocId(i)).unwrap();
+    }
+    assert_eq!(c.stats().count_matching(&pattern), 10 * 6 * 2);
+    assert_eq!(c.len(), 10);
+}
+
+#[test]
+fn tpox_database_round_trips_queries() {
+    let mut db = Database::new();
+    TpoxGen::new(TpoxConfig { orders: 100, customers: 30, securities: 20, seed: 5 })
+        .populate_all(&mut db);
+    let model = CostModel::default();
+    for (coll_name, text) in tpox_queries() {
+        let c = db.collection(coll_name).unwrap();
+        let q = compile(&text, coll_name).unwrap();
+        let ex = explain(c, &model, &q);
+        let (got, _) = execute(c, &q, &ex.plan).unwrap();
+        let want = ground_truth(c, &q);
+        let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+        assert_eq!(got, want, "TPoX query {text} wrong under plan:\n{}", ex.text);
+    }
+}
+
+#[test]
+fn virtual_size_estimates_track_actual_sizes() {
+    let mut c = xmark_collection(50);
+    for (i, (pat, ty)) in [
+        ("//item/price", DataType::Double),
+        ("//item/quantity", DataType::Varchar),
+        ("/site/regions/*/item/*", DataType::Varchar),
+        ("//person/name", DataType::Varchar),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let pattern = LinearPath::parse(pat).unwrap();
+        let est_entries = c.stats().estimated_index_entries(&pattern, *ty);
+        let est_bytes = c.stats().estimated_index_bytes(&pattern, *ty);
+        c.create_index(IndexDefinition::new(IndexId(i as u32), pattern.clone(), *ty));
+        let actual = c.index(IndexId(i as u32)).unwrap();
+        assert_eq!(
+            est_entries,
+            actual.len() as u64,
+            "entry estimate for {pat} must be exact (perfect statistics)"
+        );
+        let ratio = est_bytes as f64 / actual.byte_size().max(1) as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "byte estimate for {pat} off by {ratio:.2}x ({est_bytes} vs {})",
+            actual.byte_size()
+        );
+    }
+}
+
+#[test]
+fn serialization_round_trips_generated_documents() {
+    for doc in XMarkGen::new(XMarkConfig { docs: 5, ..Default::default() }).generate() {
+        let text = xia::xml::serialize(&doc);
+        let re = Document::parse(&text).unwrap();
+        assert_eq!(xia::xml::serialize(&re), text);
+        assert_eq!(re.node_count(), doc.node_count());
+    }
+}

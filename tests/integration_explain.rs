@@ -1,0 +1,142 @@
+//! Integration tests for the two new EXPLAIN modes, across all three
+//! surface languages, against generated benchmark data.
+
+use xia::prelude::*;
+
+fn collection() -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs: 120, ..Default::default() }).populate(&mut c);
+    c
+}
+
+#[test]
+fn enumerate_indexes_reports_indexable_patterns_only() {
+    let q = compile(
+        "/site/regions/africa/item[price > 100 and quantity = 2]/name",
+        "auctions",
+    )
+    .unwrap();
+    let cands = enumerate_indexes(&q);
+    let patterns: Vec<String> = cands.iter().map(|c| c.pattern.to_string()).collect();
+    assert!(patterns.contains(&"/site/regions/africa/item/price".to_string()));
+    assert!(patterns.contains(&"/site/regions/africa/item/quantity".to_string()));
+    assert!(patterns.contains(&"/site/regions/africa/item/name".to_string()));
+    assert_eq!(patterns.len(), 3);
+    // Types follow the predicates.
+    let price = cands.iter().find(|c| c.pattern.to_string().ends_with("price")).unwrap();
+    assert_eq!(price.data_type, DataType::Double);
+    let name = cands.iter().find(|c| c.pattern.to_string().ends_with("name")).unwrap();
+    assert_eq!(name.data_type, DataType::Varchar);
+}
+
+#[test]
+fn all_languages_enumerate_equivalent_filter_patterns() {
+    let xpath = compile("//open_auction[initial > 50]/current", "auctions").unwrap();
+    let xquery = compile(
+        r#"for $a in collection("auctions")//open_auction where $a/initial > 50 return $a/current"#,
+        "auctions",
+    )
+    .unwrap();
+    let px: Vec<String> = enumerate_indexes(&xpath).iter().map(|c| c.to_string()).collect();
+    let pq: Vec<String> = enumerate_indexes(&xquery).iter().map(|c| c.to_string()).collect();
+    assert_eq!(px, pq, "XPath and XQuery forms must enumerate identically");
+}
+
+#[test]
+fn evaluate_indexes_monotone_in_configuration() {
+    let c = collection();
+    let model = CostModel::default();
+    let queries: Vec<NormalizedQuery> = vec![
+        compile("/site/regions/africa/item[price > 450]/name", "auctions").unwrap(),
+        compile("//person[profile/age > 70]/name", "auctions").unwrap(),
+    ];
+    let exact: Vec<IndexDefinition> = vec![
+        IndexDefinition::virtual_index(
+            IndexId(1),
+            LinearPath::parse("/site/regions/africa/item/price").unwrap(),
+            DataType::Double,
+        ),
+        IndexDefinition::virtual_index(
+            IndexId(2),
+            LinearPath::parse("//person/profile/age").unwrap(),
+            DataType::Double,
+        ),
+    ];
+    let none = evaluate_indexes(&c, &model, &[], &queries);
+    let one = evaluate_indexes(&c, &model, &exact[..1], &queries);
+    let both = evaluate_indexes(&c, &model, &exact, &queries);
+    assert!(one.total() < none.total(), "one index should help");
+    assert!(both.total() < one.total(), "two indexes should help more");
+    // The best plan under `both` uses both indexes (one per query).
+    let used: std::collections::HashSet<_> = both
+        .per_query
+        .iter()
+        .flat_map(|q| q.used_indexes.iter().copied())
+        .collect();
+    assert_eq!(used.len(), 2);
+}
+
+#[test]
+fn evaluate_indexes_never_worse_than_no_index() {
+    // Adding an index can never make a best plan worse: the optimizer can
+    // always ignore it.
+    let c = collection();
+    let model = CostModel::default();
+    let queries: Vec<NormalizedQuery> = xmark_queries()
+        .iter()
+        .map(|q| compile(q, "auctions").unwrap())
+        .collect();
+    let none = evaluate_indexes(&c, &model, &[], &queries);
+    let silly = vec![IndexDefinition::virtual_index(
+        IndexId(9),
+        LinearPath::parse("//no/such/path").unwrap(),
+        DataType::Varchar,
+    )];
+    let with = evaluate_indexes(&c, &model, &silly, &queries);
+    for (a, b) in none.per_query.iter().zip(&with.per_query) {
+        assert!(b.cost.total() <= a.cost.total() + 1e-9);
+    }
+}
+
+#[test]
+fn virtual_and_physical_costing_agree() {
+    // The same configuration costed virtually (Evaluate Indexes) and
+    // physically (real catalog) should produce the same plan shape,
+    // because virtual index stats are estimated from the same dictionary.
+    let mut c = collection();
+    let pattern = LinearPath::parse("//closed_auction/price").unwrap();
+    let q = compile("//closed_auction[price >= 700]/date", "auctions").unwrap();
+    let model = CostModel::default();
+
+    let virt = evaluate_indexes(
+        &c,
+        &model,
+        &[IndexDefinition::virtual_index(IndexId(1), pattern.clone(), DataType::Double)],
+        std::slice::from_ref(&q),
+    );
+    c.create_index(IndexDefinition::new(IndexId(1), pattern, DataType::Double));
+    let real = explain(&c, &model, &q);
+
+    assert_eq!(virt.per_query[0].used_indexes, real.plan.used_indexes());
+    let v = virt.per_query[0].cost.total();
+    let r = real.plan.cost.total();
+    assert!(
+        (v - r).abs() / r.max(1.0) < 0.25,
+        "virtual ({v:.1}) and physical ({r:.1}) costs should be close"
+    );
+}
+
+#[test]
+fn explain_text_describes_the_plan() {
+    let mut c = collection();
+    c.create_index(IndexDefinition::new(
+        IndexId(3),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    let q = compile("//item[price > 490]/name", "auctions").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(ex.text.contains("XISCAN idx3"), "{}", ex.text);
+    assert!(ex.text.contains("//item/price"), "{}", ex.text);
+    assert!(ex.text.contains("Estimated cost"), "{}", ex.text);
+}

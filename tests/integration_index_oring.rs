@@ -1,0 +1,226 @@
+//! Index-ORing: disjunctive predicates covered by unioning per-branch
+//! index probes (DB2's IXOR), with verification that results always match
+//! ground truth and that the advisor's coverage extends to OR workloads.
+
+use xia::prelude::*;
+
+fn collection(n: usize) -> Collection {
+    let mut c = Collection::new("shop");
+    for i in 0..n {
+        let mut b = DocumentBuilder::new();
+        b.open("shop");
+        b.open("item");
+        b.leaf("price", &format!("{}", i % 100));
+        b.leaf("stock", &format!("{}", i % 37));
+        b.leaf("name", &format!("n{}", i % 11));
+        b.close();
+        b.close();
+        c.insert(b.finish().unwrap());
+    }
+    c
+}
+
+fn ground_truth(c: &Collection, q: &NormalizedQuery) -> Vec<(DocId, u32)> {
+    let mut out = Vec::new();
+    for (id, doc) in c.documents() {
+        for n in q.run_on_document(doc) {
+            out.push((id, n.as_u32()));
+        }
+    }
+    out
+}
+
+#[test]
+fn or_predicate_uses_ixor_when_both_branches_indexed() {
+    let mut c = collection(500);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    c.create_index(IndexDefinition::new(
+        IndexId(2),
+        LinearPath::parse("//item/stock").unwrap(),
+        DataType::Double,
+    ));
+    let q = compile("//item[price = 3 or stock = 5]/name", "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(
+        ex.text.contains("IXOR"),
+        "expected an index-ORing plan, got:\n{}",
+        ex.text
+    );
+    let (got, stats) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+    assert!(
+        stats.docs_evaluated < 50,
+        "union of two selective probes should stay small: {}",
+        stats.docs_evaluated
+    );
+}
+
+#[test]
+fn or_with_one_unindexed_branch_falls_back_to_scan() {
+    let mut c = collection(300);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    // stock has no index: the union cannot be covered, so no IXOR.
+    let q = compile("//item[price = 3 or stock = 5]/name", "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(!ex.text.contains("IXOR"), "uncovered OR must not claim IXOR:\n{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}
+
+#[test]
+fn or_of_conjunctions_is_covered_by_representatives() {
+    let mut c = collection(500);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    c.create_index(IndexDefinition::new(
+        IndexId(2),
+        LinearPath::parse("//item/name").unwrap(),
+        DataType::Varchar,
+    ));
+    // (price = 3 and stock > 1) or name = "n4": branch reps price / name.
+    let q = compile(r#"//item[price = 3 and stock > 1 or name = "n4"]"#, "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q), "plan:\n{}", ex.text);
+}
+
+#[test]
+fn or_with_non_conjunctive_branch_is_never_ixor() {
+    // Regression: `price = 3 or not(stock)` must not union only the
+    // indexable branch — the not() branch's documents would be dropped.
+    let mut c = Collection::new("shop");
+    for i in 0..200 {
+        let mut b = DocumentBuilder::new();
+        b.open("shop");
+        b.open("item");
+        b.leaf("price", &format!("{}", i % 50));
+        if i % 3 != 0 {
+            b.leaf("stock", "1");
+        }
+        b.close();
+        b.close();
+        c.insert(b.finish().unwrap());
+    }
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    let q = compile("//item[price = 3 or not(stock)]", "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(!ex.text.contains("IXOR"), "unsound IXOR plan:\n{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}
+
+#[test]
+fn or_branch_with_unindexable_path_is_never_ixor() {
+    // Regression (severity-8 review finding): `price = 3 or ../promo = 1`
+    // has two syntactically conjunctive branches, but the parent-axis
+    // branch lowers to zero atoms. An IXOR plan over the visible branch
+    // would silently drop documents matching only `../promo = 1`.
+    let mut c = Collection::new("shop");
+    for i in 0..200 {
+        let mut b = DocumentBuilder::new();
+        b.open("shop");
+        if i % 4 == 0 {
+            b.leaf("promo", "1");
+        }
+        b.open("item");
+        b.leaf("price", &format!("{}", i % 50));
+        b.close();
+        b.close();
+        c.insert(b.finish().unwrap());
+    }
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    let q = compile("//item[price = 3 or ../promo = 1]", "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(!ex.text.contains("IXOR"), "unsound IXOR plan:\n{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}
+
+#[test]
+fn nested_or_inside_not_is_never_ixor() {
+    let mut c = collection(200);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    let q = compile("//item[not(price = 3 or price = 5)]/name", "shop").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(!ex.text.contains("IXOR"), "{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}
+
+#[test]
+fn evaluate_indexes_rewards_or_coverage() {
+    let c = collection(500);
+    let model = CostModel::default();
+    let q = compile("//item[price = 3 or stock = 5]/name", "shop").unwrap();
+    let one = vec![IndexDefinition::virtual_index(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    )];
+    let both = vec![
+        IndexDefinition::virtual_index(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ),
+        IndexDefinition::virtual_index(
+            IndexId(2),
+            LinearPath::parse("//item/stock").unwrap(),
+            DataType::Double,
+        ),
+    ];
+    let cost_one = evaluate_indexes(&c, &model, &one, std::slice::from_ref(&q)).total();
+    let cost_both = evaluate_indexes(&c, &model, &both, std::slice::from_ref(&q)).total();
+    assert!(
+        cost_both < cost_one,
+        "covering both OR branches must beat covering one ({cost_both} vs {cost_one})"
+    );
+}
+
+#[test]
+fn advisor_recommends_indexes_for_both_or_branches() {
+    let c = collection(500);
+    let w = Workload::from_queries(&["//item[price = 3 or stock = 5]/name"], "shop").unwrap();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    // Both OR branches must be covered — either by two specific indexes
+    // or by one generalized index containing both (e.g. //item/*).
+    let price = LinearPath::parse("//item/price").unwrap();
+    let stock = LinearPath::parse("//item/stock").unwrap();
+    let covers = |p: &LinearPath| rec.indexes.iter().any(|d| xia::index::contains(&d.pattern, p));
+    assert!(
+        covers(&price) && covers(&stock),
+        "both branches should be covered: {:?}",
+        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+    );
+    assert!(rec.benefit() > 0.0, "OR coverage must pay off");
+}

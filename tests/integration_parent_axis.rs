@@ -1,0 +1,151 @@
+//! The parent axis (`..`) and other non-linearizable constructs: queries
+//! stay navigationally executable and plans stay correct, but such paths
+//! are recognized as unindexable — the paper's observation that "indexes
+//! cannot be used for some [patterns] because of certain language
+//! features".
+
+use xia::prelude::*;
+
+fn collection(n: usize) -> Collection {
+    let mut c = Collection::new("shop");
+    for i in 0..n {
+        let mut b = DocumentBuilder::new();
+        b.open("shop");
+        b.open("item");
+        b.leaf("price", &format!("{}", i % 25));
+        b.leaf("name", &format!("n{}", i % 4));
+        b.close();
+        if i % 3 == 0 {
+            b.open("promo");
+            b.leaf("price", "0");
+            b.close();
+        }
+        b.close();
+        c.insert(b.finish().unwrap());
+    }
+    c
+}
+
+fn ground_truth(c: &Collection, q: &NormalizedQuery) -> Vec<(DocId, u32)> {
+    let mut out = Vec::new();
+    for (id, doc) in c.documents() {
+        for n in q.run_on_document(doc) {
+            out.push((id, n.as_u32()));
+        }
+    }
+    out
+}
+
+#[test]
+fn parent_axis_parses_and_displays() {
+    for q in ["/shop/item/price/..", "//price/..", "/shop/item/../promo"] {
+        let parsed = xia::xpath::parse(q).unwrap();
+        let again = xia::xpath::parse(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, again, "round trip for {q}");
+    }
+    assert!(xia::xpath::parse("//..").is_err());
+}
+
+#[test]
+fn parent_axis_navigational_semantics() {
+    let d = Document::parse(
+        "<shop><item><price>5</price></item><item><name>x</name></item></shop>",
+    )
+    .unwrap();
+    let eval = |q: &str| xia::xpath::evaluate(&d, &xia::xpath::parse(q).unwrap());
+    // Parents of price elements = items that have a price.
+    let items_with_price = eval("/shop/item/price/..");
+    assert_eq!(items_with_price.len(), 1);
+    assert_eq!(d.name(items_with_price[0]), "item");
+    // Equivalent existence query selects the same nodes.
+    assert_eq!(items_with_price, eval("/shop/item[price]"));
+    // Root's parent is empty.
+    assert!(eval("/shop/..").is_empty());
+    // `../` navigates sideways.
+    let prices = eval("/shop/item/name/../price");
+    assert!(prices.is_empty(), "the name-bearing item has no price");
+}
+
+#[test]
+fn parent_queries_are_unindexable_but_correct() {
+    let mut c = collection(120);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/price").unwrap(),
+        DataType::Double,
+    ));
+    c.create_index(IndexDefinition::new(
+        IndexId(2),
+        LinearPath::parse("//*").unwrap(),
+        DataType::Varchar,
+    ));
+    let model = CostModel::default();
+    // `//price/..` cannot be linearized (the pop target is a descendant
+    // step), so it compiles opaque: no candidates, doc-scan plan, right
+    // answer.
+    let q = compile("//price/..", "shop").unwrap();
+    assert!(q.atoms.is_empty(), "opaque queries expose no atoms");
+    assert!(enumerate_indexes(&q).is_empty(), "and therefore no candidates");
+    let ex = explain(&c, &model, &q);
+    assert!(!ex.plan.uses_indexes(), "{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}
+
+#[test]
+fn foldable_parent_still_lowers_with_inexact_extraction() {
+    // `/shop/item/price/..` folds to trunk `/shop/item`, which
+    // over-approximates (items without price would wrongly qualify for an
+    // index-only answer), so the extraction is marked inexact.
+    let q = compile("/shop/item/price/..", "shop").unwrap();
+    let ext = q.extraction().expect("extraction exists");
+    assert_eq!(ext.path.to_string(), "/shop/item");
+    assert!(!ext.exact);
+
+    let c = collection(120);
+    let model = CostModel::default();
+    let ex = explain(&c, &model, &q);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q), "plan:\n{}", ex.text);
+}
+
+#[test]
+fn text_extraction_never_uses_index_only() {
+    // Regression: `/shop/item/name/text()` must return text nodes, not the
+    // name elements an index-only plan would produce.
+    let mut c = collection(200);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/name").unwrap(),
+        DataType::Varchar,
+    ));
+    let q = compile("/shop/item/name/text()", "shop").unwrap();
+    assert!(!q.extraction().unwrap().exact);
+    let ex = explain(&c, &CostModel::default(), &q);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q), "plan:\n{}", ex.text);
+    // And the results really are text nodes.
+    let (doc_id, node) = ground_truth(&c, &q)[0];
+    let doc = c.get(doc_id).unwrap();
+    assert_eq!(doc.kind(xia::xml::NodeId::from_u32(node)), xia::xml::NodeKind::Text);
+}
+
+#[test]
+fn exact_extraction_does_use_index_only() {
+    let mut c = collection(200);
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/name").unwrap(),
+        DataType::Varchar,
+    ));
+    let q = compile("/shop/item/name", "shop").unwrap();
+    assert!(q.extraction().unwrap().exact);
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(ex.text.contains("XISCAN-ONLY"), "{}", ex.text);
+    let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+    let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+    assert_eq!(got, ground_truth(&c, &q));
+}

@@ -1,0 +1,173 @@
+//! The `contains()` / `starts-with()` string functions, across the whole
+//! stack: parsing, navigational evaluation, index matching (prefix probes
+//! are sargable, substring scans are not), plan execution agreement, and
+//! advisor candidate enumeration.
+
+use xia::index::{match_index, PathPredicate};
+use xia::prelude::*;
+use xia::xpath::{CmpOp, Literal};
+
+fn collection() -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig { docs: 120, ..Default::default() }).populate(&mut c);
+    c
+}
+
+fn ground_truth(c: &Collection, q: &NormalizedQuery) -> Vec<(DocId, u32)> {
+    let mut out = Vec::new();
+    for (id, doc) in c.documents() {
+        for n in q.run_on_document(doc) {
+            out.push((id, n.as_u32()));
+        }
+    }
+    out
+}
+
+#[test]
+fn parse_and_display_round_trip() {
+    for q in [
+        r#"//item[starts-with(name, "vintage")]/price"#,
+        r#"//item[contains(name, "coins")]"#,
+        r#"//person[starts-with(emailaddress, "person3_")]"#,
+        r#"//name[contains(., "drum")]"#,
+    ] {
+        let parsed = xia::xpath::parse(q).unwrap();
+        let again = xia::xpath::parse(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, again, "round trip failed for {q}");
+    }
+}
+
+#[test]
+fn navigational_semantics() {
+    let d = Document::parse(
+        r#"<r><x><n>vintage coins</n></x><x><n>rare coins</n></x><x><n>vintage art</n></x></r>"#,
+    )
+    .unwrap();
+    let count = |q: &str| xia::xpath::evaluate(&d, &xia::xpath::parse(q).unwrap()).len();
+    assert_eq!(count(r#"//x[starts-with(n, "vintage")]"#), 2);
+    assert_eq!(count(r#"//x[contains(n, "coins")]"#), 2);
+    assert_eq!(count(r#"//x[starts-with(n, "coins")]"#), 0);
+    assert_eq!(count(r#"//x[contains(n, "v")]"#), 2);
+    assert_eq!(count(r#"//n[starts-with(., "rare")]"#), 1);
+}
+
+#[test]
+fn starts_with_is_sargable_contains_is_not() {
+    let def = IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/name").unwrap(),
+        DataType::Varchar,
+    );
+    let sw = PathPredicate::with_value(
+        LinearPath::parse("//item/name").unwrap(),
+        CmpOp::StartsWith,
+        Literal::Str("vintage".into()),
+    );
+    let ct = PathPredicate::with_value(
+        LinearPath::parse("//item/name").unwrap(),
+        CmpOp::Contains,
+        Literal::Str("coins".into()),
+    );
+    assert!(!match_index(&def, &sw).unwrap().structural_only, "prefix probe is sargable");
+    assert!(match_index(&def, &ct).unwrap().structural_only, "substring scan is residual");
+}
+
+#[test]
+fn plans_agree_with_ground_truth() {
+    let mut c = collection();
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//item/name").unwrap(),
+        DataType::Varchar,
+    ));
+    let model = CostModel::default();
+    for text in [
+        r#"//item[starts-with(name, "vintage")]/price"#,
+        r#"//item[contains(name, "coins")]/price"#,
+        r#"//item[starts-with(name, "zzz-nothing")]"#,
+    ] {
+        let q = compile(text, "auctions").unwrap();
+        let ex = explain(&c, &model, &q);
+        let (got, _) = execute(&c, &q, &ex.plan).unwrap();
+        let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
+        assert_eq!(got, ground_truth(&c, &q), "plan disagreement for {text}:\n{}", ex.text);
+    }
+}
+
+#[test]
+fn selective_prefix_uses_index_probe() {
+    let mut c = collection();
+    c.create_index(IndexDefinition::new(
+        IndexId(1),
+        LinearPath::parse("//person/emailaddress").unwrap(),
+        DataType::Varchar,
+    ));
+    let q = compile(r#"//person[starts-with(emailaddress, "person3_")]/name"#, "auctions").unwrap();
+    let ex = explain(&c, &CostModel::default(), &q);
+    assert!(ex.plan.uses_indexes(), "prefix predicate should use the index:\n{}", ex.text);
+    let (rows, stats) = execute(&c, &q, &ex.plan).unwrap();
+    assert!(!rows.is_empty());
+    assert!(
+        stats.docs_evaluated < 20,
+        "prefix probe should narrow candidates hard, got {}",
+        stats.docs_evaluated
+    );
+}
+
+#[test]
+fn advisor_enumerates_varchar_candidates_for_string_functions() {
+    let q = compile(r#"//item[starts-with(name, "vintage")]"#, "auctions").unwrap();
+    let cands = enumerate_indexes(&q);
+    let name_cand = cands
+        .iter()
+        .find(|c| c.pattern.to_string() == "//item/name")
+        .expect("name pattern enumerated");
+    assert_eq!(name_cand.data_type, DataType::Varchar);
+}
+
+#[test]
+fn advisor_recommends_index_for_prefix_workload() {
+    let c = collection();
+    let w = Workload::from_queries(
+        &[r#"//person[starts-with(emailaddress, "person3_")]/name"#],
+        "auctions",
+    )
+    .unwrap();
+    let advisor = Advisor::default();
+    let rec = advisor.recommend(&c, &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    // The recommendation may be the exact pattern or a generalization that
+    // covers it (e.g. //person/* also serves the name extraction).
+    let email = LinearPath::parse("//person/emailaddress").unwrap();
+    assert!(
+        rec.indexes
+            .iter()
+            .any(|d| xia::index::contains(&d.pattern, &email)),
+        "expected an index covering //person/emailaddress in {:?}",
+        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn prefix_selectivity_tracks_reality() {
+    let c = collection();
+    let pattern = LinearPath::parse("//item/name").unwrap();
+    // Generated names start with one of 12 adjectives.
+    let sel = c.stats().selectivity(
+        &pattern,
+        CmpOp::StartsWith,
+        &Literal::Str("vintage".into()),
+    );
+    assert!(sel > 0.01 && sel < 0.25, "starts-with selectivity {sel}");
+    let none = c.stats().selectivity(
+        &pattern,
+        CmpOp::StartsWith,
+        &Literal::Str("zzz".into()),
+    );
+    assert_eq!(none, 0.0);
+    let contains = c.stats().selectivity(
+        &pattern,
+        CmpOp::Contains,
+        &Literal::Str("coins".into()),
+    );
+    assert!(contains > 0.01 && contains < 0.5, "contains selectivity {contains}");
+}
