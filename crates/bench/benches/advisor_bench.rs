@@ -7,7 +7,11 @@ use xia::prelude::*;
 use xia_bench::{standard_queries, workload_from, xmark_collection};
 
 fn bench_enumerate(c: &mut Criterion) {
-    let q = compile("/site/regions/africa/item[price > 100]/quantity", "auctions").unwrap();
+    let q = compile(
+        "/site/regions/africa/item[price > 100]/quantity",
+        "auctions",
+    )
+    .unwrap();
     c.bench_function("advisor_enumerate_indexes", |b| {
         b.iter(|| black_box(enumerate_indexes(&q)).len())
     });
@@ -59,5 +63,10 @@ fn bench_recommend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_enumerate, bench_evaluate_config, bench_recommend);
+criterion_group!(
+    benches,
+    bench_enumerate,
+    bench_evaluate_config,
+    bench_recommend
+);
 criterion_main!(benches);

@@ -41,7 +41,11 @@ fn bench_label_matching(c: &mut Criterion) {
 
 fn indexed_collection() -> Collection {
     let mut coll = Collection::new("bench");
-    XMarkGen::new(XMarkConfig { docs: 100, ..Default::default() }).populate(&mut coll);
+    XMarkGen::new(XMarkConfig {
+        docs: 100,
+        ..Default::default()
+    })
+    .populate(&mut coll);
     coll.create_index(IndexDefinition::new(
         IndexId(1),
         LinearPath::parse("//item/price").unwrap(),
@@ -51,7 +55,11 @@ fn indexed_collection() -> Collection {
 }
 
 fn bench_index_build(c: &mut Criterion) {
-    let docs = XMarkGen::new(XMarkConfig { docs: 20, ..Default::default() }).generate();
+    let docs = XMarkGen::new(XMarkConfig {
+        docs: 20,
+        ..Default::default()
+    })
+    .generate();
     c.bench_function("index_build_20_docs", |b| {
         b.iter(|| {
             let def = IndexDefinition::new(

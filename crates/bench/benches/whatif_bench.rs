@@ -1,0 +1,124 @@
+//! B5 — What-if cost engine benchmarks.
+//!
+//! Runs the greedy-heuristic search over a 50-query synthetic workload
+//! with the engine in three settings:
+//!
+//! * `uncached/1thread` — the pre-engine straight-line evaluation: every
+//!   configuration cost re-optimizes the whole workload sequentially;
+//! * `cached/1thread` — per-query signature memoization, serial misses;
+//! * `cached/Nthreads` — memoization plus scoped-thread fan-out of the
+//!   cache misses.
+//!
+//! All three settings produce identical `SearchOutcome`s (asserted below)
+//! — the benchmark measures pure evaluation speed. Record the numbers in
+//! EXPERIMENTS.md when they move.
+//!
+//! ```text
+//! cargo bench -p xia-bench --bench whatif_bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xia::advisor::{generalize, generate_basic_candidates, search_with, GeneralizationConfig};
+use xia::prelude::*;
+use xia_bench::{standard_queries, workload_from, xmark_collection};
+
+/// The standard nine templates blown up to a 50-query workload by the
+/// synthetic variation generator (region swaps + literal perturbation).
+fn fifty_queries() -> Vec<String> {
+    let templates = standard_queries();
+    let mut queries = templates.clone();
+    queries.extend(synthetic_variations(
+        &templates,
+        &SynthConfig {
+            per_template: 8,
+            seed: 11,
+        },
+    ));
+    queries.truncate(50);
+    assert_eq!(
+        queries.len(),
+        50,
+        "expected the synth generator to reach 50 queries"
+    );
+    queries
+}
+
+fn bench_whatif_engine(c: &mut Criterion) {
+    let coll = xmark_collection(100);
+    let workload = workload_from(&fifty_queries(), "auctions");
+    let model = CostModel::default();
+    let basics = generate_basic_candidates(&coll, &workload);
+    let dag = generalize(&coll, &basics, &GeneralizationConfig::default());
+    let budget: u64 = basics.iter().map(|b| b.size_bytes).sum::<u64>() / 2;
+
+    let settings = [
+        ("uncached/1thread", EngineConfig::uncached()),
+        (
+            "cached/1thread",
+            EngineConfig {
+                per_query_cache: true,
+                threads: 1,
+            },
+        ),
+        (
+            "cached/Nthreads",
+            EngineConfig {
+                per_query_cache: true,
+                threads: 0,
+            },
+        ),
+    ];
+
+    // The engine settings must not change what the search finds.
+    let reference = search_with(
+        &coll,
+        &model,
+        &workload,
+        &dag,
+        budget,
+        SearchStrategy::GreedyHeuristic,
+        EngineConfig::uncached(),
+    );
+    for (name, cfg) in settings {
+        let out = search_with(
+            &coll,
+            &model,
+            &workload,
+            &dag,
+            budget,
+            SearchStrategy::GreedyHeuristic,
+            cfg,
+        );
+        assert_eq!(out.chosen, reference.chosen, "{name}: chosen set diverged");
+        assert!(
+            out.workload_cost == reference.workload_cost,
+            "{name}: cost diverged ({} vs {})",
+            out.workload_cost,
+            reference.workload_cost
+        );
+    }
+
+    let mut group = c.benchmark_group("whatif_greedy_50q");
+    group.sample_size(10);
+    for (name, cfg) in settings {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = search_with(
+                    &coll,
+                    &model,
+                    &workload,
+                    &dag,
+                    budget,
+                    black_box(SearchStrategy::GreedyHeuristic),
+                    cfg,
+                );
+                black_box(out.workload_cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_whatif_engine);
+criterion_main!(benches);

@@ -5,8 +5,15 @@ use std::hint::black_box;
 use xia::prelude::*;
 
 fn xmark_text(docs: usize) -> String {
-    let gen = XMarkGen::new(XMarkConfig { docs, ..Default::default() });
-    gen.generate().iter().map(xia::xml::serialize).collect::<Vec<_>>().join("\n")
+    let gen = XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    });
+    gen.generate()
+        .iter()
+        .map(xia::xml::serialize)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn bench_parse(c: &mut Criterion) {
@@ -21,26 +28,35 @@ fn bench_parse(c: &mut Criterion) {
 
 fn bench_build(c: &mut Criterion) {
     c.bench_function("xml_generate_xmark_doc", |b| {
-        let gen = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() });
+        let gen = XMarkGen::new(XMarkConfig {
+            docs: 1,
+            ..Default::default()
+        });
         b.iter(|| black_box(gen.generate()))
     });
 }
 
 fn bench_serialize(c: &mut Criterion) {
-    let doc = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() })
-        .generate()
-        .pop()
-        .unwrap();
+    let doc = XMarkGen::new(XMarkConfig {
+        docs: 1,
+        ..Default::default()
+    })
+    .generate()
+    .pop()
+    .unwrap();
     c.bench_function("xml_serialize_xmark_doc", |b| {
         b.iter(|| black_box(xia::xml::serialize(&doc)))
     });
 }
 
 fn bench_string_value(c: &mut Criterion) {
-    let doc = XMarkGen::new(XMarkConfig { docs: 1, ..Default::default() })
-        .generate()
-        .pop()
-        .unwrap();
+    let doc = XMarkGen::new(XMarkConfig {
+        docs: 1,
+        ..Default::default()
+    })
+    .generate()
+    .pop()
+    .unwrap();
     let root = doc.root_element().unwrap();
     c.bench_function("xml_string_value_root", |b| {
         b.iter(|| black_box(doc.string_value(root)))
@@ -48,7 +64,11 @@ fn bench_string_value(c: &mut Criterion) {
 }
 
 fn bench_insert_into_collection(c: &mut Criterion) {
-    let docs = XMarkGen::new(XMarkConfig { docs: 16, ..Default::default() }).generate();
+    let docs = XMarkGen::new(XMarkConfig {
+        docs: 16,
+        ..Default::default()
+    })
+    .generate();
     c.bench_function("storage_insert_16_docs_with_stats", |b| {
         b.iter_batched(
             || (Collection::new("bench"), docs.clone()),

@@ -5,10 +5,15 @@ use std::hint::black_box;
 use xia::prelude::*;
 
 fn doc() -> Document {
-    XMarkGen::new(XMarkConfig { docs: 1, items_per_region: 8, people: 10, ..Default::default() })
-        .generate()
-        .pop()
-        .unwrap()
+    XMarkGen::new(XMarkConfig {
+        docs: 1,
+        items_per_region: 8,
+        people: 10,
+        ..Default::default()
+    })
+    .generate()
+    .pop()
+    .unwrap()
 }
 
 fn bench_query_parse(c: &mut Criterion) {
@@ -47,9 +52,7 @@ fn bench_compile_frontends(c: &mut Criterion) {
     g.bench_function("xquery", |b| {
         b.iter(|| {
             compile(
-                black_box(
-                    r#"for $i in collection("c")//item where $i/price > 100 return $i/name"#,
-                ),
+                black_box(r#"for $i in collection("c")//item where $i/price > 100 return $i/name"#),
                 "c",
             )
             .unwrap()
@@ -69,5 +72,10 @@ fn bench_compile_frontends(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_query_parse, bench_evaluate, bench_compile_frontends);
+criterion_group!(
+    benches,
+    bench_query_parse,
+    bench_evaluate,
+    bench_compile_frontends
+);
 criterion_main!(benches);

@@ -21,7 +21,14 @@ fn main() {
     // the best initial benefit/size ratio, and the specific indexes added
     // later make them redundant.
     let mut queries: Vec<String> = Vec::new();
-    for region in ["africa", "asia", "australia", "europe", "namerica", "samerica"] {
+    for region in [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ] {
         queries.push(format!("/site/regions/{region}/item/quantity"));
         queries.push(format!("/site/regions/{region}/item[price > 450]/name"));
     }
@@ -45,7 +52,10 @@ fn main() {
         ),
         (
             "no eviction pass",
-            SearchStrategy::GreedyAblated(GreedyKnobs { eviction: false, ..Default::default() }),
+            SearchStrategy::GreedyAblated(GreedyKnobs {
+                eviction: false,
+                ..Default::default()
+            }),
         ),
         (
             "no drop-unused",
@@ -62,7 +72,10 @@ fn main() {
                 drop_unused: false,
             }),
         ),
-        ("plain baseline [Valentin 2000]", SearchStrategy::GreedyBaseline),
+        (
+            "plain baseline [Valentin 2000]",
+            SearchStrategy::GreedyBaseline,
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -70,8 +83,13 @@ fn main() {
         let start = std::time::Instant::now();
         let rec = advisor.recommend(&coll, &workload, budget, strategy);
         let elapsed = start.elapsed().as_secs_f64();
-        let used: std::collections::HashSet<usize> =
-            rec.outcome.used_per_query.iter().flatten().copied().collect();
+        let used: std::collections::HashSet<usize> = rec
+            .outcome
+            .used_per_query
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         let unused = rec
             .outcome
             .chosen
@@ -94,7 +112,14 @@ fn main() {
     );
     print_table(
         "T7: greedy heuristics ablation",
-        &["variant", "improvement", "#indexes", "size KiB", "unused idx", "advisor time"],
+        &[
+            "variant",
+            "improvement",
+            "#indexes",
+            "size KiB",
+            "unused idx",
+            "advisor time",
+        ],
         &rows,
     );
 }

@@ -54,7 +54,13 @@ fn main() {
     );
     print_table(
         "T1: estimated improvement vs disk budget",
-        &["budget %", "KiB", "greedy-baseline", "greedy-heuristic", "top-down"],
+        &[
+            "budget %",
+            "KiB",
+            "greedy-baseline",
+            "greedy-heuristic",
+            "top-down",
+        ],
         &rows,
     );
 }

@@ -23,8 +23,7 @@ fn main() {
 
     for phase in ["no indexes", "recommended configuration"] {
         if phase == "recommended configuration" {
-            let rec =
-                advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
+            let rec = advisor.recommend(&coll, &workload, 1 << 20, SearchStrategy::GreedyHeuristic);
             Advisor::create_indexes(&rec, &mut coll);
         }
         let mut rows = Vec::new();
@@ -36,10 +35,19 @@ fn main() {
             let est_io = ex.plan.cost.io / model.page_io;
             sum_est += est_io;
             sum_meas += stats.pages_read;
-            let ratio = if stats.pages_read > 0 { est_io / stats.pages_read as f64 } else { 0.0 };
+            let ratio = if stats.pages_read > 0 {
+                est_io / stats.pages_read as f64
+            } else {
+                0.0
+            };
             rows.push(vec![
                 truncate(&q.text, 52),
-                if ex.plan.uses_indexes() { "index" } else { "scan" }.to_string(),
+                if ex.plan.uses_indexes() {
+                    "index"
+                } else {
+                    "scan"
+                }
+                .to_string(),
                 format!("{est_io:.0}"),
                 stats.pages_read.to_string(),
                 format!("{ratio:.2}x"),
@@ -59,5 +67,3 @@ fn main() {
         );
     }
 }
-
-

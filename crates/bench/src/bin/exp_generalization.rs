@@ -24,14 +24,23 @@ fn main() {
         "/site/regions/africa/item[price > 460]/name".to_string(),
         "/site/regions/asia/item[price > 460]/name".to_string(),
     ];
-    let unseen_texts =
-        synthetic_variations(&training, &SynthConfig { per_template: 4, seed: 23 });
+    let unseen_texts = synthetic_variations(
+        &training,
+        &SynthConfig {
+            per_template: 4,
+            seed: 23,
+        },
+    );
     let workload = workload_from(&training, "auctions");
     let unseen: Vec<NormalizedQuery> = unseen_texts
         .iter()
         .filter_map(|t| compile(t, "auctions").ok())
         .collect();
-    println!("training queries: {}; unseen variations: {}", training.len(), unseen.len());
+    println!(
+        "training queries: {}; unseen variations: {}",
+        training.len(),
+        unseen.len()
+    );
 
     let no_gen = Advisor::new(AdvisorConfig {
         generalization: GeneralizationConfig {
@@ -44,7 +53,11 @@ fn main() {
     let full = Advisor::default();
 
     let configs = [
-        ("basic-only greedy", &no_gen, SearchStrategy::GreedyHeuristic),
+        (
+            "basic-only greedy",
+            &no_gen,
+            SearchStrategy::GreedyHeuristic,
+        ),
         ("DAG greedy", &full, SearchStrategy::GreedyHeuristic),
         ("DAG top-down", &full, SearchStrategy::TopDown),
     ];
@@ -71,7 +84,13 @@ fn main() {
     }
     print_table(
         "T3: training vs unseen improvement",
-        &["configuration", "#idx", "training improv.", "unseen improv.", "patterns"],
+        &[
+            "configuration",
+            "#idx",
+            "training improv.",
+            "unseen improv.",
+            "patterns",
+        ],
         &rows,
     );
 }

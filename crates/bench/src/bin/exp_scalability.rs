@@ -25,7 +25,10 @@ fn main() {
         if per_template > 0 {
             texts.extend(synthetic_variations(
                 &standard_queries(),
-                &SynthConfig { per_template, seed: 11 },
+                &SynthConfig {
+                    per_template,
+                    seed: 11,
+                },
             ));
         }
         let workload = workload_from(&texts, "auctions");
@@ -43,7 +46,13 @@ fn main() {
     }
     print_table(
         "T6a: advisor time vs workload size (150 docs)",
-        &["#queries", "#basic cands", "#DAG nodes", "#recommended", "advisor time"],
+        &[
+            "#queries",
+            "#basic cands",
+            "#DAG nodes",
+            "#recommended",
+            "advisor time",
+        ],
         &rows,
     );
 

@@ -34,15 +34,26 @@ fn main() {
         let start = Instant::now();
         let rec = advisor.recommend(&coll, &workload, budget, strategy);
         let elapsed = start.elapsed().as_secs_f64();
-        let used: std::collections::HashSet<usize> =
-            rec.outcome.used_per_query.iter().flatten().copied().collect();
-        let used_count = rec.outcome.chosen.iter().filter(|i| used.contains(i)).count();
+        let used: std::collections::HashSet<usize> = rec
+            .outcome
+            .used_per_query
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        let used_count = rec
+            .outcome
+            .chosen
+            .iter()
+            .filter(|i| used.contains(i))
+            .count();
         let queries_with_index = rec
             .outcome
             .used_per_query
             .iter()
             .filter(|u| !u.is_empty())
             .count();
+        let stats = &rec.outcome.stats;
         rows.push(vec![
             strategy.to_string(),
             pct(rec.benefit(), rec.outcome.base_cost),
@@ -51,9 +62,18 @@ fn main() {
             format!("{used_count}/{}", rec.indexes.len()),
             format!("{queries_with_index}/{}", workload.query_count()),
             format!("{:.2}s", elapsed),
+            format!(
+                "{} ({:.0}% hit)",
+                stats.whatif_calls,
+                100.0 * stats.query_hit_rate()
+            ),
         ]);
     }
-    println!("budget: {} KiB (40% of overtrained {} KiB)", budget / 1024, overtrained / 1024);
+    println!(
+        "budget: {} KiB (40% of overtrained {} KiB)",
+        budget / 1024,
+        overtrained / 1024
+    );
     print_table(
         "T2: search strategy comparison",
         &[
@@ -64,6 +84,7 @@ fn main() {
             "used/total",
             "queries indexed",
             "advisor time",
+            "what-if calls",
         ],
         &rows,
     );

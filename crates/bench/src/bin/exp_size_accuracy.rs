@@ -46,7 +46,14 @@ fn main() {
         }
         print_table(
             &format!("T5: size estimate accuracy at {docs} documents"),
-            &["pattern", "est entries", "actual", "est KiB", "actual KiB", "bytes ratio"],
+            &[
+                "pattern",
+                "est entries",
+                "actual",
+                "est KiB",
+                "actual KiB",
+                "bytes ratio",
+            ],
             &rows,
         );
     }

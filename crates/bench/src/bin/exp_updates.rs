@@ -40,7 +40,13 @@ fn main() {
     }
     print_table(
         "T4: recommendation vs insert frequency (per workload unit)",
-        &["inserts/unit", "#indexes", "size KiB", "net benefit", "patterns"],
+        &[
+            "inserts/unit",
+            "#indexes",
+            "size KiB",
+            "net benefit",
+            "patterns",
+        ],
         &rows,
     );
 }

@@ -18,7 +18,11 @@ fn main() {
         let q = compile(&text, "auctions").expect("query compiles");
         for (i, cand) in enumerate_indexes(&q).into_iter().enumerate() {
             rows.push(vec![
-                if i == 0 { format!("[{}] {}", q.language, truncate(&text, 60)) } else { String::new() },
+                if i == 0 {
+                    format!("[{}] {}", q.language, truncate(&text, 60))
+                } else {
+                    String::new()
+                },
                 cand.pattern.to_string(),
                 cand.data_type.to_string(),
             ]);
@@ -35,7 +39,11 @@ fn main() {
         let q = compile(&text, coll).expect("query compiles");
         for (i, cand) in enumerate_indexes(&q).into_iter().enumerate() {
             rows.push(vec![
-                if i == 0 { format!("{coll}: {}", truncate(&text, 60)) } else { String::new() },
+                if i == 0 {
+                    format!("{coll}: {}", truncate(&text, 60))
+                } else {
+                    String::new()
+                },
                 cand.pattern.to_string(),
                 cand.data_type.to_string(),
             ]);
@@ -47,5 +55,3 @@ fn main() {
         &rows,
     );
 }
-
-

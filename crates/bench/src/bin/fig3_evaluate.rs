@@ -19,8 +19,14 @@ fn main() {
 
     let configs: Vec<(&str, Vec<(&str, DataType)>)> = vec![
         ("C0: no indexes", vec![]),
-        ("C1: exact price pattern", vec![("/site/regions/namerica/item/price", DataType::Double)]),
-        ("C2: generalized region", vec![("/site/regions/*/item/price", DataType::Double)]),
+        (
+            "C1: exact price pattern",
+            vec![("/site/regions/namerica/item/price", DataType::Double)],
+        ),
+        (
+            "C2: generalized region",
+            vec![("/site/regions/*/item/price", DataType::Double)],
+        ),
         ("C3: //price", vec![("//price", DataType::Double)]),
         ("C4: //* (everything)", vec![("//*", DataType::Varchar)]),
         (
@@ -78,5 +84,8 @@ fn main() {
         DataType::Double,
     )];
     let eval = evaluate_indexes(&coll, &model, &defs, std::slice::from_ref(&query));
-    println!("\nplan under C2:\n{}", eval.per_query[0].plan.render(&query.text));
+    println!(
+        "\nplan under C2:\n{}",
+        eval.per_query[0].plan.render(&query.text)
+    );
 }

@@ -9,7 +9,7 @@
 //! cargo run -p xia-bench --bin fig4_search --release
 //! ```
 
-use xia::advisor::{generate_basic_candidates, generalize, GeneralizationConfig};
+use xia::advisor::{generalize, generate_basic_candidates, GeneralizationConfig};
 use xia::prelude::*;
 use xia_bench::{standard_queries, workload_from, xmark_collection};
 
@@ -52,5 +52,6 @@ fn main() {
             println!("  {line}");
         }
         println!("{}", rec.render());
+        println!("what-if engine: {}", rec.outcome.stats.render());
     }
 }

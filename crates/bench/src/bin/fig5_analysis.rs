@@ -24,8 +24,13 @@ fn main() {
     println!("{}", rec.render());
 
     // Unseen queries: synthetic variations of the training set.
-    let unseen_texts =
-        synthetic_variations(&standard_queries(), &SynthConfig { per_template: 2, seed: 31 });
+    let unseen_texts = synthetic_variations(
+        &standard_queries(),
+        &SynthConfig {
+            per_template: 2,
+            seed: 31,
+        },
+    );
     let unseen: Vec<NormalizedQuery> = unseen_texts
         .iter()
         .filter_map(|t| compile(t, "auctions").ok())

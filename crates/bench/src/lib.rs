@@ -10,7 +10,11 @@ use xia::prelude::*;
 /// Standard XMark-like collection used by the figure harnesses.
 pub fn xmark_collection(docs: usize) -> Collection {
     let mut c = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    })
+    .populate(&mut c);
     c
 }
 
@@ -92,7 +96,11 @@ pub fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
     } else {
-        let cut = s.char_indices().take_while(|(i, _)| *i < n).last().map_or(0, |(i, _)| i);
+        let cut = s
+            .char_indices()
+            .take_while(|(i, _)| *i < n)
+            .last()
+            .map_or(0, |(i, _)| i);
         format!("{}…", &s[..cut])
     }
 }
@@ -120,8 +128,7 @@ mod tests {
     fn builders_produce_data() {
         assert_eq!(xmark_collection(3).len(), 3);
         assert!(
-            xmark_collection_heavy(2).stats().total_nodes
-                > xmark_collection(2).stats().total_nodes
+            xmark_collection_heavy(2).stats().total_nodes > xmark_collection(2).stats().total_nodes
         );
     }
 }

@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 use xia::advisor::analysis::measure_execution;
-use xia::advisor::{generate_basic_candidates, generalize, GeneralizationConfig};
+use xia::advisor::{generalize, generate_basic_candidates, GeneralizationConfig};
 use xia::prelude::*;
 
 /// One interactive advisor session.
@@ -64,8 +64,13 @@ impl Session {
     }
 
     fn collection(&self) -> Result<&Collection, String> {
-        let name = self.current.as_ref().ok_or("no collection loaded (try 'load xmark 100')")?;
-        self.db.collection(name).ok_or_else(|| format!("collection '{name}' missing"))
+        let name = self
+            .current
+            .as_ref()
+            .ok_or("no collection loaded (try 'load xmark 100')")?;
+        self.db
+            .collection(name)
+            .ok_or_else(|| format!("collection '{name}' missing"))
     }
 
     fn collection_mut(&mut self) -> Result<&mut Collection, String> {
@@ -85,7 +90,11 @@ impl Session {
                 let docs: usize = arg.trim().parse().unwrap_or(100);
                 self.db.create_collection("auctions");
                 let coll = self.db.collection_mut("auctions").expect("just created");
-                let n = XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(coll);
+                let n = XMarkGen::new(XMarkConfig {
+                    docs,
+                    ..Default::default()
+                })
+                .populate(coll);
                 self.current = Some("auctions".into());
                 Ok(format!(
                     "loaded {n} XMark-like documents into 'auctions' ({} nodes, {} paths)",
@@ -96,8 +105,10 @@ impl Session {
             "tpox" => {
                 TpoxGen::new(TpoxConfig::default()).populate_all(&mut self.db);
                 self.current = Some("order".into());
-                Ok("loaded TPoX-like collections: order, custacc, security (current: order)"
-                    .to_string())
+                Ok(
+                    "loaded TPoX-like collections: order, custacc, security (current: order)"
+                        .to_string(),
+                )
             }
             other => Err(format!("unknown dataset '{other}' (xmark <docs> | tpox)")),
         }
@@ -134,7 +145,11 @@ impl Session {
                 .iter()
                 .enumerate()
                 .map(|(i, l)| {
-                    let at = if e.is_attribute && i + 1 == e.labels.len() { "@" } else { "" };
+                    let at = if e.is_attribute && i + 1 == e.labels.len() {
+                        "@"
+                    } else {
+                        ""
+                    };
                     format!("/{at}{l}")
                 })
                 .collect();
@@ -275,13 +290,15 @@ impl Session {
         }
         let rec = {
             let coll = self.collection()?;
-            self.advisor.recommend(coll, &self.workload, budget_kib << 10, strategy)
+            self.advisor
+                .recommend(coll, &self.workload, budget_kib << 10, strategy)
         };
         let mut out = rec.render();
         out.push_str("\nsearch trace:\n");
         for line in &rec.outcome.trace {
             let _ = writeln!(out, "  {line}");
         }
+        let _ = writeln!(out, "\nwhat-if engine: {}", rec.outcome.stats.render());
         out.push_str("\nDDL ('create' builds these):\n");
         for ddl in rec.ddl(self.current.as_deref().unwrap_or("collection")) {
             let _ = writeln!(out, "  {ddl};");
@@ -369,7 +386,10 @@ impl Session {
             return Err("usage: save <directory>".into());
         }
         save_database(&self.db, std::path::Path::new(dir)).map_err(|e| e.to_string())?;
-        Ok(format!("saved {} collection(s) to {dir}", self.db.collections().count()))
+        Ok(format!(
+            "saved {} collection(s) to {dir}",
+            self.db.collections().count()
+        ))
     }
 
     fn open(&mut self, rest: &str) -> Result<String, String> {
@@ -383,7 +403,10 @@ impl Session {
         self.current = names.first().cloned();
         self.workload = Workload::new();
         self.last_rec = None;
-        Ok(format!("opened {dir}: collections {names:?} (current: {:?})", self.current))
+        Ok(format!(
+            "opened {dir}: collections {names:?} (current: {:?})",
+            self.current
+        ))
     }
 
     fn explain_cmd(&self, rest: &str) -> Result<String, String> {
@@ -464,7 +487,10 @@ fn truncate(s: &str, n: usize) -> String {
         s.to_string()
     } else {
         let cut = s.char_indices().take_while(|(i, _)| *i < n).count();
-        format!("{}…", &s[..s.char_indices().nth(cut).map_or(s.len(), |(i, _)| i)])
+        format!(
+            "{}…",
+            &s[..s.char_indices().nth(cut).map_or(s.len(), |(i, _)| i)]
+        )
     }
 }
 
@@ -497,7 +523,8 @@ mod tests {
     use super::*;
 
     fn ok(s: &mut Session, cmd: &str) -> String {
-        s.exec(cmd).unwrap_or_else(|e| panic!("'{cmd}' failed: {e}"))
+        s.exec(cmd)
+            .unwrap_or_else(|e| panic!("'{cmd}' failed: {e}"))
     }
 
     #[test]

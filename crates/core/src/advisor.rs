@@ -199,7 +199,10 @@ mod tests {
         assert!(!rec.indexes.is_empty());
         assert!(rec.benefit() > 0.0);
         assert!(rec.improvement_pct() > 0.0 && rec.improvement_pct() <= 100.0);
-        assert!(rec.indexes.iter().all(|d| !d.is_virtual), "recommended indexes are creatable");
+        assert!(
+            rec.indexes.iter().all(|d| !d.is_virtual),
+            "recommended indexes are creatable"
+        );
         let ddl = rec.ddl("shop");
         assert!(ddl[0].contains("XMLPATTERN"));
         let report = rec.render();
@@ -221,7 +224,11 @@ mod tests {
         let ex = xia_optimizer::explain(&c, &CostModel::default(), &q);
         assert!(ex.plan.uses_indexes(), "plan: {}", ex.text);
         let (_, stats) = xia_optimizer::execute(&c, &q, &ex.plan).unwrap();
-        assert!(stats.docs_evaluated < 50, "evaluated {}", stats.docs_evaluated);
+        assert!(
+            stats.docs_evaluated < 50,
+            "evaluated {}",
+            stats.docs_evaluated
+        );
     }
 
     #[test]

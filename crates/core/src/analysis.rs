@@ -98,7 +98,10 @@ fn truncate(s: &str, n: usize) -> String {
     if s.len() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..s.char_indices().take_while(|(i, _)| *i < n - 1).count()])
+        format!(
+            "{}…",
+            &s[..s.char_indices().take_while(|(i, _)| *i < n - 1).count()]
+        )
     }
 }
 
@@ -130,7 +133,11 @@ pub fn analyze(
 
     let rows = queries
         .iter()
-        .zip(none.per_query.iter().zip(with_rec.per_query.iter().zip(with_over.per_query.iter())))
+        .zip(
+            none.per_query
+                .iter()
+                .zip(with_rec.per_query.iter().zip(with_over.per_query.iter())),
+        )
         .map(|(q, (n, (r, o)))| QueryCostTriple {
             query: q.text.clone(),
             no_index: n.cost.total(),
@@ -143,7 +150,12 @@ pub fn analyze(
     let unseen_rec = evaluate_indexes(collection, model, &rec_defs, unseen);
     let unseen_rows = unseen
         .iter()
-        .zip(unseen_none.per_query.iter().zip(unseen_rec.per_query.iter()))
+        .zip(
+            unseen_none
+                .per_query
+                .iter()
+                .zip(unseen_rec.per_query.iter()),
+        )
         .map(|(q, (n, r))| QueryCostTriple {
             query: q.text.clone(),
             no_index: n.cost.total(),
@@ -273,9 +285,8 @@ mod tests {
         let advisor = Advisor::default();
         // Generous budget + top-down → general /site/*/item/... indexes.
         let rec = advisor.recommend(&c, &w, 8 << 20, SearchStrategy::TopDown);
-        let unseen = vec![
-            xia_xquery::compile("/site/europe/item[price = 11]/quantity", "shop").unwrap(),
-        ];
+        let unseen =
+            vec![xia_xquery::compile("/site/europe/item[price = 11]/quantity", "shop").unwrap()];
         let report = analyze(&advisor, &c, &w, &rec, &unseen);
         assert_eq!(report.unseen_rows.len(), 1);
         let row = &report.unseen_rows[0];

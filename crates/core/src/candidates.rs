@@ -46,7 +46,9 @@ pub fn generate_basic_candidates(collection: &Collection, workload: &Workload) -
     let stats = collection.stats();
     let mut out: Vec<Candidate> = Vec::new();
     for (qi, stmt) in workload.statements.iter().enumerate() {
-        let crate::workload::StatementKind::Query(q) = &stmt.kind else { continue };
+        let crate::workload::StatementKind::Query(q) = &stmt.kind else {
+            continue;
+        };
         for cand in enumerate_indexes(q) {
             match out
                 .iter_mut()
@@ -89,8 +91,14 @@ mod tests {
         let c = collection();
         let w = Workload::from_queries(&["/shop/item[price = 1]/name"], "shop").unwrap();
         let cands = generate_basic_candidates(&c, &w);
-        let strs: Vec<String> = cands.iter().map(|c| format!("{} {}", c.pattern, c.data_type)).collect();
-        assert_eq!(strs, vec!["/shop/item/price DOUBLE", "/shop/item/name VARCHAR"]);
+        let strs: Vec<String> = cands
+            .iter()
+            .map(|c| format!("{} {}", c.pattern, c.data_type))
+            .collect();
+        assert_eq!(
+            strs,
+            vec!["/shop/item/price DOUBLE", "/shop/item/name VARCHAR"]
+        );
         assert!(cands.iter().all(|c| c.basic));
         assert!(cands[0].size_bytes > 0);
     }
@@ -115,7 +123,10 @@ mod tests {
     fn updates_do_not_produce_candidates() {
         let c = collection();
         let mut w = Workload::from_queries(&["/shop/item/name"], "shop").unwrap();
-        w.add_insert(Document::parse("<shop><item><price>1</price></item></shop>").unwrap(), 3.0);
+        w.add_insert(
+            Document::parse("<shop><item><price>1</price></item></shop>").unwrap(),
+            3.0,
+        );
         let cands = generate_basic_candidates(&c, &w);
         assert_eq!(cands.len(), 1);
     }

@@ -37,7 +37,11 @@ pub struct GeneralizationConfig {
 
 impl Default for GeneralizationConfig {
     fn default() -> Self {
-        GeneralizationConfig { enable_lgg: true, enable_collapse: true, max_generated: 256 }
+        GeneralizationConfig {
+            enable_lgg: true,
+            enable_collapse: true,
+            max_generated: 256,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl Dag {
                 i,
                 n.candidate.pattern,
                 n.candidate.data_type,
-                if n.candidate.basic { "" } else { ", style=dashed" }
+                if n.candidate.basic {
+                    ""
+                } else {
+                    ", style=dashed"
+                }
             ));
         }
         for (i, n) in self.nodes.iter().enumerate() {
@@ -109,11 +117,7 @@ impl Dag {
 }
 
 /// Expand `basic` candidates with generalizations and build the DAG.
-pub fn generalize(
-    collection: &Collection,
-    basic: &[Candidate],
-    cfg: &GeneralizationConfig,
-) -> Dag {
+pub fn generalize(collection: &Collection, basic: &[Candidate], cfg: &GeneralizationConfig) -> Dag {
     let stats = collection.stats();
     let mut all: Vec<Candidate> = basic.to_vec();
     let mut generated = 0usize;
@@ -131,7 +135,9 @@ pub fn generalize(
                 if !cfg.enable_lgg {
                     continue;
                 }
-                let Some(lgg) = least_general_generalization(&all[i], &all[j]) else { continue };
+                let Some(lgg) = least_general_generalization(&all[i], &all[j]) else {
+                    continue;
+                };
                 if push_candidate(&mut all, lgg, stats) {
                     generated += 1;
                     changed = true;
@@ -200,7 +206,11 @@ fn least_general_generalization(a: &Candidate, b: &Candidate) -> Option<Candidat
             differs = true;
             PathTest::Wildcard
         };
-        steps.push(LinearStep { axis: sa.axis, test, is_attribute: sa.is_attribute });
+        steps.push(LinearStep {
+            axis: sa.axis,
+            test,
+            is_attribute: sa.is_attribute,
+        });
     }
     // Useless unless the inputs actually differ, and degenerate if no
     // concrete label survives to anchor the pattern.
@@ -225,9 +235,8 @@ fn least_general_generalization(a: &Candidate, b: &Candidate) -> Option<Candidat
 fn collapse_wildcard_run(c: &Candidate) -> Option<Candidate> {
     let steps = &c.pattern.steps;
     let run_start = steps.windows(2).position(|w| {
-        w.iter().all(|s| {
-            s.axis == PathAxis::Child && s.test == PathTest::Wildcard && !s.is_attribute
-        })
+        w.iter()
+            .all(|s| s.axis == PathAxis::Child && s.test == PathTest::Wildcard && !s.is_attribute)
     })?;
     let mut out = steps.to_vec();
     // Remove one of the two wildcards and make the survivor a descendant.
@@ -259,7 +268,11 @@ fn build_dag(all: Vec<Candidate>) -> Dag {
     }
     let mut nodes: Vec<DagNode> = all
         .into_iter()
-        .map(|candidate| DagNode { candidate, parents: vec![], children: vec![] })
+        .map(|candidate| DagNode {
+            candidate,
+            parents: vec![],
+            children: vec![],
+        })
         .collect();
     for i in 0..n {
         for j in 0..n {
@@ -280,7 +293,9 @@ fn build_dag(all: Vec<Candidate>) -> Dag {
 /// Convenience for tests and analysis: does any DAG candidate contain the
 /// given pattern?
 pub fn covered_by_dag(dag: &Dag, pattern: &LinearPath) -> bool {
-    dag.nodes.iter().any(|n| contains(&n.candidate.pattern, pattern))
+    dag.nodes
+        .iter()
+        .any(|n| contains(&n.candidate.pattern, pattern))
 }
 
 #[cfg(test)]
@@ -297,7 +312,9 @@ mod tests {
             ("samerica", "price", "9"),
             ("europe", "price", "3"),
         ] {
-            let xml = format!("<regions><{region}><item><{what}>{val}</{what}></item></{region}></regions>");
+            let xml = format!(
+                "<regions><{region}><item><{what}>{val}</{what}></item></{region}></regions>"
+            );
             c.insert(Document::parse(&xml).unwrap());
         }
         c
@@ -424,7 +441,10 @@ mod tests {
         let basics: Vec<Candidate> = (0..8)
             .map(|i| cand(&format!("/regions/r{i}/item/quantity"), i))
             .collect();
-        let cfg = GeneralizationConfig { max_generated: 1, ..Default::default() };
+        let cfg = GeneralizationConfig {
+            max_generated: 1,
+            ..Default::default()
+        };
         let dag = generalize(&c, &basics, &cfg);
         assert_eq!(dag.nodes.len(), 9);
     }
@@ -434,7 +454,10 @@ mod tests {
         let c = collection();
         let dag = generalize(
             &c,
-            &[cand("/regions/namerica/item/quantity", 0), cand("/regions/africa/item/quantity", 1)],
+            &[
+                cand("/regions/namerica/item/quantity", 0),
+                cand("/regions/africa/item/quantity", 1),
+            ],
             &GeneralizationConfig::default(),
         );
         let dot = dag.to_dot();

@@ -49,6 +49,7 @@ pub mod generalize;
 pub mod multi;
 pub mod review;
 pub mod search;
+pub mod whatif;
 pub mod workload;
 
 pub use advisor::{Advisor, AdvisorConfig, Recommendation};
@@ -57,5 +58,6 @@ pub use candidates::{generate_basic_candidates, Candidate};
 pub use generalize::{generalize, Dag, DagNode, GeneralizationConfig};
 pub use multi::{CollectionAdvice, DatabaseRecommendation};
 pub use review::{render_reviews, review_existing_indexes, IndexReview, IndexVerdict};
-pub use search::{GreedyKnobs, SearchOutcome, SearchStrategy};
+pub use search::{search_with, GreedyKnobs, SearchOutcome, SearchStrategy};
+pub use whatif::{reference_cost, reference_detail, EngineConfig, EvalStats, WhatIfEngine};
 pub use workload::{Statement, StatementKind, Workload};

@@ -10,10 +10,9 @@
 use crate::advisor::Advisor;
 use crate::candidates::generate_basic_candidates;
 use crate::generalize::{generalize, Dag};
+use crate::whatif::{EngineConfig, WhatIfEngine};
 use crate::workload::Workload;
-use std::collections::HashMap;
 use xia_index::{IndexDefinition, IndexId};
-use xia_optimizer::evaluate_indexes;
 use xia_storage::Database;
 use xia_xquery::NormalizedQuery;
 
@@ -46,7 +45,10 @@ impl DatabaseRecommendation {
     }
 
     pub fn total_benefit(&self) -> f64 {
-        self.per_collection.iter().map(|c| c.base_cost - c.final_cost).sum()
+        self.per_collection
+            .iter()
+            .map(|c| c.base_cost - c.final_cost)
+            .sum()
     }
 
     pub fn render(&self) -> String {
@@ -73,46 +75,15 @@ impl DatabaseRecommendation {
     }
 }
 
-/// Per-collection search state for the global greedy.
-struct CollState<'a> {
+/// Per-collection inputs for the global greedy. The what-if engine
+/// borrows the DAG, so these live in their own vector and the engines are
+/// built over references into it.
+struct CollInputs<'a> {
     name: String,
     coll: &'a xia_storage::Collection,
     queries: Vec<NormalizedQuery>,
     freqs: Vec<f64>,
     dag: Dag,
-    chosen: Vec<usize>,
-    cache: HashMap<Vec<usize>, f64>,
-}
-
-impl CollState<'_> {
-    fn cost(&mut self, advisor: &Advisor, chosen: &[usize]) -> f64 {
-        let mut key = chosen.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(&c) = self.cache.get(&key) {
-            return c;
-        }
-        let defs: Vec<IndexDefinition> = key
-            .iter()
-            .map(|&i| {
-                let c = &self.dag.nodes[i].candidate;
-                IndexDefinition::virtual_index(IndexId(i as u32), c.pattern.clone(), c.data_type)
-            })
-            .collect();
-        let eval = evaluate_indexes(self.coll, &advisor.config.cost_model, &defs, &self.queries);
-        let total: f64 = eval
-            .per_query
-            .iter()
-            .zip(&self.freqs)
-            .map(|(q, f)| q.cost.total() * f)
-            .sum();
-        self.cache.insert(key, total);
-        total
-    }
-
-    fn size(&self, chosen: &[usize]) -> u64 {
-        chosen.iter().map(|&i| self.dag.nodes[i].candidate.size_bytes).sum()
-    }
 }
 
 impl Advisor {
@@ -129,7 +100,7 @@ impl Advisor {
         workloads: &[(&str, &Workload)],
         budget_bytes: u64,
     ) -> DatabaseRecommendation {
-        let mut states: Vec<CollState<'_>> = workloads
+        let inputs: Vec<CollInputs<'_>> = workloads
             .iter()
             .filter_map(|(name, workload)| {
                 let coll = db.collection(name)?;
@@ -141,41 +112,56 @@ impl Advisor {
                     queries.push(q.clone());
                     freqs.push(f);
                 }
-                Some(CollState {
+                Some(CollInputs {
                     name: name.to_string(),
                     coll,
                     queries,
                     freqs,
                     dag,
-                    chosen: Vec::new(),
-                    cache: HashMap::new(),
                 })
             })
             .collect();
+        // One what-if engine per collection; updates are ignored at the
+        // database level (see doc comment above).
+        let mut engines: Vec<WhatIfEngine<'_>> = inputs
+            .iter()
+            .map(|inp| {
+                WhatIfEngine::new(
+                    inp.coll,
+                    &self.config.cost_model,
+                    &inp.dag,
+                    inp.queries.clone(),
+                    inp.freqs.clone(),
+                    Vec::new(),
+                    EngineConfig::default(),
+                )
+            })
+            .collect();
+        let mut chosen_per: Vec<Vec<usize>> = vec![Vec::new(); inputs.len()];
 
         let mut trace = Vec::new();
         let mut used: u64 = 0;
         loop {
             // Global best (collection, candidate) by marginal benefit/byte.
             // Re-scanning every pair each iteration looks quadratic, but
-            // `CollState::cost` memoizes by configuration key, so unchanged
-            // collections cost two hash lookups per candidate.
+            // the engine memoizes per query, so unchanged collections cost
+            // hash lookups per candidate.
             let mut best: Option<(usize, usize, f64, f64)> = None; // (state, node, marginal, ratio)
             #[allow(clippy::needless_range_loop)] // `si` is stored in `best`
-            for si in 0..states.len() {
-                let chosen = states[si].chosen.clone();
-                let current = states[si].cost(self, &chosen);
-                for ni in 0..states[si].dag.nodes.len() {
+            for si in 0..inputs.len() {
+                let chosen = chosen_per[si].clone();
+                let current = engines[si].cost(&chosen);
+                for ni in 0..inputs[si].dag.nodes.len() {
                     if chosen.contains(&ni) {
                         continue;
                     }
-                    let size = states[si].dag.nodes[ni].candidate.size_bytes;
+                    let size = inputs[si].dag.nodes[ni].candidate.size_bytes;
                     if used + size > budget_bytes {
                         continue;
                     }
                     let mut with = chosen.clone();
                     with.push(ni);
-                    let marginal = current - states[si].cost(self, &with);
+                    let marginal = current - engines[si].cost(&with);
                     if marginal <= 0.0 {
                         continue;
                     }
@@ -185,30 +171,33 @@ impl Advisor {
                     }
                 }
             }
-            let Some((si, ni, marginal, ratio)) = best else { break };
-            used += states[si].dag.nodes[ni].candidate.size_bytes;
+            let Some((si, ni, marginal, ratio)) = best else {
+                break;
+            };
+            used += inputs[si].dag.nodes[ni].candidate.size_bytes;
             trace.push(format!(
                 "[{}] add {} (marginal {:.1}, ratio {:.6}, used {} KiB)",
-                states[si].name,
-                states[si].dag.nodes[ni].candidate.pattern,
+                inputs[si].name,
+                inputs[si].dag.nodes[ni].candidate.pattern,
                 marginal,
                 ratio,
                 used / 1024
             ));
-            states[si].chosen.push(ni);
+            chosen_per[si].push(ni);
         }
 
-        let per_collection = states
-            .iter_mut()
-            .map(|st| {
-                let base_cost = st.cost(self, &[]);
-                let chosen = st.chosen.clone();
-                let final_cost = st.cost(self, &chosen);
+        let per_collection = inputs
+            .iter()
+            .zip(engines.iter_mut())
+            .zip(&chosen_per)
+            .map(|((inp, engine), chosen)| {
+                let base_cost = engine.cost(&[]);
+                let final_cost = engine.cost(chosen);
                 let indexes = chosen
                     .iter()
                     .enumerate()
                     .map(|(seq, &i)| {
-                        let c = &st.dag.nodes[i].candidate;
+                        let c = &inp.dag.nodes[i].candidate;
                         IndexDefinition::new(
                             IndexId(seq as u32 + 1),
                             c.pattern.clone(),
@@ -217,16 +206,20 @@ impl Advisor {
                     })
                     .collect();
                 CollectionAdvice {
-                    collection: st.name.clone(),
+                    collection: inp.name.clone(),
                     indexes,
                     base_cost,
                     final_cost,
-                    size_bytes: st.size(&chosen),
+                    size_bytes: engine.size(chosen),
                 }
             })
             .collect();
 
-        DatabaseRecommendation { per_collection, budget_bytes, trace }
+        DatabaseRecommendation {
+            per_collection,
+            budget_bytes,
+            trace,
+        }
     }
 }
 
@@ -238,8 +231,13 @@ mod tests {
 
     fn tpox_db() -> Database {
         let mut db = Database::new();
-        TpoxGen::new(TpoxConfig { orders: 200, customers: 40, securities: 30, seed: 3 })
-            .populate_all(&mut db);
+        TpoxGen::new(TpoxConfig {
+            orders: 200,
+            customers: 40,
+            securities: 30,
+            seed: 3,
+        })
+        .populate_all(&mut db);
         db
     }
 
@@ -256,7 +254,11 @@ mod tests {
     #[test]
     fn database_recommendation_respects_shared_budget() {
         let db = tpox_db();
-        let (wo, wc, ws) = (workload_for("order"), workload_for("custacc"), workload_for("security"));
+        let (wo, wc, ws) = (
+            workload_for("order"),
+            workload_for("custacc"),
+            workload_for("security"),
+        );
         let workloads = vec![("order", &wo), ("custacc", &wc), ("security", &ws)];
         let advisor = Advisor::default();
         let rec = advisor.recommend_database(&db, &workloads, 256 << 10);
@@ -264,7 +266,11 @@ mod tests {
         assert!(rec.total_benefit() > 0.0);
         assert_eq!(rec.per_collection.len(), 3);
         // The biggest workload (order) should get indexes.
-        let order = rec.per_collection.iter().find(|c| c.collection == "order").unwrap();
+        let order = rec
+            .per_collection
+            .iter()
+            .find(|c| c.collection == "order")
+            .unwrap();
         assert!(!order.indexes.is_empty());
         assert!(rec.render().contains("[order]"));
         assert!(!rec.trace.is_empty());
@@ -285,14 +291,19 @@ mod tests {
             .flat_map(|c| c.indexes.iter().map(move |d| (c.collection.as_str(), d)))
             .map(|(coll_name, d)| {
                 let coll = db.collection(coll_name).unwrap();
-                coll.stats().estimated_index_bytes(&d.pattern, d.data_type).max(1)
+                coll.stats()
+                    .estimated_index_bytes(&d.pattern, d.data_type)
+                    .max(1)
             })
             .min()
             .unwrap_or(1024);
         let tight = advisor.recommend_database(&db, &workloads, smallest.max(2048));
         assert!(tight.total_size() <= smallest.max(2048));
         let total: usize = tight.per_collection.iter().map(|c| c.indexes.len()).sum();
-        assert!(total <= 2, "tight budget should pick very few indexes, got {total}");
+        assert!(
+            total <= 2,
+            "tight budget should pick very few indexes, got {total}"
+        );
     }
 
     #[test]

@@ -96,8 +96,11 @@ pub fn review_existing_indexes(
             } else {
                 0.0
             };
-            let verdict =
-                if cost_if_dropped <= 1e-9 { IndexVerdict::Drop } else { IndexVerdict::Keep };
+            let verdict = if cost_if_dropped <= 1e-9 {
+                IndexVerdict::Drop
+            } else {
+                IndexVerdict::Keep
+            };
             IndexReview {
                 definition: ix.definition().clone(),
                 verdict,

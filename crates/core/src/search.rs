@@ -26,13 +26,10 @@
 //!   specific (smaller) children until the configuration fits.
 
 use crate::generalize::Dag;
+use crate::whatif::{EngineConfig, EvalStats, WhatIfEngine};
 use crate::workload::Workload;
-use std::collections::HashMap;
-use xia_index::{match_index, IndexDefinition, IndexId};
-use xia_optimizer::{evaluate_indexes, CostModel};
+use xia_optimizer::CostModel;
 use xia_storage::Collection;
-use xia_xml::{Document, NodeKind};
-use xia_xquery::NormalizedQuery;
 
 /// Which search algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +56,11 @@ pub struct GreedyKnobs {
 
 impl Default for GreedyKnobs {
     fn default() -> Self {
-        GreedyKnobs { coverage_bitmap: true, eviction: true, drop_unused: true }
+        GreedyKnobs {
+            coverage_bitmap: true,
+            eviction: true,
+            drop_unused: true,
+        }
     }
 }
 
@@ -96,6 +97,8 @@ pub struct SearchOutcome {
     pub per_query_cost: Vec<f64>,
     /// Indexes each query's best plan used (as DAG node indices).
     pub used_per_query: Vec<Vec<usize>>,
+    /// What-if engine telemetry for the whole search run.
+    pub stats: EvalStats,
 }
 
 impl SearchOutcome {
@@ -104,7 +107,7 @@ impl SearchOutcome {
     }
 }
 
-/// Run the chosen strategy.
+/// Run the chosen strategy with the default what-if engine settings.
 pub fn search(
     collection: &Collection,
     model: &CostModel,
@@ -113,7 +116,29 @@ pub fn search(
     budget_bytes: u64,
     strategy: SearchStrategy,
 ) -> SearchOutcome {
-    let mut ev = Evaluator::new(collection, model, workload, dag);
+    search_with(
+        collection,
+        model,
+        workload,
+        dag,
+        budget_bytes,
+        strategy,
+        EngineConfig::default(),
+    )
+}
+
+/// Run the chosen strategy with explicit engine settings (benchmarks use
+/// this to compare cached/uncached and serial/parallel evaluation).
+pub fn search_with(
+    collection: &Collection,
+    model: &CostModel,
+    workload: &Workload,
+    dag: &Dag,
+    budget_bytes: u64,
+    strategy: SearchStrategy,
+    engine: EngineConfig,
+) -> SearchOutcome {
+    let mut ev = WhatIfEngine::from_workload(collection, model, workload, dag, engine);
     match strategy {
         SearchStrategy::GreedyBaseline => greedy_baseline(&mut ev, budget_bytes),
         SearchStrategy::GreedyHeuristic => {
@@ -127,224 +152,36 @@ pub fn search(
 // ---------------------------------------------------------------------------
 // Shared evaluation machinery.
 // ---------------------------------------------------------------------------
+//
+// Configuration costing lives in [`crate::whatif`]: the engine memoizes
+// per-query results by relevant-index signature, fans cache misses out
+// across threads, and hoists update-maintenance node counts into a lazy
+// table. Strategies only call `cost`/`detail`/`size` and read the
+// coverage bitmap.
 
-struct Evaluator<'a> {
-    collection: &'a Collection,
-    model: &'a CostModel,
-    dag: &'a Dag,
-    queries: Vec<NormalizedQuery>,
-    freqs: Vec<f64>,
-    updates: Vec<(&'a Document, f64)>,
-    /// Atom universe for the coverage bitmap: one entry per required atom
-    /// of every workload query, plus atoms from disjunctive (OR) groups.
-    atoms: Vec<xia_index::PathPredicate>,
-    /// For each universe atom: `Some((query, group, branch))` when it
-    /// belongs to an OR group of that query.
-    atom_or: Vec<Option<(usize, u32, u32)>>,
-    /// coverage[node] = bitmask over `atoms` this candidate can serve.
-    coverage: Vec<u128>,
-    /// Config cost cache keyed by the sorted chosen set.
-    cache: HashMap<Vec<usize>, f64>,
-}
-
-impl<'a> Evaluator<'a> {
-    fn new(
-        collection: &'a Collection,
-        model: &'a CostModel,
-        workload: &'a Workload,
-        dag: &'a Dag,
-    ) -> Evaluator<'a> {
-        // Cloned once here; `evaluate_indexes` takes owned queries and the
-        // search re-costs configurations many times.
-        let mut queries = Vec::new();
-        let mut freqs = Vec::new();
-        for (q, f) in workload.queries() {
-            queries.push(q.clone());
-            freqs.push(f);
-        }
-        let updates: Vec<(&Document, f64)> = workload.updates().collect();
-        let mut atoms = Vec::new();
-        let mut atom_or = Vec::new();
-        for (qi, q) in queries.iter().enumerate() {
-            for atom in &q.atoms {
-                let relevant = atom.required || atom.or_group.is_some();
-                if relevant && atoms.len() < 128 {
-                    atoms.push(to_pred(atom));
-                    atom_or.push(atom.or_group.map(|(g, b)| (qi, g, b)));
-                }
-            }
-        }
-        let coverage = dag
-            .nodes
-            .iter()
-            .map(|n| {
-                let def = IndexDefinition::virtual_index(
-                    IndexId(0),
-                    n.candidate.pattern.clone(),
-                    n.candidate.data_type,
-                );
-                atoms
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| match_index(&def, a).is_some())
-                    .fold(0u128, |m, (i, _)| m | (1 << i))
-            })
-            .collect();
-        Evaluator {
-            collection,
-            model,
-            dag,
-            queries,
-            freqs,
-            updates,
-            atoms,
-            atom_or,
-            coverage,
-            cache: HashMap::new(),
-        }
+/// Package a finished search into a [`SearchOutcome`].
+fn outcome(ev: &mut WhatIfEngine<'_>, chosen: Vec<usize>, trace: Vec<String>) -> SearchOutcome {
+    let chosen = crate::whatif::normalize(&chosen);
+    let base_cost = ev.cost(&[]);
+    let workload_cost = ev.cost(&chosen);
+    let (per_query_cost, used_per_query) = ev.detail(&chosen);
+    SearchOutcome {
+        size_bytes: ev.size(&chosen),
+        chosen,
+        base_cost,
+        workload_cost,
+        trace,
+        per_query_cost,
+        used_per_query,
+        stats: ev.stats().clone(),
     }
-
-    /// OR groups as lists of per-branch universe-atom bitmasks:
-    /// one entry per (query, group), holding each branch's atom mask.
-    fn or_groups(&self) -> Vec<Vec<u128>> {
-        let mut map: std::collections::BTreeMap<(usize, u32), std::collections::BTreeMap<u32, u128>> =
-            Default::default();
-        for (i, tag) in self.atom_or.iter().enumerate() {
-            if let Some((qi, g, b)) = tag {
-                *map.entry((*qi, *g)).or_default().entry(*b).or_insert(0) |= 1u128 << i;
-            }
-        }
-        map.into_values()
-            .map(|branches| branches.into_values().collect())
-            .filter(|branches: &Vec<u128>| branches.len() >= 2)
-            .collect()
-    }
-
-    fn defs_for(&self, chosen: &[usize]) -> Vec<IndexDefinition> {
-        chosen
-            .iter()
-            .map(|&i| {
-                let c = &self.dag.nodes[i].candidate;
-                IndexDefinition::virtual_index(
-                    IndexId(i as u32),
-                    c.pattern.clone(),
-                    c.data_type,
-                )
-            })
-            .collect()
-    }
-
-    /// Total workload cost under a configuration: weighted query costs
-    /// plus index-maintenance charges for update statements.
-    fn cost(&mut self, chosen: &[usize]) -> f64 {
-        let mut key: Vec<usize> = chosen.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(&c) = self.cache.get(&key) {
-            return c;
-        }
-        let defs = self.defs_for(&key);
-        let eval = evaluate_indexes(self.collection, self.model, &defs, &self.queries);
-        let mut total: f64 = eval
-            .per_query
-            .iter()
-            .zip(&self.freqs)
-            .map(|(q, f)| q.cost.total() * f)
-            .sum();
-        total += self.maintenance_cost(&key);
-        self.cache.insert(key, total);
-        total
-    }
-
-    /// Maintenance cost the configuration adds to update statements.
-    fn maintenance_cost(&self, chosen: &[usize]) -> f64 {
-        let mut total = 0.0;
-        for (sample, freq) in &self.updates {
-            for &i in chosen {
-                let c = &self.dag.nodes[i].candidate;
-                let touched = nodes_matching(sample, &c.pattern);
-                if touched > 0 {
-                    // B-tree descent plus per-entry insertion work.
-                    total += freq
-                        * (self.model.random_io
-                            + touched as f64 * (self.model.cpu_maintain + self.model.cpu_entry));
-                }
-            }
-        }
-        total
-    }
-
-    /// Per-query costs and used indexes under a configuration.
-    fn detail(&self, chosen: &[usize]) -> (Vec<f64>, Vec<Vec<usize>>) {
-        let defs = self.defs_for(chosen);
-        let eval = evaluate_indexes(self.collection, self.model, &defs, &self.queries);
-        let costs = eval.per_query.iter().map(|q| q.cost.total()).collect();
-        let used = eval
-            .per_query
-            .iter()
-            .map(|q| q.used_indexes.iter().map(|id| id.0 as usize).collect())
-            .collect();
-        (costs, used)
-    }
-
-    fn size(&self, chosen: &[usize]) -> u64 {
-        chosen.iter().map(|&i| self.dag.nodes[i].candidate.size_bytes).sum()
-    }
-
-    fn outcome(&mut self, mut chosen: Vec<usize>, trace: Vec<String>) -> SearchOutcome {
-        chosen.sort_unstable();
-        chosen.dedup();
-        let base_cost = self.cost(&[]);
-        let workload_cost = self.cost(&chosen);
-        let (per_query_cost, used_per_query) = self.detail(&chosen);
-        SearchOutcome {
-            size_bytes: self.size(&chosen),
-            chosen,
-            base_cost,
-            workload_cost,
-            trace,
-            per_query_cost,
-            used_per_query,
-        }
-    }
-}
-
-fn to_pred(atom: &xia_xquery::QueryAtom) -> xia_index::PathPredicate {
-    match &atom.value {
-        Some((op, lit)) => {
-            xia_index::PathPredicate::with_value(atom.path.clone(), *op, lit.clone())
-        }
-        None => xia_index::PathPredicate::structural(atom.path.clone()),
-    }
-}
-
-/// Count nodes of `doc` a pattern reaches (update maintenance estimate).
-fn nodes_matching(doc: &Document, pattern: &xia_xpath::LinearPath) -> usize {
-    let Some(root) = doc.root_element() else { return 0 };
-    let targets_attr = pattern.targets_attribute();
-    let mut n = 0;
-    for node in std::iter::once(root).chain(doc.descendants(root)) {
-        let kind = doc.kind(node);
-        if kind == NodeKind::Text || (kind == NodeKind::Attribute) != targets_attr {
-            continue;
-        }
-        let labels: Vec<&str> = doc
-            .label_path(node)
-            .iter()
-            .map(|&id| doc.names().resolve(id))
-            .collect();
-        if pattern.matches_label_path(&labels, kind == NodeKind::Attribute) {
-            n += 1;
-        }
-    }
-    n
 }
 
 // ---------------------------------------------------------------------------
 // Strategy 1: greedy knapsack baseline [Valentin et al. 2000].
 // ---------------------------------------------------------------------------
 
-fn greedy_baseline(ev: &mut Evaluator<'_>, budget: u64) -> SearchOutcome {
+fn greedy_baseline(ev: &mut WhatIfEngine<'_>, budget: u64) -> SearchOutcome {
     let base = ev.cost(&[]);
     let mut trace = vec![format!("baseline: no-index workload cost {base:.1}")];
     // Stand-alone benefit of each candidate, computed once.
@@ -375,14 +212,14 @@ fn greedy_baseline(ev: &mut Evaluator<'_>, budget: u64) -> SearchOutcome {
         ));
         chosen.push(i);
     }
-    ev.outcome(chosen, trace)
+    outcome(ev, chosen, trace)
 }
 
 // ---------------------------------------------------------------------------
 // Strategy 2: the paper's greedy search with heuristics.
 // ---------------------------------------------------------------------------
 
-fn greedy_heuristic(ev: &mut Evaluator<'_>, budget: u64, knobs: GreedyKnobs) -> SearchOutcome {
+fn greedy_heuristic(ev: &mut WhatIfEngine<'_>, budget: u64, knobs: GreedyKnobs) -> SearchOutcome {
     let base = ev.cost(&[]);
     let mut trace = vec![format!("greedy: no-index workload cost {base:.1}")];
     let mut chosen: Vec<usize> = Vec::new();
@@ -481,14 +318,14 @@ fn greedy_heuristic(ev: &mut Evaluator<'_>, budget: u64, knobs: GreedyKnobs) -> 
         });
     }
 
-    ev.outcome(chosen, trace)
+    outcome(ev, chosen, trace)
 }
 
 /// Find one OR group whose branches can all be covered by adding new
 /// candidates within budget with positive combined marginal benefit.
 /// Returns the candidate set to add, or `None`.
 fn try_or_group_add(
-    ev: &mut Evaluator<'_>,
+    ev: &mut WhatIfEngine<'_>,
     chosen: &[usize],
     covered: u128,
     budget: u64,
@@ -524,7 +361,10 @@ fn try_or_group_add(
         if !ok || add.is_empty() {
             continue;
         }
-        let add_size: u64 = add.iter().map(|&i| ev.dag.nodes[i].candidate.size_bytes).sum();
+        let add_size: u64 = add
+            .iter()
+            .map(|&i| ev.dag.nodes[i].candidate.size_bytes)
+            .sum();
         if used + add_size > budget {
             continue;
         }
@@ -541,7 +381,7 @@ fn try_or_group_add(
 // Strategy 3: top-down DAG search.
 // ---------------------------------------------------------------------------
 
-fn top_down(ev: &mut Evaluator<'_>, budget: u64) -> SearchOutcome {
+fn top_down(ev: &mut WhatIfEngine<'_>, budget: u64) -> SearchOutcome {
     let mut chosen: Vec<usize> = ev
         .dag
         .roots()
@@ -590,19 +430,20 @@ fn top_down(ev: &mut Evaluator<'_>, budget: u64) -> SearchOutcome {
         } else {
             // Leaves only: drop the index whose removal hurts least.
             let current = ev.cost(&chosen);
-            let victim_pos = (0..chosen.len())
-                .min_by(|&a, &b| {
-                    let mut wa = chosen.clone();
-                    wa.remove(a);
-                    let mut wb = chosen.clone();
-                    wb.remove(b);
-                    let loss_a = ev.cost(&wa) - current;
-                    let loss_b = ev.cost(&wb) - current;
-                    // Prefer dropping big, low-loss indexes.
-                    let score_a = loss_a / ev.dag.nodes[chosen[a]].candidate.size_bytes.max(1) as f64;
-                    let score_b = loss_b / ev.dag.nodes[chosen[b]].candidate.size_bytes.max(1) as f64;
-                    score_a.partial_cmp(&score_b).unwrap_or(std::cmp::Ordering::Equal)
-                });
+            let victim_pos = (0..chosen.len()).min_by(|&a, &b| {
+                let mut wa = chosen.clone();
+                wa.remove(a);
+                let mut wb = chosen.clone();
+                wb.remove(b);
+                let loss_a = ev.cost(&wa) - current;
+                let loss_b = ev.cost(&wb) - current;
+                // Prefer dropping big, low-loss indexes.
+                let score_a = loss_a / ev.dag.nodes[chosen[a]].candidate.size_bytes.max(1) as f64;
+                let score_b = loss_b / ev.dag.nodes[chosen[b]].candidate.size_bytes.max(1) as f64;
+                score_a
+                    .partial_cmp(&score_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             match victim_pos {
                 Some(pos) => {
                     let victim = chosen.remove(pos);
@@ -617,7 +458,7 @@ fn top_down(ev: &mut Evaluator<'_>, budget: u64) -> SearchOutcome {
         }
     }
     trace.push(format!("final size {} KiB", ev.size(&chosen) / 1024));
-    ev.outcome(chosen, trace)
+    outcome(ev, chosen, trace)
 }
 
 #[cfg(test)]
@@ -754,7 +595,10 @@ mod tests {
         let small = search(&c, &model, &w, &dag, budget, SearchStrategy::TopDown);
         assert!(small.size_bytes <= budget);
         assert!(
-            small.trace.iter().any(|t| t.contains("replace") || t.contains("drop")),
+            small
+                .trace
+                .iter()
+                .any(|t| t.contains("replace") || t.contains("drop")),
             "trace should show descent: {:?}",
             small.trace
         );
@@ -767,12 +611,26 @@ mod tests {
         let basics = generate_basic_candidates(&c, &read_only);
         let dag = generalize(&c, &basics, &GeneralizationConfig::default());
         let model = CostModel::default();
-        let ro = search(&c, &model, &read_only, &dag, 1 << 20, SearchStrategy::GreedyHeuristic);
+        let ro = search(
+            &c,
+            &model,
+            &read_only,
+            &dag,
+            1 << 20,
+            SearchStrategy::GreedyHeuristic,
+        );
 
         // Same queries plus very frequent inserts.
         let sample = c.get(xia_storage::DocId(0)).unwrap().clone();
         read_only.add_insert(sample, 100_000.0);
-        let uh = search(&c, &model, &read_only, &dag, 1 << 20, SearchStrategy::GreedyHeuristic);
+        let uh = search(
+            &c,
+            &model,
+            &read_only,
+            &dag,
+            1 << 20,
+            SearchStrategy::GreedyHeuristic,
+        );
         assert!(
             uh.chosen.len() <= ro.chosen.len(),
             "update-heavy ({:?}) should not out-index read-only ({:?})",
@@ -785,8 +643,22 @@ mod tests {
     fn baseline_can_pick_redundant_indexes_heuristic_does_not() {
         let (c, w, dag) = setup(400, QUERIES);
         let model = CostModel::default();
-        let base = search(&c, &model, &w, &dag, 8 << 20, SearchStrategy::GreedyBaseline);
-        let heur = search(&c, &model, &w, &dag, 8 << 20, SearchStrategy::GreedyHeuristic);
+        let base = search(
+            &c,
+            &model,
+            &w,
+            &dag,
+            8 << 20,
+            SearchStrategy::GreedyBaseline,
+        );
+        let heur = search(
+            &c,
+            &model,
+            &w,
+            &dag,
+            8 << 20,
+            SearchStrategy::GreedyHeuristic,
+        );
         // The heuristic never recommends more indexes than queries it can
         // serve; the baseline may (that is its documented weakness).
         assert!(heur.chosen.len() <= base.chosen.len().max(heur.chosen.len()));

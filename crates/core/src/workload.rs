@@ -51,19 +51,28 @@ impl Workload {
         frequency: f64,
     ) -> Result<&mut Self, QueryError> {
         let q = compile(text, collection)?;
-        self.statements.push(Statement { kind: StatementKind::Query(q), frequency });
+        self.statements.push(Statement {
+            kind: StatementKind::Query(q),
+            frequency,
+        });
         Ok(self)
     }
 
     /// Add an insert statement with a sample document.
     pub fn add_insert(&mut self, sample: Document, frequency: f64) -> &mut Self {
-        self.statements.push(Statement { kind: StatementKind::Insert { sample }, frequency });
+        self.statements.push(Statement {
+            kind: StatementKind::Insert { sample },
+            frequency,
+        });
         self
     }
 
     /// Add a delete statement with a sample document.
     pub fn add_delete(&mut self, sample: Document, frequency: f64) -> &mut Self {
-        self.statements.push(Statement { kind: StatementKind::Delete { sample }, frequency });
+        self.statements.push(Statement {
+            kind: StatementKind::Delete { sample },
+            frequency,
+        });
         self
     }
 
@@ -147,9 +156,10 @@ impl Workload {
                 }
                 _ => (1.0, line),
             };
-            w.add_query(query, collection, freq).map_err(|e| QueryError {
-                message: format!("line {}: {}", lineno + 1, e.message),
-            })?;
+            w.add_query(query, collection, freq)
+                .map_err(|e| QueryError {
+                    message: format!("line {}: {}", lineno + 1, e.message),
+                })?;
         }
         Ok(w)
     }
@@ -273,7 +283,10 @@ mod tests {
         assert_eq!(again.query_count(), 3);
         let freqs: Vec<f64> = again.queries().map(|(_, f)| f).collect();
         assert_eq!(freqs, vec![1.0, 1.0, 7.0]);
-        assert_eq!(again.updates().map(|(_, f)| f).collect::<Vec<_>>(), vec![42.0, 9.0]);
+        assert_eq!(
+            again.updates().map(|(_, f)| f).collect::<Vec<_>>(),
+            vec![42.0, 9.0]
+        );
         // Round-tripped kinds are preserved, not collapsed to inserts.
         let kinds: Vec<bool> = again
             .statements

@@ -1,0 +1,155 @@
+//! Property test for the what-if cost engine: for random configuration
+//! sequences (unsorted, with duplicates, in any order), the cached +
+//! parallel engine must return **bitwise identical** workload costs,
+//! per-query costs and used-index sets to a straight-line uncached
+//! evaluation of the whole workload.
+//!
+//! This is the engine's central contract — memoization by relevant-index
+//! signature and scoped-thread fan-out may change how much work costing
+//! takes, never what it returns.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use xia_advisor::generalize::{generalize, Dag};
+use xia_advisor::whatif::{reference_cost, reference_detail, EngineConfig, WhatIfEngine};
+use xia_advisor::{generate_basic_candidates, GeneralizationConfig, Workload};
+use xia_optimizer::CostModel;
+use xia_storage::Collection;
+use xia_xml::{Document, DocumentBuilder};
+use xia_xquery::NormalizedQuery;
+
+struct Fixture {
+    collection: Collection,
+    workload: Workload,
+    dag: Dag,
+    queries: Vec<NormalizedQuery>,
+    freqs: Vec<f64>,
+}
+
+fn regional_collection(n: usize) -> Collection {
+    let regions = ["africa", "asia", "europe", "namerica"];
+    let mut c = Collection::new("shop");
+    for i in 0..n {
+        let mut b = DocumentBuilder::new();
+        b.open("site");
+        b.open(regions[i % regions.len()]);
+        b.open("item");
+        b.leaf("price", &format!("{}", i % 40));
+        b.leaf("quantity", &format!("{}", i % 7));
+        b.close();
+        b.close();
+        b.close();
+        c.insert(b.finish().unwrap());
+    }
+    c
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let collection = regional_collection(160);
+        let mut workload = Workload::from_queries(
+            &[
+                "/site/africa/item[price = 3]/quantity",
+                "/site/asia/item[price = 17]/quantity",
+                "/site/europe/item[quantity = 2]/price",
+                "//item[price > 30]/quantity",
+                "/site/namerica/item/price",
+            ],
+            "shop",
+        )
+        .unwrap();
+        // An update statement so maintenance costing is exercised too.
+        let sample = collection.get(xia_storage::DocId(0)).unwrap().clone();
+        workload.add_insert(sample, 12.5);
+        let basics = generate_basic_candidates(&collection, &workload);
+        let dag = generalize(&collection, &basics, &GeneralizationConfig::default());
+        let queries: Vec<NormalizedQuery> = workload.queries().map(|(q, _)| q.clone()).collect();
+        let freqs: Vec<f64> = workload.queries().map(|(_, f)| f).collect();
+        Fixture {
+            collection,
+            workload,
+            dag,
+            queries,
+            freqs,
+        }
+    })
+}
+
+/// A random sequence of raw chosen sets: arbitrary order, duplicates
+/// allowed, indices folded into the DAG's node range inside the test.
+fn config_sequence() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..64, 0..6), 1..8)
+}
+
+proptest! {
+    #[test]
+    fn engine_matches_uncached_reference(seq in config_sequence()) {
+        let fix = fixture();
+        let model = CostModel::default();
+        let updates: Vec<(&Document, f64)> = fix.workload.updates().collect();
+        // One engine per case so the cache warms across the sequence —
+        // repeats within a sequence exercise the hit path.
+        let mut engine = WhatIfEngine::from_workload(
+            &fix.collection,
+            &model,
+            &fix.workload,
+            &fix.dag,
+            EngineConfig { per_query_cache: true, threads: 3 },
+        );
+        let n = fix.dag.nodes.len();
+        for raw in &seq {
+            let chosen: Vec<usize> = raw.iter().map(|i| i % n).collect();
+            let want_cost = reference_cost(
+                &fix.collection,
+                &model,
+                &fix.dag,
+                &fix.queries,
+                &fix.freqs,
+                &updates,
+                &chosen,
+            );
+            let got_cost = engine.cost(&chosen);
+            prop_assert!(
+                got_cost == want_cost,
+                "config {chosen:?}: engine {got_cost} != reference {want_cost}"
+            );
+            let (want_pq, want_used) = reference_detail(
+                &fix.collection,
+                &model,
+                &fix.dag,
+                &fix.queries,
+                &chosen,
+            );
+            let (got_pq, got_used) = engine.detail(&chosen);
+            prop_assert_eq!(&got_pq, &want_pq, "config {:?}: per-query costs", &chosen);
+            prop_assert_eq!(&got_used, &want_used, "config {:?}: used indexes", &chosen);
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_engines_agree(seq in config_sequence()) {
+        let fix = fixture();
+        let model = CostModel::default();
+        let mut cached = WhatIfEngine::from_workload(
+            &fix.collection,
+            &model,
+            &fix.workload,
+            &fix.dag,
+            EngineConfig::default(),
+        );
+        let mut uncached = WhatIfEngine::from_workload(
+            &fix.collection,
+            &model,
+            &fix.workload,
+            &fix.dag,
+            EngineConfig::uncached(),
+        );
+        let n = fix.dag.nodes.len();
+        for raw in &seq {
+            let chosen: Vec<usize> = raw.iter().map(|i| i % n).collect();
+            prop_assert!(cached.cost(&chosen) == uncached.cost(&chosen));
+            prop_assert_eq!(cached.detail(&chosen), uncached.detail(&chosen));
+        }
+    }
+}

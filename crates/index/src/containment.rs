@@ -44,7 +44,10 @@ pub fn contains(general: &LinearPath, specific: &LinearPath) -> bool {
         general.len() <= MAX_STEPS && specific.len() <= MAX_STEPS,
         "patterns longer than {MAX_STEPS} steps are not supported"
     );
-    let mut ck = Checker { p: &general.steps, memo: HashMap::new() };
+    let mut ck = Checker {
+        p: &general.steps,
+        memo: HashMap::new(),
+    };
     // Flag bit = pending Σ*; initial state: before P[0], no pending Σ*.
     let init = ck.state_bit(0, false);
     ck.contained(&specific.steps, 0, init)
@@ -207,7 +210,13 @@ mod tests {
 
     #[test]
     fn reflexive() {
-        for s in ["/a/b/c", "//item/price", "/regions/*/item", "//*", "/a//b//c"] {
+        for s in [
+            "/a/b/c",
+            "//item/price",
+            "/regions/*/item",
+            "//*",
+            "/a//b//c",
+        ] {
             assert!(c(s, s), "{s} must contain itself");
         }
     }
@@ -222,11 +231,20 @@ mod tests {
 
     #[test]
     fn wildcard_generalization() {
-        assert!(c("/regions/*/item/quantity", "/regions/namerica/item/quantity"));
-        assert!(c("/regions/*/item/quantity", "/regions/africa/item/quantity"));
+        assert!(c(
+            "/regions/*/item/quantity",
+            "/regions/namerica/item/quantity"
+        ));
+        assert!(c(
+            "/regions/*/item/quantity",
+            "/regions/africa/item/quantity"
+        ));
         assert!(c("/regions/*/item/*", "/regions/*/item/quantity"));
         assert!(c("/regions/*/item/*", "/regions/samerica/item/price"));
-        assert!(!c("/regions/namerica/item/quantity", "/regions/*/item/quantity"));
+        assert!(!c(
+            "/regions/namerica/item/quantity",
+            "/regions/*/item/quantity"
+        ));
     }
 
     #[test]
@@ -325,14 +343,23 @@ mod tests {
     #[test]
     fn containment_agrees_with_semantics_on_samples() {
         let pats = [
-            "//*", "//a", "//b", "/a", "/a/b", "/a/*", "//a/b", "//a//b", "/a//b",
-            "/*/b", "/a/*/c", "//a/*/c", "/a/b/c", "//b/c", "//*/c", "/*//c",
+            "//*", "//a", "//b", "/a", "/a/b", "/a/*", "//a/b", "//a//b", "/a//b", "/*/b",
+            "/a/*/c", "//a/*/c", "/a/b/c", "//b/c", "//*/c", "/*//c",
         ];
         let samples: Vec<Vec<&str>> = vec![
-            vec!["a"], vec!["b"], vec!["c"],
-            vec!["a", "b"], vec!["a", "c"], vec!["b", "c"], vec!["a", "a"],
-            vec!["a", "b", "c"], vec!["a", "x", "c"], vec!["a", "b", "b"],
-            vec!["x", "a", "b"], vec!["a", "x", "y", "b"], vec!["a", "b", "c", "c"],
+            vec!["a"],
+            vec!["b"],
+            vec!["c"],
+            vec!["a", "b"],
+            vec!["a", "c"],
+            vec!["b", "c"],
+            vec!["a", "a"],
+            vec!["a", "b", "c"],
+            vec!["a", "x", "c"],
+            vec!["a", "b", "b"],
+            vec!["x", "a", "b"],
+            vec!["a", "x", "y", "b"],
+            vec!["a", "b", "c", "c"],
         ];
         for p in &pats {
             for q in &pats {

@@ -42,7 +42,10 @@ impl PathPredicate {
     }
 
     pub fn with_value(path: LinearPath, op: CmpOp, value: Literal) -> PathPredicate {
-        PathPredicate { path, value: Some(ValuePredicate { op, value }) }
+        PathPredicate {
+            path,
+            value: Some(ValuePredicate { op, value }),
+        }
     }
 
     /// The data type an index should have to serve this atom best.
@@ -104,11 +107,17 @@ pub fn match_index(index: &IndexDefinition, atom: &PathPredicate) -> Option<Inde
                 if !sargable && index.data_type == DataType::Double {
                     return None;
                 }
-                Some(IndexMatch { needs_path_recheck, structural_only: !sargable })
+                Some(IndexMatch {
+                    needs_path_recheck,
+                    structural_only: !sargable,
+                })
             } else if index.data_type == DataType::Varchar {
                 // VARCHAR contains every node; numeric predicate applied
                 // as residual after a structural scan.
-                Some(IndexMatch { needs_path_recheck, structural_only: true })
+                Some(IndexMatch {
+                    needs_path_recheck,
+                    structural_only: true,
+                })
             } else {
                 // DOUBLE index, string predicate: the index may be missing
                 // qualifying (non-numeric) nodes entirely.
@@ -167,11 +176,14 @@ mod tests {
             &atom_num("/site/item/price", CmpOp::Eq, 10.0),
         )
         .is_none());
-        assert!(match_index(
-            &def("/site/item/price", DataType::Double),
-            &atom_num("//price", CmpOp::Eq, 10.0),
-        )
-        .is_none(), "index on a specific path cannot answer a general query");
+        assert!(
+            match_index(
+                &def("/site/item/price", DataType::Double),
+                &atom_num("//price", CmpOp::Eq, 10.0),
+            )
+            .is_none(),
+            "index on a specific path cannot answer a general query"
+        );
     }
 
     #[test]
@@ -214,16 +226,15 @@ mod tests {
 
     #[test]
     fn any_virtual_index_matches_every_element_path() {
-        let any = IndexDefinition::virtual_index(
-            IndexId(0),
-            LinearPath::any(),
-            DataType::Varchar,
-        );
+        let any = IndexDefinition::virtual_index(IndexId(0), LinearPath::any(), DataType::Varchar);
         for q in ["/site/item", "//price", "/a/*/c"] {
             let m = match_index(&any, &atom(q)).expect("//* must match element paths");
             assert!(m.needs_path_recheck);
         }
-        assert!(match_index(&any, &atom("//item/@id")).is_none(), "//* skips attributes");
+        assert!(
+            match_index(&any, &atom("//item/@id")).is_none(),
+            "//* skips attributes"
+        );
     }
 
     #[test]

@@ -54,7 +54,13 @@ pub struct IndexDefinition {
 impl IndexDefinition {
     pub fn new(id: IndexId, pattern: LinearPath, data_type: DataType) -> IndexDefinition {
         let name = format!("{}_{}_{}", id, data_type, pattern).to_lowercase();
-        IndexDefinition { id, name, pattern, data_type, is_virtual: false }
+        IndexDefinition {
+            id,
+            name,
+            pattern,
+            data_type,
+            is_virtual: false,
+        }
     }
 
     pub fn virtual_index(id: IndexId, pattern: LinearPath, data_type: DataType) -> IndexDefinition {

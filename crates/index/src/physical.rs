@@ -68,7 +68,12 @@ impl PhysicalIndex {
     /// virtual indexes must never be built.
     pub fn build(def: IndexDefinition) -> PhysicalIndex {
         assert!(!def.is_virtual, "cannot build a virtual index");
-        PhysicalIndex { def, map: BTreeMap::new(), entries: 0, key_bytes: 0 }
+        PhysicalIndex {
+            def,
+            map: BTreeMap::new(),
+            entries: 0,
+            key_bytes: 0,
+        }
     }
 
     pub fn definition(&self) -> &IndexDefinition {
@@ -81,7 +86,9 @@ impl PhysicalIndex {
     /// update cost proportional to this.
     pub fn insert_document(&mut self, doc_id: u32, doc: &Document) -> usize {
         let mut added = 0;
-        let Some(root) = doc.root_element() else { return 0 };
+        let Some(root) = doc.root_element() else {
+            return 0;
+        };
         let targets_attr = self.def.pattern.targets_attribute();
         let mut labels: Vec<&str> = Vec::with_capacity(16);
         for node in std::iter::once(root).chain(doc.descendants(root)) {
@@ -97,10 +104,10 @@ impl PhysicalIndex {
             }
             if let Some(key) = self.key_for(doc, node) {
                 self.key_bytes += key_len(&key);
-                self.map
-                    .entry(key)
-                    .or_default()
-                    .push(Posting { doc: doc_id, node: node.as_u32() });
+                self.map.entry(key).or_default().push(Posting {
+                    doc: doc_id,
+                    node: node.as_u32(),
+                });
                 self.entries += 1;
                 added += 1;
             }
@@ -146,7 +153,9 @@ impl PhysicalIndex {
         lo: Bound<&IndexKey>,
         hi: Bound<&IndexKey>,
     ) -> impl Iterator<Item = Posting> + '_ {
-        self.map.range((lo, hi)).flat_map(|(_, v)| v.iter().copied())
+        self.map
+            .range((lo, hi))
+            .flat_map(|(_, v)| v.iter().copied())
     }
 
     /// All postings (structural probe: "every node matching the pattern").

@@ -25,14 +25,21 @@ fn pattern() -> impl Strategy<Value = LinearPath> {
         LinearPath::new(
             steps
                 .into_iter()
-                .map(|(axis, test)| LinearStep { axis, test, is_attribute: false })
+                .map(|(axis, test)| LinearStep {
+                    axis,
+                    test,
+                    is_attribute: false,
+                })
                 .collect(),
         )
     })
 }
 
 fn label_path() -> impl Strategy<Value = Vec<&'static str>> {
-    prop::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], 1..7)
+    prop::collection::vec(
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+        1..7,
+    )
 }
 
 proptest! {
@@ -126,10 +133,12 @@ fn tree_doc() -> impl Strategy<Value = xia_xml::Document> {
     #[derive(Debug, Clone)]
     struct T(&'static str, Option<u32>, Vec<T>);
     let label = prop_oneof![Just("a"), Just("b"), Just("c")];
-    let leaf = (label.clone(), prop::option::of(0u32..50))
-        .prop_map(|(l, v)| T(l, v, vec![]));
+    let leaf = (label.clone(), prop::option::of(0u32..50)).prop_map(|(l, v)| T(l, v, vec![]));
     let tree = leaf.prop_recursive(3, 24, 3, move |inner| {
-        (prop_oneof![Just("a"), Just("b"), Just("c")], prop::collection::vec(inner, 0..3))
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")],
+            prop::collection::vec(inner, 0..3),
+        )
             .prop_map(|(l, kids)| T(l, None, kids))
     });
     tree.prop_map(|t| {

@@ -34,7 +34,11 @@ pub struct Catalog<'a> {
 impl<'a> Catalog<'a> {
     /// A catalog exposing only the collection's real (physical) indexes.
     pub fn real_only(collection: &'a Collection) -> Catalog<'a> {
-        Catalog { collection, virtuals: Vec::new(), suppress_real: false }
+        Catalog {
+            collection,
+            virtuals: Vec::new(),
+            suppress_real: false,
+        }
     }
 
     /// A catalog with additional virtual indexes overlaid.
@@ -49,16 +53,17 @@ impl<'a> Catalog<'a> {
                 def
             })
             .collect();
-        Catalog { collection, virtuals, suppress_real: false }
+        Catalog {
+            collection,
+            virtuals,
+            suppress_real: false,
+        }
     }
 
     /// A catalog containing *only* virtual indexes (no real ones) — used
     /// by Evaluate Indexes so the evaluated configuration is exactly the
     /// hypothesized one.
-    pub fn virtual_only(
-        collection: &'a Collection,
-        virtuals: Vec<IndexDefinition>,
-    ) -> Catalog<'a> {
+    pub fn virtual_only(collection: &'a Collection, virtuals: Vec<IndexDefinition>) -> Catalog<'a> {
         let mut c = Catalog::with_virtuals(collection, virtuals);
         c.suppress_real = true;
         c

@@ -60,7 +60,10 @@ impl QueryCost {
 impl std::ops::Add for QueryCost {
     type Output = QueryCost;
     fn add(self, rhs: QueryCost) -> QueryCost {
-        QueryCost { io: self.io + rhs.io, cpu: self.cpu + rhs.cpu }
+        QueryCost {
+            io: self.io + rhs.io,
+            cpu: self.cpu + rhs.cpu,
+        }
     }
 }
 
@@ -73,7 +76,13 @@ impl std::ops::AddAssign for QueryCost {
 
 impl std::fmt::Display for QueryCost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} (io {:.2}, cpu {:.2})", self.total(), self.io, self.cpu)
+        write!(
+            f,
+            "{:.2} (io {:.2}, cpu {:.2})",
+            self.total(),
+            self.io,
+            self.cpu
+        )
     }
 }
 

@@ -73,7 +73,9 @@ pub fn execute(
         for p in ix.scan() {
             stats.entries_scanned += 1;
             let doc_id = DocId(p.doc);
-            let Some(doc) = collection.get(doc_id) else { continue };
+            let Some(doc) = collection.get(doc_id) else {
+                continue;
+            };
             let node = NodeId::from_u32(p.node);
             if leg.matched.needs_path_recheck && !node_matches_path(doc, node, &atom.path) {
                 continue;
@@ -124,7 +126,9 @@ pub fn execute(
     let mut out: Vec<(DocId, NodeId)> = Vec::new();
     let fetch_counts = !matches!(plan.access, AccessPath::DocScan);
     for doc_id in candidates {
-        let Some(doc) = collection.get(doc_id) else { continue };
+        let Some(doc) = collection.get(doc_id) else {
+            continue;
+        };
         stats.docs_evaluated += 1;
         if fetch_counts {
             // Candidate fetches are random document reads; a scan already
@@ -184,17 +188,15 @@ fn probe_pages(ix: &PhysicalIndex, structural: bool, entries_touched: usize) -> 
         ix.page_count()
     } else {
         let avg_entry = ix.byte_size() / ix.len().max(1);
-        (entries_touched * avg_entry).div_ceil(xia_storage::PAGE_SIZE).max(1)
+        (entries_touched * avg_entry)
+            .div_ceil(xia_storage::PAGE_SIZE)
+            .max(1)
     };
     ix.btree_levels() + leaf_pages
 }
 
 /// Does `node`'s root-to-node label path match the query path?
-fn node_matches_path(
-    doc: &xia_xml::Document,
-    node: NodeId,
-    path: &xia_xpath::LinearPath,
-) -> bool {
+fn node_matches_path(doc: &xia_xml::Document, node: NodeId, path: &xia_xpath::LinearPath) -> bool {
     let labels: Vec<&str> = doc
         .label_path(node)
         .iter()
@@ -285,7 +287,10 @@ mod tests {
         let cat = Catalog::real_only(c);
         let plan = optimize(&cat, &model, &q);
         let (indexed, istats) = execute(c, &q, &plan).unwrap();
-        let scan_plan = Plan { access: AccessPath::DocScan, ..plan.clone() };
+        let scan_plan = Plan {
+            access: AccessPath::DocScan,
+            ..plan.clone()
+        };
         let (scanned, sstats) = execute(c, &q, &scan_plan).unwrap();
         assert_eq!(indexed, scanned, "index plan changed results for {text}");
         (istats, sstats)
@@ -315,8 +320,10 @@ mod tests {
             DataType::Double,
         ));
         let (istats, sstats) = check_agreement(&c, "//item[price = 3]/name");
-        assert!(istats.docs_evaluated < sstats.docs_evaluated / 5,
-            "indexed plan should evaluate far fewer docs: {istats:?} vs {sstats:?}");
+        assert!(
+            istats.docs_evaluated < sstats.docs_evaluated / 5,
+            "indexed plan should evaluate far fewer docs: {istats:?} vs {sstats:?}"
+        );
         assert!(istats.index_probes >= 1);
     }
 

@@ -43,7 +43,11 @@ pub fn explain(collection: &Collection, model: &CostModel, query: &NormalizedQue
     let catalog = Catalog::real_only(collection);
     let plan = optimize(&catalog, model, query);
     let text = plan.render(&query.text);
-    Explain { plan, text, mode: ExplainMode::Normal }
+    Explain {
+        plan,
+        text,
+        mode: ExplainMode::Normal,
+    }
 }
 
 /// A basic candidate produced by the Enumerate Indexes mode: an index on
@@ -89,7 +93,10 @@ pub fn enumerate_indexes(query: &NormalizedQuery) -> Vec<CandidateIndex> {
             continue;
         }
         let ty = pred.preferred_type();
-        let cand = CandidateIndex { pattern: atom.path.clone(), data_type: ty };
+        let cand = CandidateIndex {
+            pattern: atom.path.clone(),
+            data_type: ty,
+        };
         if !out.contains(&cand) {
             out.push(cand);
         }
@@ -135,10 +142,35 @@ pub fn evaluate_indexes(
         .iter()
         .map(|q| {
             let plan = optimize(&catalog, model, q);
-            QueryEvaluation { cost: plan.cost, used_indexes: plan.used_indexes(), plan }
+            QueryEvaluation {
+                cost: plan.cost,
+                used_indexes: plan.used_indexes(),
+                plan,
+            }
         })
         .collect();
     ConfigurationCost { per_query }
+}
+
+/// Evaluate Indexes mode for a single query.
+///
+/// Each query is optimized independently of the rest of the workload, so
+/// a whole-workload evaluation decomposes exactly into per-query calls —
+/// the unit the advisor's what-if engine memoizes and fans out across
+/// threads. Identical to the corresponding entry of [`evaluate_indexes`].
+pub fn evaluate_query(
+    collection: &Collection,
+    model: &CostModel,
+    config: &[IndexDefinition],
+    query: &NormalizedQuery,
+) -> QueryEvaluation {
+    let catalog = Catalog::virtual_only(collection, config.to_vec());
+    let plan = optimize(&catalog, model, query);
+    QueryEvaluation {
+        cost: plan.cost,
+        used_indexes: plan.used_indexes(),
+        plan,
+    }
 }
 
 #[cfg(test)]
@@ -215,8 +247,11 @@ mod tests {
         let ss: Vec<String> = sq.iter().map(|c| c.to_string()).collect();
         // Same patterns, independent of surface language. SQL/XML also
         // emits the XMLEXISTS structural root (//item), a superset.
-        assert!(ss.iter().all(|s| xs.contains(s) || s.contains("'//item' AS VARCHAR")),
-            "xquery: {xs:?} sql: {ss:?}");
+        assert!(
+            ss.iter()
+                .all(|s| xs.contains(s) || s.contains("'//item' AS VARCHAR")),
+            "xquery: {xs:?} sql: {ss:?}"
+        );
     }
 
     #[test]

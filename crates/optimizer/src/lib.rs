@@ -29,8 +29,8 @@ pub use catalog::Catalog;
 pub use cost::{CostModel, QueryCost};
 pub use executor::{execute, ExecStats};
 pub use explain::{
-    enumerate_indexes, evaluate_indexes, explain, CandidateIndex, ConfigurationCost, Explain,
-    ExplainMode,
+    enumerate_indexes, evaluate_indexes, evaluate_query, explain, CandidateIndex,
+    ConfigurationCost, Explain, ExplainMode, QueryEvaluation,
 };
-pub use optimize::optimize;
+pub use optimize::{atom_predicate, optimize};
 pub use plan::{AccessPath, IndexLeg, Plan};

@@ -21,7 +21,7 @@ use xia_xquery::{NormalizedQuery, QueryAtom};
 const MAX_AND_LEGS: usize = 3;
 
 /// Convert a query atom into the index layer's matching form.
-pub(crate) fn atom_predicate(atom: &QueryAtom) -> PathPredicate {
+pub fn atom_predicate(atom: &QueryAtom) -> PathPredicate {
     match &atom.value {
         Some((op, lit)) => PathPredicate::with_value(atom.path.clone(), *op, lit.clone()),
         None => PathPredicate::structural(atom.path.clone()),
@@ -156,7 +156,9 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
         let atom = &query.atoms[0];
         let pred = atom_predicate(atom);
         for def in catalog.indexes() {
-            let Some(matched) = xia_index::match_index(def, &pred) else { continue };
+            let Some(matched) = xia_index::match_index(def, &pred) else {
+                continue;
+            };
             let istats = catalog.index_stats(def);
             let entries = istats.entries as f64;
             let est_results = stats.count_matching(&atom.path) as f64;
@@ -248,7 +250,11 @@ fn cost_leg(
         (entries * key_sel, path_count * result_sel)
     };
 
-    let frac = if entries > 0.0 { (entries_scanned / entries).clamp(0.0, 1.0) } else { 0.0 };
+    let frac = if entries > 0.0 {
+        (entries_scanned / entries).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
     let io = model.random_io * istats.btree_levels as f64 + istats.pages as f64 * frac;
     let mut cpu = entries_scanned * model.cpu_entry;
     if matched.needs_path_recheck {
@@ -395,7 +401,12 @@ mod tests {
         // price >= 0 selects everything; scanning is cheaper than probing
         // the index and fetching every document.
         let plan = optimize(&cat, &CostModel::default(), &q("//item[price >= 0]/name"));
-        assert_eq!(plan.access, AccessPath::DocScan, "plan: {}", plan.render("q"));
+        assert_eq!(
+            plan.access,
+            AccessPath::DocScan,
+            "plan: {}",
+            plan.render("q")
+        );
     }
 
     #[test]
@@ -419,7 +430,11 @@ mod tests {
         );
         assert!(plan.uses_indexes());
         let used = plan.used_indexes();
-        assert!(!used.is_empty(), "expected at least one leg: {}", plan.render("q"));
+        assert!(
+            !used.is_empty(),
+            "expected at least one leg: {}",
+            plan.render("q")
+        );
     }
 
     #[test]
@@ -441,7 +456,12 @@ mod tests {
             &CostModel::default(),
             &q(r#"//item[name = "thing2"]"#),
         );
-        assert_eq!(plan.used_indexes(), vec![IndexId(2)], "plan: {}", plan.render("q"));
+        assert_eq!(
+            plan.used_indexes(),
+            vec![IndexId(2)],
+            "plan: {}",
+            plan.render("q")
+        );
     }
 
     #[test]
@@ -450,7 +470,11 @@ mod tests {
         let cat = Catalog::real_only(&c);
         let plan = optimize(&cat, &CostModel::default(), &q("//item[price = 3]/name"));
         // 1 of 100 distinct prices (i % 100) → ~1 result.
-        assert!(plan.est_results >= 0.5 && plan.est_results <= 2.0, "{}", plan.est_results);
+        assert!(
+            plan.est_results >= 0.5 && plan.est_results <= 2.0,
+            "{}",
+            plan.est_results
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ impl Plan {
                     "  -> XISCAN-ONLY {} pattern='{}'{} (entries {:.1}, out {:.1}, cost {})\n",
                     leg.index,
                     leg.pattern,
-                    if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                    if leg.matched.needs_path_recheck {
+                        " [recheck]"
+                    } else {
+                        ""
+                    },
                     leg.est_entries_scanned,
                     leg.est_results,
                     leg.cost,
@@ -102,8 +106,16 @@ impl Plan {
                         "  -> XISCAN {} pattern='{}'{}{} (entries {:.1}, out {:.1}, cost {})\n",
                         leg.index,
                         leg.pattern,
-                        if leg.matched.structural_only { " [structural]" } else { " [sargable]" },
-                        if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                        if leg.matched.structural_only {
+                            " [structural]"
+                        } else {
+                            " [sargable]"
+                        },
+                        if leg.matched.needs_path_recheck {
+                            " [recheck]"
+                        } else {
+                            ""
+                        },
                         leg.est_entries_scanned,
                         leg.est_results,
                         leg.cost,
@@ -123,8 +135,16 @@ impl Plan {
                         "  -> XISCAN {} pattern='{}'{}{} (entries {:.1}, out {:.1}, cost {})\n",
                         leg.index,
                         leg.pattern,
-                        if leg.matched.structural_only { " [structural]" } else { " [sargable]" },
-                        if leg.matched.needs_path_recheck { " [recheck]" } else { "" },
+                        if leg.matched.structural_only {
+                            " [structural]"
+                        } else {
+                            " [sargable]"
+                        },
+                        if leg.matched.needs_path_recheck {
+                            " [recheck]"
+                        } else {
+                            ""
+                        },
                         leg.est_entries_scanned,
                         leg.est_results,
                         leg.cost,
@@ -165,7 +185,10 @@ mod tests {
             index: IndexId(3),
             pattern: LinearPath::parse("//price").unwrap(),
             atom: 0,
-            matched: IndexMatch { needs_path_recheck: true, structural_only: false },
+            matched: IndexMatch {
+                needs_path_recheck: true,
+                structural_only: false,
+            },
             est_entries_scanned: 100.0,
             est_results: 10.0,
             cost: QueryCost::new(3.0, 0.1),

@@ -53,21 +53,37 @@ fn query_strategy() -> impl Strategy<Value = String> {
     let label = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d"), Just("*")];
     let axis = prop_oneof![Just("/"), Just("//")];
     let steps = prop::collection::vec((axis, label), 1..4).prop_map(|steps| {
-        steps.into_iter().map(|(a, l)| format!("{a}{l}")).collect::<String>()
+        steps
+            .into_iter()
+            .map(|(a, l)| format!("{a}{l}"))
+            .collect::<String>()
     });
     let pred = prop_oneof![
         Just(String::new()),
-        (prop_oneof![Just("a"), Just("b"), Just("c")], 0u8..20, prop_oneof![
-            Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")
-        ])
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")],
+            0u8..20,
+            prop_oneof![
+                Just("="),
+                Just("!="),
+                Just("<"),
+                Just(">"),
+                Just("<="),
+                Just(">=")
+            ]
+        )
             .prop_map(|(l, v, op)| format!("[{l} {op} {v}]")),
         prop_oneof![Just("a"), Just("b")].prop_map(|l| format!("[{l}]")),
-        (prop_oneof![Just("a"), Just("b")], 0u8..20, prop_oneof![Just("a"), Just("c")], 0u8..20)
+        (
+            prop_oneof![Just("a"), Just("b")],
+            0u8..20,
+            prop_oneof![Just("a"), Just("c")],
+            0u8..20
+        )
             .prop_map(|(l1, v1, l2, v2)| format!("[{l1} = {v1} and {l2} < {v2}]")),
     ];
-    (steps, pred, prop_oneof![Just(""), Just("/a"), Just("/b")]).prop_map(
-        |(steps, pred, tail)| format!("/r{steps}{pred}{tail}"),
-    )
+    (steps, pred, prop_oneof![Just(""), Just("/a"), Just("/b")])
+        .prop_map(|(steps, pred, tail)| format!("/r{steps}{pred}{tail}"))
 }
 
 /// Random index configurations over the same vocabulary.

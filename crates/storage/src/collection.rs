@@ -142,7 +142,11 @@ impl Collection {
     /// Total pages across data and indexes.
     pub fn total_pages(&self) -> u64 {
         self.stats.data_pages()
-            + self.indexes.iter().map(|ix| ix.page_count() as u64).sum::<u64>()
+            + self
+                .indexes
+                .iter()
+                .map(|ix| ix.page_count() as u64)
+                .sum::<u64>()
     }
 }
 
@@ -170,7 +174,11 @@ mod tests {
         let (id, _) = c.insert(doc("<site><item><price>3</price></item></site>"));
         assert_eq!(c.len(), 1);
         assert!(c.get(id).is_some());
-        assert_eq!(c.stats().count_matching(&LinearPath::parse("//price").unwrap()), 1);
+        assert_eq!(
+            c.stats()
+                .count_matching(&LinearPath::parse("//price").unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -191,7 +199,9 @@ mod tests {
     fn create_index_over_existing_documents() {
         let mut c = Collection::new("auctions");
         c.insert(doc("<site><item><price>3</price></item></site>"));
-        c.insert(doc("<site><item><price>5</price></item><item><price>6</price></item></site>"));
+        c.insert(doc(
+            "<site><item><price>5</price></item><item><price>6</price></item></site>",
+        ));
         let entries = c.create_index(price_index(1));
         assert_eq!(entries, 3);
         assert_eq!(c.index(IndexId(1)).unwrap().len(), 3);

@@ -26,7 +26,8 @@ impl Database {
         if self.collections.contains_key(name) {
             return false;
         }
-        self.collections.insert(name.to_string(), Collection::new(name));
+        self.collections
+            .insert(name.to_string(), Collection::new(name));
         true
     }
 

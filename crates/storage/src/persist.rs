@@ -26,7 +26,10 @@ use xia_xpath::LinearPath;
 pub enum PersistError {
     Io(std::io::Error),
     /// A document file failed to parse.
-    BadDocument { file: String, error: String },
+    BadDocument {
+        file: String,
+        error: String,
+    },
     /// The manifest is missing or malformed.
     BadManifest(String),
 }
@@ -67,7 +70,11 @@ pub fn save_collection(coll: &Collection, dir: &Path) -> Result<(), PersistError
     writeln!(manifest, "collection {}", coll.name())?;
     for ix in coll.indexes() {
         let def = ix.definition();
-        writeln!(manifest, "index {} {} {}", def.id.0, def.data_type, def.pattern)?;
+        writeln!(
+            manifest,
+            "index {} {} {}",
+            def.id.0, def.data_type, def.pattern
+        )?;
     }
     let mut count = 0usize;
     for (_, doc) in coll.documents() {
@@ -121,7 +128,9 @@ pub fn load_collection(dir: &Path) -> Result<Collection, PersistError> {
                 expected_docs = rest.trim().parse::<usize>().ok();
             }
             other => {
-                return Err(PersistError::BadManifest(format!("unknown line kind {other:?}")))
+                return Err(PersistError::BadManifest(format!(
+                    "unknown line kind {other:?}"
+                )))
             }
         }
     }
@@ -233,7 +242,10 @@ mod tests {
         assert_eq!(ix.len(), orig.index(IndexId(3)).unwrap().len());
         // Statistics rebuilt.
         let p = LinearPath::parse("//item/price").unwrap();
-        assert_eq!(loaded.stats().count_matching(&p), orig.stats().count_matching(&p));
+        assert_eq!(
+            loaded.stats().count_matching(&p),
+            orig.stats().count_matching(&p)
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -256,9 +268,13 @@ mod tests {
         let dir = tmp("db");
         let mut db = Database::new();
         db.create_collection("a");
-        db.collection_mut("a").unwrap().insert(Document::parse("<x><y>1</y></x>").unwrap());
+        db.collection_mut("a")
+            .unwrap()
+            .insert(Document::parse("<x><y>1</y></x>").unwrap());
         db.create_collection("b");
-        db.collection_mut("b").unwrap().insert(Document::parse("<z/>").unwrap());
+        db.collection_mut("b")
+            .unwrap()
+            .insert(Document::parse("<z/>").unwrap());
         save_database(&db, &dir).unwrap();
         let loaded = load_database(&dir).unwrap();
         assert_eq!(loaded.collections().count(), 2);

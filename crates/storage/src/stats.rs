@@ -33,7 +33,9 @@ pub struct OrdF64(pub f64);
 impl Eq for OrdF64 {}
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN filtered on insert")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN filtered on insert")
     }
 }
 impl PartialOrd for OrdF64 {
@@ -75,7 +77,12 @@ impl<T: Ord + Clone> EquiDepth<T> {
                 counts.push(acc);
             }
         }
-        EquiDepth { bounds, counts, total, distinct }
+        EquiDepth {
+            bounds,
+            counts,
+            total,
+            distinct,
+        }
     }
 
     fn add(&mut self, value: &T) {
@@ -130,9 +137,7 @@ impl<T: Ord + Clone> EquiDepth<T> {
                     .map_or(0, |i| self.counts[i] / 2);
                 ((below + boundary) as f64 / total).min(1.0)
             }
-            CmpOp::Gt | CmpOp::Ge => {
-                1.0 - self.selectivity(CmpOp::Lt, value)
-            }
+            CmpOp::Gt | CmpOp::Ge => 1.0 - self.selectivity(CmpOp::Lt, value),
             // Histogram boundaries cannot answer substring questions; use
             // the standard constant guesses (prefix match acts like a
             // narrow range, substring like a broad one).
@@ -157,7 +162,10 @@ pub enum ValueDist {
 
 impl Default for ValueDist {
     fn default() -> Self {
-        ValueDist::Exact { strings: BTreeMap::new(), numbers: BTreeMap::new() }
+        ValueDist::Exact {
+            strings: BTreeMap::new(),
+            numbers: BTreeMap::new(),
+        }
     }
 }
 
@@ -354,7 +362,9 @@ impl CollectionStats {
     }
 
     fn apply_document(&mut self, doc: &Document, add: bool) {
-        let Some(root) = doc.root_element() else { return };
+        let Some(root) = doc.root_element() else {
+            return;
+        };
         // Reusable label stack mirroring the current ancestor chain.
         let mut stack: Vec<Box<str>> = Vec::new();
         self.visit(doc, root, &mut stack, add);
@@ -489,7 +499,10 @@ impl CollectionStats {
     /// (occurrence-weighted across matching dictionary paths).
     pub fn selectivity(&self, pattern: &LinearPath, op: CmpOp, lit: &Literal) -> f64 {
         let paths = self.paths_matching(pattern);
-        let total: u64 = paths.iter().map(|&p| self.entries[p.0 as usize].stats.count).sum();
+        let total: u64 = paths
+            .iter()
+            .map(|&p| self.entries[p.0 as usize].stats.count)
+            .sum();
         if total == 0 {
             return 0.0;
         }
@@ -561,9 +574,18 @@ mod tests {
     #[test]
     fn index_entry_estimation_respects_type() {
         let s = stats();
-        assert_eq!(s.estimated_index_entries(&lp("//price"), DataType::Double), 3);
-        assert_eq!(s.estimated_index_entries(&lp("//name"), DataType::Double), 0);
-        assert_eq!(s.estimated_index_entries(&lp("//name"), DataType::Varchar), 2);
+        assert_eq!(
+            s.estimated_index_entries(&lp("//price"), DataType::Double),
+            3
+        );
+        assert_eq!(
+            s.estimated_index_entries(&lp("//name"), DataType::Double),
+            0
+        );
+        assert_eq!(
+            s.estimated_index_entries(&lp("//name"), DataType::Varchar),
+            2
+        );
     }
 
     #[test]
@@ -599,7 +621,10 @@ mod tests {
         assert!(s.total_bytes > 0);
         assert!(s.data_pages() >= 1);
         assert!(s.estimated_index_bytes(&lp("//price"), DataType::Double) > 0);
-        assert_eq!(s.estimated_index_pages(&lp("//nothing"), DataType::Double), 1);
+        assert_eq!(
+            s.estimated_index_pages(&lp("//nothing"), DataType::Double),
+            1
+        );
     }
 
     #[test]
@@ -632,7 +657,14 @@ mod tests {
     #[test]
     fn selectivity_bounds_are_respected() {
         let s = stats();
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for v in [-1e9, 0.0, 10.0, 25.0, 1e9] {
                 let sel = s.selectivity(&lp("//price"), op, &Literal::Num(v));
                 assert!((0.0..=1.0).contains(&sel), "{op:?} {v}: {sel}");
@@ -687,7 +719,10 @@ mod tests {
         b.close();
         s.add_document(&b.finish().unwrap());
         let sel = s.selectivity(&lp("/r/v"), CmpOp::Lt, &Literal::Num(n as f64 / 2.0));
-        assert!((sel - 0.5).abs() < 0.1, "histogram selectivity {sel} should be ~0.5");
+        assert!(
+            (sel - 0.5).abs() < 0.1,
+            "histogram selectivity {sel} should be ~0.5"
+        );
         let d = s.distinct_matching(&lp("/r/v"), DataType::Double);
         assert!(d > 0);
     }

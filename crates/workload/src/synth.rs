@@ -20,7 +20,10 @@ pub struct SynthConfig {
 
 impl Default for SynthConfig {
     fn default() -> Self {
-        SynthConfig { per_template: 2, seed: 99 }
+        SynthConfig {
+            per_template: 2,
+            seed: 99,
+        }
     }
 }
 
@@ -116,13 +119,22 @@ mod tests {
     fn variations_are_deterministic() {
         let t = vec!["/site/regions/africa/item[price > 100]/name".to_string()];
         let cfg = SynthConfig::default();
-        assert_eq!(synthetic_variations(&t, &cfg), synthetic_variations(&t, &cfg));
+        assert_eq!(
+            synthetic_variations(&t, &cfg),
+            synthetic_variations(&t, &cfg)
+        );
     }
 
     #[test]
     fn region_is_swapped() {
         let t = vec!["/site/regions/africa/item/quantity".to_string()];
-        let vars = synthetic_variations(&t, &SynthConfig { per_template: 5, seed: 3 });
+        let vars = synthetic_variations(
+            &t,
+            &SynthConfig {
+                per_template: 5,
+                seed: 3,
+            },
+        );
         assert!(!vars.is_empty());
         for v in &vars {
             assert!(v.starts_with("/site/regions/"));
@@ -135,7 +147,13 @@ mod tests {
     #[test]
     fn numbers_only_perturbed_after_operators() {
         let t = vec![r#"//item[price > 100]/name"#.to_string()];
-        let vars = synthetic_variations(&t, &SynthConfig { per_template: 4, seed: 5 });
+        let vars = synthetic_variations(
+            &t,
+            &SynthConfig {
+                per_template: 4,
+                seed: 5,
+            },
+        );
         for v in &vars {
             assert!(v.starts_with("//item[price > "), "{v}");
             assert!(xia_xquery::compile(v, "c").is_ok());
@@ -145,7 +163,13 @@ mod tests {
     #[test]
     fn string_literals_untouched() {
         let t = vec![r#"//item[name = "model 3000"]"#.to_string()];
-        let vars = synthetic_variations(&t, &SynthConfig { per_template: 3, seed: 5 });
+        let vars = synthetic_variations(
+            &t,
+            &SynthConfig {
+                per_template: 3,
+                seed: 5,
+            },
+        );
         for v in &vars {
             assert!(v.contains("model 3000"), "{v}");
         }
@@ -154,7 +178,13 @@ mod tests {
     #[test]
     fn identical_variations_are_deduped() {
         let t = vec!["//person/name".to_string()]; // nothing to vary
-        let vars = synthetic_variations(&t, &SynthConfig { per_template: 5, seed: 1 });
+        let vars = synthetic_variations(
+            &t,
+            &SynthConfig {
+                per_template: 5,
+                seed: 1,
+            },
+        );
         assert!(vars.is_empty());
     }
 }

@@ -9,8 +9,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use xia_xml::{Document, DocumentBuilder};
 
-const SYMBOLS: [&str; 10] =
-    ["IBM", "AAPL", "MSFT", "ORCL", "SAP", "INTC", "AMD", "CSCO", "DELL", "HPQ"];
+const SYMBOLS: [&str; 10] = [
+    "IBM", "AAPL", "MSFT", "ORCL", "SAP", "INTC", "AMD", "CSCO", "DELL", "HPQ",
+];
 const SECTORS: [&str; 5] = ["Technology", "Energy", "Finance", "Health", "Consumer"];
 const SEC_TYPES: [&str; 3] = ["Stock", "Bond", "Fund"];
 
@@ -25,7 +26,12 @@ pub struct TpoxConfig {
 
 impl Default for TpoxConfig {
     fn default() -> Self {
-        TpoxConfig { orders: 200, customers: 50, securities: 40, seed: 7 }
+        TpoxConfig {
+            orders: 200,
+            customers: 50,
+            securities: 40,
+            seed: 7,
+        }
     }
 }
 
@@ -51,7 +57,10 @@ impl TpoxGen {
                 b.open("Order");
                 b.attr("ID", &format!("103_{i}"));
                 b.attr("Side", if rng.gen_bool(0.5) { "1" } else { "2" });
-                b.attr("Acct", &format!("ACCT{:05}", rng.gen_range(0..self.config.customers.max(1))));
+                b.attr(
+                    "Acct",
+                    &format!("ACCT{:05}", rng.gen_range(0..self.config.customers.max(1))),
+                );
                 b.attr("TrdDt", &date(&mut rng));
                 b.open("Instrmt");
                 b.attr("Sym", SYMBOLS[rng.gen_range(0..SYMBOLS.len())]);
@@ -86,7 +95,10 @@ impl TpoxGen {
                 for a in 0..accounts {
                     b.open("Account");
                     b.attr("id", &format!("ACCT{:05}", i * 3 + a));
-                    b.leaf("Balance", &format!("{:.2}", rng.gen_range(0.0..1_000_000.0)));
+                    b.leaf(
+                        "Balance",
+                        &format!("{:.2}", rng.gen_range(0.0..1_000_000.0)),
+                    );
                     b.leaf("Currency", "USD");
                     b.open("Holdings");
                     let holdings = rng.gen_range(1..5);
@@ -113,7 +125,10 @@ impl TpoxGen {
             .map(|i| {
                 let mut b = DocumentBuilder::new();
                 b.open("Security");
-                b.leaf("Symbol", &format!("{}{}", SYMBOLS[i % SYMBOLS.len()], i / SYMBOLS.len()));
+                b.leaf(
+                    "Symbol",
+                    &format!("{}{}", SYMBOLS[i % SYMBOLS.len()], i / SYMBOLS.len()),
+                );
                 b.leaf("Name", &format!("Security {i}"));
                 b.leaf("SecurityType", SEC_TYPES[rng.gen_range(0..SEC_TYPES.len())]);
                 b.open("SecurityInformation");
@@ -144,7 +159,11 @@ impl TpoxGen {
 }
 
 fn date(rng: &mut SmallRng) -> String {
-    format!("2007-{:02}-{:02}", rng.gen_range(1..13), rng.gen_range(1..29))
+    format!(
+        "2007-{:02}-{:02}",
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    )
 }
 
 /// TPoX-inspired queries per collection: `(collection, query)` pairs.
@@ -179,7 +198,12 @@ mod tests {
     #[test]
     fn populate_creates_three_collections() {
         let mut db = Database::new();
-        let cfg = TpoxConfig { orders: 20, customers: 10, securities: 8, seed: 1 };
+        let cfg = TpoxConfig {
+            orders: 20,
+            customers: 10,
+            securities: 8,
+            seed: 1,
+        };
         TpoxGen::new(cfg).populate_all(&mut db);
         assert_eq!(db.collection("order").unwrap().len(), 20);
         assert_eq!(db.collection("custacc").unwrap().len(), 10);
@@ -188,7 +212,11 @@ mod tests {
 
     #[test]
     fn orders_are_attribute_heavy() {
-        let docs = TpoxGen::new(TpoxConfig { orders: 5, ..Default::default() }).order_docs();
+        let docs = TpoxGen::new(TpoxConfig {
+            orders: 5,
+            ..Default::default()
+        })
+        .order_docs();
         for d in &docs {
             let q = xia_xpath::parse("/FIXML/Order/@Acct").unwrap();
             assert_eq!(xia_xpath::evaluate(d, &q).len(), 1);
@@ -199,7 +227,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = TpoxConfig { orders: 3, customers: 3, securities: 3, seed: 9 };
+        let cfg = TpoxConfig {
+            orders: 3,
+            customers: 3,
+            securities: 3,
+            seed: 9,
+        };
         let a = TpoxGen::new(cfg).order_docs();
         let b = TpoxGen::new(cfg).order_docs();
         assert_eq!(xia_xml::serialize(&a[2]), xia_xml::serialize(&b[2]));
@@ -211,8 +244,8 @@ mod tests {
         TpoxGen::new(TpoxConfig::default()).populate_all(&mut db);
         let mut matched = 0;
         for (coll, q) in tpox_queries() {
-            let compiled = xia_xquery::compile(&q, coll)
-                .unwrap_or_else(|e| panic!("query {q} failed: {e}"));
+            let compiled =
+                xia_xquery::compile(&q, coll).unwrap_or_else(|e| panic!("query {q} failed: {e}"));
             let c = db.collection(coll).unwrap();
             let hits: usize = c
                 .documents()
@@ -222,6 +255,9 @@ mod tests {
                 matched += 1;
             }
         }
-        assert!(matched >= 8, "most TPoX queries should match ({matched}/10)");
+        assert!(
+            matched >= 8,
+            "most TPoX queries should match ({matched}/10)"
+        );
     }
 }

@@ -5,15 +5,33 @@ use rand::{Rng, SeedableRng};
 use xia_xml::{Document, DocumentBuilder};
 
 /// The six XMark regions.
-pub const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+pub const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
-const CATEGORIES: [&str; 8] =
-    ["art", "books", "coins", "computers", "garden", "music", "sports", "toys"];
+const CATEGORIES: [&str; 8] = [
+    "art",
+    "books",
+    "coins",
+    "computers",
+    "garden",
+    "music",
+    "sports",
+    "toys",
+];
 const PAYMENTS: [&str; 4] = ["Creditcard", "Cash", "Money order", "Personal Check"];
 const CITIES: [&str; 6] = ["Cairo", "Tokyo", "Sydney", "Berlin", "Toronto", "Lima"];
-const FIRST: [&str; 10] =
-    ["Ann", "Bob", "Carla", "Dmitri", "Eve", "Farid", "Grace", "Hugo", "Ines", "Jun"];
-const LAST: [&str; 8] = ["Smith", "Kumar", "Okafor", "Mueller", "Tanaka", "Silva", "Novak", "Diaz"];
+const FIRST: [&str; 10] = [
+    "Ann", "Bob", "Carla", "Dmitri", "Eve", "Farid", "Grace", "Hugo", "Ines", "Jun",
+];
+const LAST: [&str; 8] = [
+    "Smith", "Kumar", "Okafor", "Mueller", "Tanaka", "Silva", "Novak", "Diaz",
+];
 const WORDS: [&str; 12] = [
     "vintage", "rare", "handmade", "signed", "antique", "mint", "boxed", "limited", "classic",
     "original", "restored", "imported",
@@ -63,7 +81,9 @@ impl XMarkGen {
     /// Generate all documents.
     pub fn generate(&self) -> Vec<Document> {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        (0..self.config.docs).map(|i| self.document(i, &mut rng)).collect()
+        (0..self.config.docs)
+            .map(|i| self.document(i, &mut rng))
+            .collect()
     }
 
     /// Generate and insert into a collection. Returns document count.
@@ -133,7 +153,10 @@ impl XMarkGen {
             b.open("profile");
             b.leaf("interest", CATEGORIES[rng.gen_range(0..CATEGORIES.len())]);
             b.leaf("age", &format!("{}", rng.gen_range(18..80)));
-            b.leaf("income", &format!("{:.2}", rng.gen_range(10_000.0..200_000.0)));
+            b.leaf(
+                "income",
+                &format!("{:.2}", rng.gen_range(10_000.0..200_000.0)),
+            );
             b.close();
             b.close();
         }
@@ -159,8 +182,14 @@ impl XMarkGen {
             if rng.gen_bool(0.5) {
                 b.leaf("reserve", &format!("{:.2}", initial * 2.0));
             }
-            b.leaf("itemref", &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]));
-            b.leaf("seller", &format!("person{}_{}", doc_idx, j % c.people.max(1)));
+            b.leaf(
+                "itemref",
+                &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]),
+            );
+            b.leaf(
+                "seller",
+                &format!("person{}_{}", doc_idx, j % c.people.max(1)),
+            );
             b.close();
         }
         b.close();
@@ -170,9 +199,18 @@ impl XMarkGen {
             b.open("closed_auction");
             b.leaf("price", &format!("{:.2}", rng.gen_range(5.0..800.0)));
             b.leaf("date", &date(rng));
-            b.leaf("buyer", &format!("person{}_{}", doc_idx, j % c.people.max(1)));
-            b.leaf("seller", &format!("person{}_{}", doc_idx, (j + 1) % c.people.max(1)));
-            b.leaf("itemref", &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]));
+            b.leaf(
+                "buyer",
+                &format!("person{}_{}", doc_idx, j % c.people.max(1)),
+            );
+            b.leaf(
+                "seller",
+                &format!("person{}_{}", doc_idx, (j + 1) % c.people.max(1)),
+            );
+            b.leaf(
+                "itemref",
+                &format!("item{}_{}_0", doc_idx, REGIONS[j % REGIONS.len()]),
+            );
             b.close();
         }
         b.close();
@@ -240,7 +278,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = XMarkConfig { docs: 5, ..Default::default() };
+        let cfg = XMarkConfig {
+            docs: 5,
+            ..Default::default()
+        };
         let a = XMarkGen::new(cfg).generate();
         let b = XMarkGen::new(cfg).generate();
         assert_eq!(a.len(), 5);
@@ -251,14 +292,28 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = XMarkGen::new(XMarkConfig { docs: 2, seed: 1, ..Default::default() }).generate();
-        let b = XMarkGen::new(XMarkConfig { docs: 2, seed: 2, ..Default::default() }).generate();
+        let a = XMarkGen::new(XMarkConfig {
+            docs: 2,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate();
+        let b = XMarkGen::new(XMarkConfig {
+            docs: 2,
+            seed: 2,
+            ..Default::default()
+        })
+        .generate();
         assert_ne!(xia_xml::serialize(&a[0]), xia_xml::serialize(&b[0]));
     }
 
     #[test]
     fn documents_have_expected_shape() {
-        let docs = XMarkGen::new(XMarkConfig { docs: 3, ..Default::default() }).generate();
+        let docs = XMarkGen::new(XMarkConfig {
+            docs: 3,
+            ..Default::default()
+        })
+        .generate();
         for d in &docs {
             let root = d.root_element().unwrap();
             assert_eq!(d.name(root), "site");
@@ -272,11 +327,19 @@ mod tests {
     #[test]
     fn populate_fills_collection_and_dictionary() {
         let mut c = Collection::new("auctions");
-        let n = XMarkGen::new(XMarkConfig { docs: 10, ..Default::default() }).populate(&mut c);
+        let n = XMarkGen::new(XMarkConfig {
+            docs: 10,
+            ..Default::default()
+        })
+        .populate(&mut c);
         assert_eq!(n, 10);
         assert_eq!(c.len(), 10);
         let stats = c.stats();
-        assert!(stats.path_count() > 30, "rich path dictionary, got {}", stats.path_count());
+        assert!(
+            stats.path_count() > 30,
+            "rich path dictionary, got {}",
+            stats.path_count()
+        );
         let lp = xia_xpath::LinearPath::parse("/site/regions/*/item/price").unwrap();
         assert_eq!(stats.count_matching(&lp), (10 * REGIONS.len() * 2) as u64);
     }
@@ -284,7 +347,11 @@ mod tests {
     #[test]
     fn standard_queries_compile_and_return_results() {
         let mut c = Collection::new("auctions");
-        XMarkGen::new(XMarkConfig { docs: 30, ..Default::default() }).populate(&mut c);
+        XMarkGen::new(XMarkConfig {
+            docs: 30,
+            ..Default::default()
+        })
+        .populate(&mut c);
         let mut any_results = 0;
         for q in xmark_queries() {
             let compiled = xia_xquery::compile(&q, "auctions")

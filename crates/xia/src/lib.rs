@@ -50,17 +50,16 @@ pub use xia_xquery as xquery;
 /// The names most programs need.
 pub mod prelude {
     pub use xia_advisor::{
-        analyze, render_reviews, review_existing_indexes, Advisor, AdvisorConfig,
-        DatabaseRecommendation, GreedyKnobs, IndexReview, IndexVerdict, Recommendation,
-        SearchStrategy, Workload,
+        analyze, render_reviews, review_existing_indexes, search_with, Advisor, AdvisorConfig,
+        DatabaseRecommendation, EngineConfig, EvalStats, GreedyKnobs, IndexReview, IndexVerdict,
+        Recommendation, SearchStrategy, WhatIfEngine, Workload,
     };
     pub use xia_index::{DataType, IndexDefinition, IndexId};
     pub use xia_optimizer::{
         enumerate_indexes, evaluate_indexes, execute, explain, CostModel, ExplainMode,
     };
     pub use xia_storage::{
-        load_collection, load_database, save_collection, save_database, Collection, Database,
-        DocId,
+        load_collection, load_database, save_collection, save_database, Collection, Database, DocId,
     };
     pub use xia_workload::{
         synthetic_variations, tpox_queries, xmark_queries, SynthConfig, TpoxConfig, TpoxGen,

@@ -140,7 +140,12 @@ impl DocumentBuilder {
             return Err("document has no root element");
         }
         let byte_size = Document::compute_byte_size(&self.nodes, &self.names);
-        Ok(Document { nodes: self.nodes, names: self.names, root: self.root, byte_size })
+        Ok(Document {
+            nodes: self.nodes,
+            names: self.names,
+            root: self.root,
+            byte_size,
+        })
     }
 }
 

@@ -258,8 +258,10 @@ impl Document {
     /// Compute the size estimate (called once by the parser/builder).
     pub(crate) fn compute_byte_size(nodes: &[Node], names: &NameTable) -> usize {
         let node_bytes = std::mem::size_of_val(nodes);
-        let value_bytes: usize =
-            nodes.iter().map(|n| n.value.as_deref().map_or(0, str::len)).sum();
+        let value_bytes: usize = nodes
+            .iter()
+            .map(|n| n.value.as_deref().map_or(0, str::len))
+            .sum();
         let name_bytes: usize = names.iter().map(|(_, n)| n.len() + 16).sum();
         node_bytes + value_bytes + name_bytes
     }

@@ -33,7 +33,10 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             ParseErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             ParseErrorKind::ContentOutsideRoot => write!(f, "content outside the root element"),
             ParseErrorKind::EmptyDocument => write!(f, "document has no root element"),
@@ -58,7 +61,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.kind, self.line, self.column
+        )
     }
 }
 

@@ -21,7 +21,12 @@ pub(crate) fn parse_document(input: &str) -> Result<Document, ParseError> {
         return Err(p.err(ParseErrorKind::ContentOutsideRoot));
     }
     let byte_size = Document::compute_byte_size(&p.nodes, &p.names);
-    Ok(Document { nodes: p.nodes, names: p.names, root, byte_size })
+    Ok(Document {
+        nodes: p.nodes,
+        names: p.names,
+        root,
+        byte_size,
+    })
 }
 
 struct Parser<'a> {
@@ -169,7 +174,14 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
     }
 
-    fn new_node(&mut self, kind: NodeKind, name: NameId, value: Option<Box<str>>, parent: u32, level: u16) -> u32 {
+    fn new_node(
+        &mut self,
+        kind: NodeKind,
+        name: NameId,
+        value: Option<Box<str>>,
+        parent: u32,
+        level: u16,
+    ) -> u32 {
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node {
             kind,
@@ -473,7 +485,10 @@ mod tests {
     #[test]
     fn cdata_is_literal() {
         let d = Document::parse("<a><![CDATA[<not-a-tag> & stuff]]></a>").unwrap();
-        assert_eq!(d.string_value(d.root_element().unwrap()), "<not-a-tag> & stuff");
+        assert_eq!(
+            d.string_value(d.root_element().unwrap()),
+            "<not-a-tag> & stuff"
+        );
     }
 
     #[test]
@@ -495,7 +510,10 @@ mod tests {
     #[test]
     fn mixed_content_text_preserved() {
         let d = Document::parse("<a>hello <b>bold</b> world</a>").unwrap();
-        assert_eq!(d.string_value(d.root_element().unwrap()), "hello bold world");
+        assert_eq!(
+            d.string_value(d.root_element().unwrap()),
+            "hello bold world"
+        );
     }
 
     #[test]

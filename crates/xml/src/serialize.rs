@@ -87,7 +87,8 @@ mod tests {
 
     #[test]
     fn round_trip_compact() {
-        let src = r#"<site><item id="i1"><price>10</price><note>a &amp; b</note></item><empty/></site>"#;
+        let src =
+            r#"<site><item id="i1"><price>10</price><note>a &amp; b</note></item><empty/></site>"#;
         let doc = Document::parse(src).unwrap();
         assert_eq!(serialize(&doc), src);
     }
@@ -118,6 +119,9 @@ mod tests {
         assert_eq!(s, r#"<a t="say &quot;hi&quot; &amp; &lt;go&gt;"/>"#);
         // And it re-parses to the same value.
         let re = Document::parse(&s).unwrap();
-        assert_eq!(re.attribute(re.root_element().unwrap(), "t"), Some("say \"hi\" & <go>"));
+        assert_eq!(
+            re.attribute(re.root_element().unwrap(), "t"),
+            Some("say \"hi\" & <go>")
+        );
     }
 }

@@ -27,10 +27,17 @@ fn text_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         text_strategy().prop_map(Tree::Text),
-        (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3)
+        )
             .prop_map(|(name, mut attrs)| {
                 dedup_attrs(&mut attrs);
-                Tree::Element { name, attrs, children: vec![] }
+                Tree::Element {
+                    name,
+                    attrs,
+                    children: vec![],
+                }
             }),
     ];
     leaf.prop_recursive(4, 64, 5, |inner| {
@@ -41,7 +48,11 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
         )
             .prop_map(|(name, mut attrs, children)| {
                 dedup_attrs(&mut attrs);
-                Tree::Element { name, attrs, children: merge_adjacent_text(children) }
+                Tree::Element {
+                    name,
+                    attrs,
+                    children: merge_adjacent_text(children),
+                }
             })
     })
 }
@@ -75,7 +86,11 @@ fn build(tree: &Tree) -> Document {
     let mut b = DocumentBuilder::new();
     fn rec(b: &mut DocumentBuilder, t: &Tree) {
         match t {
-            Tree::Element { name, attrs, children } => {
+            Tree::Element {
+                name,
+                attrs,
+                children,
+            } => {
                 b.open(name);
                 for (k, v) in attrs {
                     b.attr(k, v);
@@ -96,7 +111,11 @@ fn build(tree: &Tree) -> Document {
 
 fn assert_equivalent(t: &Tree, doc: &Document, node: xia_xml::NodeId) {
     match t {
-        Tree::Element { name, attrs, children } => {
+        Tree::Element {
+            name,
+            attrs,
+            children,
+        } => {
             assert_eq!(doc.kind(node), NodeKind::Element);
             assert_eq!(doc.name(node), name.as_str());
             let doc_attrs: Vec<(String, String)> = doc
@@ -106,7 +125,11 @@ fn assert_equivalent(t: &Tree, doc: &Document, node: xia_xml::NodeId) {
             let want: Vec<(String, String)> = attrs.clone();
             assert_eq!(doc_attrs, want);
             let doc_children: Vec<_> = doc.children(node).collect();
-            assert_eq!(doc_children.len(), children.len(), "child count for <{name}>");
+            assert_eq!(
+                doc_children.len(),
+                children.len(),
+                "child count for <{name}>"
+            );
             for (c, &d) in children.iter().zip(&doc_children) {
                 assert_equivalent(c, doc, d);
             }

@@ -39,11 +39,19 @@ pub struct Step {
 
 impl Step {
     pub fn child(name: &str) -> Step {
-        Step { axis: Axis::Child, test: NameTest::Name(name.into()), predicates: vec![] }
+        Step {
+            axis: Axis::Child,
+            test: NameTest::Name(name.into()),
+            predicates: vec![],
+        }
     }
 
     pub fn descendant(name: &str) -> Step {
-        Step { axis: Axis::Descendant, test: NameTest::Name(name.into()), predicates: vec![] }
+        Step {
+            axis: Axis::Descendant,
+            test: NameTest::Name(name.into()),
+            predicates: vec![],
+        }
     }
 }
 
@@ -59,8 +67,7 @@ impl LocationPath {
     /// descendant axis.
     pub fn uses_descendant(&self) -> bool {
         self.steps.iter().any(|s| {
-            s.axis == Axis::Descendant
-                || s.predicates.iter().any(Predicate::uses_descendant)
+            s.axis == Axis::Descendant || s.predicates.iter().any(Predicate::uses_descendant)
         })
     }
 
@@ -68,7 +75,13 @@ impl LocationPath {
     pub fn total_steps(&self) -> usize {
         self.steps
             .iter()
-            .map(|s| 1 + s.predicates.iter().map(Predicate::total_steps).sum::<usize>())
+            .map(|s| {
+                1 + s
+                    .predicates
+                    .iter()
+                    .map(Predicate::total_steps)
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -249,7 +262,15 @@ impl fmt::Display for Predicate {
         match self {
             Predicate::Exists(p) => f.write_str(&rel(p)),
             Predicate::Compare(p, op, lit) if op.is_string_function() => {
-                write!(f, "{op}({}, {lit})", if p.steps.is_empty() { ".".into() } else { rel(p) })
+                write!(
+                    f,
+                    "{op}({}, {lit})",
+                    if p.steps.is_empty() {
+                        ".".into()
+                    } else {
+                        rel(p)
+                    }
+                )
             }
             Predicate::Compare(p, op, lit) => write!(f, "{} {op} {lit}", rel(p)),
             Predicate::And(a, b) => write!(f, "{a} and {b}"),
@@ -287,14 +308,20 @@ mod tests {
     #[test]
     fn display_simple_path() {
         let p = LocationPath {
-            steps: vec![Step::child("site"), Step::descendant("item"), Step::child("price")],
+            steps: vec![
+                Step::child("site"),
+                Step::descendant("item"),
+                Step::child("price"),
+            ],
         };
         assert_eq!(p.to_string(), "/site//item/price");
     }
 
     #[test]
     fn uses_descendant_sees_predicates() {
-        let inner = LocationPath { steps: vec![Step::descendant("x")] };
+        let inner = LocationPath {
+            steps: vec![Step::descendant("x")],
+        };
         let mut step = Step::child("a");
         step.predicates.push(Predicate::Exists(inner));
         let p = LocationPath { steps: vec![step] };
@@ -303,10 +330,14 @@ mod tests {
 
     #[test]
     fn total_steps_counts_predicates() {
-        let inner = LocationPath { steps: vec![Step::child("x"), Step::child("y")] };
+        let inner = LocationPath {
+            steps: vec![Step::child("x"), Step::child("y")],
+        };
         let mut step = Step::child("a");
         step.predicates.push(Predicate::Exists(inner));
-        let p = LocationPath { steps: vec![step, Step::child("b")] };
+        let p = LocationPath {
+            steps: vec![step, Step::child("b")],
+        };
         assert_eq!(p.total_steps(), 4);
     }
 }

@@ -368,6 +368,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(evaluate(&d2, &parse("//person[tel = 2]").unwrap()).len(), 1);
-        assert_eq!(evaluate(&d2, &parse("//person[tel != 1]").unwrap()).len(), 2);
+        assert_eq!(
+            evaluate(&d2, &parse("//person[tel != 1]").unwrap()).len(),
+            2
+        );
     }
 }

@@ -61,23 +61,43 @@ pub struct LinearStep {
 
 impl LinearStep {
     pub fn child(label: &str) -> LinearStep {
-        LinearStep { axis: PathAxis::Child, test: PathTest::label(label), is_attribute: false }
+        LinearStep {
+            axis: PathAxis::Child,
+            test: PathTest::label(label),
+            is_attribute: false,
+        }
     }
 
     pub fn descendant(label: &str) -> LinearStep {
-        LinearStep { axis: PathAxis::Descendant, test: PathTest::label(label), is_attribute: false }
+        LinearStep {
+            axis: PathAxis::Descendant,
+            test: PathTest::label(label),
+            is_attribute: false,
+        }
     }
 
     pub fn child_wild() -> LinearStep {
-        LinearStep { axis: PathAxis::Child, test: PathTest::Wildcard, is_attribute: false }
+        LinearStep {
+            axis: PathAxis::Child,
+            test: PathTest::Wildcard,
+            is_attribute: false,
+        }
     }
 
     pub fn descendant_wild() -> LinearStep {
-        LinearStep { axis: PathAxis::Descendant, test: PathTest::Wildcard, is_attribute: false }
+        LinearStep {
+            axis: PathAxis::Descendant,
+            test: PathTest::Wildcard,
+            is_attribute: false,
+        }
     }
 
     pub fn attribute(label: &str) -> LinearStep {
-        LinearStep { axis: PathAxis::Child, test: PathTest::label(label), is_attribute: true }
+        LinearStep {
+            axis: PathAxis::Child,
+            test: PathTest::label(label),
+            is_attribute: true,
+        }
     }
 }
 
@@ -183,7 +203,9 @@ impl LinearPath {
     /// The most general pattern `//*`, which matches every node.
     /// This is the virtual index pattern the Enumerate Indexes mode plants.
     pub fn any() -> LinearPath {
-        LinearPath { steps: vec![LinearStep::descendant_wild()] }
+        LinearPath {
+            steps: vec![LinearStep::descendant_wild()],
+        }
     }
 
     /// True iff this is `//*` (or `//*` with attribute tail semantics).
@@ -228,7 +250,14 @@ fn matches_at(steps: &[LinearStep], labels: &[&str]) -> bool {
     let n = steps.len();
     let m = labels.len();
     let mut memo = vec![u8::MAX; (n + 1) * (m + 1)];
-    fn rec(steps: &[LinearStep], labels: &[&str], i: usize, j: usize, memo: &mut [u8], m: usize) -> bool {
+    fn rec(
+        steps: &[LinearStep],
+        labels: &[&str],
+        i: usize,
+        j: usize,
+        memo: &mut [u8],
+        m: usize,
+    ) -> bool {
         let key = i * (m + 1) + j;
         if memo[key] != u8::MAX {
             return memo[key] == 1;
@@ -287,7 +316,14 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["/a/b/c", "//item/price", "/regions/*/item/*", "//*", "/order/@id", "//a//b"] {
+        for s in [
+            "/a/b/c",
+            "//item/price",
+            "/regions/*/item/*",
+            "//*",
+            "/order/@id",
+            "//a//b",
+        ] {
             assert_eq!(lp(s).to_string(), s);
         }
     }

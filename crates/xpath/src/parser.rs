@@ -35,7 +35,10 @@ impl std::error::Error for XPathError {}
 
 /// Parse an XPath expression of the supported fragment.
 pub fn parse(input: &str) -> Result<LocationPath, XPathError> {
-    let mut p = P { s: input.as_bytes(), pos: 0 };
+    let mut p = P {
+        s: input.as_bytes(),
+        pos: 0,
+    };
     p.ws();
     let path = p.path()?;
     p.ws();
@@ -55,7 +58,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err(&self, msg: &str) -> XPathError {
-        XPathError { message: msg.to_string(), offset: self.pos }
+        XPathError {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
     }
 
     fn ws(&mut self) {
@@ -121,7 +127,11 @@ impl<'a> P<'a> {
             if axis == Axis::Descendant {
                 return Err(self.err("'//..' is not supported"));
             }
-            out.push(Step { axis: Axis::Parent, test: NameTest::Wildcard, predicates: vec![] });
+            out.push(Step {
+                axis: Axis::Parent,
+                test: NameTest::Wildcard,
+                predicates: vec![],
+            });
             return Ok(());
         }
         let (axis, test) = if self.eat("@") {
@@ -148,7 +158,11 @@ impl<'a> P<'a> {
         } else {
             (axis, NameTest::Name(self.name()?))
         };
-        let mut step = Step { axis, test, predicates: vec![] };
+        let mut step = Step {
+            axis,
+            test,
+            predicates: vec![],
+        };
         loop {
             self.ws();
             if self.eat("[") {

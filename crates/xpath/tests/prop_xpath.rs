@@ -11,12 +11,13 @@ fn name() -> impl Strategy<Value = String> {
 fn step_strategy() -> impl Strategy<Value = Step> {
     (
         prop_oneof![Just(Axis::Child), Just(Axis::Descendant)],
-        prop_oneof![
-            name().prop_map(NameTest::Name),
-            Just(NameTest::Wildcard),
-        ],
+        prop_oneof![name().prop_map(NameTest::Name), Just(NameTest::Wildcard),],
     )
-        .prop_map(|(axis, test)| Step { axis, test, predicates: vec![] })
+        .prop_map(|(axis, test)| Step {
+            axis,
+            test,
+            predicates: vec![],
+        })
 }
 
 fn path_strategy() -> impl Strategy<Value = LocationPath> {
@@ -117,8 +118,10 @@ fn small_doc_strategy() -> impl Strategy<Value = Document> {
     let label = prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string);
     let leaf = label.clone().prop_map(|l| T(l, vec![]));
     let tree = leaf.prop_recursive(3, 20, 3, move |inner| {
-        (prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
-         prop::collection::vec(inner, 0..3))
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
+            prop::collection::vec(inner, 0..3),
+        )
             .prop_map(|(l, kids)| T(l, kids))
     });
     tree.prop_map(|t| {

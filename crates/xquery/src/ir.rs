@@ -54,7 +54,14 @@ pub struct QueryAtom {
 
 impl QueryAtom {
     pub fn filter(path: LinearPath, value: Option<(CmpOp, Literal)>, required: bool) -> QueryAtom {
-        QueryAtom { path, value, required, is_extraction: false, or_group: None, exact: true }
+        QueryAtom {
+            path,
+            value,
+            required,
+            is_extraction: false,
+            or_group: None,
+            exact: true,
+        }
     }
 
     pub fn extraction(path: LinearPath) -> QueryAtom {
@@ -157,6 +164,8 @@ impl std::error::Error for QueryError {}
 
 impl From<xia_xpath::XPathError> for QueryError {
     fn from(e: xia_xpath::XPathError) -> Self {
-        QueryError { message: e.to_string() }
+        QueryError {
+            message: e.to_string(),
+        }
     }
 }

@@ -51,6 +51,11 @@ pub fn compile(text: &str, default_collection: &str) -> Result<NormalizedQuery, 
         let path = xia_xpath::parse(trimmed).map_err(|e| QueryError {
             message: format!("XPath: {e}"),
         })?;
-        Ok(lower::lower_xpath(&path, default_collection, trimmed, Language::XPath)?)
+        Ok(lower::lower_xpath(
+            &path,
+            default_collection,
+            trimmed,
+            Language::XPath,
+        )?)
     }
 }

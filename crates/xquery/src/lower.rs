@@ -43,8 +43,8 @@ pub fn lower_xpath(
                     continue;
                 }
                 match trunk.pop() {
-                    Some(prev)
-                        if prev.axis == xia_xpath::PathAxis::Child && !prev.is_attribute => {}
+                    Some(prev) if prev.axis == xia_xpath::PathAxis::Child && !prev.is_attribute => {
+                    }
                     _ => {
                         // Cannot express the trunk linearly at all; the
                         // query stays executable but unindexable.
@@ -108,7 +108,9 @@ pub fn lower_xpath(
                 language,
             });
         }
-        return Err(QueryError { message: "query selects nothing".into() });
+        return Err(QueryError {
+            message: "query selects nothing".into(),
+        });
     }
     let mut ext = QueryAtom::extraction(extraction);
     // The result path must be reachable for any result to exist, so it is
@@ -241,11 +243,13 @@ fn lower_nested(
 ) -> Result<(), QueryError> {
     let mut inner_trunk = trunk.to_vec();
     for step in &rel.steps {
-        let partial = LocationPath { steps: vec![xia_xpath::Step {
-            axis: step.axis,
-            test: step.test.clone(),
-            predicates: vec![],
-        }] };
+        let partial = LocationPath {
+            steps: vec![xia_xpath::Step {
+                axis: step.axis,
+                test: step.test.clone(),
+                predicates: vec![],
+            }],
+        };
         if let Some(lin) = LinearPath::trunk_of(&partial) {
             inner_trunk.extend(lin.steps);
         }
@@ -397,7 +401,10 @@ mod tests {
         let atoms = atom_strings(r#"//open_auction[bidder/increase > 3]"#);
         assert_eq!(
             atoms,
-            vec!["//open_auction/bidder/increase > 3", "//open_auction (extract)"]
+            vec![
+                "//open_auction/bidder/increase > 3",
+                "//open_auction (extract)"
+            ]
         );
     }
 }

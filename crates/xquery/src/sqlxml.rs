@@ -17,15 +17,18 @@ use crate::lower::lower_xpath;
 
 pub(crate) fn parse_sqlxml(text: &str) -> Result<NormalizedQuery, QueryError> {
     let lower = text.to_ascii_lowercase();
-    let from_pos = find_kw(&lower, "from")
-        .ok_or_else(|| QueryError { message: "SQL/XML: missing FROM".into() })?;
+    let from_pos = find_kw(&lower, "from").ok_or_else(|| QueryError {
+        message: "SQL/XML: missing FROM".into(),
+    })?;
     let after_from = text[from_pos + 4..].trim_start();
     let collection: String = after_from
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
     if collection.is_empty() {
-        return Err(QueryError { message: "SQL/XML: missing collection after FROM".into() });
+        return Err(QueryError {
+            message: "SQL/XML: missing collection after FROM".into(),
+        });
     }
 
     // Extraction: XMLQUERY('...'). Optional — SELECT 1 FROM ... WHERE
@@ -86,8 +89,7 @@ fn find_kw(haystack_lower: &str, kw: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(rel) = haystack_lower[from..].find(kw) {
         let pos = from + rel;
-        let before_ok = pos == 0
-            || !haystack_lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
+        let before_ok = pos == 0 || !haystack_lower.as_bytes()[pos - 1].is_ascii_alphanumeric();
         let after = haystack_lower.as_bytes().get(pos + kw.len());
         let after_ok = !after.is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
         if before_ok && after_ok {
@@ -99,19 +101,13 @@ fn find_kw(haystack_lower: &str, kw: &str) -> Option<usize> {
 }
 
 /// First `fname('...')` argument, with `$var` prefixes stripped.
-fn extract_fn_arg(
-    text: &str,
-    lower: &str,
-    fname: &str,
-) -> Result<Option<String>, QueryError> {
-    Ok(extract_all_fn_args_inner(text, lower, fname)?.into_iter().next())
+fn extract_fn_arg(text: &str, lower: &str, fname: &str) -> Result<Option<String>, QueryError> {
+    Ok(extract_all_fn_args_inner(text, lower, fname)?
+        .into_iter()
+        .next())
 }
 
-fn extract_all_fn_args(
-    text: &str,
-    lower: &str,
-    fname: &str,
-) -> Result<Vec<String>, QueryError> {
+fn extract_all_fn_args(text: &str, lower: &str, fname: &str) -> Result<Vec<String>, QueryError> {
     extract_all_fn_args_inner(text, lower, fname)
 }
 
@@ -155,7 +151,10 @@ fn strip_vars(xpath: &str) -> String {
     let mut chars = xpath.chars().peekable();
     while let Some(c) = chars.next() {
         if c == '$' {
-            while chars.peek().is_some_and(|c| c.is_alphanumeric() || *c == '_') {
+            while chars
+                .peek()
+                .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+            {
                 chars.next();
             }
         } else {
@@ -170,7 +169,12 @@ mod tests {
     use super::*;
 
     fn atoms(q: &str) -> Vec<String> {
-        parse_sqlxml(q).unwrap().atoms.iter().map(|a| a.to_string()).collect()
+        parse_sqlxml(q)
+            .unwrap()
+            .atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect()
     }
 
     #[test]
@@ -190,9 +194,7 @@ mod tests {
 
     #[test]
     fn exists_only_query() {
-        let strs = atoms(
-            r#"SELECT 1 FROM orders WHERE XMLEXISTS('$d/FIXML/Order[@Side = "2"]')"#,
-        );
+        let strs = atoms(r#"SELECT 1 FROM orders WHERE XMLEXISTS('$d/FIXML/Order[@Side = "2"]')"#);
         assert_eq!(strs, vec!["/FIXML/Order/@Side = \"2\"", "/FIXML/Order"]);
     }
 
@@ -201,10 +203,7 @@ mod tests {
         let strs = atoms(
             r#"SELECT 1 FROM c WHERE XMLEXISTS('$d//a[x = 1]') AND XMLEXISTS('$d//b[y = 2]')"#,
         );
-        assert_eq!(
-            strs,
-            vec!["//a/x = 1", "//a", "//b/y = 2", "//b"]
-        );
+        assert_eq!(strs, vec!["//a/x = 1", "//a", "//b/y = 2", "//b"]);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub(crate) fn parse_xquery(text: &str) -> Result<NormalizedQuery, QueryError> {
             return Err(p.err("expected ':=' in let clause"));
         }
         p.pos += 2;
-        let expr = p.take_until_kw(&["let", "where", "return"]).trim().to_string();
+        let expr = p
+            .take_until_kw(&["let", "where", "return"])
+            .trim()
+            .to_string();
         let resolved = resolve_var_expr(&expr, &var, &lets)
             .ok_or_else(|| p.err(format!("let ${name} must be a path under ${var}")))?;
         lets.push((name, resolved));
@@ -48,7 +51,9 @@ pub(crate) fn parse_xquery(text: &str) -> Result<NormalizedQuery, QueryError> {
     let ret_rel = p.return_path_with_lets(&var, &lets)?;
     p.skip_ws();
     if p.pos < p.s.len() {
-        return Err(QueryError { message: format!("trailing XQuery input at {}", p.pos) });
+        return Err(QueryError {
+            message: format!("trailing XQuery input at {}", p.pos),
+        });
     }
 
     // Fuse: bind_path [where] / return_rel
@@ -106,7 +111,16 @@ fn substitute_vars(clause: &str, base: &str, lets: &[(String, String)]) -> Strin
         .iter()
         // An alias let (`let $p := $i`) resolves to the empty path; it
         // must substitute as `.`, not as nothing.
-        .map(|(n, r)| (n.as_str(), if r.is_empty() { ".".to_string() } else { r.clone() }))
+        .map(|(n, r)| {
+            (
+                n.as_str(),
+                if r.is_empty() {
+                    ".".to_string()
+                } else {
+                    r.clone()
+                },
+            )
+        })
         .collect();
     subs.push((base, ".".to_string()));
     subs.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
@@ -156,9 +170,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> QueryError {
-        QueryError { message: format!("{} (at offset {})", msg.into(), self.pos) }
+        QueryError {
+            message: format!("{} (at offset {})", msg.into(), self.pos),
+        }
     }
-
 
     fn try_kw(&mut self, kw: &str) -> bool {
         self.skip_ws();
@@ -188,9 +203,7 @@ impl<'a> Cursor<'a> {
         }
         self.pos += 1;
         let start = self.pos;
-        while self.s[self.pos..]
-            .starts_with(|c: char| c.is_alphanumeric() || c == '_')
-        {
+        while self.s[self.pos..].starts_with(|c: char| c.is_alphanumeric() || c == '_') {
             self.pos += 1;
         }
         if self.pos == start {
@@ -231,8 +244,9 @@ impl<'a> Cursor<'a> {
         self.pos += 1;
         // Binding path: up to the next `let`/`where`/`return` keyword.
         let path_text = self.take_until_kw(&["let", "where", "return"]);
-        let path = xia_xpath::parse(path_text.trim())
-            .map_err(|e| QueryError { message: format!("binding path: {e}") })?;
+        let path = xia_xpath::parse(path_text.trim()).map_err(|e| QueryError {
+            message: format!("binding path: {e}"),
+        })?;
         Ok((name, path))
     }
 
@@ -290,8 +304,9 @@ impl<'a> Cursor<'a> {
         // to the binding.
         let rel = substitute_vars(&cond_text, var, lets);
         let wrapped = format!("/__x[{rel}]");
-        let parsed = xia_xpath::parse(&wrapped)
-            .map_err(|e| QueryError { message: format!("where clause: {e}") })?;
+        let parsed = xia_xpath::parse(&wrapped).map_err(|e| QueryError {
+            message: format!("where clause: {e}"),
+        })?;
         let pred = parsed.steps[0]
             .predicates
             .first()
@@ -314,8 +329,9 @@ impl<'a> Cursor<'a> {
         if resolved.is_empty() {
             return Ok(None);
         }
-        let rel = xia_xpath::parse(&resolved)
-            .map_err(|e| QueryError { message: format!("return path: {e}") })?;
+        let rel = xia_xpath::parse(&resolved).map_err(|e| QueryError {
+            message: format!("return path: {e}"),
+        })?;
         Ok(Some(rel))
     }
 }
@@ -325,7 +341,12 @@ mod tests {
     use super::*;
 
     fn atoms(q: &str) -> Vec<String> {
-        parse_xquery(q).unwrap().atoms.iter().map(|a| a.to_string()).collect()
+        parse_xquery(q)
+            .unwrap()
+            .atoms
+            .iter()
+            .map(|a| a.to_string())
+            .collect()
     }
 
     #[test]
@@ -342,10 +363,14 @@ mod tests {
 
     #[test]
     fn return_bare_variable() {
-        let strs = atoms(r#"for $p in doc("people")/site/people/person where $p/age >= 18 return $p"#);
+        let strs =
+            atoms(r#"for $p in doc("people")/site/people/person where $p/age >= 18 return $p"#);
         assert_eq!(
             strs,
-            vec!["/site/people/person/age >= 18", "/site/people/person (extract)"]
+            vec![
+                "/site/people/person/age >= 18",
+                "/site/people/person (extract)"
+            ]
         );
     }
 
@@ -383,7 +408,11 @@ mod tests {
         );
         assert_eq!(
             strs,
-            vec!["//item/price > 9 (opt)", "//item/quantity = 1 (opt)", "//item (extract)"]
+            vec![
+                "//item/price > 9 (opt)",
+                "//item/quantity = 1 (opt)",
+                "//item (extract)"
+            ]
         );
     }
 
@@ -402,9 +431,8 @@ mod tests {
         );
         assert_eq!(strs, vec!["//item/price > 100", "//item/name (extract)"]);
         // Returning a let variable.
-        let strs = atoms(
-            r#"for $i in collection("c")//item let $p := $i/price where $p > 100 return $p"#,
-        );
+        let strs =
+            atoms(r#"for $i in collection("c")//item let $p := $i/price where $p > 100 return $p"#);
         assert_eq!(strs, vec!["//item/price > 100", "//item/price (extract)"]);
         // Chained lets.
         let strs = atoms(
@@ -427,9 +455,8 @@ mod tests {
 
     #[test]
     fn alias_let_substitutes_as_context_dot() {
-        let strs = atoms(
-            r#"for $n in collection("c")//item/price let $v := $n where $v > 7 return $n"#,
-        );
+        let strs =
+            atoms(r#"for $n in collection("c")//item/price let $v := $n where $v > 7 return $n"#);
         assert_eq!(strs, vec!["//item/price > 7", "//item/price (extract)"]);
     }
 
@@ -444,9 +471,7 @@ mod tests {
 
     #[test]
     fn case_insensitive_keywords() {
-        let q = parse_xquery(
-            r#"FOR $i IN collection("c")//item WHERE $i/price = 1 RETURN $i"#,
-        );
+        let q = parse_xquery(r#"FOR $i IN collection("c")//item WHERE $i/price = 1 RETURN $i"#);
         assert!(q.is_ok(), "{q:?}");
     }
 }

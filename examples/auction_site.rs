@@ -30,7 +30,13 @@ fn main() {
         "/site/regions/asia/item/quantity".to_string(),
     ];
     // The production workload drifts: same shapes, other regions/values.
-    let unseen = synthetic_variations(training.as_ref(), &SynthConfig { per_template: 3, seed: 17 });
+    let unseen = synthetic_variations(
+        training.as_ref(),
+        &SynthConfig {
+            per_template: 3,
+            seed: 17,
+        },
+    );
     println!("training queries: {}", training.len());
     println!("unseen variations: {}\n", unseen.len());
 
@@ -55,7 +61,11 @@ fn main() {
             "unseen workload estimated cost: {:.1} -> {:.1} ({:.1}% retained benefit)\n",
             unseen_no,
             unseen_rec,
-            if unseen_no > 0.0 { 100.0 * (unseen_no - unseen_rec) / unseen_no } else { 0.0 }
+            if unseen_no > 0.0 {
+                100.0 * (unseen_no - unseen_rec) / unseen_no
+            } else {
+                0.0
+            }
         );
     }
 

@@ -14,7 +14,11 @@ use xia::prelude::*;
 
 fn main() {
     let mut coll = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs: 150, ..Default::default() }).populate(&mut coll);
+    XMarkGen::new(XMarkConfig {
+        docs: 150,
+        ..Default::default()
+    })
+    .populate(&mut coll);
     let model = CostModel::default();
 
     // One query in each supported surface language.
@@ -84,7 +88,10 @@ fn main() {
         DataType::Double,
     ));
     let after = explain(&coll, &model, &q2);
-    println!("after creating the generalized index:\n{}", indent(&after.text));
+    println!(
+        "after creating the generalized index:\n{}",
+        indent(&after.text)
+    );
     let (rows, stats) = execute(&coll, &q2, &after.plan).expect("physical plan runs");
     println!(
         "executed: {} results, {} docs evaluated, {} index entries scanned",

@@ -11,8 +11,13 @@ use xia::prelude::*;
 
 fn main() {
     let mut db = Database::new();
-    TpoxGen::new(TpoxConfig { orders: 400, customers: 80, securities: 60, seed: 7 })
-        .populate_all(&mut db);
+    TpoxGen::new(TpoxConfig {
+        orders: 400,
+        customers: 80,
+        securities: 60,
+        seed: 7,
+    })
+    .populate_all(&mut db);
 
     let advisor = Advisor::default();
     let queries = tpox_queries();
@@ -49,17 +54,29 @@ fn main() {
     // collections; space flows to whichever collection's next index buys
     // the most benefit per byte.
     let wo = Workload::from_queries(
-        &queries.iter().filter(|(c, _)| *c == "order").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .filter(|(c, _)| *c == "order")
+            .map(|(_, q)| q.as_str())
+            .collect::<Vec<_>>(),
         "order",
     )
     .unwrap();
     let wc = Workload::from_queries(
-        &queries.iter().filter(|(c, _)| *c == "custacc").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .filter(|(c, _)| *c == "custacc")
+            .map(|(_, q)| q.as_str())
+            .collect::<Vec<_>>(),
         "custacc",
     )
     .unwrap();
     let ws = Workload::from_queries(
-        &queries.iter().filter(|(c, _)| *c == "security").map(|(_, q)| q.as_str()).collect::<Vec<_>>(),
+        &queries
+            .iter()
+            .filter(|(c, _)| *c == "security")
+            .map(|(_, q)| q.as_str())
+            .collect::<Vec<_>>(),
         "security",
     )
     .unwrap();

@@ -9,7 +9,10 @@ use xia::prelude::*;
 fn main() {
     // --- 1. Build an XML database (the substrate DB2 provides in the paper).
     let mut coll = Collection::new("auctions");
-    let gen = XMarkGen::new(XMarkConfig { docs: 200, ..Default::default() });
+    let gen = XMarkGen::new(XMarkConfig {
+        docs: 200,
+        ..Default::default()
+    });
     gen.populate(&mut coll);
     println!(
         "loaded {} documents, {} nodes, {} distinct paths, {} data pages\n",

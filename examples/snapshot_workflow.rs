@@ -17,7 +17,11 @@ fn main() {
     let mut db = Database::new();
     db.create_collection("auctions");
     let coll = db.collection_mut("auctions").unwrap();
-    XMarkGen::new(XMarkConfig { docs: 150, ..Default::default() }).populate(coll);
+    XMarkGen::new(XMarkConfig {
+        docs: 150,
+        ..Default::default()
+    })
+    .populate(coll);
 
     let workload = Workload::parse(
         "# regional training workload\n\
@@ -40,7 +44,9 @@ fn main() {
 
     // --- Day 2: fresh process, reload, same behaviour. --------------------
     let restored = load_database(&dir).expect("snapshot loads");
-    let coll2 = restored.collection("auctions").expect("collection restored");
+    let coll2 = restored
+        .collection("auctions")
+        .expect("collection restored");
     println!(
         "restored: {} documents, {} indexes, {} distinct paths",
         coll2.len(),
@@ -58,7 +64,10 @@ fn main() {
         day2.seconds * 1e3,
         day2.docs_evaluated
     );
-    assert_eq!(day1.results, day2.results, "identical answers after restore");
+    assert_eq!(
+        day1.results, day2.results,
+        "identical answers after restore"
+    );
 
     // Plans still use the restored physical indexes.
     let q = compile("//closed_auction[price >= 700]/date", "auctions").unwrap();

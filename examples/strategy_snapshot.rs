@@ -1,0 +1,99 @@
+//! Prints the exact `SearchOutcome` (chosen set, costs, per-query costs,
+//! used indexes) for every search strategy on the integration-test and
+//! bench workloads. Used to confirm the what-if engine rewrite is
+//! behavior-preserving; kept as an example so future evaluator changes
+//! can re-run the same comparison.
+
+use xia::prelude::*;
+
+fn xmark(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    })
+    .populate(&mut c);
+    c
+}
+
+fn print_outcomes(tag: &str, c: &Collection, w: &Workload, budget: u64) {
+    let advisor = Advisor::default();
+    for strat in [
+        SearchStrategy::GreedyBaseline,
+        SearchStrategy::GreedyHeuristic,
+        SearchStrategy::GreedyAblated(GreedyKnobs {
+            coverage_bitmap: false,
+            eviction: true,
+            drop_unused: false,
+        }),
+        SearchStrategy::TopDown,
+    ] {
+        let rec = advisor.recommend(c, w, budget, strat);
+        let o = &rec.outcome;
+        println!(
+            "{tag} {strat}: chosen={:?} base={:.6} cost={:.6} size={} per_query={:?} used={:?}",
+            o.chosen,
+            o.base_cost,
+            o.workload_cost,
+            o.size_bytes,
+            o.per_query_cost,
+            o.used_per_query
+        );
+    }
+}
+
+fn main() {
+    let c = xmark(150);
+    let w = Workload::from_queries(
+        &[
+            "/site/regions/africa/item/quantity",
+            "/site/regions/namerica/item/quantity",
+            "/site/regions/samerica/item/price",
+            "/site/regions/europe/item[price > 450]/name",
+            "//closed_auction[price >= 700]/date",
+        ],
+        "auctions",
+    )
+    .unwrap();
+    print_outcomes("regional/1MiB", &c, &w, 1 << 20);
+    print_outcomes("regional/32KiB", &c, &w, 32 << 10);
+
+    // Update-heavy variant exercises maintenance costing.
+    let mut wu = Workload::from_queries(
+        &[
+            "/site/regions/africa/item/quantity",
+            "//person[profile/age > 70]/name",
+        ],
+        "auctions",
+    )
+    .unwrap();
+    let sample = c.get(xia::storage::DocId(0)).unwrap().clone();
+    wu.add_insert(sample, 50.0);
+    print_outcomes("updates/1MiB", &c, &wu, 1 << 20);
+
+    // The bench harness's standard nine-query workload, OR groups included.
+    let c2 = {
+        let mut c2 = Collection::new("auctions");
+        XMarkGen::new(XMarkConfig {
+            docs: 100,
+            ..Default::default()
+        })
+        .populate(&mut c2);
+        c2
+    };
+    let texts = [
+        "/site/regions/africa/item/quantity".to_string(),
+        "/site/regions/namerica/item/quantity".to_string(),
+        "/site/regions/samerica/item/price".to_string(),
+        "/site/regions/europe/item[price > 450]/name".to_string(),
+        "//person[profile/age > 70]/name".to_string(),
+        "//closed_auction[price >= 700]/date".to_string(),
+        r#"//item[@featured = "yes"]/name"#.to_string(),
+        r#"//item[price < 40 or price > 480]/name"#.to_string(),
+        r#"for $a in collection("auctions")//open_auction where $a/initial >= 90 return $a/current"#
+            .to_string(),
+    ];
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let w2 = Workload::from_queries(&refs, "auctions").unwrap();
+    print_outcomes("standard/1MiB", &c2, &w2, 1 << 20);
+}

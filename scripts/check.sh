@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything that must stay green on every commit.
+#
+#   scripts/check.sh
+#
+# Build and tests are hard requirements. fmt/clippy run when the
+# toolchain has them installed; offline or slim toolchains may lack the
+# components, in which case they are reported and skipped rather than
+# failing the run.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+
+run_hard() {
+  echo "==> $*"
+  if ! "$@"; then
+    echo "FAILED: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+run_soft() {
+  local probe=$1
+  shift
+  if ! cargo "$probe" --version >/dev/null 2>&1; then
+    echo "==> skipping cargo $probe (component not installed)"
+    return
+  fi
+  echo "==> $*"
+  if ! "$@"; then
+    echo "FAILED: $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+run_hard cargo build --release --offline
+run_hard cargo test -q --offline
+run_soft fmt cargo fmt --check
+run_soft clippy cargo clippy --offline --all-targets -- -D warnings
+
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "check.sh: all checks passed"

@@ -7,7 +7,11 @@ use xia::prelude::*;
 
 fn xmark(docs: usize) -> Collection {
     let mut c = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    })
+    .populate(&mut c);
     c
 }
 
@@ -36,10 +40,15 @@ fn full_pipeline_on_xmark() {
     assert!(rec.outcome.size_bytes <= 1 << 20);
     assert!(rec.benefit() > 0.0);
     // The DAG contains the paper's generalization for the regional queries.
-    let dag_patterns: Vec<String> =
-        rec.dag.candidates().map(|c| c.pattern.to_string()).collect();
+    let dag_patterns: Vec<String> = rec
+        .dag
+        .candidates()
+        .map(|c| c.pattern.to_string())
+        .collect();
     assert!(
-        dag_patterns.iter().any(|p| p == "/site/regions/*/item/quantity"),
+        dag_patterns
+            .iter()
+            .any(|p| p == "/site/regions/*/item/quantity"),
         "expected regional generalization in {dag_patterns:?}"
     );
 
@@ -152,8 +161,13 @@ fn update_cost_shrinks_configurations() {
 #[test]
 fn tpox_attribute_indexes_are_recommended() {
     let mut db = Database::new();
-    TpoxGen::new(TpoxConfig { orders: 300, customers: 40, securities: 30, seed: 3 })
-        .populate_all(&mut db);
+    TpoxGen::new(TpoxConfig {
+        orders: 300,
+        customers: 40,
+        securities: 30,
+        seed: 3,
+    })
+    .populate_all(&mut db);
     let order_queries: Vec<String> = tpox_queries()
         .into_iter()
         .filter(|(c, _)| *c == "order")
@@ -162,11 +176,19 @@ fn tpox_attribute_indexes_are_recommended() {
     let refs: Vec<&str> = order_queries.iter().map(String::as_str).collect();
     let w = Workload::from_queries(&refs, "order").unwrap();
     let advisor = Advisor::default();
-    let rec = advisor.recommend(db.collection("order").unwrap(), &w, 1 << 20, SearchStrategy::GreedyHeuristic);
+    let rec = advisor.recommend(
+        db.collection("order").unwrap(),
+        &w,
+        1 << 20,
+        SearchStrategy::GreedyHeuristic,
+    );
     assert!(
         rec.indexes.iter().any(|d| d.pattern.targets_attribute()),
         "FIXML workload should yield attribute-pattern indexes: {:?}",
-        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+        rec.indexes
+            .iter()
+            .map(|d| d.pattern.to_string())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -174,7 +196,8 @@ fn tpox_attribute_indexes_are_recommended() {
 fn mixed_language_workload_is_advised_uniformly() {
     let c = xmark(120);
     let mut w = Workload::new();
-    w.add_query("//open_auction[initial >= 90]/current", "auctions", 1.0).unwrap();
+    w.add_query("//open_auction[initial >= 90]/current", "auctions", 1.0)
+        .unwrap();
     w.add_query(
         r#"for $a in collection("auctions")//open_auction where $a/initial >= 90 return $a/current"#,
         "auctions",

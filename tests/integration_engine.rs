@@ -7,7 +7,11 @@ use xia::prelude::*;
 
 fn xmark_collection(docs: usize) -> Collection {
     let mut c = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs, ..Default::default() }).populate(&mut c);
+    XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    })
+    .populate(&mut c);
     c
 }
 
@@ -65,7 +69,11 @@ fn indexed_plans_agree_with_ground_truth_on_xmark() {
         let (got, _) = execute(&c, &q, &ex.plan).unwrap();
         let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
         let want = ground_truth(&c, &q);
-        assert_eq!(got, want, "plan for {text} returned wrong results:\n{}", ex.text);
+        assert_eq!(
+            got, want,
+            "plan for {text} returned wrong results:\n{}",
+            ex.text
+        );
         if ex.plan.uses_indexes() {
             indexed_plans += 1;
         }
@@ -84,7 +92,11 @@ fn index_maintenance_keeps_plans_correct_under_churn() {
         LinearPath::parse("//item/price").unwrap(),
         DataType::Double,
     ));
-    let gen = XMarkGen::new(XMarkConfig { docs: 10, seed: 777, ..Default::default() });
+    let gen = XMarkGen::new(XMarkConfig {
+        docs: 10,
+        seed: 777,
+        ..Default::default()
+    });
     for d in gen.generate() {
         let (_, rep) = c.insert(d);
         assert!(rep.index_entries_touched > 0);
@@ -118,8 +130,13 @@ fn statistics_survive_churn() {
 #[test]
 fn tpox_database_round_trips_queries() {
     let mut db = Database::new();
-    TpoxGen::new(TpoxConfig { orders: 100, customers: 30, securities: 20, seed: 5 })
-        .populate_all(&mut db);
+    TpoxGen::new(TpoxConfig {
+        orders: 100,
+        customers: 30,
+        securities: 20,
+        seed: 5,
+    })
+    .populate_all(&mut db);
     let model = CostModel::default();
     for (coll_name, text) in tpox_queries() {
         let c = db.collection(coll_name).unwrap();
@@ -128,7 +145,11 @@ fn tpox_database_round_trips_queries() {
         let (got, _) = execute(c, &q, &ex.plan).unwrap();
         let want = ground_truth(c, &q);
         let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
-        assert_eq!(got, want, "TPoX query {text} wrong under plan:\n{}", ex.text);
+        assert_eq!(
+            got, want,
+            "TPoX query {text} wrong under plan:\n{}",
+            ex.text
+        );
     }
 }
 
@@ -147,7 +168,11 @@ fn virtual_size_estimates_track_actual_sizes() {
         let pattern = LinearPath::parse(pat).unwrap();
         let est_entries = c.stats().estimated_index_entries(&pattern, *ty);
         let est_bytes = c.stats().estimated_index_bytes(&pattern, *ty);
-        c.create_index(IndexDefinition::new(IndexId(i as u32), pattern.clone(), *ty));
+        c.create_index(IndexDefinition::new(
+            IndexId(i as u32),
+            pattern.clone(),
+            *ty,
+        ));
         let actual = c.index(IndexId(i as u32)).unwrap();
         assert_eq!(
             est_entries,
@@ -165,7 +190,12 @@ fn virtual_size_estimates_track_actual_sizes() {
 
 #[test]
 fn serialization_round_trips_generated_documents() {
-    for doc in XMarkGen::new(XMarkConfig { docs: 5, ..Default::default() }).generate() {
+    for doc in XMarkGen::new(XMarkConfig {
+        docs: 5,
+        ..Default::default()
+    })
+    .generate()
+    {
         let text = xia::xml::serialize(&doc);
         let re = Document::parse(&text).unwrap();
         assert_eq!(xia::xml::serialize(&re), text);

@@ -5,7 +5,11 @@ use xia::prelude::*;
 
 fn collection() -> Collection {
     let mut c = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs: 120, ..Default::default() }).populate(&mut c);
+    XMarkGen::new(XMarkConfig {
+        docs: 120,
+        ..Default::default()
+    })
+    .populate(&mut c);
     c
 }
 
@@ -23,9 +27,15 @@ fn enumerate_indexes_reports_indexable_patterns_only() {
     assert!(patterns.contains(&"/site/regions/africa/item/name".to_string()));
     assert_eq!(patterns.len(), 3);
     // Types follow the predicates.
-    let price = cands.iter().find(|c| c.pattern.to_string().ends_with("price")).unwrap();
+    let price = cands
+        .iter()
+        .find(|c| c.pattern.to_string().ends_with("price"))
+        .unwrap();
     assert_eq!(price.data_type, DataType::Double);
-    let name = cands.iter().find(|c| c.pattern.to_string().ends_with("name")).unwrap();
+    let name = cands
+        .iter()
+        .find(|c| c.pattern.to_string().ends_with("name"))
+        .unwrap();
     assert_eq!(name.data_type, DataType::Varchar);
 }
 
@@ -37,8 +47,14 @@ fn all_languages_enumerate_equivalent_filter_patterns() {
         "auctions",
     )
     .unwrap();
-    let px: Vec<String> = enumerate_indexes(&xpath).iter().map(|c| c.to_string()).collect();
-    let pq: Vec<String> = enumerate_indexes(&xquery).iter().map(|c| c.to_string()).collect();
+    let px: Vec<String> = enumerate_indexes(&xpath)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    let pq: Vec<String> = enumerate_indexes(&xquery)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     assert_eq!(px, pq, "XPath and XQuery forms must enumerate identically");
 }
 
@@ -111,7 +127,11 @@ fn virtual_and_physical_costing_agree() {
     let virt = evaluate_indexes(
         &c,
         &model,
-        &[IndexDefinition::virtual_index(IndexId(1), pattern.clone(), DataType::Double)],
+        &[IndexDefinition::virtual_index(
+            IndexId(1),
+            pattern.clone(),
+            DataType::Double,
+        )],
         std::slice::from_ref(&q),
     );
     c.create_index(IndexDefinition::new(IndexId(1), pattern, DataType::Double));

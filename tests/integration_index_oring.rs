@@ -71,7 +71,11 @@ fn or_with_one_unindexed_branch_falls_back_to_scan() {
     // stock has no index: the union cannot be covered, so no IXOR.
     let q = compile("//item[price = 3 or stock = 5]/name", "shop").unwrap();
     let ex = explain(&c, &CostModel::default(), &q);
-    assert!(!ex.text.contains("IXOR"), "uncovered OR must not claim IXOR:\n{}", ex.text);
+    assert!(
+        !ex.text.contains("IXOR"),
+        "uncovered OR must not claim IXOR:\n{}",
+        ex.text
+    );
     let (got, _) = execute(&c, &q, &ex.plan).unwrap();
     let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
     assert_eq!(got, ground_truth(&c, &q));
@@ -216,11 +220,18 @@ fn advisor_recommends_indexes_for_both_or_branches() {
     // or by one generalized index containing both (e.g. //item/*).
     let price = LinearPath::parse("//item/price").unwrap();
     let stock = LinearPath::parse("//item/stock").unwrap();
-    let covers = |p: &LinearPath| rec.indexes.iter().any(|d| xia::index::contains(&d.pattern, p));
+    let covers = |p: &LinearPath| {
+        rec.indexes
+            .iter()
+            .any(|d| xia::index::contains(&d.pattern, p))
+    };
     assert!(
         covers(&price) && covers(&stock),
         "both branches should be covered: {:?}",
-        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+        rec.indexes
+            .iter()
+            .map(|d| d.pattern.to_string())
+            .collect::<Vec<_>>()
     );
     assert!(rec.benefit() > 0.0, "OR coverage must pay off");
 }

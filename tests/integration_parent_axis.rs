@@ -48,10 +48,9 @@ fn parent_axis_parses_and_displays() {
 
 #[test]
 fn parent_axis_navigational_semantics() {
-    let d = Document::parse(
-        "<shop><item><price>5</price></item><item><name>x</name></item></shop>",
-    )
-    .unwrap();
+    let d =
+        Document::parse("<shop><item><price>5</price></item><item><name>x</name></item></shop>")
+            .unwrap();
     let eval = |q: &str| xia::xpath::evaluate(&d, &xia::xpath::parse(q).unwrap());
     // Parents of price elements = items that have a price.
     let items_with_price = eval("/shop/item/price/..");
@@ -85,7 +84,10 @@ fn parent_queries_are_unindexable_but_correct() {
     // answer.
     let q = compile("//price/..", "shop").unwrap();
     assert!(q.atoms.is_empty(), "opaque queries expose no atoms");
-    assert!(enumerate_indexes(&q).is_empty(), "and therefore no candidates");
+    assert!(
+        enumerate_indexes(&q).is_empty(),
+        "and therefore no candidates"
+    );
     let ex = explain(&c, &model, &q);
     assert!(!ex.plan.uses_indexes(), "{}", ex.text);
     let (got, _) = execute(&c, &q, &ex.plan).unwrap();
@@ -130,7 +132,10 @@ fn text_extraction_never_uses_index_only() {
     // And the results really are text nodes.
     let (doc_id, node) = ground_truth(&c, &q)[0];
     let doc = c.get(doc_id).unwrap();
-    assert_eq!(doc.kind(xia::xml::NodeId::from_u32(node)), xia::xml::NodeKind::Text);
+    assert_eq!(
+        doc.kind(xia::xml::NodeId::from_u32(node)),
+        xia::xml::NodeKind::Text
+    );
 }
 
 #[test]

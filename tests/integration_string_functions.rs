@@ -9,7 +9,11 @@ use xia::xpath::{CmpOp, Literal};
 
 fn collection() -> Collection {
     let mut c = Collection::new("auctions");
-    XMarkGen::new(XMarkConfig { docs: 120, ..Default::default() }).populate(&mut c);
+    XMarkGen::new(XMarkConfig {
+        docs: 120,
+        ..Default::default()
+    })
+    .populate(&mut c);
     c
 }
 
@@ -68,8 +72,14 @@ fn starts_with_is_sargable_contains_is_not() {
         CmpOp::Contains,
         Literal::Str("coins".into()),
     );
-    assert!(!match_index(&def, &sw).unwrap().structural_only, "prefix probe is sargable");
-    assert!(match_index(&def, &ct).unwrap().structural_only, "substring scan is residual");
+    assert!(
+        !match_index(&def, &sw).unwrap().structural_only,
+        "prefix probe is sargable"
+    );
+    assert!(
+        match_index(&def, &ct).unwrap().structural_only,
+        "substring scan is residual"
+    );
 }
 
 #[test]
@@ -90,7 +100,12 @@ fn plans_agree_with_ground_truth() {
         let ex = explain(&c, &model, &q);
         let (got, _) = execute(&c, &q, &ex.plan).unwrap();
         let got: Vec<(DocId, u32)> = got.into_iter().map(|(d, n)| (d, n.as_u32())).collect();
-        assert_eq!(got, ground_truth(&c, &q), "plan disagreement for {text}:\n{}", ex.text);
+        assert_eq!(
+            got,
+            ground_truth(&c, &q),
+            "plan disagreement for {text}:\n{}",
+            ex.text
+        );
     }
 }
 
@@ -102,9 +117,17 @@ fn selective_prefix_uses_index_probe() {
         LinearPath::parse("//person/emailaddress").unwrap(),
         DataType::Varchar,
     ));
-    let q = compile(r#"//person[starts-with(emailaddress, "person3_")]/name"#, "auctions").unwrap();
+    let q = compile(
+        r#"//person[starts-with(emailaddress, "person3_")]/name"#,
+        "auctions",
+    )
+    .unwrap();
     let ex = explain(&c, &CostModel::default(), &q);
-    assert!(ex.plan.uses_indexes(), "prefix predicate should use the index:\n{}", ex.text);
+    assert!(
+        ex.plan.uses_indexes(),
+        "prefix predicate should use the index:\n{}",
+        ex.text
+    );
     let (rows, stats) = execute(&c, &q, &ex.plan).unwrap();
     assert!(!rows.is_empty());
     assert!(
@@ -143,7 +166,10 @@ fn advisor_recommends_index_for_prefix_workload() {
             .iter()
             .any(|d| xia::index::contains(&d.pattern, &email)),
         "expected an index covering //person/emailaddress in {:?}",
-        rec.indexes.iter().map(|d| d.pattern.to_string()).collect::<Vec<_>>()
+        rec.indexes
+            .iter()
+            .map(|d| d.pattern.to_string())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -152,22 +178,19 @@ fn prefix_selectivity_tracks_reality() {
     let c = collection();
     let pattern = LinearPath::parse("//item/name").unwrap();
     // Generated names start with one of 12 adjectives.
-    let sel = c.stats().selectivity(
-        &pattern,
-        CmpOp::StartsWith,
-        &Literal::Str("vintage".into()),
-    );
+    let sel = c
+        .stats()
+        .selectivity(&pattern, CmpOp::StartsWith, &Literal::Str("vintage".into()));
     assert!(sel > 0.01 && sel < 0.25, "starts-with selectivity {sel}");
-    let none = c.stats().selectivity(
-        &pattern,
-        CmpOp::StartsWith,
-        &Literal::Str("zzz".into()),
-    );
+    let none = c
+        .stats()
+        .selectivity(&pattern, CmpOp::StartsWith, &Literal::Str("zzz".into()));
     assert_eq!(none, 0.0);
-    let contains = c.stats().selectivity(
-        &pattern,
-        CmpOp::Contains,
-        &Literal::Str("coins".into()),
+    let contains = c
+        .stats()
+        .selectivity(&pattern, CmpOp::Contains, &Literal::Str("coins".into()));
+    assert!(
+        contains > 0.01 && contains < 0.5,
+        "contains selectivity {contains}"
     );
-    assert!(contains > 0.01 && contains < 0.5, "contains selectivity {contains}");
 }

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the benchmarking surface the workspace's benches use:
+//! `Criterion::bench_function`, benchmark groups with `sample_size` /
+//! `throughput`, `Bencher::iter` / `iter_batched`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — calibrate an iteration count to
+//! a target measurement window, time it, report the per-iteration mean
+//! (plus throughput when configured). No statistical analysis, HTML
+//! reports, or baseline comparison; numbers print to stdout in a stable
+//! one-line-per-benchmark format that the experiment docs can quote.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(200);
+/// Upper bound on calibrated iterations (guards against ~ns routines).
+const MAX_ITERS: u64 = 10_000_000;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream parses CLI filters here; the stand-in benches always run.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // The stand-in sizes samples by wall-clock time, not count.
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; records one calibrated, timed run.
+pub struct Bencher {
+    /// Mean per-iteration time of the measured sample.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate: grow the iteration count until the
+        // sample window is met, then time the full batch.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                self.mean = Some(elapsed / iters.max(1) as u32);
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                ((TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1) * iters
+            };
+            iters = grow.clamp(iters + 1, MAX_ITERS);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed region, once per iteration.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= MAX_ITERS {
+                self.mean = Some(elapsed / iters.max(1) as u32);
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                ((TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1) * iters
+            };
+            iters = grow.clamp(iters + 1, MAX_ITERS);
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(id: &str, throughput: Option<Throughput>, f: F) {
+    let mut b = Bencher { mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let mut line = format!("bench {id:<50} {:>12}/iter", format_duration(mean));
+            if let Some(t) = throughput {
+                let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+                match t {
+                    Throughput::Bytes(n) => {
+                        line.push_str(&format!("  {:>10.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                    }
+                    Throughput::Elements(n) => {
+                        line.push_str(&format!("  {:>10.0} elem/s", per_sec(n)));
+                    }
+                }
+            }
+            println!("{line}");
+        }
+        None => println!("bench {id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher { mean: None };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher { mean: None };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.mean.unwrap() > Duration::ZERO || b.mean.is_some());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

@@ -1,0 +1,632 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the slice of proptest's API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_filter_map` / `prop_recursive`, strategies for ranges, tuples,
+//! [`Just`], regex-literal `&str` strategies, `prop::collection::vec`,
+//! and the `proptest!` / `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number; cases
+//!   are generated from a deterministic per-(test, case) seed, so every
+//!   failure reproduces exactly on re-run.
+//! * **Regex strategies** support the subset used here: literals, char
+//!   classes (`[a-z0-9_]`, `[ -~]`), groups, `|`, and the `{m}`, `{m,n}`,
+//!   `?`, `*`, `+` quantifiers.
+//! * `.proptest-regressions` files are ignored.
+
+use std::rc::Rc;
+
+mod regex;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG.
+// ---------------------------------------------------------------------------
+
+/// Splitmix64-based generator; seeded per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut rng = TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        rng.next_u64();
+        rng
+    }
+
+    /// Seed for one test case: FNV-1a over the test name, mixed with the
+    /// case index.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::from_seed(h.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and the boxed strategy every combinator returns.
+// ---------------------------------------------------------------------------
+
+/// How many times filters retry before giving up on a strategy.
+const MAX_FILTER_RETRIES: usize = 10_000;
+
+/// A generator of test values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a clonable, reference-counted strategy.
+    fn boxed(self) -> Strat<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        Strat::new(move |rng| inner.generate(rng))
+    }
+
+    fn prop_map<U, F>(self, f: F) -> Strat<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self;
+        Strat::new(move |rng| f(inner.generate(rng)))
+    }
+
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Strat<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let inner = self;
+        let reason = reason.into();
+        Strat::new(move |rng| {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let v = inner.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {reason}");
+        })
+    }
+
+    fn prop_filter_map<U, F>(self, reason: impl Into<String>, f: F) -> Strat<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        let inner = self;
+        let reason = reason.into();
+        Strat::new(move |rng| {
+            for _ in 0..MAX_FILTER_RETRIES {
+                if let Some(u) = f(inner.generate(rng)) {
+                    return u;
+                }
+            }
+            panic!("prop_filter_map exhausted retries: {reason}");
+        })
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> Strat<S2::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy + 'static,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let inner = self;
+        Strat::new(move |rng| f(inner.generate(rng)).generate(rng))
+    }
+
+    /// Depth-bounded recursive strategy. `depth` levels are unrolled at
+    /// construction time; the innermost level generates leaves only, so
+    /// generation always terminates. The `_desired_size` and
+    /// `_expected_branch_size` hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Strat<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(Strat<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = recurse(strat).boxed();
+            // Bias toward recursion; the unrolling depth still bounds size.
+            strat = Strat::new(move |rng| {
+                if rng.unit_f64() < 0.25 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        strat
+    }
+}
+
+/// A clonable type-erased strategy (`BoxedStrategy` upstream).
+pub struct Strat<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for Strat<T> {
+    fn clone(&self) -> Self {
+        Strat {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strat<T> {
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Strat<T> {
+        Strat { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for Strat<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Upstream name for the same thing.
+pub type BoxedStrategy<T> = Strat<T>;
+
+/// Uniform choice among type-erased alternatives (used by `prop_oneof!`).
+pub fn one_of<T: 'static>(alts: Vec<Strat<T>>) -> Strat<T> {
+    assert!(
+        !alts.is_empty(),
+        "prop_oneof! needs at least one alternative"
+    );
+    Strat::new(move |rng| alts[rng.below(alts.len())].generate(rng))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies.
+// ---------------------------------------------------------------------------
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (*self.start() as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+impl Strategy for bool {
+    type Value = bool;
+    fn generate(&self, _rng: &mut TestRng) -> bool {
+        *self
+    }
+}
+
+/// A `&str` literal is a regex strategy over strings (upstream behavior).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies.
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strat, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length bounds for collection strategies (upstream `SizeRange`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> Strat<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        Strat::new(move |rng: &mut TestRng| {
+            let n = size.min + rng.below(size.max - size.min);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration.
+// ---------------------------------------------------------------------------
+
+/// Why a test case did not pass (upstream `TestCaseError`, minus
+/// shrinking metadata).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    pub use super::ProptestConfig;
+}
+
+pub mod strategy {
+    pub use super::{one_of, BoxedStrategy, Just, Strat, Strategy};
+}
+
+pub mod option {
+    use super::{Strat, Strategy, TestRng};
+
+    /// `Option<T>` strategy: `None` a quarter of the time (upstream
+    /// defaults to a similar leaning toward `Some`).
+    pub fn of<S>(element: S) -> Strat<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Strat::new(move |rng: &mut TestRng| {
+            if rng.unit_f64() < 0.25 {
+                None
+            } else {
+                Some(element.generate(rng))
+            }
+        })
+    }
+}
+
+/// What the prelude exports, mirroring `proptest::prelude::*` closely
+/// enough for this workspace: the strategy machinery, the macros (which
+/// `#[macro_export]` already puts at the crate root), and the crate
+/// itself under the name `prop` so `prop::collection::vec` resolves.
+pub mod prelude {
+    pub use super::strategy::{BoxedStrategy, Just, Strat, Strategy};
+    pub use super::{ProptestConfig, TestCaseError};
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    }};
+}
+
+/// Reject the current case and move on to the next one. Upstream
+/// regenerates a replacement case; the stand-in treats the case as
+/// passed, which is fine at the case counts used here. Expands to an
+/// early `return` from the closure `proptest!` wraps each case body in.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {:?} != {:?}", a, b);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!("prop_assert_eq failed: {:?} != {:?}: {}", a, b, format!($($fmt)+));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            panic!("prop_assert_ne failed: both {:?}", a);
+        }
+    }};
+}
+
+/// The test-harness macro. Each generated `#[test]` runs `config.cases`
+/// deterministic cases; a failing case's panic message is prefixed with
+/// the case index so it can be reproduced (seeding is by test name and
+/// case index, with no global state).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __guard = $crate::CasePanicContext::new(stringify!($name), __case);
+                    // The closure lets test bodies `return Ok(())` and
+                    // lets `prop_assume!` bail out early, as upstream.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!("proptest case failed: {e}");
+                    }
+                    ::std::mem::forget(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// Prints which deterministic case was running if the body panics
+/// (dropped normally — and forgotten — on success).
+pub struct CasePanicContext {
+    name: &'static str,
+    case: u32,
+}
+
+impl CasePanicContext {
+    pub fn new(name: &'static str, case: u32) -> CasePanicContext {
+        CasePanicContext { name, case }
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed at deterministic case {} of this run",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let mut rng = super::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let p = Strategy::generate(&"[a-z]{1,5}(/[a-z]{1,5}){0,3}", &mut rng);
+            assert!(p.split('/').count() <= 4 && !p.starts_with('/'), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = super::TestRng::from_seed(2);
+        let strat = prop_oneof![Just(1u32), (2u32..5).prop_map(|v| v * 10),]
+            .prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (20..50).contains(&v), "{v}");
+        }
+        let vecs = prop::collection::vec(0usize..10, 1..4);
+        for _ in 0..100 {
+            let v = vecs.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        struct T(Vec<T>);
+        fn depth(t: &T) -> usize {
+            1 + t.0.iter().map(depth).max().unwrap_or(0)
+        }
+        let leaf = Just(T(vec![])).boxed();
+        let tree = leaf.prop_recursive(3, 20, 3, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(T)
+        });
+        let mut rng = super::TestRng::from_seed(3);
+        for _ in 0..200 {
+            assert!(depth(&tree.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_runs(xs in prop::collection::vec(0u32..50, 0..6), flag in 0usize..2) {
+            prop_assert!(xs.len() < 6);
+            prop_assert_eq!(flag == 0 || flag == 1, true);
+            for x in xs {
+                prop_assert!(x < 50, "x was {}", x);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Tiny regex-to-generator for `&str` strategies.
+//!
+//! Supports the subset the workspace's tests use: literal characters,
+//! escaped characters, character classes with ranges (`[a-z0-9_]`,
+//! `[ -~]`), groups, alternation, and the `{m}`, `{m,n}`, `?`, `*`, `+`
+//! quantifiers. Unsupported syntax panics with the offending pattern so
+//! a test author notices immediately.
+
+use super::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Alternation of sequences.
+    Alt(Vec<Vec<(Node, Quant)>>),
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const QUANT_ONE: Quant = Quant { min: 1, max: 1 };
+/// Cap for unbounded quantifiers (`*`, `+`).
+const UNBOUNDED_CAP: u32 = 8;
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    };
+    let node = p.parse_alt();
+    if p.pos != p.chars.len() {
+        panic!(
+            "unsupported regex strategy {pattern:?}: trailing input at {}",
+            p.pos
+        );
+    }
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let seq = &alts[rng.below(alts.len())];
+            for (n, q) in seq {
+                let reps = q.min + (rng.below((q.max - q.min + 1) as usize) as u32);
+                for _ in 0..reps {
+                    emit(n, rng, out);
+                }
+            }
+        }
+        Node::Class(ranges) => {
+            // Weight by range width so e.g. [a-z0-9_] is roughly uniform
+            // over its 37 characters.
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (lo, hi) in ranges {
+                let w = *hi as u32 - *lo as u32 + 1;
+                if pick < w {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range is valid"));
+                    return;
+                }
+                pick -= w;
+            }
+            unreachable!("class pick within total weight");
+        }
+        Node::Literal(c) => out.push(*c),
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex strategy {:?}: {what} at position {}",
+            self.pattern, self.pos
+        );
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq());
+        }
+        Node::Alt(alts)
+    }
+
+    fn parse_seq(&mut self) -> Vec<(Node, Quant)> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let quant = self.parse_quant();
+            seq.push((atom, quant));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                let node = self.parse_alt();
+                if self.peek() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                self.bump();
+                node
+            }
+            '[' => self.parse_class(),
+            '\\' => {
+                if self.peek().is_none() {
+                    self.fail("dangling escape");
+                }
+                match self.bump() {
+                    'n' => Node::Literal('\n'),
+                    't' => Node::Literal('\t'),
+                    c => Node::Literal(c),
+                }
+            }
+            '.' => Node::Class(vec![(' ', '~')]),
+            c @ ('*' | '+' | '?' | '{') => {
+                self.fail(&format!("quantifier {c:?} with nothing to repeat"))
+            }
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.peek() == Some('^') {
+            self.fail("negated classes are not supported");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let Some(c) = self.peek() else {
+                self.fail("unclosed character class")
+            };
+            if c == ']' {
+                self.bump();
+                break;
+            }
+            let lo = match self.bump() {
+                '\\' => self.bump(),
+                c => c,
+            };
+            // `a-z` range, unless `-` is the last char before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    '\\' => self.bump(),
+                    c => c,
+                };
+                if hi < lo {
+                    self.fail("inverted class range");
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quant(&mut self) -> Quant {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Quant { min: 0, max: 1 }
+            }
+            Some('*') => {
+                self.bump();
+                Quant {
+                    min: 0,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('+') => {
+                self.bump();
+                Quant {
+                    min: 1,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number();
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        self.parse_number()
+                    }
+                    _ => min,
+                };
+                if self.peek() != Some('}') {
+                    self.fail("unclosed quantifier");
+                }
+                self.bump();
+                if max < min {
+                    self.fail("quantifier max below min");
+                }
+                Quant { min, max }
+            }
+            _ => QUANT_ONE,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            self.fail("expected a number in quantifier");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("digits")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pat: &str, seed: u64) -> String {
+        generate(pat, &mut TestRng::from_seed(seed))
+    }
+
+    #[test]
+    fn shapes() {
+        for seed in 0..100 {
+            let s = gen("[a-z][a-z0-9_]{0,8}", seed);
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            let t = gen("[ -~]{1,20}", seed);
+            assert!((1..=20).contains(&t.len()), "{t:?}");
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let p = gen("[a-z]{1,5}(/[a-z]{1,5}){0,3}", seed);
+            for part in p.split('/') {
+                assert!((1..=5).contains(&part.len()), "{p:?}");
+            }
+            let a = gen("foo|bar", seed);
+            assert!(a == "foo" || a == "bar");
+            let e = gen(r"a\.b", seed);
+            assert_eq!(e, "a.b");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn negated_class_panics() {
+        gen("[^a]", 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand`'s API it actually uses: a seedable
+//! small RNG (`rngs::SmallRng`), `Rng::gen_range` over half-open ranges
+//! of the common numeric types, and `Rng::gen_bool`. The generator is
+//! splitmix64 — deterministic across platforms for a given seed, which
+//! is all the workload generators need (they fix seeds for
+//! reproducibility). Stream values differ from upstream `rand`, so
+//! generated datasets are stable within this repo but not byte-identical
+//! to ones produced with the real crate.
+
+use std::ops::Range;
+
+/// Core entropy source: 64 random bits per step.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a range (`rand`'s
+/// `SampleUniform`, collapsed to one method).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "empty range in gen_range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_uniform!(f32, f64);
+
+/// Ranges a value can be sampled from (`rand`'s `SampleRange`). The
+/// single blanket impl matters: it lets inference resolve unsuffixed
+/// literals like `gen_range(0.5..1.5)` exactly as the real crate does.
+pub trait SampleRange<T> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, rng)
+    }
+}
+
+/// The user-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_one(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            // Pre-whiten so seeds 0 and 1 do not yield correlated streams.
+            let mut rng = SmallRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.5..1.5f64);
+            assert!((0.5..1.5).contains(&f));
+            let i = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}
