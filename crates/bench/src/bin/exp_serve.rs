@@ -1,0 +1,145 @@
+//! T9 — Daemon throughput and latency.
+//!
+//! Starts the `xia-server` daemon in-process over an XMark-like
+//! collection and hammers it with concurrent clients running the
+//! standard query mix, at several client counts. Reports aggregate
+//! throughput plus the daemon's own per-command latency telemetry
+//! (STATS), and finally times one online advisor cycle while queries
+//! are in flight. Expected shape: throughput grows with clients until
+//! the worker pool saturates; the advisor cycle does not deadlock or
+//! starve queries (it holds the database lock only in read mode while
+//! searching).
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_serve --release
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+use xia::prelude::*;
+use xia::server::Value;
+use xia_bench::{print_table, standard_queries, xmark_collection};
+
+const ROUNDS: usize = 40;
+
+fn start_daemon() -> Server {
+    let mut db = Database::new();
+    db.add_collection(xmark_collection(80));
+    Server::start(
+        db,
+        ServerConfig {
+            threads: 4,
+            budget_bytes: 512 << 10,
+            clock: Arc::new(FakeClock::new()),
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts")
+}
+
+fn hammer(addr: std::net::SocketAddr, clients: usize) -> (u64, f64) {
+    let queries: Vec<String> = standard_queries();
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|who| {
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut sent = 0u64;
+                for round in 0..ROUNDS {
+                    let q = &queries[(who + round) % queries.len()];
+                    let resp = c.query(q, None).expect("query");
+                    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                    sent += 1;
+                }
+                sent
+            })
+        })
+        .collect();
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("client")).sum();
+    (total, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8] {
+        let server = start_daemon();
+        let addr = server.addr();
+        let (requests, secs) = hammer(addr, clients);
+
+        // The daemon's own view of the run.
+        let mut c = Client::connect(addr).expect("stats connect");
+        let resp = c.command("stats").expect("stats");
+        let q = resp
+            .get("metrics")
+            .and_then(|m| m.get("commands"))
+            .and_then(|m| m.get("query"))
+            .expect("query metrics");
+        rows.push(vec![
+            clients.to_string(),
+            requests.to_string(),
+            format!("{:.0}", requests as f64 / secs),
+            format!("{:.0}", q.get_f64("mean_us").unwrap_or(0.0)),
+            format!("{:.0}", q.get_f64("p50_us").unwrap_or(0.0)),
+            format!("{:.0}", q.get_f64("p95_us").unwrap_or(0.0)),
+        ]);
+        drop(c);
+        server.stop();
+    }
+    print_table(
+        "T9: daemon query throughput (4 workers, XMark-80, standard mix)",
+        &[
+            "clients", "requests", "req/s", "mean µs", "p50 µs", "p95 µs",
+        ],
+        &rows,
+    );
+
+    // --- One advisor cycle under live traffic. ----------------------------
+    let server = start_daemon();
+    let addr = server.addr();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let bg = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("bg connect");
+            let queries = standard_queries();
+            let mut done = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let q = &queries[done as usize % queries.len()];
+                assert_eq!(
+                    c.query(q, None).expect("bg query").get_bool("ok"),
+                    Some(true)
+                );
+                done += 1;
+            }
+            done
+        })
+    };
+    // Let the monitor fill, then advise while the background client runs.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let mut c = Client::connect(addr).expect("advise connect");
+    let start = Instant::now();
+    let resp = c.command("advise").expect("advise");
+    let cycle_secs = start.elapsed().as_secs_f64();
+    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let bg_requests = bg.join().expect("background client");
+    let colls = resp
+        .get("report")
+        .and_then(|r| r.get("collections"))
+        .and_then(Value::as_arr)
+        .expect("collections");
+    println!(
+        "\nonline advisor cycle under load: {:.1} ms ({} captured statements, {} recommended), \
+         {bg_requests} concurrent queries kept flowing",
+        cycle_secs * 1e3,
+        colls[0].get_f64("statements").unwrap_or(0.0),
+        colls[0]
+            .get("recommended")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len)
+            .unwrap_or(0),
+    );
+    drop(c);
+    server.stop();
+}

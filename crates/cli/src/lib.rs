@@ -417,6 +417,11 @@ impl Session {
     }
 
     fn run(&self, rest: &str) -> Result<String, String> {
+        // `run profile <query>` executes with per-operator instrumentation.
+        let (first, tail) = split_word(rest);
+        if first == "profile" {
+            return self.run_profiled(tail);
+        }
         let coll = self.collection()?;
         let q = compile(rest.trim(), coll.name()).map_err(|e| e.to_string())?;
         let ex = explain(coll, &CostModel::default(), &q);
@@ -444,6 +449,19 @@ impl Session {
             let _ = writeln!(out, "  … {} more", rows.len() - 5);
         }
         Ok(out)
+    }
+
+    /// `run profile <query>`: execute and print the plan operator tree
+    /// with estimated vs actual cardinalities and per-operator wall time.
+    fn run_profiled(&self, rest: &str) -> Result<String, String> {
+        if rest.trim().is_empty() {
+            return Err("usage: run profile <query>".into());
+        }
+        let coll = self.collection()?;
+        let q = compile(rest.trim(), coll.name()).map_err(|e| e.to_string())?;
+        let ex = explain(coll, &CostModel::default(), &q);
+        let profile = profile_execute(coll, &q, &ex.plan).map_err(|e| e.to_string())?;
+        Ok(profile.render())
     }
 
     /// Scripted end-to-end walkthrough (the demo's storyline in one shot).
@@ -515,6 +533,7 @@ commands:
   drop <id>                     drop a physical index
   explain <query>               optimizer plan under current indexes
   run <query>                   execute a query, show results and counters
+  run profile <query>           execute with per-operator est/actual rows + timings
   save <dir> | open <dir>       snapshot / restore the whole database
   quit";
 
@@ -562,6 +581,27 @@ mod tests {
 
         let out = ok(&mut s, "run //closed_auction[price >= 700]/date");
         assert!(out.contains("results"));
+
+        let out = ok(&mut s, "run profile //closed_auction[price >= 700]/date");
+        assert!(out.contains("XISCAN"), "profiled index plan: {out}");
+        assert!(out.contains("est "), "estimated rows shown: {out}");
+        assert!(out.contains("act "), "actual rows shown: {out}");
+        assert!(out.contains("total:"), "totals line shown: {out}");
+    }
+
+    #[test]
+    fn run_profile_matches_plain_run_counts() {
+        let mut s = Session::new();
+        ok(&mut s, "load xmark 40");
+        let plain = ok(&mut s, "run /site/regions/africa/item/quantity");
+        let profiled = ok(&mut s, "run profile /site/regions/africa/item/quantity");
+        // Same result cardinality through both paths.
+        let n = plain.split(" results").next().unwrap().trim().to_string();
+        assert!(
+            profiled.contains(&format!("act {n},")),
+            "root actual rows must equal plain run's result count ({n}): {profiled}"
+        );
+        assert!(s.exec("run profile").is_err(), "query required");
     }
 
     #[test]

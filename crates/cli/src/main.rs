@@ -1,12 +1,28 @@
 //! Interactive console for the XML Index Advisor.
 //!
-//! Run `cargo run -p xia-cli --release`, then `help` for commands, or
-//! pipe a script: `echo "demo" | cargo run -p xia-cli --release`.
+//! Three modes:
+//!
+//! * no arguments — the classic single-process console (`help` lists
+//!   commands; pipe a script via stdin);
+//! * `serve` — run the advisor daemon over TCP (see `serve --help`);
+//! * `client <addr> [command…]` — talk to a running daemon, either one
+//!   command per invocation or as a line-oriented shell.
 
 use std::io::{BufRead, Write};
+use xia::prelude::*;
+use xia::server::Value;
 use xia_cli::Session;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        _ => repl(),
+    }
+}
+
+fn repl() {
     let mut session = Session::new();
     let stdin = std::io::stdin();
     let interactive = std::env::args().all(|a| a != "--quiet");
@@ -41,4 +57,234 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+}
+
+const SERVE_HELP: &str = "\
+usage: xia-cli serve [options]
+  --addr <host:port>   bind address             (default 127.0.0.1:4004)
+  --xmark <docs>       load an XMark-like collection of <docs> documents
+                       into 'auctions'          (default 100)
+  --open <dir>         open a database snapshot instead of generating data
+  --threads <n>        worker threads           (default 4)
+  --budget <KiB>       advisor disk budget      (default 512)
+  --interval <secs>    background advisor period (default: manual ADVISE only)
+  --auto-apply         let advisor cycles create missing indexes";
+
+fn serve(args: &[String]) {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:4004".to_string(),
+        ..Default::default()
+    };
+    let mut xmark_docs = 100usize;
+    let mut open_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut req = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value\n{SERVE_HELP}");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = req("--addr"),
+            "--xmark" => xmark_docs = req("--xmark").parse().unwrap_or(100),
+            "--open" => open_dir = Some(req("--open")),
+            "--threads" => cfg.threads = req("--threads").parse().unwrap_or(4),
+            "--budget" => {
+                cfg.budget_bytes = req("--budget").parse::<u64>().unwrap_or(512) << 10;
+            }
+            "--interval" => {
+                let secs: f64 = req("--interval").parse().unwrap_or(30.0);
+                cfg.advise_interval = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--auto-apply" => cfg.auto_apply = true,
+            "--help" | "-h" => {
+                println!("{SERVE_HELP}");
+                return;
+            }
+            other => {
+                eprintln!("unknown option '{other}'\n{SERVE_HELP}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = match open_dir {
+        Some(dir) => match load_database(std::path::Path::new(&dir)) {
+            Ok(db) => {
+                println!(
+                    "opened snapshot {dir}: {} collection(s)",
+                    db.collections().count()
+                );
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut coll = Collection::new("auctions");
+            let n = XMarkGen::new(XMarkConfig {
+                docs: xmark_docs,
+                ..Default::default()
+            })
+            .populate(&mut coll);
+            println!("generated {n} XMark-like documents into 'auctions'");
+            let mut db = Database::new();
+            db.add_collection(coll);
+            db
+        }
+    };
+
+    match Server::start(db, cfg) {
+        Ok(server) => {
+            println!(
+                "xia daemon listening on {} (try: xia-cli client {} stats)",
+                server.addr(),
+                server.addr()
+            );
+            server.join();
+        }
+        Err(e) => {
+            eprintln!("cannot start daemon: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn client(args: &[String]) {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: xia-cli client <host:port> [command…]");
+        std::process::exit(2);
+    };
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.len() > 1 {
+        let line = args[1..].join(" ");
+        run_client_line(&mut c, &line);
+        return;
+    }
+    println!("connected to {addr}; one command per line, 'quit' to leave.");
+    let stdin = std::io::stdin();
+    let mut lock = stdin.lock();
+    let mut line = String::new();
+    loop {
+        print!("{addr}> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match lock.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        run_client_line(&mut c, trimmed);
+    }
+}
+
+/// Turn one shell line into a request, send it, pretty-print the answer.
+fn run_client_line(c: &mut Client, line: &str) {
+    let request = match build_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    match c.call(&request) {
+        Ok(resp) => print_response(&resp),
+        Err(e) => println!("transport error: {e}"),
+    }
+}
+
+fn build_request(line: &str) -> Result<Value, String> {
+    if line.starts_with('{') {
+        return xia::server::json::parse(line).map_err(|e| e.to_string());
+    }
+    let (word, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    let mut fields = vec![("cmd", Value::str(word))];
+    match word {
+        "query" | "explain" | "profile" => {
+            if rest.is_empty() {
+                return Err(format!("usage: {word} <query>"));
+            }
+            fields.push(("q", Value::str(rest)));
+        }
+        "create-index" | "create_index" => {
+            let (pattern, dtype) = match rest.rfind(char::is_whitespace) {
+                Some(i) => (&rest[..i], rest[i..].trim()),
+                None => (rest, "VARCHAR"),
+            };
+            if pattern.is_empty() {
+                return Err("usage: create-index <pattern> [VARCHAR|DOUBLE]".into());
+            }
+            fields.push(("pattern", Value::str(pattern)));
+            fields.push(("type", Value::str(dtype)));
+        }
+        "drop-index" | "drop_index" => {
+            let id: f64 = rest
+                .trim_start_matches("idx")
+                .parse()
+                .map_err(|_| "usage: drop-index <id>")?;
+            fields.push(("id", Value::num(id)));
+        }
+        "recommend" => {
+            let mut parts = rest.split_whitespace();
+            if let Some(kib) = parts.next() {
+                let kib: f64 = kib
+                    .parse()
+                    .map_err(|_| "usage: recommend [KiB] [strategy]")?;
+                fields.push(("budget_kib", Value::num(kib)));
+            }
+            if let Some(strategy) = parts.next() {
+                fields.push(("strategy", Value::str(strategy)));
+            }
+        }
+        _ => {
+            // ping / stats / advise / workload / shutdown — bare commands.
+            if !rest.is_empty() {
+                return Err(format!("'{word}' takes no arguments here"));
+            }
+        }
+    }
+    Ok(Value::obj(fields))
+}
+
+fn print_response(resp: &Value) {
+    // Prefer a human-readable field when the server provides one. QUERY
+    // responses also carry a one-token "plan" — keep those as JSON so
+    // results and counters stay visible.
+    for field in ["text", "profile"] {
+        if let Some(s) = resp.get_str(field) {
+            print!("{s}");
+            if !s.ends_with('\n') {
+                println!();
+            }
+            return;
+        }
+    }
+    if resp.get("results").is_none() {
+        if let Some(s) = resp.get_str("plan") {
+            println!("{s}");
+            return;
+        }
+    }
+    println!("{resp}");
 }

@@ -145,7 +145,7 @@ pub fn execute(
 
 /// Probe one index leg and return the candidate documents it yields,
 /// updating the probe/entry/page counters.
-fn leg_candidate_docs(
+pub(crate) fn leg_candidate_docs(
     collection: &Collection,
     query: &NormalizedQuery,
     leg: &crate::plan::IndexLeg,
@@ -196,7 +196,11 @@ fn probe_pages(ix: &PhysicalIndex, structural: bool, entries_touched: usize) -> 
 }
 
 /// Does `node`'s root-to-node label path match the query path?
-fn node_matches_path(doc: &xia_xml::Document, node: NodeId, path: &xia_xpath::LinearPath) -> bool {
+pub(crate) fn node_matches_path(
+    doc: &xia_xml::Document,
+    node: NodeId,
+    path: &xia_xpath::LinearPath,
+) -> bool {
     let labels: Vec<&str> = doc
         .label_path(node)
         .iter()

@@ -24,6 +24,7 @@ pub mod executor;
 pub mod explain;
 pub mod optimize;
 pub mod plan;
+pub mod profile;
 
 pub use catalog::Catalog;
 pub use cost::{CostModel, QueryCost};
@@ -34,3 +35,4 @@ pub use explain::{
 };
 pub use optimize::{atom_predicate, optimize};
 pub use plan::{AccessPath, IndexLeg, Plan};
+pub use profile::{profile_execute, Profile, ProfileNode};

@@ -1,0 +1,364 @@
+//! PROFILE: execute a plan and annotate each operator with its actual
+//! behaviour.
+//!
+//! EXPLAIN shows the optimizer's *estimates*; PROFILE runs the plan and
+//! shows, per operator, estimated vs. actual cardinality and the wall
+//! time spent in that operator — the standard way to spot a cost-model
+//! mis-estimate (an operator whose `est` and `act` diverge) without
+//! leaving the console. Results are identical to [`crate::execute`];
+//! only the bookkeeping differs.
+
+use crate::executor::{leg_candidate_docs, node_matches_path, ExecError, ExecStats};
+use crate::plan::{AccessPath, IndexLeg, Plan};
+use std::time::{Duration, Instant};
+use xia_storage::{Collection, DocId};
+use xia_xml::NodeId;
+use xia_xquery::NormalizedQuery;
+
+/// One operator of a profiled plan.
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Operator name plus detail (index id, pattern, match flags).
+    pub label: String,
+    /// The optimizer's cardinality estimate for this operator's output.
+    pub est_rows: f64,
+    /// Rows the operator actually produced.
+    pub actual_rows: usize,
+    /// Wall time spent inside the operator (children excluded).
+    pub wall: Duration,
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn leaf(label: String, est_rows: f64, actual_rows: usize, wall: Duration) -> ProfileNode {
+        ProfileNode {
+            label,
+            est_rows,
+            actual_rows,
+            wall,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// A profiled execution: the operator tree plus the usual results and
+/// work counters.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    pub root: ProfileNode,
+    pub results: Vec<(DocId, NodeId)>,
+    pub stats: ExecStats,
+    /// End-to-end wall time (equals the root's subtree time).
+    pub total: Duration,
+}
+
+impl Profile {
+    /// Render the operator tree, one operator per line:
+    ///
+    /// ```text
+    /// FETCH + verify (est 12.0, act 9, 0.41 ms)
+    ///   IXAND (est 20.0, act 15, 0.02 ms)
+    ///     XISCAN idx1 pattern='//item/price' [sargable] (est 40.0, act 38, 0.11 ms)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_node(&self.root, 0, &mut out);
+        out.push_str(&format!(
+            "total: {:.2} ms | {} docs evaluated, {} index probes, {} entries scanned, {} pages read\n",
+            self.total.as_secs_f64() * 1e3,
+            self.stats.docs_evaluated,
+            self.stats.index_probes,
+            self.stats.entries_scanned,
+            self.stats.pages_read,
+        ));
+        out
+    }
+}
+
+fn render_node(n: &ProfileNode, depth: usize, out: &mut String) {
+    out.push_str(&format!(
+        "{:indent$}{} (est {:.1}, act {}, {:.2} ms)\n",
+        "",
+        n.label,
+        n.est_rows,
+        n.actual_rows,
+        n.wall.as_secs_f64() * 1e3,
+        indent = depth * 2
+    ));
+    for c in &n.children {
+        render_node(c, depth + 1, out);
+    }
+}
+
+fn leg_label(leg: &IndexLeg) -> String {
+    format!(
+        "XISCAN {} pattern='{}'{}{}",
+        leg.index,
+        leg.pattern,
+        if leg.matched.structural_only {
+            " [structural]"
+        } else {
+            " [sargable]"
+        },
+        if leg.matched.needs_path_recheck {
+            " [recheck]"
+        } else {
+            ""
+        },
+    )
+}
+
+/// Probe one leg under a stopwatch; returns its candidates and profile
+/// node (actual rows = candidate documents the leg produced).
+fn profile_leg(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    leg: &IndexLeg,
+    stats: &mut ExecStats,
+) -> Result<(Vec<DocId>, ProfileNode), ExecError> {
+    let start = Instant::now();
+    let mut docs = leg_candidate_docs(collection, query, leg, stats)?;
+    docs.sort_unstable();
+    docs.dedup();
+    let node = ProfileNode::leaf(leg_label(leg), leg.est_results, docs.len(), start.elapsed());
+    Ok((docs, node))
+}
+
+/// Execute `plan` for `query` over `collection`, recording per-operator
+/// estimated vs. actual cardinalities and wall time.
+pub fn profile_execute(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    plan: &Plan,
+) -> Result<Profile, ExecError> {
+    let overall = Instant::now();
+    let mut stats = ExecStats::default();
+
+    // Index-only plans answer straight from the postings; profile them
+    // as a single operator.
+    if let AccessPath::IndexOnly { leg } = &plan.access {
+        let start = Instant::now();
+        let ix = collection
+            .index(leg.index)
+            .ok_or_else(|| ExecError(format!("index {} is not physical", leg.index)))?;
+        let atom = query
+            .atoms
+            .get(leg.atom)
+            .ok_or_else(|| ExecError(format!("plan references missing atom {}", leg.atom)))?;
+        stats.index_probes = 1;
+        stats.pages_read += ix.btree_levels() + ix.page_count();
+        let mut out: Vec<(DocId, NodeId)> = Vec::new();
+        for p in ix.scan() {
+            stats.entries_scanned += 1;
+            let doc_id = DocId(p.doc);
+            let Some(doc) = collection.get(doc_id) else {
+                continue;
+            };
+            let node = NodeId::from_u32(p.node);
+            if leg.matched.needs_path_recheck && !node_matches_path(doc, node, &atom.path) {
+                continue;
+            }
+            out.push((doc_id, node));
+        }
+        out.sort_unstable_by_key(|&(d, n)| (d, n.as_u32()));
+        stats.results = out.len();
+        let root = ProfileNode::leaf(
+            format!("XISCAN-ONLY {} pattern='{}'", leg.index, leg.pattern),
+            plan.est_results,
+            out.len(),
+            start.elapsed(),
+        );
+        return Ok(Profile {
+            root,
+            results: out,
+            stats,
+            total: overall.elapsed(),
+        });
+    }
+
+    // All other access paths: gather candidate documents (profiling each
+    // index leg), then fetch + verify navigationally.
+    let mut children: Vec<ProfileNode> = Vec::new();
+    let candidates: Vec<DocId> = match &plan.access {
+        AccessPath::IndexOnly { .. } => unreachable!("handled above"),
+        AccessPath::DocScan => {
+            let start = Instant::now();
+            stats.pages_read += collection.stats().data_pages() as usize;
+            let docs: Vec<DocId> = collection.documents().map(|(id, _)| id).collect();
+            children.push(ProfileNode::leaf(
+                "XSCAN (full collection scan)".into(),
+                collection.len() as f64,
+                docs.len(),
+                start.elapsed(),
+            ));
+            docs
+        }
+        AccessPath::IndexOr { legs } => {
+            let start = Instant::now();
+            let mut legs_wall = Duration::ZERO;
+            let mut docs: Vec<DocId> = Vec::new();
+            let mut leg_nodes = Vec::with_capacity(legs.len());
+            for leg in legs {
+                let (leg_docs, node) = profile_leg(collection, query, leg, &mut stats)?;
+                legs_wall += node.wall;
+                leg_nodes.push(node);
+                docs.extend(leg_docs);
+            }
+            docs.sort_unstable();
+            docs.dedup();
+            children.push(ProfileNode {
+                label: "IXOR (index ORing)".into(),
+                est_rows: plan.est_docs_fetched,
+                actual_rows: docs.len(),
+                wall: start.elapsed().saturating_sub(legs_wall),
+                children: leg_nodes,
+            });
+            docs
+        }
+        AccessPath::IndexAccess { legs } => {
+            let start = Instant::now();
+            let mut legs_wall = Duration::ZERO;
+            let mut sets: Vec<Vec<DocId>> = Vec::with_capacity(legs.len());
+            let mut leg_nodes = Vec::with_capacity(legs.len());
+            for leg in legs {
+                let (leg_docs, node) = profile_leg(collection, query, leg, &mut stats)?;
+                legs_wall += node.wall;
+                leg_nodes.push(node);
+                sets.push(leg_docs);
+            }
+            let docs: Vec<DocId> = match sets.split_first() {
+                None => collection.documents().map(|(id, _)| id).collect(),
+                Some((first, rest)) => first
+                    .iter()
+                    .copied()
+                    .filter(|d| rest.iter().all(|s| s.binary_search(d).is_ok()))
+                    .collect(),
+            };
+            if legs.len() > 1 {
+                children.push(ProfileNode {
+                    label: "IXAND (index ANDing)".into(),
+                    est_rows: plan.est_docs_fetched,
+                    actual_rows: docs.len(),
+                    wall: start.elapsed().saturating_sub(legs_wall),
+                    children: leg_nodes,
+                });
+            } else {
+                children.extend(leg_nodes);
+            }
+            docs
+        }
+    };
+
+    let verify_start = Instant::now();
+    let mut out: Vec<(DocId, NodeId)> = Vec::new();
+    let fetch_counts = !matches!(plan.access, AccessPath::DocScan);
+    for doc_id in candidates {
+        let Some(doc) = collection.get(doc_id) else {
+            continue;
+        };
+        stats.docs_evaluated += 1;
+        if fetch_counts {
+            stats.pages_read += doc.byte_size().div_ceil(xia_storage::PAGE_SIZE).max(1);
+        }
+        for node in query.run_on_document(doc) {
+            out.push((doc_id, node));
+        }
+    }
+    stats.results = out.len();
+
+    let root = ProfileNode {
+        label: if matches!(plan.access, AccessPath::DocScan) {
+            "NAV-EVAL (navigational evaluation)".into()
+        } else {
+            "FETCH + verify (residual predicates)".into()
+        },
+        est_rows: plan.est_results,
+        actual_rows: out.len(),
+        wall: verify_start.elapsed(),
+        children,
+    };
+    Ok(Profile {
+        root,
+        results: out,
+        stats,
+        total: overall.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, explain, CostModel};
+    use xia_index::{DataType, IndexDefinition, IndexId};
+    use xia_xml::DocumentBuilder;
+    use xia_xpath::LinearPath;
+    use xia_xquery::compile;
+
+    fn collection(n: usize) -> Collection {
+        let mut c = Collection::new("shop");
+        for i in 0..n {
+            let mut b = DocumentBuilder::new();
+            b.open("shop");
+            b.open("item");
+            b.leaf("price", &format!("{}", i % 20));
+            b.leaf("name", &format!("n{}", i % 4));
+            b.close();
+            b.close();
+            c.insert(b.finish().unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn profile_matches_execute_on_docscan() {
+        let c = collection(80);
+        let q = compile("//item[price > 15]/name", "shop").unwrap();
+        let ex = explain(&c, &CostModel::default(), &q);
+        let (rows, stats) = execute(&c, &q, &ex.plan).unwrap();
+        let p = profile_execute(&c, &q, &ex.plan).unwrap();
+        assert_eq!(p.results, rows, "profiled results identical");
+        assert_eq!(p.stats, stats, "profiled counters identical");
+        assert_eq!(p.root.actual_rows, rows.len());
+        let text = p.render();
+        assert!(text.contains("XSCAN"), "{text}");
+        assert!(text.contains("est"), "{text}");
+    }
+
+    #[test]
+    fn profile_matches_execute_with_indexes() {
+        let mut c = collection(120);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        let q = compile("//item[price = 3]/name", "shop").unwrap();
+        let ex = explain(&c, &CostModel::default(), &q);
+        assert!(ex.plan.uses_indexes(), "{}", ex.text);
+        let (rows, stats) = execute(&c, &q, &ex.plan).unwrap();
+        let p = profile_execute(&c, &q, &ex.plan).unwrap();
+        assert_eq!(p.results, rows);
+        assert_eq!(p.stats, stats);
+        let text = p.render();
+        assert!(text.contains("XISCAN"), "{text}");
+        assert!(text.contains("FETCH"), "{text}");
+        // Actual cardinalities are threaded through each operator.
+        assert_eq!(p.root.actual_rows, rows.len());
+        assert!(!p.root.children.is_empty());
+    }
+
+    #[test]
+    fn profile_missing_index_is_an_error() {
+        let mut c = collection(120);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        let q = compile("//item[price = 3]/name", "shop").unwrap();
+        let ex = explain(&c, &CostModel::default(), &q);
+        assert!(ex.plan.uses_indexes(), "{}", ex.text);
+        c.drop_index(IndexId(1));
+        assert!(profile_execute(&c, &q, &ex.plan).is_err());
+    }
+}

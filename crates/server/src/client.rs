@@ -1,0 +1,73 @@
+//! A small blocking client for the daemon's line protocol.
+//!
+//! One TCP connection, one request/response pair per call. Used by the
+//! CLI `client` subcommand, the benchmark harness and the tests; the
+//! protocol is plain enough that any language's socket + JSON libraries
+//! can speak it too.
+
+use crate::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `127.0.0.1:4000`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Send one request object and block for its response.
+    ///
+    /// Returns `Err` only on transport/parse failures; protocol-level
+    /// errors come back as a response with `ok: false`.
+    pub fn call(&mut self, request: &Value) -> std::io::Result<Value> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            if !line.trim().is_empty() {
+                break;
+            }
+            line.clear();
+        }
+        json::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response: {e}"),
+            )
+        })
+    }
+
+    /// Shorthand: a request with just a `cmd` field.
+    pub fn command(&mut self, cmd: &str) -> std::io::Result<Value> {
+        self.call(&Value::obj(vec![("cmd", Value::str(cmd))]))
+    }
+
+    /// Shorthand: run a query against `collection` (or the daemon's sole
+    /// collection when `None`).
+    pub fn query(&mut self, q: &str, collection: Option<&str>) -> std::io::Result<Value> {
+        let mut fields = vec![("cmd", Value::str("query")), ("q", Value::str(q))];
+        if let Some(c) = collection {
+            fields.push(("collection", Value::str(c)));
+        }
+        self.call(&Value::obj(fields))
+    }
+}

@@ -1,0 +1,41 @@
+//! # xia-server — the advisor as a daemon
+//!
+//! Everything below `xia-server` in the stack is a library: you load
+//! documents, run queries, and ask the advisor for a recommendation,
+//! all in one process and one thread. This crate turns that library
+//! into a long-running **service** with the paper's missing operational
+//! half: *continuous* workload capture and *online* re-advising.
+//!
+//! ```text
+//!   clients ──TCP──▶ acceptor ──▶ worker pool ──▶ dispatch
+//!                                      │              │
+//!                                      │   QUERY ─────┼──▶ WorkloadMonitor
+//!                                      │              │         │ snapshot
+//!                                      ▼              ▼         ▼
+//!                                   Metrics      RwLock<Database> ◀── advisor
+//!                                                                     thread
+//! ```
+//!
+//! The wire protocol is one JSON object per line in each direction —
+//! see [`server::handle_line`] for the command set. The JSON codec is
+//! hand-rolled ([`json`]) because the build is offline and the protocol
+//! needs nothing fancy.
+//!
+//! The interesting invariant, exercised by the `online_loop`
+//! integration test: a RECOMMEND against the live daemon is
+//! **byte-identical** to running the offline advisor over the same
+//! captured workload, because both paths materialize the monitor
+//! snapshot into the same `Workload` and run the same search. The
+//! daemon adds capture and concurrency, never a different answer.
+
+pub mod advise;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use advise::{CollectionCycle, CycleReport};
+pub use client::Client;
+pub use json::Value;
+pub use metrics::{Command, Metrics};
+pub use server::{Server, ServerConfig, ServerState};

@@ -1,0 +1,297 @@
+//! Per-request server telemetry: counters and latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64`) so the hot request path never
+//! serializes on a metrics mutex. Latencies go into per-command
+//! power-of-two histograms (bucket *i* holds requests that took
+//! `< 2^i µs`), from which STATS reports approximate p50/p95 and max.
+
+use crate::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Protocol commands, used to index the per-command metrics tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    Ping,
+    Query,
+    Explain,
+    Profile,
+    CreateIndex,
+    DropIndex,
+    Insert,
+    Recommend,
+    Advise,
+    WorkloadDump,
+    Stats,
+    Shutdown,
+    Unknown,
+}
+
+impl Command {
+    pub const COUNT: usize = 13;
+
+    pub fn all() -> [Command; Command::COUNT] {
+        use Command::*;
+        [
+            Ping,
+            Query,
+            Explain,
+            Profile,
+            CreateIndex,
+            DropIndex,
+            Insert,
+            Recommend,
+            Advise,
+            WorkloadDump,
+            Stats,
+            Shutdown,
+            Unknown,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Command::Ping => "ping",
+            Command::Query => "query",
+            Command::Explain => "explain",
+            Command::Profile => "profile",
+            Command::CreateIndex => "create_index",
+            Command::DropIndex => "drop_index",
+            Command::Insert => "insert",
+            Command::Recommend => "recommend",
+            Command::Advise => "advise",
+            Command::WorkloadDump => "workload",
+            Command::Stats => "stats",
+            Command::Shutdown => "shutdown",
+            Command::Unknown => "unknown",
+        }
+    }
+
+    /// Parse the request's `cmd` field (case-insensitive; `-` == `_`).
+    pub fn parse(s: &str) -> Command {
+        match s.to_ascii_lowercase().replace('-', "_").as_str() {
+            "ping" => Command::Ping,
+            "query" => Command::Query,
+            "explain" => Command::Explain,
+            "profile" => Command::Profile,
+            "create_index" => Command::CreateIndex,
+            "drop_index" => Command::DropIndex,
+            "insert" => Command::Insert,
+            "recommend" => Command::Recommend,
+            "advise" => Command::Advise,
+            "workload" => Command::WorkloadDump,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            _ => Command::Unknown,
+        }
+    }
+
+    fn index(self) -> usize {
+        use Command::*;
+        match self {
+            Ping => 0,
+            Query => 1,
+            Explain => 2,
+            Profile => 3,
+            CreateIndex => 4,
+            DropIndex => 5,
+            Insert => 6,
+            Recommend => 7,
+            Advise => 8,
+            WorkloadDump => 9,
+            Stats => 10,
+            Shutdown => 11,
+            Unknown => 12,
+        }
+    }
+}
+
+/// Latency buckets: bucket i counts requests with latency < 2^i µs;
+/// the last bucket is unbounded (≥ ~134 s never happens in practice).
+const BUCKETS: usize = 28;
+
+struct CommandMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    completed: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+    histogram: [AtomicU64; BUCKETS],
+}
+
+impl CommandMetrics {
+    fn new() -> CommandMetrics {
+        CommandMetrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+            histogram: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Upper bound (µs) of the histogram bucket holding quantile `q`.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.completed.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.histogram.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+}
+
+/// Server-wide request metrics.
+pub struct Metrics {
+    commands: Vec<CommandMetrics>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics {
+            commands: (0..Command::COUNT).map(|_| CommandMetrics::new()).collect(),
+        }
+    }
+
+    /// Count an arriving request (before it is handled, so STATS sees
+    /// itself and in-flight requests).
+    pub fn begin(&self, cmd: Command) {
+        self.commands[cmd.index()]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a finished request: latency and error status.
+    pub fn finish(&self, cmd: Command, latency_us: u64, ok: bool) {
+        let m = &self.commands[cmd.index()];
+        m.completed.fetch_add(1, Ordering::Relaxed);
+        m.total_us.fetch_add(latency_us, Ordering::Relaxed);
+        m.max_us.fetch_max(latency_us, Ordering::Relaxed);
+        if !ok {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = (64 - latency_us.leading_zeros() as usize).min(BUCKETS - 1);
+        m.histogram[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total_requests(&self) -> u64 {
+        self.commands
+            .iter()
+            .map(|m| m.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn total_errors(&self) -> u64 {
+        self.commands
+            .iter()
+            .map(|m| m.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The STATS payload: per-command counters and latency summary.
+    pub fn snapshot_json(&self) -> Value {
+        let mut commands = Vec::new();
+        for cmd in Command::all() {
+            let m = &self.commands[cmd.index()];
+            let requests = m.requests.load(Ordering::Relaxed);
+            if requests == 0 {
+                continue;
+            }
+            let completed = m.completed.load(Ordering::Relaxed);
+            let mean_us = if completed == 0 {
+                0.0
+            } else {
+                m.total_us.load(Ordering::Relaxed) as f64 / completed as f64
+            };
+            commands.push((
+                cmd.label().to_string(),
+                Value::obj(vec![
+                    ("requests", Value::num(requests as f64)),
+                    ("completed", Value::num(completed as f64)),
+                    (
+                        "errors",
+                        Value::num(m.errors.load(Ordering::Relaxed) as f64),
+                    ),
+                    ("mean_us", Value::num(mean_us)),
+                    ("p50_us", Value::num(m.quantile_us(0.50) as f64)),
+                    ("p95_us", Value::num(m.quantile_us(0.95) as f64)),
+                    (
+                        "max_us",
+                        Value::num(m.max_us.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ));
+        }
+        Value::obj(vec![
+            ("requests", Value::num(self.total_requests() as f64)),
+            ("errors", Value::num(self.total_errors() as f64)),
+            ("commands", Value::Obj(commands)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_command() {
+        let m = Metrics::new();
+        for _ in 0..5 {
+            m.begin(Command::Query);
+            m.finish(Command::Query, 100, true);
+        }
+        m.begin(Command::Query);
+        m.finish(Command::Query, 900, false);
+        m.begin(Command::Stats);
+        m.finish(Command::Stats, 10, true);
+
+        assert_eq!(m.total_requests(), 7);
+        assert_eq!(m.total_errors(), 1);
+        let snap = m.snapshot_json();
+        let q = snap.get("commands").unwrap().get("query").unwrap();
+        assert_eq!(q.get_f64("requests"), Some(6.0));
+        assert_eq!(q.get_f64("errors"), Some(1.0));
+        assert!(q.get_f64("max_us").unwrap() >= 900.0);
+        // p50 of five 100µs + one 900µs sits in the 128µs bucket.
+        assert_eq!(q.get_f64("p50_us"), Some(128.0));
+    }
+
+    #[test]
+    fn unused_commands_are_omitted_from_snapshot() {
+        let m = Metrics::new();
+        m.begin(Command::Ping);
+        m.finish(Command::Ping, 1, true);
+        let snap = m.snapshot_json();
+        let commands = snap.get("commands").unwrap();
+        assert!(commands.get("ping").is_some());
+        assert!(commands.get("query").is_none());
+    }
+
+    #[test]
+    fn command_parsing_is_lenient() {
+        assert_eq!(Command::parse("QUERY"), Command::Query);
+        assert_eq!(Command::parse("create-index"), Command::CreateIndex);
+        assert_eq!(Command::parse("CREATE_INDEX"), Command::CreateIndex);
+        assert_eq!(Command::parse("bogus"), Command::Unknown);
+        // Every command's label parses back to itself.
+        for cmd in Command::all() {
+            if cmd != Command::Unknown {
+                assert_eq!(Command::parse(cmd.label()), cmd);
+            }
+        }
+    }
+}

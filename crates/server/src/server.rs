@@ -1,0 +1,675 @@
+//! The daemon: a TCP listener, a fixed worker pool, and the shared
+//! state every request path runs against.
+//!
+//! Concurrency model (std only, no async runtime):
+//!
+//! * one **acceptor** thread pushes incoming connections onto a channel;
+//! * a **fixed pool** of worker threads pops connections and serves
+//!   them for their whole lifetime (line-delimited JSON, one response
+//!   line per request line);
+//! * reads (QUERY/EXPLAIN/PROFILE/RECOMMEND/STATS) take the database
+//!   `RwLock` shared, writes (INSERT/CREATE-INDEX) take it exclusive;
+//! * every executed query is fed to the [`WorkloadMonitor`], and an
+//!   optional **background advisor** thread periodically turns the
+//!   monitor into a `Workload`, re-runs the advisor and reports drift
+//!   (see [`crate::advise`]).
+//!
+//! Worker sockets use a short read timeout so the pool drains promptly
+//! on shutdown even when clients keep idle connections open.
+
+use crate::advise::{run_cycle, CycleReport};
+use crate::json::{self, Value};
+use crate::metrics::{Command, Metrics};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use xia_advisor::{Advisor, SearchStrategy};
+use xia_index::{DataType, IndexDefinition, IndexId};
+use xia_optimizer::{execute, explain, profile_execute};
+use xia_storage::Database;
+use xia_workload::{Clock, MonitorConfig, SystemClock, WorkloadMonitor};
+use xia_xpath::LinearPath;
+use xia_xquery::compile;
+
+/// Daemon configuration.
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (reported by `addr()`).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Disk budget handed to the advisor, in bytes.
+    pub budget_bytes: u64,
+    pub strategy: SearchStrategy,
+    /// Create recommended-but-missing indexes at the end of each cycle.
+    pub auto_apply: bool,
+    /// Background advisor period; `None` disables the thread (cycles
+    /// then run only via the ADVISE command or [`ServerHandle::force_cycle`]).
+    pub advise_interval: Option<Duration>,
+    pub monitor: MonitorConfig,
+    /// Injectable time source for the monitor's decay math.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            budget_bytes: 512 << 10,
+            strategy: SearchStrategy::GreedyHeuristic,
+            auto_apply: false,
+            advise_interval: None,
+            monitor: MonitorConfig::default(),
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+}
+
+/// State shared by every worker and the background advisor.
+pub struct ServerState {
+    pub(crate) db: RwLock<Database>,
+    pub(crate) monitor: Mutex<WorkloadMonitor>,
+    pub(crate) metrics: Metrics,
+    pub(crate) advisor: Advisor,
+    pub(crate) budget_bytes: u64,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) auto_apply: bool,
+    pub(crate) last_cycle: Mutex<Option<CycleReport>>,
+    pub(crate) cycles: AtomicU64,
+    shutdown: AtomicBool,
+    /// Advisor thread sleeps here; notified on shutdown.
+    advise_signal: (Mutex<()>, Condvar),
+    addr: SocketAddr,
+    started: Instant,
+}
+
+impl ServerState {
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _guard = self.advise_signal.0.lock().expect("signal lock");
+        self.advise_signal.1.notify_all();
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the monitor and run one advisor cycle, recording it as
+    /// the latest.
+    pub fn force_cycle(&self) -> CycleReport {
+        let snapshot = self.monitor.lock().expect("monitor lock").snapshot();
+        let seq = self.cycles.fetch_add(1, Ordering::SeqCst) + 1;
+        let report = run_cycle(self, &snapshot, seq);
+        *self.last_cycle.lock().expect("cycle lock") = Some(report.clone());
+        report
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the daemon over `db` and return its handle.
+    pub fn start(db: Database, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            db: RwLock::new(db),
+            monitor: Mutex::new(WorkloadMonitor::new(cfg.monitor.clone(), cfg.clock.clone())),
+            metrics: Metrics::new(),
+            advisor: Advisor::default(),
+            budget_bytes: cfg.budget_bytes,
+            strategy: cfg.strategy,
+            auto_apply: cfg.auto_apply,
+            last_cycle: Mutex::new(None),
+            cycles: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            advise_signal: (Mutex::new(()), Condvar::new()),
+            addr,
+            started: Instant::now(),
+        });
+
+        let mut threads = Vec::new();
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        for i in 0..cfg.threads.max(1) {
+            let rx = rx.clone();
+            let state = state.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("xia-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = { rx.lock().expect("worker queue lock").recv() };
+                        match stream {
+                            Ok(s) => serve_connection(&state, s),
+                            Err(_) => break, // acceptor gone: shutdown
+                        }
+                    })?,
+            );
+        }
+
+        {
+            let state = state.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("xia-acceptor".to_string())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if state.is_shutdown() {
+                                break;
+                            }
+                            if let Ok(s) = stream {
+                                // tx dropped only after this loop exits.
+                                if tx.send(s).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        drop(tx); // workers drain and exit
+                    })?,
+            );
+        }
+
+        if let Some(interval) = cfg.advise_interval {
+            let state = state.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("xia-advisor".to_string())
+                    .spawn(move || loop {
+                        let guard = state.advise_signal.0.lock().expect("signal lock");
+                        let (_guard, _timeout) = state
+                            .advise_signal
+                            .1
+                            .wait_timeout(guard, interval)
+                            .expect("signal wait");
+                        if state.is_shutdown() {
+                            break;
+                        }
+                        state.force_cycle();
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            addr,
+            state,
+            threads,
+        })
+    }
+
+    /// The daemon's actual bind address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process drivers (benchmarks, tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Run one advisor cycle synchronously, as the background thread
+    /// would, and return its report.
+    pub fn force_cycle(&self) -> CycleReport {
+        self.state.force_cycle()
+    }
+
+    /// Stop accepting, drain the pool, and join every thread.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    /// Block until the daemon shuts down (via the SHUTDOWN command).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.state.request_shutdown();
+        // Wake the acceptor's blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.shutdown_and_join();
+        }
+    }
+}
+
+/// Serve one connection: one JSON request per line, one JSON response
+/// per line, until EOF or shutdown.
+fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let response = if line.trim().is_empty() {
+                    line.clear();
+                    continue;
+                } else {
+                    handle_line(state, line.trim())
+                };
+                line.clear();
+                if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+                    break;
+                }
+                if state.is_shutdown() {
+                    break;
+                }
+            }
+            // Read timeout: partially-read bytes stay appended to `line`
+            // and the next read_line continues the same line.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.is_shutdown() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse and dispatch one request line; always returns a response value.
+pub fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            state.metrics.begin(Command::Unknown);
+            state.metrics.finish(Command::Unknown, 0, false);
+            return error_response(Command::Unknown, &format!("bad request: {e}"));
+        }
+    };
+    let cmd = Command::parse(req.get_str("cmd").unwrap_or(""));
+    state.metrics.begin(cmd);
+    let start = Instant::now();
+    let result = dispatch(state, cmd, &req);
+    let latency_us = start.elapsed().as_micros() as u64;
+    match result {
+        Ok(Value::Obj(mut fields)) => {
+            state.metrics.finish(cmd, latency_us, true);
+            fields.insert(0, ("ok".to_string(), Value::Bool(true)));
+            Value::Obj(fields)
+        }
+        Ok(other) => {
+            state.metrics.finish(cmd, latency_us, true);
+            Value::obj(vec![("ok", Value::Bool(true)), ("result", other)])
+        }
+        Err(message) => {
+            state.metrics.finish(cmd, latency_us, false);
+            error_response(cmd, &message)
+        }
+    }
+}
+
+fn error_response(cmd: Command, message: &str) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("cmd", Value::str(cmd.label())),
+        ("error", Value::str(message)),
+    ])
+}
+
+fn dispatch(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
+    match cmd {
+        Command::Ping => Ok(Value::obj(vec![("pong", Value::Bool(true))])),
+        Command::Query => handle_query(state, req),
+        Command::Explain => handle_explain(state, req, false),
+        Command::Profile => handle_explain(state, req, true),
+        Command::CreateIndex => handle_create_index(state, req),
+        Command::DropIndex => handle_drop_index(state, req),
+        Command::Insert => handle_insert(state, req),
+        Command::Recommend => handle_recommend(state, req),
+        Command::Advise => {
+            let report = state.force_cycle();
+            Ok(Value::obj(vec![
+                ("report", report.to_json()),
+                ("text", Value::str(report.render())),
+            ]))
+        }
+        Command::WorkloadDump => handle_workload_dump(state, req),
+        Command::Stats => handle_stats(state),
+        Command::Shutdown => {
+            state.request_shutdown();
+            // Wake the acceptor so it notices the flag.
+            let _ = TcpStream::connect(state.addr);
+            Ok(Value::obj(vec![("stopping", Value::Bool(true))]))
+        }
+        Command::Unknown => Err(format!(
+            "unknown command {:?} (try ping, query, explain, profile, insert, \
+             create_index, drop_index, recommend, advise, workload, stats, shutdown)",
+            req.get_str("cmd").unwrap_or("")
+        )),
+    }
+}
+
+/// The collection a request addresses: its `collection` field, or the
+/// database's only collection.
+fn target_collection(state: &ServerState, req: &Value) -> Result<String, String> {
+    if let Some(name) = req.get_str("collection") {
+        return Ok(name.to_string());
+    }
+    let db = state.db.read().map_err(|_| "database lock poisoned")?;
+    let mut names = db.collections().map(|c| c.name().to_string());
+    match (names.next(), names.next()) {
+        (Some(only), None) => Ok(only),
+        (None, _) => Err("database has no collections".to_string()),
+        (Some(_), Some(_)) => Err("multiple collections; pass a 'collection' field".to_string()),
+    }
+}
+
+fn handle_query(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let text = req.get_str("q").ok_or("missing field 'q'")?;
+    let coll_name = target_collection(state, req)?;
+    let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let (rows, sample, stats, plan_kind) = {
+        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        let coll = db
+            .collection(&query.collection)
+            .ok_or_else(|| format!("no collection '{}'", query.collection))?;
+        let ex = explain(coll, &state.advisor.config.cost_model, &query);
+        let (rows, stats) = execute(coll, &query, &ex.plan).map_err(|e| e.to_string())?;
+        let sample: Vec<Value> = rows
+            .iter()
+            .take(5)
+            .map(|(doc, node)| {
+                let d = coll.get(*doc).expect("result doc exists");
+                Value::str(format!(
+                    "doc {} {}: {}",
+                    doc.0,
+                    d.name(*node),
+                    d.string_value(*node)
+                ))
+            })
+            .collect();
+        (rows.len(), sample, stats, access_kind(&ex.plan))
+    };
+    // Feed the monitor outside the database lock.
+    state
+        .monitor
+        .lock()
+        .map_err(|_| "monitor lock poisoned")?
+        .observe(&query);
+    Ok(Value::obj(vec![
+        ("results", Value::num(rows as f64)),
+        ("sample", Value::Arr(sample)),
+        ("plan", Value::str(plan_kind)),
+        ("docs_evaluated", Value::num(stats.docs_evaluated as f64)),
+        ("entries_scanned", Value::num(stats.entries_scanned as f64)),
+        ("pages_read", Value::num(stats.pages_read as f64)),
+        (
+            "elapsed_ms",
+            Value::num(start.elapsed().as_secs_f64() * 1e3),
+        ),
+    ]))
+}
+
+fn access_kind(plan: &xia_optimizer::Plan) -> &'static str {
+    use xia_optimizer::AccessPath::*;
+    match &plan.access {
+        DocScan => "XSCAN",
+        IndexOnly { .. } => "XISCAN-ONLY",
+        IndexOr { .. } => "IXOR",
+        IndexAccess { legs } if legs.len() > 1 => "IXAND",
+        IndexAccess { .. } => "XISCAN",
+    }
+}
+
+fn handle_explain(state: &Arc<ServerState>, req: &Value, profiled: bool) -> Result<Value, String> {
+    let text = req.get_str("q").ok_or("missing field 'q'")?;
+    let coll_name = target_collection(state, req)?;
+    let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
+    let db = state.db.read().map_err(|_| "database lock poisoned")?;
+    let coll = db
+        .collection(&query.collection)
+        .ok_or_else(|| format!("no collection '{}'", query.collection))?;
+    let ex = explain(coll, &state.advisor.config.cost_model, &query);
+    if !profiled {
+        return Ok(Value::obj(vec![("plan", Value::str(&ex.text))]));
+    }
+    let profile = profile_execute(coll, &query, &ex.plan).map_err(|e| e.to_string())?;
+    Ok(Value::obj(vec![
+        ("profile", Value::str(profile.render())),
+        ("results", Value::num(profile.results.len() as f64)),
+    ]))
+}
+
+fn parse_data_type(s: &str) -> Result<DataType, String> {
+    let upper = s.to_ascii_uppercase();
+    // Accept the DDL spelling VARCHAR(64) as well as the bare name.
+    if upper == "DOUBLE" {
+        Ok(DataType::Double)
+    } else if upper == "VARCHAR" || upper.starts_with("VARCHAR(") {
+        Ok(DataType::Varchar)
+    } else {
+        Err(format!("unknown index type '{s}' (VARCHAR | DOUBLE)"))
+    }
+}
+
+fn handle_create_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let pattern = req.get_str("pattern").ok_or("missing field 'pattern'")?;
+    let data_type = parse_data_type(req.get_str("type").unwrap_or("VARCHAR"))?;
+    let coll_name = target_collection(state, req)?;
+    let pattern = LinearPath::parse(pattern).map_err(|e| e.to_string())?;
+    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let coll = db
+        .collection_mut(&coll_name)
+        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+    let next_id = coll
+        .indexes()
+        .iter()
+        .map(|ix| ix.definition().id.0)
+        .max()
+        .map_or(1, |m| m + 1);
+    let def = IndexDefinition::new(IndexId(next_id), pattern, data_type);
+    let ddl = def.ddl(&coll_name);
+    let entries = coll.create_index(def);
+    Ok(Value::obj(vec![
+        ("id", Value::num(next_id as f64)),
+        ("entries", Value::num(entries as f64)),
+        ("ddl", Value::str(ddl)),
+    ]))
+}
+
+fn handle_drop_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let id = req.get_f64("id").ok_or("missing field 'id'")? as u32;
+    let coll_name = target_collection(state, req)?;
+    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let coll = db
+        .collection_mut(&coll_name)
+        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+    if coll.drop_index(IndexId(id)) {
+        Ok(Value::obj(vec![("dropped", Value::num(id as f64))]))
+    } else {
+        Err(format!("no index idx{id}"))
+    }
+}
+
+fn handle_insert(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let xml = req.get_str("xml").ok_or("missing field 'xml'")?;
+    let coll_name = target_collection(state, req)?;
+    let doc = xia_xml::Document::parse(xml).map_err(|e| e.to_string())?;
+    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let coll = db
+        .collection_mut(&coll_name)
+        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+    let (id, report) = coll.insert(doc);
+    Ok(Value::obj(vec![
+        ("doc", Value::num(id.0 as f64)),
+        (
+            "index_entries_touched",
+            Value::num(report.index_entries_touched as f64),
+        ),
+    ]))
+}
+
+fn parse_strategy(s: &str) -> Result<SearchStrategy, String> {
+    match s {
+        "" | "greedy" => Ok(SearchStrategy::GreedyHeuristic),
+        "topdown" | "top-down" => Ok(SearchStrategy::TopDown),
+        "baseline" => Ok(SearchStrategy::GreedyBaseline),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let coll_name = target_collection(state, req)?;
+    let budget_bytes = match req.get_f64("budget_kib") {
+        Some(kib) if kib > 0.0 => (kib as u64) << 10,
+        Some(_) => return Err("budget_kib must be positive".to_string()),
+        None => state.budget_bytes,
+    };
+    let strategy = parse_strategy(req.get_str("strategy").unwrap_or(""))?;
+    let snapshot = state
+        .monitor
+        .lock()
+        .map_err(|_| "monitor lock poisoned")?
+        .snapshot()
+        .for_collection(&coll_name);
+    if snapshot.is_empty() {
+        return Err(format!(
+            "no captured statements for collection '{coll_name}' (run queries first)"
+        ));
+    }
+    let workload = snapshot.to_workload().map_err(|e| e.to_string())?;
+    let workload_text = workload.to_file_format();
+    let rec = {
+        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        let coll = db
+            .collection(&coll_name)
+            .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+        state
+            .advisor
+            .recommend(coll, &workload, budget_bytes, strategy)
+    };
+    Ok(Value::obj(vec![
+        ("collection", Value::str(&coll_name)),
+        ("statements", Value::num(snapshot.len() as f64)),
+        (
+            "ddl",
+            Value::Arr(rec.ddl(&coll_name).iter().map(Value::str).collect()),
+        ),
+        ("improvement_pct", Value::num(rec.improvement_pct())),
+        ("base_cost", Value::num(rec.outcome.base_cost)),
+        ("workload_cost", Value::num(rec.outcome.workload_cost)),
+        (
+            "size_kib",
+            Value::num((rec.outcome.size_bytes / 1024) as f64),
+        ),
+        ("strategy", Value::str(format!("{strategy}"))),
+        ("budget_kib", Value::num((budget_bytes >> 10) as f64)),
+        ("eval", Value::str(rec.outcome.stats.render())),
+        ("workload_text", Value::str(workload_text)),
+    ]))
+}
+
+fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let snapshot = state
+        .monitor
+        .lock()
+        .map_err(|_| "monitor lock poisoned")?
+        .snapshot();
+    let snapshot = match req.get_str("collection") {
+        Some(name) => snapshot.for_collection(name),
+        None => snapshot,
+    };
+    let workload_text = snapshot
+        .to_workload()
+        .map(|w| w.to_file_format())
+        .unwrap_or_default();
+    let entries: Vec<Value> = snapshot
+        .entries
+        .iter()
+        .map(|e| {
+            Value::obj(vec![
+                ("text", Value::str(&e.text)),
+                ("collection", Value::str(&e.collection)),
+                ("weight", Value::num(e.weight)),
+                ("hits", Value::num(e.hits as f64)),
+            ])
+        })
+        .collect();
+    Ok(Value::obj(vec![
+        ("statements", Value::num(snapshot.len() as f64)),
+        ("taken_at", Value::num(snapshot.taken_at)),
+        ("workload_text", Value::str(workload_text)),
+        ("entries", Value::Arr(entries)),
+    ]))
+}
+
+fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
+    let collections: Vec<Value> = {
+        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        db.collections()
+            .map(|c| {
+                Value::obj(vec![
+                    ("name", Value::str(c.name())),
+                    ("documents", Value::num(c.len() as f64)),
+                    ("indexes", Value::num(c.indexes().len() as f64)),
+                    ("pages", Value::num(c.total_pages() as f64)),
+                ])
+            })
+            .collect()
+    };
+    let (tracked, observed, evictions) = {
+        let m = state.monitor.lock().map_err(|_| "monitor lock poisoned")?;
+        (m.len(), m.observed(), m.evictions())
+    };
+    let last_cycle = state
+        .last_cycle
+        .lock()
+        .map_err(|_| "cycle lock poisoned")?
+        .as_ref()
+        .map(CycleReport::to_json)
+        .unwrap_or(Value::Null);
+    Ok(Value::obj(vec![
+        (
+            "uptime_secs",
+            Value::num(state.started.elapsed().as_secs_f64()),
+        ),
+        ("collections", Value::Arr(collections)),
+        (
+            "monitor",
+            Value::obj(vec![
+                ("tracked", Value::num(tracked as f64)),
+                ("observed", Value::num(observed as f64)),
+                ("evictions", Value::num(evictions as f64)),
+            ]),
+        ),
+        ("metrics", state.metrics.snapshot_json()),
+        (
+            "advisor",
+            Value::obj(vec![
+                (
+                    "cycles",
+                    Value::num(state.cycles.load(Ordering::SeqCst) as f64),
+                ),
+                ("budget_kib", Value::num((state.budget_bytes >> 10) as f64)),
+                ("auto_apply", Value::Bool(state.auto_apply)),
+                ("last_cycle", last_cycle),
+            ]),
+        ),
+    ]))
+}

@@ -1,0 +1,158 @@
+//! Concurrency smoke test: several clients hammer one daemon with an
+//! interleaved QUERY / RECOMMEND / STATS / PING mix. The daemon must
+//! not deadlock (reads run under the shared lock while RECOMMEND holds
+//! it too, and the monitor mutex sits next to it), every response must
+//! be well-formed with the right shape, and afterwards the request
+//! counters must account for exactly the requests sent.
+
+use std::sync::Arc;
+use xia_server::{Client, Server, ServerConfig, Value};
+use xia_storage::{Collection, Database};
+use xia_workload::{FakeClock, XMarkConfig, XMarkGen};
+
+const CLIENTS: usize = 6;
+const ROUNDS: usize = 12;
+
+#[test]
+fn many_clients_interleave_without_deadlock() {
+    let mut coll = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs: 40,
+        ..Default::default()
+    })
+    .populate(&mut coll);
+    let mut db = Database::new();
+    assert!(db.add_collection(coll));
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            threads: 4,
+            clock: Arc::new(FakeClock::new()),
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    // Warm the monitor so RECOMMEND has something to chew on from the
+    // very first interleaving.
+    {
+        let mut c = Client::connect(addr).expect("warmup connect");
+        let resp = c
+            .query("/site/regions/africa/item/quantity", None)
+            .expect("warmup query");
+        assert_eq!(resp.get_bool("ok"), Some(true));
+    }
+
+    let queries = [
+        "/site/regions/africa/item/quantity",
+        "//person[profile/age > 70]/name",
+        "//closed_auction[price >= 700]/date",
+    ];
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|who| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // (queries sent, recommends sent, stats sent, pings sent)
+                let mut sent = (0u64, 0u64, 0u64, 0u64);
+                for round in 0..ROUNDS {
+                    let resp = client
+                        .query(queries[(who + round) % queries.len()], None)
+                        .expect("query");
+                    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                    assert!(resp.get_f64("results").is_some());
+                    sent.0 += 1;
+                    match (who + round) % 3 {
+                        0 => {
+                            let resp = client.command("recommend").expect("recommend");
+                            assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                            assert!(resp.get("ddl").and_then(Value::as_arr).is_some());
+                            sent.1 += 1;
+                        }
+                        1 => {
+                            let resp = client.command("stats").expect("stats");
+                            assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                            assert!(resp.get("metrics").is_some());
+                            sent.2 += 1;
+                        }
+                        _ => {
+                            let resp = client.command("ping").expect("ping");
+                            assert_eq!(resp.get_bool("pong"), Some(true), "{resp}");
+                            sent.3 += 1;
+                        }
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    let mut expect = (1u64, 0u64, 0u64, 0u64); // the warmup query
+    for w in workers {
+        let sent = w.join().expect("client thread panicked");
+        expect.0 += sent.0;
+        expect.1 += sent.1;
+        expect.2 += sent.2;
+        expect.3 += sent.3;
+    }
+
+    // The counters must account for every request each thread sent.
+    let mut client = Client::connect(addr).expect("final connect");
+    let resp = client.command("stats").expect("final stats");
+    assert_eq!(resp.get_bool("ok"), Some(true));
+    let commands = resp
+        .get("metrics")
+        .and_then(|m| m.get("commands"))
+        .expect("commands");
+    let count = |cmd: &str, field: &str| {
+        commands
+            .get(cmd)
+            .and_then(|c| c.get_f64(field))
+            .unwrap_or(0.0) as u64
+    };
+    assert_eq!(count("query", "requests"), expect.0);
+    assert_eq!(count("query", "errors"), 0);
+    assert_eq!(count("recommend", "requests"), expect.1);
+    assert_eq!(count("recommend", "errors"), 0);
+    assert_eq!(count("ping", "requests"), expect.3);
+    // This STATS call counts itself, on top of the workers'.
+    assert_eq!(count("stats", "requests"), expect.2 + 1);
+    assert_eq!(
+        resp.get("metrics").unwrap().get_f64("errors"),
+        Some(0.0),
+        "no request in the mix may fail"
+    );
+
+    drop(client);
+    server.stop();
+}
+
+#[test]
+fn shutdown_command_stops_the_daemon() {
+    let mut db = Database::new();
+    db.create_collection("empty");
+    let server = Server::start(db, ServerConfig::default()).expect("daemon starts");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.command("shutdown").expect("shutdown");
+    assert_eq!(resp.get_bool("ok"), Some(true));
+    drop(client);
+
+    // stop() must return promptly: every thread observes the flag.
+    server.stop();
+    // And the port is released — a fresh daemon can bind it.
+    let mut db = Database::new();
+    db.create_collection("empty");
+    let again = Server::start(
+        db,
+        ServerConfig {
+            addr: addr.to_string(),
+            ..Default::default()
+        },
+    );
+    assert!(again.is_ok(), "address must be reusable after shutdown");
+    again.unwrap().stop();
+}

@@ -31,6 +31,17 @@ impl Database {
         true
     }
 
+    /// Adopt a pre-built collection under its own name. Returns false
+    /// (and drops nothing) if the name is taken.
+    pub fn add_collection(&mut self, collection: Collection) -> bool {
+        if self.collections.contains_key(collection.name()) {
+            return false;
+        }
+        self.collections
+            .insert(collection.name().to_string(), collection);
+        true
+    }
+
     pub fn collection(&self, name: &str) -> Option<&Collection> {
         self.collections.get(name)
     }

@@ -20,10 +20,16 @@
 //! All generation is seeded (`rand::SmallRng`) and therefore
 //! reproducible: the same config always yields byte-identical documents.
 
+pub mod monitor;
+pub mod persist;
 pub mod synth;
 pub mod tpox;
 pub mod xmark;
 
+pub use monitor::{
+    Clock, FakeClock, MonitorConfig, MonitorEntry, MonitorSnapshot, SystemClock, WorkloadMonitor,
+};
+pub use persist::{has_workload, load_monitor, load_workload, save_monitor, save_workload};
 pub use synth::{synthetic_variations, SynthConfig};
 pub use tpox::{tpox_queries, TpoxConfig, TpoxGen};
 pub use xmark::{xmark_queries, XMarkConfig, XMarkGen};

@@ -1,0 +1,501 @@
+//! Continuous workload capture: the serving layer's always-on monitor.
+//!
+//! The paper's advisor consumes "a workload of queries collected by
+//! DB2"; in DB2 that collection is an always-on monitoring facility.
+//! [`WorkloadMonitor`] is that facility for this reproduction: every
+//! executed query is lowered through `xia-xquery` to its normalized
+//! form, deduplicated by that form (so the same logical query written
+//! in XPath, XQuery or SQL/XML counts as one statement), and tracked
+//! with an exponentially-decayed frequency so that a drifting workload
+//! forgets queries that stopped arriving.
+//!
+//! Time is injected through the [`Clock`] trait so the decay math is
+//! unit-testable with a [`FakeClock`] and the daemon runs on a
+//! monotonic [`SystemClock`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xia_advisor::Workload;
+use xia_xquery::{compile, NormalizedQuery, QueryError};
+
+/// Monotonic time source, in seconds since an arbitrary epoch.
+pub trait Clock: Send + Sync {
+    fn now(&self) -> f64;
+}
+
+/// Wall clock anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> SystemClock {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// Manually-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    secs: Mutex<f64>,
+}
+
+impl FakeClock {
+    pub fn new() -> FakeClock {
+        FakeClock::default()
+    }
+
+    /// Move time forward by `secs`.
+    pub fn advance(&self, secs: f64) {
+        *self.secs.lock().expect("clock lock") += secs;
+    }
+
+    pub fn set(&self, secs: f64) {
+        *self.secs.lock().expect("clock lock") = secs;
+    }
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> f64 {
+        *self.secs.lock().expect("clock lock")
+    }
+}
+
+/// Monitor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Seconds for an idle query's frequency to halve.
+    pub half_life_secs: f64,
+    /// Maximum distinct (normalized) statements tracked; observing a new
+    /// statement at capacity evicts the lowest-frequency one.
+    pub capacity: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            half_life_secs: 300.0,
+            capacity: 1024,
+        }
+    }
+}
+
+/// One tracked statement (decayed to `last_update`).
+#[derive(Debug, Clone)]
+pub struct MonitorEntry {
+    /// First-seen query text, kept as the statement's representative.
+    pub text: String,
+    pub collection: String,
+    /// Exponentially-decayed frequency as of `last_update`.
+    pub weight: f64,
+    /// Clock reading of the most recent observation.
+    pub last_update: f64,
+    /// Raw observation count (never decayed).
+    pub hits: u64,
+}
+
+impl MonitorEntry {
+    /// Frequency decayed forward to clock reading `at`.
+    pub fn weight_at(&self, at: f64, half_life_secs: f64) -> f64 {
+        let dt = (at - self.last_update).max(0.0);
+        self.weight * 0.5f64.powf(dt / half_life_secs)
+    }
+}
+
+/// Point-in-time copy of the monitor, with all frequencies decayed to
+/// the same instant — the unit the background advisor consumes and the
+/// unit that persists across restarts (see [`crate::persist`]).
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    /// Clock reading the snapshot was taken at.
+    pub taken_at: f64,
+    /// Entries in first-observation order, weights decayed to `taken_at`.
+    pub entries: Vec<MonitorEntry>,
+}
+
+impl MonitorSnapshot {
+    /// Restrict to statements over one collection (order preserved).
+    pub fn for_collection(&self, name: &str) -> MonitorSnapshot {
+        MonitorSnapshot {
+            taken_at: self.taken_at,
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.collection == name)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Collection names appearing in the snapshot, sorted and deduplicated.
+    pub fn collections(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.iter().map(|e| e.collection.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Materialize the captured statements as an advisor [`Workload`]
+    /// whose frequencies are the decayed weights.
+    pub fn to_workload(&self) -> Result<Workload, QueryError> {
+        let mut w = Workload::new();
+        for e in &self.entries {
+            w.add_query(&e.text, &e.collection, e.weight)?;
+        }
+        Ok(w)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The always-on workload capture facility.
+pub struct WorkloadMonitor {
+    cfg: MonitorConfig,
+    clock: Arc<dyn Clock>,
+    entries: Vec<MonitorEntry>,
+    by_key: HashMap<String, usize>,
+    observed: u64,
+    evictions: u64,
+}
+
+impl std::fmt::Debug for WorkloadMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadMonitor")
+            .field("entries", &self.entries.len())
+            .field("observed", &self.observed)
+            .field("evictions", &self.evictions)
+            .finish()
+    }
+}
+
+/// The dedup key: collection plus the query's lowered atoms. Language
+/// and surface text are deliberately excluded, so equivalent queries in
+/// different surface languages (or with whitespace differences) fold
+/// into one statement.
+fn normalized_key(q: &NormalizedQuery) -> String {
+    use std::fmt::Write as _;
+    let mut key = q.collection.clone();
+    for a in &q.atoms {
+        let _ = write!(key, "\u{1}{a}");
+    }
+    key
+}
+
+impl WorkloadMonitor {
+    pub fn new(cfg: MonitorConfig, clock: Arc<dyn Clock>) -> WorkloadMonitor {
+        WorkloadMonitor {
+            cfg,
+            clock,
+            entries: Vec::new(),
+            by_key: HashMap::new(),
+            observed: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn with_defaults() -> WorkloadMonitor {
+        WorkloadMonitor::new(MonitorConfig::default(), Arc::new(SystemClock::new()))
+    }
+
+    /// Distinct normalized statements currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total observations fed to the monitor (before dedup).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Entries evicted because the monitor was at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Record one execution of an already-compiled query.
+    pub fn observe(&mut self, query: &NormalizedQuery) {
+        self.observe_weighted(query, 1.0);
+    }
+
+    /// Record `weight` executions of a compiled query.
+    pub fn observe_weighted(&mut self, query: &NormalizedQuery, weight: f64) {
+        let now = self.clock.now();
+        self.observed += 1;
+        let key = normalized_key(query);
+        if let Some(&i) = self.by_key.get(&key) {
+            let e = &mut self.entries[i];
+            e.weight = e.weight_at(now, self.cfg.half_life_secs) + weight;
+            e.last_update = now;
+            e.hits += 1;
+            return;
+        }
+        if self.entries.len() >= self.cfg.capacity {
+            self.evict_coldest(now);
+        }
+        self.by_key.insert(key, self.entries.len());
+        self.entries.push(MonitorEntry {
+            text: query.text.clone(),
+            collection: query.collection.clone(),
+            weight,
+            last_update: now,
+            hits: 1,
+        });
+    }
+
+    /// Compile `text` against `collection` and record it. Convenience
+    /// for callers that do not already hold a [`NormalizedQuery`].
+    pub fn observe_text(&mut self, text: &str, collection: &str) -> Result<(), QueryError> {
+        let q = compile(text, collection)?;
+        self.observe(&q);
+        Ok(())
+    }
+
+    fn evict_coldest(&mut self, now: f64) {
+        let Some(coldest) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let wa = a.weight_at(now, self.cfg.half_life_secs);
+                let wb = b.weight_at(now, self.cfg.half_life_secs);
+                wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        self.entries.remove(coldest);
+        self.evictions += 1;
+        // Indices after the removed slot shifted down by one.
+        self.by_key.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            // Recompute keys from stored text: recompilation is the one
+            // honest source; entries were compiled once already, so this
+            // cannot fail.
+            if let Ok(q) = compile(&e.text, &e.collection) {
+                self.by_key.insert(normalized_key(&q), i);
+            }
+        }
+    }
+
+    /// Decay every entry to "now" and return a point-in-time copy.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let now = self.clock.now();
+        MonitorSnapshot {
+            taken_at: now,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| MonitorEntry {
+                    text: e.text.clone(),
+                    collection: e.collection.clone(),
+                    weight: e.weight_at(now, self.cfg.half_life_secs),
+                    last_update: now,
+                    hits: e.hits,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replace the monitor's contents with a previously-taken snapshot
+    /// (e.g. one reloaded from disk). Weights are treated as current as
+    /// of the restore instant.
+    pub fn restore(&mut self, snapshot: &MonitorSnapshot) {
+        let now = self.clock.now();
+        self.entries.clear();
+        self.by_key.clear();
+        for e in &snapshot.entries {
+            let Ok(q) = compile(&e.text, &e.collection) else {
+                continue;
+            };
+            let key = normalized_key(&q);
+            if self.by_key.contains_key(&key) || self.entries.len() >= self.cfg.capacity {
+                continue;
+            }
+            self.by_key.insert(key, self.entries.len());
+            self.entries.push(MonitorEntry {
+                text: e.text.clone(),
+                collection: e.collection.clone(),
+                weight: e.weight,
+                last_update: now,
+                hits: e.hits,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(half_life: f64, capacity: usize) -> (WorkloadMonitor, Arc<FakeClock>) {
+        let clock = Arc::new(FakeClock::new());
+        let m = WorkloadMonitor::new(
+            MonitorConfig {
+                half_life_secs: half_life,
+                capacity,
+            },
+            clock.clone(),
+        );
+        (m, clock)
+    }
+
+    #[test]
+    fn frequencies_halve_on_schedule() {
+        let (mut m, clock) = monitor(10.0, 16);
+        m.observe_text("//item/price", "shop").unwrap();
+        assert_eq!(m.snapshot().entries[0].weight, 1.0);
+
+        clock.advance(10.0); // exactly one half-life
+        let w = m.snapshot().entries[0].weight;
+        assert!((w - 0.5).abs() < 1e-12, "one half-life: {w}");
+
+        clock.advance(20.0); // two more half-lives
+        let w = m.snapshot().entries[0].weight;
+        assert!((w - 0.125).abs() < 1e-12, "three half-lives total: {w}");
+    }
+
+    #[test]
+    fn observation_adds_on_top_of_decayed_weight() {
+        let (mut m, clock) = monitor(10.0, 16);
+        m.observe_text("//item/price", "shop").unwrap();
+        clock.advance(10.0);
+        m.observe_text("//item/price", "shop").unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 1, "same query deduplicates");
+        assert!((snap.entries[0].weight - 1.5).abs() < 1e-12);
+        assert_eq!(snap.entries[0].hits, 2);
+    }
+
+    #[test]
+    fn dedup_is_by_normalized_form_across_languages() {
+        let (mut m, _) = monitor(10.0, 16);
+        m.observe_text("//item[price > 3]/name", "c").unwrap();
+        // Same logical query, different whitespace.
+        m.observe_text("//item[ price > 3 ]/name", "c").unwrap();
+        assert_eq!(m.len(), 1, "whitespace variants fold together");
+        // Same atoms via the XQuery surface.
+        m.observe_text(
+            r#"for $i in collection("c")//item where $i/price > 3 return $i/name"#,
+            "c",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 1, "XQuery form folds into the XPath form");
+        assert_eq!(m.snapshot().entries[0].hits, 3);
+        // A genuinely different query does not fold.
+        m.observe_text("//item[price > 4]/name", "c").unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn same_text_different_collection_is_distinct() {
+        let (mut m, _) = monitor(10.0, 16);
+        m.observe_text("//item/price", "a").unwrap();
+        m.observe_text("//item/price", "b").unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn eviction_at_capacity_drops_the_coldest() {
+        let (mut m, clock) = monitor(10.0, 2);
+        m.observe_text("//a", "c").unwrap();
+        clock.advance(1.0);
+        m.observe_text("//b", "c").unwrap();
+        // Make //b clearly hotter.
+        m.observe_text("//b", "c").unwrap();
+        clock.advance(1.0);
+        // Full: the third distinct query evicts //a (lowest decayed weight).
+        m.observe_text("//d", "c").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions(), 1);
+        let snap = m.snapshot();
+        let texts: Vec<&str> = snap.entries.iter().map(|e| e.text.as_str()).collect();
+        assert!(!texts.contains(&"//a"), "coldest entry evicted: {texts:?}");
+        assert!(texts.contains(&"//b"));
+        assert!(texts.contains(&"//d"));
+        // The survivor is still deduplicated correctly after eviction.
+        m.observe_text("//b", "c").unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_to_workload_carries_decayed_frequencies() {
+        let (mut m, clock) = monitor(10.0, 16);
+        m.observe_text("//item/price", "shop").unwrap();
+        m.observe_text("//item/price", "shop").unwrap();
+        m.observe_text("//person/name", "shop").unwrap();
+        clock.advance(10.0);
+        let snap = m.snapshot();
+        let w = snap.to_workload().unwrap();
+        assert_eq!(w.query_count(), 2);
+        let freqs: Vec<f64> = w.queries().map(|(_, f)| f).collect();
+        assert!((freqs[0] - 1.0).abs() < 1e-12, "2 hits halved: {freqs:?}");
+        assert!((freqs[1] - 0.5).abs() < 1e-12, "1 hit halved: {freqs:?}");
+    }
+
+    #[test]
+    fn restore_round_trips_entries() {
+        let (mut m, clock) = monitor(10.0, 16);
+        m.observe_text("//item/price", "shop").unwrap();
+        m.observe_text("//person/name", "shop").unwrap();
+        clock.advance(5.0);
+        let snap = m.snapshot();
+
+        let (mut fresh, _) = monitor(10.0, 16);
+        fresh.restore(&snap);
+        assert_eq!(fresh.len(), 2);
+        let again = fresh.snapshot();
+        for (a, b) in snap.entries.iter().zip(&again.entries) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.collection, b.collection);
+            assert!((a.weight - b.weight).abs() < 1e-12);
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
+    #[test]
+    fn invalid_query_is_rejected_not_tracked() {
+        let (mut m, _) = monitor(10.0, 16);
+        assert!(m.observe_text("///bad", "c").is_err());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn snapshot_filters_by_collection() {
+        let (mut m, _) = monitor(10.0, 16);
+        m.observe_text("//a", "x").unwrap();
+        m.observe_text("//b", "y").unwrap();
+        m.observe_text("//c", "x").unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.collections(), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(snap.for_collection("x").len(), 2);
+        assert_eq!(snap.for_collection("y").len(), 1);
+        assert!(snap.for_collection("z").is_empty());
+    }
+}

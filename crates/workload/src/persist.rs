@@ -1,0 +1,269 @@
+//! Workload and monitor-snapshot persistence.
+//!
+//! A captured workload should survive a daemon restart the same way the
+//! database itself does, so these helpers write into the same snapshot
+//! directory layout as `xia-storage::persist`:
+//!
+//! ```text
+//! <dir>/workload.txt   # Workload::to_file_format (one statement/line)
+//! <dir>/monitor.txt    # decayed monitor entries, one per line
+//! ```
+//!
+//! `workload.txt` reuses the advisor's line format (`[freq;]query`),
+//! so a persisted capture can also be hand-edited or fed back through
+//! the CLI's `workload load`. `monitor.txt` is richer: it keeps the
+//! per-entry collection, decayed weight and hit count so a restarted
+//! [`crate::monitor::WorkloadMonitor`] resumes from where it left off.
+
+use crate::monitor::{MonitorEntry, MonitorSnapshot};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use xia_advisor::Workload;
+use xia_storage::PersistError;
+use xia_xml::Document;
+use xia_xquery::QueryError;
+
+const WORKLOAD_FILE: &str = "workload.txt";
+const MONITOR_FILE: &str = "monitor.txt";
+const MONITOR_HEADER: &str = "monitor-snapshot v1";
+
+/// Save `workload` into snapshot directory `dir` (created if absent).
+pub fn save_workload(workload: &Workload, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(WORKLOAD_FILE), workload.to_file_format())?;
+    Ok(())
+}
+
+/// Load the workload persisted in snapshot directory `dir`.
+///
+/// `collection` names the default collection for bare queries (the same
+/// argument `Workload::parse` takes) and `sample` supplies the sample
+/// document for INSERT/DELETE lines, if any.
+pub fn load_workload(
+    dir: &Path,
+    collection: &str,
+    sample: Option<&Document>,
+) -> Result<Workload, PersistError> {
+    let path = dir.join(WORKLOAD_FILE);
+    let text = fs::read_to_string(&path)?;
+    Workload::parse(&text, collection, sample)
+        .map_err(|e: QueryError| PersistError::BadManifest(format!("{}: {e}", path.display())))
+}
+
+/// True when `dir` holds a persisted workload.
+pub fn has_workload(dir: &Path) -> bool {
+    dir.join(WORKLOAD_FILE).exists()
+}
+
+/// Save a monitor snapshot into snapshot directory `dir`.
+///
+/// Weights and timestamps round-trip exactly: `f64` is written with
+/// Rust's shortest-round-trip formatting.
+pub fn save_monitor(snapshot: &MonitorSnapshot, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let mut f = fs::File::create(dir.join(MONITOR_FILE))?;
+    writeln!(f, "{MONITOR_HEADER}")?;
+    writeln!(f, "taken {}", snapshot.taken_at)?;
+    for e in &snapshot.entries {
+        // Query text goes last because it may contain spaces; the
+        // collection name never does.
+        writeln!(
+            f,
+            "entry {} {} {} {} {}",
+            e.weight, e.last_update, e.hits, e.collection, e.text
+        )?;
+    }
+    Ok(())
+}
+
+/// Load the monitor snapshot persisted in snapshot directory `dir`.
+pub fn load_monitor(dir: &Path) -> Result<MonitorSnapshot, PersistError> {
+    let path = dir.join(MONITOR_FILE);
+    let text = fs::read_to_string(&path)
+        .map_err(|e| PersistError::BadManifest(format!("{}: {e}", path.display())))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == MONITOR_HEADER => {}
+        other => {
+            return Err(PersistError::BadManifest(format!(
+                "monitor snapshot header missing (got {other:?})"
+            )))
+        }
+    }
+    let mut taken_at = 0.0f64;
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match kind {
+            "taken" => {
+                taken_at = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| PersistError::BadManifest(format!("bad taken line: {line}")))?;
+            }
+            "entry" => {
+                let mut parts = rest.splitn(5, ' ');
+                let bad = || PersistError::BadManifest(format!("bad entry line: {line}"));
+                let weight: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let last_update: f64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let hits: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+                let collection = parts.next().ok_or_else(bad)?.to_string();
+                let text = parts.next().ok_or_else(bad)?.to_string();
+                entries.push(MonitorEntry {
+                    text,
+                    collection,
+                    weight,
+                    last_update,
+                    hits,
+                });
+            }
+            other => {
+                return Err(PersistError::BadManifest(format!(
+                    "unknown monitor line kind {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(MonitorSnapshot { taken_at, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{FakeClock, MonitorConfig, WorkloadMonitor};
+    use std::sync::Arc;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("xia_wlp_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn workload_round_trips_through_snapshot_dir() {
+        let dir = tmp("workload");
+        let sample = Document::parse("<a><b>1</b></a>").unwrap();
+        let mut w = Workload::from_queries(&["//a", "//b[c > 3]/d"], "shop").unwrap();
+        w.add_query("//e", "shop", 2.5).unwrap();
+        w.add_insert(sample.clone(), 40.0);
+        save_workload(&w, &dir).unwrap();
+        assert!(has_workload(&dir));
+
+        let again = load_workload(&dir, "shop", Some(&sample)).unwrap();
+        assert_eq!(again.statements.len(), w.statements.len());
+        assert_eq!(again.query_count(), 3);
+        let freqs: Vec<f64> = again.queries().map(|(_, f)| f).collect();
+        assert_eq!(freqs, vec![1.0, 1.0, 2.5]);
+        assert_eq!(again.updates().map(|(_, f)| f).collect::<Vec<_>>(), [40.0]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_snapshot_round_trips_exactly() {
+        let dir = tmp("monitor");
+        let clock = Arc::new(FakeClock::new());
+        let mut m = WorkloadMonitor::new(
+            MonitorConfig {
+                half_life_secs: 60.0,
+                capacity: 8,
+            },
+            clock.clone(),
+        );
+        m.observe_text("//item[price > 3]/name", "shop").unwrap();
+        m.observe_text("//item[price > 3]/name", "shop").unwrap();
+        clock.advance(17.25);
+        m.observe_text("//person/name", "people").unwrap();
+        let snap = m.snapshot();
+
+        save_monitor(&snap, &dir).unwrap();
+        let again = load_monitor(&dir).unwrap();
+        assert_eq!(again.taken_at, snap.taken_at);
+        assert_eq!(again.len(), snap.len());
+        for (a, b) in snap.entries.iter().zip(&again.entries) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.collection, b.collection);
+            assert_eq!(a.weight, b.weight, "weights bit-identical");
+            assert_eq!(a.last_update, b.last_update);
+            assert_eq!(a.hits, b.hits);
+        }
+
+        // And the restored snapshot feeds a fresh monitor.
+        let mut fresh = WorkloadMonitor::new(
+            MonitorConfig {
+                half_life_secs: 60.0,
+                capacity: 8,
+            },
+            Arc::new(FakeClock::new()),
+        );
+        fresh.restore(&again);
+        assert_eq!(fresh.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_and_monitor_share_the_database_snapshot_dir() {
+        // The point of the layout: one directory holds the database
+        // snapshot (from xia-storage) *and* the captured workload.
+        let dir = tmp("shared");
+        let mut coll = xia_storage::Collection::new("shop");
+        coll.insert(Document::parse("<shop><item><price>1</price></item></shop>").unwrap());
+        xia_storage::save_collection(&coll, &dir.join("shop")).unwrap();
+
+        let w = Workload::from_queries(&["//item/price"], "shop").unwrap();
+        save_workload(&w, &dir).unwrap();
+        let snap = MonitorSnapshot {
+            taken_at: 1.0,
+            entries: vec![MonitorEntry {
+                text: "//item/price".into(),
+                collection: "shop".into(),
+                weight: 1.0,
+                last_update: 1.0,
+                hits: 1,
+            }],
+        };
+        save_monitor(&snap, &dir).unwrap();
+
+        // All three restore from the same place.
+        let db = xia_storage::load_database(&dir).unwrap();
+        assert_eq!(db.collections().count(), 1);
+        assert_eq!(load_workload(&dir, "shop", None).unwrap().query_count(), 1);
+        assert_eq!(load_monitor(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_monitor_file_is_reported() {
+        let dir = tmp("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(MONITOR_FILE), "not a snapshot\n").unwrap();
+        assert!(matches!(
+            load_monitor(&dir),
+            Err(PersistError::BadManifest(_))
+        ));
+        fs::write(
+            dir.join(MONITOR_FILE),
+            format!("{MONITOR_HEADER}\nentry nonsense\n"),
+        )
+        .unwrap();
+        assert!(matches!(
+            load_monitor(&dir),
+            Err(PersistError::BadManifest(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_errors() {
+        let dir = tmp("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(!has_workload(&dir));
+        assert!(load_workload(&dir, "c", None).is_err());
+        assert!(load_monitor(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -12,7 +12,10 @@
 //!   modes (Enumerate Indexes / Evaluate Indexes) and a plan executor.
 //! * [`advisor`] — the XML Index Advisor itself: candidate enumeration,
 //!   generalization DAG, greedy/top-down configuration search, analysis.
-//! * [`workload`] — XMark-like and TPoX-like data/query generators.
+//! * [`workload`] — XMark-like and TPoX-like data/query generators,
+//!   plus the continuous [`workload::WorkloadMonitor`].
+//! * [`server`] — the advisor as a daemon: concurrent TCP front end with
+//!   continuous workload capture and online re-advising.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@
 pub use xia_advisor as advisor;
 pub use xia_index as index;
 pub use xia_optimizer as optimizer;
+pub use xia_server as server;
 pub use xia_storage as storage;
 pub use xia_workload as workload;
 pub use xia_xml as xml;
@@ -56,14 +60,17 @@ pub mod prelude {
     };
     pub use xia_index::{DataType, IndexDefinition, IndexId};
     pub use xia_optimizer::{
-        enumerate_indexes, evaluate_indexes, execute, explain, CostModel, ExplainMode,
+        enumerate_indexes, evaluate_indexes, execute, explain, profile_execute, CostModel,
+        ExplainMode, Profile,
     };
+    pub use xia_server::{Client, CycleReport, Server, ServerConfig};
     pub use xia_storage::{
         load_collection, load_database, save_collection, save_database, Collection, Database, DocId,
     };
     pub use xia_workload::{
-        synthetic_variations, tpox_queries, xmark_queries, SynthConfig, TpoxConfig, TpoxGen,
-        XMarkConfig, XMarkGen,
+        load_monitor, load_workload, save_monitor, save_workload, synthetic_variations,
+        tpox_queries, xmark_queries, Clock, FakeClock, MonitorConfig, MonitorSnapshot, SynthConfig,
+        SystemClock, TpoxConfig, TpoxGen, WorkloadMonitor, XMarkConfig, XMarkGen,
     };
     pub use xia_xml::{Document, DocumentBuilder};
     pub use xia_xpath::{evaluate, parse, LinearPath};

@@ -1,0 +1,99 @@
+//! The online advising loop, end to end: start the daemon in-process,
+//! drive a query mix over TCP, watch the monitor capture it, run an
+//! advisor cycle, auto-heal the index drift, and confirm the next
+//! cycle reports a clean configuration.
+//!
+//! ```text
+//! cargo run -p xia --example online_advisor --release
+//! ```
+
+use std::sync::Arc;
+use xia::prelude::*;
+use xia::server::Value;
+
+fn main() {
+    // A frozen clock keeps the monitor's decayed weights exact, so two
+    // identical sessions produce identical recommendations.
+    let clock = Arc::new(FakeClock::new());
+
+    let mut coll = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs: 120,
+        ..Default::default()
+    })
+    .populate(&mut coll);
+    let mut db = Database::new();
+    db.add_collection(coll);
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            budget_bytes: 256 << 10,
+            auto_apply: true,
+            clock,
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts");
+    println!("daemon on {}", server.addr());
+
+    // --- A morning of traffic. -------------------------------------------
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mix = [
+        "/site/regions/africa/item/quantity",
+        "/site/regions/namerica/item/quantity",
+        "//person[profile/age > 70]/name",
+        "//closed_auction[price >= 700]/date",
+        r#"for $a in collection("auctions")//open_auction where $a/initial >= 90 return $a/current"#,
+    ];
+    for _ in 0..4 {
+        for q in mix {
+            let resp = client.query(q, None).expect("query");
+            assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+        }
+    }
+    let resp = client.command("workload").expect("workload");
+    println!(
+        "monitor captured {} distinct statements from {} executions",
+        resp.get_f64("statements").unwrap_or(0.0),
+        mix.len() * 4
+    );
+
+    // --- The advisor cycle notices the drift and heals it. ---------------
+    let resp = client.command("advise").expect("advise");
+    print!("{}", resp.get_str("text").unwrap_or(""));
+
+    let resp = client.command("advise").expect("second advise");
+    let report = resp.get("report").expect("report");
+    let colls = report
+        .get("collections")
+        .and_then(Value::as_arr)
+        .expect("collections");
+    let missing = colls[0]
+        .get("missing")
+        .and_then(Value::as_arr)
+        .map(<[Value]>::len)
+        .unwrap_or(0);
+    println!("second cycle: {missing} missing indexes (drift healed)");
+
+    // --- Queries now run on the auto-applied configuration. --------------
+    let resp = client
+        .query("//closed_auction[price >= 700]/date", None)
+        .expect("query");
+    println!(
+        "plan after auto-apply: {} ({} docs evaluated)",
+        resp.get_str("plan").unwrap_or("?"),
+        resp.get_f64("docs_evaluated").unwrap_or(0.0)
+    );
+
+    let resp = client.command("stats").expect("stats");
+    let metrics = resp.get("metrics").expect("metrics");
+    println!(
+        "served {} requests, {} errors",
+        metrics.get_f64("requests").unwrap_or(0.0),
+        metrics.get_f64("errors").unwrap_or(0.0)
+    );
+
+    drop(client);
+    server.stop();
+}

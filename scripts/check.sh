@@ -3,10 +3,9 @@
 #
 #   scripts/check.sh
 #
-# Build and tests are hard requirements. fmt/clippy run when the
-# toolchain has them installed; offline or slim toolchains may lack the
-# components, in which case they are reported and skipped rather than
-# failing the run.
+# Build and tests are hard requirements. fmt/clippy are hard
+# requirements too whenever the toolchain has them installed; only a
+# slim toolchain that lacks the component skips them (reported).
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,24 +19,25 @@ run_hard() {
   fi
 }
 
-run_soft() {
+# Hard when the component is installed; skipped (with a note) only on
+# toolchains that genuinely lack it.
+run_if_installed() {
   local probe=$1
   shift
   if ! cargo "$probe" --version >/dev/null 2>&1; then
     echo "==> skipping cargo $probe (component not installed)"
     return
   fi
-  echo "==> $*"
-  if ! "$@"; then
-    echo "FAILED: $*" >&2
-    failures=$((failures + 1))
-  fi
+  run_hard "$@"
 }
 
 run_hard cargo build --release --offline
+# The daemon crate by name, so a tier-1 run can't miss it even if the
+# workspace member list regresses.
+run_hard cargo build --release --offline -p xia-server
 run_hard cargo test -q --offline
-run_soft fmt cargo fmt --check
-run_soft clippy cargo clippy --offline --all-targets -- -D warnings
+run_if_installed fmt cargo fmt --check
+run_if_installed clippy cargo clippy --offline --all-targets -- -D warnings
 
 if [ "$failures" -ne 0 ]; then
   echo "check.sh: $failures check(s) failed" >&2
