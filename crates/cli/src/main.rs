@@ -68,7 +68,13 @@ usage: xia-cli serve [options]
   --threads <n>        worker threads           (default 4)
   --budget <KiB>       advisor disk budget      (default 512)
   --interval <secs>    background advisor period (default: manual ADVISE only)
-  --auto-apply         let advisor cycles create missing indexes";
+  --auto-apply         let advisor cycles create missing indexes
+  --data-dir <dir>     crash-safe persistence: recover the directory's
+                       snapshot+WAL at start (it wins over --xmark/--open),
+                       write-ahead log every write, checkpoint + flush the
+                       captured workload monitor on shutdown
+  --deadline <ms>      per-request deadline; over-budget requests get a
+                       clean TIMEOUT error (default: unbounded)";
 
 fn serve(args: &[String]) {
     let mut cfg = ServerConfig {
@@ -100,6 +106,15 @@ fn serve(args: &[String]) {
                 cfg.advise_interval = Some(std::time::Duration::from_secs_f64(secs));
             }
             "--auto-apply" => cfg.auto_apply = true,
+            "--data-dir" => {
+                cfg.durability = Some(xia::server::DurabilityConfig::at(req("--data-dir")));
+            }
+            "--deadline" => {
+                let ms: u64 = req("--deadline").parse().unwrap_or(0);
+                if ms > 0 {
+                    cfg.request_deadline = Some(std::time::Duration::from_millis(ms));
+                }
+            }
             "--help" | "-h" => {
                 println!("{SERVE_HELP}");
                 return;

@@ -177,7 +177,7 @@ fn advise_collection(
 ) -> Option<CollectionCycle> {
     // Estimate under the read lock.
     let (rec, unused, existing) = {
-        let db = state.db.read().expect("db lock");
+        let db = state.read_db();
         let coll = db.collection(name)?;
         let rec = state
             .advisor
@@ -208,25 +208,47 @@ fn advise_collection(
         .collect();
     let missing_ddl: Vec<String> = missing.iter().map(|d| d.ddl(name)).collect();
 
-    // Close the loop under the write lock if configured to.
+    // Close the loop under the write lock if configured to. Auto-applied
+    // indexes are writes like any other: logged ahead, so a crash after
+    // the cycle still recovers them.
     let mut applied = 0;
     if state.auto_apply && !missing.is_empty() {
-        let mut db = state.db.write().expect("db lock");
-        if let Some(coll) = db.collection_mut(name) {
-            let base = coll
-                .indexes()
-                .iter()
-                .map(|ix| ix.definition().id.0)
-                .max()
-                .map_or(1, |m| m + 1);
+        let mut db = state.write_db();
+        if db.collection(name).is_some() {
+            let base = db
+                .collection(name)
+                .map(|coll| {
+                    coll.indexes()
+                        .iter()
+                        .map(|ix| ix.definition().id.0)
+                        .max()
+                        .map_or(1, |m| m + 1)
+                })
+                .unwrap_or(1);
             for (offset, def) in missing.iter().enumerate() {
+                let id = base + offset as u32;
+                if state
+                    .append_wal(&xia_storage::WalOp::CreateIndex {
+                        collection: name.to_string(),
+                        id,
+                        data_type: def.data_type,
+                        pattern: def.pattern.to_string(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                let Some(coll) = db.collection_mut(name) else {
+                    break;
+                };
                 coll.create_index(IndexDefinition::new(
-                    IndexId(base + offset as u32),
+                    IndexId(id),
                     def.pattern.clone(),
                     def.data_type,
                 ));
                 applied += 1;
             }
+            state.maybe_checkpoint(&db);
         }
     }
 

@@ -4,15 +4,67 @@
 //! CLI `client` subcommand, the benchmark harness and the tests; the
 //! protocol is plain enough that any language's socket + JSON libraries
 //! can speak it too.
+//!
+//! For flaky links (daemon restarting, listener backlog overflow) the
+//! client offers **retry with exponential backoff + jitter**:
+//! [`Client::connect_with_retry`] for the handshake and
+//! [`Client::call_with_retry`] for individual requests, which
+//! transparently reconnects when the transport drops mid-call.
 
 use crate::json::{self, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Exponential backoff with deterministic jitter.
+///
+/// Attempt *k* (0-based) sleeps `base * 2^k`, capped at `max_delay`,
+/// then jittered to 50–100% of that value by a seeded xorshift so
+/// retries from many clients don't land in lockstep — yet a fixed seed
+/// keeps test timing reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 0 behaves like 1.
+    pub max_attempts: u32,
+    pub base_delay: Duration,
+    pub max_delay: Duration,
+    /// Jitter seed; vary per client in production, pin in tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(2),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt + 1` (after failure `attempt`).
+    pub fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        // xorshift64* step, then squeeze into [0.5, 1.0).
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let unit = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + unit / 2.0)
+    }
+}
 
 /// A blocking connection to a running daemon.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Resolved peer address, kept for reconnects.
+    addr: std::net::SocketAddr,
 }
 
 impl Client {
@@ -21,10 +73,63 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
+        let addr = stream.peer_addr()?;
         Ok(Client {
             writer: stream,
             reader,
+            addr,
         })
+    }
+
+    /// [`Client::connect`], retrying refused/reset handshakes under
+    /// `policy`. Returns the last error if every attempt fails.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let mut rng = policy.seed | 1;
+        let attempts = policy.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match Client::connect(&addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(policy.delay(attempt, &mut rng));
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// One request under `policy`: a transport failure (broken pipe,
+    /// reset, EOF) tears the connection down, backs off, reconnects and
+    /// resends. Protocol-level `ok: false` responses are returned as-is,
+    /// never retried — the daemon already answered.
+    ///
+    /// Only safe-to-repeat requests should go through here; an INSERT
+    /// retried across a response lost in flight may apply twice.
+    pub fn call_with_retry(
+        &mut self,
+        request: &Value,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Value> {
+        let mut rng = policy.seed | 1;
+        let attempts = policy.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match self.call(request) {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(policy.delay(attempt, &mut rng));
+                if let Ok(fresh) = Client::connect(self.addr) {
+                    *self = fresh;
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
     }
 
     /// Send one request object and block for its response.

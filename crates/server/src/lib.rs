@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod server;
 
 pub use advise::{CollectionCycle, CycleReport};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use json::Value;
 pub use metrics::{Command, Metrics};
-pub use server::{Server, ServerConfig, ServerState};
+pub use server::{DurabilityConfig, Server, ServerConfig, ServerState};

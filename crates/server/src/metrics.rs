@@ -148,9 +148,29 @@ impl CommandMetrics {
     }
 }
 
+/// Self-healing / durability event counters, reported under STATS
+/// `metrics.health`. Nonzero values here mean the server *survived*
+/// something, not that something is currently wrong.
+#[derive(Default)]
+pub struct HealthMetrics {
+    /// Handler panics caught and turned into error responses.
+    pub panics_caught: AtomicU64,
+    /// Requests abandoned at their deadline (client got TIMEOUT).
+    pub timeouts: AtomicU64,
+    /// Poisoned locks recovered via `clear_poison` + `into_inner`.
+    pub lock_recoveries: AtomicU64,
+    /// Post-recovery consistency checks that found damage.
+    pub verify_failures: AtomicU64,
+    /// Operations appended to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Snapshot generations rolled (WAL threshold or shutdown flush).
+    pub checkpoints: AtomicU64,
+}
+
 /// Server-wide request metrics.
 pub struct Metrics {
     commands: Vec<CommandMetrics>,
+    pub health: HealthMetrics,
 }
 
 impl Default for Metrics {
@@ -163,6 +183,7 @@ impl Metrics {
     pub fn new() -> Metrics {
         Metrics {
             commands: (0..Command::COUNT).map(|_| CommandMetrics::new()).collect(),
+            health: HealthMetrics::default(),
         }
     }
 
@@ -235,9 +256,37 @@ impl Metrics {
                 ]),
             ));
         }
+        let h = &self.health;
+        let health = Value::obj(vec![
+            (
+                "panics_caught",
+                Value::num(h.panics_caught.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "timeouts",
+                Value::num(h.timeouts.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "lock_recoveries",
+                Value::num(h.lock_recoveries.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "verify_failures",
+                Value::num(h.verify_failures.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "wal_appends",
+                Value::num(h.wal_appends.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "checkpoints",
+                Value::num(h.checkpoints.load(Ordering::Relaxed) as f64),
+            ),
+        ]);
         Value::obj(vec![
             ("requests", Value::num(self.total_requests() as f64)),
             ("errors", Value::num(self.total_errors() as f64)),
+            ("health", health),
             ("commands", Value::Obj(commands)),
         ])
     }

@@ -22,17 +22,48 @@ use crate::json::{self, Value};
 use crate::metrics::{Command, Metrics};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use xia_advisor::{Advisor, SearchStrategy};
 use xia_index::{DataType, IndexDefinition, IndexId};
 use xia_optimizer::{execute, explain, profile_execute};
-use xia_storage::Database;
-use xia_workload::{Clock, MonitorConfig, SystemClock, WorkloadMonitor};
+use xia_storage::{Database, DurableStore, RealVfs, Vfs, WalOp};
+use xia_workload::{
+    load_monitor_with, save_monitor_with, Clock, MonitorConfig, SystemClock, WorkloadMonitor,
+};
 use xia_xpath::LinearPath;
 use xia_xquery::compile;
+
+/// Where and how the daemon persists: a snapshot directory managed by
+/// [`DurableStore`] (generational snapshots + WAL) plus the captured
+/// monitor, all through an injectable [`Vfs`] so tests can fault any
+/// filesystem step.
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Snapshot directory (created if absent, recovered if present).
+    pub dir: PathBuf,
+    pub vfs: Arc<dyn Vfs>,
+    /// Roll a new snapshot generation once this many WAL records have
+    /// accumulated (checked after each logged write). `None` = only
+    /// checkpoint at graceful shutdown.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl DurabilityConfig {
+    /// Durability at `dir` over the real filesystem, checkpointing
+    /// every 1024 logged writes.
+    pub fn at(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            vfs: Arc::new(RealVfs),
+            checkpoint_every: Some(1024),
+        }
+    }
+}
 
 /// Daemon configuration.
 pub struct ServerConfig {
@@ -51,6 +82,12 @@ pub struct ServerConfig {
     pub monitor: MonitorConfig,
     /// Injectable time source for the monitor's decay math.
     pub clock: Arc<dyn Clock>,
+    /// Crash-safe persistence; `None` keeps the daemon memory-only.
+    pub durability: Option<DurabilityConfig>,
+    /// Per-request budget: a request still running past the deadline is
+    /// abandoned and its client gets a clean `TIMEOUT` error while the
+    /// worker moves on. `None` = unbounded.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +101,8 @@ impl Default for ServerConfig {
             advise_interval: None,
             monitor: MonitorConfig::default(),
             clock: Arc::new(SystemClock::new()),
+            durability: None,
+            request_deadline: None,
         }
     }
 }
@@ -79,6 +118,12 @@ pub struct ServerState {
     pub(crate) auto_apply: bool,
     pub(crate) last_cycle: Mutex<Option<CycleReport>>,
     pub(crate) cycles: AtomicU64,
+    /// Crash-safe persistence; `None` for a memory-only daemon.
+    store: Option<Mutex<DurableStore>>,
+    durability: Option<DurabilityConfig>,
+    request_deadline: Option<Duration>,
+    /// Guards the shutdown flush so stop()/join()/Drop run it once.
+    flushed: AtomicBool,
     shutdown: AtomicBool,
     /// Advisor thread sleeps here; notified on shutdown.
     advise_signal: (Mutex<()>, Condvar),
@@ -86,10 +131,83 @@ pub struct ServerState {
     started: Instant,
 }
 
+/// Lock a mutex, healing poison: a panicking holder leaves the data in
+/// place, so clear the flag, count the recovery, and keep serving.
+fn heal_lock<'a, T>(lock: &'a Mutex<T>, metrics: &Metrics) -> MutexGuard<'a, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            lock.clear_poison();
+            metrics
+                .health
+                .lock_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
+
 impl ServerState {
+    /// Shared database access; recovers a poisoned `RwLock` instead of
+    /// propagating the poison to every subsequent request. Public so
+    /// in-process drivers (benchmarks, tests) can inspect the database.
+    pub fn read_db(&self) -> RwLockReadGuard<'_, Database> {
+        match self.db.read() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.db.clear_poison();
+                self.note_db_recovery();
+                let g = poisoned.into_inner();
+                self.verify_after_recovery(&g);
+                g
+            }
+        }
+    }
+
+    /// Exclusive database access, with the same poison recovery.
+    pub(crate) fn write_db(&self) -> RwLockWriteGuard<'_, Database> {
+        match self.db.write() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.db.clear_poison();
+                self.note_db_recovery();
+                let g = poisoned.into_inner();
+                self.verify_after_recovery(&g);
+                g
+            }
+        }
+    }
+
+    fn note_db_recovery(&self) {
+        self.metrics
+            .health
+            .lock_recoveries
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistency re-check after recovering a poisoned database lock:
+    /// the panicking writer may have left a half-applied mutation.
+    fn verify_after_recovery(&self, db: &Database) {
+        if let Err(problem) = db.verify() {
+            self.metrics
+                .health
+                .verify_failures
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!("xia-server: database damaged by interrupted writer: {problem}");
+        }
+    }
+
+    pub(crate) fn lock_monitor(&self) -> MutexGuard<'_, WorkloadMonitor> {
+        heal_lock(&self.monitor, &self.metrics)
+    }
+
+    pub(crate) fn lock_cycle(&self) -> MutexGuard<'_, Option<CycleReport>> {
+        heal_lock(&self.last_cycle, &self.metrics)
+    }
+
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _guard = self.advise_signal.0.lock().expect("signal lock");
+        let _guard = heal_lock(&self.advise_signal.0, &self.metrics);
         self.advise_signal.1.notify_all();
     }
 
@@ -97,13 +215,107 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Write-ahead: append `op` to the WAL *before* the in-memory apply.
+    /// An append error leaves both log and memory on the old state, so
+    /// the caller must return it to the client unapplied.
+    pub(crate) fn append_wal(&self, op: &WalOp) -> Result<(), String> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let mut s = heal_lock(store, &self.metrics);
+        s.append(op)
+            .map_err(|e| format!("wal append failed: {e}"))?;
+        self.metrics
+            .health
+            .wal_appends
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Roll a snapshot generation if the WAL has crossed the configured
+    /// threshold. Called with the write lock still held (so `db` already
+    /// includes every logged op); a checkpoint failure is non-fatal —
+    /// the WAL still holds the tail.
+    pub(crate) fn maybe_checkpoint(&self, db: &Database) {
+        let (Some(store), Some(cfg)) = (&self.store, &self.durability) else {
+            return;
+        };
+        let Some(every) = cfg.checkpoint_every else {
+            return;
+        };
+        let mut s = heal_lock(store, &self.metrics);
+        if s.wal_records() >= every {
+            match s.checkpoint(db) {
+                Ok(()) => {
+                    self.metrics
+                        .health
+                        .checkpoints
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("xia-server: checkpoint failed (WAL retains tail): {e}"),
+            }
+        }
+    }
+
+    /// Shutdown flush: final checkpoint plus an atomic monitor save.
+    /// Idempotent — every shutdown path calls it, the first one wins.
+    fn flush_durable(&self) {
+        if self.store.is_none() || self.flushed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let (store, cfg) = (
+            self.store.as_ref().expect("checked above"),
+            self.durability.as_ref().expect("store implies config"),
+        );
+        {
+            let db = self.read_db();
+            let mut s = heal_lock(store, &self.metrics);
+            match s.checkpoint(&db) {
+                Ok(()) => {
+                    self.metrics
+                        .health
+                        .checkpoints
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => eprintln!("xia-server: shutdown checkpoint failed: {e}"),
+            }
+        }
+        let snapshot = self.lock_monitor().snapshot();
+        if let Err(e) = save_monitor_with(cfg.vfs.as_ref(), &snapshot, &cfg.dir) {
+            eprintln!("xia-server: shutdown monitor save failed: {e}");
+        }
+    }
+
+    /// Current durable generation and WAL depth, for STATS.
+    fn durability_json(&self) -> Value {
+        match &self.store {
+            None => Value::Null,
+            Some(store) => {
+                let s = heal_lock(store, &self.metrics);
+                Value::obj(vec![
+                    ("generation", Value::num(s.generation() as f64)),
+                    ("wal_records", Value::num(s.wal_records() as f64)),
+                    (
+                        "dir",
+                        Value::str(
+                            self.durability
+                                .as_ref()
+                                .map(|d| d.dir.display().to_string())
+                                .unwrap_or_default(),
+                        ),
+                    ),
+                ])
+            }
+        }
+    }
+
     /// Snapshot the monitor and run one advisor cycle, recording it as
     /// the latest.
     pub fn force_cycle(&self) -> CycleReport {
-        let snapshot = self.monitor.lock().expect("monitor lock").snapshot();
+        let snapshot = self.lock_monitor().snapshot();
         let seq = self.cycles.fetch_add(1, Ordering::SeqCst) + 1;
         let report = run_cycle(self, &snapshot, seq);
-        *self.last_cycle.lock().expect("cycle lock") = Some(report.clone());
+        *self.lock_cycle() = Some(report.clone());
         report
     }
 }
@@ -117,12 +329,39 @@ pub struct Server {
 
 impl Server {
     /// Start the daemon over `db` and return its handle.
+    ///
+    /// With [`ServerConfig::durability`] set, the snapshot directory is
+    /// recovered first: if it holds committed state, that state **wins**
+    /// over the passed `db` (the daemon resumes where it crashed);
+    /// otherwise `db` is checkpointed as generation 1. A persisted
+    /// monitor snapshot is restored the same way.
     pub fn start(db: Database, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+
+        let mut monitor = WorkloadMonitor::new(cfg.monitor.clone(), cfg.clock.clone());
+        let (db, store) = match &cfg.durability {
+            None => (db, None),
+            Some(d) => {
+                let io_err = |e: xia_storage::PersistError| std::io::Error::other(e.to_string());
+                let (mut store, recovered) =
+                    DurableStore::open(&d.dir, d.vfs.clone()).map_err(io_err)?;
+                let db = if recovered.generation > 0 {
+                    recovered.database
+                } else {
+                    store.checkpoint(&db).map_err(io_err)?;
+                    db
+                };
+                if let Ok(snapshot) = load_monitor_with(d.vfs.as_ref(), &d.dir) {
+                    monitor.restore(&snapshot);
+                }
+                (db, Some(Mutex::new(store)))
+            }
+        };
+
         let state = Arc::new(ServerState {
             db: RwLock::new(db),
-            monitor: Mutex::new(WorkloadMonitor::new(cfg.monitor.clone(), cfg.clock.clone())),
+            monitor: Mutex::new(monitor),
             metrics: Metrics::new(),
             advisor: Advisor::default(),
             budget_bytes: cfg.budget_bytes,
@@ -130,6 +369,10 @@ impl Server {
             auto_apply: cfg.auto_apply,
             last_cycle: Mutex::new(None),
             cycles: AtomicU64::new(0),
+            store,
+            durability: cfg.durability.clone(),
+            request_deadline: cfg.request_deadline,
+            flushed: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             advise_signal: (Mutex::new(()), Condvar::new()),
             addr,
@@ -146,7 +389,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("xia-worker-{i}"))
                     .spawn(move || loop {
-                        let stream = { rx.lock().expect("worker queue lock").recv() };
+                        let stream = { heal_lock(&rx, &state.metrics).recv() };
                         match stream {
                             Ok(s) => serve_connection(&state, s),
                             Err(_) => break, // acceptor gone: shutdown
@@ -183,12 +426,15 @@ impl Server {
                 std::thread::Builder::new()
                     .name("xia-advisor".to_string())
                     .spawn(move || loop {
-                        let guard = state.advise_signal.0.lock().expect("signal lock");
-                        let (_guard, _timeout) = state
-                            .advise_signal
-                            .1
-                            .wait_timeout(guard, interval)
-                            .expect("signal wait");
+                        let guard = heal_lock(&state.advise_signal.0, &state.metrics);
+                        let (_guard, _timeout) =
+                            match state.advise_signal.1.wait_timeout(guard, interval) {
+                                Ok(r) => r,
+                                Err(poisoned) => {
+                                    state.advise_signal.0.clear_poison();
+                                    poisoned.into_inner()
+                                }
+                            };
                         if state.is_shutdown() {
                             break;
                         }
@@ -220,16 +466,19 @@ impl Server {
         self.state.force_cycle()
     }
 
-    /// Stop accepting, drain the pool, and join every thread.
+    /// Stop accepting, drain the pool, join every thread, and flush the
+    /// durable state (final checkpoint + monitor snapshot).
     pub fn stop(mut self) {
         self.shutdown_and_join();
     }
 
-    /// Block until the daemon shuts down (via the SHUTDOWN command).
+    /// Block until the daemon shuts down (via the SHUTDOWN command),
+    /// then flush the durable state.
     pub fn join(mut self) {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        self.state.flush_durable();
     }
 
     fn shutdown_and_join(&mut self) {
@@ -239,6 +488,7 @@ impl Server {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        self.state.flush_durable();
     }
 }
 
@@ -304,7 +554,7 @@ pub fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
     let cmd = Command::parse(req.get_str("cmd").unwrap_or(""));
     state.metrics.begin(cmd);
     let start = Instant::now();
-    let result = dispatch(state, cmd, &req);
+    let result = dispatch_guarded(state, cmd, &req);
     let latency_us = start.elapsed().as_micros() as u64;
     match result {
         Ok(Value::Obj(mut fields)) => {
@@ -329,6 +579,70 @@ fn error_response(cmd: Command, message: &str) -> Value {
         ("cmd", Value::str(cmd.label())),
         ("error", Value::str(message)),
     ])
+}
+
+/// Dispatch with the self-healing guards: a per-request deadline (when
+/// configured) and a panic trap, so one bad request costs one error
+/// response — never a dead worker or a poisoned pool.
+fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
+    let Some(deadline) = state.request_deadline else {
+        return dispatch_caught(state, cmd, req);
+    };
+    // SHUTDOWN must not race its own deadline; it is instant anyway.
+    if cmd == Command::Shutdown {
+        return dispatch_caught(state, cmd, req);
+    }
+    let (tx, rx) = mpsc::channel();
+    let worker = {
+        let state = state.clone();
+        let req = req.clone();
+        std::thread::Builder::new()
+            .name("xia-request".to_string())
+            .spawn(move || {
+                let _ = tx.send(dispatch_caught(&state, cmd, &req));
+            })
+    };
+    if worker.is_err() {
+        // Could not spawn (resource exhaustion): run inline, unbounded.
+        return dispatch_caught(state, cmd, req);
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(result) => result,
+        Err(_) => {
+            state
+                .metrics
+                .health
+                .timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            Err(format!(
+                "TIMEOUT: request exceeded the {}ms deadline and was abandoned",
+                deadline.as_millis()
+            ))
+        }
+    }
+}
+
+/// Run the real dispatch under `catch_unwind`: a handler panic becomes
+/// an error response for that client while the worker keeps serving.
+/// Any lock the panicking handler held is healed by the recovery
+/// helpers on its next acquisition.
+fn dispatch_caught(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(state, cmd, req))) {
+        Ok(result) => result,
+        Err(payload) => {
+            state
+                .metrics
+                .health
+                .panics_caught
+                .fetch_add(1, Ordering::Relaxed);
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(format!("internal error: handler panicked: {what}"))
+        }
+    }
 }
 
 fn dispatch(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
@@ -356,11 +670,31 @@ fn dispatch(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value
             let _ = TcpStream::connect(state.addr);
             Ok(Value::obj(vec![("stopping", Value::Bool(true))]))
         }
-        Command::Unknown => Err(format!(
-            "unknown command {:?} (try ping, query, explain, profile, insert, \
-             create_index, drop_index, recommend, advise, workload, stats, shutdown)",
-            req.get_str("cmd").unwrap_or("")
-        )),
+        Command::Unknown => {
+            // Fault-injection commands for the self-healing tests; the
+            // `testing` feature never ships in a default build.
+            #[cfg(feature = "testing")]
+            match req.get_str("cmd").unwrap_or("") {
+                "panic" => panic!("injected panic (testing feature)"),
+                "panic_locked" => {
+                    // Panic while *holding* the exclusive database lock:
+                    // the nastiest case, poisons the RwLock mid-write.
+                    let _guard = state.write_db();
+                    panic!("injected panic while holding the write lock");
+                }
+                "sleep" => {
+                    let ms = req.get_f64("ms").unwrap_or(50.0).max(0.0);
+                    std::thread::sleep(Duration::from_millis(ms as u64));
+                    return Ok(Value::obj(vec![("slept_ms", Value::num(ms))]));
+                }
+                _ => {}
+            }
+            Err(format!(
+                "unknown command {:?} (try ping, query, explain, profile, insert, \
+                 create_index, drop_index, recommend, advise, workload, stats, shutdown)",
+                req.get_str("cmd").unwrap_or("")
+            ))
+        }
     }
 }
 
@@ -370,7 +704,7 @@ fn target_collection(state: &ServerState, req: &Value) -> Result<String, String>
     if let Some(name) = req.get_str("collection") {
         return Ok(name.to_string());
     }
-    let db = state.db.read().map_err(|_| "database lock poisoned")?;
+    let db = state.read_db();
     let mut names = db.collections().map(|c| c.name().to_string());
     match (names.next(), names.next()) {
         (Some(only), None) => Ok(only),
@@ -385,7 +719,7 @@ fn handle_query(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> 
     let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
     let start = Instant::now();
     let (rows, sample, stats, plan_kind) = {
-        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        let db = state.read_db();
         let coll = db
             .collection(&query.collection)
             .ok_or_else(|| format!("no collection '{}'", query.collection))?;
@@ -407,11 +741,7 @@ fn handle_query(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> 
         (rows.len(), sample, stats, access_kind(&ex.plan))
     };
     // Feed the monitor outside the database lock.
-    state
-        .monitor
-        .lock()
-        .map_err(|_| "monitor lock poisoned")?
-        .observe(&query);
+    state.lock_monitor().observe(&query);
     Ok(Value::obj(vec![
         ("results", Value::num(rows as f64)),
         ("sample", Value::Arr(sample)),
@@ -441,7 +771,7 @@ fn handle_explain(state: &Arc<ServerState>, req: &Value, profiled: bool) -> Resu
     let text = req.get_str("q").ok_or("missing field 'q'")?;
     let coll_name = target_collection(state, req)?;
     let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
-    let db = state.db.read().map_err(|_| "database lock poisoned")?;
+    let db = state.read_db();
     let coll = db
         .collection(&query.collection)
         .ok_or_else(|| format!("no collection '{}'", query.collection))?;
@@ -469,11 +799,11 @@ fn parse_data_type(s: &str) -> Result<DataType, String> {
 }
 
 fn handle_create_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
-    let pattern = req.get_str("pattern").ok_or("missing field 'pattern'")?;
+    let pattern_text = req.get_str("pattern").ok_or("missing field 'pattern'")?;
     let data_type = parse_data_type(req.get_str("type").unwrap_or("VARCHAR"))?;
     let coll_name = target_collection(state, req)?;
-    let pattern = LinearPath::parse(pattern).map_err(|e| e.to_string())?;
-    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let pattern = LinearPath::parse(pattern_text).map_err(|e| e.to_string())?;
+    let mut db = state.write_db();
     let coll = db
         .collection_mut(&coll_name)
         .ok_or_else(|| format!("no collection '{coll_name}'"))?;
@@ -483,9 +813,17 @@ fn handle_create_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, S
         .map(|ix| ix.definition().id.0)
         .max()
         .map_or(1, |m| m + 1);
+    // Write-ahead: the DDL reaches the log before the index exists.
+    state.append_wal(&WalOp::CreateIndex {
+        collection: coll_name.clone(),
+        id: next_id,
+        data_type,
+        pattern: pattern_text.to_string(),
+    })?;
     let def = IndexDefinition::new(IndexId(next_id), pattern, data_type);
     let ddl = def.ddl(&coll_name);
     let entries = coll.create_index(def);
+    state.maybe_checkpoint(&db);
     Ok(Value::obj(vec![
         ("id", Value::num(next_id as f64)),
         ("entries", Value::num(entries as f64)),
@@ -496,26 +834,48 @@ fn handle_create_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, S
 fn handle_drop_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
     let id = req.get_f64("id").ok_or("missing field 'id'")? as u32;
     let coll_name = target_collection(state, req)?;
-    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let mut db = state.write_db();
     let coll = db
         .collection_mut(&coll_name)
         .ok_or_else(|| format!("no collection '{coll_name}'"))?;
-    if coll.drop_index(IndexId(id)) {
-        Ok(Value::obj(vec![("dropped", Value::num(id as f64))]))
-    } else {
-        Err(format!("no index idx{id}"))
+    if !coll
+        .indexes()
+        .iter()
+        .any(|ix| ix.definition().id == IndexId(id))
+    {
+        return Err(format!("no index idx{id}"));
     }
+    state.append_wal(&WalOp::DropIndex {
+        collection: coll_name.clone(),
+        id,
+    })?;
+    let coll = db
+        .collection_mut(&coll_name)
+        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+    coll.drop_index(IndexId(id));
+    state.maybe_checkpoint(&db);
+    Ok(Value::obj(vec![("dropped", Value::num(id as f64))]))
 }
 
 fn handle_insert(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
     let xml = req.get_str("xml").ok_or("missing field 'xml'")?;
     let coll_name = target_collection(state, req)?;
     let doc = xia_xml::Document::parse(xml).map_err(|e| e.to_string())?;
-    let mut db = state.db.write().map_err(|_| "database lock poisoned")?;
+    let mut db = state.write_db();
+    if db.collection(&coll_name).is_none() {
+        return Err(format!("no collection '{coll_name}'"));
+    }
+    // Write-ahead: a logged-but-unapplied insert replays at recovery; an
+    // append failure returns here with memory untouched.
+    state.append_wal(&WalOp::Insert {
+        collection: coll_name.clone(),
+        xml: xml.to_string(),
+    })?;
     let coll = db
         .collection_mut(&coll_name)
         .ok_or_else(|| format!("no collection '{coll_name}'"))?;
     let (id, report) = coll.insert(doc);
+    state.maybe_checkpoint(&db);
     Ok(Value::obj(vec![
         ("doc", Value::num(id.0 as f64)),
         (
@@ -542,12 +902,7 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
         None => state.budget_bytes,
     };
     let strategy = parse_strategy(req.get_str("strategy").unwrap_or(""))?;
-    let snapshot = state
-        .monitor
-        .lock()
-        .map_err(|_| "monitor lock poisoned")?
-        .snapshot()
-        .for_collection(&coll_name);
+    let snapshot = state.lock_monitor().snapshot().for_collection(&coll_name);
     if snapshot.is_empty() {
         return Err(format!(
             "no captured statements for collection '{coll_name}' (run queries first)"
@@ -556,7 +911,7 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
     let workload = snapshot.to_workload().map_err(|e| e.to_string())?;
     let workload_text = workload.to_file_format();
     let rec = {
-        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        let db = state.read_db();
         let coll = db
             .collection(&coll_name)
             .ok_or_else(|| format!("no collection '{coll_name}'"))?;
@@ -586,11 +941,7 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
 }
 
 fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
-    let snapshot = state
-        .monitor
-        .lock()
-        .map_err(|_| "monitor lock poisoned")?
-        .snapshot();
+    let snapshot = state.lock_monitor().snapshot();
     let snapshot = match req.get_str("collection") {
         Some(name) => snapshot.for_collection(name),
         None => snapshot,
@@ -621,7 +972,7 @@ fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, 
 
 fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
     let collections: Vec<Value> = {
-        let db = state.db.read().map_err(|_| "database lock poisoned")?;
+        let db = state.read_db();
         db.collections()
             .map(|c| {
                 Value::obj(vec![
@@ -634,13 +985,11 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
             .collect()
     };
     let (tracked, observed, evictions) = {
-        let m = state.monitor.lock().map_err(|_| "monitor lock poisoned")?;
+        let m = state.lock_monitor();
         (m.len(), m.observed(), m.evictions())
     };
     let last_cycle = state
-        .last_cycle
-        .lock()
-        .map_err(|_| "cycle lock poisoned")?
+        .lock_cycle()
         .as_ref()
         .map(CycleReport::to_json)
         .unwrap_or(Value::Null);
@@ -659,6 +1008,7 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
             ]),
         ),
         ("metrics", state.metrics.snapshot_json()),
+        ("durability", state.durability_json()),
         (
             "advisor",
             Value::obj(vec![

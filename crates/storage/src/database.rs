@@ -66,6 +66,38 @@ impl Database {
     pub fn total_pages(&self) -> u64 {
         self.collections.values().map(Collection::total_pages).sum()
     }
+
+    /// Structural consistency re-check, used after recovering a
+    /// poisoned lock: a panicking writer may have been interrupted
+    /// mid-mutation, so verify the cheap cross-structure invariants
+    /// before trusting the in-memory state again.
+    pub fn verify(&self) -> Result<(), String> {
+        for (name, coll) in &self.collections {
+            if name != coll.name() {
+                return Err(format!(
+                    "collection registered as '{name}' names itself '{}'",
+                    coll.name()
+                ));
+            }
+            let live = coll.documents().count();
+            if live != coll.len() {
+                return Err(format!(
+                    "collection '{name}': len() reports {} but {live} documents are live",
+                    coll.len()
+                ));
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for ix in coll.indexes() {
+                if !seen.insert(ix.definition().id.0) {
+                    return Err(format!(
+                        "collection '{name}': duplicate index id {}",
+                        ix.definition().id.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

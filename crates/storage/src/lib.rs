@@ -14,13 +14,22 @@
 
 pub mod collection;
 pub mod database;
+pub mod durable;
 pub mod persist;
 pub mod stats;
+pub mod vfs;
 
 pub use collection::{Collection, DocId, UpdateReport};
 pub use database::Database;
-pub use persist::{load_collection, load_database, save_collection, save_database, PersistError};
+pub use durable::{
+    checkpoint_database, crc32, fingerprint, recover_database, DurableStore, Recovered, WalOp,
+};
+pub use persist::{
+    load_collection, load_collection_with, load_database, load_database_with, save_collection,
+    save_collection_with, save_database, save_database_with, PersistError,
+};
 pub use stats::{CollectionStats, PathId, PathStats, ValueDist};
+pub use vfs::{atomic_write, Fault, FaultVfs, OpRecord, RealVfs, Vfs};
 
 /// Simulated page size shared with the index layer.
 pub const PAGE_SIZE: usize = xia_index::physical::PAGE_SIZE;

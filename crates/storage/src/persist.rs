@@ -10,12 +10,20 @@
 //! Documents are stored as plain XML (the round-trippable serialization
 //! from `xia-xml`); indexes are stored as definitions and rebuilt on
 //! load. Loading compacts document ids (dead slots are not persisted).
+//!
+//! `save_collection`/`load_collection` are **primitives**: they write
+//! into the directory they are given with no atomicity of their own.
+//! Crash safety comes from the layer above — [`crate::durable`] stages
+//! a whole database snapshot in a `gen-<n>.tmp` directory and commits
+//! it with one atomic rename, which is what [`save_database`] and
+//! [`load_database`] use. Every byte goes through the injectable
+//! [`Vfs`], so the crash-matrix tests can fault any individual step.
 
 use crate::collection::Collection;
 use crate::database::Database;
+use crate::vfs::{RealVfs, Vfs};
 use std::fmt;
-use std::fs;
-use std::io::Write as _;
+use std::fmt::Write as _;
 use std::path::Path;
 use xia_index::{DataType, IndexDefinition, IndexId};
 use xia_xml::Document;
@@ -32,6 +40,12 @@ pub enum PersistError {
     },
     /// The manifest is missing or malformed.
     BadManifest(String),
+    /// A collection subdirectory failed to load; `dir` names the
+    /// subdirectory so a partial snapshot can be diagnosed directly.
+    Collection {
+        dir: String,
+        source: Box<PersistError>,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -42,11 +56,22 @@ impl fmt::Display for PersistError {
                 write!(f, "document {file} failed to parse: {error}")
             }
             PersistError::BadManifest(msg) => write!(f, "bad manifest: {msg}"),
+            PersistError::Collection { dir, source } => {
+                write!(f, "collection snapshot {dir}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for PersistError {}
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Collection { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
@@ -54,42 +79,60 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-const MANIFEST: &str = "manifest.txt";
+pub(crate) const MANIFEST: &str = "manifest.txt";
 const DOCS_DIR: &str = "docs";
 
 /// Save a collection snapshot into `dir` (created if absent; existing
-/// snapshot files are replaced).
+/// snapshot files are replaced). Not atomic on its own — callers that
+/// need crash safety stage into a fresh directory and commit with a
+/// rename (see [`crate::durable`]).
 pub fn save_collection(coll: &Collection, dir: &Path) -> Result<(), PersistError> {
-    let docs_dir = dir.join(DOCS_DIR);
-    if docs_dir.exists() {
-        fs::remove_dir_all(&docs_dir)?;
-    }
-    fs::create_dir_all(&docs_dir)?;
+    save_collection_with(&RealVfs, coll, dir)
+}
 
-    let mut manifest = fs::File::create(dir.join(MANIFEST))?;
-    writeln!(manifest, "collection {}", coll.name())?;
+/// [`save_collection`] over an explicit [`Vfs`].
+pub fn save_collection_with(
+    vfs: &dyn Vfs,
+    coll: &Collection,
+    dir: &Path,
+) -> Result<(), PersistError> {
+    let docs_dir = dir.join(DOCS_DIR);
+    if vfs.exists(&docs_dir) {
+        vfs.remove_dir_all(&docs_dir)?;
+    }
+    vfs.create_dir_all(&docs_dir)?;
+
+    let mut manifest = String::new();
+    let _ = writeln!(manifest, "collection {}", coll.name());
     for ix in coll.indexes() {
         let def = ix.definition();
-        writeln!(
+        let _ = writeln!(
             manifest,
             "index {} {} {}",
             def.id.0, def.data_type, def.pattern
-        )?;
+        );
     }
     let mut count = 0usize;
     for (_, doc) in coll.documents() {
         let file = docs_dir.join(format!("{count:06}.xml"));
-        fs::write(file, xia_xml::serialize(doc))?;
+        vfs.write(&file, xia_xml::serialize(doc).as_bytes())?;
         count += 1;
     }
-    writeln!(manifest, "documents {count}")?;
+    let _ = writeln!(manifest, "documents {count}");
+    vfs.write(&dir.join(MANIFEST), manifest.as_bytes())?;
     Ok(())
 }
 
 /// Load a collection snapshot from `dir`. Document ids are compacted to
 /// `0..n` in saved order; statistics and indexes are rebuilt.
 pub fn load_collection(dir: &Path) -> Result<Collection, PersistError> {
-    let manifest = fs::read_to_string(dir.join(MANIFEST))
+    load_collection_with(&RealVfs, dir)
+}
+
+/// [`load_collection`] over an explicit [`Vfs`].
+pub fn load_collection_with(vfs: &dyn Vfs, dir: &Path) -> Result<Collection, PersistError> {
+    let manifest = vfs
+        .read_to_string(&dir.join(MANIFEST))
         .map_err(|e| PersistError::BadManifest(format!("{}: {e}", dir.display())))?;
     let mut name = None;
     let mut expected_docs: Option<usize> = None;
@@ -138,14 +181,14 @@ pub fn load_collection(dir: &Path) -> Result<Collection, PersistError> {
 
     let mut coll = Collection::new(name);
     let docs_dir = dir.join(DOCS_DIR);
-    let mut files: Vec<_> = fs::read_dir(&docs_dir)?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
+    let mut files: Vec<_> = vfs
+        .read_dir(&docs_dir)?
+        .into_iter()
         .filter(|p| p.extension().is_some_and(|x| x == "xml"))
         .collect();
     files.sort();
     for file in files {
-        let text = fs::read_to_string(&file)?;
+        let text = vfs.read_to_string(&file)?;
         let doc = Document::parse(&text).map_err(|e| PersistError::BadDocument {
             file: file.display().to_string(),
             error: e.to_string(),
@@ -167,27 +210,54 @@ pub fn load_collection(dir: &Path) -> Result<Collection, PersistError> {
     Ok(coll)
 }
 
-/// Save every collection of `db` into `<dir>/<collection-name>/`.
+/// Save `db` as a crash-safe snapshot under `dir`.
+///
+/// The snapshot is **generational**: the whole database is staged into
+/// `gen-<n>.tmp/`, checksummed, fsync'd, and committed with one atomic
+/// rename to `gen-<n>/`. A crash at any point leaves either the
+/// previous generation or the new one — never a torn mix (pinned by
+/// `tests/crash_matrix.rs`). Older generations are pruned after the new
+/// one is durable.
 pub fn save_database(db: &Database, dir: &Path) -> Result<(), PersistError> {
-    fs::create_dir_all(dir)?;
-    for coll in db.collections() {
-        save_collection(coll, &dir.join(coll.name()))?;
-    }
-    Ok(())
+    save_database_with(&RealVfs, db, dir)
 }
 
-/// Load a database saved by [`save_database`]: every subdirectory with a
-/// manifest becomes a collection.
+/// [`save_database`] over an explicit [`Vfs`].
+pub fn save_database_with(vfs: &dyn Vfs, db: &Database, dir: &Path) -> Result<(), PersistError> {
+    crate::durable::checkpoint_database(vfs, db, dir)
+}
+
+/// Load a database saved by [`save_database`]: the newest *complete*
+/// generation is loaded and the operation WAL (if any) replayed over
+/// it; partial generations and torn WAL tails are discarded.
+///
+/// Pre-generational flat snapshots (every subdirectory with a manifest
+/// is a collection) still load, so old snapshot directories and
+/// hand-assembled ones keep working.
 pub fn load_database(dir: &Path) -> Result<Database, PersistError> {
+    load_database_with(&RealVfs, dir)
+}
+
+/// [`load_database`] over an explicit [`Vfs`].
+pub fn load_database_with(vfs: &dyn Vfs, dir: &Path) -> Result<Database, PersistError> {
+    Ok(crate::durable::recover_database(vfs, dir)?.database)
+}
+
+/// Load the legacy flat layout: every subdirectory of `dir` holding a
+/// manifest becomes a collection. Errors name the failing subdirectory.
+pub(crate) fn load_database_flat(vfs: &dyn Vfs, dir: &Path) -> Result<Database, PersistError> {
     let mut db = Database::new();
-    let mut subdirs: Vec<_> = fs::read_dir(dir)?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .filter(|p| p.is_dir() && p.join(MANIFEST).exists())
+    let mut subdirs: Vec<_> = vfs
+        .read_dir(dir)?
+        .into_iter()
+        .filter(|p| vfs.is_dir(p) && vfs.exists(&p.join(MANIFEST)))
         .collect();
     subdirs.sort();
     for sub in subdirs {
-        let coll = load_collection(&sub)?;
+        let coll = load_collection_with(vfs, &sub).map_err(|e| PersistError::Collection {
+            dir: sub.display().to_string(),
+            source: Box::new(e),
+        })?;
         let name = coll.name().to_string();
         db.create_collection(&name);
         *db.collection_mut(&name).expect("just created") = coll;
@@ -202,7 +272,7 @@ mod tests {
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("xia_persist_{name}_{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let _ = RealVfs.remove_dir_all(&dir);
         dir
     }
 
@@ -246,7 +316,7 @@ mod tests {
             loaded.stats().count_matching(&p),
             orig.stats().count_matching(&p)
         );
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -260,7 +330,7 @@ mod tests {
         assert_eq!(loaded.len(), 3);
         let ids: Vec<u32> = loaded.documents().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2], "ids compacted");
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -280,39 +350,41 @@ mod tests {
         assert_eq!(loaded.collections().count(), 2);
         assert_eq!(loaded.collection("a").unwrap().len(), 1);
         assert_eq!(loaded.collection("b").unwrap().len(), 1);
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_manifest_is_an_error() {
         let dir = tmp("missing");
-        fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         let err = load_collection(&dir).unwrap_err();
         assert!(matches!(err, PersistError::BadManifest(_)));
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_document_is_reported() {
         let dir = tmp("corrupt");
         save_collection(&sample_collection(), &dir).unwrap();
-        fs::write(dir.join("docs/000002.xml"), "<broken>").unwrap();
+        RealVfs
+            .write(&dir.join("docs/000002.xml"), b"<broken>")
+            .unwrap();
         let err = load_collection(&dir).unwrap_err();
         assert!(matches!(err, PersistError::BadDocument { .. }), "{err}");
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_document_file_is_detected() {
         let dir = tmp("count");
         save_collection(&sample_collection(), &dir).unwrap();
-        fs::remove_file(dir.join("docs/000004.xml")).unwrap();
+        RealVfs.remove_file(&dir.join("docs/000004.xml")).unwrap();
         let err = load_collection(&dir).unwrap_err();
         assert!(
             matches!(err, PersistError::BadManifest(_)),
             "doc-count mismatch must be reported, got {err}"
         );
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -323,6 +395,53 @@ mod tests {
         save_collection(&orig, &dir).unwrap(); // second save replaces
         let loaded = load_collection(&dir).unwrap();
         assert_eq!(loaded.len(), 5);
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flat_legacy_layout_still_loads() {
+        let dir = tmp("flat");
+        save_collection(&sample_collection(), &dir.join("shop")).unwrap();
+        let db = load_database(&dir).unwrap();
+        assert_eq!(db.collections().count(), 1);
+        assert_eq!(db.collection("shop").unwrap().len(), 5);
+        RealVfs.remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_collection_subdir_is_named_in_the_error() {
+        let dir = tmp("whichcoll");
+        save_collection(&sample_collection(), &dir.join("good")).unwrap();
+        let mut broken = Collection::new("zbroken");
+        broken.insert(Document::parse("<a>1</a>").unwrap());
+        save_collection(&broken, &dir.join("zbroken")).unwrap();
+        RealVfs
+            .write(&dir.join("zbroken/docs/000000.xml"), b"<torn")
+            .unwrap();
+        let err = load_database(&dir).unwrap_err();
+        match &err {
+            PersistError::Collection { dir: d, source } => {
+                assert!(d.ends_with("zbroken"), "names the failing subdir: {d}");
+                assert!(matches!(**source, PersistError::BadDocument { .. }));
+            }
+            other => panic!("expected Collection error, got {other}"),
+        }
+        assert!(err.to_string().contains("zbroken"), "{err}");
+        RealVfs.remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_save_database_supersedes_the_first() {
+        let dir = tmp("regen");
+        let mut db = Database::new();
+        db.create_collection("a");
+        save_database(&db, &dir).unwrap();
+        db.collection_mut("a")
+            .unwrap()
+            .insert(Document::parse("<x>1</x>").unwrap());
+        save_database(&db, &dir).unwrap();
+        let loaded = load_database(&dir).unwrap();
+        assert_eq!(loaded.collection("a").unwrap().len(), 1);
+        RealVfs.remove_dir_all(&dir).ok();
     }
 }

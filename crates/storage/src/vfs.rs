@@ -1,0 +1,464 @@
+//! Injectable filesystem: every byte the persistence layer touches goes
+//! through the [`Vfs`] trait, so tests can deterministically fail,
+//! tear, or "crash" any individual filesystem step.
+//!
+//! Two implementations ship:
+//!
+//! * [`RealVfs`] — thin std::fs wrapper, the production path;
+//! * [`FaultVfs`] — wraps another `Vfs` and injects exactly one
+//!   [`Fault`] at a chosen *mutating-operation index*. Reads are never
+//!   faulted (a crashed process loses writes, not the ability of the
+//!   next process to read).
+//!
+//! The crash-matrix tests (`crates/storage/tests/crash_matrix.rs`) use
+//! the op counter for a dry run first: run the operation once with no
+//! fault, read [`FaultVfs::trace`], then sweep every op index with every
+//! fault kind and assert recovery lands on a consistent state.
+
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Filesystem operations the persistence layer is allowed to perform.
+///
+/// Mutating operations (everything except the read group) are the unit
+/// of fault injection: [`FaultVfs`] counts them in call order.
+pub trait Vfs: Send + Sync {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Create/truncate `path` and write all of `data`.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append `data` to `path`, creating it if absent.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// fsync a file (or directory) so it survives a crash.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename a file or directory.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    // Read group — never faulted.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let bytes = self.read(path)?;
+        String::from_utf8(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+    /// Entries of a directory (full paths, unsorted).
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+    fn exists(&self, path: &Path) -> bool;
+    fn is_dir(&self, path: &Path) -> bool;
+}
+
+/// The production filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        // Directories can be fsync'd through an ordinary open on Unix;
+        // on platforms where that fails the rename barrier is the best
+        // we can do, so a failed directory sync is not fatal.
+        match fs::File::open(path) {
+            Ok(f) => match f.sync_all() {
+                Ok(()) => Ok(()),
+                Err(_) if path.is_dir() => Ok(()),
+                Err(e) => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+}
+
+/// One injected failure, positioned by mutating-operation index
+/// (0-based, in call order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The op itself fails cleanly: nothing reaches disk, the caller
+    /// sees an error, later ops still work (a transient failure).
+    FailOp(usize),
+    /// The op is a write/append that only lands its first `keep` bytes,
+    /// then the process "crashes": the caller sees an error and every
+    /// later mutating op fails too. For non-write ops this degrades to
+    /// [`Fault::CrashAfter`] semantics.
+    TornWrite { op: usize, keep: usize },
+    /// The op completes, then the process "crashes" before the next
+    /// step: the caller sees an error on the *completed* op (so it
+    /// stops, like a dead process would) but disk holds the op's
+    /// effects; every later mutating op fails.
+    CrashAfter(usize),
+}
+
+/// A recorded mutating operation, for dry runs.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Short label: `write <path>`, `rename <from> -> <to>`, ...
+    pub label: String,
+    /// Payload length for write/append ops (0 otherwise) — used to
+    /// choose torn-write offsets.
+    pub data_len: usize,
+    /// True for write/append ops (the only ones that can tear).
+    pub is_write: bool,
+}
+
+/// A [`Vfs`] wrapper injecting one deterministic [`Fault`].
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    fault: Option<Fault>,
+    ops: AtomicUsize,
+    crashed: AtomicBool,
+    trace: Mutex<Vec<OpRecord>>,
+}
+
+impl FaultVfs {
+    /// Wrap `inner`, injecting `fault` (or none, for a dry run that
+    /// only records the operation trace).
+    pub fn new(inner: Arc<dyn Vfs>, fault: Option<Fault>) -> FaultVfs {
+        FaultVfs {
+            inner,
+            fault,
+            ops: AtomicUsize::new(0),
+            crashed: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of mutating ops attempted so far.
+    pub fn ops(&self) -> usize {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The mutating-op trace recorded so far (labels + write sizes).
+    pub fn trace(&self) -> Vec<OpRecord> {
+        self.trace.lock().expect("trace lock").clone()
+    }
+
+    fn injected(kind: &str) -> io::Error {
+        io::Error::other(format!("injected {kind}"))
+    }
+
+    /// Gate one mutating op: decide whether it runs fully, partially
+    /// (torn writes hand back the number of bytes to keep), or not at
+    /// all. `Ok((i, None))` means op `i` runs fully; `Ok((i, Some(k)))`
+    /// means run a write truncated to `k` bytes then report a crash.
+    fn admit(
+        &self,
+        label: String,
+        data_len: usize,
+        is_write: bool,
+    ) -> io::Result<(usize, Option<usize>)> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(Self::injected("crash (process is down)"));
+        }
+        let i = self.ops.fetch_add(1, Ordering::SeqCst);
+        self.trace.lock().expect("trace lock").push(OpRecord {
+            label,
+            data_len,
+            is_write,
+        });
+        match self.fault {
+            Some(Fault::FailOp(k)) if i == k => Err(Self::injected("write failure")),
+            Some(Fault::TornWrite { op, keep }) if i == op => {
+                self.crashed.store(true, Ordering::SeqCst);
+                if is_write {
+                    Ok((i, Some(keep.min(data_len))))
+                } else {
+                    // Non-write op: nothing to tear; crash before it runs.
+                    Err(Self::injected("crash"))
+                }
+            }
+            Some(Fault::CrashAfter(k)) if i == k => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Ok((i, None)) // run fully; caller converts to an error after
+            }
+            _ => Ok((i, None)),
+        }
+    }
+
+    /// True when op `op_index` triggered `CrashAfter`: the op ran, but
+    /// the caller must now see an error (as a dead process would).
+    fn crash_fired_on(&self, op_index: usize) -> bool {
+        matches!(self.fault, Some(Fault::CrashAfter(k)) if k == op_index)
+    }
+
+    fn run_full(&self, label: String, f: impl FnOnce() -> io::Result<()>) -> io::Result<()> {
+        let (i, _) = self.admit(label, 0, false)?;
+        f()?;
+        if self.crash_fired_on(i) {
+            return Err(Self::injected("crash"));
+        }
+        Ok(())
+    }
+
+    fn run_write(
+        &self,
+        label: String,
+        data: &[u8],
+        f: impl FnOnce(&[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match self.admit(label, data.len(), true)? {
+            (_, Some(keep)) => {
+                f(&data[..keep])?;
+                Err(Self::injected("torn write"))
+            }
+            (i, None) => {
+                f(data)?;
+                if self.crash_fired_on(i) {
+                    return Err(Self::injected("crash"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.run_full(format!("create_dir_all {}", path.display()), || {
+            self.inner.create_dir_all(path)
+        })
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.run_write(format!("write {}", path.display()), data, |d| {
+            self.inner.write(path, d)
+        })
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.run_write(format!("append {}", path.display()), data, |d| {
+            self.inner.append(path, d)
+        })
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        self.run_full(format!("sync {}", path.display()), || self.inner.sync(path))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.run_full(
+            format!("rename {} -> {}", from.display(), to.display()),
+            || self.inner.rename(from, to),
+        )
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.run_full(format!("remove_file {}", path.display()), || {
+            self.inner.remove_file(path)
+        })
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.run_full(format!("remove_dir_all {}", path.display()), || {
+            self.inner.remove_dir_all(path)
+        })
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.read_dir(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        self.inner.is_dir(path)
+    }
+}
+
+/// Write `data` to `path` atomically: write `path.tmp`, fsync, rename
+/// over `path`, fsync the parent directory. After a crash at any point
+/// the destination holds either its old contents or `data`, never a
+/// prefix.
+pub fn atomic_write(vfs: &dyn Vfs, path: &Path, data: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    vfs.write(&tmp, data)?;
+    vfs.sync(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            vfs.sync(parent)?;
+        }
+    }
+    Ok(())
+}
+
+/// The `.tmp` sibling name used by [`atomic_write`]; exposed so cleanup
+/// checks (tests, recovery) can spot leftovers.
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xia_vfs_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let dir = tmp("real");
+        let v = RealVfs;
+        let f = dir.join("a.txt");
+        v.write(&f, b"hello").unwrap();
+        v.append(&f, b" world").unwrap();
+        assert_eq!(v.read_to_string(&f).unwrap(), "hello world");
+        v.sync(&f).unwrap();
+        v.sync(&dir).unwrap();
+        let g = dir.join("b.txt");
+        v.rename(&f, &g).unwrap();
+        assert!(!v.exists(&f));
+        assert!(v.exists(&g));
+        assert_eq!(v.read_dir(&dir).unwrap().len(), 1);
+        v.remove_file(&g).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fail_op_is_transient() {
+        let dir = tmp("failop");
+        let v = FaultVfs::new(Arc::new(RealVfs), Some(Fault::FailOp(0)));
+        let f = dir.join("x");
+        assert!(v.write(&f, b"one").is_err(), "op 0 fails");
+        assert!(!f.exists(), "failed op left nothing behind");
+        v.write(&f, b"two").unwrap();
+        assert_eq!(v.read_to_string(&f).unwrap(), "two");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_then_crashes() {
+        let dir = tmp("torn");
+        let v = FaultVfs::new(Arc::new(RealVfs), Some(Fault::TornWrite { op: 0, keep: 3 }));
+        let f = dir.join("x");
+        assert!(v.write(&f, b"hello").is_err());
+        assert_eq!(fs::read(&f).unwrap(), b"hel", "prefix landed");
+        assert!(v.crashed());
+        assert!(v.write(&dir.join("y"), b"nope").is_err(), "down after");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_after_completes_the_op_then_halts() {
+        let dir = tmp("crash");
+        let v = FaultVfs::new(Arc::new(RealVfs), Some(Fault::CrashAfter(1)));
+        let f = dir.join("x");
+        v.write(&f, b"one").unwrap();
+        assert!(v.append(&f, b"two").is_err(), "op 1 reports the crash");
+        assert_eq!(fs::read(&f).unwrap(), b"onetwo", "but its bytes landed");
+        assert!(v.sync(&f).is_err(), "down after");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dry_run_records_a_trace() {
+        let dir = tmp("trace");
+        let v = FaultVfs::new(Arc::new(RealVfs), None);
+        v.write(&dir.join("a"), b"abcd").unwrap();
+        v.rename(&dir.join("a"), &dir.join("b")).unwrap();
+        let trace = v.trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].is_write && trace[0].data_len == 4);
+        assert!(trace[1].label.starts_with("rename"));
+        assert_eq!(v.ops(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_or_preserves() {
+        let dir = tmp("atomic");
+        let f = dir.join("data");
+        atomic_write(&RealVfs, &f, b"old").unwrap();
+        assert_eq!(fs::read(&f).unwrap(), b"old");
+        // Tear the replacement at every point: the destination must
+        // still read back as exactly old or new.
+        for op in 0..4 {
+            for fault in [
+                Fault::FailOp(op),
+                Fault::CrashAfter(op),
+                Fault::TornWrite { op, keep: 1 },
+            ] {
+                let v = FaultVfs::new(Arc::new(RealVfs), Some(fault));
+                let _ = atomic_write(&v, &f, b"new");
+                let now = fs::read(&f).unwrap();
+                assert!(
+                    now == b"old" || now == b"new",
+                    "fault {fault:?} corrupted the file: {now:?}"
+                );
+                // Reset for the next round.
+                let _ = fs::remove_file(tmp_sibling(&f));
+                atomic_write(&RealVfs, &f, b"old").unwrap();
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

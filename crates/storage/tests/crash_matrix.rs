@@ -1,0 +1,257 @@
+//! The crash matrix: sweep EVERY fault point in the durability
+//! protocol and pin the invariant
+//!
+//! > after any injected crash, recovery yields either the old state or
+//! > the new state, byte-identical — never an error, never corruption.
+//!
+//! Fault points come from a dry run: `FaultVfs` records the trace of
+//! mutating filesystem ops an operation performs, then the matrix
+//! re-runs the operation once per (op index × fault kind), where fault
+//! kinds are a clean op failure, a crash immediately after the op, and
+//! — for write ops — a torn write at several offsets. After each
+//! faulted run, recovery runs on the *real* filesystem (the next
+//! process boots clean) and the recovered state's fingerprint must
+//! equal exactly the pre-state or the post-state.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use xia_storage::vfs::OpRecord;
+use xia_storage::{
+    fingerprint, recover_database, Database, DurableStore, Fault, FaultVfs, RealVfs, WalOp,
+};
+use xia_xml::Document;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xia_matrix_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Recursive copy so every matrix cell starts from the same on-disk
+/// base state (tests may use std::fs directly; persist code may not).
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+fn build_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection("shop");
+    for i in 0..3 {
+        db.collection_mut("shop").unwrap().insert(
+            Document::parse(&format!(
+                "<shop><item id=\"i{i}\"><price>{}</price></item></shop>",
+                i * 10
+            ))
+            .unwrap(),
+        );
+    }
+    db.create_collection("people");
+    db.collection_mut("people")
+        .unwrap()
+        .insert(Document::parse("<person><name>ada</name></person>").unwrap());
+    db
+}
+
+/// Every fault for every op in `trace`: clean failure, crash-after,
+/// and torn writes at the start/one-byte/middle/almost-end offsets.
+fn fault_matrix(trace: &[OpRecord]) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for (op, rec) in trace.iter().enumerate() {
+        faults.push(Fault::FailOp(op));
+        faults.push(Fault::CrashAfter(op));
+        if rec.is_write {
+            let mut keeps = vec![0, 1, rec.data_len / 2, rec.data_len.saturating_sub(1)];
+            keeps.sort_unstable();
+            keeps.dedup();
+            for keep in keeps {
+                faults.push(Fault::TornWrite { op, keep });
+            }
+        }
+    }
+    faults
+}
+
+fn recovered_fingerprint(dir: &Path) -> String {
+    let rec =
+        recover_database(&RealVfs, dir).expect("recovery must never fail after an injected crash");
+    fingerprint(&rec.database)
+}
+
+/// Crash matrix over `save_database`/checkpoint: generation staging,
+/// manifest, fsyncs, atomic rename, WAL reset, pruning.
+#[test]
+fn checkpoint_survives_every_fault_point() {
+    // Base state: generation 1 of the initial database, plus one WAL
+    // record — so "old state" exercises snapshot + WAL replay, and the
+    // checkpoint under test also has pruning work to do.
+    let base = tmp("ckpt_base");
+    let db = build_db();
+    let (mut store, _) = DurableStore::open(&base, Arc::new(RealVfs)).unwrap();
+    store.checkpoint(&db).unwrap();
+    let walled = WalOp::Insert {
+        collection: "shop".into(),
+        xml: "<shop><item id=\"w\"><price>77</price></item></shop>".into(),
+    };
+    store.append(&walled).unwrap();
+    let fp_old = recovered_fingerprint(&base);
+
+    // New state: the WAL op plus one more mutation, checkpointed.
+    let mut db_new = build_db();
+    walled.apply(&mut db_new);
+    db_new
+        .collection_mut("people")
+        .unwrap()
+        .insert(Document::parse("<person><name>grace</name></person>").unwrap());
+    let fp_new = fingerprint(&db_new);
+    assert_ne!(fp_old, fp_new);
+
+    // Dry run for the op trace.
+    let dry_dir = tmp("ckpt_dry");
+    copy_dir(&base, &dry_dir);
+    let dry = Arc::new(FaultVfs::new(Arc::new(RealVfs), None));
+    let (mut dry_store, _) = DurableStore::open(&dry_dir, dry.clone()).unwrap();
+    dry_store.checkpoint(&db_new).unwrap();
+    assert_eq!(
+        recovered_fingerprint(&dry_dir),
+        fp_new,
+        "fault-free run lands on new"
+    );
+    let trace = dry.trace();
+    assert!(trace.len() > 10, "checkpoint is a multi-step protocol");
+
+    let scratch = tmp("ckpt_cell");
+    for fault in fault_matrix(&trace) {
+        let _ = std::fs::remove_dir_all(&scratch);
+        copy_dir(&base, &scratch);
+        let vfs = Arc::new(FaultVfs::new(Arc::new(RealVfs), Some(fault)));
+        let (mut s, _) = DurableStore::open(&scratch, vfs).unwrap();
+        let result = s.checkpoint(&db_new);
+        let fp = recovered_fingerprint(&scratch);
+        assert!(
+            fp == fp_old || fp == fp_new,
+            "fault {fault:?}: recovery produced a third state\n{fp}"
+        );
+        if result.is_ok() {
+            assert_eq!(fp, fp_new, "fault {fault:?}: checkpoint claimed success");
+        }
+    }
+    for d in [base, dry_dir, scratch] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// Crash matrix over a single WAL append (+ its fsync).
+#[test]
+fn wal_append_survives_every_fault_point() {
+    let base = tmp("wal_base");
+    let db = build_db();
+    let (mut store, _) = DurableStore::open(&base, Arc::new(RealVfs)).unwrap();
+    store.checkpoint(&db).unwrap();
+    // A prior record, so a torn second append must not damage it.
+    let first = WalOp::CreateIndex {
+        collection: "shop".into(),
+        id: 1,
+        data_type: xia_index::DataType::Double,
+        pattern: "//item/price".into(),
+    };
+    store.append(&first).unwrap();
+    let fp_old = recovered_fingerprint(&base);
+
+    let op = WalOp::Insert {
+        collection: "shop".into(),
+        xml: "<shop><item id=\"n\"><price>5</price></item></shop>".into(),
+    };
+    let fp_new = {
+        let mut db_new = build_db();
+        first.apply(&mut db_new);
+        op.apply(&mut db_new);
+        fingerprint(&db_new)
+    };
+    assert_ne!(fp_old, fp_new);
+
+    let dry_dir = tmp("wal_dry");
+    copy_dir(&base, &dry_dir);
+    let dry = Arc::new(FaultVfs::new(Arc::new(RealVfs), None));
+    let (mut dry_store, _) = DurableStore::open(&dry_dir, dry.clone()).unwrap();
+    dry_store.append(&op).unwrap();
+    assert_eq!(recovered_fingerprint(&dry_dir), fp_new);
+    let trace = dry.trace();
+    assert!(trace.len() >= 2, "append + fsync");
+
+    let scratch = tmp("wal_cell");
+    for fault in fault_matrix(&trace) {
+        let _ = std::fs::remove_dir_all(&scratch);
+        copy_dir(&base, &scratch);
+        let vfs = Arc::new(FaultVfs::new(Arc::new(RealVfs), Some(fault)));
+        let (mut s, _) = DurableStore::open(&scratch, vfs).unwrap();
+        let result = s.append(&op);
+        let fp = recovered_fingerprint(&scratch);
+        assert!(
+            fp == fp_old || fp == fp_new,
+            "fault {fault:?}: recovery produced a third state\n{fp}"
+        );
+        if result.is_ok() {
+            assert_eq!(fp, fp_new, "fault {fault:?}: append claimed success");
+        }
+    }
+    for d in [base, dry_dir, scratch] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// A sequence of appends with a crash in the middle recovers to a
+/// clean prefix of the sequence — never reordered, never mixed.
+#[test]
+fn wal_sequences_recover_to_a_prefix() {
+    let ops: Vec<WalOp> = (0..5)
+        .map(|i| WalOp::Insert {
+            collection: "shop".into(),
+            xml: format!("<shop><item id=\"s{i}\"><price>{i}</price></item></shop>"),
+        })
+        .collect();
+
+    // Fingerprints of every legal prefix.
+    let prefix_fps: Vec<String> = (0..=ops.len())
+        .map(|k| {
+            let mut db = build_db();
+            for op in &ops[..k] {
+                op.apply(&mut db);
+            }
+            fingerprint(&db)
+        })
+        .collect();
+
+    // Each append is 2 vfs ops (append + sync); sweep a crash at every
+    // op across the whole sequence.
+    let scratch = tmp("walseq");
+    for crash_at in 0..(2 * ops.len()) {
+        let _ = std::fs::remove_dir_all(&scratch);
+        let (mut setup, _) = DurableStore::open(&scratch, Arc::new(RealVfs)).unwrap();
+        setup.checkpoint(&build_db()).unwrap();
+        let vfs = Arc::new(FaultVfs::new(
+            Arc::new(RealVfs),
+            Some(Fault::CrashAfter(crash_at)),
+        ));
+        let (mut s, _) = DurableStore::open(&scratch, vfs).unwrap();
+        for op in &ops {
+            if s.append(op).is_err() {
+                break;
+            }
+        }
+        let fp = recovered_fingerprint(&scratch);
+        assert!(
+            prefix_fps.contains(&fp),
+            "crash after vfs-op {crash_at}: recovered state is not a prefix"
+        );
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}

@@ -29,7 +29,10 @@ pub mod xmark;
 pub use monitor::{
     Clock, FakeClock, MonitorConfig, MonitorEntry, MonitorSnapshot, SystemClock, WorkloadMonitor,
 };
-pub use persist::{has_workload, load_monitor, load_workload, save_monitor, save_workload};
+pub use persist::{
+    has_workload, load_monitor, load_monitor_with, load_workload, load_workload_with, save_monitor,
+    save_monitor_with, save_workload, save_workload_with,
+};
 pub use synth::{synthetic_variations, SynthConfig};
 pub use tpox::{tpox_queries, TpoxConfig, TpoxGen};
 pub use xmark::{xmark_queries, XMarkConfig, XMarkGen};

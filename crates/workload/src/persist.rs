@@ -14,12 +14,18 @@
 //! the CLI's `workload load`. `monitor.txt` is richer: it keeps the
 //! per-entry collection, decayed weight and hit count so a restarted
 //! [`crate::monitor::WorkloadMonitor`] resumes from where it left off.
+//!
+//! Both files are replaced **atomically** (write `<file>.tmp`, fsync,
+//! rename) through the injectable [`Vfs`], so a crash mid-save leaves
+//! the previous snapshot intact rather than a torn file — the same
+//! guarantee the database's generational snapshots give, pinned by the
+//! storage crate's crash-matrix tests.
 
 use crate::monitor::{MonitorEntry, MonitorSnapshot};
-use std::fs;
-use std::io::Write as _;
+use std::fmt::Write as _;
 use std::path::Path;
 use xia_advisor::Workload;
+use xia_storage::vfs::{atomic_write, RealVfs, Vfs};
 use xia_storage::PersistError;
 use xia_xml::Document;
 use xia_xquery::QueryError;
@@ -30,8 +36,21 @@ const MONITOR_HEADER: &str = "monitor-snapshot v1";
 
 /// Save `workload` into snapshot directory `dir` (created if absent).
 pub fn save_workload(workload: &Workload, dir: &Path) -> Result<(), PersistError> {
-    fs::create_dir_all(dir)?;
-    fs::write(dir.join(WORKLOAD_FILE), workload.to_file_format())?;
+    save_workload_with(&RealVfs, workload, dir)
+}
+
+/// [`save_workload`] over an explicit [`Vfs`].
+pub fn save_workload_with(
+    vfs: &dyn Vfs,
+    workload: &Workload,
+    dir: &Path,
+) -> Result<(), PersistError> {
+    vfs.create_dir_all(dir)?;
+    atomic_write(
+        vfs,
+        &dir.join(WORKLOAD_FILE),
+        workload.to_file_format().as_bytes(),
+    )?;
     Ok(())
 }
 
@@ -45,15 +64,25 @@ pub fn load_workload(
     collection: &str,
     sample: Option<&Document>,
 ) -> Result<Workload, PersistError> {
+    load_workload_with(&RealVfs, dir, collection, sample)
+}
+
+/// [`load_workload`] over an explicit [`Vfs`].
+pub fn load_workload_with(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    collection: &str,
+    sample: Option<&Document>,
+) -> Result<Workload, PersistError> {
     let path = dir.join(WORKLOAD_FILE);
-    let text = fs::read_to_string(&path)?;
+    let text = vfs.read_to_string(&path)?;
     Workload::parse(&text, collection, sample)
         .map_err(|e: QueryError| PersistError::BadManifest(format!("{}: {e}", path.display())))
 }
 
 /// True when `dir` holds a persisted workload.
 pub fn has_workload(dir: &Path) -> bool {
-    dir.join(WORKLOAD_FILE).exists()
+    RealVfs.exists(&dir.join(WORKLOAD_FILE))
 }
 
 /// Save a monitor snapshot into snapshot directory `dir`.
@@ -61,26 +90,42 @@ pub fn has_workload(dir: &Path) -> bool {
 /// Weights and timestamps round-trip exactly: `f64` is written with
 /// Rust's shortest-round-trip formatting.
 pub fn save_monitor(snapshot: &MonitorSnapshot, dir: &Path) -> Result<(), PersistError> {
-    fs::create_dir_all(dir)?;
-    let mut f = fs::File::create(dir.join(MONITOR_FILE))?;
-    writeln!(f, "{MONITOR_HEADER}")?;
-    writeln!(f, "taken {}", snapshot.taken_at)?;
+    save_monitor_with(&RealVfs, snapshot, dir)
+}
+
+/// [`save_monitor`] over an explicit [`Vfs`].
+pub fn save_monitor_with(
+    vfs: &dyn Vfs,
+    snapshot: &MonitorSnapshot,
+    dir: &Path,
+) -> Result<(), PersistError> {
+    vfs.create_dir_all(dir)?;
+    let mut body = String::new();
+    let _ = writeln!(body, "{MONITOR_HEADER}");
+    let _ = writeln!(body, "taken {}", snapshot.taken_at);
     for e in &snapshot.entries {
         // Query text goes last because it may contain spaces; the
         // collection name never does.
-        writeln!(
-            f,
+        let _ = writeln!(
+            body,
             "entry {} {} {} {} {}",
             e.weight, e.last_update, e.hits, e.collection, e.text
-        )?;
+        );
     }
+    atomic_write(vfs, &dir.join(MONITOR_FILE), body.as_bytes())?;
     Ok(())
 }
 
 /// Load the monitor snapshot persisted in snapshot directory `dir`.
 pub fn load_monitor(dir: &Path) -> Result<MonitorSnapshot, PersistError> {
+    load_monitor_with(&RealVfs, dir)
+}
+
+/// [`load_monitor`] over an explicit [`Vfs`].
+pub fn load_monitor_with(vfs: &dyn Vfs, dir: &Path) -> Result<MonitorSnapshot, PersistError> {
     let path = dir.join(MONITOR_FILE);
-    let text = fs::read_to_string(&path)
+    let text = vfs
+        .read_to_string(&path)
         .map_err(|e| PersistError::BadManifest(format!("{}: {e}", path.display())))?;
     let mut lines = text.lines();
     match lines.next() {
@@ -137,10 +182,11 @@ mod tests {
     use super::*;
     use crate::monitor::{FakeClock, MonitorConfig, WorkloadMonitor};
     use std::sync::Arc;
+    use xia_storage::vfs::{Fault, FaultVfs};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("xia_wlp_{name}_{}", std::process::id()));
-        let _ = fs::remove_dir_all(&dir);
+        let _ = RealVfs.remove_dir_all(&dir);
         dir
     }
 
@@ -160,7 +206,7 @@ mod tests {
         let freqs: Vec<f64> = again.queries().map(|(_, f)| f).collect();
         assert_eq!(freqs, vec![1.0, 1.0, 2.5]);
         assert_eq!(again.updates().map(|(_, f)| f).collect::<Vec<_>>(), [40.0]);
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -202,7 +248,7 @@ mod tests {
         );
         fresh.restore(&again);
         assert_eq!(fresh.len(), 2);
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -233,37 +279,93 @@ mod tests {
         assert_eq!(db.collections().count(), 1);
         assert_eq!(load_workload(&dir, "shop", None).unwrap().query_count(), 1);
         assert_eq!(load_monitor(&dir).unwrap().len(), 1);
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_monitor_file_is_reported() {
         let dir = tmp("corrupt");
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join(MONITOR_FILE), "not a snapshot\n").unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
+        RealVfs
+            .write(&dir.join(MONITOR_FILE), b"not a snapshot\n")
+            .unwrap();
         assert!(matches!(
             load_monitor(&dir),
             Err(PersistError::BadManifest(_))
         ));
-        fs::write(
-            dir.join(MONITOR_FILE),
-            format!("{MONITOR_HEADER}\nentry nonsense\n"),
-        )
-        .unwrap();
+        RealVfs
+            .write(
+                &dir.join(MONITOR_FILE),
+                format!("{MONITOR_HEADER}\nentry nonsense\n").as_bytes(),
+            )
+            .unwrap();
         assert!(matches!(
             load_monitor(&dir),
             Err(PersistError::BadManifest(_))
         ));
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn missing_files_are_errors() {
         let dir = tmp("missing");
-        fs::create_dir_all(&dir).unwrap();
+        RealVfs.create_dir_all(&dir).unwrap();
         assert!(!has_workload(&dir));
         assert!(load_workload(&dir, "c", None).is_err());
         assert!(load_monitor(&dir).is_err());
-        fs::remove_dir_all(&dir).ok();
+        RealVfs.remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitor_save_is_atomic_under_any_fault() {
+        // The torn-write bug this layer used to have: truncating the
+        // live file in place meant a crash mid-save corrupted the only
+        // copy. Now a fault at *any* step leaves old or new, never a
+        // torn file.
+        let dir = tmp("atomicmon");
+        let old = MonitorSnapshot {
+            taken_at: 1.0,
+            entries: vec![MonitorEntry {
+                text: "//old".into(),
+                collection: "shop".into(),
+                weight: 1.0,
+                last_update: 1.0,
+                hits: 1,
+            }],
+        };
+        let new = MonitorSnapshot {
+            taken_at: 2.0,
+            entries: vec![MonitorEntry {
+                text: "//new".into(),
+                collection: "shop".into(),
+                weight: 2.0,
+                last_update: 2.0,
+                hits: 2,
+            }],
+        };
+        save_monitor(&old, &dir).unwrap();
+
+        // Dry run to learn the op count, then sweep every fault point.
+        let dry = FaultVfs::new(Arc::new(RealVfs), None);
+        save_monitor_with(&dry, &new, &dir).unwrap();
+        let ops = dry.ops();
+        assert!(ops >= 3, "tmp write + sync + rename at minimum");
+        for op in 0..ops {
+            let mut faults = vec![Fault::FailOp(op), Fault::CrashAfter(op)];
+            for keep in [0, 1, 7] {
+                faults.push(Fault::TornWrite { op, keep });
+            }
+            for fault in faults {
+                save_monitor(&old, &dir).unwrap(); // reset to old
+                let vfs = FaultVfs::new(Arc::new(RealVfs), Some(fault));
+                let _ = save_monitor_with(&vfs, &new, &dir);
+                let got = load_monitor(&dir).expect("snapshot must stay readable");
+                assert!(
+                    got.taken_at == 1.0 || got.taken_at == 2.0,
+                    "fault {fault:?} left a mixed snapshot"
+                );
+            }
+        }
+        RealVfs.remove_dir_all(&dir).ok();
     }
 }

@@ -63,9 +63,13 @@ pub mod prelude {
         enumerate_indexes, evaluate_indexes, execute, explain, profile_execute, CostModel,
         ExplainMode, Profile,
     };
-    pub use xia_server::{Client, CycleReport, Server, ServerConfig};
+    pub use xia_server::{
+        Client, CycleReport, DurabilityConfig, RetryPolicy, Server, ServerConfig,
+    };
     pub use xia_storage::{
-        load_collection, load_database, save_collection, save_database, Collection, Database, DocId,
+        checkpoint_database, fingerprint, load_collection, load_database, recover_database,
+        save_collection, save_database, Collection, Database, DocId, DurableStore, Fault, FaultVfs,
+        RealVfs, Vfs, WalOp,
     };
     pub use xia_workload::{
         load_monitor, load_workload, save_monitor, save_workload, synthetic_variations,

@@ -36,6 +36,31 @@ run_hard cargo build --release --offline
 # workspace member list regresses.
 run_hard cargo build --release --offline -p xia-server
 run_hard cargo test -q --offline
+# The crash matrix by name: the durability invariant (recovery after any
+# injected fault yields old or new state, never corruption) must never
+# silently drop out of the suite.
+run_hard cargo test -q --offline -p xia-storage --test crash_matrix
+
+# Persistence code must do ALL file I/O through the injectable Vfs —
+# a direct std::fs call is a fault-injection blind spot the crash
+# matrix can't reach.
+check_vfs_only() {
+  echo "==> grep: persist paths use Vfs only"
+  local bad=0 f
+  for f in crates/storage/src/persist.rs \
+           crates/storage/src/durable.rs \
+           crates/workload/src/persist.rs; do
+    if grep -nE 'std::fs::|fs::write|fs::read|File::create|File::open' "$f"; then
+      echo "FAILED: $f bypasses the Vfs layer (see matches above)" >&2
+      bad=1
+    fi
+  done
+  if [ "$bad" -ne 0 ]; then
+    failures=$((failures + 1))
+  fi
+}
+check_vfs_only
+
 run_if_installed fmt cargo fmt --check
 run_if_installed clippy cargo clippy --offline --all-targets -- -D warnings
 
