@@ -6,7 +6,9 @@
 //!   commands; pipe a script via stdin);
 //! * `serve` — run the advisor daemon over TCP (see `serve --help`);
 //! * `client <addr> [command…]` — talk to a running daemon, either one
-//!   command per invocation or as a line-oriented shell.
+//!   command per invocation or as a line-oriented shell;
+//! * `fuzz` — run the differential plan-equivalence oracle
+//!   (see `fuzz --help`).
 
 use std::io::{BufRead, Write};
 use xia::prelude::*;
@@ -18,6 +20,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         _ => repl(),
     }
 }
@@ -167,6 +170,109 @@ fn serve(args: &[String]) {
             eprintln!("cannot start daemon: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+const FUZZ_HELP: &str = "\
+usage: xia-cli fuzz [options]
+  --seed <n>           RNG seed; same seed, same run     (default 42)
+  --budget <n>         number of generated cases         (default 1000)
+  --max-failures <n>   stop after n shrunk failures, 0 = no cap (default 5)
+  --write-corpus <dir> write each shrunk failure as a .case file into <dir>
+exit status: 0 when every case satisfies every invariant, 1 otherwise.";
+
+fn fuzz(args: &[String]) {
+    let mut config = xia_oracle::FuzzConfig::new(42, 1000);
+    let mut corpus_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut req = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value\n{FUZZ_HELP}");
+                    std::process::exit(2);
+                })
+                .to_string()
+        };
+        fn num<T: std::str::FromStr>(name: &str, value: String) -> T {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number, got '{value}'\n{FUZZ_HELP}");
+                std::process::exit(2);
+            })
+        }
+        match a.as_str() {
+            "--seed" => config.seed = num("--seed", req("--seed")),
+            "--budget" => config.budget = num("--budget", req("--budget")),
+            "--max-failures" => {
+                config.max_failures = num("--max-failures", req("--max-failures"));
+            }
+            "--write-corpus" => corpus_dir = Some(req("--write-corpus")),
+            "--help" | "-h" => {
+                println!("{FUZZ_HELP}");
+                return;
+            }
+            other => {
+                eprintln!("unknown option '{other}'\n{FUZZ_HELP}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "xia fuzz: seed {} budget {} — checking plan equivalence, containment, \
+         virtual/physical parity, durability, estimate sanity",
+        config.seed, config.budget
+    );
+    let start = std::time::Instant::now();
+    let every = (config.budget / 10).max(1);
+    let report = xia_oracle::run_fuzz(&config, |done, fails| {
+        if done % every == 0 {
+            println!("  {done} cases, {fails} failure(s)");
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let rate = report.cases_run as f64 / secs.max(1e-9);
+    println!(
+        "{} cases in {secs:.2}s ({rate:.0} cases/sec), {} failure(s)",
+        report.cases_run,
+        report.failures.len()
+    );
+
+    for f in &report.failures {
+        println!(
+            "\ncase #{} violated invariant '{}':\n  {}\nshrunk reproducer:\n{}",
+            f.case_number,
+            f.invariant,
+            f.detail,
+            f.case.to_text()
+        );
+        if let Some(dir) = &corpus_dir {
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                continue;
+            }
+            let name = format!(
+                "seed{}_case{}_{}.case",
+                config.seed, f.case_number, f.invariant
+            );
+            let path = dir.join(name);
+            let body = format!(
+                "# found by: xia fuzz --seed {} (case #{}, invariant {})\n# {}\n{}",
+                config.seed,
+                f.case_number,
+                f.invariant,
+                f.detail.replace('\n', " "),
+                f.case.to_text()
+            );
+            match std::fs::write(&path, body) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

@@ -29,21 +29,28 @@
 use std::collections::HashMap;
 use xia_xpath::{LinearPath, LinearStep, PathAxis, PathTest};
 
-/// Maximum pattern length supported by the bitmask state encoding.
-const MAX_STEPS: usize = 63;
+/// Maximum `general` length supported by the bitmask state encoding.
+pub const MAX_STEPS: usize = 63;
 
 /// True iff `general` contains `specific`: every node selected by
 /// `specific` (on any document) is selected by `general`.
+///
+/// Only `general` is bounded: the u128 state set encodes positions of
+/// `general` (two bits per position, plus the accepting position), so a
+/// `general` longer than [`MAX_STEPS`] cannot be decided and gets the
+/// sound conservative answer `false` — an index on such a pattern is
+/// simply never matched. `specific` drives the recursion and may be
+/// arbitrarily long (deep query paths arrive over the wire), so it is
+/// decided exactly at any length.
 pub fn contains(general: &LinearPath, specific: &LinearPath) -> bool {
     // Attribute targeting must agree: an element index never covers
     // attribute nodes and vice versa.
     if general.targets_attribute() != specific.targets_attribute() {
         return false;
     }
-    assert!(
-        general.len() <= MAX_STEPS && specific.len() <= MAX_STEPS,
-        "patterns longer than {MAX_STEPS} steps are not supported"
-    );
+    if general.len() > MAX_STEPS {
+        return false;
+    }
     let mut ck = Checker {
         p: &general.steps,
         memo: HashMap::new(),
@@ -338,6 +345,48 @@ mod tests {
         assert!(c("//*/c", "/a/b/c"));
         assert!(!c("//*/c", "/c"));
         assert!(c("//c", "/c"));
+    }
+
+    /// A deep child-axis path of `n` labelled steps.
+    fn deep(n: usize) -> LinearPath {
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str("/a");
+        }
+        lp(&s)
+    }
+
+    #[test]
+    fn over_long_specific_is_decided_exactly() {
+        // Q far beyond 63 steps: the encoding only bounds P, so these are
+        // exact answers, not conservative ones.
+        for n in [64, 65, 100, 200] {
+            assert!(contains(&lp("//*"), &deep(n)), "//* ⊇ /a^{n}");
+            assert!(contains(&lp("//a"), &deep(n)));
+            assert!(!contains(&lp("/a/a"), &deep(n)), "length mismatch");
+            assert!(!contains(&lp("//b"), &deep(n)));
+        }
+        // Deep pattern with a distinguishing tail.
+        let mut t = String::new();
+        for _ in 0..70 {
+            t.push_str("/a");
+        }
+        t.push_str("/b");
+        assert!(contains(&lp("//b"), &lp(&t)));
+        assert!(!contains(&lp("//c"), &lp(&t)));
+    }
+
+    #[test]
+    fn over_long_general_is_conservatively_false() {
+        // P beyond 63 steps cannot be encoded; the sound answer for an
+        // index-matching oracle is "does not contain" (index unused).
+        assert!(!contains(&deep(64), &deep(64)));
+        assert!(!contains(&deep(100), &deep(100)));
+        assert!(!contains(&deep(64), &lp("/a")));
+        // The boundary itself still works both ways.
+        assert!(contains(&deep(63), &deep(63)));
+        assert!(!equivalent(&deep(64), &deep(64)));
+        assert!(!strictly_contains(&deep(64), &lp("/a")));
     }
 
     #[test]

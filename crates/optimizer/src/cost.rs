@@ -26,6 +26,25 @@ pub struct CostModel {
     pub cpu_maintain: f64,
 }
 
+impl CostModel {
+    /// True iff every constant is finite. The optimizer only guarantees
+    /// finite plan costs for finite models; the oracle deliberately feeds
+    /// poisoned models to probe NaN robustness of plan selection.
+    pub fn is_finite(&self) -> bool {
+        [
+            self.page_io,
+            self.random_io,
+            self.cpu_node,
+            self.cpu_entry,
+            self.cpu_recheck,
+            self.fetch,
+            self.cpu_maintain,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+    }
+}
+
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
@@ -54,6 +73,19 @@ impl QueryCost {
 
     pub fn total(&self) -> f64 {
         self.io + self.cpu
+    }
+
+    /// Debug-build invariant at cost-model exit points: components are
+    /// finite and non-negative. A NaN escaping here would make plan
+    /// comparison depend on enumeration order.
+    #[inline]
+    pub fn debug_assert_finite(&self) {
+        debug_assert!(
+            self.io.is_finite() && self.io >= 0.0 && self.cpu.is_finite() && self.cpu >= 0.0,
+            "non-finite or negative cost: io={} cpu={}",
+            self.io,
+            self.cpu
+        );
     }
 }
 

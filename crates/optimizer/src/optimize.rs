@@ -58,11 +58,7 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
         let mut best: Option<IndexLeg> = None;
         for def in catalog.indexes() {
             if let Some(leg) = cost_leg(catalog, model, def, i, atom, &pred) {
-                let better = match &best {
-                    None => true,
-                    Some(b) => leg_score(&leg, model) < leg_score(b, model),
-                };
-                if better {
+                if better_leg(&leg, best.as_ref(), model) {
                     best = Some(leg);
                 }
             }
@@ -99,10 +95,7 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
                     let pred = atom_predicate(atom);
                     for def in catalog.indexes() {
                         if let Some(leg) = cost_leg(catalog, model, def, i, atom, &pred) {
-                            let better = best
-                                .as_ref()
-                                .is_none_or(|b| leg_score(&leg, model) < leg_score(b, model));
-                            if better {
+                            if better_leg(&leg, best.as_ref(), model) {
                                 best = Some(leg);
                             }
                         }
@@ -138,7 +131,7 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
             };
             let better = best_or
                 .as_ref()
-                .is_none_or(|b| plan.cost.total() < b.cost.total());
+                .is_none_or(|b| plan.cost.total().total_cmp(&b.cost.total()).is_lt());
             if better {
                 best_or = Some(plan);
             }
@@ -188,10 +181,15 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
     }
 
     // --- Single best leg. -------------------------------------------------
+    // total_cmp, not partial_cmp: a NaN score must not make the order (and
+    // therefore the chosen leg subset) depend on enumeration order. Under
+    // total_cmp NaN sorts after every finite score, so poisoned legs lose.
+    // Equal scores break on the atom index (one leg per atom) so the ANDed
+    // prefix is the same set no matter how `legs` was assembled.
     legs.sort_by(|a, b| {
         leg_score(a, model)
-            .partial_cmp(&leg_score(b, model))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&leg_score(b, model))
+            .then_with(|| a.atom.cmp(&b.atom))
     });
     for take in 1..=legs.len().min(MAX_AND_LEGS) {
         let chosen: Vec<IndexLeg> = legs[..take].to_vec();
@@ -205,14 +203,28 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
         ));
     }
 
+    // Finite cost-model inputs must yield finite, non-negative plan costs;
+    // anything else would make the min_by below meaningless.
+    #[cfg(debug_assertions)]
+    if model.is_finite() {
+        for p in &plans {
+            p.cost.debug_assert_finite();
+            debug_assert!(
+                p.est_results.is_finite() && p.est_results >= 0.0,
+                "non-finite est_results {}",
+                p.est_results
+            );
+            debug_assert!(
+                p.est_docs_fetched.is_finite() && p.est_docs_fetched >= 0.0,
+                "non-finite est_docs_fetched {}",
+                p.est_docs_fetched
+            );
+        }
+    }
+
     plans
         .into_iter()
-        .min_by(|a, b| {
-            a.cost
-                .total()
-                .partial_cmp(&b.cost.total())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .min_by(|a, b| a.cost.total().total_cmp(&b.cost.total()))
         .expect("at least the scan plan exists")
 }
 
@@ -220,6 +232,31 @@ pub fn optimize(catalog: &Catalog<'_>, model: &CostModel, query: &NormalizedQuer
 /// output implies.
 fn leg_score(leg: &IndexLeg, model: &CostModel) -> f64 {
     leg.cost.total() + leg.est_results * model.fetch
+}
+
+/// Is `leg` strictly better than the incumbent? Scores compare with
+/// `total_cmp` so a NaN score (broken statistics, poisoned model) sorts
+/// after every finite one instead of poisoning the comparison. Exact ties
+/// are common — empty collections cost every leg the same, and NaN scores
+/// tie with each other — and falling back to "first enumerated wins"
+/// would make plan choice depend on index *creation order*, which breaks
+/// what-if reproducibility. Ties therefore break on intrinsic leg
+/// properties (cost bits, then pattern), never on catalog position.
+fn better_leg(leg: &IndexLeg, best: Option<&IndexLeg>, model: &CostModel) -> bool {
+    let Some(b) = best else { return true };
+    match leg_score(leg, model).total_cmp(&leg_score(b, model)) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => leg_tiebreak(leg) < leg_tiebreak(b),
+    }
+}
+
+fn leg_tiebreak(leg: &IndexLeg) -> (u64, u64, String) {
+    (
+        leg.cost.io.to_bits(),
+        leg.cost.cpu.to_bits(),
+        format!("{:?}", leg.pattern),
+    )
 }
 
 fn cost_leg(
@@ -484,5 +521,39 @@ mod tests {
         let plan = optimize(&cat, &CostModel::default(), &q("//item/name"));
         assert_eq!(plan.access, AccessPath::DocScan);
         assert_eq!(plan.est_results, 0.0);
+    }
+
+    /// Regression: an empty collection (0/0-selectivity territory) with
+    /// physical and virtual indexes must still produce finite,
+    /// non-negative costs — never a NaN that would make `min_by`
+    /// order-dependent.
+    #[test]
+    fn empty_collection_with_indexes_has_finite_costs() {
+        let mut c = Collection::new("empty");
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        let vdef = IndexDefinition::new(
+            IndexId(2),
+            LinearPath::parse("//*").unwrap(),
+            DataType::Varchar,
+        );
+        let cat = Catalog::with_virtuals(&c, vec![vdef]);
+        for text in [
+            "//item[price = 3]/name",
+            "//item[price > 1 and price < 9]",
+            "//item/name",
+        ] {
+            let plan = optimize(&cat, &CostModel::default(), &q(text));
+            assert!(
+                plan.cost.total().is_finite() && plan.cost.total() >= 0.0,
+                "{text}: cost {}",
+                plan.cost
+            );
+            assert!(plan.est_results.is_finite() && plan.est_results >= 0.0);
+            assert!(plan.est_docs_fetched.is_finite() && plan.est_docs_fetched >= 0.0);
+        }
     }
 }

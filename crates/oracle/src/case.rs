@@ -1,0 +1,210 @@
+//! A self-contained oracle test case and its textual `.case` format.
+//!
+//! Cases are plain text so shrunk failures can be committed to
+//! `crates/oracle/corpus/` and diffed in review:
+//!
+//! ```text
+//! # xia-oracle case v1
+//! index DOUBLE //item/price
+//! query //item[price = 3]/name
+//! doc <site><item><price>3</price><name>x</name></item></site>
+//! poison cpu_entry
+//! ```
+//!
+//! Order of lines does not matter; `#` starts a comment. Documents must
+//! be single-line XML (the generator always serializes compactly). The
+//! optional `poison <knob>` line replaces one cost-model constant with
+//! NaN, modelling a broken statistics path — plan selection must stay
+//! deterministic and execution correct even then.
+
+use xia_optimizer::CostModel;
+
+/// One index of a generated configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    /// Linear XPath pattern text (`//item/price`, `//*`, …).
+    pub pattern: String,
+    /// `VARCHAR` or `DOUBLE`.
+    pub double: bool,
+}
+
+/// A cost-model constant the case poisons with NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poison {
+    CpuEntry,
+    RandomIo,
+    Fetch,
+    /// The sharpest knob: `cpu_recheck` is charged only on legs that need
+    /// a structural re-check (a general pattern like `//*` covering a
+    /// narrower query path), so poisoning it yields *mixed* finite/NaN
+    /// leg scores for the same atom — exactly the situation where a
+    /// NaN-unsafe comparator picks whichever leg it happened to see
+    /// first and plan choice becomes enumeration-order dependent.
+    CpuRecheck,
+}
+
+impl Poison {
+    pub const ALL: [Poison; 4] = [
+        Poison::CpuEntry,
+        Poison::RandomIo,
+        Poison::Fetch,
+        Poison::CpuRecheck,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Poison::CpuEntry => "cpu_entry",
+            Poison::RandomIo => "random_io",
+            Poison::Fetch => "fetch",
+            Poison::CpuRecheck => "cpu_recheck",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Poison> {
+        Poison::ALL.into_iter().find(|p| p.name() == s)
+    }
+
+    /// The default cost model with this knob replaced by NaN.
+    pub fn apply(self) -> CostModel {
+        let mut m = CostModel::default();
+        match self {
+            Poison::CpuEntry => m.cpu_entry = f64::NAN,
+            Poison::RandomIo => m.random_io = f64::NAN,
+            Poison::Fetch => m.fetch = f64::NAN,
+            Poison::CpuRecheck => m.cpu_recheck = f64::NAN,
+        }
+        m
+    }
+}
+
+/// One complete oracle input: documents, queries, an index configuration,
+/// and optionally a poisoned cost model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Case {
+    pub docs: Vec<String>,
+    pub queries: Vec<String>,
+    pub indexes: Vec<IndexSpec>,
+    pub poison: Option<Poison>,
+}
+
+impl Case {
+    /// The cost model this case runs under.
+    pub fn model(&self) -> CostModel {
+        self.poison.map_or_else(CostModel::default, Poison::apply)
+    }
+
+    /// Serialize to the `.case` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# xia-oracle case v1\n");
+        for ix in &self.indexes {
+            out.push_str("index ");
+            out.push_str(if ix.double { "DOUBLE" } else { "VARCHAR" });
+            out.push(' ');
+            out.push_str(&ix.pattern);
+            out.push('\n');
+        }
+        for q in &self.queries {
+            out.push_str("query ");
+            out.push_str(q);
+            out.push('\n');
+        }
+        for d in &self.docs {
+            out.push_str("doc ");
+            out.push_str(d);
+            out.push('\n');
+        }
+        if let Some(p) = self.poison {
+            out.push_str("poison ");
+            out.push_str(p.name());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the `.case` text format.
+    pub fn from_text(text: &str) -> Result<Case, String> {
+        let mut case = Case::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (word, rest) = match line.find(char::is_whitespace) {
+                Some(i) => (&line[..i], line[i..].trim()),
+                None => (line, ""),
+            };
+            match word {
+                "index" => {
+                    let (ty, pattern) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| format!("line {}: index needs TYPE PATTERN", lineno + 1))?;
+                    let double = match ty {
+                        "DOUBLE" => true,
+                        "VARCHAR" => false,
+                        other => return Err(format!("line {}: bad type {other}", lineno + 1)),
+                    };
+                    case.indexes.push(IndexSpec {
+                        pattern: pattern.trim().to_string(),
+                        double,
+                    });
+                }
+                "query" => case.queries.push(rest.to_string()),
+                "doc" => case.docs.push(rest.to_string()),
+                "poison" => {
+                    case.poison = Some(
+                        Poison::parse(rest)
+                            .ok_or_else(|| format!("line {}: bad poison {rest}", lineno + 1))?,
+                    );
+                }
+                other => return Err(format!("line {}: unknown directive {other}", lineno + 1)),
+            }
+        }
+        Ok(case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Case {
+        Case {
+            docs: vec!["<a><b>1</b></a>".into(), "<a><c>x</c></a>".into()],
+            queries: vec!["//a/b".into(), "//a[b = 1]".into()],
+            indexes: vec![
+                IndexSpec {
+                    pattern: "//b".into(),
+                    double: true,
+                },
+                IndexSpec {
+                    pattern: "//*".into(),
+                    double: false,
+                },
+            ],
+            poison: Some(Poison::Fetch),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let c = sample();
+        let parsed = Case::from_text(&c.to_text()).unwrap();
+        assert_eq!(c, parsed);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let c = Case::from_text("# hi\n\ndoc <a/>\n  # more\nquery //a\n").unwrap();
+        assert_eq!(c.docs, vec!["<a/>"]);
+        assert_eq!(c.queries, vec!["//a"]);
+        assert!(c.poison.is_none());
+    }
+
+    #[test]
+    fn bad_directives_are_rejected() {
+        assert!(Case::from_text("frob x").is_err());
+        assert!(Case::from_text("index BLOB //a").is_err());
+        assert!(Case::from_text("poison nonsense").is_err());
+        assert!(Case::from_text("index DOUBLE").is_err());
+    }
+}

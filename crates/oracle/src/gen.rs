@@ -1,0 +1,207 @@
+//! Random case generation: documents, linear XPath queries, and index
+//! configurations over a deliberately tiny label alphabet so patterns,
+//! queries, and data collide constantly.
+
+use crate::case::{Case, IndexSpec, Poison};
+use crate::rng::Rng;
+use xia_xml::{serialize, DocumentBuilder};
+
+/// Small alphabet: collisions between index patterns, query paths, and
+/// document structure are the whole point.
+const LABELS: [&str; 6] = ["a", "b", "c", "d", "item", "price"];
+/// Attribute names, likewise tiny.
+const ATTRS: [&str; 2] = ["id", "k"];
+/// String leaf values.
+const WORDS: [&str; 4] = ["x", "yy", "z9", ""];
+
+/// Generate one whole case from the per-case RNG stream.
+pub fn gen_case(rng: &mut Rng) -> Case {
+    let docs = (0..rng.range(0, 4)).map(|_| gen_doc(rng)).collect();
+    let queries = (0..rng.range(1, 3)).map(|_| gen_query(rng)).collect();
+    let indexes = (0..rng.range(0, 3)).map(|_| gen_index(rng)).collect();
+    // Rarely, poison one cost-model knob with NaN: estimates go bad but
+    // plan selection must stay deterministic and execution correct.
+    let poison = rng.chance(1, 10).then(|| rng.pick(&Poison::ALL));
+    Case {
+        docs,
+        queries,
+        indexes,
+        poison,
+    }
+}
+
+/// A random document: bounded depth/fanout, mixed numeric and string
+/// leaves, occasional attributes. Serialized compactly (single line).
+fn gen_doc(rng: &mut Rng) -> String {
+    let mut b = DocumentBuilder::new();
+    let root = rng.pick(&LABELS);
+    b.open(root);
+    if rng.chance(1, 3) {
+        let n = rng.below(10);
+        b.attr(rng.pick(&ATTRS), &format!("v{n}"));
+    }
+    gen_children(rng, &mut b, 0);
+    b.close();
+    let doc = b.finish().expect("generator closes what it opens");
+    serialize(&doc)
+}
+
+fn gen_children(rng: &mut Rng, b: &mut DocumentBuilder, depth: usize) {
+    let fanout = if depth >= 3 { 0 } else { rng.range(0, 3) };
+    for _ in 0..fanout {
+        let label = rng.pick(&LABELS);
+        if rng.chance(1, 2) {
+            // Leaf with a value: numeric more often than not so DOUBLE
+            // indexes have something to chew on.
+            let value = if rng.chance(2, 3) {
+                format!("{}", rng.below(20))
+            } else {
+                rng.pick(&WORDS).to_string()
+            };
+            b.leaf(label, &value);
+        } else {
+            b.open(label);
+            if rng.chance(1, 4) {
+                let n = rng.below(10);
+                b.attr(rng.pick(&ATTRS), &format!("v{n}"));
+            }
+            gen_children(rng, b, depth + 1);
+            b.close();
+        }
+    }
+}
+
+/// A random linear path as text: `/` and `//` axes, labels and `*`,
+/// optional attribute tail. `deep` forces 64+ steps to exercise the
+/// containment length boundary end-to-end.
+pub fn gen_path(rng: &mut Rng, deep: bool) -> String {
+    let steps = if deep {
+        rng.range(64, 70)
+    } else {
+        rng.range(1, 4)
+    };
+    let mut out = String::new();
+    for i in 0..steps {
+        out.push_str(if rng.chance(1, 3) { "//" } else { "/" });
+        let last = i + 1 == steps;
+        if last && rng.chance(1, 8) {
+            out.push('@');
+            out.push_str(rng.pick(&ATTRS));
+        } else if rng.chance(1, 5) {
+            out.push('*');
+        } else {
+            out.push_str(rng.pick(&LABELS));
+        }
+    }
+    out
+}
+
+/// A random query: a linear path, optionally with one or two value
+/// predicates (possibly `and`/`or`-combined). Always compiles.
+pub fn gen_query(rng: &mut Rng) -> String {
+    // 1 in 12 queries is a deep path: the containment boundary must be
+    // exercised through the whole optimizer stack, not just unit tests.
+    let deep = rng.chance(1, 12);
+    let mut path = gen_path(rng, deep);
+    if path.ends_with('*') || path.contains('@') {
+        // Keep predicates off wildcard/attribute tails; the surface stays
+        // simple enough to always compile.
+        return path;
+    }
+    if rng.chance(1, 2) {
+        let pred = gen_comparison(rng);
+        let pred = if rng.chance(1, 4) {
+            let op = if rng.chance(1, 2) { "and" } else { "or" };
+            format!("{pred} {op} {}", gen_comparison(rng))
+        } else {
+            pred
+        };
+        path.push('[');
+        path.push_str(&pred);
+        path.push(']');
+        if rng.chance(1, 2) {
+            path.push('/');
+            path.push_str(rng.pick(&LABELS));
+        }
+    }
+    path
+}
+
+fn gen_comparison(rng: &mut Rng) -> String {
+    let lhs = rng.pick(&LABELS);
+    let op = rng.pick(&["=", "!=", "<", "<=", ">", ">="]);
+    if rng.chance(2, 3) {
+        format!("{lhs} {op} {}", rng.below(20))
+    } else {
+        format!("{lhs} {op} \"{}\"", rng.pick(&WORDS))
+    }
+}
+
+fn gen_index(rng: &mut Rng) -> IndexSpec {
+    let pattern = match rng.below(8) {
+        // The universal index: matches everything, maximal plan variety.
+        0 => "//*".to_string(),
+        // 1 in 16 indexes has a 64+-step pattern: containment must give
+        // the conservative answer, never panic.
+        1 if rng.chance(1, 2) => gen_path(rng, true),
+        _ => gen_path(rng, false),
+    };
+    IndexSpec {
+        pattern,
+        double: rng.chance(1, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_are_well_formed() {
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let case = gen_case(&mut rng);
+            for d in &case.docs {
+                assert!(!d.contains('\n'), "docs must serialize to one line: {d:?}");
+                xia_xml::Document::parse(d).expect("generated docs parse");
+            }
+            for q in &case.queries {
+                xia_xquery::compile(q, "c").expect("generated queries compile");
+            }
+            for ix in &case.indexes {
+                xia_xpath::LinearPath::parse(&ix.pattern).expect("patterns parse");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        for _ in 0..50 {
+            assert_eq!(gen_case(&mut a), gen_case(&mut b));
+        }
+    }
+
+    #[test]
+    fn deep_paths_appear() {
+        let mut rng = Rng::new(3);
+        let mut deep_queries = 0;
+        let mut deep_indexes = 0;
+        for _ in 0..400 {
+            let case = gen_case(&mut rng);
+            deep_queries += case
+                .queries
+                .iter()
+                .filter(|q| q.matches('/').count() >= 64)
+                .count();
+            deep_indexes += case
+                .indexes
+                .iter()
+                .filter(|ix| ix.pattern.matches('/').count() >= 64)
+                .count();
+        }
+        assert!(deep_queries > 0, "deep query paths must be generated");
+        assert!(deep_indexes > 0, "deep index patterns must be generated");
+    }
+}

@@ -1,0 +1,186 @@
+//! # xia-oracle
+//!
+//! A seeded differential-testing harness for the whole advisor stack.
+//! The advisor's value proposition is tight optimizer coupling: if the
+//! optimizer picks a wrong or arbitrary plan, every what-if cost and
+//! therefore every recommendation is suspect. This crate generates
+//! random documents, linear XPath queries, and index configurations,
+//! then checks five end-to-end invariants:
+//!
+//! 1. **plan equivalence** — every optimizer plan (DocScan, index scan,
+//!    index-ANDing/ORing, index-only; physical and virtual) returns the
+//!    same result set as naive navigational evaluation, under every
+//!    generated index configuration;
+//! 2. **containment soundness** — `contains(P, Q)` never panics, agrees
+//!    with the concrete label-path matcher on every node of the
+//!    generated corpus, and matches exhaustive checking on the
+//!    `//`-free sub-fragment;
+//! 3. **virtual/physical parity** — a virtual index is priced exactly
+//!    like the same index materialized, and `recommend` is
+//!    deterministic across runs;
+//! 4. **durability round-trip** — checkpoint + recover reproduces the
+//!    database fingerprint;
+//! 5. **estimate sanity** — estimated rows and costs are finite and
+//!    non-negative (for finite cost models; deliberately NaN-poisoned
+//!    models must still plan deterministically).
+//!
+//! Failures auto-shrink and serialize to a textual `.case` format that
+//! is committed under `crates/oracle/corpus/` and replayed by an
+//! ordinary `cargo test`, so every bug the oracle ever finds stays
+//! fixed. Everything is seeded (xorshift64*) — no clocks, no global
+//! randomness — so `xia fuzz --seed N` reproduces runs bit-for-bit.
+
+pub mod case;
+pub mod check;
+pub mod gen;
+pub mod rng;
+pub mod shrink;
+
+pub use case::{Case, IndexSpec, Poison};
+pub use check::{check_case, dedupe, CheckOptions, Violation};
+pub use gen::gen_case;
+pub use rng::Rng;
+pub use shrink::shrink;
+
+use std::path::PathBuf;
+
+/// Configuration for one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    pub seed: u64,
+    /// Number of cases to generate and check.
+    pub budget: u64,
+    /// Scratch directory for durability round-trips (created, then
+    /// removed). `None` derives one under the system temp dir.
+    pub scratch: Option<PathBuf>,
+    /// Check `recommend` determinism every n-th case (it is by far the
+    /// most expensive invariant). 0 disables it.
+    pub recommend_every: u64,
+    /// Stop after this many distinct failures (each is shrunk, which is
+    /// expensive); 0 means keep going through the whole budget.
+    pub max_failures: usize,
+}
+
+impl FuzzConfig {
+    pub fn new(seed: u64, budget: u64) -> FuzzConfig {
+        FuzzConfig {
+            seed,
+            budget,
+            scratch: None,
+            recommend_every: 4,
+            max_failures: 5,
+        }
+    }
+}
+
+/// One shrunk failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the generated case that first failed.
+    pub case_number: u64,
+    /// The invariant that fired.
+    pub invariant: &'static str,
+    /// Human-readable details from the *original* (pre-shrink) failure.
+    pub detail: String,
+    /// The shrunk reproducer.
+    pub case: Case,
+}
+
+/// Result of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    pub cases_run: u64,
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run the oracle: generate `budget` cases from `seed`, check every
+/// invariant, shrink any failure. `progress` is called after each case
+/// with (cases_done, failures_so_far).
+pub fn run_fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, usize)) -> FuzzReport {
+    let scratch = config.scratch.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("xia_oracle_{}_{}", std::process::id(), config.seed))
+    });
+    let _ = std::fs::create_dir_all(&scratch);
+
+    let mut report = FuzzReport::default();
+    // One RNG stream per case, split off a master stream: shrinking or
+    // skipping a case never perturbs later ones.
+    let mut master = Rng::new(config.seed);
+    for n in 0..config.budget {
+        let mut case_rng = Rng::new(master.next_u64());
+        let case = gen_case(&mut case_rng);
+        let opts = CheckOptions {
+            scratch: Some(scratch.clone()),
+            check_recommend: config.recommend_every > 0 && n % config.recommend_every == 0,
+        };
+        let violations = check_case(&case, &opts);
+        report.cases_run += 1;
+        if let Some(first) = dedupe(violations).into_iter().next() {
+            // Shrink without disk traffic unless the bug is durability.
+            let shrink_opts = CheckOptions {
+                scratch: (first.invariant == "durability").then(|| scratch.clone()),
+                check_recommend: first.invariant == "recommend-determinism",
+            };
+            let small = shrink(&case, &shrink_opts, first.invariant);
+            report.failures.push(Failure {
+                case_number: n,
+                invariant: first.invariant,
+                detail: first.detail,
+                case: small,
+            });
+            if config.max_failures > 0 && report.failures.len() >= config.max_failures {
+                progress(report.cases_run, report.failures.len());
+                break;
+            }
+        }
+        progress(report.cases_run, report.failures.len());
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The oracle's own smoke test: a short run on a fixed seed must be
+    /// clean. (The long pinned-seed run lives in scripts/check.sh and the
+    /// acceptance command `xia fuzz --seed 42 --budget 5000`.)
+    #[test]
+    fn short_run_is_clean() {
+        let report = run_fuzz(&FuzzConfig::new(42, 40), |_, _| {});
+        assert_eq!(report.cases_run, 40);
+        if let Some(f) = report.failures.first() {
+            panic!(
+                "case {} violated {}: {}\nshrunk:\n{}",
+                f.case_number,
+                f.invariant,
+                f.detail,
+                f.case.to_text()
+            );
+        }
+    }
+
+    /// A hand-built case that exercises all five invariants must pass.
+    #[test]
+    fn handbuilt_case_passes() {
+        let case = Case::from_text(
+            "index DOUBLE //item/price\nindex VARCHAR //*\nquery //item[price = 3]/b\nquery //item/price\ndoc <a><item><price>3</price><b>x</b></item></a>\ndoc <a><item><price>7</price><b>y</b></item></a>\n",
+        )
+        .unwrap();
+        let scratch = std::env::temp_dir().join(format!("xia_oracle_unit_{}", std::process::id()));
+        let opts = CheckOptions {
+            scratch: Some(scratch.clone()),
+            check_recommend: true,
+        };
+        let violations = check_case(&case, &opts);
+        let _ = std::fs::remove_dir_all(&scratch);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Greedy case minimization: drop documents, queries, indexes, document
+//! subtrees, query predicates, and trailing path steps while the failure
+//! keeps reproducing, so committed corpus cases are small enough to read.
+
+use crate::case::Case;
+use crate::check::{check_case, CheckOptions};
+use xia_xml::{serialize, Document, DocumentBuilder, NodeId, NodeKind};
+
+/// Hard cap on re-checks per shrink so a pathological case can't stall
+/// the fuzz loop.
+const MAX_ATTEMPTS: usize = 400;
+
+/// Shrink `case` while `check_case` keeps reporting a violation of the
+/// same invariant as the original failure.
+pub fn shrink(case: &Case, opts: &CheckOptions, invariant: &'static str) -> Case {
+    let mut best = case.clone();
+    let mut attempts = 0;
+    let still_fails = |c: &Case, attempts: &mut usize| -> bool {
+        *attempts += 1;
+        check_case(c, opts).iter().any(|v| v.invariant == invariant)
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Drop whole components, largest first.
+        for kind in 0..3 {
+            let len = match kind {
+                0 => best.docs.len(),
+                1 => best.queries.len(),
+                _ => best.indexes.len(),
+            };
+            // Removing from the end keeps earlier indices stable.
+            for i in (0..len).rev() {
+                if attempts >= MAX_ATTEMPTS {
+                    return best;
+                }
+                let mut cand = best.clone();
+                match kind {
+                    0 => {
+                        cand.docs.remove(i);
+                    }
+                    1 => {
+                        if cand.queries.len() == 1 {
+                            continue; // a case needs at least one query
+                        }
+                        cand.queries.remove(i);
+                    }
+                    _ => {
+                        cand.indexes.remove(i);
+                    }
+                }
+                if still_fails(&cand, &mut attempts) {
+                    best = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Un-poison the cost model if the bug isn't about NaN handling.
+        if best.poison.is_some() && attempts < MAX_ATTEMPTS {
+            let mut cand = best.clone();
+            cand.poison = None;
+            if still_fails(&cand, &mut attempts) {
+                best = cand;
+                progressed = true;
+            }
+        }
+
+        // Simplify documents subtree by subtree.
+        for di in 0..best.docs.len() {
+            let mut sub = 0;
+            loop {
+                if attempts >= MAX_ATTEMPTS {
+                    return best;
+                }
+                let Some(smaller) = drop_subtree(&best.docs[di], sub) else {
+                    break;
+                };
+                let mut cand = best.clone();
+                cand.docs[di] = smaller;
+                if still_fails(&cand, &mut attempts) {
+                    best = cand;
+                    progressed = true;
+                    // Same position again: the next subtree slid into it.
+                } else {
+                    sub += 1;
+                }
+            }
+        }
+
+        // Simplify queries and index patterns textually.
+        for qi in 0..best.queries.len() {
+            for cand_text in simplify_path_text(&best.queries[qi]) {
+                if attempts >= MAX_ATTEMPTS {
+                    return best;
+                }
+                if xia_xquery::compile(&cand_text, "c").is_err() {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.queries[qi] = cand_text;
+                if still_fails(&cand, &mut attempts) {
+                    best = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        for ii in 0..best.indexes.len() {
+            for cand_text in simplify_path_text(&best.indexes[ii].pattern) {
+                if attempts >= MAX_ATTEMPTS {
+                    return best;
+                }
+                if xia_xpath::LinearPath::parse(&cand_text).is_err() {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand.indexes[ii].pattern = cand_text;
+                if still_fails(&cand, &mut attempts) {
+                    best = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        if !progressed || attempts >= MAX_ATTEMPTS {
+            return best;
+        }
+    }
+}
+
+/// Re-serialize `xml` with the `k`-th non-root element subtree removed
+/// (document-order counting). `None` when there is no such subtree.
+fn drop_subtree(xml: &str, k: usize) -> Option<String> {
+    let doc = Document::parse(xml).ok()?;
+    let root = doc.root_element()?;
+    let mut seen = 0usize;
+    let mut skip: Option<NodeId> = None;
+    for node in doc.descendants(root) {
+        if doc.kind(node) == NodeKind::Element {
+            if seen == k {
+                skip = Some(node);
+                break;
+            }
+            seen += 1;
+        }
+    }
+    let skip = skip?;
+    let mut b = DocumentBuilder::new();
+    copy_element(&doc, root, skip, &mut b);
+    let rebuilt = b.finish().ok()?;
+    Some(serialize(&rebuilt))
+}
+
+fn copy_element(doc: &Document, node: NodeId, skip: NodeId, b: &mut DocumentBuilder) {
+    b.open(doc.name(node));
+    // Attributes first (builder contract), then content in order.
+    for attr in doc.attributes(node) {
+        b.attr(doc.name(attr), doc.value(attr).unwrap_or(""));
+    }
+    for child in doc.children(node) {
+        if child == skip {
+            continue;
+        }
+        match doc.kind(child) {
+            NodeKind::Element => copy_element(doc, child, skip, b),
+            NodeKind::Text => {
+                b.text(doc.value(child).unwrap_or(""));
+            }
+            NodeKind::Attribute => {}
+        }
+    }
+    b.close();
+}
+
+/// Candidate simplifications of a path/query text: strip predicates,
+/// drop the trailing step, halve very long paths.
+fn simplify_path_text(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    // Strip the first [...] group (balanced, predicates don't nest
+    // brackets in this fragment).
+    if let (Some(open), Some(close)) = (text.find('['), text.rfind(']')) {
+        if open < close {
+            out.push(format!("{}{}", &text[..open], &text[close + 1..]));
+        }
+    }
+    // Drop the trailing step (last '/' outside any predicate).
+    if let Some(cut) = last_toplevel_slash(text) {
+        if cut > 0 {
+            out.push(text[..cut].to_string());
+        }
+    }
+    // Halve long step chains so 70-step paths shrink in a few rounds, but
+    // keep them past the 64-step boundary when the bug needs it (the
+    // still-fails check decides).
+    let slashes = text.matches('/').count();
+    if slashes > 8 {
+        if let Some(mid) = nth_toplevel_slash(text, slashes / 2) {
+            if mid > 0 {
+                out.push(text[..mid].to_string());
+            }
+        }
+    }
+    out
+}
+
+fn last_toplevel_slash(text: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut last = None;
+    let mut prev_slash = false;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            '/' if depth == 0 && !prev_slash => {
+                // Treat '//' as one cut point at its first '/'.
+                last = Some(i);
+            }
+            _ => {}
+        }
+        prev_slash = ch == '/';
+    }
+    last
+}
+
+fn nth_toplevel_slash(text: &str, n: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut prev_slash = false;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            '/' if depth == 0 && !prev_slash => {
+                if count == n {
+                    return Some(i);
+                }
+                count += 1;
+            }
+            _ => {}
+        }
+        prev_slash = ch == '/';
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_subtree_removes_one_element() {
+        let xml = "<a><b><c>1</c></b><d>2</d></a>";
+        // Subtree 0 is <b> (with <c> inside), subtree 1 is <c>, 2 is <d>.
+        assert_eq!(drop_subtree(xml, 0).unwrap(), "<a><d>2</d></a>");
+        assert_eq!(drop_subtree(xml, 1).unwrap(), "<a><b/><d>2</d></a>");
+        assert_eq!(drop_subtree(xml, 2).unwrap(), "<a><b><c>1</c></b></a>");
+        assert!(drop_subtree(xml, 3).is_none());
+    }
+
+    #[test]
+    fn simplify_strips_predicates_and_steps() {
+        let cands = simplify_path_text("//a[b = 1]/c");
+        assert!(cands.contains(&"//a/c".to_string()));
+        assert!(cands.contains(&"//a[b = 1]".to_string()));
+        let cands = simplify_path_text("//a");
+        assert!(
+            cands.is_empty(),
+            "single-step path has no smaller form: {cands:?}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Replay every committed `.case` regression file under the full set of
+//! oracle invariants. Each file is a bug the oracle once found (or a
+//! hand-written boundary case); this test keeps them fixed forever.
+
+use xia_oracle::{check_case, Case, CheckOptions};
+
+#[test]
+fn corpus_replays_clean() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&corpus)
+        .expect("crates/oracle/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "corpus must hold at least one .case file"
+    );
+
+    let scratch = std::env::temp_dir().join(format!("xia_oracle_corpus_{}", std::process::id()));
+    let opts = CheckOptions {
+        scratch: Some(scratch.clone()),
+        check_recommend: true,
+    };
+    let mut failures = Vec::new();
+    for path in &entries {
+        let text = std::fs::read_to_string(path).expect("readable case file");
+        let case = match Case::from_text(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                failures.push(format!("{}: unparseable case: {e}", path.display()));
+                continue;
+            }
+        };
+        for v in check_case(&case, &opts) {
+            failures.push(format!("{}: {v}", path.display()));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,135 @@
+//! Property tests tying the oracle's reference semantics to the index
+//! layer's label-path matcher: for pure structural queries, a node is in
+//! the navigational result set exactly when its root-to-node label path
+//! matches the query pattern. This is the bridge the containment
+//! invariant stands on — if it breaks, "agrees with the corpus" means
+//! nothing.
+
+use proptest::prelude::*;
+use xia_xml::{Document, DocumentBuilder, NodeKind};
+use xia_xpath::LinearPath;
+
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A tiny recursive tree: (label index, children).
+#[derive(Debug, Clone)]
+struct Tree {
+    label: usize,
+    kids: Vec<Tree>,
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = (0..LABELS.len()).prop_map(|label| Tree {
+        label,
+        kids: Vec::new(),
+    });
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        ((0..LABELS.len()), prop::collection::vec(inner, 0..3))
+            .prop_map(|(label, kids)| Tree { label, kids })
+    })
+}
+
+/// A random structural linear path (`/` or `//` axes, labels or `*`).
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(((0..LABELS.len() + 1), (0..2usize)), 1..4).prop_map(|steps| {
+        let mut out = String::new();
+        for (test, desc) in steps {
+            out.push_str(if desc == 1 { "//" } else { "/" });
+            if test == LABELS.len() {
+                out.push('*');
+            } else {
+                out.push_str(LABELS[test]);
+            }
+        }
+        out
+    })
+}
+
+fn build(tree: &Tree, b: &mut DocumentBuilder) {
+    b.open(LABELS[tree.label]);
+    for kid in &tree.kids {
+        build(kid, b);
+    }
+    b.close();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Navigational evaluation selects a node iff `matches_label_path`
+    /// accepts its root-to-node label vector.
+    #[test]
+    fn evaluate_agrees_with_label_path_matcher(
+        tree in tree_strategy(),
+        path_text in path_strategy(),
+    ) {
+        let mut builder = DocumentBuilder::new();
+        build(&tree, &mut builder);
+        let doc: Document = builder.finish().unwrap();
+        let path = LinearPath::parse(&path_text).unwrap();
+        let location = xia_xpath::parse(&path_text).unwrap();
+
+        let selected: std::collections::BTreeSet<u32> =
+            xia_xpath::evaluate(&doc, &location).into_iter().map(|n| n.as_u32()).collect();
+
+        let root = doc.root_element().unwrap();
+        for node in doc.descendants(root) {
+            if doc.kind(node) != NodeKind::Element {
+                continue;
+            }
+            // Root-to-node label vector via parent links.
+            let mut labels = Vec::new();
+            let mut cur = Some(node);
+            while let Some(n) = cur {
+                labels.push(doc.name(n));
+                cur = doc.parent(n);
+            }
+            labels.reverse();
+            let matched = path.matches_label_path(&labels, false);
+            prop_assert_eq!(
+                matched,
+                selected.contains(&node.as_u32()),
+                "node {:?} (labels {:?}) vs path {}",
+                node, labels, path_text
+            );
+        }
+    }
+
+    /// Containment, checked against the matcher: if `contains(P, Q)` then
+    /// every label path accepted by Q is accepted by P.
+    #[test]
+    fn containment_is_sound_on_label_paths(
+        tree in tree_strategy(),
+        p_text in path_strategy(),
+        q_text in path_strategy(),
+    ) {
+        let p = LinearPath::parse(&p_text).unwrap();
+        let q = LinearPath::parse(&q_text).unwrap();
+        if !xia_index::contains(&p, &q) {
+            return Ok(());
+        }
+        let mut builder = DocumentBuilder::new();
+        build(&tree, &mut builder);
+        let doc: Document = builder.finish().unwrap();
+        let root = doc.root_element().unwrap();
+        for node in doc.descendants(root) {
+            if doc.kind(node) != NodeKind::Element {
+                continue;
+            }
+            let mut labels = Vec::new();
+            let mut cur = Some(node);
+            while let Some(n) = cur {
+                labels.push(doc.name(n));
+                cur = doc.parent(n);
+            }
+            labels.reverse();
+            if q.matches_label_path(&labels, false) {
+                prop_assert!(
+                    p.matches_label_path(&labels, false),
+                    "contains({}, {}) but {:?} matches only Q",
+                    p_text, q_text, labels
+                );
+            }
+        }
+    }
+}

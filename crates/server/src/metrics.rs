@@ -131,19 +131,31 @@ impl CommandMetrics {
     }
 
     /// Upper bound (µs) of the histogram bucket holding quantile `q`.
+    ///
+    /// Reporting convention (documented in the STATS payload): bucket 0
+    /// only ever holds 0µs samples and reports 0, buckets `1..BUCKETS-1`
+    /// report their upper bound `2^i`, and the unbounded overflow bucket
+    /// reports the observed maximum rather than a made-up power of two.
     fn quantile_us(&self, q: f64) -> u64 {
         let total = self.completed.load(Ordering::Relaxed);
         if total == 0 {
             return 0;
         }
-        let target = ((total as f64) * q).ceil() as u64;
+        let target = (((total as f64) * q).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.histogram.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return 1u64 << i;
+                return match i {
+                    0 => 0,
+                    i if i == BUCKETS - 1 => self.max_us.load(Ordering::Relaxed),
+                    i => 1u64 << i,
+                };
             }
         }
+        // completed and the histogram are updated without a lock, so a
+        // concurrent reader can momentarily see the counter ahead of the
+        // buckets; fall back to the observed maximum.
         self.max_us.load(Ordering::Relaxed)
     }
 }
@@ -286,6 +298,13 @@ impl Metrics {
         Value::obj(vec![
             ("requests", Value::num(self.total_requests() as f64)),
             ("errors", Value::num(self.total_errors() as f64)),
+            // p50_us/p95_us come from power-of-two buckets and report the
+            // bucket's upper bound: 0 means "sub-microsecond", and values
+            // past the histogram range report max_us instead.
+            (
+                "latency_convention",
+                Value::str("quantiles are pow2 bucket upper bounds; 0=sub-us; overflow=max_us"),
+            ),
             ("health", health),
             ("commands", Value::Obj(commands)),
         ])
@@ -317,6 +336,63 @@ mod tests {
         assert!(q.get_f64("max_us").unwrap() >= 900.0);
         // p50 of five 100µs + one 900µs sits in the 128µs bucket.
         assert_eq!(q.get_f64("p50_us"), Some(128.0));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_quantiles() {
+        let m = Metrics::new();
+        // A request that arrived but never completed: quantiles must be 0,
+        // not a phantom 1µs.
+        m.begin(Command::Query);
+        let snap = m.snapshot_json();
+        let q = snap.get("commands").unwrap().get("query").unwrap();
+        assert_eq!(q.get_f64("p50_us"), Some(0.0));
+        assert_eq!(q.get_f64("p95_us"), Some(0.0));
+    }
+
+    #[test]
+    fn zero_latency_samples_report_zero() {
+        let m = Metrics::new();
+        for _ in 0..4 {
+            m.begin(Command::Ping);
+            m.finish(Command::Ping, 0, true);
+        }
+        let snap = m.snapshot_json();
+        let p = snap.get("commands").unwrap().get("ping").unwrap();
+        // All samples sit in bucket 0, which only holds 0µs requests.
+        assert_eq!(p.get_f64("p50_us"), Some(0.0));
+        assert_eq!(p.get_f64("p95_us"), Some(0.0));
+        assert_eq!(p.get_f64("max_us"), Some(0.0));
+    }
+
+    #[test]
+    fn single_sample_lands_in_its_bucket() {
+        let m = Metrics::new();
+        m.begin(Command::Query);
+        m.finish(Command::Query, 5, true);
+        let snap = m.snapshot_json();
+        let q = snap.get("commands").unwrap().get("query").unwrap();
+        // 5µs → bucket 3 (4..8), reported as the 8µs upper bound.
+        assert_eq!(q.get_f64("p50_us"), Some(8.0));
+        assert_eq!(q.get_f64("p95_us"), Some(8.0));
+        assert_eq!(q.get_f64("max_us"), Some(5.0));
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let m = Metrics::new();
+        // Far beyond the 2^27µs histogram range (~134s): the convention is
+        // to report the observed maximum, for every quantile that lands in
+        // the overflow bucket — not max for p95 but a random bound for p50.
+        let huge = 300_000_000_000u64;
+        m.begin(Command::Advise);
+        m.finish(Command::Advise, huge, true);
+        m.begin(Command::Advise);
+        m.finish(Command::Advise, huge + 7, true);
+        let snap = m.snapshot_json();
+        let a = snap.get("commands").unwrap().get("advise").unwrap();
+        assert_eq!(a.get_f64("p50_us"), Some((huge + 7) as f64));
+        assert_eq!(a.get_f64("p95_us"), Some((huge + 7) as f64));
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! A hostile-but-legal wire input: query paths longer than the
+//! containment checker's 63-step bitmask bound, sent over the wire
+//! against a general (`//*`) index. The seed code asserted on such
+//! patterns, so one long QUERY poisoned a worker thread; now containment
+//! answers conservatively, the query plans and runs normally, and no
+//! panic is recorded.
+
+use std::sync::Arc;
+use xia_server::{Client, Server, ServerConfig, Value};
+use xia_storage::{Collection, Database};
+use xia_workload::{FakeClock, XMarkConfig, XMarkGen};
+
+#[test]
+fn deep_query_paths_survive_the_wire() {
+    let mut coll = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs: 10,
+        ..Default::default()
+    })
+    .populate(&mut coll);
+    let mut db = Database::new();
+    assert!(db.add_collection(coll));
+
+    let server = Server::start(
+        db,
+        ServerConfig {
+            threads: 2,
+            clock: Arc::new(FakeClock::new()),
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    // A universal index: matching it against a 64+-step query path is
+    // exactly what used to trip the containment assert.
+    let resp = c
+        .call(&Value::obj(vec![
+            ("cmd", Value::str("create_index")),
+            ("pattern", Value::str("//*")),
+            ("type", Value::str("VARCHAR")),
+        ]))
+        .expect("create_index transport");
+    assert_eq!(
+        resp.get_bool("ok"),
+        Some(true),
+        "create_index failed: {resp}"
+    );
+
+    // 64, 70, and 120 child steps — all past the bitmask bound, all
+    // (vacuously) empty on XMark data, all must answer cleanly.
+    for steps in [64usize, 70, 120] {
+        let deep: String = "/site".repeat(steps);
+        let resp = c.query(&deep, None).expect("deep query transport");
+        assert_eq!(
+            resp.get_bool("ok"),
+            Some(true),
+            "{steps}-step query failed: {resp}"
+        );
+    }
+    // A deep query that actually selects something: the real path to a
+    // quantity node padded under the bound stays correct, and one just
+    // past the matcher's fast path still answers.
+    let resp = c
+        .query("/site/regions/africa/item/quantity", None)
+        .expect("control query");
+    assert_eq!(resp.get_bool("ok"), Some(true));
+
+    let stats = c
+        .call(&Value::obj(vec![("cmd", Value::str("stats"))]))
+        .expect("stats transport");
+    assert_eq!(stats.get_bool("ok"), Some(true));
+    let panics = stats
+        .get("metrics")
+        .and_then(|m| m.get("health"))
+        .and_then(|h| h.get_f64("panics_caught"));
+    assert_eq!(
+        panics,
+        Some(0.0),
+        "a deep path must not panic a worker: {stats}"
+    );
+
+    server.stop();
+}

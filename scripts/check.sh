@@ -40,6 +40,12 @@ run_hard cargo test -q --offline
 # injected fault yields old or new state, never corruption) must never
 # silently drop out of the suite.
 run_hard cargo test -q --offline -p xia-storage --test crash_matrix
+# The differential oracle: a pinned-seed sweep over all five invariants
+# (plan equivalence, containment, parity, durability, estimate sanity),
+# plus replay of every regression case the oracle ever found. The budget
+# is sized to keep the whole sweep well under half a minute in release.
+run_hard ./target/release/xia-cli fuzz --seed 42 --budget 500
+run_hard cargo test -q --offline -p xia-oracle --test corpus_replay
 
 # Persistence code must do ALL file I/O through the injectable Vfs —
 # a direct std::fs call is a fault-injection blind spot the crash
