@@ -179,11 +179,18 @@ usage: xia-cli fuzz [options]
   --budget <n>         number of generated cases         (default 1000)
   --max-failures <n>   stop after n shrunk failures, 0 = no cap (default 5)
   --write-corpus <dir> write each shrunk failure as a .case file into <dir>
+  --interleaved        run the interleaved-writes oracle instead: seeded
+                       concurrent writers through the server's committer,
+                       checked for linearizability (commit-order replay),
+                       prefix-consistent snapshots, and durability parity.
+                       --budget then counts rounds (default 1000 is a lot;
+                       50 is a thorough sweep).
 exit status: 0 when every case satisfies every invariant, 1 otherwise.";
 
 fn fuzz(args: &[String]) {
     let mut config = xia_oracle::FuzzConfig::new(42, 1000);
     let mut corpus_dir: Option<String> = None;
+    let mut interleaved = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut req = |name: &str| {
@@ -207,6 +214,7 @@ fn fuzz(args: &[String]) {
                 config.max_failures = num("--max-failures", req("--max-failures"));
             }
             "--write-corpus" => corpus_dir = Some(req("--write-corpus")),
+            "--interleaved" => interleaved = true,
             "--help" | "-h" => {
                 println!("{FUZZ_HELP}");
                 return;
@@ -216,6 +224,36 @@ fn fuzz(args: &[String]) {
                 std::process::exit(2);
             }
         }
+    }
+
+    if interleaved {
+        let icfg = xia_oracle::InterleaveConfig::new(config.seed, config.budget);
+        println!(
+            "xia fuzz --interleaved: seed {} rounds {} ({} writers × {} ops/round) — \
+             checking linearizability, prefix-consistent snapshots, durability parity",
+            icfg.seed, icfg.rounds, icfg.writers, icfg.ops_per_writer
+        );
+        let start = std::time::Instant::now();
+        let every = (icfg.rounds / 10).max(1);
+        let report = xia_oracle::run_interleaved(&icfg, |done, fails| {
+            if done % every == 0 {
+                println!("  {done} rounds, {fails} failure(s)");
+            }
+        });
+        println!(
+            "{} rounds ({} acked writes) in {:.2}s, {} failure(s)",
+            report.rounds_run,
+            report.ops_acked,
+            start.elapsed().as_secs_f64(),
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("\n{f}");
+        }
+        if !report.ok() {
+            std::process::exit(1);
+        }
+        return;
     }
 
     println!(

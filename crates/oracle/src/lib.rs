@@ -29,16 +29,24 @@
 //! ordinary `cargo test`, so every bug the oracle ever finds stays
 //! fixed. Everything is seeded (xorshift64*) — no clocks, no global
 //! randomness — so `xia fuzz --seed N` reproduces runs bit-for-bit.
+//!
+//! A second mode ([`interleave`], `xia fuzz --interleaved`) targets the
+//! server's concurrency layer instead: seeded writers race through the
+//! group-commit committer while the oracle checks linearizability
+//! (commit-order replay reproduces the final snapshot),
+//! prefix-consistent snapshot reads, and durability parity.
 
 pub mod case;
 pub mod check;
 pub mod gen;
+pub mod interleave;
 pub mod rng;
 pub mod shrink;
 
 pub use case::{Case, IndexSpec, Poison};
 pub use check::{check_case, dedupe, CheckOptions, Violation};
 pub use gen::gen_case;
+pub use interleave::{run_interleaved, InterleaveConfig, InterleaveReport};
 pub use rng::Rng;
 pub use shrink::shrink;
 

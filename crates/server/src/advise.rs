@@ -17,10 +17,11 @@
 //! creating the missing indexes, still within budget because the
 //! recommendation itself honored it.
 
+use crate::committer::{submit_and_wait, WriteCmd, WriteOutcome};
 use crate::json::Value;
 use crate::server::ServerState;
 use xia_advisor::{review_existing_indexes, EvalStats, IndexVerdict, Workload};
-use xia_index::{IndexDefinition, IndexId};
+use xia_index::IndexDefinition;
 use xia_workload::MonitorSnapshot;
 
 /// Outcome of one advisor cycle over one collection.
@@ -142,9 +143,9 @@ fn physical_shapes(defs: &[IndexDefinition]) -> Vec<(String, xia_index::DataType
 
 /// Run one advisor cycle over `snapshot` against the shared database.
 ///
-/// Takes the database read lock per collection while estimating and the
-/// write lock only to auto-apply, so concurrent queries keep flowing
-/// during the (potentially long) what-if search.
+/// Estimates against a frozen database snapshot per collection (no
+/// lock at all) and auto-applies through the committer, so concurrent
+/// queries keep flowing during the (potentially long) what-if search.
 pub fn run_cycle(state: &ServerState, snapshot: &MonitorSnapshot, seq: u64) -> CycleReport {
     let mut collections = Vec::new();
     for name in snapshot.collections() {
@@ -175,7 +176,8 @@ fn advise_collection(
     workload: &Workload,
     statements: usize,
 ) -> Option<CollectionCycle> {
-    // Estimate under the read lock.
+    // Estimate against a frozen snapshot — the what-if search can take
+    // a while, and nothing blocks on it.
     let (rec, unused, existing) = {
         let db = state.read_db();
         let coll = db.collection(name)?;
@@ -208,47 +210,31 @@ fn advise_collection(
         .collect();
     let missing_ddl: Vec<String> = missing.iter().map(|d| d.ddl(name)).collect();
 
-    // Close the loop under the write lock if configured to. Auto-applied
-    // indexes are writes like any other: logged ahead, so a crash after
-    // the cycle still recovers them.
+    // Close the loop through the committer if configured to. Auto-
+    // applied indexes are writes like any other: group-committed and
+    // WAL-logged, so a crash after the cycle still recovers them.
+    // `skip_if_exists` makes racing cycles (or a concurrent manual
+    // CREATE-INDEX of the same shape) converge instead of stacking
+    // duplicate indexes.
     let mut applied = 0;
-    if state.auto_apply && !missing.is_empty() {
-        let mut db = state.write_db();
-        if db.collection(name).is_some() {
-            let base = db
-                .collection(name)
-                .map(|coll| {
-                    coll.indexes()
-                        .iter()
-                        .map(|ix| ix.definition().id.0)
-                        .max()
-                        .map_or(1, |m| m + 1)
-                })
-                .unwrap_or(1);
-            for (offset, def) in missing.iter().enumerate() {
-                let id = base + offset as u32;
-                if state
-                    .append_wal(&xia_storage::WalOp::CreateIndex {
-                        collection: name.to_string(),
-                        id,
-                        data_type: def.data_type,
-                        pattern: def.pattern.to_string(),
-                    })
-                    .is_err()
-                {
-                    break;
+    if state.auto_apply {
+        for def in &missing {
+            match submit_and_wait(
+                &state.committer,
+                WriteCmd::CreateIndex {
+                    collection: name.to_string(),
+                    data_type: def.data_type,
+                    pattern: def.pattern.clone(),
+                    skip_if_exists: true,
+                },
+            ) {
+                Ok(committed) => {
+                    if matches!(committed.outcome, WriteOutcome::IndexCreated { .. }) {
+                        applied += 1;
+                    }
                 }
-                let Some(coll) = db.collection_mut(name) else {
-                    break;
-                };
-                coll.create_index(IndexDefinition::new(
-                    IndexId(id),
-                    def.pattern.clone(),
-                    def.data_type,
-                ));
-                applied += 1;
+                Err(_) => break,
             }
-            state.maybe_checkpoint(&db);
         }
     }
 

@@ -1,0 +1,627 @@
+//! The single-writer committer: every mutation (INSERT, CREATE-INDEX,
+//! DROP-INDEX, auto-apply) is a job in one queue, drained by one thread
+//! that stages batches copy-on-write and publishes them atomically.
+//!
+//! ## Group commit
+//!
+//! The committer blocks on its queue, then greedily drains up to
+//! [`CommitterConfig::max_batch`] more pending jobs and commits the
+//! whole batch as one unit:
+//!
+//! 1. **cull** jobs whose deadline already passed while queued (they
+//!    get `TIMEOUT`, not a late commit);
+//! 2. **stage**: clone the current snapshot's database — copy-on-write,
+//!    so only the collections the batch touches are actually copied —
+//!    and apply each job to the staged clone;
+//! 3. **log**: append every successful op to the WAL with **one**
+//!    write + fsync ([`DurableStore::append_batch`]);
+//! 4. **publish** the staged database as the next snapshot generation;
+//! 5. **acknowledge** each job, carrying its commit generation and a
+//!    global commit sequence number.
+//!
+//! Readers never wait: they keep serving the previous snapshot until
+//! the publish lands. An acknowledged write is both durable (fsynced)
+//! and visible (published) — in that order.
+//!
+//! ## Self-healing
+//!
+//! A panic while applying one job is caught per-op: the job is failed,
+//! the staged clone is rebuilt from the base snapshot by replaying the
+//! batch's already-successful ops, and the rest of the batch proceeds.
+//! Published snapshots are immutable, so a panicking writer can never
+//! corrupt what readers see — the poisoned-`RwLock` recovery dance this
+//! architecture replaced is simply gone. If the committer thread itself
+//! ever dies, the next [`Committer::submit`] respawns it against the
+//! same shared state (counted in `concurrency.committer_restarts`).
+
+use crate::metrics::Metrics;
+use crate::snapshot::SnapshotCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+use xia_index::{DataType, IndexDefinition, IndexId};
+use xia_storage::{Database, DurableStore, WalOp};
+use xia_xml::Document;
+use xia_xpath::LinearPath;
+
+/// Committer tuning.
+#[derive(Clone)]
+pub struct CommitterConfig {
+    /// Upper bound on jobs drained into one group commit.
+    pub max_batch: usize,
+    /// Roll a snapshot generation once the WAL holds this many records.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for CommitterConfig {
+    fn default() -> Self {
+        CommitterConfig {
+            max_batch: 64,
+            checkpoint_every: Some(1024),
+        }
+    }
+}
+
+/// One mutation, parsed and validated as far as possible by the
+/// submitting worker so the serial committer does minimal work.
+pub enum WriteCmd {
+    Insert {
+        collection: String,
+        /// Parsed on the worker thread; the committer only indexes it.
+        doc: Arc<Document>,
+        /// Original text, logged verbatim to the WAL.
+        xml: String,
+    },
+    CreateIndex {
+        collection: String,
+        data_type: DataType,
+        pattern: LinearPath,
+        /// Skip (successfully) if an index with the same pattern and
+        /// type already exists — lets concurrent auto-apply cycles
+        /// race without stacking duplicates.
+        skip_if_exists: bool,
+    },
+    DropIndex {
+        collection: String,
+        id: u32,
+    },
+    /// Panic mid-apply: exercises the per-op catch + staged rebuild.
+    #[cfg(feature = "testing")]
+    Panic,
+    /// Kill the committer thread outright: exercises the respawn path.
+    #[cfg(feature = "testing")]
+    Kill,
+}
+
+/// What a committed job did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOutcome {
+    Inserted {
+        doc: u32,
+        index_entries_touched: usize,
+    },
+    IndexCreated {
+        id: u32,
+        entries: usize,
+        ddl: String,
+    },
+    /// `skip_if_exists` found the shape already materialized.
+    IndexExisted {
+        id: u32,
+    },
+    IndexDropped {
+        id: u32,
+    },
+}
+
+/// A successful commit: the outcome plus where it landed.
+#[derive(Debug, Clone)]
+pub struct Committed {
+    pub outcome: WriteOutcome,
+    /// Snapshot generation this write became visible in.
+    pub generation: u64,
+    /// Global, strictly increasing commit order across all writes.
+    pub commit_seq: u64,
+    /// Ops that shared this write's group commit (including it).
+    pub batch_ops: usize,
+}
+
+pub type WriteResult = Result<Committed, String>;
+
+struct Job {
+    cmd: WriteCmd,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<WriteResult>,
+}
+
+struct Shared {
+    cell: Arc<SnapshotCell>,
+    store: Option<Arc<Mutex<DurableStore>>>,
+    metrics: Arc<Metrics>,
+    cfg: CommitterConfig,
+    commit_seq: AtomicU64,
+}
+
+struct Inner {
+    tx: Option<mpsc::Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Handle to the committer thread. Cloneless by design — it lives in
+/// the server state and everything submits through it.
+pub struct Committer {
+    shared: Arc<Shared>,
+    inner: Mutex<Inner>,
+    stopped: AtomicBool,
+}
+
+impl Committer {
+    /// Spawn the committer thread over the shared snapshot cell and
+    /// (optional) durable store.
+    pub fn start(
+        cell: Arc<SnapshotCell>,
+        store: Option<Arc<Mutex<DurableStore>>>,
+        metrics: Arc<Metrics>,
+        cfg: CommitterConfig,
+    ) -> Committer {
+        let shared = Arc::new(Shared {
+            cell,
+            store,
+            metrics,
+            cfg,
+            commit_seq: AtomicU64::new(0),
+        });
+        let (tx, handle) = spawn(shared.clone());
+        Committer {
+            shared,
+            inner: Mutex::new(Inner {
+                tx: Some(tx),
+                handle: Some(handle),
+            }),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueue a write. Returns the receiver its [`WriteResult`] will
+    /// arrive on once the group commit containing it lands; callers
+    /// bound their wait with the request deadline, which therefore
+    /// covers time spent *queued* as well as committing.
+    pub fn submit(
+        &self,
+        cmd: WriteCmd,
+        deadline: Option<Instant>,
+    ) -> Result<mpsc::Receiver<WriteResult>, String> {
+        if self.stopped.load(Ordering::SeqCst) {
+            return Err("server is shutting down; write rejected".to_string());
+        }
+        let (reply, rx) = mpsc::channel();
+        let mut job = Job {
+            cmd,
+            deadline,
+            reply,
+        };
+        let mut inner = lock_inner(&self.inner);
+        // Respawn a dead committer thread before accepting the job.
+        let dead = match (&inner.tx, &inner.handle) {
+            (Some(_), Some(h)) => h.is_finished(),
+            _ => true,
+        };
+        if dead {
+            self.respawn(&mut inner);
+        }
+        let tx = inner.tx.as_ref().expect("respawn installed a sender");
+        if let Err(mpsc::SendError(returned)) = tx.send(job) {
+            // Lost the race with a thread death: respawn once and retry.
+            job = returned;
+            self.respawn(&mut inner);
+            let tx = inner.tx.as_ref().expect("respawn installed a sender");
+            tx.send(job)
+                .map_err(|_| "committer unavailable".to_string())?;
+        }
+        self.shared
+            .metrics
+            .concurrency
+            .queue_depth
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(rx)
+    }
+
+    fn respawn(&self, inner: &mut Inner) {
+        if let Some(h) = inner.handle.take() {
+            let _ = h.join();
+        }
+        let (tx, handle) = spawn(self.shared.clone());
+        inner.tx = Some(tx);
+        inner.handle = Some(handle);
+        self.shared
+            .metrics
+            .concurrency
+            .committer_restarts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stop accepting writes, drain the queue, and join the thread.
+    /// Every job already submitted still commits. Idempotent.
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+        let (tx, handle) = {
+            let mut inner = lock_inner(&self.inner);
+            (inner.tx.take(), inner.handle.take())
+        };
+        drop(tx); // committer drains the queue, then its recv disconnects
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    /// Jobs submitted but not yet acknowledged.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared
+            .metrics
+            .concurrency
+            .queue_depth
+            .load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Committer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn lock_inner(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+fn spawn(shared: Arc<Shared>) -> (mpsc::Sender<Job>, std::thread::JoinHandle<()>) {
+    let (tx, rx) = mpsc::channel::<Job>();
+    let handle = std::thread::Builder::new()
+        .name("xia-committer".to_string())
+        .spawn(move || run(&shared, &rx))
+        .expect("spawn committer thread");
+    (tx, handle)
+}
+
+/// Thread main: block for one job, drain the queue into a batch, and
+/// group-commit it. A panic escaping `commit_batch` (it should not —
+/// per-op application is individually caught) is trapped here so one
+/// bad batch never kills the writer for good.
+fn run(shared: &Arc<Shared>, rx: &mpsc::Receiver<Job>) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < shared.cfg.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        #[cfg(feature = "testing")]
+        {
+            // A Kill job takes the whole thread down *now* (jobs in this
+            // batch are dropped; their submitters see a closed channel).
+            // Restart coverage for the supervisor path in submit().
+            if batch.iter().any(|j| matches!(j.cmd, WriteCmd::Kill)) {
+                let n = batch.len() as u64;
+                shared
+                    .metrics
+                    .concurrency
+                    .queue_depth
+                    .fetch_sub(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        let n = batch.len() as u64;
+        if std::panic::catch_unwind(AssertUnwindSafe(|| commit_batch(shared, batch))).is_err() {
+            shared
+                .metrics
+                .concurrency
+                .committer_recoveries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Whatever happened, these jobs left the queue (unanswered jobs
+        // dropped their reply senders, which submitters observe).
+        shared
+            .metrics
+            .concurrency
+            .queue_depth
+            .fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+fn commit_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for job in batch {
+        // Deadline culling: a write that already missed its deadline in
+        // the queue gets TIMEOUT instead of a late (surprise) commit.
+        if job.deadline.is_some_and(|d| d <= now) {
+            shared
+                .metrics
+                .concurrency
+                .expired_in_queue
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(
+                "TIMEOUT: write expired in the committer queue before its group commit".to_string(),
+            ));
+            continue;
+        }
+        live.push(job);
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Stage copy-on-write: O(#collections) Arc bumps, nothing deep yet.
+    let base = shared.cell.load_slow();
+    let mut staged: Database = base.database().clone();
+
+    let mut wal_ops: Vec<WalOp> = Vec::new();
+    // (job, outcome, mutated) for every successfully applied job.
+    let mut applied: Vec<(Job, WriteOutcome, bool)> = Vec::new();
+    for job in live {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| apply_cmd(&mut staged, &job.cmd))) {
+            Ok(Ok((outcome, wal_op))) => {
+                let mutated = wal_op.is_some();
+                if let Some(op) = wal_op {
+                    wal_ops.push(op);
+                }
+                applied.push((job, outcome, mutated));
+            }
+            Ok(Err(message)) => {
+                // Validation failure: apply_cmd fails before mutating,
+                // so the staged clone is still consistent.
+                let _ = job.reply.send(Err(message));
+            }
+            Err(payload) => {
+                // A panicking op may have left the staged clone half-
+                // mutated. Rebuild it: re-clone the immutable base and
+                // replay the ops that already succeeded (deterministic
+                // by construction — they are exactly the WAL records).
+                shared
+                    .metrics
+                    .health
+                    .panics_caught
+                    .fetch_add(1, Ordering::Relaxed);
+                staged = base.database().clone();
+                for op in &wal_ops {
+                    op.apply(&mut staged);
+                }
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                let _ = job
+                    .reply
+                    .send(Err(format!("internal error: write panicked: {what}")));
+            }
+        }
+    }
+    if applied.is_empty() {
+        return;
+    }
+
+    // Group commit: the whole batch's WAL records, one write, one fsync.
+    // An append failure fails every job in the batch with memory (the
+    // published snapshot) untouched — old state on disk AND in memory.
+    if !wal_ops.is_empty() {
+        if let Some(store) = &shared.store {
+            let mut s = match store.lock() {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    store.clear_poison();
+                    poisoned.into_inner()
+                }
+            };
+            if let Err(e) = s.append_batch(&wal_ops) {
+                drop(s);
+                for (job, _, _) in applied {
+                    let _ = job
+                        .reply
+                        .send(Err(format!("wal append failed (write not applied): {e}")));
+                }
+                return;
+            }
+            shared
+                .metrics
+                .health
+                .wal_appends
+                .fetch_add(wal_ops.len() as u64, Ordering::Relaxed);
+        }
+    }
+
+    // Visibility: one atomic publish for the whole batch.
+    let mutated_any = applied.iter().any(|(_, _, m)| *m);
+    let generation = if mutated_any {
+        shared.cell.publish(staged)
+    } else {
+        base.generation()
+    };
+
+    let batch_ops = applied.len();
+    let c = &shared.metrics.concurrency;
+    c.batches_committed.fetch_add(1, Ordering::Relaxed);
+    c.ops_committed
+        .fetch_add(batch_ops as u64, Ordering::Relaxed);
+    c.record_batch_size(wal_ops.len().max(batch_ops));
+
+    for (job, outcome, _) in applied {
+        let commit_seq = shared.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ = job.reply.send(Ok(Committed {
+            outcome,
+            generation,
+            commit_seq,
+            batch_ops,
+        }));
+    }
+
+    // Checkpoint from the *snapshot* — readers and queued writers are
+    // not blocked by a lock; only this thread pauses while it runs.
+    maybe_checkpoint(shared);
+}
+
+fn maybe_checkpoint(shared: &Arc<Shared>) {
+    let (Some(store), Some(every)) = (&shared.store, shared.cfg.checkpoint_every) else {
+        return;
+    };
+    let mut s = match store.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            store.clear_poison();
+            poisoned.into_inner()
+        }
+    };
+    if s.wal_records() < every {
+        return;
+    }
+    let snap = shared.cell.load_slow();
+    match s.checkpoint(snap.database()) {
+        Ok(()) => {
+            shared
+                .metrics
+                .health
+                .checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => eprintln!("xia-server: checkpoint failed (WAL retains tail): {e}"),
+    }
+}
+
+/// Apply one command to the staged database. Every failure path returns
+/// **before** mutating, so an `Err` leaves the staged clone exactly as
+/// it was.
+fn apply_cmd(
+    staged: &mut Database,
+    cmd: &WriteCmd,
+) -> Result<(WriteOutcome, Option<WalOp>), String> {
+    match cmd {
+        WriteCmd::Insert {
+            collection,
+            doc,
+            xml,
+        } => {
+            if staged.collection(collection).is_none() {
+                return Err(format!("no collection '{collection}'"));
+            }
+            let coll = staged.collection_mut(collection).expect("checked above");
+            let (id, report) = coll.insert_arc(doc.clone());
+            Ok((
+                WriteOutcome::Inserted {
+                    doc: id.0,
+                    index_entries_touched: report.index_entries_touched,
+                },
+                Some(WalOp::Insert {
+                    collection: collection.clone(),
+                    xml: xml.clone(),
+                }),
+            ))
+        }
+        WriteCmd::CreateIndex {
+            collection,
+            data_type,
+            pattern,
+            skip_if_exists,
+        } => {
+            let Some(coll) = staged.collection(collection) else {
+                return Err(format!("no collection '{collection}'"));
+            };
+            if *skip_if_exists {
+                if let Some(existing) = coll.indexes().iter().find(|ix| {
+                    ix.definition().data_type == *data_type && ix.definition().pattern == *pattern
+                }) {
+                    return Ok((
+                        WriteOutcome::IndexExisted {
+                            id: existing.definition().id.0,
+                        },
+                        None,
+                    ));
+                }
+            }
+            let next_id = coll
+                .indexes()
+                .iter()
+                .map(|ix| ix.definition().id.0)
+                .max()
+                .map_or(1, |m| m + 1);
+            let def = IndexDefinition::new(IndexId(next_id), pattern.clone(), *data_type);
+            let ddl = def.ddl(collection);
+            let coll = staged.collection_mut(collection).expect("checked above");
+            let entries = coll.create_index(def);
+            Ok((
+                WriteOutcome::IndexCreated {
+                    id: next_id,
+                    entries,
+                    ddl,
+                },
+                Some(WalOp::CreateIndex {
+                    collection: collection.clone(),
+                    id: next_id,
+                    data_type: *data_type,
+                    pattern: pattern.to_string(),
+                }),
+            ))
+        }
+        WriteCmd::DropIndex { collection, id } => {
+            let Some(coll) = staged.collection(collection) else {
+                return Err(format!("no collection '{collection}'"));
+            };
+            if !coll
+                .indexes()
+                .iter()
+                .any(|ix| ix.definition().id == IndexId(*id))
+            {
+                return Err(format!("no index idx{id}"));
+            }
+            let coll = staged.collection_mut(collection).expect("checked above");
+            coll.drop_index(IndexId(*id));
+            Ok((
+                WriteOutcome::IndexDropped { id: *id },
+                Some(WalOp::DropIndex {
+                    collection: collection.clone(),
+                    id: *id,
+                }),
+            ))
+        }
+        #[cfg(feature = "testing")]
+        WriteCmd::Panic => panic!("injected panic inside the committer (testing feature)"),
+        #[cfg(feature = "testing")]
+        WriteCmd::Kill => unreachable!("Kill is intercepted before commit_batch"),
+    }
+}
+
+/// Convenience for callers without a deadline: submit and block for the
+/// result. `Err` covers rejection, committer death, and op failure.
+pub fn submit_and_wait(committer: &Committer, cmd: WriteCmd) -> WriteResult {
+    let rx = committer.submit(cmd, None)?;
+    match rx.recv() {
+        Ok(result) => result,
+        Err(_) => Err("committer dropped the write (recovering); retry".to_string()),
+    }
+}
+
+/// Bounded wait used by request handlers: the deadline covers the time
+/// the job spends queued *and* committing. On timeout the write is
+/// abandoned to complete (or expire) in the background.
+pub fn wait_with_deadline(
+    rx: &mpsc::Receiver<WriteResult>,
+    deadline: Option<Instant>,
+) -> Result<WriteResult, mpsc::RecvTimeoutError> {
+    match deadline {
+        None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        Some(d) => {
+            let left = d.saturating_duration_since(Instant::now());
+            if left == Duration::ZERO {
+                return Err(mpsc::RecvTimeoutError::Timeout);
+            }
+            rx.recv_timeout(left)
+        }
+    }
+}

@@ -12,9 +12,17 @@
 //!                                      │   QUERY ─────┼──▶ WorkloadMonitor
 //!                                      │              │         │ snapshot
 //!                                      ▼              ▼         ▼
-//!                                   Metrics      RwLock<Database> ◀── advisor
-//!                                                                     thread
+//!                                   Metrics    Arc<Snapshot> ◀── advisor thread
+//!                                                   ▲ publish
+//!                        writes ──▶ committer ──────┘
+//!                                   (group commit: 1 fsync + 1 publish / batch)
 //! ```
+//!
+//! Reads are **lock-free**: every read command runs against the current
+//! immutable [`snapshot::Snapshot`] and never blocks on writers. Writes
+//! are serialized through the single [`committer::Committer`] thread,
+//! which batches them into group commits — one WAL fsync and one
+//! atomic snapshot publish per batch.
 //!
 //! The wire protocol is one JSON object per line in each direction —
 //! see [`server::handle_line`] for the command set. The JSON codec is
@@ -30,12 +38,18 @@
 
 pub mod advise;
 pub mod client;
+pub mod committer;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod snapshot;
 
 pub use advise::{CollectionCycle, CycleReport};
 pub use client::{Client, RetryPolicy};
+pub use committer::{
+    submit_and_wait, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome,
+};
 pub use json::Value;
 pub use metrics::{Command, Metrics};
 pub use server::{DurabilityConfig, Server, ServerConfig, ServerState};
+pub use snapshot::{Snapshot, SnapshotCell};

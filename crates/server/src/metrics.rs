@@ -179,10 +179,87 @@ pub struct HealthMetrics {
     pub checkpoints: AtomicU64,
 }
 
+/// Group-commit batch-size buckets: bucket i counts commits of
+/// `2^(i-1) < ops <= 2^i` (bucket 0 = single-op commits).
+const BATCH_BUCKETS: usize = 12;
+
+/// Committer / snapshot-path counters, reported under STATS
+/// `concurrency.committer`. All lock-free; the committer thread is the
+/// only writer for most of them.
+#[derive(Default)]
+pub struct ConcurrencyMetrics {
+    /// Group commits performed (each = one WAL fsync + one publish).
+    pub batches_committed: AtomicU64,
+    /// Write ops acknowledged across all group commits.
+    pub ops_committed: AtomicU64,
+    /// Jobs currently submitted but not yet answered.
+    pub queue_depth: AtomicU64,
+    /// Writes whose deadline passed while still queued (got TIMEOUT).
+    pub expired_in_queue: AtomicU64,
+    /// Times a dead committer thread was respawned on submit.
+    pub committer_restarts: AtomicU64,
+    /// Whole-batch panics trapped by the committer's outer backstop.
+    pub committer_recoveries: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl ConcurrencyMetrics {
+    /// Record one group commit of `ops` operations.
+    pub fn record_batch_size(&self, ops: usize) {
+        let bucket = if ops <= 1 {
+            0
+        } else {
+            (usize::BITS - (ops - 1).leading_zeros()) as usize
+        }
+        .min(BATCH_BUCKETS - 1);
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn to_json(&self) -> Value {
+        let batches = self.batches_committed.load(Ordering::Relaxed);
+        let ops = self.ops_committed.load(Ordering::Relaxed);
+        let mean_batch_ops = if batches == 0 {
+            0.0
+        } else {
+            ops as f64 / batches as f64
+        };
+        let mut hist = Vec::new();
+        for (i, b) in self.batch_hist.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                hist.push((format!("le_{}", 1u64 << i), Value::num(n as f64)));
+            }
+        }
+        Value::obj(vec![
+            ("batches_committed", Value::num(batches as f64)),
+            ("ops_committed", Value::num(ops as f64)),
+            ("mean_batch_ops", Value::num(mean_batch_ops)),
+            (
+                "queue_depth",
+                Value::num(self.queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "expired_in_queue",
+                Value::num(self.expired_in_queue.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "committer_restarts",
+                Value::num(self.committer_restarts.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "committer_recoveries",
+                Value::num(self.committer_recoveries.load(Ordering::Relaxed) as f64),
+            ),
+            ("batch_size_hist", Value::Obj(hist)),
+        ])
+    }
+}
+
 /// Server-wide request metrics.
 pub struct Metrics {
     commands: Vec<CommandMetrics>,
     pub health: HealthMetrics,
+    pub concurrency: ConcurrencyMetrics,
 }
 
 impl Default for Metrics {
@@ -196,6 +273,7 @@ impl Metrics {
         Metrics {
             commands: (0..Command::COUNT).map(|_| CommandMetrics::new()).collect(),
             health: HealthMetrics::default(),
+            concurrency: ConcurrencyMetrics::default(),
         }
     }
 
@@ -404,6 +482,26 @@ mod tests {
         let commands = snap.get("commands").unwrap();
         assert!(commands.get("ping").is_some());
         assert!(commands.get("query").is_none());
+    }
+
+    #[test]
+    fn batch_sizes_land_in_pow2_buckets() {
+        let m = Metrics::new();
+        m.concurrency.record_batch_size(1);
+        m.concurrency.record_batch_size(2);
+        m.concurrency.record_batch_size(3);
+        m.concurrency.record_batch_size(64);
+        let j = m.concurrency.to_json();
+        assert_eq!(j.get_f64("batches_committed"), Some(0.0));
+        let hist = j.get("batch_size_hist").unwrap();
+        assert_eq!(hist.get_f64("le_1"), Some(1.0));
+        assert_eq!(hist.get_f64("le_2"), Some(1.0));
+        assert_eq!(
+            hist.get_f64("le_4"),
+            Some(1.0),
+            "3 rounds up to the 4 bucket"
+        );
+        assert_eq!(hist.get_f64("le_64"), Some(1.0));
     }
 
     #[test]

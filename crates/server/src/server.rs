@@ -7,8 +7,11 @@
 //! * a **fixed pool** of worker threads pops connections and serves
 //!   them for their whole lifetime (line-delimited JSON, one response
 //!   line per request line);
-//! * reads (QUERY/EXPLAIN/PROFILE/RECOMMEND/STATS) take the database
-//!   `RwLock` shared, writes (INSERT/CREATE-INDEX) take it exclusive;
+//! * reads (QUERY/EXPLAIN/PROFILE/RECOMMEND/STATS) run **lock-free**
+//!   against the current immutable snapshot ([`crate::snapshot`]);
+//!   writes (INSERT/CREATE-INDEX/DROP-INDEX) are queued to the single
+//!   **committer** thread, which group-commits them — one WAL fsync and
+//!   one snapshot publish per batch ([`crate::committer`]);
 //! * every executed query is fed to the [`WorkloadMonitor`], and an
 //!   optional **background advisor** thread periodically turns the
 //!   monitor into a `Workload`, re-runs the advisor and reports drift
@@ -18,20 +21,22 @@
 //! on shutdown even when clients keep idle connections open.
 
 use crate::advise::{run_cycle, CycleReport};
+use crate::committer::{self, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome};
 use crate::json::{self, Value};
 use crate::metrics::{Command, Metrics};
+use crate::snapshot::{Snapshot, SnapshotCell};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use xia_advisor::{Advisor, SearchStrategy};
-use xia_index::{DataType, IndexDefinition, IndexId};
+use xia_index::DataType;
 use xia_optimizer::{execute, explain, profile_execute};
-use xia_storage::{Database, DurableStore, RealVfs, Vfs, WalOp};
+use xia_storage::{Database, DurableStore, RealVfs, Vfs};
 use xia_workload::{
     load_monitor_with, save_monitor_with, Clock, MonitorConfig, SystemClock, WorkloadMonitor,
 };
@@ -109,17 +114,23 @@ impl Default for ServerConfig {
 
 /// State shared by every worker and the background advisor.
 pub struct ServerState {
-    pub(crate) db: RwLock<Database>,
+    /// The snapshot swap point: readers `load()`, the committer
+    /// `publish()`es. Never locked on the query path.
+    pub(crate) cell: Arc<SnapshotCell>,
+    /// The single serialized write path (group commit + WAL + publish).
+    pub(crate) committer: Committer,
     pub(crate) monitor: Mutex<WorkloadMonitor>,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
     pub(crate) advisor: Advisor,
     pub(crate) budget_bytes: u64,
     pub(crate) strategy: SearchStrategy,
     pub(crate) auto_apply: bool,
     pub(crate) last_cycle: Mutex<Option<CycleReport>>,
     pub(crate) cycles: AtomicU64,
-    /// Crash-safe persistence; `None` for a memory-only daemon.
-    store: Option<Mutex<DurableStore>>,
+    /// Crash-safe persistence; `None` for a memory-only daemon. Shared
+    /// with the committer, which owns the write traffic; the server
+    /// only touches it for STATS and the shutdown flush.
+    store: Option<Arc<Mutex<DurableStore>>>,
     durability: Option<DurabilityConfig>,
     request_deadline: Option<Duration>,
     /// Guards the shutdown flush so stop()/join()/Drop run it once.
@@ -148,52 +159,41 @@ fn heal_lock<'a, T>(lock: &'a Mutex<T>, metrics: &Metrics) -> MutexGuard<'a, T> 
 }
 
 impl ServerState {
-    /// Shared database access; recovers a poisoned `RwLock` instead of
-    /// propagating the poison to every subsequent request. Public so
-    /// in-process drivers (benchmarks, tests) can inspect the database.
-    pub fn read_db(&self) -> RwLockReadGuard<'_, Database> {
-        match self.db.read() {
-            Ok(g) => g,
-            Err(poisoned) => {
-                self.db.clear_poison();
-                self.note_db_recovery();
-                let g = poisoned.into_inner();
-                self.verify_after_recovery(&g);
-                g
+    /// The current database snapshot: an immutable, `Arc`-shared image
+    /// that stays valid (and unchanging) for as long as the caller
+    /// holds it — no lock is taken, concurrent commits just publish
+    /// *newer* snapshots. Derefs to [`Database`]. Public so in-process
+    /// drivers (benchmarks, tests) can inspect the database.
+    pub fn read_db(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// Submit a write to the committer and wait for its group commit,
+    /// bounded by `deadline` (which thereby covers time spent *queued*,
+    /// not just executing). A timed-out write is abandoned: it may still
+    /// commit in the background, but the client gets a clean TIMEOUT.
+    pub(crate) fn submit_write(
+        &self,
+        cmd: WriteCmd,
+        deadline: Option<Instant>,
+    ) -> Result<Committed, String> {
+        let rx = self.committer.submit(cmd, deadline)?;
+        match committer::wait_with_deadline(&rx, deadline) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.metrics.health.timeouts.fetch_add(1, Ordering::Relaxed);
+                let budget_ms = self
+                    .request_deadline
+                    .map(|d| d.as_millis())
+                    .unwrap_or_default();
+                Err(format!(
+                    "TIMEOUT: write still queued or committing at the {budget_ms}ms deadline \
+                     and was abandoned (it may still commit)"
+                ))
             }
-        }
-    }
-
-    /// Exclusive database access, with the same poison recovery.
-    pub(crate) fn write_db(&self) -> RwLockWriteGuard<'_, Database> {
-        match self.db.write() {
-            Ok(g) => g,
-            Err(poisoned) => {
-                self.db.clear_poison();
-                self.note_db_recovery();
-                let g = poisoned.into_inner();
-                self.verify_after_recovery(&g);
-                g
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err("committer dropped the write while recovering; retry".to_string())
             }
-        }
-    }
-
-    fn note_db_recovery(&self) {
-        self.metrics
-            .health
-            .lock_recoveries
-            .fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Consistency re-check after recovering a poisoned database lock:
-    /// the panicking writer may have left a half-applied mutation.
-    fn verify_after_recovery(&self, db: &Database) {
-        if let Err(problem) = db.verify() {
-            self.metrics
-                .health
-                .verify_failures
-                .fetch_add(1, Ordering::Relaxed);
-            eprintln!("xia-server: database damaged by interrupted writer: {problem}");
         }
     }
 
@@ -215,62 +215,22 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Write-ahead: append `op` to the WAL *before* the in-memory apply.
-    /// An append error leaves both log and memory on the old state, so
-    /// the caller must return it to the client unapplied.
-    pub(crate) fn append_wal(&self, op: &WalOp) -> Result<(), String> {
-        let Some(store) = &self.store else {
-            return Ok(());
-        };
-        let mut s = heal_lock(store, &self.metrics);
-        s.append(op)
-            .map_err(|e| format!("wal append failed: {e}"))?;
-        self.metrics
-            .health
-            .wal_appends
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(())
-    }
-
-    /// Roll a snapshot generation if the WAL has crossed the configured
-    /// threshold. Called with the write lock still held (so `db` already
-    /// includes every logged op); a checkpoint failure is non-fatal —
-    /// the WAL still holds the tail.
-    pub(crate) fn maybe_checkpoint(&self, db: &Database) {
+    /// Shutdown flush: drain and stop the committer (every acknowledged
+    /// write lands first), then a final checkpoint plus an atomic
+    /// monitor save. Idempotent — every shutdown path calls it, the
+    /// first one wins.
+    fn flush_durable(&self) {
+        if self.flushed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.committer.stop();
         let (Some(store), Some(cfg)) = (&self.store, &self.durability) else {
             return;
         };
-        let Some(every) = cfg.checkpoint_every else {
-            return;
-        };
-        let mut s = heal_lock(store, &self.metrics);
-        if s.wal_records() >= every {
-            match s.checkpoint(db) {
-                Ok(()) => {
-                    self.metrics
-                        .health
-                        .checkpoints
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) => eprintln!("xia-server: checkpoint failed (WAL retains tail): {e}"),
-            }
-        }
-    }
-
-    /// Shutdown flush: final checkpoint plus an atomic monitor save.
-    /// Idempotent — every shutdown path calls it, the first one wins.
-    fn flush_durable(&self) {
-        if self.store.is_none() || self.flushed.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        let (store, cfg) = (
-            self.store.as_ref().expect("checked above"),
-            self.durability.as_ref().expect("store implies config"),
-        );
         {
             let db = self.read_db();
             let mut s = heal_lock(store, &self.metrics);
-            match s.checkpoint(&db) {
+            match s.checkpoint(db.database()) {
                 Ok(()) => {
                     self.metrics
                         .health
@@ -355,14 +315,27 @@ impl Server {
                 if let Ok(snapshot) = load_monitor_with(d.vfs.as_ref(), &d.dir) {
                     monitor.restore(&snapshot);
                 }
-                (db, Some(Mutex::new(store)))
+                (db, Some(Arc::new(Mutex::new(store))))
             }
         };
 
+        let cell = Arc::new(SnapshotCell::new(db));
+        let metrics = Arc::new(Metrics::new());
+        let committer = Committer::start(
+            cell.clone(),
+            store.clone(),
+            metrics.clone(),
+            CommitterConfig {
+                max_batch: 64,
+                checkpoint_every: cfg.durability.as_ref().and_then(|d| d.checkpoint_every),
+            },
+        );
+
         let state = Arc::new(ServerState {
-            db: RwLock::new(db),
+            cell,
+            committer,
             monitor: Mutex::new(monitor),
-            metrics: Metrics::new(),
+            metrics,
             advisor: Advisor::default(),
             budget_bytes: cfg.budget_bytes,
             strategy: cfg.strategy,
@@ -581,16 +554,31 @@ fn error_response(cmd: Command, message: &str) -> Value {
     ])
 }
 
+/// Commands that go through the committer queue. Their deadline is
+/// enforced by bounding the wait for the commit acknowledgement, so it
+/// covers time spent *queued* behind a slow group commit — not by the
+/// spawn-a-thread guard used for abandonable read/compute requests.
+fn is_write(cmd: Command) -> bool {
+    matches!(
+        cmd,
+        Command::Insert | Command::CreateIndex | Command::DropIndex
+    )
+}
+
 /// Dispatch with the self-healing guards: a per-request deadline (when
 /// configured) and a panic trap, so one bad request costs one error
 /// response — never a dead worker or a poisoned pool.
 fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
-    let Some(deadline) = state.request_deadline else {
-        return dispatch_caught(state, cmd, req);
+    let Some(budget) = state.request_deadline else {
+        return dispatch_caught(state, cmd, req, None);
     };
     // SHUTDOWN must not race its own deadline; it is instant anyway.
     if cmd == Command::Shutdown {
-        return dispatch_caught(state, cmd, req);
+        return dispatch_caught(state, cmd, req, None);
+    }
+    let deadline = Instant::now() + budget;
+    if is_write(cmd) {
+        return dispatch_caught(state, cmd, req, Some(deadline));
     }
     let (tx, rx) = mpsc::channel();
     let worker = {
@@ -599,14 +587,14 @@ fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Resu
         std::thread::Builder::new()
             .name("xia-request".to_string())
             .spawn(move || {
-                let _ = tx.send(dispatch_caught(&state, cmd, &req));
+                let _ = tx.send(dispatch_caught(&state, cmd, &req, None));
             })
     };
     if worker.is_err() {
         // Could not spawn (resource exhaustion): run inline, unbounded.
-        return dispatch_caught(state, cmd, req);
+        return dispatch_caught(state, cmd, req, None);
     }
-    match rx.recv_timeout(deadline) {
+    match rx.recv_timeout(budget) {
         Ok(result) => result,
         Err(_) => {
             state
@@ -616,7 +604,7 @@ fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Resu
                 .fetch_add(1, Ordering::Relaxed);
             Err(format!(
                 "TIMEOUT: request exceeded the {}ms deadline and was abandoned",
-                deadline.as_millis()
+                budget.as_millis()
             ))
         }
     }
@@ -624,10 +612,16 @@ fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Resu
 
 /// Run the real dispatch under `catch_unwind`: a handler panic becomes
 /// an error response for that client while the worker keeps serving.
-/// Any lock the panicking handler held is healed by the recovery
-/// helpers on its next acquisition.
-fn dispatch_caught(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
-    match std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(state, cmd, req))) {
+/// Published snapshots are immutable, so a panicking handler can never
+/// leave shared state half-mutated; the few remaining mutexes are
+/// healed by the recovery helpers on their next acquisition.
+fn dispatch_caught(
+    state: &Arc<ServerState>,
+    cmd: Command,
+    req: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(state, cmd, req, deadline))) {
         Ok(result) => result,
         Err(payload) => {
             state
@@ -645,15 +639,20 @@ fn dispatch_caught(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Resul
     }
 }
 
-fn dispatch(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
+fn dispatch(
+    state: &Arc<ServerState>,
+    cmd: Command,
+    req: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
     match cmd {
         Command::Ping => Ok(Value::obj(vec![("pong", Value::Bool(true))])),
         Command::Query => handle_query(state, req),
         Command::Explain => handle_explain(state, req, false),
         Command::Profile => handle_explain(state, req, true),
-        Command::CreateIndex => handle_create_index(state, req),
-        Command::DropIndex => handle_drop_index(state, req),
-        Command::Insert => handle_insert(state, req),
+        Command::CreateIndex => handle_create_index(state, req, deadline),
+        Command::DropIndex => handle_drop_index(state, req, deadline),
+        Command::Insert => handle_insert(state, req, deadline),
         Command::Recommend => handle_recommend(state, req),
         Command::Advise => {
             let report = state.force_cycle();
@@ -677,10 +676,20 @@ fn dispatch(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value
             match req.get_str("cmd").unwrap_or("") {
                 "panic" => panic!("injected panic (testing feature)"),
                 "panic_locked" => {
-                    // Panic while *holding* the exclusive database lock:
-                    // the nastiest case, poisons the RwLock mid-write.
-                    let _guard = state.write_db();
-                    panic!("injected panic while holding the write lock");
+                    // Panic *inside the committer*, mid-apply: the
+                    // nastiest write-path case. The committer catches it
+                    // per-op, rebuilds its staged clone, and keeps
+                    // committing the rest of the batch; readers never
+                    // see a half-applied snapshot.
+                    return state
+                        .submit_write(WriteCmd::Panic, deadline)
+                        .map(|_| unreachable!("Panic op never acknowledges"));
+                }
+                "kill_committer" => {
+                    // Take the whole committer thread down; the next
+                    // write respawns it (supervisor path).
+                    let _ = state.committer.submit(WriteCmd::Kill, None);
+                    return Ok(Value::obj(vec![("killed", Value::Bool(true))]));
                 }
                 "sleep" => {
                     let ms = req.get_f64("ms").unwrap_or(50.0).max(0.0);
@@ -798,91 +807,93 @@ fn parse_data_type(s: &str) -> Result<DataType, String> {
     }
 }
 
-fn handle_create_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+fn handle_create_index(
+    state: &Arc<ServerState>,
+    req: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
     let pattern_text = req.get_str("pattern").ok_or("missing field 'pattern'")?;
     let data_type = parse_data_type(req.get_str("type").unwrap_or("VARCHAR"))?;
     let coll_name = target_collection(state, req)?;
     let pattern = LinearPath::parse(pattern_text).map_err(|e| e.to_string())?;
-    let mut db = state.write_db();
-    let coll = db
-        .collection_mut(&coll_name)
-        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
-    let next_id = coll
-        .indexes()
-        .iter()
-        .map(|ix| ix.definition().id.0)
-        .max()
-        .map_or(1, |m| m + 1);
-    // Write-ahead: the DDL reaches the log before the index exists.
-    state.append_wal(&WalOp::CreateIndex {
-        collection: coll_name.clone(),
-        id: next_id,
-        data_type,
-        pattern: pattern_text.to_string(),
-    })?;
-    let def = IndexDefinition::new(IndexId(next_id), pattern, data_type);
-    let ddl = def.ddl(&coll_name);
-    let entries = coll.create_index(def);
-    state.maybe_checkpoint(&db);
-    Ok(Value::obj(vec![
-        ("id", Value::num(next_id as f64)),
-        ("entries", Value::num(entries as f64)),
-        ("ddl", Value::str(ddl)),
-    ]))
+    let committed = state.submit_write(
+        WriteCmd::CreateIndex {
+            collection: coll_name,
+            data_type,
+            pattern,
+            skip_if_exists: false,
+        },
+        deadline,
+    )?;
+    match committed.outcome {
+        WriteOutcome::IndexCreated { id, entries, ddl } => Ok(Value::obj(vec![
+            ("id", Value::num(id as f64)),
+            ("entries", Value::num(entries as f64)),
+            ("ddl", Value::str(ddl)),
+            ("generation", Value::num(committed.generation as f64)),
+            ("commit_seq", Value::num(committed.commit_seq as f64)),
+        ])),
+        other => Err(format!("committer returned mismatched outcome {other:?}")),
+    }
 }
 
-fn handle_drop_index(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+fn handle_drop_index(
+    state: &Arc<ServerState>,
+    req: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
     let id = req.get_f64("id").ok_or("missing field 'id'")? as u32;
     let coll_name = target_collection(state, req)?;
-    let mut db = state.write_db();
-    let coll = db
-        .collection_mut(&coll_name)
-        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
-    if !coll
-        .indexes()
-        .iter()
-        .any(|ix| ix.definition().id == IndexId(id))
-    {
-        return Err(format!("no index idx{id}"));
+    let committed = state.submit_write(
+        WriteCmd::DropIndex {
+            collection: coll_name,
+            id,
+        },
+        deadline,
+    )?;
+    match committed.outcome {
+        WriteOutcome::IndexDropped { id } => Ok(Value::obj(vec![
+            ("dropped", Value::num(id as f64)),
+            ("generation", Value::num(committed.generation as f64)),
+            ("commit_seq", Value::num(committed.commit_seq as f64)),
+        ])),
+        other => Err(format!("committer returned mismatched outcome {other:?}")),
     }
-    state.append_wal(&WalOp::DropIndex {
-        collection: coll_name.clone(),
-        id,
-    })?;
-    let coll = db
-        .collection_mut(&coll_name)
-        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
-    coll.drop_index(IndexId(id));
-    state.maybe_checkpoint(&db);
-    Ok(Value::obj(vec![("dropped", Value::num(id as f64))]))
 }
 
-fn handle_insert(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+fn handle_insert(
+    state: &Arc<ServerState>,
+    req: &Value,
+    deadline: Option<Instant>,
+) -> Result<Value, String> {
     let xml = req.get_str("xml").ok_or("missing field 'xml'")?;
     let coll_name = target_collection(state, req)?;
+    // Parse on the worker thread — many clients parse in parallel while
+    // the committer only stages and indexes the pre-built documents.
     let doc = xia_xml::Document::parse(xml).map_err(|e| e.to_string())?;
-    let mut db = state.write_db();
-    if db.collection(&coll_name).is_none() {
-        return Err(format!("no collection '{coll_name}'"));
+    let committed = state.submit_write(
+        WriteCmd::Insert {
+            collection: coll_name,
+            doc: Arc::new(doc),
+            xml: xml.to_string(),
+        },
+        deadline,
+    )?;
+    match committed.outcome {
+        WriteOutcome::Inserted {
+            doc,
+            index_entries_touched,
+        } => Ok(Value::obj(vec![
+            ("doc", Value::num(doc as f64)),
+            (
+                "index_entries_touched",
+                Value::num(index_entries_touched as f64),
+            ),
+            ("generation", Value::num(committed.generation as f64)),
+            ("commit_seq", Value::num(committed.commit_seq as f64)),
+        ])),
+        other => Err(format!("committer returned mismatched outcome {other:?}")),
     }
-    // Write-ahead: a logged-but-unapplied insert replays at recovery; an
-    // append failure returns here with memory untouched.
-    state.append_wal(&WalOp::Insert {
-        collection: coll_name.clone(),
-        xml: xml.to_string(),
-    })?;
-    let coll = db
-        .collection_mut(&coll_name)
-        .ok_or_else(|| format!("no collection '{coll_name}'"))?;
-    let (id, report) = coll.insert(doc);
-    state.maybe_checkpoint(&db);
-    Ok(Value::obj(vec![
-        ("doc", Value::num(id.0 as f64)),
-        (
-            "index_entries_touched",
-            Value::num(report.index_entries_touched as f64),
-        ),
-    ]))
 }
 
 fn parse_strategy(s: &str) -> Result<SearchStrategy, String> {
@@ -971,6 +982,23 @@ fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, 
 }
 
 fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
+    let snap = state.read_db();
+    let concurrency = Value::obj(vec![
+        ("snapshot_generation", Value::num(snap.generation() as f64)),
+        (
+            "snapshot_age_secs",
+            Value::num(snap.published().elapsed().as_secs_f64()),
+        ),
+        (
+            "snapshots_published",
+            Value::num(state.cell.generation() as f64),
+        ),
+        (
+            "live_snapshot_refs",
+            Value::num(state.cell.live_refs() as f64),
+        ),
+        ("committer", state.metrics.concurrency.to_json()),
+    ]);
     let collections: Vec<Value> = {
         let db = state.read_db();
         db.collections()
@@ -1008,6 +1036,7 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
             ]),
         ),
         ("metrics", state.metrics.snapshot_json()),
+        ("concurrency", concurrency),
         ("durability", state.durability_json()),
         (
             "advisor",

@@ -1,10 +1,12 @@
 //! Self-healing acceptance: a panicking handler costs one error
-//! response, never the daemon; poisoned locks are healed; deadlines cut
-//! runaway requests off with TIMEOUT; the client retries flaky links
-//! with backed-off reconnects.
+//! response, never the daemon; a panic inside the committer is caught
+//! per-op and the staged batch rebuilt; a killed committer thread is
+//! respawned on the next write; deadlines cut runaway requests off with
+//! TIMEOUT; the client retries flaky links with backed-off reconnects.
 //!
 //! These tests drive the `testing` feature's fault-injection commands
-//! (`panic`, `panic_locked`, `sleep`) over the real TCP protocol.
+//! (`panic`, `panic_locked`, `kill_committer`, `sleep`) over the real
+//! TCP protocol.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -70,10 +72,11 @@ fn panic_yields_error_response_and_daemon_survives() {
     server.stop();
 }
 
-/// The nastiest case: a handler panics while *holding* the database
-/// write lock. The next acquirer heals the poison and serving resumes.
+/// The nastiest write-path case: a panic *inside the committer*, mid-
+/// apply. The committer catches it per-op, rebuilds its staged clone,
+/// and keeps serving; readers never observe a half-applied snapshot.
 #[test]
-fn poisoned_write_lock_is_recovered() {
+fn committer_panic_is_recovered_mid_batch() {
     let server = start(ServerConfig {
         threads: 2,
         ..Default::default()
@@ -83,6 +86,8 @@ fn poisoned_write_lock_is_recovered() {
     let mut c = Client::connect(addr).unwrap();
     let resp = c.call(&raw("panic_locked")).unwrap();
     assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+    let err = resp.get_str("error").unwrap_or_default().to_string();
+    assert!(err.contains("panicked"), "error names the panic: {err}");
 
     // Reads AND writes still flow; no "poisoned" ever reaches a client.
     let q = c.query("//item/price", Some("shop")).unwrap();
@@ -104,7 +109,50 @@ fn poisoned_write_lock_is_recovered() {
         .get("metrics")
         .and_then(|m| m.get("health"))
         .expect("health metrics");
-    assert!(health.get_f64("lock_recoveries").unwrap() >= 1.0);
+    assert!(health.get_f64("panics_caught").unwrap() >= 1.0);
+    // The write that panicked published nothing; the insert after it did.
+    let committer = stats
+        .get("concurrency")
+        .and_then(|c| c.get("committer"))
+        .expect("concurrency.committer stats");
+    assert!(committer.get_f64("ops_committed").unwrap() >= 1.0);
+    server.stop();
+}
+
+/// Killing the committer thread outright loses nothing durable: the
+/// next write finds it dead, respawns it, and commits normally.
+#[test]
+fn dead_committer_thread_is_respawned_on_next_write() {
+    let server = start(ServerConfig {
+        threads: 2,
+        ..Default::default()
+    });
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    let killed = c.call(&raw("kill_committer")).unwrap();
+    assert_eq!(killed.get("ok"), Some(&Value::Bool(true)), "{killed}");
+
+    // Give the thread a moment to actually exit, then write through it.
+    std::thread::sleep(Duration::from_millis(30));
+    let ins = c
+        .call(&Value::obj(vec![
+            ("cmd", Value::str("insert")),
+            ("collection", Value::str("shop")),
+            (
+                "xml",
+                Value::str("<shop><item><price>4</price></item></shop>"),
+            ),
+        ]))
+        .unwrap();
+    assert_eq!(ins.get("ok"), Some(&Value::Bool(true)), "{ins}");
+
+    let stats = c.command("stats").unwrap();
+    let committer = stats
+        .get("concurrency")
+        .and_then(|c| c.get("committer"))
+        .expect("concurrency.committer stats");
+    assert!(committer.get_f64("committer_restarts").unwrap() >= 1.0);
     server.stop();
 }
 

@@ -1,0 +1,231 @@
+//! Snapshot-isolation acceptance: readers hammering QUERY while a
+//! writer streams INSERT/CREATE-INDEX must only ever observe
+//! prefix-consistent states — doc counts and snapshot generations move
+//! forward, never tear — and the durable state after shutdown matches
+//! the final in-memory snapshot exactly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xia_server::{Client, DurabilityConfig, Server, ServerConfig, Value};
+use xia_storage::{fingerprint, recover_database, Database, RealVfs};
+use xia_xml::Document;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xia_snapiso_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection("shop");
+    db.collection_mut("shop")
+        .unwrap()
+        .insert(Document::parse("<shop><item><price>1</price></item></shop>").unwrap());
+    db
+}
+
+fn insert_req(i: usize) -> Value {
+    Value::obj(vec![
+        ("cmd", Value::str("insert")),
+        ("collection", Value::str("shop")),
+        (
+            "xml",
+            Value::str(format!(
+                "<shop><item id=\"w{i}\"><price>{i}</price></item></shop>"
+            )),
+        ),
+    ])
+}
+
+/// The tentpole invariant: concurrent readers see a monotone sequence
+/// of complete snapshots while a writer streams mutations, and the
+/// durable fingerprint after shutdown equals the final memory state.
+#[test]
+fn readers_see_prefix_consistent_snapshots_under_write_storm() {
+    const INSERTS: usize = 240;
+    let dir = tmp("storm");
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 8,
+            durability: Some(DurabilityConfig {
+                dir: dir.clone(),
+                vfs: Arc::new(RealVfs),
+                checkpoint_every: Some(64), // mid-storm checkpoints too
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let state = server.state().clone();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // In-process readers: pin generation/count monotonicity on the raw
+    // snapshot cell (no wire noise).
+    let mut snoopers = Vec::new();
+    for _ in 0..2 {
+        let state = state.clone();
+        let done = done.clone();
+        snoopers.push(std::thread::spawn(move || {
+            let (mut last_gen, mut last_len) = (0u64, 0usize);
+            let mut observed_gens = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = state.read_db();
+                let generation = snap.generation();
+                let len = snap.collection("shop").unwrap().len();
+                assert!(generation >= last_gen, "generation went backwards");
+                if generation == last_gen {
+                    assert_eq!(len, last_len, "same generation must be identical");
+                } else {
+                    assert!(len >= last_len, "doc count shrank across generations");
+                    observed_gens += 1;
+                }
+                last_gen = generation;
+                last_len = len;
+            }
+            observed_gens
+        }));
+    }
+
+    // Wire readers: per-connection QUERY result counts never decrease.
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let done = done.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut last = 0.0f64;
+            let mut queries = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let q = c.query("//item/price", Some("shop")).unwrap();
+                assert_eq!(q.get("ok"), Some(&Value::Bool(true)), "{q}");
+                let n = q.get_f64("results").unwrap();
+                assert!(
+                    n >= last,
+                    "result count shrank from {last} to {n}: a torn snapshot"
+                );
+                last = n;
+                queries += 1;
+            }
+            queries
+        }));
+    }
+
+    // The writer: stream inserts, drop an index build into the middle.
+    let mut c = Client::connect(addr).unwrap();
+    let mut acked = 0usize;
+    let mut last_seq = 0.0f64;
+    for i in 0..INSERTS {
+        if i == INSERTS / 2 {
+            let resp = c
+                .call(&Value::obj(vec![
+                    ("cmd", Value::str("create_index")),
+                    ("collection", Value::str("shop")),
+                    ("pattern", Value::str("//item/price")),
+                    ("type", Value::str("DOUBLE")),
+                ]))
+                .unwrap();
+            assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        }
+        let resp = c.call(&insert_req(i)).unwrap();
+        assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{resp}");
+        // Commit order is globally, strictly monotonic.
+        let seq = resp.get_f64("commit_seq").unwrap();
+        assert!(seq > last_seq, "commit_seq not increasing: {resp}");
+        last_seq = seq;
+        acked += 1;
+    }
+    done.store(true, Ordering::Relaxed);
+    let gens_seen: u64 = snoopers.into_iter().map(|h| h.join().unwrap()).sum();
+    let queries_run: usize = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(gens_seen > 0, "snoopers watched generations advance");
+    assert!(queries_run > 0, "wire readers actually ran");
+
+    // Every acknowledged write is in the final snapshot.
+    let final_snap = state.read_db();
+    assert_eq!(final_snap.collection("shop").unwrap().len(), 1 + acked);
+    assert_eq!(final_snap.collection("shop").unwrap().indexes().len(), 1);
+
+    // STATS accounting agrees with the client's view.
+    let stats = c.command("stats").unwrap();
+    let conc = stats.get("concurrency").expect("concurrency section");
+    assert!(conc.get_f64("snapshots_published").unwrap() >= 2.0);
+    let committer = conc.get("committer").expect("committer stats");
+    assert_eq!(
+        committer.get_f64("ops_committed"),
+        Some((acked + 1) as f64),
+        "{committer}"
+    );
+    assert!(committer.get_f64("batches_committed").unwrap() >= 1.0);
+
+    // Shutdown flush: disk fingerprint == final memory fingerprint.
+    let fp_mem = fingerprint(&state.read_db());
+    server.stop();
+    let rec = recover_database(&RealVfs, &dir).expect("recovers");
+    assert_eq!(fingerprint(&rec.database), fp_mem);
+    assert_eq!(rec.wal_records, 0, "final checkpoint absorbed the WAL");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent writers share group commits: all acks arrive, commit
+/// sequence numbers are unique, and the committer's op accounting
+/// matches the client-side ack count exactly.
+#[test]
+fn concurrent_writers_group_commit_without_loss() {
+    const WRITERS: usize = 6;
+    const PER_WRITER: usize = 40;
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: WRITERS + 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut seqs = Vec::with_capacity(PER_WRITER);
+            for i in 0..PER_WRITER {
+                let resp = c.call(&insert_req(w * PER_WRITER + i)).unwrap();
+                assert_eq!(resp.get("ok"), Some(&Value::Bool(true)), "{resp}");
+                seqs.push(resp.get_f64("commit_seq").unwrap() as u64);
+            }
+            seqs
+        }));
+    }
+    let mut all_seqs: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert_eq!(all_seqs.len(), WRITERS * PER_WRITER);
+    all_seqs.sort_unstable();
+    all_seqs.dedup();
+    assert_eq!(
+        all_seqs.len(),
+        WRITERS * PER_WRITER,
+        "commit_seq collision across writers"
+    );
+
+    let state = server.state().clone();
+    assert_eq!(
+        state.read_db().collection("shop").unwrap().len(),
+        1 + WRITERS * PER_WRITER
+    );
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.command("stats").unwrap();
+    let committer = stats
+        .get("concurrency")
+        .and_then(|c| c.get("committer"))
+        .expect("committer stats");
+    let ops = committer.get_f64("ops_committed").unwrap();
+    let batches = committer.get_f64("batches_committed").unwrap();
+    assert_eq!(ops, (WRITERS * PER_WRITER) as f64);
+    assert!(batches >= 1.0 && batches <= ops);
+    server.stop();
+}

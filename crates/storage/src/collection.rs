@@ -1,6 +1,7 @@
 //! A collection of XML documents with maintained indexes and statistics.
 
 use crate::stats::CollectionStats;
+use std::sync::Arc;
 use xia_index::{IndexDefinition, IndexId, PhysicalIndex};
 use xia_xml::Document;
 
@@ -23,10 +24,16 @@ pub struct UpdateReport {
 
 /// A named collection of XML documents (the analogue of a table with an
 /// XML column), plus its physical indexes and statistics.
-#[derive(Debug)]
+///
+/// Documents are held behind `Arc` so cloning a collection — the
+/// copy-on-write step of the snapshot-isolated server — shares every
+/// document structurally instead of deep-copying the dominant part of
+/// the data. Statistics and indexes are cloned (they are the mutable
+/// parts a write batch goes on to touch anyway).
+#[derive(Debug, Clone)]
 pub struct Collection {
     name: String,
-    docs: Vec<Option<Document>>,
+    docs: Vec<Option<Arc<Document>>>,
     stats: CollectionStats,
     indexes: Vec<PhysicalIndex>,
 }
@@ -47,6 +54,12 @@ impl Collection {
 
     /// Insert a document, maintaining statistics and all physical indexes.
     pub fn insert(&mut self, doc: Document) -> (DocId, UpdateReport) {
+        self.insert_arc(Arc::new(doc))
+    }
+
+    /// [`Collection::insert`] for a document already behind an `Arc`
+    /// (e.g. re-applying an op from another snapshot without copying).
+    pub fn insert_arc(&mut self, doc: Arc<Document>) -> (DocId, UpdateReport) {
         let id = DocId(self.docs.len() as u32);
         self.stats.add_document(&doc);
         let mut report = UpdateReport::default();
@@ -76,7 +89,7 @@ impl Collection {
 
     /// Fetch a live document.
     pub fn get(&self, id: DocId) -> Option<&Document> {
-        self.docs.get(id.0 as usize).and_then(Option::as_ref)
+        self.docs.get(id.0 as usize).and_then(Option::as_deref)
     }
 
     /// Iterate over live `(id, document)` pairs.
@@ -84,7 +97,7 @@ impl Collection {
         self.docs
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| d.as_ref().map(|doc| (DocId(i as u32), doc)))
+            .filter_map(|(i, d)| d.as_deref().map(|doc| (DocId(i as u32), doc)))
     }
 
     /// Number of live documents.
@@ -109,7 +122,7 @@ impl Collection {
             .docs
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| d.as_ref().map(|doc| (i as u32, doc)))
+            .filter_map(|(i, d)| d.as_deref().map(|doc| (i as u32, doc)))
         {
             entries += ix.insert_document(id, doc);
         }

@@ -2,6 +2,7 @@
 
 use crate::collection::Collection;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use xia_index::IndexId;
 
 /// An in-memory XML database instance.
@@ -10,9 +11,18 @@ use xia_index::IndexId;
 /// statistics and indexes); the database allocates globally unique index
 /// ids so explain output and advisor recommendations can name indexes
 /// unambiguously.
-#[derive(Debug, Default)]
+///
+/// Collections sit behind `Arc`, which makes the database **copy-on-
+/// write**: `Database::clone` copies only the name → `Arc` map, and a
+/// subsequent [`Database::collection_mut`] clones exactly the touched
+/// collection (via `Arc::make_mut`), leaving every other collection —
+/// and, through [`Collection`]'s own `Arc`-shared documents, most of the
+/// touched one — structurally shared with older clones. The snapshot-
+/// isolated server leans on this: readers hold immutable `Arc<Database>`
+/// snapshots while a single committer clones, mutates, and republishes.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
-    collections: BTreeMap<String, Collection>,
+    collections: BTreeMap<String, Arc<Collection>>,
     next_index_id: u32,
 }
 
@@ -27,7 +37,7 @@ impl Database {
             return false;
         }
         self.collections
-            .insert(name.to_string(), Collection::new(name));
+            .insert(name.to_string(), Arc::new(Collection::new(name)));
         true
     }
 
@@ -38,21 +48,30 @@ impl Database {
             return false;
         }
         self.collections
-            .insert(collection.name().to_string(), collection);
+            .insert(collection.name().to_string(), Arc::new(collection));
         true
     }
 
     pub fn collection(&self, name: &str) -> Option<&Collection> {
-        self.collections.get(name)
+        self.collections.get(name).map(Arc::as_ref)
     }
 
+    /// Shared handle to a collection, for readers that want to keep it
+    /// alive independently of the database clone they pulled it from.
+    pub fn collection_arc(&self, name: &str) -> Option<Arc<Collection>> {
+        self.collections.get(name).cloned()
+    }
+
+    /// Exclusive access to a collection. On a copy-on-write clone this
+    /// is the point where the touched collection is actually copied
+    /// (once — later calls in the same clone mutate in place).
     pub fn collection_mut(&mut self, name: &str) -> Option<&mut Collection> {
-        self.collections.get_mut(name)
+        self.collections.get_mut(name).map(Arc::make_mut)
     }
 
     /// Iterate collections in name order.
     pub fn collections(&self) -> impl Iterator<Item = &Collection> {
-        self.collections.values()
+        self.collections.values().map(Arc::as_ref)
     }
 
     /// Allocate a fresh index id (shared across real and virtual indexes).
@@ -64,7 +83,7 @@ impl Database {
 
     /// Total pages across all collections (data + indexes).
     pub fn total_pages(&self) -> u64 {
-        self.collections.values().map(Collection::total_pages).sum()
+        self.collections().map(Collection::total_pages).sum()
     }
 
     /// Structural consistency re-check, used after recovering a

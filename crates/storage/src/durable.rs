@@ -622,10 +622,31 @@ impl DurableStore {
     /// *before* applying the op in memory (write-ahead): a failed
     /// append leaves disk at the old state, which recovery restores.
     pub fn append(&mut self, op: &WalOp) -> Result<(), PersistError> {
+        self.append_batch(std::slice::from_ref(op))
+    }
+
+    /// **Group commit**: append a whole batch of operations as one
+    /// write and one fsync. This is the durability half of the server's
+    /// committer — N pending writes pay for a single `sync`, which is
+    /// what makes batched write throughput scale past fsync latency.
+    ///
+    /// Crash semantics are per-record, exactly as for [`append`]: every
+    /// record carries its own CRC and newline terminator, so a fault
+    /// mid-batch leaves a durable *prefix* of the batch and recovery
+    /// discards the torn tail. Callers must acknowledge ops only after
+    /// this returns — then every acknowledged op is durable.
+    pub fn append_batch(&mut self, ops: &[WalOp]) -> Result<(), PersistError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let mut buf = String::new();
+        for op in ops {
+            buf.push_str(&op.record());
+        }
         let wal = wal_path(&self.dir, self.generation);
-        self.vfs.append(&wal, op.record().as_bytes())?;
+        self.vfs.append(&wal, buf.as_bytes())?;
         self.vfs.sync(&wal)?;
-        self.wal_records += 1;
+        self.wal_records += ops.len() as u64;
         Ok(())
     }
 

@@ -330,7 +330,7 @@ pub struct PathEntry {
 type PathKey = (Box<[Box<str>]>, bool);
 
 /// The path dictionary + statistics for one collection.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CollectionStats {
     entries: Vec<PathEntry>,
     lookup: HashMap<PathKey, PathId>,

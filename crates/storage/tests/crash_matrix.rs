@@ -208,6 +208,82 @@ fn wal_append_survives_every_fault_point() {
     }
 }
 
+/// Crash matrix over a group-commit batch append (`append_batch`):
+/// several records written in ONE buffer with ONE fsync. Per-record CRC
+/// framing means a fault anywhere may leave a *prefix* of the batch
+/// durable (the torn tail record is discarded at recovery) — but never
+/// corruption, reordering, or a state outside the prefix chain. A
+/// successful return still guarantees the whole batch.
+#[test]
+fn wal_batch_append_survives_every_fault_point() {
+    let base = tmp("batch_base");
+    let db = build_db();
+    let (mut store, _) = DurableStore::open(&base, Arc::new(RealVfs)).unwrap();
+    store.checkpoint(&db).unwrap();
+    // A prior record, so the faulted batch must not damage what's there.
+    let first = WalOp::CreateIndex {
+        collection: "shop".into(),
+        id: 1,
+        data_type: xia_index::DataType::Double,
+        pattern: "//item/price".into(),
+    };
+    store.append(&first).unwrap();
+
+    let batch: Vec<WalOp> = (0..3)
+        .map(|i| WalOp::Insert {
+            collection: "shop".into(),
+            xml: format!("<shop><item id=\"b{i}\"><price>{i}</price></item></shop>"),
+        })
+        .collect();
+
+    // Every legal recovered state: base, base+1 op, ..., full batch.
+    let prefix_fps: Vec<String> = (0..=batch.len())
+        .map(|k| {
+            let mut db_k = build_db();
+            first.apply(&mut db_k);
+            for op in &batch[..k] {
+                op.apply(&mut db_k);
+            }
+            fingerprint(&db_k)
+        })
+        .collect();
+    let fp_new = prefix_fps.last().unwrap().clone();
+    assert_eq!(recovered_fingerprint(&base), prefix_fps[0]);
+
+    let dry_dir = tmp("batch_dry");
+    copy_dir(&base, &dry_dir);
+    let dry = Arc::new(FaultVfs::new(Arc::new(RealVfs), None));
+    let (mut dry_store, _) = DurableStore::open(&dry_dir, dry.clone()).unwrap();
+    dry_store.append_batch(&batch).unwrap();
+    assert_eq!(recovered_fingerprint(&dry_dir), fp_new);
+    let trace = dry.trace();
+    assert_eq!(
+        trace.iter().filter(|r| r.is_write).count(),
+        1,
+        "the whole batch is one write (that is the point of group commit)"
+    );
+
+    let scratch = tmp("batch_cell");
+    for fault in fault_matrix(&trace) {
+        let _ = std::fs::remove_dir_all(&scratch);
+        copy_dir(&base, &scratch);
+        let vfs = Arc::new(FaultVfs::new(Arc::new(RealVfs), Some(fault)));
+        let (mut s, _) = DurableStore::open(&scratch, vfs).unwrap();
+        let result = s.append_batch(&batch);
+        let fp = recovered_fingerprint(&scratch);
+        assert!(
+            prefix_fps.contains(&fp),
+            "fault {fault:?}: recovery left a non-prefix state\n{fp}"
+        );
+        if result.is_ok() {
+            assert_eq!(fp, fp_new, "fault {fault:?}: batch append claimed success");
+        }
+    }
+    for d in [base, dry_dir, scratch] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
 /// A sequence of appends with a crash in the middle recovers to a
 /// clean prefix of the sequence — never reordered, never mixed.
 #[test]

@@ -46,6 +46,13 @@ run_hard cargo test -q --offline -p xia-storage --test crash_matrix
 # is sized to keep the whole sweep well under half a minute in release.
 run_hard ./target/release/xia-cli fuzz --seed 42 --budget 500
 run_hard cargo test -q --offline -p xia-oracle --test corpus_replay
+# The interleaved-writes oracle: seeded concurrent writers through the
+# server's committer, checked for linearizability (commit-order replay),
+# prefix-consistent snapshots, and durability parity.
+run_hard ./target/release/xia-cli fuzz --interleaved --seed 42 --budget 20
+# The contention smoke test by name: readers must stay prefix-consistent
+# while a writer streams group commits (the snapshot-isolation contract).
+run_hard cargo test -q --offline -p xia-server --test snapshot_isolation
 
 # Persistence code must do ALL file I/O through the injectable Vfs —
 # a direct std::fs call is a fault-injection blind spot the crash
@@ -66,6 +73,19 @@ check_vfs_only() {
   fi
 }
 check_vfs_only
+
+# The read path is lock-free by construction: reads run against an
+# immutable Arc<Snapshot> and writes go through the committer. A
+# RwLock<Database> reappearing in the server would silently reintroduce
+# reader/writer blocking (and poisoning) that the snapshot design removed.
+check_lock_free_reads() {
+  echo "==> grep: no RwLock<Database> in crates/server/src"
+  if grep -rnE 'RwLock<\s*Database\s*>' crates/server/src; then
+    echo "FAILED: crates/server/src reintroduces RwLock<Database> (see matches above)" >&2
+    failures=$((failures + 1))
+  fi
+}
+check_lock_free_reads
 
 run_if_installed fmt cargo fmt --check
 run_if_installed clippy cargo clippy --offline --all-targets -- -D warnings
