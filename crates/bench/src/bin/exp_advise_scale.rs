@@ -1,0 +1,287 @@
+//! T13 — advisor scalability: workload compression + anytime search.
+//!
+//! Raw captured workloads grow with traffic, but they are template-heavy:
+//! the same query shapes recur with different literals. This experiment
+//! sweeps raw workload size (100 → 10 000 statements over a fixed
+//! template pool) and measures what the scalable pipeline buys:
+//!
+//! * **compressed + budgeted** — `recommend_compressed` under the
+//!   daemon's default 5 s anytime wall budget (the headline: 10 000 raw
+//!   statements must advise in seconds);
+//! * **compressed, unbounded** — the same pipeline searching to
+//!   completion, isolating what the budget costs in quality;
+//! * **full greedy** — the plain per-statement search, run only at the
+//!   sizes where it is tractable, as the quality reference.
+//!
+//! Compression preserves candidate generation (templates keep atom
+//! paths, operators and literal types), so all three search the same
+//! DAG and their DDL is directly comparable.
+//!
+//! Results append to `BENCH_advise.json` at the repo root (machine
+//! readable, one entry per run) so the scaling trajectory survives
+//! across PRs.
+//!
+//! ```text
+//! cargo run -p xia-bench --bin exp_advise_scale --release
+//! ```
+
+use std::time::Instant;
+use xia::prelude::*;
+use xia::server::{json, Value};
+use xia_bench::{f, print_table, xmark_collection};
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+/// Full per-statement greedy is O(raw statements) per what-if call;
+/// past this it dominates the experiment without adding information.
+const FULL_SEARCH_MAX: usize = 1_000;
+const BUDGET_BYTES: u64 = 256 << 10;
+const WALL_BUDGET_MS: u64 = 5_000;
+
+/// A raw captured workload: `n` statements cycling a small template
+/// pool, literals varying per statement (what a monitor actually sees).
+fn raw_workload(n: usize) -> Workload {
+    let texts: Vec<String> = (0..n)
+        .map(|i| match i % 6 {
+            0 => format!("/site/regions/africa/item[price > {}]/name", 100 + i % 400),
+            1 => format!("/site/regions/namerica/item[quantity = {}]/price", i % 7),
+            2 => format!("//person[profile/age > {}]/name", 18 + i % 60),
+            3 => format!("//closed_auction[price >= {}]/date", 200 + i % 600),
+            4 => "/site/regions/europe/item/quantity".to_string(),
+            _ => format!(r#"//item[@featured = "{}"]/name"#, ["yes", "no"][i % 2]),
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    Workload::from_queries(&refs, "auctions").expect("template queries compile")
+}
+
+struct Point {
+    size: usize,
+    templates: usize,
+    error_bound: f64,
+    budgeted_secs: f64,
+    budgeted_improvement: f64,
+    budgeted_exhausted: bool,
+    unbounded_secs: f64,
+    unbounded_improvement: f64,
+    full_secs: Option<f64>,
+    full_improvement: Option<f64>,
+    /// The budgeted configuration's improvement measured on the *full*
+    /// workload — the honest quality comparison against full greedy.
+    budgeted_improvement_on_full: Option<f64>,
+    ddl_matches_full: Option<bool>,
+}
+
+fn sweep(coll: &Collection, advisor: &Advisor, size: usize) -> Point {
+    let workload = raw_workload(size);
+
+    let begin = Instant::now();
+    let budgeted = advisor.recommend_compressed(
+        coll,
+        &workload,
+        BUDGET_BYTES,
+        &AnytimeBudget::wall_millis(WALL_BUDGET_MS),
+        0,
+        &[],
+    );
+    let budgeted_secs = begin.elapsed().as_secs_f64();
+
+    let begin = Instant::now();
+    let unbounded = advisor.recommend_compressed(
+        coll,
+        &workload,
+        BUDGET_BYTES,
+        &AnytimeBudget::unbounded(),
+        0,
+        &[],
+    );
+    let unbounded_secs = begin.elapsed().as_secs_f64();
+
+    let (full_secs, full_improvement, on_full, ddl_matches_full) = if size <= FULL_SEARCH_MAX {
+        let begin = Instant::now();
+        let full = advisor.recommend(
+            coll,
+            &workload,
+            BUDGET_BYTES,
+            SearchStrategy::GreedyHeuristic,
+        );
+        let secs = begin.elapsed().as_secs_f64();
+        let mut a = budgeted.ddl("auctions");
+        let mut b = full.ddl("auctions");
+        a.sort();
+        b.sort();
+        // Price the compressed choice on the full workload: both
+        // pipelines build the same DAG (templates preserve candidate
+        // generation), so defs map onto it by (pattern, type).
+        let chosen: Vec<usize> = budgeted
+            .indexes
+            .iter()
+            .filter_map(|d| {
+                full.dag.nodes.iter().position(|n| {
+                    n.candidate.pattern == d.pattern && n.candidate.data_type == d.data_type
+                })
+            })
+            .collect();
+        let mut ev = WhatIfEngine::from_workload(
+            coll,
+            &advisor.config.cost_model,
+            &workload,
+            &full.dag,
+            EngineConfig::default(),
+        );
+        let base = ev.cost(&[]);
+        let cost = ev.cost(&chosen);
+        let on_full = if base > 0.0 {
+            (base - cost) / base * 100.0
+        } else {
+            0.0
+        };
+        (
+            Some(secs),
+            Some(full.improvement_pct()),
+            Some(on_full),
+            Some(a == b),
+        )
+    } else {
+        (None, None, None, None)
+    };
+
+    Point {
+        size,
+        templates: budgeted.templates,
+        error_bound: budgeted.error_bound,
+        budgeted_secs,
+        budgeted_improvement: budgeted.improvement_pct(),
+        budgeted_exhausted: budgeted.telemetry.exhausted,
+        unbounded_secs,
+        unbounded_improvement: unbounded.improvement_pct(),
+        full_secs,
+        full_improvement,
+        budgeted_improvement_on_full: on_full,
+        ddl_matches_full,
+    }
+}
+
+fn point_json(p: &Point) -> Value {
+    Value::obj(vec![
+        ("raw_statements", Value::num(p.size as f64)),
+        ("templates", Value::num(p.templates as f64)),
+        ("budgeted_secs", Value::num(p.budgeted_secs)),
+        (
+            "budgeted_improvement_pct",
+            Value::num(p.budgeted_improvement),
+        ),
+        ("budgeted_exhausted", Value::Bool(p.budgeted_exhausted)),
+        ("unbounded_secs", Value::num(p.unbounded_secs)),
+        (
+            "unbounded_improvement_pct",
+            Value::num(p.unbounded_improvement),
+        ),
+        (
+            "full_greedy_secs",
+            p.full_secs.map(Value::num).unwrap_or(Value::Null),
+        ),
+        (
+            "full_greedy_improvement_pct",
+            p.full_improvement.map(Value::num).unwrap_or(Value::Null),
+        ),
+        ("error_bound", Value::num(p.error_bound)),
+        (
+            "budgeted_improvement_on_full_pct",
+            p.budgeted_improvement_on_full
+                .map(Value::num)
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "ddl_matches_full_greedy",
+            p.ddl_matches_full.map(Value::Bool).unwrap_or(Value::Null),
+        ),
+    ])
+}
+
+/// Append this run to `BENCH_advise.json` at the repo root, preserving
+/// prior runs so the file is a trajectory, not a snapshot.
+fn write_bench_json(run: Value) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_advise.json");
+    let mut runs: Vec<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|v| v.get("runs").and_then(Value::as_arr).map(<[Value]>::to_vec))
+        .unwrap_or_default();
+    runs.push(run);
+    let doc = Value::obj(vec![
+        ("benchmark", Value::str("exp_advise_scale")),
+        ("runs", Value::Arr(runs)),
+    ]);
+    std::fs::write(path, format!("{doc}\n")).expect("write BENCH_advise.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let coll = xmark_collection(200);
+    let advisor = Advisor::default();
+
+    let points: Vec<Point> = SIZES.iter().map(|&n| sweep(&coll, &advisor, n)).collect();
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.size.to_string(),
+                p.templates.to_string(),
+                format!(
+                    "{}s{}",
+                    f(p.budgeted_secs),
+                    if p.budgeted_exhausted { "*" } else { "" }
+                ),
+                format!("{}%", f(p.budgeted_improvement)),
+                format!("{}s", f(p.unbounded_secs)),
+                p.full_secs
+                    .map(|s| format!("{}s", f(s)))
+                    .unwrap_or_else(|| "—".into()),
+                p.full_improvement
+                    .map(|i| format!("{}%", f(i)))
+                    .unwrap_or_else(|| "—".into()),
+                p.budgeted_improvement_on_full
+                    .map(|i| format!("{}%", f(i)))
+                    .unwrap_or_else(|| "—".into()),
+                p.ddl_matches_full
+                    .map(|m| if m { "yes" } else { "no" }.into())
+                    .unwrap_or_else(|| "—".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "T13 — advisor scalability (xmark 200 docs; * = wall budget exhausted)",
+        &[
+            "raw stmts",
+            "templates",
+            "budgeted",
+            "improve",
+            "unbounded",
+            "full greedy",
+            "full improve",
+            "on-full",
+            "same ddl",
+        ],
+        &rows,
+    );
+
+    let headline = points.last().expect("sweep ran");
+    println!(
+        "\n{} raw statements → {} templates; budgeted advise {}s (target < {}s)",
+        headline.size,
+        headline.templates,
+        f(headline.budgeted_secs),
+        WALL_BUDGET_MS as f64 / 1000.0,
+    );
+
+    write_bench_json(Value::obj(vec![
+        ("budget_kib", Value::num((BUDGET_BYTES >> 10) as f64)),
+        ("wall_budget_ms", Value::num(WALL_BUDGET_MS as f64)),
+        ("docs", Value::num(200.0)),
+        (
+            "points",
+            Value::Arr(points.iter().map(point_json).collect()),
+        ),
+    ]));
+}

@@ -77,7 +77,11 @@ usage: xia-cli serve [options]
                        write-ahead log every write, checkpoint + flush the
                        captured workload monitor on shutdown
   --deadline <ms>      per-request deadline; over-budget requests get a
-                       clean TIMEOUT error (default: unbounded)";
+                       clean TIMEOUT error (default: unbounded)
+  --advise-budget <ms> wall budget per collection for each advisor
+                       cycle's anytime search; an exhausted budget keeps
+                       the best configuration found so far
+                       (default 5000; 0 = search to completion)";
 
 fn serve(args: &[String]) {
     let mut cfg = ServerConfig {
@@ -117,6 +121,10 @@ fn serve(args: &[String]) {
                 if ms > 0 {
                     cfg.request_deadline = Some(std::time::Duration::from_millis(ms));
                 }
+            }
+            "--advise-budget" => {
+                let ms: u64 = req("--advise-budget").parse().unwrap_or(5000);
+                cfg.advise_budget = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
             "--help" | "-h" => {
                 println!("{SERVE_HELP}");
@@ -405,15 +413,25 @@ fn build_request(line: &str) -> Result<Value, String> {
             fields.push(("id", Value::num(id)));
         }
         "recommend" => {
+            // recommend [KiB] [strategy] [--budget-ms <ms>]
+            let usage = "usage: recommend [KiB] [strategy] [--budget-ms <ms>]";
+            let mut positional = 0;
             let mut parts = rest.split_whitespace();
-            if let Some(kib) = parts.next() {
-                let kib: f64 = kib
-                    .parse()
-                    .map_err(|_| "usage: recommend [KiB] [strategy]")?;
-                fields.push(("budget_kib", Value::num(kib)));
-            }
-            if let Some(strategy) = parts.next() {
-                fields.push(("strategy", Value::str(strategy)));
+            while let Some(part) = parts.next() {
+                if part == "--budget-ms" {
+                    let ms: f64 = parts.next().ok_or(usage)?.parse().map_err(|_| usage)?;
+                    fields.push(("budget_ms", Value::num(ms)));
+                    continue;
+                }
+                match positional {
+                    0 => {
+                        let kib: f64 = part.parse().map_err(|_| usage)?;
+                        fields.push(("budget_kib", Value::num(kib)));
+                    }
+                    1 => fields.push(("strategy", Value::str(part))),
+                    _ => return Err(usage.into()),
+                }
+                positional += 1;
             }
         }
         _ => {

@@ -1,6 +1,8 @@
 //! The top-level advisor API tying the pipeline together.
 
+use crate::anytime::{anytime_search, AnytimeBudget, AnytimeOptions, AnytimeTelemetry};
 use crate::candidates::{generate_basic_candidates, Candidate};
+use crate::compress::{compress, scan_cost_upper_bound};
 use crate::generalize::{generalize, Dag, GeneralizationConfig};
 use crate::search::{search, SearchOutcome, SearchStrategy};
 use crate::workload::Workload;
@@ -86,6 +88,43 @@ impl Recommendation {
     }
 }
 
+/// Result of the scalable pipeline: compression + anytime search.
+/// Structurally parallel to [`Recommendation`] but carries compression
+/// and convergence telemetry instead of a [`SearchStrategy`].
+#[derive(Debug, Clone)]
+pub struct CompressedRecommendation {
+    pub indexes: Vec<IndexDefinition>,
+    pub dag: Dag,
+    pub outcome: SearchOutcome,
+    pub telemetry: AnytimeTelemetry,
+    pub budget_bytes: u64,
+    /// Query statements before compression.
+    pub raw_queries: usize,
+    /// Template clusters searched.
+    pub templates: usize,
+    /// Certified bound on |full-workload cost − compressed cost| for
+    /// any configuration (see [`crate::compress`] module docs).
+    pub error_bound: f64,
+}
+
+impl CompressedRecommendation {
+    pub fn benefit(&self) -> f64 {
+        self.outcome.benefit()
+    }
+
+    pub fn improvement_pct(&self) -> f64 {
+        if self.outcome.base_cost <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.benefit() / self.outcome.base_cost
+        }
+    }
+
+    pub fn ddl(&self, collection: &str) -> Vec<String> {
+        self.indexes.iter().map(|d| d.ddl(collection)).collect()
+    }
+}
+
 impl Advisor {
     pub fn new(config: AdvisorConfig) -> Advisor {
         Advisor { config }
@@ -125,6 +164,74 @@ impl Advisor {
             outcome,
             strategy,
             budget_bytes,
+        }
+    }
+
+    /// The scalable pipeline: compress the workload to weighted template
+    /// representatives, then run the anytime greedy search (optionally
+    /// warm-started from a previous configuration given as
+    /// `(pattern, data_type)` shapes, optionally exhaustively refined on
+    /// small DAGs). With no refinement, no warm start and an unbounded
+    /// budget this recommends exactly what [`Advisor::recommend`] with
+    /// [`SearchStrategy::GreedyHeuristic`] does on a duplicate-free
+    /// workload — compression only merges weight.
+    pub fn recommend_compressed(
+        &self,
+        collection: &Collection,
+        workload: &Workload,
+        budget_bytes: u64,
+        budget: &AnytimeBudget,
+        refine_max_nodes: usize,
+        warm_shapes: &[(String, DataType)],
+    ) -> CompressedRecommendation {
+        let cw = compress(workload);
+        let compressed = cw.workload();
+        let basic = generate_basic_candidates(collection, compressed);
+        let dag = generalize(collection, &basic, &self.config.generalization);
+        let warm_start: Vec<usize> = dag
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                warm_shapes.iter().any(|(p, t)| {
+                    *t == n.candidate.data_type && *p == n.candidate.pattern.to_string()
+                })
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let opts = AnytimeOptions {
+            budget: *budget,
+            refine_max_nodes,
+            warm_start,
+        };
+        let any = anytime_search(
+            collection,
+            &self.config.cost_model,
+            compressed,
+            &dag,
+            budget_bytes,
+            &opts,
+        );
+        let indexes = any
+            .outcome
+            .chosen
+            .iter()
+            .enumerate()
+            .map(|(seq, &node)| {
+                let c = &dag.nodes[node].candidate;
+                IndexDefinition::new(IndexId(seq as u32 + 1), c.pattern.clone(), c.data_type)
+            })
+            .collect();
+        let scan = scan_cost_upper_bound(collection, &self.config.cost_model);
+        CompressedRecommendation {
+            indexes,
+            dag,
+            outcome: any.outcome,
+            telemetry: any.telemetry,
+            budget_bytes,
+            raw_queries: cw.raw_queries,
+            templates: cw.templates(),
+            error_bound: cw.error_bound(scan),
         }
     }
 
@@ -229,6 +336,43 @@ mod tests {
             "evaluated {}",
             stats.docs_evaluated
         );
+    }
+
+    #[test]
+    fn compressed_pipeline_matches_plain_greedy() {
+        let c = collection(300);
+        // Captured traffic: three exact duplicates plus one other query.
+        let mut captured = Workload::new();
+        for _ in 0..3 {
+            captured
+                .add_query("/site/item[price = 3]/name", "shop", 1.0)
+                .unwrap();
+        }
+        captured
+            .add_query(r#"/site/item[name = "n2"]"#, "shop", 2.0)
+            .unwrap();
+        // The same workload with duplicates pre-merged (weights 3 and 2).
+        let mut flat = Workload::new();
+        flat.add_query("/site/item[price = 3]/name", "shop", 3.0)
+            .unwrap();
+        flat.add_query(r#"/site/item[name = "n2"]"#, "shop", 2.0)
+            .unwrap();
+        let advisor = Advisor::default();
+        let plain = advisor.recommend(&c, &flat, 1 << 20, SearchStrategy::GreedyHeuristic);
+        let comp = advisor.recommend_compressed(
+            &c,
+            &captured,
+            1 << 20,
+            &AnytimeBudget::unbounded(),
+            0,
+            &[],
+        );
+        assert_eq!(comp.ddl("shop"), plain.ddl("shop"));
+        assert_eq!(comp.outcome.workload_cost, plain.outcome.workload_cost);
+        assert_eq!(comp.raw_queries, 4);
+        assert_eq!(comp.templates, 2);
+        assert_eq!(comp.error_bound, 0.0);
+        assert!(!comp.telemetry.exhausted);
     }
 
     #[test]

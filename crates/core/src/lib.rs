@@ -44,7 +44,9 @@
 
 pub mod advisor;
 pub mod analysis;
+pub mod anytime;
 pub mod candidates;
+pub mod compress;
 pub mod generalize;
 pub mod multi;
 pub mod review;
@@ -52,9 +54,16 @@ pub mod search;
 pub mod whatif;
 pub mod workload;
 
-pub use advisor::{Advisor, AdvisorConfig, Recommendation};
+pub use advisor::{Advisor, AdvisorConfig, CompressedRecommendation, Recommendation};
 pub use analysis::{analyze, AnalysisReport, QueryCostTriple};
+pub use anytime::{
+    anytime_search, anytime_step, AnytimeBudget, AnytimeOptions, AnytimeOutcome, AnytimeState,
+    AnytimeTelemetry, ConvergencePoint,
+};
 pub use candidates::{generate_basic_candidates, Candidate};
+pub use compress::{
+    compress, scan_cost_upper_bound, template_key, CompressedWorkload, TemplateCluster,
+};
 pub use generalize::{generalize, Dag, DagNode, GeneralizationConfig};
 pub use multi::{CollectionAdvice, DatabaseRecommendation};
 pub use review::{render_reviews, review_existing_indexes, IndexReview, IndexVerdict};

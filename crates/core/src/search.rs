@@ -159,8 +159,13 @@ pub fn search_with(
 // table. Strategies only call `cost`/`detail`/`size` and read the
 // coverage bitmap.
 
-/// Package a finished search into a [`SearchOutcome`].
-fn outcome(ev: &mut WhatIfEngine<'_>, chosen: Vec<usize>, trace: Vec<String>) -> SearchOutcome {
+/// Package a finished search into a [`SearchOutcome`]. Shared with the
+/// anytime driver in [`crate::anytime`].
+pub(crate) fn outcome(
+    ev: &mut WhatIfEngine<'_>,
+    chosen: Vec<usize>,
+    trace: Vec<String>,
+) -> SearchOutcome {
     let chosen = crate::whatif::normalize(&chosen);
     let base_cost = ev.cost(&[]);
     let workload_cost = ev.cost(&chosen);
@@ -323,8 +328,9 @@ fn greedy_heuristic(ev: &mut WhatIfEngine<'_>, budget: u64, knobs: GreedyKnobs) 
 
 /// Find one OR group whose branches can all be covered by adding new
 /// candidates within budget with positive combined marginal benefit.
-/// Returns the candidate set to add, or `None`.
-fn try_or_group_add(
+/// Returns the candidate set to add, or `None`. Shared with the anytime
+/// driver, whose greedy phase must mirror [`greedy_heuristic`] exactly.
+pub(crate) fn try_or_group_add(
     ev: &mut WhatIfEngine<'_>,
     chosen: &[usize],
     covered: u128,

@@ -58,6 +58,18 @@ impl Workload {
         Ok(self)
     }
 
+    /// Add an already-compiled query with a frequency — used when the
+    /// caller holds `NormalizedQuery` values (workload compression, the
+    /// server's per-collection compile cache) and recompiling the text
+    /// would be wasted work.
+    pub fn add_compiled(&mut self, query: NormalizedQuery, frequency: f64) -> &mut Self {
+        self.statements.push(Statement {
+            kind: StatementKind::Query(query),
+            frequency,
+        });
+        self
+    }
+
     /// Add an insert statement with a sample document.
     pub fn add_insert(&mut self, sample: Document, frequency: f64) -> &mut Self {
         self.statements.push(Statement {

@@ -1,0 +1,123 @@
+//! Property test for workload compression: a workload made only of
+//! weight-1 duplicates (each raw statement repeats some pool query
+//! verbatim) compresses **losslessly** — every cluster's variants are
+//! exact duplicates, the residual weight is exactly zero, and the
+//! compressed + anytime pipeline recommends the same configuration as
+//! the plain greedy search over the raw workload.
+//!
+//! Costs are compared within an epsilon rather than bitwise: merging
+//! duplicates changes floating-point summation order (count × cost vs
+//! cost + cost + …), which is exactly the error the zero bound permits.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use xia_advisor::{Advisor, AnytimeBudget, SearchStrategy, Workload};
+use xia_storage::Collection;
+use xia_xml::DocumentBuilder;
+
+/// Pool of well-separated queries: distinct paths and predicates so
+/// different multisets genuinely prefer different configurations.
+const POOL: [&str; 6] = [
+    "/site/africa/item[price = 3]/quantity",
+    "/site/asia/item[price = 17]/quantity",
+    "/site/europe/item[quantity = 2]/price",
+    "/site/namerica/item/price",
+    "//item[price > 30]/quantity",
+    "//item[quantity = 5]/price",
+];
+
+fn collection() -> &'static Collection {
+    static COLL: OnceLock<Collection> = OnceLock::new();
+    COLL.get_or_init(|| {
+        let regions = ["africa", "asia", "europe", "namerica"];
+        let mut c = Collection::new("shop");
+        for i in 0..160 {
+            let mut b = DocumentBuilder::new();
+            b.open("site");
+            b.open(regions[i % regions.len()]);
+            b.open("item");
+            b.leaf("price", &format!("{}", i % 40));
+            b.leaf("quantity", &format!("{}", i % 7));
+            b.close();
+            b.close();
+            b.close();
+            c.insert(b.finish().unwrap());
+        }
+        c
+    })
+}
+
+/// A duplicate-heavy workload: per-pool-query multiplicities 0..=4
+/// (at least one statement overall), Fisher–Yates-shuffled by generated
+/// swap indices so compression cannot rely on duplicates being adjacent.
+fn multiset() -> impl Strategy<Value = Vec<usize>> {
+    let counts = prop::collection::vec(0usize..5, POOL.len())
+        .prop_filter("workload must not be empty", |counts| {
+            counts.iter().sum::<usize>() > 0
+        });
+    let swaps = prop::collection::vec(0usize..1_000_000, POOL.len() * 5);
+    (counts, swaps).prop_map(|(counts, swaps)| {
+        let mut picks = Vec::new();
+        for (qi, &count) in counts.iter().enumerate() {
+            picks.extend(std::iter::repeat_n(qi, count));
+        }
+        for i in (1..picks.len()).rev() {
+            picks.swap(i, swaps[i] % (i + 1));
+        }
+        picks
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn duplicate_workloads_compress_losslessly(picks in multiset()) {
+        let coll = collection();
+        let advisor = Advisor::default();
+        let budget = 64u64 << 10;
+
+        let texts: Vec<&str> = picks.iter().map(|&qi| POOL[qi]).collect();
+        let workload = Workload::from_queries(&texts, "shop").unwrap();
+
+        let plain = advisor.recommend(coll, &workload, budget, SearchStrategy::GreedyHeuristic);
+        let compressed = advisor.recommend_compressed(
+            coll,
+            &workload,
+            budget,
+            &AnytimeBudget::unbounded(),
+            0,
+            &[],
+        );
+
+        // Exact duplicates merge with no residual: the bound certifies
+        // the compressed search saw the very same workload.
+        prop_assert_eq!(compressed.error_bound, 0.0);
+        prop_assert_eq!(compressed.raw_queries, picks.len());
+        let distinct: std::collections::BTreeSet<usize> = picks.iter().copied().collect();
+        prop_assert_eq!(compressed.templates, distinct.len());
+
+        // Identical recommendation, as shape sets (ordering is part of
+        // the greedy trace, not the configuration).
+        let mut plain_ddl = plain.ddl("shop");
+        let mut compressed_ddl = compressed.ddl("shop");
+        plain_ddl.sort();
+        compressed_ddl.sort();
+        prop_assert_eq!(&compressed_ddl, &plain_ddl, "picks {:?}", &picks);
+
+        // Costs agree up to summation order.
+        let eps = 1e-9 * plain.outcome.base_cost.max(1.0);
+        prop_assert!(
+            (compressed.outcome.workload_cost - plain.outcome.workload_cost).abs() <= eps,
+            "workload cost drifted: compressed {} vs plain {}",
+            compressed.outcome.workload_cost,
+            plain.outcome.workload_cost
+        );
+        prop_assert!(
+            (compressed.outcome.base_cost - plain.outcome.base_cost).abs() <= eps,
+            "base cost drifted: compressed {} vs plain {}",
+            compressed.outcome.base_cost,
+            plain.outcome.base_cost
+        );
+    }
+}

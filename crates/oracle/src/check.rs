@@ -8,7 +8,10 @@ use crate::case::Case;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use xia_advisor::{Advisor, SearchStrategy, Workload};
+use xia_advisor::{
+    generalize, generate_basic_candidates, Advisor, AnytimeBudget, EngineConfig, SearchStrategy,
+    WhatIfEngine, Workload,
+};
 use xia_index::{contains, DataType, IndexDefinition, IndexId};
 use xia_optimizer::{evaluate_query, execute, optimize, Catalog, CostModel, Plan};
 use xia_storage::{
@@ -42,6 +45,11 @@ pub struct CheckOptions {
     /// Also check `recommend` determinism (the slowest invariant; the
     /// fuzz loop samples it rather than paying it on every case).
     pub check_recommend: bool,
+    /// Also check advise quality: on small candidate DAGs, the
+    /// compressed + anytime pipeline must land within the certified
+    /// compression bound of the exhaustive optimum (sampled like
+    /// `check_recommend` — it enumerates every configuration subset).
+    pub check_advise: bool,
 }
 
 impl Default for CheckOptions {
@@ -49,6 +57,7 @@ impl Default for CheckOptions {
         CheckOptions {
             scratch: None,
             check_recommend: true,
+            check_advise: true,
         }
     }
 }
@@ -109,6 +118,9 @@ pub fn check_case(case: &Case, opts: &CheckOptions) -> Vec<Violation> {
         check_parity(case, &queries, &specs, &model, &mut out);
         if opts.check_recommend {
             check_recommend_deterministic(case, &mut out);
+        }
+        if opts.check_advise {
+            check_advise_quality(case, &mut out);
         }
     }
 
@@ -578,6 +590,110 @@ fn check_recommend_deterministic(case: &Case, out: &mut Vec<Violation>) {
         _ => out.push(violation(
             "recommend-determinism",
             "one run compiled the workload, the other did not".to_string(),
+        )),
+    }
+}
+
+/// Invariant 7: the scalable pipeline (workload compression + anytime
+/// search, full refinement) must land within the certified compression
+/// error bound of the *exhaustive* optimum, measured on the *full*
+/// workload.
+///
+/// Template clustering preserves candidate generation (templates keep
+/// atom paths, operators and literal types), so the compressed and full
+/// workloads build the same candidate DAG; a configuration maps between
+/// them one-to-one by (pattern, type). With residual weight `R` and
+/// per-query cost bounded by the document-scan cost `S` (the optimizer
+/// always considers DocScan), compressed and full costs of any one
+/// configuration differ by at most `B = R·S`, so the compressed optimum
+/// is within `2B` of the full optimum. Only checked when the full DAG
+/// has ≤ 12 nodes — the reference side enumerates all 2^n subsets.
+fn check_advise_quality(case: &Case, out: &mut Vec<Violation>) {
+    if case.docs.is_empty() || case.queries.is_empty() {
+        return;
+    }
+    let budget: u64 = 64 << 10;
+    let run = || -> Result<Option<String>, String> {
+        let mut coll = Collection::new("c");
+        for xml in &case.docs {
+            coll.insert(Document::parse(xml).expect("validated above"));
+        }
+        let texts: Vec<&str> = case.queries.iter().map(String::as_str).collect();
+        let workload = Workload::from_queries(&texts, "c").map_err(|e| e.to_string())?;
+        let advisor = Advisor::default();
+
+        // Reference: exhaustive sweep over the full workload's DAG.
+        let basic = generate_basic_candidates(&coll, &workload);
+        let dag = generalize(&coll, &basic, &advisor.config.generalization);
+        let n = dag.nodes.len();
+        if n == 0 || n > 12 {
+            return Ok(None);
+        }
+        let mut ev = WhatIfEngine::from_workload(
+            &coll,
+            &advisor.config.cost_model,
+            &workload,
+            &dag,
+            EngineConfig::default(),
+        );
+        let base = ev.cost(&[]);
+        let mut best = base;
+        for mask in 0u32..(1u32 << n) {
+            let chosen: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+            let size: u64 = chosen
+                .iter()
+                .map(|&i| dag.nodes[i].candidate.size_bytes)
+                .sum();
+            if size > budget {
+                continue;
+            }
+            best = best.min(ev.cost(&chosen));
+        }
+
+        // Candidate: compression + anytime search, unbounded budget and
+        // exhaustive refinement (so search error is zero and only the
+        // compression bound separates it from the optimum).
+        let rec = advisor.recommend_compressed(
+            &coll,
+            &workload,
+            budget,
+            &AnytimeBudget::unbounded(),
+            12,
+            &[],
+        );
+        let chosen: Vec<usize> = rec
+            .indexes
+            .iter()
+            .filter_map(|d| {
+                dag.nodes.iter().position(|node| {
+                    node.candidate.pattern == d.pattern && node.candidate.data_type == d.data_type
+                })
+            })
+            .collect();
+        if chosen.len() != rec.indexes.len() {
+            return Ok(Some(format!(
+                "compressed pipeline recommended {} index(es) absent from the full-workload DAG",
+                rec.indexes.len() - chosen.len()
+            )));
+        }
+        let full_cost = ev.cost(&chosen);
+        let slack = 2.0 * rec.error_bound + 1e-6 * base.max(1.0);
+        if full_cost > best + slack {
+            return Ok(Some(format!(
+                "compressed+anytime configuration costs {full_cost:.6} on the full workload; \
+                 exhaustive best is {best:.6}, allowed slack {slack:.6} \
+                 (error bound {:.6}, {} templates for {} queries)",
+                rec.error_bound, rec.templates, rec.raw_queries
+            )));
+        }
+        Ok(None)
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok(None)) | Ok(Err(_)) => {} // held, or workload rejected
+        Ok(Ok(Some(detail))) => out.push(violation("advise-quality", detail)),
+        Err(e) => out.push(violation(
+            "advise-quality",
+            format!("advise pipeline panicked: {}", panic_text(e)),
         )),
     }
 }

@@ -123,9 +123,11 @@ pub fn run_fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, usize)) -> Fu
     for n in 0..config.budget {
         let mut case_rng = Rng::new(master.next_u64());
         let case = gen_case(&mut case_rng);
+        let sampled = config.recommend_every > 0 && n % config.recommend_every == 0;
         let opts = CheckOptions {
             scratch: Some(scratch.clone()),
-            check_recommend: config.recommend_every > 0 && n % config.recommend_every == 0,
+            check_recommend: sampled,
+            check_advise: sampled,
         };
         let violations = check_case(&case, &opts);
         report.cases_run += 1;
@@ -134,6 +136,7 @@ pub fn run_fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, usize)) -> Fu
             let shrink_opts = CheckOptions {
                 scratch: (first.invariant == "durability").then(|| scratch.clone()),
                 check_recommend: first.invariant == "recommend-determinism",
+                check_advise: first.invariant == "advise-quality",
             };
             let small = shrink(&case, &shrink_opts, first.invariant);
             report.failures.push(Failure {
@@ -186,6 +189,7 @@ mod tests {
         let opts = CheckOptions {
             scratch: Some(scratch.clone()),
             check_recommend: true,
+            check_advise: true,
         };
         let violations = check_case(&case, &opts);
         let _ = std::fs::remove_dir_all(&scratch);

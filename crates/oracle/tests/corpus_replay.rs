@@ -23,6 +23,7 @@ fn corpus_replays_clean() {
     let opts = CheckOptions {
         scratch: Some(scratch.clone()),
         check_recommend: true,
+        check_advise: true,
     };
     let mut failures = Vec::new();
     for path in &entries {

@@ -1,11 +1,13 @@
-//! The online advising loop: snapshot the monitor, run the offline
-//! advisor, report index drift.
+//! The online advising loop: snapshot the monitor, run the scalable
+//! advisor pipeline (workload compression + anytime search), report
+//! index drift.
 //!
 //! A cycle is the daemon's version of a DBA running `recommend` +
 //! `review` by hand: it materializes the monitor's captured workload,
-//! runs the existing `WhatIfEngine`-backed search under the configured
-//! disk budget, and compares the recommendation against the physical
-//! catalog. The difference is **index drift**:
+//! compresses it to weighted template representatives, runs the
+//! budget-bounded anytime search under the configured disk budget, and
+//! compares the recommendation against the physical catalog. The
+//! difference is **index drift**:
 //!
 //! * *missing* — recommended for the observed workload but not
 //!   materialized (the workload outgrew the configuration);
@@ -16,13 +18,70 @@
 //! With `auto_apply` the cycle closes the first half of the loop by
 //! creating the missing indexes, still within budget because the
 //! recommendation itself honored it.
+//!
+//! ## Incremental re-advise
+//!
+//! Cycles are incremental: per collection the server remembers the
+//! monitor change stamp, the physical index shapes and the previous
+//! recommendation ([`CollectionMemory`]). When a cycle finds no new
+//! observations, no evictions and an unchanged catalog, it reuses the
+//! previous result outright — sound because idle entries all decay by
+//! the *same* factor (each multiplies by `0.5^(Δt/half_life)`), so
+//! relative weights, the search's argmin and `improvement_pct` are all
+//! invariant under pure decay. When something did change, the search
+//! warm-starts from the previous configuration instead of from
+//! scratch, and query texts are compiled once and cached across
+//! cycles.
 
 use crate::committer::{submit_and_wait, WriteCmd, WriteOutcome};
 use crate::json::Value;
 use crate::server::ServerState;
-use xia_advisor::{review_existing_indexes, EvalStats, IndexVerdict, Workload};
-use xia_index::IndexDefinition;
+use std::collections::HashMap;
+use std::time::Instant;
+use xia_advisor::{
+    review_existing_indexes, AnytimeBudget, AnytimeTelemetry, CompressedRecommendation, EvalStats,
+    IndexVerdict, SearchStrategy, Workload,
+};
+use xia_index::{DataType, IndexDefinition};
 use xia_workload::MonitorSnapshot;
+use xia_xquery::NormalizedQuery;
+
+/// What the server remembers about a collection between advisor cycles.
+#[derive(Debug, Default)]
+pub(crate) struct CollectionMemory {
+    /// Monitor change stamp covered by the last cycle.
+    monitor_version: u64,
+    /// Monitor eviction count at the last cycle (evictions can remove
+    /// entries without bumping any surviving stamp).
+    evictions: u64,
+    /// Physical index shapes at the end of the last cycle.
+    shapes: Vec<(String, DataType)>,
+    /// Previous recommendation, as shapes — the warm start.
+    prev_config: Vec<(String, DataType)>,
+    /// Compile cache: query text → normalized form. Monitor entries are
+    /// stable across cycles, so steady state recompiles nothing.
+    compiled: HashMap<String, NormalizedQuery>,
+    /// The last computed cycle, reused verbatim on no-delta cycles.
+    cached: Option<CollectionCycle>,
+}
+
+impl CollectionMemory {
+    /// Monitor change stamp covered by the last cycle (the `since`
+    /// argument for the next cycle's changed-entry count).
+    pub(crate) fn monitor_version(&self) -> u64 {
+        self.monitor_version
+    }
+}
+
+/// Per-collection monitor state captured (under the monitor lock) when
+/// a cycle starts.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MonitorDelta {
+    /// The collection's highest entry stamp.
+    pub version: u64,
+    /// Entries changed since the last cycle's stamp.
+    pub changed: usize,
+}
 
 /// Outcome of one advisor cycle over one collection.
 #[derive(Debug, Clone)]
@@ -30,6 +89,12 @@ pub struct CollectionCycle {
     pub collection: String,
     /// Distinct captured statements that drove the recommendation.
     pub statements: usize,
+    /// Template clusters after workload compression.
+    pub templates: usize,
+    /// Captured statements changed since the previous cycle.
+    pub delta_statements: usize,
+    /// This cycle reused the previous result (no delta, no drift).
+    pub reused: bool,
     /// The full recommended configuration, as DDL.
     pub recommended_ddl: Vec<String>,
     /// Recommended but not materialized (drift: missing).
@@ -39,6 +104,11 @@ pub struct CollectionCycle {
     /// Indexes physically created by this cycle (auto-apply only).
     pub applied: usize,
     pub improvement_pct: f64,
+    /// Certified compression error bound (what-if cost units).
+    pub error_bound: f64,
+    /// Wall time this collection's advise took.
+    pub duration_secs: f64,
+    pub anytime: AnytimeTelemetry,
     pub eval_stats: EvalStats,
 }
 
@@ -49,6 +119,8 @@ pub struct CycleReport {
     pub seq: u64,
     /// Monitor clock reading the cycle's snapshot was taken at.
     pub taken_at: f64,
+    /// Wall time for the whole cycle.
+    pub duration_secs: f64,
     pub collections: Vec<CollectionCycle>,
 }
 
@@ -57,6 +129,7 @@ impl CycleReport {
         Value::obj(vec![
             ("seq", Value::num(self.seq as f64)),
             ("taken_at", Value::num(self.taken_at)),
+            ("duration_secs", Value::num(self.duration_secs)),
             (
                 "collections",
                 Value::Arr(self.collections.iter().map(collection_json).collect()),
@@ -71,8 +144,13 @@ impl CycleReport {
         for c in &self.collections {
             let _ = writeln!(
                 out,
-                "collection '{}': {} captured statements, est. improvement {:.1}%",
-                c.collection, c.statements, c.improvement_pct
+                "collection '{}': {} captured statements ({} templates, {} changed){}, est. improvement {:.1}%",
+                c.collection,
+                c.statements,
+                c.templates,
+                c.delta_statements,
+                if c.reused { " [reused]" } else { "" },
+                c.improvement_pct
             );
             for ddl in &c.recommended_ddl {
                 let _ = writeln!(out, "  recommend {ddl}");
@@ -86,7 +164,21 @@ impl CycleReport {
             if c.applied > 0 {
                 let _ = writeln!(out, "  auto-applied {} index(es)", c.applied);
             }
-            let _ = writeln!(out, "  what-if: {}", c.eval_stats.render());
+            if !c.reused {
+                let _ = writeln!(
+                    out,
+                    "  anytime: {} iterations, {} evals in {:.3}s{}",
+                    c.anytime.iterations,
+                    c.anytime.evals,
+                    c.duration_secs,
+                    if c.anytime.exhausted {
+                        " (budget exhausted, best-so-far)"
+                    } else {
+                        ""
+                    }
+                );
+                let _ = writeln!(out, "  what-if: {}", c.eval_stats.render());
+            }
         }
         if self.collections.is_empty() {
             out.push_str("no captured statements; nothing to advise\n");
@@ -97,9 +189,15 @@ impl CycleReport {
 
 fn collection_json(c: &CollectionCycle) -> Value {
     let s = &c.eval_stats;
+    let a = &c.anytime;
+    let curve_first = a.curve.first().map(|p| p.cost).unwrap_or(0.0);
+    let curve_last = a.curve.last().map(|p| p.cost).unwrap_or(0.0);
     Value::obj(vec![
         ("collection", Value::str(&c.collection)),
         ("statements", Value::num(c.statements as f64)),
+        ("templates", Value::num(c.templates as f64)),
+        ("delta_statements", Value::num(c.delta_statements as f64)),
+        ("reused", Value::Bool(c.reused)),
         (
             "recommended",
             Value::Arr(c.recommended_ddl.iter().map(Value::str).collect()),
@@ -114,6 +212,22 @@ fn collection_json(c: &CollectionCycle) -> Value {
         ),
         ("applied", Value::num(c.applied as f64)),
         ("improvement_pct", Value::num(c.improvement_pct)),
+        ("error_bound", Value::num(c.error_bound)),
+        ("duration_secs", Value::num(c.duration_secs)),
+        (
+            "anytime",
+            Value::obj(vec![
+                ("iterations", Value::num(a.iterations as f64)),
+                ("evals", Value::num(a.evals as f64)),
+                ("resumes", Value::num(a.resumes as f64)),
+                ("exhausted", Value::Bool(a.exhausted)),
+                ("refined", Value::Bool(a.refined)),
+                ("warm_start", Value::num(a.warm_start as f64)),
+                ("curve_points", Value::num(a.curve.len() as f64)),
+                ("cost_first", Value::num(curve_first)),
+                ("cost_last", Value::num(curve_last)),
+            ]),
+        ),
         (
             "eval_stats",
             Value::obj(vec![
@@ -135,30 +249,36 @@ fn collection_json(c: &CollectionCycle) -> Value {
 
 /// Definitions already materialized on the collection, as comparable
 /// `(pattern, type)` pairs — ids and names don't matter for drift.
-fn physical_shapes(defs: &[IndexDefinition]) -> Vec<(String, xia_index::DataType)> {
+fn physical_shapes(defs: &[IndexDefinition]) -> Vec<(String, DataType)> {
     defs.iter()
         .map(|d| (d.pattern.to_string(), d.data_type))
         .collect()
 }
 
 /// Run one advisor cycle over `snapshot` against the shared database.
+/// `deltas` holds each collection's monitor stamp and changed-entry
+/// count (captured under the monitor lock by `force_cycle`);
+/// `evictions` is the monitor's lifetime eviction count.
 ///
 /// Estimates against a frozen database snapshot per collection (no
 /// lock at all) and auto-applies through the committer, so concurrent
-/// queries keep flowing during the (potentially long) what-if search.
-pub fn run_cycle(state: &ServerState, snapshot: &MonitorSnapshot, seq: u64) -> CycleReport {
+/// queries keep flowing during the (budget-bounded) what-if search.
+pub(crate) fn run_cycle(
+    state: &ServerState,
+    snapshot: &MonitorSnapshot,
+    seq: u64,
+    deltas: &HashMap<String, MonitorDelta>,
+    evictions: u64,
+) -> CycleReport {
+    let cycle_start = Instant::now();
     let mut collections = Vec::new();
     for name in snapshot.collections() {
         let sub = snapshot.for_collection(&name);
-        let Ok(workload) = sub.to_workload() else {
-            // Entries were compiled once when observed; a failure here
-            // means the catalog changed under us — skip the collection.
-            continue;
-        };
-        if workload.query_count() == 0 {
+        if sub.is_empty() {
             continue;
         }
-        let Some(cycle) = advise_collection(state, &name, &workload, sub.len()) else {
+        let delta = deltas.get(&name).copied().unwrap_or_default();
+        let Some(cycle) = advise_collection(state, &name, &sub, delta, evictions) else {
             continue;
         };
         collections.push(cycle);
@@ -166,6 +286,7 @@ pub fn run_cycle(state: &ServerState, snapshot: &MonitorSnapshot, seq: u64) -> C
     CycleReport {
         seq,
         taken_at: snapshot.taken_at,
+        duration_secs: cycle_start.elapsed().as_secs_f64(),
         collections,
     }
 }
@@ -173,35 +294,114 @@ pub fn run_cycle(state: &ServerState, snapshot: &MonitorSnapshot, seq: u64) -> C
 fn advise_collection(
     state: &ServerState,
     name: &str,
-    workload: &Workload,
-    statements: usize,
+    sub: &MonitorSnapshot,
+    delta: MonitorDelta,
+    evictions: u64,
 ) -> Option<CollectionCycle> {
-    // Estimate against a frozen snapshot — the what-if search can take
-    // a while, and nothing blocks on it.
-    let (rec, unused, existing) = {
+    let start = Instant::now();
+
+    // Physical shapes first: they are part of the reuse fingerprint (a
+    // manual CREATE/DROP INDEX between cycles must defeat the reuse).
+    let existing: Vec<IndexDefinition> = {
         let db = state.read_db();
         let coll = db.collection(name)?;
-        let rec = state
-            .advisor
-            .recommend(coll, workload, state.budget_bytes, state.strategy);
+        coll.indexes()
+            .iter()
+            .map(|ix| ix.definition().clone())
+            .collect()
+    };
+    let shapes = physical_shapes(&existing);
+
+    // Incremental fast path: nothing observed, nothing evicted and the
+    // catalog untouched since the last cycle → the previous result still
+    // holds. Pure decay scales every entry's weight by the same factor,
+    // so the search's decisions and improvement ratio are unchanged.
+    let (warm, workload) = {
+        let mut memory = state.lock_advisor_memory();
+        let mem = memory.entry(name.to_string()).or_default();
+        if let Some(cached) = &mem.cached {
+            if delta.changed == 0 && mem.evictions == evictions && mem.shapes == shapes {
+                let mut cycle = cached.clone();
+                cycle.reused = true;
+                cycle.delta_statements = 0;
+                cycle.applied = 0;
+                cycle.duration_secs = start.elapsed().as_secs_f64();
+                return Some(cycle);
+            }
+        }
+        // Compile through the per-collection cache; entries carry texts
+        // the monitor compiled once already, so failures mean the
+        // catalog changed under us — skip those entries.
+        let mut workload = Workload::new();
+        for e in &sub.entries {
+            let q = match mem.compiled.get(&e.text) {
+                Some(q) => q.clone(),
+                None => match xia_xquery::compile(&e.text, &e.collection) {
+                    Ok(q) => {
+                        mem.compiled.insert(e.text.clone(), q.clone());
+                        q
+                    }
+                    Err(_) => continue,
+                },
+            };
+            workload.add_compiled(q, e.weight);
+        }
+        (mem.prev_config.clone(), workload)
+    };
+    if workload.query_count() == 0 {
+        return None;
+    }
+
+    // The budget-bounded compressed advise against a frozen snapshot.
+    // Refinement stays off so a completed search recommends exactly
+    // what offline `recommend` (greedy heuristic) would.
+    let budget = AnytimeBudget {
+        wall: state.advise_budget,
+        max_evals: None,
+    };
+    let (rec, unused) = {
+        let db = state.read_db();
+        let coll = db.collection(name)?;
+        // A non-default configured strategy opts out of the compressed
+        // pipeline (anytime search mirrors the greedy heuristic only);
+        // the plain result is wrapped so the cycle shape is uniform.
+        let rec = if state.strategy == SearchStrategy::GreedyHeuristic {
+            state.advisor.recommend_compressed(
+                coll,
+                &workload,
+                state.budget_bytes,
+                &budget,
+                0,
+                &warm,
+            )
+        } else {
+            let plain =
+                state
+                    .advisor
+                    .recommend(coll, &workload, state.budget_bytes, state.strategy);
+            CompressedRecommendation {
+                raw_queries: workload.query_count(),
+                templates: workload.query_count(),
+                error_bound: 0.0,
+                budget_bytes: state.budget_bytes,
+                telemetry: AnytimeTelemetry::default(),
+                indexes: plain.indexes,
+                dag: plain.dag,
+                outcome: plain.outcome,
+            }
+        };
         let unused: Vec<String> = if coll.indexes().is_empty() {
             Vec::new()
         } else {
-            review_existing_indexes(coll, &state.advisor.config.cost_model, workload)
+            review_existing_indexes(coll, &state.advisor.config.cost_model, &workload)
                 .into_iter()
                 .filter(|r| r.verdict == IndexVerdict::Drop)
                 .map(|r| r.definition.to_string())
                 .collect()
         };
-        let existing: Vec<IndexDefinition> = coll
-            .indexes()
-            .iter()
-            .map(|ix| ix.definition().clone())
-            .collect();
-        (rec, unused, existing)
+        (rec, unused)
     };
 
-    let shapes = physical_shapes(&existing);
     let missing: Vec<IndexDefinition> = rec
         .indexes
         .iter()
@@ -238,14 +438,63 @@ fn advise_collection(
         }
     }
 
-    Some(CollectionCycle {
+    let cycle = CollectionCycle {
         collection: name.to_string(),
-        statements,
+        statements: sub.len(),
+        templates: rec.templates,
+        delta_statements: delta.changed,
+        reused: false,
         recommended_ddl: rec.ddl(name),
         missing_ddl,
         unused,
         applied,
         improvement_pct: rec.improvement_pct(),
+        error_bound: rec.error_bound,
+        duration_secs: start.elapsed().as_secs_f64(),
+        anytime: rec.telemetry.clone(),
         eval_stats: rec.outcome.stats.clone(),
-    })
+    };
+
+    // Remember this cycle for the incremental fast path and the next
+    // warm start. Shapes are re-read post-apply so auto-applied indexes
+    // are part of the fingerprint.
+    let shapes_after = {
+        let db = state.read_db();
+        db.collection(name)
+            .map(|coll| {
+                physical_shapes(
+                    &coll
+                        .indexes()
+                        .iter()
+                        .map(|ix| ix.definition().clone())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .unwrap_or(shapes)
+    };
+    // The cached copy describes drift against the *post-apply* catalog
+    // (the same catalog the reuse fingerprint matches): auto-applied
+    // indexes are no longer missing when the result is reused.
+    let mut cached = cycle.clone();
+    cached.missing_ddl = rec
+        .indexes
+        .iter()
+        .filter(|d| !shapes_after.contains(&(d.pattern.to_string(), d.data_type)))
+        .map(|d| d.ddl(name))
+        .collect();
+    {
+        let mut memory = state.lock_advisor_memory();
+        let mem = memory.entry(name.to_string()).or_default();
+        mem.monitor_version = delta.version;
+        mem.evictions = evictions;
+        mem.shapes = shapes_after;
+        mem.prev_config = rec
+            .indexes
+            .iter()
+            .map(|d| (d.pattern.to_string(), d.data_type))
+            .collect();
+        mem.cached = Some(cached);
+    }
+
+    Some(cycle)
 }

@@ -20,11 +20,12 @@
 //! Worker sockets use a short read timeout so the pool drains promptly
 //! on shutdown even when clients keep idle connections open.
 
-use crate::advise::{run_cycle, CycleReport};
+use crate::advise::{run_cycle, CollectionMemory, CycleReport, MonitorDelta};
 use crate::committer::{self, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome};
 use crate::json::{self, Value};
 use crate::metrics::{Command, Metrics};
 use crate::snapshot::{Snapshot, SnapshotCell};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -33,7 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use xia_advisor::{Advisor, SearchStrategy};
+use xia_advisor::{Advisor, AnytimeBudget, SearchStrategy};
 use xia_index::DataType;
 use xia_optimizer::{execute, explain, profile_execute};
 use xia_storage::{Database, DurableStore, RealVfs, Vfs};
@@ -84,6 +85,10 @@ pub struct ServerConfig {
     /// Background advisor period; `None` disables the thread (cycles
     /// then run only via the ADVISE command or [`ServerHandle::force_cycle`]).
     pub advise_interval: Option<Duration>,
+    /// Wall-clock budget for each collection's anytime search inside a
+    /// cycle; an exhausted budget returns the best configuration found
+    /// so far. `None` = search to completion.
+    pub advise_budget: Option<Duration>,
     pub monitor: MonitorConfig,
     /// Injectable time source for the monitor's decay math.
     pub clock: Arc<dyn Clock>,
@@ -104,6 +109,7 @@ impl Default for ServerConfig {
             strategy: SearchStrategy::GreedyHeuristic,
             auto_apply: false,
             advise_interval: None,
+            advise_budget: Some(Duration::from_secs(5)),
             monitor: MonitorConfig::default(),
             clock: Arc::new(SystemClock::new()),
             durability: None,
@@ -125,6 +131,10 @@ pub struct ServerState {
     pub(crate) budget_bytes: u64,
     pub(crate) strategy: SearchStrategy,
     pub(crate) auto_apply: bool,
+    pub(crate) advise_budget: Option<Duration>,
+    /// Per-collection state carried between cycles: monitor stamps,
+    /// catalog fingerprint, warm start, compile cache, cached result.
+    pub(crate) advisor_memory: Mutex<HashMap<String, CollectionMemory>>,
     pub(crate) last_cycle: Mutex<Option<CycleReport>>,
     pub(crate) cycles: AtomicU64,
     /// Crash-safe persistence; `None` for a memory-only daemon. Shared
@@ -205,6 +215,10 @@ impl ServerState {
         heal_lock(&self.last_cycle, &self.metrics)
     }
 
+    pub(crate) fn lock_advisor_memory(&self) -> MutexGuard<'_, HashMap<String, CollectionMemory>> {
+        heal_lock(&self.advisor_memory, &self.metrics)
+    }
+
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let _guard = heal_lock(&self.advise_signal.0, &self.metrics);
@@ -271,10 +285,31 @@ impl ServerState {
 
     /// Snapshot the monitor and run one advisor cycle, recording it as
     /// the latest.
+    ///
+    /// The snapshot, the per-collection change stamps and the eviction
+    /// count are read under one monitor lock so the incremental
+    /// fast-path fingerprint is consistent with the workload it covers.
     pub fn force_cycle(&self) -> CycleReport {
-        let snapshot = self.lock_monitor().snapshot();
+        let (snapshot, deltas, evictions) = {
+            let monitor = self.lock_monitor();
+            let snapshot = monitor.snapshot();
+            let memory = self.lock_advisor_memory();
+            let deltas: HashMap<String, MonitorDelta> = snapshot
+                .collections()
+                .into_iter()
+                .map(|name| {
+                    let since = memory.get(&name).map(|m| m.monitor_version()).unwrap_or(0);
+                    let delta = MonitorDelta {
+                        version: monitor.collection_version(&name),
+                        changed: monitor.changed_since(&name, since),
+                    };
+                    (name, delta)
+                })
+                .collect();
+            (snapshot, deltas, monitor.evictions())
+        };
         let seq = self.cycles.fetch_add(1, Ordering::SeqCst) + 1;
-        let report = run_cycle(self, &snapshot, seq);
+        let report = run_cycle(self, &snapshot, seq, &deltas, evictions);
         *self.lock_cycle() = Some(report.clone());
         report
     }
@@ -340,6 +375,8 @@ impl Server {
             budget_bytes: cfg.budget_bytes,
             strategy: cfg.strategy,
             auto_apply: cfg.auto_apply,
+            advise_budget: cfg.advise_budget,
+            advisor_memory: Mutex::new(HashMap::new()),
             last_cycle: Mutex::new(None),
             cycles: AtomicU64::new(0),
             store,
@@ -921,6 +958,51 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
     }
     let workload = snapshot.to_workload().map_err(|e| e.to_string())?;
     let workload_text = workload.to_file_format();
+    // Opt-in anytime path: a wall budget switches to the compressed
+    // pipeline and reports best-so-far plus convergence telemetry. The
+    // default (no `budget_ms`) path is untouched.
+    if let Some(ms) = req.get_f64("budget_ms") {
+        if ms <= 0.0 {
+            return Err("budget_ms must be positive".to_string());
+        }
+        let budget = AnytimeBudget::wall_millis(ms as u64);
+        let rec = {
+            let db = state.read_db();
+            let coll = db
+                .collection(&coll_name)
+                .ok_or_else(|| format!("no collection '{coll_name}'"))?;
+            state
+                .advisor
+                .recommend_compressed(coll, &workload, budget_bytes, &budget, 0, &[])
+        };
+        let t = &rec.telemetry;
+        return Ok(Value::obj(vec![
+            ("collection", Value::str(&coll_name)),
+            ("statements", Value::num(snapshot.len() as f64)),
+            (
+                "ddl",
+                Value::Arr(rec.ddl(&coll_name).iter().map(Value::str).collect()),
+            ),
+            ("improvement_pct", Value::num(rec.improvement_pct())),
+            ("base_cost", Value::num(rec.outcome.base_cost)),
+            ("workload_cost", Value::num(rec.outcome.workload_cost)),
+            (
+                "size_kib",
+                Value::num((rec.outcome.size_bytes / 1024) as f64),
+            ),
+            ("strategy", Value::str("anytime")),
+            ("budget_kib", Value::num((budget_bytes >> 10) as f64)),
+            ("budget_ms", Value::num(ms)),
+            ("templates", Value::num(rec.templates as f64)),
+            ("raw_queries", Value::num(rec.raw_queries as f64)),
+            ("error_bound", Value::num(rec.error_bound)),
+            ("exhausted", Value::Bool(t.exhausted)),
+            ("iterations", Value::num(t.iterations as f64)),
+            ("evals", Value::num(t.evals as f64)),
+            ("eval", Value::str(rec.outcome.stats.render())),
+            ("workload_text", Value::str(workload_text)),
+        ]));
+    }
     let rec = {
         let db = state.read_db();
         let coll = db
@@ -1016,11 +1098,52 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
         let m = state.lock_monitor();
         (m.len(), m.observed(), m.evictions())
     };
-    let last_cycle = state
-        .lock_cycle()
-        .as_ref()
-        .map(CycleReport::to_json)
-        .unwrap_or(Value::Null);
+    // Aggregate the last cycle for the advisor section: duration,
+    // compression ratio (templates vs raw statements), delta size,
+    // anytime iterations and a convergence-curve summary.
+    let (last_cycle, cycle_summary) = {
+        let guard = state.lock_cycle();
+        match guard.as_ref() {
+            None => (Value::Null, Value::Null),
+            Some(report) => {
+                let mut raw = 0usize;
+                let mut templates = 0usize;
+                let mut delta = 0usize;
+                let mut iterations = 0u64;
+                let mut points = 0usize;
+                let mut cost_first = 0.0;
+                let mut cost_last = 0.0;
+                let mut reused = 0usize;
+                for c in &report.collections {
+                    raw += c.statements;
+                    templates += c.templates;
+                    delta += c.delta_statements;
+                    iterations += c.anytime.iterations;
+                    points += c.anytime.curve.len();
+                    cost_first += c.anytime.curve.first().map(|p| p.cost).unwrap_or(0.0);
+                    cost_last += c.anytime.curve.last().map(|p| p.cost).unwrap_or(0.0);
+                    reused += c.reused as usize;
+                }
+                let summary = Value::obj(vec![
+                    ("duration_secs", Value::num(report.duration_secs)),
+                    ("raw_statements", Value::num(raw as f64)),
+                    ("templates", Value::num(templates as f64)),
+                    ("delta_statements", Value::num(delta as f64)),
+                    ("anytime_iterations", Value::num(iterations as f64)),
+                    ("collections_reused", Value::num(reused as f64)),
+                    (
+                        "curve",
+                        Value::obj(vec![
+                            ("points", Value::num(points as f64)),
+                            ("cost_first", Value::num(cost_first)),
+                            ("cost_last", Value::num(cost_last)),
+                        ]),
+                    ),
+                ]);
+                (report.to_json(), summary)
+            }
+        }
+    };
     Ok(Value::obj(vec![
         (
             "uptime_secs",
@@ -1047,6 +1170,14 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
                 ),
                 ("budget_kib", Value::num((state.budget_bytes >> 10) as f64)),
                 ("auto_apply", Value::Bool(state.auto_apply)),
+                (
+                    "advise_budget_ms",
+                    match state.advise_budget {
+                        Some(d) => Value::num(d.as_secs_f64() * 1000.0),
+                        None => Value::Null,
+                    },
+                ),
+                ("last_cycle_summary", cycle_summary),
                 ("last_cycle", last_cycle),
             ]),
         ),

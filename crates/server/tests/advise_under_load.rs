@@ -1,0 +1,174 @@
+//! The scalable-advisor scenario: ADVISE runs while writers and readers
+//! storm the daemon.
+//!
+//! The cycle's anytime search is wall-budget-bounded and runs against a
+//! frozen database snapshot, off every lock a write needs — so even a
+//! tiny advise budget must (a) return a valid best-so-far report within
+//! a small multiple of the budget, and (b) never stall the committer:
+//! every insert issued *while the cycle runs* must be acknowledged
+//! promptly, and the next cycle must see the grown collection.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xia_server::{Client, Server, ServerConfig, Value};
+use xia_storage::{Collection, Database};
+use xia_workload::{XMarkConfig, XMarkGen};
+
+fn xmark(docs: usize) -> Collection {
+    let mut c = Collection::new("auctions");
+    XMarkGen::new(XMarkConfig {
+        docs,
+        ..Default::default()
+    })
+    .populate(&mut c);
+    c
+}
+
+fn ok(resp: &Value) -> &Value {
+    assert_eq!(
+        resp.get_bool("ok"),
+        Some(true),
+        "request failed: {:?}",
+        resp.get_str("error")
+    );
+    resp
+}
+
+fn insert_req(i: usize) -> Value {
+    Value::obj(vec![
+        ("cmd", Value::str("insert")),
+        ("collection", Value::str("auctions")),
+        (
+            "xml",
+            Value::str(format!(
+                "<site><regions><africa><item id=\"storm{i}\"><quantity>{}</quantity>\
+                 <price>{}</price></item></africa></regions></site>",
+                i % 7,
+                i % 500
+            )),
+        ),
+    ])
+}
+
+#[test]
+fn advise_under_write_storm_honors_budget_and_never_blocks_commits() {
+    let advise_budget = Duration::from_millis(200);
+    let mut db = Database::new();
+    assert!(db.add_collection(xmark(60)));
+    let server = Server::start(
+        db,
+        ServerConfig {
+            threads: 6,
+            budget_bytes: 256 << 10,
+            advise_budget: Some(advise_budget),
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    // Capture a workload so cycles have something to chew on.
+    let mut client = Client::connect(addr).expect("connect");
+    for q in [
+        "/site/regions/africa/item/quantity",
+        "/site/regions/africa/item[price > 450]/name",
+        "//person[profile/age > 70]/name",
+        "//closed_auction[price >= 700]/date",
+    ] {
+        ok(&client.query(q, None).expect("query"));
+    }
+
+    // The storm: writers insert and readers query until told to stop,
+    // recording the slowest insert acknowledgement they observe.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut storm = Vec::new();
+    for t in 0..3 {
+        let stop = stop.clone();
+        storm.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("storm connect");
+            let mut inserted = 0usize;
+            let mut slowest = Duration::ZERO;
+            let mut i = t * 1_000_000;
+            while !stop.load(Ordering::Relaxed) {
+                let begin = Instant::now();
+                let resp = c.call(&insert_req(i)).expect("insert");
+                ok(&resp);
+                slowest = slowest.max(begin.elapsed());
+                inserted += 1;
+                i += 1;
+                ok(&c
+                    .query("/site/regions/africa/item/quantity", None)
+                    .expect("storm query"));
+            }
+            (inserted, slowest)
+        }));
+    }
+
+    // Let the storm get going, then advise under it. The insert storm
+    // dirties the snapshot every batch, so both cycles take the full
+    // (non-reused) path.
+    std::thread::sleep(Duration::from_millis(50));
+    let first = Instant::now();
+    let resp = client.command("advise").expect("advise under load");
+    ok(&resp);
+    let first_elapsed = first.elapsed();
+    let resp2 = client.command("advise").expect("second advise under load");
+    ok(&resp2);
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total_inserted = 0usize;
+    let mut slowest = Duration::ZERO;
+    for h in storm {
+        let (inserted, s) = h.join().expect("storm thread");
+        total_inserted += inserted;
+        slowest = slowest.max(s);
+    }
+
+    // (a) Budget honored: the whole request — search, drift review,
+    // report — lands within a small multiple of the advise budget, not
+    // at exhaustive-search timescales.
+    assert!(
+        first_elapsed < advise_budget * 10,
+        "ADVISE took {first_elapsed:?} under a {advise_budget:?} budget"
+    );
+    let report = resp.get("report").expect("report");
+    let colls = report
+        .get("collections")
+        .and_then(Value::as_arr)
+        .expect("collections");
+    assert!(!colls.is_empty(), "cycle must cover the stormed collection");
+    let duration = colls[0].get_f64("duration_secs").expect("duration_secs");
+    assert!(
+        duration < advise_budget.as_secs_f64() * 10.0,
+        "collection advise took {duration}s under a {advise_budget:?} budget"
+    );
+    assert!(
+        colls[0].get_f64("improvement_pct").expect("improvement") >= 0.0,
+        "best-so-far must never be worse than no indexes"
+    );
+
+    // (b) The committer never stalled behind the cycle: the storm kept
+    // committing, and no single insert waited anywhere near a cycle.
+    assert!(
+        total_inserted > 0,
+        "storm must have committed inserts during the cycles"
+    );
+    assert!(
+        slowest < Duration::from_secs(2),
+        "an insert waited {slowest:?} — the committer stalled behind ADVISE"
+    );
+
+    // The next cycle sees the grown collection: the monitor deltas from
+    // the storm's queries defeat the reuse fast path.
+    let resp = client.command("stats").expect("stats");
+    ok(&resp);
+    let cycles = resp
+        .get("advisor")
+        .and_then(|a| a.get_f64("cycles"))
+        .expect("cycle count");
+    assert_eq!(cycles, 2.0);
+
+    drop(client);
+    server.stop();
+}

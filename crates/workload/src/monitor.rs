@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use xia_advisor::Workload;
+use xia_advisor::{template_key, Workload};
 use xia_xquery::{compile, NormalizedQuery, QueryError};
 
 /// Monotonic time source, in seconds since an arbitrary epoch.
@@ -175,9 +175,19 @@ pub struct WorkloadMonitor {
     cfg: MonitorConfig,
     clock: Arc<dyn Clock>,
     entries: Vec<MonitorEntry>,
+    /// Modification stamp per entry, parallel to `entries` (kept out of
+    /// [`MonitorEntry`] so the persisted snapshot format is untouched).
+    versions: Vec<u64>,
     by_key: HashMap<String, usize>,
     observed: u64,
     evictions: u64,
+    /// Monotonic change counter; bumped on every entry mutation. The
+    /// advisor compares it across cycles to re-advise incrementally.
+    version: u64,
+    /// Evictions whose weight was folded into a same-template survivor.
+    folds: u64,
+    /// Weight mass of evictions with no surviving template to fold into.
+    dropped_weight: f64,
 }
 
 impl std::fmt::Debug for WorkloadMonitor {
@@ -186,6 +196,7 @@ impl std::fmt::Debug for WorkloadMonitor {
             .field("entries", &self.entries.len())
             .field("observed", &self.observed)
             .field("evictions", &self.evictions)
+            .field("version", &self.version)
             .finish()
     }
 }
@@ -209,9 +220,13 @@ impl WorkloadMonitor {
             cfg,
             clock,
             entries: Vec::new(),
+            versions: Vec::new(),
             by_key: HashMap::new(),
             observed: 0,
             evictions: 0,
+            version: 0,
+            folds: 0,
+            dropped_weight: 0.0,
         }
     }
 
@@ -238,6 +253,45 @@ impl WorkloadMonitor {
         self.evictions
     }
 
+    /// Monotonic change counter, bumped on every entry mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Evictions whose weight was folded into a same-template survivor.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Frequency mass lost to evictions with no fold target. With the
+    /// fold in place this only grows when an evicted query's *template*
+    /// disappears entirely.
+    pub fn dropped_weight(&self) -> f64 {
+        self.dropped_weight
+    }
+
+    /// Highest modification stamp among one collection's entries (0 if
+    /// the collection is untracked).
+    pub fn collection_version(&self, collection: &str) -> u64 {
+        self.entries
+            .iter()
+            .zip(&self.versions)
+            .filter(|(e, _)| e.collection == collection)
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// How many of one collection's entries changed after stamp `since`
+    /// — the delta the incremental advisor re-clusters.
+    pub fn changed_since(&self, collection: &str, since: u64) -> usize {
+        self.entries
+            .iter()
+            .zip(&self.versions)
+            .filter(|(e, &v)| e.collection == collection && v > since)
+            .count()
+    }
+
     /// Record one execution of an already-compiled query.
     pub fn observe(&mut self, query: &NormalizedQuery) {
         self.observe_weighted(query, 1.0);
@@ -248,11 +302,13 @@ impl WorkloadMonitor {
         let now = self.clock.now();
         self.observed += 1;
         let key = normalized_key(query);
+        self.version += 1;
         if let Some(&i) = self.by_key.get(&key) {
             let e = &mut self.entries[i];
             e.weight = e.weight_at(now, self.cfg.half_life_secs) + weight;
             e.last_update = now;
             e.hits += 1;
+            self.versions[i] = self.version;
             return;
         }
         if self.entries.len() >= self.cfg.capacity {
@@ -266,6 +322,7 @@ impl WorkloadMonitor {
             last_update: now,
             hits: 1,
         });
+        self.versions.push(self.version);
     }
 
     /// Compile `text` against `collection` and record it. Convenience
@@ -290,17 +347,45 @@ impl WorkloadMonitor {
         else {
             return;
         };
-        self.entries.remove(coldest);
+        let evicted = self.entries.remove(coldest);
+        self.versions.remove(coldest);
         self.evictions += 1;
-        // Indices after the removed slot shifted down by one.
+        let half_life = self.cfg.half_life_secs;
+        let freed = evicted.weight_at(now, half_life);
+        let evicted_template = compile(&evicted.text, &evicted.collection)
+            .ok()
+            .map(|q| template_key(&q));
+        // Indices after the removed slot shifted down by one; while
+        // rebuilding, find the hottest survivor sharing the evicted
+        // entry's template so its frequency mass is not silently lost.
         self.by_key.clear();
+        let mut fold_into: Option<usize> = None;
         for (i, e) in self.entries.iter().enumerate() {
             // Recompute keys from stored text: recompilation is the one
             // honest source; entries were compiled once already, so this
             // cannot fail.
             if let Ok(q) = compile(&e.text, &e.collection) {
                 self.by_key.insert(normalized_key(&q), i);
+                if evicted_template.as_deref() == Some(template_key(&q).as_str()) {
+                    let hotter = fold_into.is_none_or(|t| {
+                        e.weight_at(now, half_life) > self.entries[t].weight_at(now, half_life)
+                    });
+                    if hotter {
+                        fold_into = Some(i);
+                    }
+                }
             }
+        }
+        match fold_into {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                e.weight = e.weight_at(now, half_life) + freed;
+                e.last_update = now;
+                self.version += 1;
+                self.versions[i] = self.version;
+                self.folds += 1;
+            }
+            None => self.dropped_weight += freed,
         }
     }
 
@@ -329,6 +414,7 @@ impl WorkloadMonitor {
     pub fn restore(&mut self, snapshot: &MonitorSnapshot) {
         let now = self.clock.now();
         self.entries.clear();
+        self.versions.clear();
         self.by_key.clear();
         for e in &snapshot.entries {
             let Ok(q) = compile(&e.text, &e.collection) else {
@@ -346,6 +432,8 @@ impl WorkloadMonitor {
                 last_update: now,
                 hits: e.hits,
             });
+            self.version += 1;
+            self.versions.push(self.version);
         }
     }
 }
@@ -442,6 +530,82 @@ mod tests {
         // The survivor is still deduplicated correctly after eviction.
         m.observe_text("//b", "c").unwrap();
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn eviction_folds_weight_into_template_cluster() {
+        // Regression: eviction used to drop the evicted entry's decayed
+        // weight on the floor, skewing compressed-workload weights.
+        let (mut m, clock) = monitor(10.0, 2);
+        // Two same-template variants (literal differs) …
+        m.observe_text("//item[price > 3]/name", "c").unwrap();
+        clock.advance(1.0);
+        m.observe_text("//item[price > 4]/name", "c").unwrap();
+        m.observe_text("//item[price > 4]/name", "c").unwrap();
+        clock.advance(1.0);
+        let before: f64 = m.snapshot().entries.iter().map(|e| e.weight).sum();
+        // … a third distinct query evicts the colder variant; its mass
+        // must fold into the surviving same-template entry.
+        m.observe_text("//other/path", "c").unwrap();
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(m.folds(), 1);
+        assert_eq!(m.dropped_weight(), 0.0);
+        let snap = m.snapshot();
+        let total: f64 = snap.entries.iter().map(|e| e.weight).sum();
+        // Total mass = pre-eviction mass (nothing lost) + the new query.
+        assert!(
+            (total - (before + 1.0)).abs() < 1e-9,
+            "mass before {before}, after {total}"
+        );
+        let survivor = snap
+            .entries
+            .iter()
+            .find(|e| e.text == "//item[price > 4]/name")
+            .expect("hot variant survives");
+        assert!(
+            survivor.weight > 2.0 * 0.5f64.powf(0.1) - 1e-9,
+            "survivor carries folded weight: {}",
+            survivor.weight
+        );
+    }
+
+    #[test]
+    fn eviction_without_template_survivor_counts_dropped_weight() {
+        let (mut m, clock) = monitor(10.0, 2);
+        m.observe_text("//a/b", "c").unwrap();
+        clock.advance(1.0);
+        m.observe_text("//x/y", "c").unwrap();
+        m.observe_text("//x/y", "c").unwrap();
+        clock.advance(1.0);
+        m.observe_text("//p/q", "c").unwrap();
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(m.folds(), 0);
+        assert!(m.dropped_weight() > 0.0);
+    }
+
+    #[test]
+    fn versions_track_changes_per_collection() {
+        let (mut m, _) = monitor(10.0, 16);
+        assert_eq!(m.version(), 0);
+        m.observe_text("//a", "x").unwrap();
+        let after_x = m.version();
+        assert!(after_x > 0);
+        assert_eq!(m.collection_version("x"), after_x);
+        assert_eq!(m.collection_version("y"), 0);
+        assert_eq!(m.changed_since("x", 0), 1);
+        assert_eq!(m.changed_since("x", after_x), 0);
+
+        m.observe_text("//b", "y").unwrap();
+        assert!(m.collection_version("y") > after_x);
+        // Collection x is untouched by y's traffic.
+        assert_eq!(m.collection_version("x"), after_x);
+        assert_eq!(m.changed_since("x", after_x), 0);
+        assert_eq!(m.changed_since("y", after_x), 1);
+
+        // Re-observing x bumps its entry's stamp.
+        m.observe_text("//a", "x").unwrap();
+        assert!(m.collection_version("x") > after_x);
+        assert_eq!(m.changed_since("x", after_x), 1);
     }
 
     #[test]

@@ -54,9 +54,10 @@ pub use xia_xquery as xquery;
 /// The names most programs need.
 pub mod prelude {
     pub use xia_advisor::{
-        analyze, render_reviews, review_existing_indexes, search_with, Advisor, AdvisorConfig,
-        DatabaseRecommendation, EngineConfig, EvalStats, GreedyKnobs, IndexReview, IndexVerdict,
-        Recommendation, SearchStrategy, WhatIfEngine, Workload,
+        analyze, anytime_search, compress, render_reviews, review_existing_indexes, search_with,
+        Advisor, AdvisorConfig, AnytimeBudget, AnytimeOptions, CompressedRecommendation,
+        CompressedWorkload, DatabaseRecommendation, EngineConfig, EvalStats, GreedyKnobs,
+        IndexReview, IndexVerdict, Recommendation, SearchStrategy, WhatIfEngine, Workload,
     };
     pub use xia_index::{DataType, IndexDefinition, IndexId};
     pub use xia_optimizer::{

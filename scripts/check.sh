@@ -40,10 +40,11 @@ run_hard cargo test -q --offline
 # injected fault yields old or new state, never corruption) must never
 # silently drop out of the suite.
 run_hard cargo test -q --offline -p xia-storage --test crash_matrix
-# The differential oracle: a pinned-seed sweep over all five invariants
-# (plan equivalence, containment, parity, durability, estimate sanity),
-# plus replay of every regression case the oracle ever found. The budget
-# is sized to keep the whole sweep well under half a minute in release.
+# The differential oracle: a pinned-seed sweep over the invariants
+# (plan equivalence, containment, parity, durability, estimate sanity,
+# sampled recommend-determinism and advise-quality), plus replay of
+# every regression case the oracle ever found. The budget is sized to
+# keep the whole sweep well under half a minute in release.
 run_hard ./target/release/xia-cli fuzz --seed 42 --budget 500
 run_hard cargo test -q --offline -p xia-oracle --test corpus_replay
 # The interleaved-writes oracle: seeded concurrent writers through the
@@ -53,6 +54,14 @@ run_hard ./target/release/xia-cli fuzz --interleaved --seed 42 --budget 20
 # The contention smoke test by name: readers must stay prefix-consistent
 # while a writer streams group commits (the snapshot-isolation contract).
 run_hard cargo test -q --offline -p xia-server --test snapshot_isolation
+# The scalable-advisor contracts by name: compression is lossless on
+# duplicate workloads (property test), and ADVISE under a live
+# insert/query storm honors its wall budget without stalling the
+# committer. The fuzz sweep above also samples the advise-quality
+# invariant (compressed+anytime within the certified bound of the
+# exhaustive optimum).
+run_hard cargo test -q --offline -p xia-advisor --test prop_compress
+run_hard cargo test -q --offline -p xia-server --test advise_under_load
 
 # Persistence code must do ALL file I/O through the injectable Vfs —
 # a direct std::fs call is a fault-injection blind spot the crash
