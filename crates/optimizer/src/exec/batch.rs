@@ -1,0 +1,293 @@
+//! Per-document batched evaluation.
+//!
+//! The batch evaluator mirrors the navigational evaluator
+//! (`xia_xpath::eval`) step for step, but works on whole columns of
+//! sorted start ranks instead of one node at a time:
+//!
+//! * **seed** — the first step of an absolute path resolves directly to
+//!   a name column (`//item` = the `item` element column; the whole
+//!   arena is the root's subtree, so no join is needed);
+//! * **structural joins** — each subsequent child/descendant/attribute
+//!   step is a sort-merge join from `exec::structjoin`;
+//! * **predicate filters** — a predicate runs one forward pass of joins
+//!   (recording the intermediate set of every relative step), a
+//!   vectorized value filter on the final set, then backward semi-joins
+//!   shrinking each intermediate set to the nodes that actually reach a
+//!   surviving leaf. Boolean connectives are sorted-set algebra.
+//! * **late materialization** — operators only exchange `u32` start
+//!   columns; DOM values are touched by value filters (after structural
+//!   narrowing) and by the final materialize, never per step.
+//!
+//! Every intermediate column is sorted and duplicate-free, which is
+//! exactly the navigational evaluator's `dedup_doc_order` invariant, so
+//! results are bit-identical by construction.
+
+use super::structjoin::{children_in, containing, descendants_in, difference, parents_with, union};
+use super::{BatchPlan, BatchProfile};
+use std::time::Instant;
+use xia_xml::{Document, NodeId};
+use xia_xpath::{
+    compare_value, Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step, StepClass,
+};
+
+/// Tracks per-operator rows and wall time while a document is evaluated.
+/// Operator indexes advance in the exact order [`BatchPlan::compile`]
+/// enumerated them; with no profile attached it only counts.
+pub(crate) struct Tracer<'a> {
+    prof: Option<&'a mut BatchProfile>,
+    op: usize,
+}
+
+impl<'a> Tracer<'a> {
+    pub(crate) fn new(prof: Option<&'a mut BatchProfile>) -> Tracer<'a> {
+        Tracer { prof, op: 0 }
+    }
+
+    fn begin(&self) -> Option<Instant> {
+        self.prof.is_some().then(Instant::now)
+    }
+
+    fn end(&mut self, started: Option<Instant>, rows: usize) {
+        if let Some(p) = self.prof.as_deref_mut() {
+            if let Some(s) = p.ops.get_mut(self.op) {
+                s.rows += rows as u64;
+                s.wall += started.expect("begin() returned a start time").elapsed();
+            }
+        }
+        self.op += 1;
+    }
+}
+
+/// Evaluate the whole query on one document: document-level filters
+/// first (any empty filter short-circuits, as `run_on_document` does),
+/// then the result path, then materialization to node ids.
+pub fn run_batch(plan: &BatchPlan, doc: &Document, prof: Option<&mut BatchProfile>) -> Vec<NodeId> {
+    let mut tr = Tracer::new(prof);
+    for f in &plan.doc_filters {
+        let t = tr.begin();
+        let hits = eval_path(doc, f, &mut Tracer::new(None));
+        let rows = hits.len();
+        tr.end(t, rows);
+        if rows == 0 {
+            return Vec::new();
+        }
+    }
+    let rows = eval_path(doc, &plan.xpath, &mut tr);
+    let t = tr.begin();
+    let out: Vec<NodeId> = rows.into_iter().map(NodeId::from_u32).collect();
+    tr.end(t, out.len());
+    out
+}
+
+/// Evaluate an absolute path, emitting one tracer op per seed / join /
+/// per-step filter in compile order. Operators still run (at O(1)-ish
+/// cost) once the context empties so tracer indexes stay aligned.
+fn eval_path(doc: &Document, path: &LocationPath, tr: &mut Tracer) -> Vec<u32> {
+    let Some(first) = path.steps.first() else {
+        return Vec::new();
+    };
+    let Some(root) = doc.root_element() else {
+        return Vec::new();
+    };
+    let t = tr.begin();
+    let mut cur = seed(doc, root, first);
+    tr.end(t, cur.len());
+    if !first.predicates.is_empty() {
+        let t = tr.begin();
+        for p in &first.predicates {
+            cur = filter_predicate(doc, cur, p);
+        }
+        tr.end(t, cur.len());
+    }
+    for step in &path.steps[1..] {
+        let t = tr.begin();
+        cur = apply_step(doc, &cur, step);
+        tr.end(t, cur.len());
+        if !step.predicates.is_empty() {
+            let t = tr.begin();
+            for p in &step.predicates {
+                cur = filter_predicate(doc, cur, p);
+            }
+            tr.end(t, cur.len());
+        }
+    }
+    cur
+}
+
+/// First step of an absolute path. The context is the virtual document
+/// node: its only child is the root element, and its descendants are
+/// the entire arena — so a descendant seed is just the whole column for
+/// the step's node test (the root included when it passes).
+fn seed(doc: &Document, root: NodeId, step: &Step) -> Vec<u32> {
+    match step.axis {
+        Axis::Child => {
+            let ok = match &step.test {
+                NameTest::Name(n) => doc.name(root) == n.as_str(),
+                NameTest::Wildcard => true,
+                NameTest::Text => false,
+            };
+            if ok {
+                vec![root.as_u32()]
+            } else {
+                Vec::new()
+            }
+        }
+        Axis::Descendant => match step.class() {
+            StepClass::DescendantText => doc.text_starts().to_vec(),
+            _ => element_column(doc, step).to_vec(),
+        },
+        // `/@x` or `/..` on the document node selects nothing.
+        Axis::Attribute | Axis::Parent => Vec::new(),
+    }
+}
+
+/// The element column a name/wildcard test selects from.
+fn element_column<'a>(doc: &'a Document, step: &Step) -> &'a [u32] {
+    match step.test_name() {
+        Some(n) => doc
+            .names()
+            .get(n)
+            .map_or(&[] as &[u32], |id| doc.elements_named(id)),
+        None => doc.element_starts(),
+    }
+}
+
+fn attribute_column<'a>(doc: &'a Document, step: &Step) -> &'a [u32] {
+    match step.test_name() {
+        Some(n) => doc
+            .names()
+            .get(n)
+            .map_or(&[] as &[u32], |id| doc.attributes_named(id)),
+        None => doc.attribute_starts(),
+    }
+}
+
+/// One structural join: context column × candidate column → next column.
+fn apply_step(doc: &Document, ctx: &[u32], step: &Step) -> Vec<u32> {
+    if ctx.is_empty() {
+        return Vec::new();
+    }
+    match step.class() {
+        StepClass::ChildElement => children_in(doc, ctx, element_column(doc, step)),
+        StepClass::DescendantElement => descendants_in(doc, ctx, element_column(doc, step)),
+        StepClass::ChildText => children_in(doc, ctx, doc.text_starts()),
+        StepClass::DescendantText => descendants_in(doc, ctx, doc.text_starts()),
+        // Attribute regions nest inside their element one level down, so
+        // the child join answers "attributes owned by a context node".
+        StepClass::Attribute => children_in(doc, ctx, attribute_column(doc, step)),
+        StepClass::Parent => {
+            let mut v: Vec<u32> = ctx
+                .iter()
+                .filter_map(|&n| doc.parent(NodeId::from_u32(n)).map(NodeId::as_u32))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        }
+        StepClass::Empty => Vec::new(),
+    }
+}
+
+/// The same step run backwards: which `prev` nodes reach at least one
+/// node of `t` through it.
+fn back_step(doc: &Document, prev: &[u32], step: &Step, t: &[u32]) -> Vec<u32> {
+    match step.class() {
+        StepClass::ChildElement | StepClass::ChildText | StepClass::Attribute => {
+            parents_with(doc, prev, t)
+        }
+        StepClass::DescendantElement | StepClass::DescendantText => containing(doc, prev, t),
+        StepClass::Parent => prev
+            .iter()
+            .copied()
+            .filter(|&s| {
+                doc.parent(NodeId::from_u32(s))
+                    .is_some_and(|p| t.binary_search(&p.as_u32()).is_ok())
+            })
+            .collect(),
+        StepClass::Empty => Vec::new(),
+    }
+}
+
+/// Keep the context nodes satisfying one predicate (sorted in, sorted
+/// out).
+fn filter_predicate(doc: &Document, ctx: Vec<u32>, pred: &Predicate) -> Vec<u32> {
+    if ctx.is_empty() {
+        return ctx;
+    }
+    match pred {
+        Predicate::Exists(rel) => {
+            if rel.steps.is_empty() {
+                // evaluate_from of an empty path yields the context node
+                // itself — always non-empty.
+                ctx
+            } else {
+                semi_join(doc, ctx, &rel.steps, None)
+            }
+        }
+        Predicate::Compare(rel, op, lit) => {
+            if rel.steps.is_empty() {
+                // `[. op lit]`: a direct vectorized value filter.
+                filter_values(doc, ctx, *op, lit)
+            } else {
+                semi_join(doc, ctx, &rel.steps, Some((*op, lit)))
+            }
+        }
+        Predicate::And(a, b) => {
+            let l = filter_predicate(doc, ctx, a);
+            filter_predicate(doc, l, b)
+        }
+        Predicate::Or(a, b) => {
+            let l = filter_predicate(doc, ctx.clone(), a);
+            // Only the remainder needs testing against `b`.
+            let rest = difference(&ctx, &l);
+            let r = filter_predicate(doc, rest, b);
+            union(&l, &r)
+        }
+        Predicate::Not(a) => {
+            let l = filter_predicate(doc, ctx.clone(), a);
+            difference(&ctx, &l)
+        }
+    }
+}
+
+fn filter_values(doc: &Document, mut ctx: Vec<u32>, op: CmpOp, lit: &Literal) -> Vec<u32> {
+    ctx.retain(|&n| compare_value(doc, NodeId::from_u32(n), op, lit));
+    ctx
+}
+
+/// Existential path predicate as a forward/backward join pair: forward
+/// structural joins record every intermediate set `S_i`; the optional
+/// value filter narrows the leaves; backward semi-joins compute, level
+/// by level, the subset of each `S_i` with a surviving chain below it.
+/// The result is exactly `{ s ∈ ctx | ∃ leaf reachable via rel, leaf
+/// satisfies value }` — XPath's existential comparison semantics.
+fn semi_join(
+    doc: &Document,
+    ctx: Vec<u32>,
+    steps: &[Step],
+    value: Option<(CmpOp, &Literal)>,
+) -> Vec<u32> {
+    let mut sets: Vec<Vec<u32>> = Vec::with_capacity(steps.len() + 1);
+    sets.push(ctx);
+    for step in steps {
+        let mut next = apply_step(doc, sets.last().expect("non-empty"), step);
+        for p in &step.predicates {
+            next = filter_predicate(doc, next, p);
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        sets.push(next);
+    }
+    let mut t = sets.pop().expect("pushed above");
+    if let Some((op, lit)) = value {
+        t = filter_values(doc, t, op, lit);
+    }
+    for (i, step) in steps.iter().enumerate().rev() {
+        if t.is_empty() {
+            return Vec::new();
+        }
+        t = back_step(doc, &sets[i], step, &t);
+    }
+    t
+}

@@ -1,0 +1,240 @@
+//! Batched (vectorized) query execution.
+//!
+//! A [`NormalizedQuery`] compiles once into a [`BatchPlan`] — a pipeline
+//! of batch operators over sorted columns of region-label start ranks —
+//! and then runs per document via [`run_batch`]. The operator catalog
+//! (`BatchOp::kind`):
+//!
+//! | kind          | what it does                                         |
+//! |---------------|------------------------------------------------------|
+//! | `docfilter`   | document-level filter path (SQL/XML WHERE); empty ⇒ doc rejected |
+//! | `seed`        | resolve the first step to a name column              |
+//! | `sjoin-child` | stack child join (level-matched containment)         |
+//! | `sjoin-desc`  | sort-merge descendant containment join               |
+//! | `attr-step`   | attribute ownership join (child join, attr column)   |
+//! | `parent-step` | distinct parents of the context column               |
+//! | `empty-step`  | statically empty step (`@text()`)                    |
+//! | `filter`      | predicate filter: forward/backward semi-joins + vectorized value compare |
+//! | `materialize` | start ranks → node ids (first DOM row touch)         |
+//!
+//! The pipeline is late-materializing: only `filter` (value compares,
+//! after structural narrowing) and `materialize` read DOM values.
+//! Results are bit-identical to `NormalizedQuery::run_on_document` — the
+//! property test `prop_exec_batch` and the oracle's `exec-parity`
+//! invariant hold the two paths together.
+
+mod batch;
+pub mod structjoin;
+
+pub use batch::run_batch;
+
+use std::time::Duration;
+use xia_xpath::{LocationPath, Step, StepClass};
+use xia_xquery::NormalizedQuery;
+
+/// One operator of a compiled batch pipeline.
+#[derive(Debug, Clone)]
+pub struct BatchOp {
+    /// Operator kind — see the module-level catalog.
+    pub kind: &'static str,
+    /// Step / path detail, e.g. `//item` or `[price > 10]`.
+    pub detail: String,
+}
+
+impl BatchOp {
+    pub fn label(&self) -> String {
+        if self.detail.is_empty() {
+            self.kind.to_string()
+        } else {
+            format!("{} {}", self.kind, self.detail)
+        }
+    }
+}
+
+/// A query compiled for batched execution: the paths to run plus the
+/// operator catalog in execution order (the unit of PROFILE attribution).
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    pub(crate) xpath: LocationPath,
+    pub(crate) doc_filters: Vec<LocationPath>,
+    pub ops: Vec<BatchOp>,
+}
+
+impl BatchPlan {
+    pub fn compile(query: &NormalizedQuery) -> BatchPlan {
+        let mut ops = Vec::new();
+        for f in &query.doc_filters {
+            ops.push(BatchOp {
+                kind: "docfilter",
+                detail: f.to_string(),
+            });
+        }
+        push_path_ops(&query.xpath, &mut ops);
+        ops.push(BatchOp {
+            kind: "materialize",
+            detail: String::new(),
+        });
+        BatchPlan {
+            xpath: query.xpath.clone(),
+            doc_filters: query.doc_filters.clone(),
+            ops,
+        }
+    }
+
+    /// A zeroed per-operator stats accumulator matching this plan.
+    pub fn profile(&self) -> BatchProfile {
+        BatchProfile {
+            ops: vec![OpStats::default(); self.ops.len()],
+        }
+    }
+}
+
+fn push_path_ops(path: &LocationPath, ops: &mut Vec<BatchOp>) {
+    let Some(first) = path.steps.first() else {
+        return;
+    };
+    ops.push(BatchOp {
+        kind: "seed",
+        detail: step_detail(first),
+    });
+    push_filter_op(first, ops);
+    for step in &path.steps[1..] {
+        ops.push(BatchOp {
+            kind: join_kind(step),
+            detail: step_detail(step),
+        });
+        push_filter_op(step, ops);
+    }
+}
+
+fn push_filter_op(step: &Step, ops: &mut Vec<BatchOp>) {
+    if !step.predicates.is_empty() {
+        let detail = step
+            .predicates
+            .iter()
+            .map(|p| format!("[{p}]"))
+            .collect::<String>();
+        ops.push(BatchOp {
+            kind: "filter",
+            detail,
+        });
+    }
+}
+
+fn join_kind(step: &Step) -> &'static str {
+    match step.class() {
+        StepClass::ChildElement | StepClass::ChildText => "sjoin-child",
+        StepClass::DescendantElement | StepClass::DescendantText => "sjoin-desc",
+        StepClass::Attribute => "attr-step",
+        StepClass::Parent => "parent-step",
+        StepClass::Empty => "empty-step",
+    }
+}
+
+/// Render a step without its predicates (those get their own op).
+fn step_detail(step: &Step) -> String {
+    let bare = Step {
+        axis: step.axis,
+        test: step.test.clone(),
+        predicates: Vec::new(),
+    };
+    let prefix = match step.axis {
+        xia_xpath::Axis::Descendant => "//",
+        _ => "/",
+    };
+    format!("{prefix}{bare}")
+}
+
+/// Rows produced and wall time spent in one operator, summed over every
+/// document a profiled execution evaluated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpStats {
+    pub rows: u64,
+    pub wall: Duration,
+}
+
+/// Per-operator accumulator for [`run_batch`], parallel to
+/// [`BatchPlan::ops`].
+#[derive(Debug, Clone)]
+pub struct BatchProfile {
+    pub ops: Vec<OpStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xml::Document;
+    use xia_xquery::compile;
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<site><regions><africa><item id="i1"><name>mask</name><price>12.5</price></item></africa><namerica><item id="i2"><name>drum</name><price>7</price></item><item id="i3"><name>flute</name><price>30</price></item></namerica></regions><people><person id="p1"><name>Ann</name><age>34</age></person><person id="p2"><name>Bob</name></person></people></site>"#,
+        )
+        .unwrap()
+    }
+
+    fn check(query_text: &str) {
+        let q = compile(query_text, "c").unwrap();
+        let d = doc();
+        let plan = BatchPlan::compile(&q);
+        let batched = run_batch(&plan, &d, None);
+        assert_eq!(batched, q.run_on_document(&d), "query: {query_text}");
+    }
+
+    #[test]
+    fn batched_matches_navigational_on_representative_queries() {
+        for q in [
+            "/site/regions/africa/item",
+            "/site/regions/europe/item",
+            "//item",
+            "//item/price",
+            "/site//item/name",
+            "//*",
+            "/site/*/person",
+            "//item/@id",
+            "//@id",
+            "//person/name/text()",
+            "//item//text()",
+            "//person[age]",
+            "//person[not(age)]",
+            "//item[price > 10]",
+            "//item[price > 10]/name",
+            r#"//item[name = "drum"]"#,
+            r#"//item[@id = "i3"]"#,
+            r#"//name[. = "Ann"]"#,
+            "//price[. > 10]",
+            "//item[price > 10 and quantity > 1]",
+            "//item[price > 10 or price < 8]",
+            r#"/site[.//name = "drum"]"#,
+            r#"/site[.//name = "zzz"]"#,
+            "/site/regions[*/item[price > 20]]",
+            r#"//item[starts-with(name, "f")]"#,
+            r#"//item[contains(name, "ru")]"#,
+            "//wrong",
+            "/wrong/regions",
+        ] {
+            check(q);
+        }
+    }
+
+    #[test]
+    fn op_catalog_matches_pipeline_shape() {
+        let q = compile("//item[price > 10]/name", "c").unwrap();
+        let plan = BatchPlan::compile(&q);
+        let kinds: Vec<&str> = plan.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(kinds, ["seed", "filter", "sjoin-child", "materialize"]);
+        let labels: Vec<String> = plan.ops.iter().map(BatchOp::label).collect();
+        assert!(labels[0].contains("//item"), "{labels:?}");
+        assert!(labels[1].contains("price > 10"), "{labels:?}");
+
+        // Profiled run attributes rows per operator.
+        let d = doc();
+        let mut prof = plan.profile();
+        let out = run_batch(&plan, &d, Some(&mut prof));
+        assert_eq!(out.len(), 2);
+        assert_eq!(prof.ops.len(), plan.ops.len());
+        assert_eq!(prof.ops[0].rows, 3, "seed sees all items");
+        assert_eq!(prof.ops[1].rows, 2, "filter keeps price > 10");
+        assert_eq!(prof.ops.last().unwrap().rows, 2, "materialized rows");
+    }
+}

@@ -1,0 +1,313 @@
+//! Stack-based sort-merge structural joins over region labels.
+//!
+//! Every column here is a sorted, duplicate-free `Vec<u32>` of `start`
+//! ranks (pre-order ranks double as arena node ids, so a start column
+//! *is* a node-id column). The joins exploit two invariants of the
+//! region encoding:
+//!
+//! * subtree intervals `(start, end)` properly nest — two intervals are
+//!   either disjoint or one contains the other, never partially
+//!   overlapping — so a context set merges into disjoint covering
+//!   intervals in one forward pass;
+//! * `level` increases by exactly one per edge, so among the open
+//!   (containing) context intervals on the stack — whose levels are
+//!   strictly increasing — the one at `level(d) - 1` is `d`'s parent,
+//!   findable by binary search.
+//!
+//! All joins are O(|context| + |candidates|) except the binary-search
+//! steps, and all outputs are again sorted and duplicate-free, so join
+//! results feed straight into the next operator without re-sorting.
+
+use xia_xml::{Document, NodeId};
+
+#[inline]
+fn end_of(doc: &Document, start: u32) -> u32 {
+    doc.end(NodeId::from_u32(start))
+}
+
+#[inline]
+fn level_of(doc: &Document, start: u32) -> u16 {
+    doc.level(NodeId::from_u32(start))
+}
+
+/// Descendant join: candidates strictly inside any context interval.
+///
+/// Contexts merge into disjoint covering intervals on the fly: a context
+/// nested inside an earlier one contributes nothing new (its subtree is
+/// already covered), and by the nesting invariant a context starting
+/// inside the covered range cannot extend past it.
+pub fn descendants_in(doc: &Document, ctx: &[u32], cand: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut covered_to = 0u32;
+    for &c in ctx {
+        let e = end_of(doc, c);
+        if e <= covered_to {
+            continue; // nested inside an earlier context
+        }
+        debug_assert!(c >= covered_to, "regions partially overlap");
+        while i < cand.len() && cand[i] <= c {
+            i += 1;
+        }
+        while i < cand.len() && cand[i] < e {
+            out.push(cand[i]);
+            i += 1;
+        }
+        covered_to = e;
+    }
+    out
+}
+
+/// Child join: candidates whose parent is a context node.
+///
+/// One merge pass keeps a stack of the context intervals open around the
+/// current candidate; their levels are strictly increasing, and the
+/// candidate's parent is the unique ancestor at `level - 1`, so a binary
+/// search on the stack decides membership. Works for any candidate kind
+/// whose region sits inside the parent's (elements, text, attributes).
+pub fn children_in(doc: &Document, ctx: &[u32], cand: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut stack: Vec<(u32, u16)> = Vec::new(); // (end, level) of open contexts
+    let mut ci = 0usize;
+    for &d in cand {
+        while ci < ctx.len() && ctx[ci] < d {
+            let c = ctx[ci];
+            while stack.last().is_some_and(|&(e, _)| e <= c) {
+                stack.pop();
+            }
+            stack.push((end_of(doc, c), level_of(doc, c)));
+            ci += 1;
+        }
+        while stack.last().is_some_and(|&(e, _)| e <= d) {
+            stack.pop();
+        }
+        let level = level_of(doc, d);
+        if level > 0
+            && stack
+                .binary_search_by_key(&(level - 1), |&(_, l)| l)
+                .is_ok()
+        {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Ancestor semi-join: context nodes whose subtree contains at least one
+/// probe. (The backward pass of predicate evaluation: which candidates
+/// survive because some descendant matched.)
+pub fn containing(doc: &Document, ctx: &[u32], probes: &[u32]) -> Vec<u32> {
+    ctx.iter()
+        .copied()
+        .filter(|&c| {
+            let i = probes.partition_point(|&p| p <= c);
+            i < probes.len() && probes[i] < end_of(doc, c)
+        })
+        .collect()
+}
+
+/// Parent semi-join: context nodes that are the parent of at least one
+/// probe (child/attribute steps run backwards).
+pub fn parents_with(doc: &Document, ctx: &[u32], probes: &[u32]) -> Vec<u32> {
+    let mut parents: Vec<u32> = probes
+        .iter()
+        .filter_map(|&p| doc.parent(NodeId::from_u32(p)).map(NodeId::as_u32))
+        .collect();
+    parents.sort_unstable();
+    parents.dedup();
+    intersect(ctx, &parents)
+}
+
+/// Sorted-set intersection.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * 16 < large.len() {
+        // Skewed: binary-search each element of the small side.
+        return small
+            .iter()
+            .copied()
+            .filter(|x| large.binary_search(x).is_ok())
+            .collect();
+    }
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Sorted-set union.
+pub fn union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sorted-set difference `a \ b`.
+pub fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xia_xml::{Document, NodeKind};
+
+    fn doc() -> Document {
+        Document::parse(
+            r#"<r><a x="1"><b><c>t</c></b><b>u</b></a><a><c>v</c></a><d><a><b>w</b></a></d></r>"#,
+        )
+        .unwrap()
+    }
+
+    fn named(d: &Document, name: &str) -> Vec<u32> {
+        d.names()
+            .get(name)
+            .map_or(Vec::new(), |id| d.elements_named(id).to_vec())
+    }
+
+    /// Brute-force reference: all candidates with an ancestor in ctx.
+    fn desc_ref(d: &Document, ctx: &[u32], cand: &[u32]) -> Vec<u32> {
+        cand.iter()
+            .copied()
+            .filter(|&c| {
+                ctx.iter()
+                    .any(|&a| d.is_ancestor(NodeId::from_u32(a), NodeId::from_u32(c)))
+            })
+            .collect()
+    }
+
+    fn child_ref(d: &Document, ctx: &[u32], cand: &[u32]) -> Vec<u32> {
+        cand.iter()
+            .copied()
+            .filter(|&c| {
+                d.parent(NodeId::from_u32(c))
+                    .is_some_and(|p| ctx.binary_search(&p.as_u32()).is_ok())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn joins_agree_with_brute_force() {
+        let d = doc();
+        let a = named(&d, "a");
+        let b = named(&d, "b");
+        let c = named(&d, "c");
+        let all: Vec<u32> = d.element_starts().to_vec();
+        for ctx in [&a, &b, &all, &c] {
+            for cand in [&a, &b, &c, &all] {
+                assert_eq!(descendants_in(&d, ctx, cand), desc_ref(&d, ctx, cand));
+                assert_eq!(children_in(&d, ctx, cand), child_ref(&d, ctx, cand));
+            }
+        }
+        // Text and attribute candidates work through the same child join.
+        let texts = d.text_starts().to_vec();
+        let attrs = d.attribute_starts().to_vec();
+        assert_eq!(children_in(&d, &b, &texts), child_ref(&d, &b, &texts));
+        assert_eq!(children_in(&d, &a, &attrs), child_ref(&d, &a, &attrs));
+        assert_eq!(
+            descendants_in(&d, &a, &texts),
+            desc_ref(&d, &a, &texts),
+            "text descendants"
+        );
+    }
+
+    #[test]
+    fn nested_contexts_do_not_duplicate() {
+        // ctx containing both an ancestor and its descendant must yield
+        // each candidate once.
+        let d = doc();
+        let mut ctx = named(&d, "a");
+        ctx.extend_from_slice(&named(&d, "b"));
+        ctx.sort_unstable();
+        let c = named(&d, "c");
+        let got = descendants_in(&d, &ctx, &c);
+        assert_eq!(got, desc_ref(&d, &ctx, &c));
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(got, dedup);
+    }
+
+    #[test]
+    fn backward_semi_joins() {
+        let d = doc();
+        let a = named(&d, "a");
+        let b = named(&d, "b");
+        let c = named(&d, "c");
+        // a's containing a c descendant
+        let want: Vec<u32> = a
+            .iter()
+            .copied()
+            .filter(|&x| {
+                c.iter()
+                    .any(|&y| d.is_ancestor(NodeId::from_u32(x), NodeId::from_u32(y)))
+            })
+            .collect();
+        assert_eq!(containing(&d, &a, &c), want);
+        // b's that are parents of text nodes
+        let texts: Vec<u32> = d.text_starts().to_vec();
+        let want: Vec<u32> = b
+            .iter()
+            .copied()
+            .filter(|&x| {
+                texts
+                    .iter()
+                    .any(|&t| d.parent(NodeId::from_u32(t)) == Some(NodeId::from_u32(x)))
+            })
+            .collect();
+        assert_eq!(parents_with(&d, &b, &texts), want);
+        let _ = d
+            .all_nodes()
+            .filter(|&n| d.kind(n) == NodeKind::Attribute)
+            .count();
+    }
+
+    #[test]
+    fn set_ops() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 5]), vec![3, 5]);
+        assert_eq!(union(&[1, 3], &[2, 3, 9]), vec![1, 2, 3, 9]);
+        assert_eq!(difference(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        // Skewed path.
+        let big: Vec<u32> = (0..1000).collect();
+        assert_eq!(intersect(&[5, 999, 2000], &big), vec![5, 999]);
+    }
+}

@@ -3,13 +3,21 @@
 //! The executor turns a chosen [`Plan`] into actual results: index legs
 //! are probed (equality/range on sargable legs, posting scans on
 //! structural ones), candidate documents are intersected across legs, and
-//! the full query is then verified navigationally on the candidates —
-//! document-grained index ANDing. A `DocScan` plan evaluates every
-//! document. Results are always identical to pure navigational
-//! evaluation; indexes only change how much work it takes, which
-//! [`ExecStats`] records and the demo's "actual execution time" displays.
+//! the full query is then verified on the candidates — document-grained
+//! index ANDing. A `DocScan` plan evaluates every document.
+//!
+//! Per-document verification runs through the batched engine
+//! ([`crate::exec`]): region-label columns, stack-based structural
+//! joins, vectorized predicate filters, late materialization. The
+//! navigational row-at-a-time path ([`ExecMode::Navigational`]) is kept
+//! as the reference implementation — the oracle's `exec-parity`
+//! invariant and `prop_exec_batch` check the two are bit-identical, and
+//! `exp_exec_batch` measures the gap. Results are always identical to
+//! pure navigational evaluation; indexes and batching only change how
+//! much work it takes, which [`ExecStats`] records.
 
-use crate::plan::{AccessPath, Plan};
+use crate::exec::{run_batch, BatchPlan};
+use crate::plan::{AccessPath, IndexLeg, Plan};
 use std::ops::Bound;
 use xia_index::{IndexKey, PhysicalIndex};
 use xia_storage::{Collection, DocId};
@@ -35,7 +43,9 @@ pub struct ExecStats {
 }
 
 /// Execution error: the plan referenced an index that is not physically
-/// present (e.g. a virtual index leaked out of explain-only paths).
+/// present (e.g. a virtual index leaked out of explain-only paths), or
+/// is internally inconsistent (a sargable leg without a probeable
+/// predicate — a planner bug, never silently worked around).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecError(pub String);
 
@@ -47,7 +57,21 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Execute `plan` for `query` over `collection`.
+/// How per-document verification evaluates the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Batched engine: structural joins over region-label columns
+    /// (the production path).
+    #[default]
+    Batched,
+    /// Row-at-a-time navigational evaluation — the reference
+    /// implementation batched execution is differentially tested
+    /// against.
+    Navigational,
+}
+
+/// Execute `plan` for `query` over `collection` through the batched
+/// engine.
 ///
 /// Returns the result nodes as `(doc, node)` pairs in document order,
 /// plus work counters.
@@ -56,48 +80,88 @@ pub fn execute(
     query: &NormalizedQuery,
     plan: &Plan,
 ) -> Result<(Vec<(DocId, NodeId)>, ExecStats), ExecError> {
+    execute_mode(collection, query, plan, ExecMode::Batched)
+}
+
+/// Execute through the navigational reference path (oracle differential
+/// mode, benchmark baseline).
+pub fn execute_navigational(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    plan: &Plan,
+) -> Result<(Vec<(DocId, NodeId)>, ExecStats), ExecError> {
+    execute_mode(collection, query, plan, ExecMode::Navigational)
+}
+
+/// Execute `plan` with an explicit verification mode. Both modes return
+/// bit-identical results and [`ExecStats`]; only wall time differs.
+pub fn execute_mode(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    plan: &Plan,
+    mode: ExecMode,
+) -> Result<(Vec<(DocId, NodeId)>, ExecStats), ExecError> {
     let mut stats = ExecStats::default();
 
     // Index-only access: results come straight out of the postings.
     if let AccessPath::IndexOnly { leg } = &plan.access {
-        let ix = collection
-            .index(leg.index)
-            .ok_or_else(|| ExecError(format!("index {} is not physical", leg.index)))?;
-        let atom = query
-            .atoms
-            .get(leg.atom)
-            .ok_or_else(|| ExecError(format!("plan references missing atom {}", leg.atom)))?;
-        stats.index_probes = 1;
-        stats.pages_read += ix.btree_levels() + ix.page_count();
-        let mut out: Vec<(DocId, NodeId)> = Vec::new();
-        for p in ix.scan() {
-            stats.entries_scanned += 1;
-            let doc_id = DocId(p.doc);
-            let Some(doc) = collection.get(doc_id) else {
-                continue;
-            };
-            let node = NodeId::from_u32(p.node);
-            if leg.matched.needs_path_recheck && !node_matches_path(doc, node, &atom.path) {
-                continue;
-            }
-            out.push((doc_id, node));
-        }
-        out.sort_unstable_by_key(|&(d, n)| (d, n.as_u32()));
-        stats.results = out.len();
+        let out = index_only_rows(collection, query, leg, &mut stats)?;
         return Ok((out, stats));
     }
 
-    let candidates: Vec<DocId> = match &plan.access {
+    let candidates = gather_candidates(collection, query, plan, &mut stats)?;
+
+    let batch = match mode {
+        ExecMode::Batched => Some(BatchPlan::compile(query)),
+        ExecMode::Navigational => None,
+    };
+    let mut out: Vec<(DocId, NodeId)> = Vec::new();
+    let fetch_counts = !matches!(plan.access, AccessPath::DocScan);
+    for doc_id in candidates {
+        let Some(doc) = collection.get(doc_id) else {
+            continue;
+        };
+        stats.docs_evaluated += 1;
+        if fetch_counts {
+            // Candidate fetches are random document reads; a scan already
+            // charged the whole data area sequentially.
+            stats.pages_read += doc.byte_size().div_ceil(xia_storage::PAGE_SIZE).max(1);
+        }
+        let nodes = match &batch {
+            Some(bp) => run_batch(bp, doc, None),
+            None => query.run_on_document(doc),
+        };
+        for node in nodes {
+            out.push((doc_id, node));
+        }
+    }
+    stats.results = out.len();
+    Ok((out, stats))
+}
+
+/// Gather the candidate documents an access path selects (everything
+/// except `IndexOnly`, which skips the fetch stage entirely).
+pub(crate) fn gather_candidates(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    plan: &Plan,
+    stats: &mut ExecStats,
+) -> Result<Vec<DocId>, ExecError> {
+    Ok(match &plan.access {
         AccessPath::DocScan => {
             stats.pages_read += collection.stats().data_pages() as usize;
             collection.documents().map(|(id, _)| id).collect()
         }
-        AccessPath::IndexOnly { .. } => unreachable!("handled above"),
+        AccessPath::IndexOnly { .. } => {
+            return Err(ExecError(
+                "index-only plans have no candidate fetch stage".into(),
+            ))
+        }
         AccessPath::IndexOr { legs } => {
             // Union of per-branch candidate documents.
             let mut docs: Vec<DocId> = Vec::new();
             for leg in legs {
-                docs.extend(leg_candidate_docs(collection, query, leg, &mut stats)?);
+                docs.extend(leg_candidate_docs(collection, query, leg, stats)?);
             }
             docs.sort_unstable();
             docs.dedup();
@@ -106,7 +170,7 @@ pub fn execute(
         AccessPath::IndexAccess { legs } => {
             let mut sets: Vec<Vec<DocId>> = Vec::with_capacity(legs.len());
             for leg in legs {
-                let mut docs = leg_candidate_docs(collection, query, leg, &mut stats)?;
+                let mut docs = leg_candidate_docs(collection, query, leg, stats)?;
                 docs.sort_unstable();
                 docs.dedup();
                 sets.push(docs);
@@ -121,26 +185,56 @@ pub fn execute(
                     .collect(),
             }
         }
-    };
+    })
+}
 
+/// Answer an `IndexOnly` plan straight from the postings.
+///
+/// The full-index scan here is not a missed probe: the planner only
+/// emits `IndexOnly` for a single *extraction* atom (`optimize()`
+/// requires `is_extraction && exact`), and extraction atoms never carry
+/// a value predicate, so every posting is a candidate output row and
+/// there is no key to probe with. A sargable leg reaching this path
+/// would mean the planner broke that contract — fail loudly instead of
+/// silently scanning.
+pub(crate) fn index_only_rows(
+    collection: &Collection,
+    query: &NormalizedQuery,
+    leg: &IndexLeg,
+    stats: &mut ExecStats,
+) -> Result<Vec<(DocId, NodeId)>, ExecError> {
+    if !leg.matched.structural_only {
+        return Err(ExecError(format!(
+            "index-only plan on {} has a sargable leg; the planner only \
+             emits IndexOnly for pure extraction atoms (no value predicate)",
+            leg.index
+        )));
+    }
+    let ix = collection
+        .index(leg.index)
+        .ok_or_else(|| ExecError(format!("index {} is not physical", leg.index)))?;
+    let atom = query
+        .atoms
+        .get(leg.atom)
+        .ok_or_else(|| ExecError(format!("plan references missing atom {}", leg.atom)))?;
+    stats.index_probes = 1;
+    stats.pages_read += ix.btree_levels() + ix.page_count();
     let mut out: Vec<(DocId, NodeId)> = Vec::new();
-    let fetch_counts = !matches!(plan.access, AccessPath::DocScan);
-    for doc_id in candidates {
+    for p in ix.scan() {
+        stats.entries_scanned += 1;
+        let doc_id = DocId(p.doc);
         let Some(doc) = collection.get(doc_id) else {
             continue;
         };
-        stats.docs_evaluated += 1;
-        if fetch_counts {
-            // Candidate fetches are random document reads; a scan already
-            // charged the whole data area sequentially.
-            stats.pages_read += doc.byte_size().div_ceil(xia_storage::PAGE_SIZE).max(1);
+        let node = NodeId::from_u32(p.node);
+        if leg.matched.needs_path_recheck && !node_matches_path(doc, node, &atom.path) {
+            continue;
         }
-        for node in query.run_on_document(doc) {
-            out.push((doc_id, node));
-        }
+        out.push((doc_id, node));
     }
+    out.sort_unstable_by_key(|&(d, n)| (d, n.as_u32()));
     stats.results = out.len();
-    Ok((out, stats))
+    Ok(out)
 }
 
 /// Probe one index leg and return the candidate documents it yields,
@@ -174,7 +268,7 @@ pub(crate) fn leg_candidate_docs(
         probe(ix, *op, lit, |p| {
             touched += 1;
             docs.push(DocId(p.doc));
-        });
+        })?;
     }
     stats.entries_scanned += touched;
     stats.pages_read += probe_pages(ix, leg.matched.structural_only, touched);
@@ -211,7 +305,19 @@ pub(crate) fn node_matches_path(
 }
 
 /// Drive an index probe for `op lit`, feeding each posting to `sink`.
-fn probe(ix: &PhysicalIndex, op: CmpOp, lit: &Literal, mut sink: impl FnMut(xia_index::Posting)) {
+///
+/// Only sargable operators reach here: `match_index` marks `Ne` and
+/// `Contains` legs structural-only (they select "almost everything" /
+/// have no key order), so `leg_candidate_docs` routes them through a
+/// posting scan and never calls `probe`. If one shows up anyway the
+/// planner's sargability contract broke — error out rather than quietly
+/// scanning the whole index as if that were a probe.
+fn probe(
+    ix: &PhysicalIndex,
+    op: CmpOp,
+    lit: &Literal,
+    mut sink: impl FnMut(xia_index::Posting),
+) -> Result<(), ExecError> {
     let key = match lit {
         Literal::Num(n) => IndexKey::Num(*n),
         Literal::Str(s) => IndexKey::Str(s.as_str().into()),
@@ -250,13 +356,13 @@ fn probe(ix: &PhysicalIndex, op: CmpOp, lit: &Literal, mut sink: impl FnMut(xia_
             }
         }
         CmpOp::Ne | CmpOp::Contains => {
-            // Never sargable; handled as structural, but keep a correct
-            // fallback: scan everything (the residual check filters).
-            for p in ix.scan() {
-                sink(p);
-            }
+            return Err(ExecError(format!(
+                "operator {op} is never sargable; a leg carrying it must \
+                 be structural-only (planner bug)"
+            )));
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -266,7 +372,7 @@ mod tests {
     use crate::cost::CostModel;
     use crate::optimize::optimize;
     use xia_index::{DataType, IndexDefinition, IndexId};
-    use xia_xml::DocumentBuilder;
+    use xia_xml::{Document, DocumentBuilder};
     use xia_xpath::LinearPath;
     use xia_xquery::compile;
 
@@ -297,6 +403,11 @@ mod tests {
         };
         let (scanned, sstats) = execute(c, &q, &scan_plan).unwrap();
         assert_eq!(indexed, scanned, "index plan changed results for {text}");
+        // The navigational reference path agrees bit-for-bit, counters
+        // included, under both plans.
+        let (nav, nstats) = execute_navigational(c, &q, &plan).unwrap();
+        assert_eq!(indexed, nav, "batched vs navigational for {text}");
+        assert_eq!(istats, nstats, "stats drift between modes for {text}");
         (istats, sstats)
     }
 
@@ -379,6 +490,93 @@ mod tests {
         if plan.uses_indexes() {
             let err = execute(&c, &q, &plan).unwrap_err();
             assert!(err.0.contains("not physical"));
+        }
+    }
+
+    /// Ne/Contains predicates are never planned sargable: every leg the
+    /// optimizer emits for them is structural-only, so `probe()` never
+    /// sees those operators.
+    #[test]
+    fn ne_and_contains_legs_are_never_sargable() {
+        let mut c = collection(120);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/price").unwrap(),
+            DataType::Double,
+        ));
+        c.create_index(IndexDefinition::new(
+            IndexId(2),
+            LinearPath::parse("//item/name").unwrap(),
+            DataType::Varchar,
+        ));
+        for text in ["//item[price != 3]", r#"//item[contains(name, "n1")]"#] {
+            let q = compile(text, "auctions").unwrap();
+            let plan = optimize(&Catalog::real_only(&c), &CostModel::default(), &q);
+            let legs: Vec<&IndexLeg> = match &plan.access {
+                AccessPath::DocScan => Vec::new(),
+                AccessPath::IndexAccess { legs } | AccessPath::IndexOr { legs } => {
+                    legs.iter().collect()
+                }
+                AccessPath::IndexOnly { leg } => vec![leg],
+            };
+            for leg in legs {
+                let atom = &q.atoms[leg.atom];
+                if let Some((op, _)) = &atom.value {
+                    assert!(
+                        !matches!(op, CmpOp::Ne | CmpOp::Contains) || leg.matched.structural_only,
+                        "{text}: Ne/Contains leg planned sargable: {leg:?}"
+                    );
+                }
+            }
+            // Whatever the plan, execution must succeed and agree.
+            check_agreement(&c, text);
+        }
+    }
+
+    /// Probing with a non-sargable operator is a hard error, not a
+    /// silent full scan.
+    #[test]
+    fn probe_rejects_non_sargable_operators() {
+        let mut ix = PhysicalIndex::build(IndexDefinition::new(
+            IndexId(7),
+            LinearPath::parse("//item/name").unwrap(),
+            DataType::Varchar,
+        ));
+        let doc = Document::parse("<site><item><name>x</name></item></site>").unwrap();
+        ix.insert_document(0, &doc);
+        for op in [CmpOp::Ne, CmpOp::Contains] {
+            let err = probe(&ix, op, &Literal::Str("x".into()), |_| {}).unwrap_err();
+            assert!(err.0.contains("never sargable"), "{err}");
+        }
+    }
+
+    /// An index-only plan whose leg claims sargability is rejected: the
+    /// planner only emits IndexOnly for extraction atoms, which carry no
+    /// value predicate.
+    #[test]
+    fn index_only_requires_structural_leg() {
+        let mut c = collection(60);
+        c.create_index(IndexDefinition::new(
+            IndexId(1),
+            LinearPath::parse("//item/name").unwrap(),
+            DataType::Varchar,
+        ));
+        let q = compile("//item/name", "auctions").unwrap();
+        let plan = optimize(&Catalog::real_only(&c), &CostModel::default(), &q);
+        if let AccessPath::IndexOnly { leg } = &plan.access {
+            // The planner's own leg is structural (extraction atom).
+            assert!(leg.matched.structural_only, "{leg:?}");
+            // Forging sargability must fail loudly.
+            let mut forged = leg.clone();
+            forged.matched.structural_only = false;
+            let forged_plan = Plan {
+                access: AccessPath::IndexOnly { leg: forged },
+                ..plan.clone()
+            };
+            let err = execute(&c, &q, &forged_plan).unwrap_err();
+            assert!(err.0.contains("sargable leg"), "{err}");
+        } else {
+            panic!("expected an IndexOnly plan, got {:?}", plan.access);
         }
     }
 }

@@ -20,6 +20,7 @@
 
 pub mod catalog;
 pub mod cost;
+pub mod exec;
 pub mod executor;
 pub mod explain;
 pub mod optimize;
@@ -28,11 +29,12 @@ pub mod profile;
 
 pub use catalog::Catalog;
 pub use cost::{CostModel, QueryCost};
-pub use executor::{execute, ExecStats};
+pub use exec::{run_batch, BatchOp, BatchPlan, BatchProfile, OpStats};
+pub use executor::{execute, execute_mode, execute_navigational, ExecMode, ExecStats};
 pub use explain::{
     enumerate_indexes, evaluate_indexes, evaluate_query, explain, CandidateIndex,
     ConfigurationCost, Explain, ExplainMode, QueryEvaluation,
 };
 pub use optimize::{atom_predicate, optimize};
 pub use plan::{AccessPath, IndexLeg, Plan};
-pub use profile::{profile_execute, Profile, ProfileNode};
+pub use profile::{profile_execute, OperatorStat, Profile, ProfileNode};

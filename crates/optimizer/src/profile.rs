@@ -7,8 +7,16 @@
 //! mis-estimate (an operator whose `est` and `act` diverge) without
 //! leaving the console. Results are identical to [`crate::execute`];
 //! only the bookkeeping differs.
+//!
+//! Verification runs through the batched engine, and the profile
+//! attributes rows and wall time to every batch operator (seed,
+//! structural joins, predicate filters, materialize) summed across the
+//! evaluated documents — the [`Profile::operators`] breakdown, rendered
+//! as `BATCH` children of the root operator and surfaced over the wire
+//! by the PROFILE command.
 
-use crate::executor::{leg_candidate_docs, node_matches_path, ExecError, ExecStats};
+use crate::exec::{run_batch, BatchPlan};
+use crate::executor::{index_only_rows, leg_candidate_docs, ExecError, ExecStats};
 use crate::plan::{AccessPath, IndexLeg, Plan};
 use std::time::{Duration, Instant};
 use xia_storage::{Collection, DocId};
@@ -21,6 +29,8 @@ pub struct ProfileNode {
     /// Operator name plus detail (index id, pattern, match flags).
     pub label: String,
     /// The optimizer's cardinality estimate for this operator's output.
+    /// `NaN` for batch operators, which carry no per-operator estimate
+    /// (rendered as `est -`).
     pub est_rows: f64,
     /// Rows the operator actually produced.
     pub actual_rows: usize,
@@ -41,6 +51,20 @@ impl ProfileNode {
     }
 }
 
+/// Rows and wall time one batch operator accounted for, summed over all
+/// documents the execution evaluated.
+#[derive(Debug, Clone)]
+pub struct OperatorStat {
+    /// Operator kind from the batch catalog (`seed`, `sjoin-desc`,
+    /// `sjoin-child`, `attr-step`, `parent-step`, `filter`, `docfilter`,
+    /// `materialize`).
+    pub kind: &'static str,
+    /// Full label including the step/predicate detail.
+    pub op: String,
+    pub rows: u64,
+    pub wall: Duration,
+}
+
 /// A profiled execution: the operator tree plus the usual results and
 /// work counters.
 #[derive(Debug, Clone)]
@@ -48,6 +72,10 @@ pub struct Profile {
     pub root: ProfileNode,
     pub results: Vec<(DocId, NodeId)>,
     pub stats: ExecStats,
+    /// Per-batch-operator breakdown of the verification stage. Empty for
+    /// index-only plans (they answer from postings and never run the
+    /// batch pipeline).
+    pub operators: Vec<OperatorStat>,
     /// End-to-end wall time (equals the root's subtree time).
     pub total: Duration,
 }
@@ -59,6 +87,7 @@ impl Profile {
     /// FETCH + verify (est 12.0, act 9, 0.41 ms)
     ///   IXAND (est 20.0, act 15, 0.02 ms)
     ///     XISCAN idx1 pattern='//item/price' [sargable] (est 40.0, act 38, 0.11 ms)
+    ///   BATCH seed //item (est -, act 38, 0.01 ms)
     /// ```
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -76,11 +105,15 @@ impl Profile {
 }
 
 fn render_node(n: &ProfileNode, depth: usize, out: &mut String) {
+    let est = if n.est_rows.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.1}", n.est_rows)
+    };
     out.push_str(&format!(
-        "{:indent$}{} (est {:.1}, act {}, {:.2} ms)\n",
+        "{:indent$}{} (est {est}, act {}, {:.2} ms)\n",
         "",
         n.label,
-        n.est_rows,
         n.actual_rows,
         n.wall.as_secs_f64() * 1e3,
         indent = depth * 2
@@ -135,33 +168,10 @@ pub fn profile_execute(
     let mut stats = ExecStats::default();
 
     // Index-only plans answer straight from the postings; profile them
-    // as a single operator.
+    // as a single operator (no batch pipeline runs).
     if let AccessPath::IndexOnly { leg } = &plan.access {
         let start = Instant::now();
-        let ix = collection
-            .index(leg.index)
-            .ok_or_else(|| ExecError(format!("index {} is not physical", leg.index)))?;
-        let atom = query
-            .atoms
-            .get(leg.atom)
-            .ok_or_else(|| ExecError(format!("plan references missing atom {}", leg.atom)))?;
-        stats.index_probes = 1;
-        stats.pages_read += ix.btree_levels() + ix.page_count();
-        let mut out: Vec<(DocId, NodeId)> = Vec::new();
-        for p in ix.scan() {
-            stats.entries_scanned += 1;
-            let doc_id = DocId(p.doc);
-            let Some(doc) = collection.get(doc_id) else {
-                continue;
-            };
-            let node = NodeId::from_u32(p.node);
-            if leg.matched.needs_path_recheck && !node_matches_path(doc, node, &atom.path) {
-                continue;
-            }
-            out.push((doc_id, node));
-        }
-        out.sort_unstable_by_key(|&(d, n)| (d, n.as_u32()));
-        stats.results = out.len();
+        let out = index_only_rows(collection, query, leg, &mut stats)?;
         let root = ProfileNode::leaf(
             format!("XISCAN-ONLY {} pattern='{}'", leg.index, leg.pattern),
             plan.est_results,
@@ -172,12 +182,13 @@ pub fn profile_execute(
             root,
             results: out,
             stats,
+            operators: Vec::new(),
             total: overall.elapsed(),
         });
     }
 
     // All other access paths: gather candidate documents (profiling each
-    // index leg), then fetch + verify navigationally.
+    // index leg), then fetch + batch-verify.
     let mut children: Vec<ProfileNode> = Vec::new();
     let candidates: Vec<DocId> = match &plan.access {
         AccessPath::IndexOnly { .. } => unreachable!("handled above"),
@@ -250,6 +261,8 @@ pub fn profile_execute(
     };
 
     let verify_start = Instant::now();
+    let batch = BatchPlan::compile(query);
+    let mut batch_prof = batch.profile();
     let mut out: Vec<(DocId, NodeId)> = Vec::new();
     let fetch_counts = !matches!(plan.access, AccessPath::DocScan);
     for doc_id in candidates {
@@ -260,15 +273,32 @@ pub fn profile_execute(
         if fetch_counts {
             stats.pages_read += doc.byte_size().div_ceil(xia_storage::PAGE_SIZE).max(1);
         }
-        for node in query.run_on_document(doc) {
+        for node in run_batch(&batch, doc, Some(&mut batch_prof)) {
             out.push((doc_id, node));
         }
     }
     stats.results = out.len();
 
+    let operators: Vec<OperatorStat> = batch
+        .ops
+        .iter()
+        .zip(&batch_prof.ops)
+        .map(|(op, s)| OperatorStat {
+            kind: op.kind,
+            op: op.label(),
+            rows: s.rows,
+            wall: s.wall,
+        })
+        .collect();
+    children.extend(
+        operators.iter().map(|o| {
+            ProfileNode::leaf(format!("BATCH {}", o.op), f64::NAN, o.rows as usize, o.wall)
+        }),
+    );
+
     let root = ProfileNode {
         label: if matches!(plan.access, AccessPath::DocScan) {
-            "NAV-EVAL (navigational evaluation)".into()
+            "BATCH-EVAL (batched evaluation)".into()
         } else {
             "FETCH + verify (residual predicates)".into()
         },
@@ -281,6 +311,7 @@ pub fn profile_execute(
         root,
         results: out,
         stats,
+        operators,
         total: overall.elapsed(),
     })
 }
@@ -345,6 +376,27 @@ mod tests {
         // Actual cardinalities are threaded through each operator.
         assert_eq!(p.root.actual_rows, rows.len());
         assert!(!p.root.children.is_empty());
+    }
+
+    #[test]
+    fn profile_attributes_rows_to_batch_operators() {
+        let c = collection(60);
+        let q = compile("//item[price > 9]/name", "shop").unwrap();
+        let ex = explain(&c, &CostModel::default(), &q);
+        let p = profile_execute(&c, &q, &ex.plan).unwrap();
+        let kinds: Vec<&str> = p.operators.iter().map(|o| o.kind).collect();
+        assert_eq!(kinds, ["seed", "filter", "sjoin-child", "materialize"]);
+        // Every doc has one item; seed sees them all.
+        let seed = &p.operators[0];
+        assert_eq!(seed.rows, 60);
+        // The filter keeps price in 10..=19 — half of them.
+        assert_eq!(p.operators[1].rows, 30);
+        // Materialized rows equal the result count.
+        assert_eq!(p.operators.last().unwrap().rows as usize, p.results.len());
+        // And the render shows the batch pipeline.
+        let text = p.render();
+        assert!(text.contains("BATCH seed"), "{text}");
+        assert!(text.contains("est -"), "{text}");
     }
 
     #[test]

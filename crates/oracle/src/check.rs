@@ -13,7 +13,9 @@ use xia_advisor::{
     WhatIfEngine, Workload,
 };
 use xia_index::{contains, DataType, IndexDefinition, IndexId};
-use xia_optimizer::{evaluate_query, execute, optimize, Catalog, CostModel, Plan};
+use xia_optimizer::{
+    evaluate_query, execute, execute_navigational, optimize, Catalog, CostModel, Plan,
+};
 use xia_storage::{
     checkpoint_database, fingerprint, recover_database, Collection, Database, DocId, RealVfs,
 };
@@ -50,6 +52,11 @@ pub struct CheckOptions {
     /// compression bound of the exhaustive optimum (sampled like
     /// `check_recommend` — it enumerates every configuration subset).
     pub check_advise: bool,
+    /// Also re-run every executed plan in navigational mode and demand
+    /// identical rows *and* identical [`ExecStats`] — the batched engine
+    /// and the tree-walking evaluator must never drift apart, in results
+    /// or in the page accounting the cost model is calibrated against.
+    pub check_exec_parity: bool,
 }
 
 impl Default for CheckOptions {
@@ -58,6 +65,7 @@ impl Default for CheckOptions {
             scratch: None,
             check_recommend: true,
             check_advise: true,
+            check_exec_parity: true,
         }
     }
 }
@@ -108,7 +116,15 @@ pub fn check_case(case: &Case, opts: &CheckOptions) -> Vec<Violation> {
 
     // --- Invariant 1 + 5: plan equivalence and estimate sanity. --------
     let reference = reference_results(case, &queries);
-    check_plans(case, &queries, &specs, &model, &reference, &mut out);
+    check_plans(
+        case,
+        &queries,
+        &specs,
+        &model,
+        &reference,
+        opts.check_exec_parity,
+        &mut out,
+    );
 
     // --- Invariant 2: containment soundness. ---------------------------
     check_containment(&docs, &queries, &specs, &mut out);
@@ -191,12 +207,14 @@ fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
 /// each index alone, and all indexes together — physical execution must
 /// match the reference row-for-row, costs must be sane, and plan choice
 /// must not depend on catalog enumeration order.
+#[allow(clippy::too_many_arguments)]
 fn check_plans(
     case: &Case,
     queries: &[NormalizedQuery],
     specs: &[(LinearPath, DataType)],
     model: &CostModel,
     reference: &[Vec<(DocId, NodeId)>],
+    exec_parity: bool,
     out: &mut Vec<Violation>,
 ) {
     let mut configs: Vec<Vec<usize>> = vec![vec![]];
@@ -241,7 +259,7 @@ fn check_plans(
                 }
                 let executed = catch_unwind(AssertUnwindSafe(|| execute(&coll, query, &plan)));
                 match executed {
-                    Ok(Ok((rows, _stats))) => {
+                    Ok(Ok((rows, stats))) => {
                         if rows != reference[qi] {
                             out.push(violation(
                                 "plan-equivalence",
@@ -253,6 +271,52 @@ fn check_plans(
                                     reference[qi].len()
                                 ),
                             ));
+                        }
+                        // Differential batched-vs-navigational mode: the
+                        // same plan re-run through the tree-walking
+                        // evaluator must produce the same rows and the
+                        // same ExecStats (pages_read included), or the
+                        // cost model's calibration target has forked.
+                        if exec_parity {
+                            let nav = catch_unwind(AssertUnwindSafe(|| {
+                                execute_navigational(&coll, query, &plan)
+                            }));
+                            match nav {
+                                Ok(Ok((nrows, nstats))) => {
+                                    if nrows != rows {
+                                        out.push(violation(
+                                            "exec-parity",
+                                            format!(
+                                                "query {qi} ({}) with config {config:?} ({mname}): batched returned {} rows, navigational {} rows",
+                                                case.queries[qi],
+                                                rows.len(),
+                                                nrows.len()
+                                            ),
+                                        ));
+                                    } else if nstats != stats {
+                                        out.push(violation(
+                                            "exec-parity",
+                                            format!(
+                                                "query {qi} ({}) with config {config:?} ({mname}): ExecStats drift, batched {stats:?} vs navigational {nstats:?}",
+                                                case.queries[qi]
+                                            ),
+                                        ));
+                                    }
+                                }
+                                Ok(Err(e)) => out.push(violation(
+                                    "exec-parity",
+                                    format!(
+                                        "query {qi} with config {config:?} ({mname}): navigational mode failed where batched succeeded: {e}"
+                                    ),
+                                )),
+                                Err(e) => out.push(violation(
+                                    "exec-parity",
+                                    format!(
+                                        "execute_navigational panicked on query {qi} with config {config:?} ({mname}): {}",
+                                        panic_text(e)
+                                    ),
+                                )),
+                            }
                         }
                     }
                     Ok(Err(e)) => out.push(violation(

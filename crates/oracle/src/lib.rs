@@ -24,6 +24,12 @@
 //!    non-negative (for finite cost models; deliberately NaN-poisoned
 //!    models must still plan deterministically).
 //!
+//! A sixth, differential invariant rides along with plan equivalence:
+//! **exec parity** — every executed plan re-runs through the
+//! navigational (tree-walking) evaluator and must match the batched
+//! engine's rows and `ExecStats` exactly, so the vectorized path can
+//! never silently fork from the semantics or the page accounting.
+//!
 //! Failures auto-shrink and serialize to a textual `.case` format that
 //! is committed under `crates/oracle/corpus/` and replayed by an
 //! ordinary `cargo test`, so every bug the oracle ever finds stays
@@ -128,6 +134,9 @@ pub fn run_fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, usize)) -> Fu
             scratch: Some(scratch.clone()),
             check_recommend: sampled,
             check_advise: sampled,
+            // Cheap relative to recommend/advise; check on every case so
+            // the pinned sweep covers batched-vs-navigational everywhere.
+            check_exec_parity: true,
         };
         let violations = check_case(&case, &opts);
         report.cases_run += 1;
@@ -137,6 +146,7 @@ pub fn run_fuzz(config: &FuzzConfig, mut progress: impl FnMut(u64, usize)) -> Fu
                 scratch: (first.invariant == "durability").then(|| scratch.clone()),
                 check_recommend: first.invariant == "recommend-determinism",
                 check_advise: first.invariant == "advise-quality",
+                check_exec_parity: first.invariant == "exec-parity",
             };
             let small = shrink(&case, &shrink_opts, first.invariant);
             report.failures.push(Failure {
@@ -190,6 +200,7 @@ mod tests {
             scratch: Some(scratch.clone()),
             check_recommend: true,
             check_advise: true,
+            check_exec_parity: true,
         };
         let violations = check_case(&case, &opts);
         let _ = std::fs::remove_dir_all(&scratch);

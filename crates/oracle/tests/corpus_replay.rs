@@ -24,6 +24,7 @@ fn corpus_replays_clean() {
         scratch: Some(scratch.clone()),
         check_recommend: true,
         check_advise: true,
+        check_exec_parity: true,
     };
     let mut failures = Vec::new();
     for path in &entries {

@@ -826,9 +826,25 @@ fn handle_explain(state: &Arc<ServerState>, req: &Value, profiled: bool) -> Resu
         return Ok(Value::obj(vec![("plan", Value::str(&ex.text))]));
     }
     let profile = profile_execute(coll, &query, &ex.plan).map_err(|e| e.to_string())?;
+    // Per-batch-operator attribution (empty for index-only plans, which
+    // never run the batch engine): `op` is the operator label from the
+    // compiled pipeline, `rows` the rows it produced summed over every
+    // document evaluated, `ms` the wall time spent inside it.
+    let operators = profile
+        .operators
+        .iter()
+        .map(|o| {
+            Value::obj(vec![
+                ("op", Value::str(&o.op)),
+                ("rows", Value::num(o.rows as f64)),
+                ("ms", Value::num(o.wall.as_secs_f64() * 1e3)),
+            ])
+        })
+        .collect();
     Ok(Value::obj(vec![
         ("profile", Value::str(profile.render())),
         ("results", Value::num(profile.results.len() as f64)),
+        ("operators", Value::Arr(operators)),
     ]))
 }
 

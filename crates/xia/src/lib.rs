@@ -9,7 +9,8 @@
 //! * [`storage`] — collections, path dictionary, statistics, updates.
 //! * [`xquery`] — mini-XQuery and SQL/XML front ends.
 //! * [`optimizer`] — cost-based optimizer with the paper's two EXPLAIN
-//!   modes (Enumerate Indexes / Evaluate Indexes) and a plan executor.
+//!   modes (Enumerate Indexes / Evaluate Indexes) and a batched
+//!   (vectorized) plan executor with structural joins.
 //! * [`advisor`] — the XML Index Advisor itself: candidate enumeration,
 //!   generalization DAG, greedy/top-down configuration search, analysis.
 //! * [`workload`] — XMark-like and TPoX-like data/query generators,
@@ -61,8 +62,9 @@ pub mod prelude {
     };
     pub use xia_index::{DataType, IndexDefinition, IndexId};
     pub use xia_optimizer::{
-        enumerate_indexes, evaluate_indexes, execute, explain, profile_execute, CostModel,
-        ExplainMode, Profile,
+        enumerate_indexes, evaluate_indexes, execute, execute_navigational, explain,
+        profile_execute, run_batch, BatchPlan, CostModel, ExecMode, ExplainMode, OperatorStat,
+        Profile,
     };
     pub use xia_server::{
         Client, CycleReport, DurabilityConfig, RetryPolicy, Server, ServerConfig,

@@ -145,6 +145,7 @@ impl DocumentBuilder {
             names: self.names,
             root: self.root,
             byte_size,
+            columns: Default::default(),
         })
     }
 }

@@ -10,6 +10,7 @@
 //! never has to re-walk the tree.
 
 use crate::name::{NameId, NameTable};
+use std::sync::OnceLock;
 
 /// Index of a node inside its [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -64,6 +65,57 @@ pub struct Document {
     /// Approximate in-memory size, computed once at construction —
     /// `byte_size()` sits on the executor's per-fetch hot path.
     pub(crate) byte_size: usize,
+    /// Sorted region-label columns for the batched executor, built on
+    /// first use. Excluded from `byte_size()`: the page-accounting model
+    /// prices the document itself, not executor scratch state, and the
+    /// cost model must not shift when a document happens to have been
+    /// queried through the batched path.
+    pub(crate) columns: OnceLock<NodeColumns>,
+}
+
+/// Column-oriented view of a document's region labels: for each node
+/// population the batched executor consumes, the sorted list of `start`
+/// ranks (pre-order ranks double as arena indexes, so a `start` column
+/// *is* a node-id column). All lists are ascending and duplicate-free by
+/// construction — the arena is laid out in pre-order.
+#[derive(Debug, Clone, Default)]
+pub struct NodeColumns {
+    /// `elem_by_name[name.as_u32()]` = starts of elements named `name`.
+    elem_by_name: Vec<Vec<u32>>,
+    /// `attr_by_name[name.as_u32()]` = starts of attributes named `name`.
+    attr_by_name: Vec<Vec<u32>>,
+    /// Starts of every element.
+    elements: Vec<u32>,
+    /// Starts of every attribute node.
+    attributes: Vec<u32>,
+    /// Starts of every text node.
+    texts: Vec<u32>,
+}
+
+impl NodeColumns {
+    fn build(doc: &Document) -> NodeColumns {
+        let mut cols = NodeColumns {
+            elem_by_name: vec![Vec::new(); doc.names.len()],
+            attr_by_name: vec![Vec::new(); doc.names.len()],
+            ..NodeColumns::default()
+        };
+        for (i, n) in doc.nodes.iter().enumerate() {
+            let start = i as u32;
+            debug_assert_eq!(n.start, start, "pre-order arena invariant");
+            match n.kind {
+                NodeKind::Element => {
+                    cols.elements.push(start);
+                    cols.elem_by_name[n.name.as_u32() as usize].push(start);
+                }
+                NodeKind::Attribute => {
+                    cols.attributes.push(start);
+                    cols.attr_by_name[n.name.as_u32() as usize].push(start);
+                }
+                NodeKind::Text => cols.texts.push(start),
+            }
+        }
+        cols
+    }
 }
 
 impl Document {
@@ -255,6 +307,42 @@ impl Document {
         self.byte_size
     }
 
+    #[inline]
+    fn columns(&self) -> &NodeColumns {
+        self.columns.get_or_init(|| NodeColumns::build(self))
+    }
+
+    /// Sorted starts of elements named `name` (empty for unknown names).
+    pub fn elements_named(&self, name: NameId) -> &[u32] {
+        self.columns()
+            .elem_by_name
+            .get(name.as_u32() as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Sorted starts of attributes named `name` (empty for unknown names).
+    pub fn attributes_named(&self, name: NameId) -> &[u32] {
+        self.columns()
+            .attr_by_name
+            .get(name.as_u32() as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Sorted starts of every element node (the root included).
+    pub fn element_starts(&self) -> &[u32] {
+        &self.columns().elements
+    }
+
+    /// Sorted starts of every attribute node.
+    pub fn attribute_starts(&self) -> &[u32] {
+        &self.columns().attributes
+    }
+
+    /// Sorted starts of every text node.
+    pub fn text_starts(&self) -> &[u32] {
+        &self.columns().texts
+    }
+
     /// Compute the size estimate (called once by the parser/builder).
     pub(crate) fn compute_byte_size(nodes: &[Node], names: &NameTable) -> usize {
         let node_bytes = std::mem::size_of_val(nodes);
@@ -369,6 +457,43 @@ mod tests {
         let mut sorted = starts.clone();
         sorted.sort_unstable();
         assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn columns_agree_with_tree_walk() {
+        let d = doc();
+        let root = d.root_element().unwrap();
+        let all: Vec<NodeId> = std::iter::once(root).chain(d.descendants(root)).collect();
+        let expect = |pred: &dyn Fn(NodeId) -> bool| -> Vec<u32> {
+            all.iter()
+                .copied()
+                .filter(|&n| pred(n))
+                .map(|n| d.start(n))
+                .collect()
+        };
+        assert_eq!(
+            d.element_starts(),
+            expect(&|n| d.kind(n) == NodeKind::Element)
+        );
+        assert_eq!(
+            d.attribute_starts(),
+            expect(&|n| d.kind(n) == NodeKind::Attribute)
+        );
+        assert_eq!(d.text_starts(), expect(&|n| d.kind(n) == NodeKind::Text));
+        let item = d.names().get("item").unwrap();
+        assert_eq!(
+            d.elements_named(item),
+            expect(&|n| d.kind(n) == NodeKind::Element && d.name_id(n) == item)
+        );
+        let id = d.names().get("id").unwrap();
+        assert_eq!(
+            d.attributes_named(id),
+            expect(&|n| d.kind(n) == NodeKind::Attribute && d.name_id(n) == id)
+        );
+        assert_eq!(d.elements_named(id), &[] as &[u32]);
+        // A clone starts with fresh (unbuilt) columns and rebuilds the same.
+        let c = d.clone();
+        assert_eq!(c.element_starts(), d.element_starts());
     }
 
     #[test]

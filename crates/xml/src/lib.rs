@@ -32,7 +32,7 @@ mod parse;
 mod serialize;
 
 pub use builder::DocumentBuilder;
-pub use dom::{Document, NodeId, NodeKind};
+pub use dom::{Document, NodeColumns, NodeId, NodeKind};
 pub use error::{ParseError, ParseErrorKind};
 pub use name::{NameId, NameTable};
 pub use serialize::{serialize, serialize_pretty};

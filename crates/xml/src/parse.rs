@@ -26,6 +26,7 @@ pub(crate) fn parse_document(input: &str) -> Result<Document, ParseError> {
         names: p.names,
         root,
         byte_size,
+        columns: Default::default(),
     })
 }
 

@@ -37,7 +37,58 @@ pub struct Step {
     pub predicates: Vec<Predicate>,
 }
 
+/// How a step maps onto a batch operator: which structural join flavor
+/// it compiles to and which node population (column) it consumes. The
+/// batched executor dispatches on this instead of re-matching
+/// `(axis, test)` pairs at every step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepClass {
+    /// `child::name` / `child::*` — element children; stack join on
+    /// `level(child) == level(context) + 1`.
+    ChildElement,
+    /// `descendant::name` / `descendant::*` — elements inside any
+    /// context region; sort-merge containment join.
+    DescendantElement,
+    /// `child::text()` — text children; same stack join, text column.
+    ChildText,
+    /// `descendant::text()` — text nodes inside any context region.
+    DescendantText,
+    /// `@name` / `@*` — attribute nodes owned by a context element.
+    Attribute,
+    /// `..` — distinct parents of the context set, no node test.
+    Parent,
+    /// Statically empty combinations (`@text()`, `../anything` never is —
+    /// only the attribute axis with a text test selects nothing).
+    Empty,
+}
+
 impl Step {
+    /// Classify this step for join compilation. Mirrors exactly what the
+    /// navigational evaluator's `apply_step` does for each
+    /// `(axis, test)` pair.
+    pub fn class(&self) -> StepClass {
+        match (self.axis, &self.test) {
+            (Axis::Child, NameTest::Name(_) | NameTest::Wildcard) => StepClass::ChildElement,
+            (Axis::Child, NameTest::Text) => StepClass::ChildText,
+            (Axis::Descendant, NameTest::Name(_) | NameTest::Wildcard) => {
+                StepClass::DescendantElement
+            }
+            (Axis::Descendant, NameTest::Text) => StepClass::DescendantText,
+            (Axis::Attribute, NameTest::Name(_) | NameTest::Wildcard) => StepClass::Attribute,
+            (Axis::Attribute, NameTest::Text) => StepClass::Empty,
+            (Axis::Parent, _) => StepClass::Parent,
+        }
+    }
+
+    /// The name this step selects by, if it is a name test (`None` for
+    /// wildcard/text tests, whose columns are not name-keyed).
+    pub fn test_name(&self) -> Option<&str> {
+        match &self.test {
+            NameTest::Name(n) => Some(n.as_str()),
+            NameTest::Wildcard | NameTest::Text => None,
+        }
+    }
+
     pub fn child(name: &str) -> Step {
         Step {
             axis: Axis::Child,

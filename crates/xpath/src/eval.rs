@@ -157,7 +157,11 @@ fn eval_predicate(doc: &Document, node: NodeId, pred: &Predicate) -> bool {
     }
 }
 
-fn compare_value(doc: &Document, node: NodeId, op: CmpOp, lit: &Literal) -> bool {
+/// Does `node`'s value satisfy `op literal`? This is the single source
+/// of XPath comparison semantics (numeric coercion, lexicographic
+/// fallback, string functions) — the batched executor's vectorized
+/// value filters call it per candidate so the two paths cannot drift.
+pub fn compare_value(doc: &Document, node: NodeId, op: CmpOp, lit: &Literal) -> bool {
     match lit {
         Literal::Num(n) => match doc.number_value(node) {
             Some(v) => v.partial_cmp(n).is_some_and(|ord| op.holds(ord)),

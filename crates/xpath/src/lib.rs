@@ -30,7 +30,7 @@ pub mod eval;
 pub mod linear;
 mod parser;
 
-pub use ast::{Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step};
-pub use eval::{evaluate, evaluate_from};
+pub use ast::{Axis, CmpOp, Literal, LocationPath, NameTest, Predicate, Step, StepClass};
+pub use eval::{compare_value, evaluate, evaluate_from};
 pub use linear::{LinearPath, LinearStep, PathAxis, PathTest};
 pub use parser::{parse, XPathError};

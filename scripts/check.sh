@@ -42,9 +42,10 @@ run_hard cargo test -q --offline
 run_hard cargo test -q --offline -p xia-storage --test crash_matrix
 # The differential oracle: a pinned-seed sweep over the invariants
 # (plan equivalence, containment, parity, durability, estimate sanity,
-# sampled recommend-determinism and advise-quality), plus replay of
-# every regression case the oracle ever found. The budget is sized to
-# keep the whole sweep well under half a minute in release.
+# exec-parity between the batched and navigational executors, sampled
+# recommend-determinism and advise-quality), plus replay of every
+# regression case the oracle ever found. The budget is sized to keep
+# the whole sweep well under half a minute in release.
 run_hard ./target/release/xia-cli fuzz --seed 42 --budget 500
 run_hard cargo test -q --offline -p xia-oracle --test corpus_replay
 # The interleaved-writes oracle: seeded concurrent writers through the
@@ -62,6 +63,10 @@ run_hard cargo test -q --offline -p xia-server --test snapshot_isolation
 # exhaustive optimum).
 run_hard cargo test -q --offline -p xia-advisor --test prop_compress
 run_hard cargo test -q --offline -p xia-server --test advise_under_load
+# The executor-parity property test by name: the batched engine must
+# match navigational evaluation node-for-node (rows and ExecStats) over
+# random documents, queries, and index configurations.
+run_hard cargo test -q --offline -p xia-optimizer --test prop_exec_batch
 
 # Persistence code must do ALL file I/O through the injectable Vfs —
 # a direct std::fs call is a fault-injection blind spot the crash
