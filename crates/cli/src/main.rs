@@ -81,7 +81,14 @@ usage: xia-cli serve [options]
   --advise-budget <ms> wall budget per collection for each advisor
                        cycle's anytime search; an exhausted budget keeps
                        the best configuration found so far
-                       (default 5000; 0 = search to completion)";
+                       (default 5000; 0 = search to completion)
+  --max-connections <n> live-connection cap; connections past it get an
+                       immediate BUSY + retry_after_ms hint (default 256)
+  --shed-queue <n>     bound on connections waiting for a worker; a
+                       queue at a quarter of this bound sheds expensive
+                       commands, at half it sheds normal ones (default 64)
+  --max-frame <KiB>    request-frame cap; oversized frames get a clean
+                       error + close (default 1024)";
 
 fn serve(args: &[String]) {
     let mut cfg = ServerConfig {
@@ -125,6 +132,17 @@ fn serve(args: &[String]) {
             "--advise-budget" => {
                 let ms: u64 = req("--advise-budget").parse().unwrap_or(5000);
                 cfg.advise_budget = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--max-connections" => {
+                cfg.admission.max_connections =
+                    req("--max-connections").parse().unwrap_or(256).max(1);
+            }
+            "--shed-queue" => {
+                cfg.admission.shed_queue = req("--shed-queue").parse().unwrap_or(64).max(1);
+            }
+            "--max-frame" => {
+                let kib: usize = req("--max-frame").parse().unwrap_or(1024);
+                cfg.admission.max_frame_bytes = kib.max(1) << 10;
             }
             "--help" | "-h" => {
                 println!("{SERVE_HELP}");
@@ -193,12 +211,21 @@ usage: xia-cli fuzz [options]
                        prefix-consistent snapshots, and durability parity.
                        --budget then counts rounds (default 1000 is a lot;
                        50 is a thorough sweep).
+  --net-chaos          run the network-chaos oracle instead: seeded
+                       concurrent clients drive a live daemon through
+                       fault-injecting transports (garbage bytes,
+                       slowloris, mid-frame disconnects) with squeezed
+                       admission limits; checks stream integrity, no
+                       wedged/leaked workers, and exact reconciliation of
+                       the overload accounting. --budget then counts
+                       connections (300 is a thorough sweep).
 exit status: 0 when every case satisfies every invariant, 1 otherwise.";
 
 fn fuzz(args: &[String]) {
     let mut config = xia_oracle::FuzzConfig::new(42, 1000);
     let mut corpus_dir: Option<String> = None;
     let mut interleaved = false;
+    let mut net_chaos = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut req = |name: &str| {
@@ -223,6 +250,7 @@ fn fuzz(args: &[String]) {
             }
             "--write-corpus" => corpus_dir = Some(req("--write-corpus")),
             "--interleaved" => interleaved = true,
+            "--net-chaos" => net_chaos = true,
             "--help" | "-h" => {
                 println!("{FUZZ_HELP}");
                 return;
@@ -232,6 +260,44 @@ fn fuzz(args: &[String]) {
                 std::process::exit(2);
             }
         }
+    }
+
+    if net_chaos {
+        // --budget 1000 is the shared default; 300 connections is the
+        // pinned acceptance sweep, so scale the default down.
+        let connections = if config.budget == 1000 {
+            300
+        } else {
+            config.budget
+        };
+        let ncfg = xia_oracle::NetChaosConfig::new(config.seed, connections);
+        println!(
+            "xia fuzz --net-chaos: seed {} connections {} ({} clients vs {} workers, \
+             max_connections {}, shed_queue {}) — checking stream integrity, \
+             wedge/leak freedom, overload accounting",
+            ncfg.seed,
+            ncfg.connections,
+            ncfg.clients,
+            ncfg.workers,
+            ncfg.max_connections,
+            ncfg.shed_queue
+        );
+        let start = std::time::Instant::now();
+        let report = xia_oracle::run_net_chaos(&ncfg, |done, fails| {
+            println!("  {done} connections, {fails} violation(s)");
+        });
+        println!(
+            "{} in {:.2}s",
+            xia_oracle::netchaos::render_report(&report),
+            start.elapsed().as_secs_f64()
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        if !report.ok() {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if interleaved {

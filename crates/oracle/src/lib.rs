@@ -41,11 +41,20 @@
 //! group-commit committer while the oracle checks linearizability
 //! (commit-order replay reproduces the final snapshot),
 //! prefix-consistent snapshot reads, and durability parity.
+//!
+//! A third mode ([`netchaos`], `xia fuzz --net-chaos`) targets the
+//! network layer: concurrent seeded clients drive a real daemon through
+//! fault-injecting transports (garbage bytes, slowloris, mid-frame
+//! disconnects) under squeezed admission limits, checking that every
+//! connection ends in a well-formed response, a clean BUSY/TIMEOUT, or
+//! a closed socket — never a wedged worker or a corrupted stream — and
+//! that the overload accounting reconciles exactly.
 
 pub mod case;
 pub mod check;
 pub mod gen;
 pub mod interleave;
+pub mod netchaos;
 pub mod rng;
 pub mod shrink;
 
@@ -53,6 +62,7 @@ pub use case::{Case, IndexSpec, Poison};
 pub use check::{check_case, dedupe, CheckOptions, Violation};
 pub use gen::gen_case;
 pub use interleave::{run_interleaved, InterleaveConfig, InterleaveReport};
+pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport};
 pub use rng::Rng;
 pub use shrink::shrink;
 

@@ -1,0 +1,520 @@
+//! Seeded network-chaos oracle: drive a real daemon through the
+//! fault-injecting [`ChaosFactory`] transport and pin the overload
+//! contract (`xia fuzz --net-chaos`).
+//!
+//! Concurrent seeded clients hammer a small daemon whose every accepted
+//! socket is wrapped in a [`FaultTransport`] profile — garbage prefixes,
+//! slowloris byte-drip, mid-frame disconnects, tiny chunks, write-path
+//! disconnects, plus a clean control group — while admission control is
+//! deliberately squeezed (small `max_connections`/`shed_queue`) so BUSY
+//! rejections and tiered shedding fire during the sweep.
+//!
+//! The invariant, checked from both sides of the wire:
+//!
+//! 1. **per-connection stream integrity** — every *complete* response
+//!    line the client reads parses as JSON with a boolean `ok`; `busy`
+//!    responses carry a positive `retry_after_ms`; and every `ok: true`
+//!    response has the shape of the request it answers, in order — a
+//!    response surfacing on the wrong connection or interleaving with
+//!    another client's bytes fails the pairing. Truncated tails and
+//!    early EOF are legal (that is what faulted connections look like);
+//!    a read blocking past the wedge timeout is not.
+//! 2. **no wedge, no leak** — after the sweep the daemon still answers
+//!    PING on a clean connection, its gauges (`live`, `queued`,
+//!    `in_flight`) drain to zero, and `Server::stop` joins every worker
+//!    within a watchdog timeout.
+//! 3. **metrics reconciliation** — the connection accounting partitions
+//!    exactly: `conns_accepted == conns_rejected + conns_served +
+//!    conns_faulted`.
+//!
+//! As with [`crate::interleave`], thread scheduling is the OS's; what is
+//! seeded is the per-connection fault plan and request mix, and the
+//! invariants hold for every interleaving.
+
+use crate::rng::Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use xia_server::{AdmissionConfig, ChaosFactory, ChaosProfile, Client, Server, ServerConfig};
+use xia_storage::Database;
+use xia_xml::Document;
+
+/// Configuration for one net-chaos sweep.
+#[derive(Debug, Clone)]
+pub struct NetChaosConfig {
+    pub seed: u64,
+    /// Total connections to drive through the fault profiles.
+    pub connections: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Daemon worker threads (kept small so the queue actually fills).
+    pub workers: usize,
+    /// Admission limits, squeezed so BUSY paths fire under the sweep.
+    pub max_connections: usize,
+    pub shed_queue: usize,
+    /// Client-side read bound; a response blocking past this is a wedge.
+    pub wedge_timeout: Duration,
+}
+
+impl NetChaosConfig {
+    pub fn new(seed: u64, connections: u64) -> NetChaosConfig {
+        NetChaosConfig {
+            seed,
+            connections,
+            clients: 8,
+            workers: 2,
+            max_connections: 6,
+            shed_queue: 3,
+            wedge_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Result of a net-chaos sweep.
+#[derive(Debug, Clone, Default)]
+pub struct NetChaosReport {
+    pub connections_driven: u64,
+    pub requests_sent: u64,
+    /// Complete, well-formed response lines observed by clients.
+    pub responses_seen: u64,
+    /// `busy: true` responses (connect rejections + shed requests).
+    pub busy_seen: u64,
+    /// Connections that ended early (EOF/reset/truncated tail) — the
+    /// expected signature of injected faults, not a failure.
+    pub faulted_seen: u64,
+    /// Fault profiles exercised (the chaos factory's full rotation).
+    pub profiles: usize,
+    /// Server-side accounting after shutdown, for the reconciliation.
+    pub accepted: u64,
+    pub served: u64,
+    pub rejected: u64,
+    pub faulted: u64,
+    pub failures: Vec<String>,
+}
+
+impl NetChaosReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// What one seeded client sent on a connection, for response pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sent {
+    Ping,
+    Query,
+    Stats,
+    Insert,
+    Advise,
+    /// A deliberately malformed line; its `bad request` error response
+    /// is skipped by the pairing, like garbage-prefix frames.
+    Garbage,
+}
+
+impl Sent {
+    fn line(self, rng: &mut Rng) -> String {
+        match self {
+            Sent::Ping => r#"{"cmd": "ping"}"#.to_string(),
+            Sent::Query => {
+                r#"{"cmd": "query", "q": "//item/price", "collection": "c0"}"#.to_string()
+            }
+            Sent::Stats => r#"{"cmd": "stats"}"#.to_string(),
+            Sent::Insert => {
+                let n = rng.below(1000);
+                format!(
+                    r#"{{"cmd": "insert", "collection": "c0", "xml": "<r><item id=\"x{n}\"><price>{n}</price></item></r>"}}"#
+                )
+            }
+            Sent::Advise => r#"{"cmd": "advise"}"#.to_string(),
+            Sent::Garbage => match rng.below(3) {
+                0 => "this is not json".to_string(),
+                1 => r#"{"cmd": "query", "q":"#.to_string(), // truncated
+                _ => "<xml>wrong protocol</xml>".to_string(),
+            },
+        }
+    }
+
+    /// The field an `ok: true` response to this request must carry.
+    fn shape_field(self) -> &'static str {
+        match self {
+            Sent::Ping => "pong",
+            Sent::Query => "results",
+            Sent::Stats => "uptime_secs",
+            Sent::Insert => "doc",
+            Sent::Advise => "report",
+            Sent::Garbage => unreachable!("garbage never gets ok:true"),
+        }
+    }
+}
+
+fn gen_requests(rng: &mut Rng) -> Vec<Sent> {
+    let k = 1 + rng.below(3);
+    (0..k)
+        .map(|_| match rng.below(10) {
+            0..=2 => Sent::Ping,
+            3..=5 => Sent::Query,
+            6 => Sent::Stats,
+            7 => Sent::Insert,
+            8 => Sent::Advise,
+            _ => Sent::Garbage,
+        })
+        .collect()
+}
+
+/// Outcome tallies from one client thread.
+#[derive(Default)]
+struct ClientTally {
+    connections: u64,
+    requests: u64,
+    responses: u64,
+    busy: u64,
+    faulted: u64,
+    failures: Vec<String>,
+}
+
+/// Drive one connection: pipeline the seeded requests, close the write
+/// side, read every response line, then validate the stream.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    rng: &mut Rng,
+    wedge_timeout: Duration,
+    tally: &mut ClientTally,
+) {
+    let label = |sent: &[Sent]| format!("{sent:?}");
+    let Ok(stream) = TcpStream::connect(addr) else {
+        // Kernel-level connect failure: the daemon never saw this
+        // connection, so it does not participate in reconciliation.
+        return;
+    };
+    tally.connections += 1;
+    let _ = stream.set_read_timeout(Some(wedge_timeout));
+    let mut reader = match stream.try_clone() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+
+    let sent = gen_requests(rng);
+    let mut written: Vec<Sent> = Vec::new();
+    for s in &sent {
+        let line = s.line(rng);
+        if writer.write_all(line.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break; // connection already dead: a faulted end, not a bug
+        }
+        written.push(*s);
+        tally.requests += 1;
+    }
+    let _ = writer.flush();
+    let _ = writer.shutdown(Shutdown::Write); // EOF signals "no more frames"
+
+    // Read everything the server sends until EOF / error / wedge.
+    let mut complete: Vec<String> = Vec::new();
+    let mut truncated = false;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // clean EOF
+            Ok(_) if line.ends_with('\n') => complete.push(line.trim().to_string()),
+            Ok(_) => {
+                // Partial line then EOF: the server died mid-response.
+                truncated = true;
+                break;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                tally.failures.push(format!(
+                    "WEDGE: no response or EOF within {:?} (sent {})",
+                    wedge_timeout,
+                    label(&written)
+                ));
+                return;
+            }
+            Err(_) => {
+                truncated = true; // reset mid-stream: a faulted end
+                break;
+            }
+        }
+    }
+
+    // Pair the response stream against what we sent. Garbage frames
+    // (ours or the fault plan's prefix) answer with `bad request` errors
+    // that the pairing skips; everything else pairs in order.
+    let expected: Vec<Sent> = written
+        .iter()
+        .copied()
+        .filter(|s| *s != Sent::Garbage)
+        .collect();
+    let mut idx = 0;
+    let mut rejected = false;
+    for line in &complete {
+        if line.is_empty() {
+            continue;
+        }
+        let v = match xia_server::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                tally.failures.push(format!(
+                    "CORRUPT: complete response frame is not JSON ({e}): {line}"
+                ));
+                continue;
+            }
+        };
+        tally.responses += 1;
+        let Some(ok) = v.get_bool("ok") else {
+            tally
+                .failures
+                .push(format!("CORRUPT: response missing boolean 'ok': {line}"));
+            continue;
+        };
+        let busy = v.get_bool("busy").unwrap_or(false);
+        if busy {
+            tally.busy += 1;
+            match v.get_f64("retry_after_ms") {
+                Some(ms) if ms > 0.0 => {}
+                _ => tally.failures.push(format!(
+                    "BUSY response without a positive retry_after_ms: {line}"
+                )),
+            }
+            if v.get_str("cmd") == Some("connect") {
+                // Admission rejected the whole connection; nothing we
+                // sent gets an answer and EOF follows.
+                rejected = true;
+                continue;
+            }
+        }
+        if !ok {
+            let err = v.get_str("error").unwrap_or("");
+            if err.starts_with("bad request") {
+                continue; // a garbage frame's error: skipped, unpaired
+            }
+        }
+        // A paired response (success, shed BUSY, TIMEOUT, or any other
+        // explicit error) consumes one expected slot.
+        if idx >= expected.len() {
+            tally.failures.push(format!(
+                "CORRUPT: more responses than requests (sent {}, extra: {line})",
+                label(&written)
+            ));
+            continue;
+        }
+        if ok {
+            let field = expected[idx].shape_field();
+            if v.get(field).is_none() {
+                tally.failures.push(format!(
+                    "CROSSED: response to {:?} lacks '{field}': {line}",
+                    expected[idx]
+                ));
+            }
+        }
+        idx += 1;
+    }
+    // Under-delivery (idx < expected.len()) is legal: a faulted or
+    // rejected connection stops answering early. Count it as faulted.
+    if truncated || rejected || idx < expected.len() {
+        tally.faulted += 1;
+    }
+}
+
+fn chaos_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection("c0");
+    for i in 0..3 {
+        db.collection_mut("c0").unwrap().insert(
+            Document::parse(&format!(
+                "<r><item id=\"seed{i}\"><price>{i}</price></item></r>"
+            ))
+            .unwrap(),
+        );
+    }
+    db
+}
+
+/// Run the net-chaos sweep. `progress` is called per finished client
+/// thread with (connections_driven_so_far, failures_so_far).
+pub fn run_net_chaos(
+    config: &NetChaosConfig,
+    mut progress: impl FnMut(u64, usize),
+) -> NetChaosReport {
+    let mut report = NetChaosReport {
+        profiles: ChaosProfile::ALL.len(),
+        ..NetChaosReport::default()
+    };
+    let factory = Arc::new(ChaosFactory::new(config.seed));
+    let server = Server::start(
+        chaos_db(),
+        ServerConfig {
+            threads: config.workers.max(1),
+            admission: AdmissionConfig {
+                max_connections: config.max_connections,
+                shed_queue: config.shed_queue,
+                retry_after_ms: 5,
+                ..AdmissionConfig::default()
+            },
+            transport: factory.clone(),
+            request_deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        },
+    );
+    let server = match server {
+        Ok(s) => s,
+        Err(e) => {
+            report.failures.push(format!("server failed to start: {e}"));
+            return report;
+        }
+    };
+    let addr = server.addr();
+
+    // Fan the connection budget over seeded client threads.
+    let mut master = Rng::new(config.seed ^ 0xc2b2_ae3d_27d4_eb4f);
+    let clients = config.clients.max(1);
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let mut rng = Rng::new(master.next_u64());
+        let share = config.connections / clients as u64
+            + u64::from((c as u64) < config.connections % clients as u64);
+        let wedge = config.wedge_timeout;
+        handles.push(std::thread::spawn(move || {
+            let mut tally = ClientTally::default();
+            for _ in 0..share {
+                drive_connection(addr, &mut rng, wedge, &mut tally);
+            }
+            tally
+        }));
+    }
+    for h in handles {
+        let tally = h.join().expect("client thread");
+        report.connections_driven += tally.connections;
+        report.requests_sent += tally.requests;
+        report.responses_seen += tally.responses;
+        report.busy_seen += tally.busy;
+        report.faulted_seen += tally.faulted;
+        report.failures.extend(tally.failures);
+        progress(report.connections_driven, report.failures.len());
+    }
+
+    // Quiescence: with every client gone, the gauges must drain.
+    let overload = &server.state().metrics().overload;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let live = overload.live.load(Ordering::SeqCst);
+        let queued = overload.queued.load(Ordering::SeqCst);
+        let in_flight = overload.in_flight.load(Ordering::SeqCst);
+        if live == 0 && queued == 0 && in_flight == 0 {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            report.failures.push(format!(
+                "LEAK: gauges did not drain after the sweep \
+                 (live={live} queued={queued} in_flight={in_flight})"
+            ));
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Post-sweep liveness over an honest connection: the daemon must
+    // still answer PING after everything the sweep threw at it.
+    factory.set_clean(true);
+    match Client::connect(addr) {
+        Ok(mut c) => match c.command("ping") {
+            Ok(v) if v.get_bool("ok") == Some(true) => {}
+            Ok(v) => report
+                .failures
+                .push(format!("post-sweep PING answered abnormally: {v}")),
+            Err(e) => report.failures.push(format!("post-sweep PING failed: {e}")),
+        },
+        Err(e) => report
+            .failures
+            .push(format!("post-sweep connect failed: {e}")),
+    }
+
+    // Shutdown under a watchdog: a leaked or wedged worker hangs stop().
+    let state = server.state().clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.stop();
+        let _ = tx.send(());
+    });
+    if rx.recv_timeout(Duration::from_secs(10)).is_err() {
+        report.failures.push(
+            "LEAK: Server::stop did not join every thread within 10s (leaked worker?)".to_string(),
+        );
+        return report;
+    }
+
+    // Reconciliation: the accounting partitions exactly, and nothing is
+    // still live after a clean stop.
+    let o = &state.metrics().overload;
+    report.accepted = o.conns_accepted.load(Ordering::SeqCst);
+    report.rejected = o.conns_rejected.load(Ordering::SeqCst);
+    report.served = o.conns_served.load(Ordering::SeqCst);
+    report.faulted = o.conns_faulted.load(Ordering::SeqCst);
+    if report.accepted != report.rejected + report.served + report.faulted {
+        report.failures.push(format!(
+            "RECONCILE: accepted {} != rejected {} + served {} + faulted {}",
+            report.accepted, report.rejected, report.served, report.faulted
+        ));
+    }
+    let live = o.live.load(Ordering::SeqCst);
+    let queued = o.queued.load(Ordering::SeqCst);
+    let in_flight = o.in_flight.load(Ordering::SeqCst);
+    if live != 0 || queued != 0 || in_flight != 0 {
+        report.failures.push(format!(
+            "RECONCILE: gauges nonzero after stop \
+             (live={live} queued={queued} in_flight={in_flight})"
+        ));
+    }
+    report
+}
+
+/// Render the sweep summary the CLI prints.
+pub fn render_report(report: &NetChaosReport) -> String {
+    format!(
+        "net-chaos: {} connections over {} fault profiles — {} requests, \
+         {} responses, {} busy, {} faulted ends (client view)\n\
+         server accounting: accepted {} = rejected {} + served {} + faulted {}\n\
+         {}",
+        report.connections_driven,
+        report.profiles,
+        report.requests_sent,
+        report.responses_seen,
+        report.busy_seen,
+        report.faulted_seen,
+        report.accepted,
+        report.rejected,
+        report.served,
+        report.faulted,
+        if report.ok() {
+            "invariants: OK (no wedges, no leaks, accounting reconciles)".to_string()
+        } else {
+            format!("VIOLATIONS ({}):", report.failures.len())
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned-seed smoke: a short sweep must be clean. The full
+    /// pinned-seed sweep (≥300 connections) lives in scripts/check.sh
+    /// (`xia fuzz --net-chaos --seed 42 --budget 300`).
+    #[test]
+    fn short_net_chaos_sweep_is_clean() {
+        let report = run_net_chaos(&NetChaosConfig::new(42, 60), |_, _| {});
+        assert!(report.ok(), "{:#?}", report.failures);
+        assert_eq!(report.connections_driven, 60);
+        assert!(report.responses_seen > 0, "clients got responses");
+        assert!(
+            report.accepted >= 60,
+            "every driven connection was accepted (plus the liveness ping)"
+        );
+        assert!(report.faulted > 0, "fault profiles actually faulted ends");
+    }
+}

@@ -1,0 +1,392 @@
+//! Overload protection: admission control at the acceptor and tiered
+//! load shedding inside the request path.
+//!
+//! The daemon's concurrency model pins one worker to one connection for
+//! the connection's lifetime, so overload shows up in exactly two
+//! places, and each gets its own defense:
+//!
+//! * **Admission** — a connection beyond `max_connections`, or one that
+//!   would make the acceptor→worker queue exceed `shed_queue`, is
+//!   answered immediately with a `BUSY` JSON line carrying a
+//!   `retry_after_ms` hint and closed. Nothing queues forever; a
+//!   well-behaved client ([`crate::client`]) backs off by the hint.
+//! * **Brownout** — once the acceptor→worker queue fills to a quarter
+//!   of its bound ([`LoadLevel::Elevated`]), serving workers shed
+//!   *expensive* commands (ADVISE, RECOMMEND, PROFILE) with `BUSY` so
+//!   they reach the end of their current connection sooner; past
+//!   [`LoadLevel::Saturated`] (queue at half its bound) normal commands
+//!   (QUERY, EXPLAIN, writes) shed too. PING, STATS and SHUTDOWN are
+//!   never shed — an operator must be able to see and stop an
+//!   overloaded daemon. The background advisor also pauses its cycle
+//!   while the daemon is under pressure.
+//!
+//! Shed tiers:
+//!
+//! | tier      | commands                                   | shed at   |
+//! |-----------|--------------------------------------------|-----------|
+//! | expensive | advise, recommend, profile                 | elevated  |
+//! | normal    | query, explain, insert, create/drop index, workload | saturated |
+//! | never     | ping, stats, shutdown, unknown             | —         |
+//!
+//! All decisions read/write the lock-free gauges in
+//! [`OverloadMetrics`](crate::metrics::OverloadMetrics), so STATS'
+//! `overload` section and the shedding logic can never disagree.
+
+use crate::metrics::{Metrics, OverloadMetrics};
+use crate::Command;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Overload-protection knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Live-connection cap (serving + queued). Connections past it get
+    /// an immediate `BUSY` + close instead of queueing.
+    pub max_connections: usize,
+    /// Bound on the acceptor→worker queue (connections admitted but not
+    /// yet picked up by a worker).
+    pub shed_queue: usize,
+    /// Request-frame cap: a line longer than this is answered with a
+    /// clean error and the connection is closed, instead of buffering
+    /// without bound.
+    pub max_frame_bytes: usize,
+    /// Base of the `retry_after_ms` hint; scaled up with queue depth.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_connections: 256,
+            shed_queue: 64,
+            max_frame_bytes: 1 << 20,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Current pressure, derived from the queue-depth gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadLevel {
+    /// Queue comfortably below its bound (under a quarter full).
+    Normal,
+    /// The queue is at a quarter of its bound or worse: shed expensive
+    /// commands, pause background advising.
+    Elevated,
+    /// The queue is at half its bound or worse: shed everything but the
+    /// never-shed tier.
+    Saturated,
+}
+
+impl LoadLevel {
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadLevel::Normal => "normal",
+            LoadLevel::Elevated => "elevated",
+            LoadLevel::Saturated => "saturated",
+        }
+    }
+}
+
+/// How sheddable a command is under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedTier {
+    /// Serve no matter what: observability and shutdown.
+    Never,
+    /// The normal request mix; shed only when saturated.
+    Normal,
+    /// Long-running advisor work; first to shed as the queue fills.
+    Expensive,
+}
+
+/// The tier a protocol command sheds at.
+pub fn shed_tier(cmd: Command) -> ShedTier {
+    match cmd {
+        Command::Advise | Command::Recommend | Command::Profile => ShedTier::Expensive,
+        Command::Ping | Command::Stats | Command::Shutdown | Command::Unknown => ShedTier::Never,
+        _ => ShedTier::Normal,
+    }
+}
+
+/// A rejected admission or a shed request: what to tell the client.
+#[derive(Debug, Clone)]
+pub struct Busy {
+    pub reason: String,
+    pub retry_after_ms: u64,
+}
+
+/// Shared overload-protection state. Cheap to consult on every request:
+/// every input is an atomic gauge in [`OverloadMetrics`].
+pub struct Admission {
+    config: AdmissionConfig,
+    /// Worker-pool size, for the STATS payload (live > workers means
+    /// connections are queued).
+    workers: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl Admission {
+    pub fn new(config: AdmissionConfig, workers: usize, metrics: Arc<Metrics>) -> Admission {
+        Admission {
+            config,
+            workers,
+            metrics,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn overload(&self) -> &OverloadMetrics {
+        &self.metrics.overload
+    }
+
+    /// The backoff hint for a `BUSY` answer right now: the configured
+    /// base, growing linearly to 4× as the queue fills.
+    pub fn retry_after_ms(&self) -> u64 {
+        let base = self.config.retry_after_ms.max(1);
+        let queued = self.overload().queued.load(Ordering::Relaxed);
+        let bound = self.config.shed_queue.max(1) as u64;
+        base + base * 3 * queued.min(bound) / bound
+    }
+
+    /// Admit or reject one accepted connection. Admission takes the
+    /// live-connection slot immediately (returned as a guard so every
+    /// exit path releases it); rejection counts the connection and says
+    /// why.
+    pub fn try_admit(self: &Arc<Self>) -> Result<ConnectionGuard, Busy> {
+        let o = self.overload();
+        let live = o.live.load(Ordering::Relaxed);
+        if live >= self.config.max_connections as u64 {
+            o.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Busy {
+                reason: format!(
+                    "BUSY: at max_connections ({} live of {})",
+                    live, self.config.max_connections
+                ),
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        if o.queued.load(Ordering::Relaxed) >= self.config.shed_queue as u64 {
+            o.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Busy {
+                reason: format!(
+                    "BUSY: all {} workers busy and {} connection(s) queued",
+                    self.workers,
+                    o.queued.load(Ordering::Relaxed)
+                ),
+                retry_after_ms: self.retry_after_ms(),
+            });
+        }
+        o.live.fetch_add(1, Ordering::Relaxed);
+        Ok(ConnectionGuard {
+            admission: self.clone(),
+        })
+    }
+
+    /// The current pressure level. Thresholds scale with the queue
+    /// bound so a transiently queued connection on a generous bound
+    /// (mild oversubscription) never triggers shedding — only a queue
+    /// filling toward its bound does.
+    pub fn level(&self) -> LoadLevel {
+        let queued = self.overload().queued.load(Ordering::Relaxed);
+        let bound = self.config.shed_queue.max(1) as u64;
+        if queued * 2 >= bound {
+            LoadLevel::Saturated
+        } else if queued * 4 >= bound {
+            LoadLevel::Elevated
+        } else {
+            LoadLevel::Normal
+        }
+    }
+
+    /// Decide whether to shed `cmd` right now. `None` = serve it.
+    pub fn shed(&self, cmd: Command) -> Option<Busy> {
+        let level = self.level();
+        let shed = match (shed_tier(cmd), level) {
+            (ShedTier::Never, _) => false,
+            (_, LoadLevel::Normal) => false,
+            (ShedTier::Expensive, _) => true,
+            (ShedTier::Normal, LoadLevel::Saturated) => true,
+            (ShedTier::Normal, LoadLevel::Elevated) => false,
+        };
+        if !shed {
+            return None;
+        }
+        let o = self.overload();
+        o.requests_shed.fetch_add(1, Ordering::Relaxed);
+        match shed_tier(cmd) {
+            ShedTier::Expensive => o.shed_expensive.fetch_add(1, Ordering::Relaxed),
+            _ => o.shed_normal.fetch_add(1, Ordering::Relaxed),
+        };
+        Some(Busy {
+            reason: format!(
+                "BUSY: load {} — shedding {} command '{}'",
+                level.label(),
+                match shed_tier(cmd) {
+                    ShedTier::Expensive => "expensive",
+                    _ => "normal",
+                },
+                cmd.label()
+            ),
+            retry_after_ms: self.retry_after_ms(),
+        })
+    }
+
+    /// Whether the background advisor should skip this cycle. Counts
+    /// the pause so STATS shows the advisor is yielding, not wedged.
+    pub fn advisor_should_pause(&self) -> bool {
+        if self.level() == LoadLevel::Normal {
+            return false;
+        }
+        self.overload()
+            .advisor_pauses
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Mark one connection as handed to the queue; the guard undoes the
+    /// gauge when a worker picks the connection up.
+    pub fn enqueued(self: &Arc<Self>) -> QueueGuard {
+        self.overload().queued.fetch_add(1, Ordering::Relaxed);
+        QueueGuard {
+            admission: self.clone(),
+        }
+    }
+}
+
+/// RAII slot for one live connection (serving or queued).
+pub struct ConnectionGuard {
+    admission: Arc<Admission>,
+}
+
+impl std::fmt::Debug for ConnectionGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ConnectionGuard")
+    }
+}
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.admission
+            .overload()
+            .live
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII marker for one connection sitting in the acceptor→worker queue.
+/// Dropped by the worker at pickup (or with the queue at shutdown).
+pub struct QueueGuard {
+    admission: Arc<Admission>,
+}
+
+impl Drop for QueueGuard {
+    fn drop(&mut self) {
+        self.admission
+            .overload()
+            .queued
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(max_conns: usize, shed_queue: usize) -> Arc<Admission> {
+        Arc::new(Admission::new(
+            AdmissionConfig {
+                max_connections: max_conns,
+                shed_queue,
+                ..AdmissionConfig::default()
+            },
+            2,
+            Arc::new(Metrics::new()),
+        ))
+    }
+
+    #[test]
+    fn admits_until_the_connection_cap_then_rejects() {
+        let a = admission(2, 8);
+        let g1 = a.try_admit().expect("first");
+        let _g2 = a.try_admit().expect("second");
+        let busy = a.try_admit().expect_err("third is over the cap");
+        assert!(busy.reason.contains("max_connections"), "{}", busy.reason);
+        assert!(busy.retry_after_ms > 0);
+        drop(g1);
+        a.try_admit().expect("slot freed by the guard");
+        assert_eq!(a.metrics.overload.conns_rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queue_bound_rejects_independently_of_the_cap() {
+        let a = admission(100, 2);
+        let _c1 = a.try_admit().unwrap();
+        let _q1 = a.enqueued();
+        let _c2 = a.try_admit().unwrap();
+        let _q2 = a.enqueued();
+        let busy = a.try_admit().expect_err("queue full");
+        assert!(busy.reason.contains("queued"), "{}", busy.reason);
+    }
+
+    #[test]
+    fn levels_track_queue_depth() {
+        let a = admission(100, 4);
+        assert_eq!(a.level(), LoadLevel::Normal);
+        let q1 = a.enqueued();
+        assert_eq!(a.level(), LoadLevel::Elevated);
+        let _q2 = a.enqueued();
+        assert_eq!(a.level(), LoadLevel::Saturated, "2 of 4 = half the bound");
+        drop(q1);
+        assert_eq!(a.level(), LoadLevel::Elevated);
+    }
+
+    #[test]
+    fn shedding_is_tiered() {
+        let a = admission(100, 4);
+        // Normal: nothing sheds.
+        assert!(a.shed(Command::Advise).is_none());
+        let _q1 = a.enqueued();
+        // Elevated: expensive sheds, normal and never-shed survive.
+        assert!(a.shed(Command::Advise).is_some());
+        assert!(a.shed(Command::Recommend).is_some());
+        assert!(a.shed(Command::Profile).is_some());
+        assert!(a.shed(Command::Query).is_none());
+        assert!(a.shed(Command::Ping).is_none());
+        let _q2 = a.enqueued();
+        // Saturated: normal sheds too; ping/stats/shutdown never.
+        assert!(a.shed(Command::Query).is_some());
+        assert!(a.shed(Command::Insert).is_some());
+        assert!(a.shed(Command::Ping).is_none());
+        assert!(a.shed(Command::Stats).is_none());
+        assert!(a.shed(Command::Shutdown).is_none());
+        let o = &a.metrics.overload;
+        assert_eq!(o.shed_expensive.load(Ordering::Relaxed), 3);
+        assert_eq!(o.shed_normal.load(Ordering::Relaxed), 2);
+        assert_eq!(o.requests_shed.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn advisor_pauses_only_under_pressure() {
+        let a = admission(100, 4);
+        assert!(!a.advisor_should_pause());
+        let _q = a.enqueued();
+        assert!(a.advisor_should_pause());
+        assert_eq!(a.metrics.overload.advisor_pauses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_hint_grows_with_queue_depth() {
+        let a = admission(100, 4);
+        let idle = a.retry_after_ms();
+        let _guards: Vec<_> = (0..4).map(|_| a.enqueued()).collect();
+        assert!(a.retry_after_ms() > idle);
+        assert_eq!(a.retry_after_ms(), idle * 4, "full queue = 4x base");
+    }
+}

@@ -83,6 +83,11 @@ impl Client {
 
     /// [`Client::connect`], retrying refused/reset handshakes under
     /// `policy`. Returns the last error if every attempt fails.
+    ///
+    /// An overloaded daemon accepts the socket, answers one unsolicited
+    /// `BUSY` line (with a `retry_after_ms` hint) and closes; this
+    /// briefly peeks for that line after each handshake and backs off by
+    /// the server's hint (floored at the policy delay) before retrying.
     pub fn connect_with_retry<A: ToSocketAddrs>(
         addr: A,
         policy: &RetryPolicy,
@@ -92,7 +97,19 @@ impl Client {
         let mut last = None;
         for attempt in 0..attempts {
             match Client::connect(&addr) {
-                Ok(c) => return Ok(c),
+                Ok(mut c) => match c.admission_probe() {
+                    None => return Ok(c),
+                    Some(hint) => {
+                        last = Some(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            format!("server busy (retry_after_ms hint {}ms)", hint.as_millis()),
+                        ));
+                        if attempt + 1 < attempts {
+                            std::thread::sleep(hint.max(policy.delay(attempt, &mut rng)));
+                        }
+                        continue;
+                    }
+                },
                 Err(e) => last = Some(e),
             }
             if attempt + 1 < attempts {
@@ -102,10 +119,52 @@ impl Client {
         Err(last.expect("at least one attempt"))
     }
 
+    /// Peek for an unsolicited `BUSY` greeting right after connecting.
+    ///
+    /// Admitted connections get no greeting, so a short read timeout
+    /// distinguishes "admitted" (timeout, `None`) from "rejected"
+    /// (`Some(backoff hint)`). The timeout is cleared before returning.
+    fn admission_probe(&mut self) -> Option<Duration> {
+        let _ = self
+            .writer
+            .set_read_timeout(Some(Duration::from_millis(25)));
+        let mut line = String::new();
+        let verdict = match self.reader.read_line(&mut line) {
+            // Timeout with no bytes: the daemon admitted us silently.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                None
+            }
+            // A greeting: rejected only if it is a BUSY line.
+            Ok(n) if n > 0 => match json::parse(line.trim()) {
+                Ok(v) if v.get_bool("busy").unwrap_or(false) => Some(Duration::from_millis(
+                    v.get_f64("retry_after_ms").unwrap_or(0.0).max(0.0) as u64,
+                )),
+                _ => None,
+            },
+            // EOF or transport error before any greeting is not an
+            // admission rejection: report admitted and let the first
+            // real call surface the genuine I/O error (a peer that
+            // accepts then drops must look like a connected-then-failed
+            // client, not a BUSY backoff).
+            _ => None,
+        };
+        let _ = self.writer.set_read_timeout(None);
+        verdict
+    }
+
     /// One request under `policy`: a transport failure (broken pipe,
     /// reset, EOF) tears the connection down, backs off, reconnects and
     /// resends. Protocol-level `ok: false` responses are returned as-is,
-    /// never retried — the daemon already answered.
+    /// never retried — the daemon already answered — with one exception:
+    /// a `busy: true` response is retried after the server's
+    /// `retry_after_ms` hint (floored at the policy delay), since BUSY
+    /// is an explicit invitation to come back. The last BUSY response is
+    /// returned as-is once attempts run out.
     ///
     /// Only safe-to-repeat requests should go through here; an INSERT
     /// retried across a response lost in flight may apply twice.
@@ -119,13 +178,31 @@ impl Client {
         let mut last = None;
         for attempt in 0..attempts {
             match self.call(request) {
-                Ok(v) => return Ok(v),
-                Err(e) => last = Some(e),
-            }
-            if attempt + 1 < attempts {
-                std::thread::sleep(policy.delay(attempt, &mut rng));
-                if let Ok(fresh) = Client::connect(self.addr) {
-                    *self = fresh;
+                Ok(v) => {
+                    if !v.get_bool("busy").unwrap_or(false) || attempt + 1 == attempts {
+                        return Ok(v);
+                    }
+                    let hint = Duration::from_millis(
+                        v.get_f64("retry_after_ms").unwrap_or(0.0).max(0.0) as u64,
+                    );
+                    std::thread::sleep(hint.max(policy.delay(attempt, &mut rng)));
+                    // `cmd: "connect"` marks an admission rejection: the
+                    // daemon closed this connection, so make a fresh one.
+                    // A shed *request* leaves the connection usable.
+                    if v.get_str("cmd") == Some("connect") {
+                        if let Ok(fresh) = Client::connect(self.addr) {
+                            *self = fresh;
+                        }
+                    }
+                }
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(policy.delay(attempt, &mut rng));
+                        if let Ok(fresh) = Client::connect(self.addr) {
+                            *self = fresh;
+                        }
+                    }
                 }
             }
         }

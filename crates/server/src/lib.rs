@@ -36,6 +36,7 @@
 //! snapshot into the same `Workload` and run the same search. The
 //! daemon adds capture and concurrency, never a different answer.
 
+pub mod admission;
 pub mod advise;
 pub mod client;
 pub mod committer;
@@ -43,13 +44,19 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
+pub mod transport;
 
+pub use admission::{shed_tier, Admission, AdmissionConfig, LoadLevel, ShedTier};
 pub use advise::{CollectionCycle, CycleReport};
 pub use client::{Client, RetryPolicy};
 pub use committer::{
     submit_and_wait, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome,
 };
 pub use json::Value;
-pub use metrics::{Command, Metrics};
+pub use metrics::{Command, Metrics, OverloadMetrics};
 pub use server::{DurabilityConfig, Server, ServerConfig, ServerState};
 pub use snapshot::{Snapshot, SnapshotCell};
+pub use transport::{
+    ChaosFactory, ChaosProfile, FaultPlan, FaultTransport, RealFactory, RealTransport, Transport,
+    TransportFactory,
+};

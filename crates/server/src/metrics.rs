@@ -179,6 +179,69 @@ pub struct HealthMetrics {
     pub checkpoints: AtomicU64,
 }
 
+/// Overload-protection gauges and counters, reported under STATS
+/// `overload` and consulted by [`crate::admission`] for every decision
+/// (one source of truth: the shedding logic reads these same atomics).
+///
+/// Connection accounting is a strict partition — every accepted TCP
+/// connection ends in exactly one of `conns_rejected` (BUSY at
+/// admission), `conns_served` (clean EOF / shutdown) or `conns_faulted`
+/// (I/O error, oversized frame, mid-frame disconnect) — so at any
+/// quiescent point `conns_accepted == conns_rejected + conns_served +
+/// conns_faulted` and `live == 0`. The net-chaos oracle pins this
+/// reconciliation after every sweep.
+#[derive(Default)]
+pub struct OverloadMetrics {
+    /// Gauge: connections currently admitted (serving or queued).
+    pub live: AtomicU64,
+    /// Gauge: admitted connections waiting for a worker.
+    pub queued: AtomicU64,
+    /// Gauge: requests currently inside dispatch.
+    pub in_flight: AtomicU64,
+    /// Connections accepted off the listener (before admission).
+    pub conns_accepted: AtomicU64,
+    /// Connections answered BUSY and closed at admission.
+    pub conns_rejected: AtomicU64,
+    /// Connections that ended cleanly (EOF between frames, shutdown).
+    pub conns_served: AtomicU64,
+    /// Connections that ended on a transport fault: I/O error, EOF
+    /// mid-frame, an oversized frame, or a failed response write.
+    pub conns_faulted: AtomicU64,
+    /// Requests answered BUSY by brownout shedding (all tiers).
+    pub requests_shed: AtomicU64,
+    /// ... of which expensive-tier commands (advise/recommend/profile).
+    pub shed_expensive: AtomicU64,
+    /// ... of which normal-tier commands (query/explain/writes).
+    pub shed_normal: AtomicU64,
+    /// Background advisor cycles skipped because the daemon was loaded.
+    pub advisor_pauses: AtomicU64,
+    /// Frames dropped for exceeding `max_frame_bytes`.
+    pub frames_oversized: AtomicU64,
+    /// Frames that were not valid JSON (answered with an error).
+    pub frames_malformed: AtomicU64,
+}
+
+impl OverloadMetrics {
+    pub fn to_json(&self) -> Value {
+        let g = |a: &AtomicU64| Value::num(a.load(Ordering::Relaxed) as f64);
+        Value::obj(vec![
+            ("live_connections", g(&self.live)),
+            ("queued_connections", g(&self.queued)),
+            ("in_flight_requests", g(&self.in_flight)),
+            ("conns_accepted", g(&self.conns_accepted)),
+            ("conns_rejected", g(&self.conns_rejected)),
+            ("conns_served", g(&self.conns_served)),
+            ("conns_faulted", g(&self.conns_faulted)),
+            ("requests_shed", g(&self.requests_shed)),
+            ("shed_expensive", g(&self.shed_expensive)),
+            ("shed_normal", g(&self.shed_normal)),
+            ("advisor_pauses", g(&self.advisor_pauses)),
+            ("frames_oversized", g(&self.frames_oversized)),
+            ("frames_malformed", g(&self.frames_malformed)),
+        ])
+    }
+}
+
 /// Group-commit batch-size buckets: bucket i counts commits of
 /// `2^(i-1) < ops <= 2^i` (bucket 0 = single-op commits).
 const BATCH_BUCKETS: usize = 12;
@@ -260,6 +323,7 @@ pub struct Metrics {
     commands: Vec<CommandMetrics>,
     pub health: HealthMetrics,
     pub concurrency: ConcurrencyMetrics,
+    pub overload: OverloadMetrics,
 }
 
 impl Default for Metrics {
@@ -274,6 +338,7 @@ impl Metrics {
             commands: (0..Command::COUNT).map(|_| CommandMetrics::new()).collect(),
             health: HealthMetrics::default(),
             concurrency: ConcurrencyMetrics::default(),
+            overload: OverloadMetrics::default(),
         }
     }
 

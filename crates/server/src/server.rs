@@ -20,13 +20,14 @@
 //! Worker sockets use a short read timeout so the pool drains promptly
 //! on shutdown even when clients keep idle connections open.
 
+use crate::admission::{Admission, AdmissionConfig, Busy, ConnectionGuard, QueueGuard};
 use crate::advise::{run_cycle, CollectionMemory, CycleReport, MonitorDelta};
 use crate::committer::{self, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome};
 use crate::json::{self, Value};
 use crate::metrics::{Command, Metrics};
 use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::transport::{read_frame, Frame, RealFactory, Transport, TransportFactory};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -98,6 +99,18 @@ pub struct ServerConfig {
     /// abandoned and its client gets a clean `TIMEOUT` error while the
     /// worker moves on. `None` = unbounded.
     pub request_deadline: Option<Duration>,
+    /// Overload protection: connection cap, acceptor-queue bound, frame
+    /// cap, and the `retry_after_ms` hint base (see [`crate::admission`]).
+    pub admission: AdmissionConfig,
+    /// Wraps every accepted socket; [`RealFactory`] in production, a
+    /// fault-injecting factory (e.g. [`crate::transport::ChaosFactory`])
+    /// in chaos tests. All connection I/O goes through it.
+    pub transport: Arc<dyn TransportFactory>,
+    /// Inject a `thread::spawn` failure for worker index `i` at startup,
+    /// to test that `Server::start` surfaces the error instead of
+    /// running with a smaller pool than configured.
+    #[cfg(feature = "testing")]
+    pub worker_spawn_fault: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +127,10 @@ impl Default for ServerConfig {
             clock: Arc::new(SystemClock::new()),
             durability: None,
             request_deadline: None,
+            admission: AdmissionConfig::default(),
+            transport: Arc::new(RealFactory),
+            #[cfg(feature = "testing")]
+            worker_spawn_fault: None,
         }
     }
 }
@@ -127,6 +144,9 @@ pub struct ServerState {
     pub(crate) committer: Committer,
     pub(crate) monitor: Mutex<WorkloadMonitor>,
     pub(crate) metrics: Arc<Metrics>,
+    /// Admission control + load shedding; consulted by the acceptor for
+    /// every connection and by workers for every request.
+    pub(crate) admission: Arc<Admission>,
     pub(crate) advisor: Advisor,
     pub(crate) budget_bytes: u64,
     pub(crate) strategy: SearchStrategy,
@@ -176,6 +196,17 @@ impl ServerState {
     /// drivers (benchmarks, tests) can inspect the database.
     pub fn read_db(&self) -> Arc<Snapshot> {
         self.cell.load()
+    }
+
+    /// Server metrics, for in-process drivers (oracle sweeps, benches)
+    /// that reconcile the overload counters without a STATS round-trip.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Overload-protection state (config, load level, shed decisions).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
     }
 
     /// Submit a write to the committer and wait for its group commit,
@@ -366,11 +397,18 @@ impl Server {
             },
         );
 
+        let workers = cfg.threads.max(1);
+        let admission = Arc::new(Admission::new(
+            cfg.admission.clone(),
+            workers,
+            metrics.clone(),
+        ));
         let state = Arc::new(ServerState {
             cell,
             committer,
             monitor: Mutex::new(monitor),
             metrics,
+            admission,
             advisor: Advisor::default(),
             budget_bytes: cfg.budget_bytes,
             strategy: cfg.strategy,
@@ -389,51 +427,107 @@ impl Server {
             started: Instant::now(),
         });
 
+        // Spawn failures must not leave a silently undersized pool: any
+        // failed spawn tears down everything already started (workers,
+        // acceptor, committer) and surfaces in the result.
+        let fail = |e: std::io::Error, name: &str| {
+            std::io::Error::new(e.kind(), format!("failed to spawn {name} thread: {e}"))
+        };
         let mut threads = Vec::new();
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let (tx, rx) = mpsc::channel::<Conn>();
+        let mut tx = Some(tx);
         let rx = Arc::new(Mutex::new(rx));
-        for i in 0..cfg.threads.max(1) {
-            let rx = rx.clone();
-            let state = state.clone();
-            threads.push(
-                std::thread::Builder::new()
+        let mut spawn_error: Option<std::io::Error> = None;
+        'spawn: {
+            for i in 0..workers {
+                #[cfg(feature = "testing")]
+                if cfg.worker_spawn_fault == Some(i) {
+                    spawn_error = Some(std::io::Error::other(format!(
+                        "failed to spawn xia-worker-{i} thread: injected (testing feature)"
+                    )));
+                    break 'spawn;
+                }
+                let rx = rx.clone();
+                let state = state.clone();
+                let spawned = std::thread::Builder::new()
                     .name(format!("xia-worker-{i}"))
                     .spawn(move || loop {
-                        let stream = { heal_lock(&rx, &state.metrics).recv() };
-                        match stream {
-                            Ok(s) => serve_connection(&state, s),
+                        let conn = { heal_lock(&rx, &state.metrics).recv() };
+                        match conn {
+                            Ok((transport, conn_guard, queue_guard)) => {
+                                drop(queue_guard); // picked up: no longer queued
+                                let end = serve_connection(&state, transport);
+                                let o = &state.metrics.overload;
+                                match end {
+                                    ConnEnd::Served => &o.conns_served,
+                                    ConnEnd::Faulted => &o.conns_faulted,
+                                }
+                                .fetch_add(1, Ordering::Relaxed);
+                                drop(conn_guard); // frees the live slot
+                            }
                             Err(_) => break, // acceptor gone: shutdown
                         }
-                    })?,
-            );
-        }
+                    });
+                match spawned {
+                    Ok(handle) => threads.push(handle),
+                    Err(e) => {
+                        spawn_error = Some(fail(e, &format!("xia-worker-{i}")));
+                        break 'spawn;
+                    }
+                }
+            }
 
-        {
-            let state = state.clone();
-            threads.push(
-                std::thread::Builder::new()
+            {
+                let state = state.clone();
+                let factory = cfg.transport.clone();
+                let tx = tx.take().expect("acceptor spawns once");
+                let spawned = std::thread::Builder::new()
                     .name("xia-acceptor".to_string())
                     .spawn(move || {
                         for stream in listener.incoming() {
                             if state.is_shutdown() {
                                 break;
                             }
-                            if let Ok(s) = stream {
-                                // tx dropped only after this loop exits.
-                                if tx.send(s).is_err() {
-                                    break;
+                            let Ok(s) = stream else { continue };
+                            let o = &state.metrics.overload;
+                            o.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                            let mut transport = match factory.wrap(s) {
+                                Ok(t) => t,
+                                Err(_) => {
+                                    o.conns_faulted.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                            };
+                            match state.admission.try_admit() {
+                                Ok(conn_guard) => {
+                                    let queue_guard = state.admission.enqueued();
+                                    // tx dropped only after this loop exits.
+                                    if tx.send((transport, conn_guard, queue_guard)).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(busy) => {
+                                    // Immediate BUSY + close; no slot was taken.
+                                    let line = format!("{}\n", busy_response("connect", &busy));
+                                    let _ = transport.write_all(line.as_bytes());
+                                    let _ = transport.flush();
                                 }
                             }
                         }
                         drop(tx); // workers drain and exit
-                    })?,
-            );
-        }
+                    });
+                match spawned {
+                    Ok(handle) => threads.push(handle),
+                    Err(e) => {
+                        spawn_error = Some(fail(e, "xia-acceptor"));
+                        break 'spawn;
+                    }
+                }
+            }
 
-        if let Some(interval) = cfg.advise_interval {
-            let state = state.clone();
-            threads.push(
-                std::thread::Builder::new()
+            if let Some(interval) = cfg.advise_interval {
+                let state = state.clone();
+                let spawned = std::thread::Builder::new()
                     .name("xia-advisor".to_string())
                     .spawn(move || loop {
                         let guard = heal_lock(&state.advise_signal.0, &state.metrics);
@@ -448,9 +542,35 @@ impl Server {
                         if state.is_shutdown() {
                             break;
                         }
+                        // Brownout: yield the cycle while connections are
+                        // waiting for workers; counted in STATS.
+                        if state.admission.advisor_should_pause() {
+                            continue;
+                        }
                         state.force_cycle();
-                    })?,
-            );
+                    });
+                match spawned {
+                    Ok(handle) => threads.push(handle),
+                    Err(e) => {
+                        spawn_error = Some(fail(e, "xia-advisor"));
+                        break 'spawn;
+                    }
+                }
+            }
+        }
+
+        if let Some(e) = spawn_error {
+            // Structured teardown: wake the acceptor (if it started),
+            // drop our channel end so workers drain, join everything,
+            // and stop the committer with a final flush.
+            state.request_shutdown();
+            drop(tx);
+            let _ = TcpStream::connect(addr);
+            for t in threads {
+                let _ = t.join();
+            }
+            state.flush_durable();
+            return Err(e);
         }
 
         Ok(Server {
@@ -510,43 +630,74 @@ impl Drop for Server {
     }
 }
 
+/// What a worker pulls off the acceptor queue: the wrapped socket plus
+/// the RAII gauges for its live slot and its place in the queue.
+type Conn = (Box<dyn Transport>, ConnectionGuard, QueueGuard);
+
+/// How a connection ended, for the accounting partition
+/// `conns_accepted == conns_rejected + conns_served + conns_faulted`.
+enum ConnEnd {
+    /// Clean: EOF between frames, or shutdown while idle.
+    Served,
+    /// Transport error, mid-frame disconnect, oversized frame, or a
+    /// failed response write.
+    Faulted,
+}
+
 /// Serve one connection: one JSON request per line, one JSON response
-/// per line, until EOF or shutdown.
-fn serve_connection(state: &Arc<ServerState>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// per line, until EOF, a transport fault, or shutdown. All socket I/O
+/// goes through the injected [`Transport`], so chaos tests can fault
+/// any byte in either direction.
+fn serve_connection(state: &Arc<ServerState>, mut transport: Box<dyn Transport>) -> ConnEnd {
+    let _ = transport.set_read_timeout(Some(Duration::from_millis(200)));
+    let max_frame = state.admission.config().max_frame_bytes;
+    let mut buf = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let response = if line.trim().is_empty() {
-                    line.clear();
+        match read_frame(transport.as_mut(), &mut buf, max_frame) {
+            Frame::Line(line) => {
+                let line = line.trim();
+                if line.is_empty() {
                     continue;
+                }
+                let response = handle_line(state, line);
+                let payload = format!("{response}\n");
+                if transport.write_all(payload.as_bytes()).is_err() || transport.flush().is_err() {
+                    return ConnEnd::Faulted;
+                }
+                if state.is_shutdown() {
+                    return ConnEnd::Served;
+                }
+            }
+            // Read timeout: partial bytes stay in `buf` and the next
+            // read continues the same frame; poll the shutdown flag so
+            // the pool drains even under idle connections.
+            Frame::Timeout => {
+                if state.is_shutdown() {
+                    return ConnEnd::Served;
+                }
+            }
+            Frame::Eof { mid_frame } => {
+                return if mid_frame {
+                    ConnEnd::Faulted
                 } else {
-                    handle_line(state, line.trim())
+                    ConnEnd::Served
                 };
-                line.clear();
-                if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-                    break;
-                }
-                if state.is_shutdown() {
-                    break;
-                }
             }
-            // Read timeout: partially-read bytes stay appended to `line`
-            // and the next read_line continues the same line.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if state.is_shutdown() {
-                    break;
-                }
+            Frame::Oversized => {
+                state
+                    .metrics
+                    .overload
+                    .frames_oversized
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = error_response(
+                    Command::Unknown,
+                    &format!("frame exceeds max_frame_bytes ({max_frame}); closing connection"),
+                );
+                let _ = transport.write_all(format!("{response}\n").as_bytes());
+                let _ = transport.flush();
+                return ConnEnd::Faulted;
             }
-            Err(_) => break,
+            Frame::Error(_) => return ConnEnd::Faulted,
         }
     }
 }
@@ -556,6 +707,11 @@ pub fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
     let req = match json::parse(line) {
         Ok(v) => v,
         Err(e) => {
+            state
+                .metrics
+                .overload
+                .frames_malformed
+                .fetch_add(1, Ordering::Relaxed);
             state.metrics.begin(Command::Unknown);
             state.metrics.finish(Command::Unknown, 0, false);
             return error_response(Command::Unknown, &format!("bad request: {e}"));
@@ -563,9 +719,17 @@ pub fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
     };
     let cmd = Command::parse(req.get_str("cmd").unwrap_or(""));
     state.metrics.begin(cmd);
+    // Brownout: under pressure, shed by tier before doing any work.
+    if let Some(busy) = state.admission.shed(cmd) {
+        state.metrics.finish(cmd, 0, false);
+        return busy_response(cmd.label(), &busy);
+    }
+    let o = &state.metrics.overload;
+    o.in_flight.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
     let result = dispatch_guarded(state, cmd, &req);
     let latency_us = start.elapsed().as_micros() as u64;
+    o.in_flight.fetch_sub(1, Ordering::Relaxed);
     match result {
         Ok(Value::Obj(mut fields)) => {
             state.metrics.finish(cmd, latency_us, true);
@@ -588,6 +752,18 @@ fn error_response(cmd: Command, message: &str) -> Value {
         ("ok", Value::Bool(false)),
         ("cmd", Value::str(cmd.label())),
         ("error", Value::str(message)),
+    ])
+}
+
+/// A `BUSY` answer: `busy:true` plus a `retry_after_ms` backoff hint,
+/// sent for rejected connections (`cmd:"connect"`) and shed requests.
+fn busy_response(cmd_label: &str, busy: &Busy) -> Value {
+    Value::obj(vec![
+        ("ok", Value::Bool(false)),
+        ("busy", Value::Bool(true)),
+        ("cmd", Value::str(cmd_label)),
+        ("error", Value::str(&busy.reason)),
+        ("retry_after_ms", Value::num(busy.retry_after_ms as f64)),
     ])
 }
 
@@ -1079,6 +1255,35 @@ fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, 
     ]))
 }
 
+/// STATS `overload` section: the config and current level alongside the
+/// live gauges and counters, so an operator can see both the limits and
+/// how hard they are being hit.
+fn overload_json(state: &ServerState) -> Value {
+    let a = &state.admission;
+    let cfg = a.config();
+    let mut fields = vec![
+        ("level".to_string(), Value::str(a.level().label())),
+        ("workers".to_string(), Value::num(a.workers() as f64)),
+        (
+            "max_connections".to_string(),
+            Value::num(cfg.max_connections as f64),
+        ),
+        ("shed_queue".to_string(), Value::num(cfg.shed_queue as f64)),
+        (
+            "max_frame_bytes".to_string(),
+            Value::num(cfg.max_frame_bytes as f64),
+        ),
+        (
+            "retry_after_ms_base".to_string(),
+            Value::num(cfg.retry_after_ms as f64),
+        ),
+    ];
+    if let Value::Obj(counters) = state.metrics.overload.to_json() {
+        fields.extend(counters);
+    }
+    Value::Obj(fields)
+}
+
 fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
     let snap = state.read_db();
     let concurrency = Value::obj(vec![
@@ -1176,6 +1381,7 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
         ),
         ("metrics", state.metrics.snapshot_json()),
         ("concurrency", concurrency),
+        ("overload", overload_json(state)),
         ("durability", state.durability_json()),
         (
             "advisor",

@@ -1,0 +1,570 @@
+//! Injectable network transport: every byte the daemon exchanges with a
+//! connected client goes through the [`Transport`] trait, mirroring the
+//! storage layer's `Vfs` pattern so tests can deterministically inject
+//! the network's failure modes — partial reads and writes, per-byte
+//! slowdowns (slowloris clients), mid-frame disconnects, and garbage
+//! bytes — without a flaky peer or a real packet ever being involved.
+//!
+//! Three implementations ship:
+//!
+//! * [`RealTransport`] — a thin `TcpStream` wrapper, the production path;
+//! * [`FaultTransport`] — wraps a transport and applies a deterministic
+//!   [`FaultPlan`];
+//! * [`ChaosFactory`] — a [`TransportFactory`] assigning each accepted
+//!   connection a seeded fault profile, used by the oracle's
+//!   `xia fuzz --net-chaos` sweep.
+//!
+//! The server never touches a raw socket for request/response bytes
+//! (enforced by a grep in `scripts/check.sh`): the acceptor wraps every
+//! accepted `TcpStream` through the configured factory, and all reads
+//! and writes — including the admission layer's `BUSY` rejection line —
+//! flow through the resulting `Box<dyn Transport>`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A bidirectional byte stream serving one client connection.
+///
+/// The contract mirrors `io::Read`/`io::Write` (short reads and writes
+/// are legal; `Ok(0)` from `read` is end-of-stream) plus the one socket
+/// knob the server's poll loop needs: a read timeout, surfaced as
+/// `WouldBlock`/`TimedOut` errors so workers can check for shutdown
+/// while a connection idles.
+pub trait Transport: Send {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+    fn flush(&mut self) -> io::Result<()>;
+    /// Bound how long one `read` may block. `None` = block forever.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Write the whole buffer, looping over short writes (the default
+    /// mirrors `Write::write_all` but respects injected partial writes).
+    fn write_all(&mut self, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.write(buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "transport accepted no bytes",
+                    ))
+                }
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wraps accepted connections into transports. The daemon holds one
+/// factory for its lifetime; the production default is
+/// [`RealFactory`], tests and the chaos oracle inject their own.
+pub trait TransportFactory: Send + Sync {
+    fn wrap(&self, stream: TcpStream) -> io::Result<Box<dyn Transport>>;
+}
+
+/// The production transport: the socket itself.
+pub struct RealTransport {
+    stream: TcpStream,
+}
+
+impl RealTransport {
+    pub fn new(stream: TcpStream) -> io::Result<RealTransport> {
+        stream.set_nodelay(true)?;
+        Ok(RealTransport { stream })
+    }
+}
+
+impl Transport for RealTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+}
+
+/// The production factory.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFactory;
+
+impl TransportFactory for RealFactory {
+    fn wrap(&self, stream: TcpStream) -> io::Result<Box<dyn Transport>> {
+        Ok(Box::new(RealTransport::new(stream)?))
+    }
+}
+
+/// One connection's deterministic fault schedule. Every field composes;
+/// `FaultPlan::default()` (all `None`/empty) is a clean pass-through.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Bytes the server sees *before* anything the client really sent —
+    /// models a corrupted or malicious prelude on the wire.
+    pub garbage_prefix: Vec<u8>,
+    /// Cap each read at this many bytes (partial reads; 1 = byte-wise).
+    pub read_chunk: Option<usize>,
+    /// Sleep this long before each read — a slowloris client drip-feeding
+    /// its request.
+    pub read_delay: Option<Duration>,
+    /// After this many bytes read (garbage prefix included), the
+    /// connection ends mid-frame: reads return EOF.
+    pub disconnect_after_read: Option<u64>,
+    /// Cap each write at this many bytes (partial writes).
+    pub write_chunk: Option<usize>,
+    /// Sleep this long before each write — a client draining responses
+    /// one window at a time.
+    pub write_delay: Option<Duration>,
+    /// After this many bytes written, writes fail with `BrokenPipe` —
+    /// the client vanished while a response was in flight.
+    pub disconnect_after_write: Option<u64>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        self.garbage_prefix.is_empty()
+            && self.read_chunk.is_none()
+            && self.read_delay.is_none()
+            && self.disconnect_after_read.is_none()
+            && self.write_chunk.is_none()
+            && self.write_delay.is_none()
+            && self.disconnect_after_write.is_none()
+    }
+}
+
+/// A [`Transport`] wrapper applying one [`FaultPlan`] deterministically.
+pub struct FaultTransport {
+    inner: Box<dyn Transport>,
+    plan: FaultPlan,
+    /// Bytes handed to the server so far (garbage prefix included).
+    read_bytes: u64,
+    /// Bytes of garbage prefix already delivered.
+    prefix_served: usize,
+    written_bytes: u64,
+}
+
+impl FaultTransport {
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan) -> FaultTransport {
+        FaultTransport {
+            inner,
+            plan,
+            read_bytes: 0,
+            prefix_served: 0,
+            written_bytes: 0,
+        }
+    }
+
+    fn disconnected() -> io::Error {
+        io::Error::new(io::ErrorKind::BrokenPipe, "injected mid-frame disconnect")
+    }
+}
+
+impl Transport for FaultTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(d) = self.plan.read_delay {
+            std::thread::sleep(d);
+        }
+        if let Some(cut) = self.plan.disconnect_after_read {
+            if self.read_bytes >= cut {
+                return Ok(0); // the peer hung up mid-frame
+            }
+        }
+        let mut cap = buf.len().min(self.plan.read_chunk.unwrap_or(usize::MAX));
+        if let Some(cut) = self.plan.disconnect_after_read {
+            cap = cap.min((cut - self.read_bytes) as usize);
+        }
+        let cap = cap.max(1).min(buf.len());
+        // Serve the garbage prefix first, then the real stream.
+        if self.prefix_served < self.plan.garbage_prefix.len() {
+            let rest = &self.plan.garbage_prefix[self.prefix_served..];
+            let n = rest.len().min(cap);
+            buf[..n].copy_from_slice(&rest[..n]);
+            self.prefix_served += n;
+            self.read_bytes += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.read_bytes += n as u64;
+        Ok(n)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(d) = self.plan.write_delay {
+            std::thread::sleep(d);
+        }
+        if let Some(cut) = self.plan.disconnect_after_write {
+            if self.written_bytes >= cut {
+                return Err(Self::disconnected());
+            }
+        }
+        let cap = buf
+            .len()
+            .min(self.plan.write_chunk.unwrap_or(usize::MAX))
+            .max(1);
+        let n = self.inner.write(&buf[..cap.min(buf.len())])?;
+        self.written_bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+}
+
+/// Named fault profiles the chaos factory cycles through. Kept as an
+/// enum (not bare plans) so sweeps can report per-profile counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosProfile {
+    /// No faults: the control group inside every sweep.
+    Clean,
+    /// Non-JSON garbage injected ahead of the client's real bytes.
+    GarbagePrefix,
+    /// Byte-at-a-time reads with a per-byte delay (slowloris).
+    Slowloris,
+    /// The connection dies after a seeded number of request bytes.
+    MidFrameDisconnect,
+    /// 1–3 byte reads and writes: every frame crosses chunk borders.
+    TinyChunks,
+    /// The client vanishes while the server writes a response.
+    WriteDisconnect,
+}
+
+impl ChaosProfile {
+    pub const ALL: [ChaosProfile; 6] = [
+        ChaosProfile::Clean,
+        ChaosProfile::GarbagePrefix,
+        ChaosProfile::Slowloris,
+        ChaosProfile::MidFrameDisconnect,
+        ChaosProfile::TinyChunks,
+        ChaosProfile::WriteDisconnect,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosProfile::Clean => "clean",
+            ChaosProfile::GarbagePrefix => "garbage-prefix",
+            ChaosProfile::Slowloris => "slowloris",
+            ChaosProfile::MidFrameDisconnect => "mid-frame-disconnect",
+            ChaosProfile::TinyChunks => "tiny-chunks",
+            ChaosProfile::WriteDisconnect => "write-disconnect",
+        }
+    }
+
+    /// Build this profile's plan from one seeded draw. The same
+    /// `(profile, draw)` pair always yields the same plan.
+    pub fn plan(self, draw: u64) -> FaultPlan {
+        match self {
+            ChaosProfile::Clean => FaultPlan::default(),
+            ChaosProfile::GarbagePrefix => {
+                // A mix of binary noise and almost-JSON, newline-closed so
+                // the prefix parses as 1–2 malformed frames rather than
+                // corrupting the client's first real frame.
+                let mut garbage = match draw % 4 {
+                    0 => b"\x00\xfe\x07 not json at all".to_vec(),
+                    1 => b"{\"cmd\": \"query\", \"q\": ".to_vec(), // truncated JSON
+                    2 => b"<xml>wrong protocol</xml>".to_vec(),
+                    _ => vec![0xff; 1 + (draw % 40) as usize],
+                };
+                garbage.push(b'\n');
+                FaultPlan {
+                    garbage_prefix: garbage,
+                    ..FaultPlan::default()
+                }
+            }
+            ChaosProfile::Slowloris => FaultPlan {
+                read_chunk: Some(1),
+                read_delay: Some(Duration::from_micros(300 + (draw % 5) * 200)),
+                ..FaultPlan::default()
+            },
+            ChaosProfile::MidFrameDisconnect => FaultPlan {
+                disconnect_after_read: Some(1 + draw % 40),
+                ..FaultPlan::default()
+            },
+            ChaosProfile::TinyChunks => FaultPlan {
+                read_chunk: Some(1 + (draw % 3) as usize),
+                write_chunk: Some(1 + (draw % 2) as usize),
+                ..FaultPlan::default()
+            },
+            ChaosProfile::WriteDisconnect => FaultPlan {
+                disconnect_after_write: Some(draw % 30),
+                ..FaultPlan::default()
+            },
+        }
+    }
+}
+
+/// A seeded [`TransportFactory`] that deals each accepted connection a
+/// [`ChaosProfile`] (round-robin over the profile set, parameters drawn
+/// from an xorshift stream). Deterministic: the *n*-th accepted
+/// connection always gets the same plan for a given seed.
+///
+/// [`ChaosFactory::set_clean`] flips the factory into pass-through mode;
+/// the oracle uses it so post-sweep verification traffic (PING, STATS,
+/// metrics reconciliation) runs on honest connections.
+pub struct ChaosFactory {
+    seed: u64,
+    accepted: AtomicU64,
+    clean: AtomicBool,
+}
+
+impl ChaosFactory {
+    pub fn new(seed: u64) -> ChaosFactory {
+        ChaosFactory {
+            seed,
+            accepted: AtomicU64::new(0),
+            clean: AtomicBool::new(false),
+        }
+    }
+
+    /// The profile dealt to the `n`-th accepted connection (0-based).
+    pub fn profile_for(&self, n: u64) -> ChaosProfile {
+        ChaosProfile::ALL[(n % ChaosProfile::ALL.len() as u64) as usize]
+    }
+
+    /// Stop injecting faults on connections accepted from now on.
+    pub fn set_clean(&self, clean: bool) {
+        self.clean.store(clean, Ordering::SeqCst);
+    }
+
+    /// Connections wrapped so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    fn draw(&self, n: u64) -> u64 {
+        // One xorshift64* scramble of (seed, n): stable per connection.
+        let mut x = self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+impl TransportFactory for ChaosFactory {
+    fn wrap(&self, stream: TcpStream) -> io::Result<Box<dyn Transport>> {
+        let n = self.accepted.fetch_add(1, Ordering::SeqCst);
+        let real = Box::new(RealTransport::new(stream)?);
+        if self.clean.load(Ordering::SeqCst) {
+            return Ok(real);
+        }
+        let plan = self.profile_for(n).plan(self.draw(n));
+        Ok(Box::new(FaultTransport::new(real, plan)))
+    }
+}
+
+/// One step of the server's frame loop (see [`read_frame`]).
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete newline-terminated frame (newline stripped, bytes
+    /// decoded lossily — garbage stays one malformed *frame*, never a
+    /// dead connection).
+    Line(String),
+    /// The read timed out; the caller polls shutdown and retries.
+    Timeout,
+    /// End of stream. `mid_frame` is true when buffered bytes never got
+    /// their newline — the peer vanished inside a frame.
+    Eof { mid_frame: bool },
+    /// The frame outgrew the cap without a newline: answer with a clean
+    /// error and close, instead of buffering without bound.
+    Oversized,
+    /// Transport failure.
+    Error(io::Error),
+}
+
+/// Read one newline-delimited frame from `t`, carrying partial bytes in
+/// `buf` across calls (a timeout mid-frame resumes the same frame; a
+/// read that straddles two frames keeps the tail for the next call).
+/// Frames are capped at `max_bytes`: once the buffer exceeds the cap
+/// with no newline in sight, the frame is [`Frame::Oversized`] and the
+/// connection should be closed.
+pub fn read_frame(t: &mut dyn Transport, buf: &mut Vec<u8>, max_bytes: usize) -> Frame {
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let rest = buf.split_off(pos + 1);
+            let mut line = std::mem::replace(buf, rest);
+            line.pop(); // the newline
+            return Frame::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+        if buf.len() > max_bytes {
+            return Frame::Oversized;
+        }
+        let mut chunk = [0u8; 4096];
+        match t.read(&mut chunk) {
+            Ok(0) => {
+                return Frame::Eof {
+                    mid_frame: !buf.is_empty(),
+                }
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Frame::Timeout
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Frame::Error(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory transport for unit-testing the fault wrapper.
+    struct MemTransport {
+        input: Vec<u8>,
+        pos: usize,
+        output: Vec<u8>,
+    }
+
+    impl Transport for MemTransport {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let rest = &self.input[self.pos..];
+            let n = rest.len().min(buf.len());
+            buf[..n].copy_from_slice(&rest[..n]);
+            self.pos += n;
+            Ok(n)
+        }
+
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_read_timeout(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn mem(input: &[u8]) -> Box<dyn Transport> {
+        Box::new(MemTransport {
+            input: input.to_vec(),
+            pos: 0,
+            output: Vec::new(),
+        })
+    }
+
+    fn drain(t: &mut dyn Transport) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match t.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn garbage_prefix_precedes_real_bytes() {
+        let plan = FaultPlan {
+            garbage_prefix: b"junk\n".to_vec(),
+            ..FaultPlan::default()
+        };
+        let mut t = FaultTransport::new(mem(b"real"), plan);
+        assert_eq!(drain(&mut t), b"junk\nreal");
+    }
+
+    #[test]
+    fn read_chunking_caps_every_read() {
+        let plan = FaultPlan {
+            read_chunk: Some(2),
+            ..FaultPlan::default()
+        };
+        let mut t = FaultTransport::new(mem(b"abcdef"), plan);
+        let mut buf = [0u8; 16];
+        assert_eq!(t.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"ab");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_cuts_at_the_byte() {
+        let plan = FaultPlan {
+            disconnect_after_read: Some(3),
+            ..FaultPlan::default()
+        };
+        let mut t = FaultTransport::new(mem(b"abcdef"), plan);
+        assert_eq!(drain(&mut t), b"abc", "exactly 3 bytes then EOF");
+    }
+
+    #[test]
+    fn write_disconnect_breaks_the_pipe() {
+        let plan = FaultPlan {
+            write_chunk: Some(2),
+            disconnect_after_write: Some(4),
+            ..FaultPlan::default()
+        };
+        let mut t = FaultTransport::new(mem(b""), plan);
+        let err = t.write_all(b"123456").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn write_all_loops_over_partial_writes() {
+        let plan = FaultPlan {
+            write_chunk: Some(1),
+            ..FaultPlan::default()
+        };
+        let inner = MemTransport {
+            input: Vec::new(),
+            pos: 0,
+            output: Vec::new(),
+        };
+        let mut t = FaultTransport::new(Box::new(inner), plan);
+        t.write_all(b"hello").unwrap();
+        // The data landed despite 1-byte writes; nothing observable here
+        // beyond "no error", the chunking is covered by write() returning 1.
+        assert_eq!(t.write(b"xy").unwrap(), 1);
+    }
+
+    #[test]
+    fn chaos_factory_is_deterministic_and_covers_all_profiles() {
+        let a = ChaosFactory::new(7);
+        let b = ChaosFactory::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..12 {
+            assert_eq!(a.profile_for(n), b.profile_for(n));
+            assert_eq!(a.draw(n), b.draw(n));
+            seen.insert(a.profile_for(n).label());
+        }
+        assert_eq!(seen.len(), ChaosProfile::ALL.len(), "all profiles dealt");
+        // Same (profile, draw) → same plan bytes.
+        let p1 = ChaosProfile::GarbagePrefix.plan(a.draw(1));
+        let p2 = ChaosProfile::GarbagePrefix.plan(b.draw(1));
+        assert_eq!(p1.garbage_prefix, p2.garbage_prefix);
+    }
+
+    #[test]
+    fn clean_plan_reports_clean() {
+        assert!(FaultPlan::default().is_clean());
+        assert!(ChaosProfile::Clean.plan(99).is_clean());
+        assert!(!ChaosProfile::Slowloris.plan(99).is_clean());
+    }
+}

@@ -1,0 +1,419 @@
+//! Overload-protection acceptance over real TCP: admission control
+//! answers over-limit connections with BUSY + retry hints, brownout
+//! shedding is tiered and visible in STATS, the background advisor
+//! yields under pressure, oversized frames die cleanly (the unbounded
+//! read_line regression), garbage bytes never poison a connection, and
+//! a worker spawn failure surfaces from `Server::start` instead of
+//! silently shrinking the pool.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use xia_server::{AdmissionConfig, Client, RetryPolicy, Server, ServerConfig, Value};
+use xia_storage::Database;
+use xia_xml::Document;
+
+fn small_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection("shop");
+    db.collection_mut("shop")
+        .unwrap()
+        .insert(Document::parse("<shop><item><price>3</price></item></shop>").unwrap());
+    db
+}
+
+fn start(threads: usize, admission: AdmissionConfig) -> Server {
+    Server::start(
+        small_db(),
+        ServerConfig {
+            threads,
+            admission,
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts")
+}
+
+fn raw(cmd: &str) -> Value {
+    Value::obj(vec![("cmd", Value::str(cmd))])
+}
+
+/// Poll STATS over `client` until the overload section satisfies `pred`.
+fn wait_for_overload(client: &mut Client, pred: impl Fn(&Value) -> bool) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.command("stats").expect("stats answers");
+        let overload = stats.get("overload").expect("stats has overload").clone();
+        if pred(&overload) {
+            return overload;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "overload section never satisfied the predicate: {overload}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Connections beyond `max_connections` get one BUSY line (busy flag,
+/// positive retry_after_ms, cmd "connect") and a closed socket, while
+/// admitted connections keep working.
+#[test]
+fn over_limit_connections_get_busy_and_close() {
+    let server = start(
+        1,
+        AdmissionConfig {
+            max_connections: 2,
+            shed_queue: 4,
+            retry_after_ms: 10,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // c1 is served (the only worker pins to it); c2 occupies the second
+    // and last live slot in the queue.
+    let mut c1 = Client::connect(addr).unwrap();
+    assert_eq!(c1.command("ping").unwrap().get_bool("ok"), Some(true));
+    let _c2 = TcpStream::connect(addr).unwrap();
+    wait_for_overload(&mut c1, |o| o.get_f64("live_connections") == Some(2.0));
+
+    // The third connection is over the cap: one BUSY line, then EOF.
+    let c3 = TcpStream::connect(addr).unwrap();
+    c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut reader = BufReader::new(c3);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("BUSY line arrives");
+    let busy = xia_server::json::parse(line.trim()).expect("BUSY line is JSON");
+    assert_eq!(busy.get_bool("ok"), Some(false));
+    assert_eq!(busy.get_bool("busy"), Some(true));
+    assert_eq!(busy.get_str("cmd"), Some("connect"));
+    assert!(busy.get_f64("retry_after_ms").unwrap_or(0.0) > 0.0);
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "then EOF");
+
+    // The admitted connection is unharmed, and the rejection is counted.
+    let overload = wait_for_overload(&mut c1, |o| o.get_f64("conns_rejected") == Some(1.0));
+    // c2 still waits in the queue, so the load level reads elevated.
+    assert_eq!(overload.get_str("level"), Some("elevated"));
+    server.stop();
+}
+
+/// Shedding is tiered: with one connection queued (elevated) only
+/// expensive commands shed; with the queue at half its bound
+/// (saturated) normal commands shed too, while PING and STATS always
+/// answer. All of it shows up in the STATS overload section.
+#[test]
+fn brownout_sheds_expensive_then_normal_commands() {
+    let server = start(
+        1,
+        AdmissionConfig {
+            max_connections: 16,
+            shed_queue: 4,
+            retry_after_ms: 10,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    let mut c1 = Client::connect(addr).unwrap();
+    assert_eq!(c1.command("ping").unwrap().get_bool("ok"), Some(true));
+
+    // One queued connection: elevated.
+    let _q1 = TcpStream::connect(addr).unwrap();
+    wait_for_overload(&mut c1, |o| o.get_f64("queued_connections") == Some(1.0));
+    let advise = c1.command("advise").unwrap();
+    assert_eq!(advise.get_bool("busy"), Some(true), "expensive sheds");
+    assert!(advise.get_f64("retry_after_ms").unwrap_or(0.0) > 0.0);
+    let query = c1.query("//item/price", Some("shop")).unwrap();
+    assert_eq!(query.get_bool("ok"), Some(true), "normal survives elevated");
+
+    // Two queued connections (half the bound): saturated.
+    let _q2 = TcpStream::connect(addr).unwrap();
+    wait_for_overload(&mut c1, |o| o.get_f64("queued_connections") == Some(2.0));
+    let query = c1.query("//item/price", Some("shop")).unwrap();
+    assert_eq!(query.get_bool("busy"), Some(true), "normal sheds saturated");
+    let pong = c1.command("ping").unwrap();
+    assert_eq!(pong.get_bool("ok"), Some(true), "ping never sheds");
+
+    let overload = wait_for_overload(&mut c1, |o| o.get_str("level") == Some("saturated"));
+    assert!(overload.get_f64("shed_expensive").unwrap_or(0.0) >= 1.0);
+    assert!(overload.get_f64("shed_normal").unwrap_or(0.0) >= 1.0);
+    assert!(overload.get_f64("requests_shed").unwrap_or(0.0) >= 2.0);
+    server.stop();
+}
+
+/// `call_with_retry` honors the BUSY hint: it retries shed requests and,
+/// once attempts run out, returns the last BUSY response as-is rather
+/// than masking it as a transport error.
+#[test]
+fn client_retries_busy_and_surfaces_the_final_answer() {
+    let server = start(
+        1,
+        AdmissionConfig {
+            max_connections: 16,
+            shed_queue: 4,
+            retry_after_ms: 5,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+    let mut c1 = Client::connect(addr).unwrap();
+    assert_eq!(c1.command("ping").unwrap().get_bool("ok"), Some(true));
+    let _q1 = TcpStream::connect(addr).unwrap();
+    wait_for_overload(&mut c1, |o| o.get_f64("queued_connections") == Some(1.0));
+
+    // Pressure persists (the queued connection never leaves), so every
+    // retry sheds again and the caller sees the final honest BUSY.
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let resp = c1.call_with_retry(&raw("advise"), &policy).unwrap();
+    assert_eq!(resp.get_bool("busy"), Some(true));
+    server.stop();
+}
+
+/// `connect_with_retry` detects the BUSY greeting, backs off by the
+/// hint, and succeeds once a slot frees up.
+#[test]
+fn connect_with_retry_honors_admission_rejection() {
+    let server = start(
+        1,
+        AdmissionConfig {
+            max_connections: 1,
+            shed_queue: 8,
+            retry_after_ms: 5,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+    let mut c1 = Client::connect(addr).unwrap();
+    assert_eq!(c1.command("ping").unwrap().get_bool("ok"), Some(true));
+
+    // Every slot taken: retries exhaust and the error names the hint.
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        ..Default::default()
+    };
+    let err = match Client::connect_with_retry(addr, &policy) {
+        Ok(_) => panic!("connect succeeded on a full server"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("busy"), "{err}");
+
+    // Freeing the slot lets a retried connect through.
+    drop(c1);
+    let mut c2 = Client::connect_with_retry(
+        addr,
+        &RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            ..Default::default()
+        },
+    )
+    .expect("slot freed");
+    assert_eq!(c2.command("ping").unwrap().get_bool("ok"), Some(true));
+    server.stop();
+}
+
+/// The background advisor pauses its cycle while connections queue, and
+/// resumes once the pressure clears.
+#[test]
+fn advisor_pauses_under_pressure_and_resumes() {
+    let server = Server::start(
+        small_db(),
+        ServerConfig {
+            threads: 1,
+            advise_interval: Some(Duration::from_millis(25)),
+            admission: AdmissionConfig {
+                shed_queue: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    let mut c1 = Client::connect(addr).unwrap();
+    let q1 = TcpStream::connect(addr).unwrap();
+    wait_for_overload(&mut c1, |o| o.get_f64("queued_connections") == Some(1.0));
+
+    // Under pressure: pauses accumulate, no cycle runs.
+    let overload = wait_for_overload(&mut c1, |o| o.get_f64("advisor_pauses") >= Some(2.0));
+    let paused_at = overload.get_f64("advisor_pauses").unwrap();
+    let stats = c1.command("stats").unwrap();
+    let cycles = stats
+        .get("advisor")
+        .and_then(|a| a.get_f64("cycles"))
+        .unwrap_or(-1.0);
+    assert_eq!(
+        cycles, 0.0,
+        "no cycle ran while paused ({paused_at} pauses)"
+    );
+
+    // Release the queue: c1 must disconnect so the worker can drain q1.
+    drop(q1);
+    drop(c1);
+    let mut c2 = Client::connect_with_retry(addr, &RetryPolicy::default()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = c2.command("stats").unwrap();
+        let cycles = stats
+            .get("advisor")
+            .and_then(|a| a.get_f64("cycles"))
+            .unwrap_or(0.0);
+        if cycles >= 1.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "advisor never resumed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.stop();
+}
+
+/// Regression for the unbounded read_line: a huge newline-free stream is
+/// answered with one clean oversize error and a closed connection — the
+/// daemon never buffers it and stays healthy for everyone else.
+#[test]
+fn oversized_frame_is_cut_off_cleanly() {
+    let server = start(2, AdmissionConfig::default()); // 1 MiB frame cap
+    let addr = server.addr();
+
+    let mut flood = TcpStream::connect(addr).unwrap();
+    flood
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Try to push 100 MB with no newline; the server closes the
+    // connection at the frame cap, so the write side dies long before.
+    let chunk = vec![b'x'; 1 << 20];
+    let mut written: u64 = 0;
+    for _ in 0..100 {
+        match flood.write_all(&chunk) {
+            Ok(()) => written += chunk.len() as u64,
+            Err(_) => break, // server hung up on us: the point
+        }
+    }
+    assert!(
+        written < 100 << 20,
+        "server accepted the whole 100 MB flood without cutting us off"
+    );
+    // The error response (if our read side is still up) is well-formed.
+    let mut reader = BufReader::new(flood);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_ok() && line.ends_with('\n') {
+        let v = xia_server::json::parse(line.trim()).expect("oversize error is JSON");
+        assert_eq!(v.get_bool("ok"), Some(false));
+        assert!(
+            v.get_str("error").unwrap_or("").contains("max_frame_bytes"),
+            "{line}"
+        );
+    }
+
+    // The daemon is unharmed and counted the oversized frame.
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.command("ping").unwrap().get_bool("ok"), Some(true));
+    // frames_oversized ticks inside the serving worker and conns_faulted
+    // only once the connection fully winds down — poll for both.
+    wait_for_overload(&mut c, |o| {
+        o.get_f64("frames_oversized") >= Some(1.0) && o.get_f64("conns_faulted") >= Some(1.0)
+    });
+    server.stop();
+}
+
+/// Seeded garbage-bytes protocol robustness: random non-JSON lines,
+/// truncated JSON and valid frames interleaved on one connection. Every
+/// malformed frame gets exactly one error response and never poisons
+/// the next valid request.
+#[test]
+fn garbage_frames_never_poison_the_connection() {
+    let server = start(2, AdmissionConfig::default());
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    // xorshift64*: the same garbage for every run.
+    let mut x: u64 = 0xDEAD_BEEF | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut garbage_sent = 0;
+    for i in 0..40 {
+        let draw = next();
+        let (line, valid) = if i % 2 == 0 {
+            (r#"{"cmd": "ping"}"#.to_string(), true)
+        } else {
+            garbage_sent += 1;
+            let g = match draw % 4 {
+                0 => "complete garbage, not even close".to_string(),
+                1 => r#"{"cmd": "query", "q": "#.to_string(), // truncated
+                2 => format!("\u{1}\u{2}binary-ish {draw}"),
+                _ => "[1, 2, \"unterminated".to_string(),
+            };
+            (g, false)
+        };
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("every frame answered");
+        let v = xia_server::json::parse(resp.trim())
+            .unwrap_or_else(|e| panic!("response to frame {i} not JSON ({e}): {resp}"));
+        if valid {
+            assert_eq!(
+                v.get_bool("ok"),
+                Some(true),
+                "valid frame {i} poisoned: {v}"
+            );
+            assert!(v.get("pong").is_some(), "response crossed streams: {v}");
+        } else {
+            assert_eq!(v.get_bool("ok"), Some(false));
+            assert!(
+                v.get_str("error").unwrap_or("").contains("bad request"),
+                "garbage frame {i} got: {v}"
+            );
+        }
+    }
+
+    // Every malformed frame was counted, none killed the connection.
+    let mut c = Client::connect(addr).unwrap();
+    let overload = wait_for_overload(&mut c, |o| {
+        o.get_f64("frames_malformed") >= Some(garbage_sent as f64)
+    });
+    assert_eq!(overload.get_f64("live_connections"), Some(2.0));
+    server.stop();
+}
+
+/// A worker thread that fails to spawn surfaces in `Server::start`'s
+/// result (naming the thread) instead of silently running a smaller
+/// pool; everything already started is torn down.
+#[test]
+fn worker_spawn_failure_surfaces_from_start() {
+    let err = match Server::start(
+        small_db(),
+        ServerConfig {
+            threads: 4,
+            worker_spawn_fault: Some(2),
+            ..Default::default()
+        },
+    ) {
+        Ok(_) => panic!("injected spawn failure must fail start"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("xia-worker-2"),
+        "error names the thread: {msg}"
+    );
+    assert!(msg.contains("failed to spawn"), "{msg}");
+}

@@ -67,7 +67,8 @@ pub mod prelude {
         Profile,
     };
     pub use xia_server::{
-        Client, CycleReport, DurabilityConfig, RetryPolicy, Server, ServerConfig,
+        AdmissionConfig, ChaosFactory, ChaosProfile, Client, CycleReport, DurabilityConfig,
+        LoadLevel, RetryPolicy, Server, ServerConfig, Transport, TransportFactory,
     };
     pub use xia_storage::{
         checkpoint_database, fingerprint, load_collection, load_database, recover_database,

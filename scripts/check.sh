@@ -52,9 +52,21 @@ run_hard cargo test -q --offline -p xia-oracle --test corpus_replay
 # server's committer, checked for linearizability (commit-order replay),
 # prefix-consistent snapshots, and durability parity.
 run_hard ./target/release/xia-cli fuzz --interleaved --seed 42 --budget 20
+# The network-chaos oracle: a pinned-seed sweep driving a real daemon
+# through fault-injecting transports (garbage bytes, slowloris,
+# mid-frame disconnects, tiny chunks) under squeezed admission limits.
+# Invariant: every connection ends in a well-formed response, a clean
+# BUSY, or a closed socket — never a wedged worker or a crossed
+# stream — and accepted == rejected + served + faulted reconciles.
+run_hard ./target/release/xia-cli fuzz --net-chaos --seed 42 --budget 300
 # The contention smoke test by name: readers must stay prefix-consistent
 # while a writer streams group commits (the snapshot-isolation contract).
 run_hard cargo test -q --offline -p xia-server --test snapshot_isolation
+# The overload-protection contracts by name: admission BUSY + close on
+# over-limit connections, tiered brownout shedding, the frame-size cap
+# (unbounded read_line regression), garbage-frame robustness, and the
+# surfaced worker-spawn failure.
+run_hard cargo test -q --offline -p xia-server --test overload
 # The scalable-advisor contracts by name: compression is lossless on
 # duplicate workloads (property test), and ADVISE under a live
 # insert/query storm honors its wall budget without stalling the
@@ -100,6 +112,21 @@ check_lock_free_reads() {
   fi
 }
 check_lock_free_reads
+
+# Server-side socket I/O must go through the injectable Transport —
+# a raw BufReader/read_line/try_clone on the daemon side is a blind
+# spot the net-chaos oracle can't fault-inject. The client keeps its
+# plain sockets (it is the remote end under test), and transport.rs is
+# where the raw calls are supposed to live.
+check_transport_only() {
+  echo "==> grep: server socket I/O goes through Transport only"
+  if grep -rnE 'BufReader|BufWriter|read_line|try_clone' crates/server/src \
+      | grep -vE '^crates/server/src/(client|transport)\.rs'; then
+    echo "FAILED: crates/server/src bypasses the Transport layer (see matches above)" >&2
+    failures=$((failures + 1))
+  fi
+}
+check_transport_only
 
 run_if_installed fmt cargo fmt --check
 run_if_installed clippy cargo clippy --offline --all-targets -- -D warnings
