@@ -21,7 +21,7 @@
 //! ```
 
 use std::time::Instant;
-use xia::optimizer::ExecStats;
+use xia::optimizer::{choose_mode, execute_mode, ExecMode, ExecStats};
 use xia::prelude::*;
 use xia::server::{json, Value};
 use xia_bench::{f, print_table};
@@ -99,12 +99,25 @@ struct Row {
     rows: usize,
     nav_ms: f64,
     batch_ms: f64,
+    /// `execute`'s statistics-driven mode pick and its timing.
+    chosen: &'static str,
+    auto_ms: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         if self.batch_ms > 0.0 {
             self.nav_ms / self.batch_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// How much faster the auto pick is than always-batched (> 1 means
+    /// `choose_mode` recovered time the old hardwired default lost).
+    fn auto_vs_batched(&self) -> f64 {
+        if self.auto_ms > 0.0 {
+            self.batch_ms / self.auto_ms
         } else {
             f64::INFINITY
         }
@@ -143,11 +156,24 @@ fn bench_query(coll: &Collection, model: &CostModel, shape: &'static str, text: 
         (rows.len(), stats)
     });
     let (batch_ms, batch_rows, batch_stats) = time_min(|| {
-        let (rows, stats) = execute(coll, &query, &ex.plan).expect("batched");
+        let (rows, stats) =
+            execute_mode(coll, &query, &ex.plan, ExecMode::Batched).expect("batched");
         (rows.len(), stats)
     });
     assert_eq!(nav_rows, batch_rows, "{shape}: result drift");
     assert_eq!(nav_stats, batch_stats, "{shape}: ExecStats drift");
+
+    // The production entry point: `execute` consults `choose_mode`.
+    let chosen = match choose_mode(coll, &query, &ex.plan) {
+        ExecMode::Batched => "batched",
+        ExecMode::Navigational => "navigational",
+    };
+    let (auto_ms, auto_rows, auto_stats) = time_min(|| {
+        let (rows, stats) = execute(coll, &query, &ex.plan).expect("auto");
+        (rows.len(), stats)
+    });
+    assert_eq!(auto_rows, batch_rows, "{shape}: auto-mode result drift");
+    assert_eq!(auto_stats, batch_stats, "{shape}: auto-mode stats drift");
 
     Row {
         docs: coll.documents().count(),
@@ -156,6 +182,8 @@ fn bench_query(coll: &Collection, model: &CostModel, shape: &'static str, text: 
         rows: batch_rows,
         nav_ms,
         batch_ms,
+        chosen,
+        auto_ms,
     }
 }
 
@@ -197,6 +225,8 @@ fn main() {
                 format!("{}ms", f(r.nav_ms)),
                 format!("{}ms", f(r.batch_ms)),
                 format!("{}x", f(r.speedup())),
+                r.chosen.to_string(),
+                format!("{}ms", f(r.auto_ms)),
             ]
         })
         .collect();
@@ -205,7 +235,8 @@ fn main() {
             "T14 — batched vs navigational execution (deep section trees, depth {DEPTH}, fanout {FANOUT})"
         ),
         &[
-            "docs", "shape", "plan", "rows", "navigational", "batched", "speedup",
+            "docs", "shape", "plan", "rows", "navigational", "batched", "speedup", "chosen",
+            "auto",
         ],
         &rows,
     );
@@ -223,11 +254,35 @@ fn main() {
         SIZES.last().unwrap()
     );
 
+    // The recovered regression: a highly selective child chain where the
+    // hardwired batched default lost to the navigational walk. The
+    // mode pick must choose navigational there and claw the time back.
+    let recovered = all
+        .iter()
+        .find(|r| r.docs == *SIZES.last().unwrap() && r.shape == "child-chain")
+        .expect("child-chain shape ran");
+    println!(
+        "recovered: child-chain at {} docs picks {} — {}x vs always-batched",
+        recovered.docs,
+        recovered.chosen,
+        f(recovered.auto_vs_batched()),
+    );
+
     write_bench_json(Value::obj(vec![
         ("depth", Value::num(DEPTH as f64)),
         ("fanout", Value::num(FANOUT as f64)),
         ("iters", Value::num(ITERS as f64)),
         ("headline_desc_scan_speedup", Value::num(headline)),
+        (
+            "recovered_child_chain",
+            Value::obj(vec![
+                ("docs", Value::num(recovered.docs as f64)),
+                ("chosen_mode", Value::str(recovered.chosen)),
+                ("batched_ms", Value::num(recovered.batch_ms)),
+                ("auto_ms", Value::num(recovered.auto_ms)),
+                ("auto_vs_batched", Value::num(recovered.auto_vs_batched())),
+            ]),
+        ),
         (
             "points",
             Value::Arr(
@@ -241,6 +296,8 @@ fn main() {
                             ("navigational_ms", Value::num(r.nav_ms)),
                             ("batched_ms", Value::num(r.batch_ms)),
                             ("speedup", Value::num(r.speedup())),
+                            ("chosen_mode", Value::str(r.chosen)),
+                            ("auto_ms", Value::num(r.auto_ms)),
                         ])
                     })
                     .collect(),

@@ -88,7 +88,17 @@ usage: xia-cli serve [options]
                        queue at a quarter of this bound sheds expensive
                        commands, at half it sheds normal ones (default 64)
   --max-frame <KiB>    request-frame cap; oversized frames get a clean
-                       error + close (default 1024)";
+                       error + close (default 1024)
+  --tenant-pages <n>   shared index-page budget the cross-tenant
+                       allocator spends over every tenant's advisor
+                       frontier (default: disabled)
+  --tenant-floor <n>   pages reserved per tenant before global
+                       competition (default 0)
+  --tenant-ceiling <n> hard cap on pages any one tenant may be granted
+                       (default: none)
+  --tenant-in-flight <n> per-tenant brownout: shed sheddable requests
+                       once n are in flight against the same tenant
+                       (default: uncapped)";
 
 fn serve(args: &[String]) {
     let mut cfg = ServerConfig {
@@ -143,6 +153,21 @@ fn serve(args: &[String]) {
             "--max-frame" => {
                 let kib: usize = req("--max-frame").parse().unwrap_or(1024);
                 cfg.admission.max_frame_bytes = kib.max(1) << 10;
+            }
+            "--tenant-pages" => {
+                let n: u64 = req("--tenant-pages").parse().unwrap_or(0);
+                cfg.tenant_pages = (n > 0).then_some(n);
+            }
+            "--tenant-floor" => {
+                cfg.tenant_floor_pages = req("--tenant-floor").parse().unwrap_or(0);
+            }
+            "--tenant-ceiling" => {
+                let n: u64 = req("--tenant-ceiling").parse().unwrap_or(0);
+                cfg.tenant_ceiling_pages = (n > 0).then_some(n);
+            }
+            "--tenant-in-flight" => {
+                let n: u64 = req("--tenant-in-flight").parse().unwrap_or(0);
+                cfg.tenant_max_in_flight = (n > 0).then_some(n);
             }
             "--help" | "-h" => {
                 println!("{SERVE_HELP}");
@@ -219,6 +244,14 @@ usage: xia-cli fuzz [options]
                        wedged/leaked workers, and exact reconciliation of
                        the overload accounting. --budget then counts
                        connections (300 is a thorough sweep).
+  --tenants            run the multi-tenant isolation oracle instead:
+                       seeded clients interleave tenant-scoped writes
+                       and reads against a live daemon; checks
+                       cross-tenant isolation (marker counts reconcile,
+                       foreign markers count zero), default-namespace
+                       compatibility, and restart parity over each
+                       tenant's durable subdirectory. --budget then
+                       counts rounds (4 is a thorough sweep).
 exit status: 0 when every case satisfies every invariant, 1 otherwise.";
 
 fn fuzz(args: &[String]) {
@@ -226,6 +259,7 @@ fn fuzz(args: &[String]) {
     let mut corpus_dir: Option<String> = None;
     let mut interleaved = false;
     let mut net_chaos = false;
+    let mut tenants = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut req = |name: &str| {
@@ -251,6 +285,7 @@ fn fuzz(args: &[String]) {
             "--write-corpus" => corpus_dir = Some(req("--write-corpus")),
             "--interleaved" => interleaved = true,
             "--net-chaos" => net_chaos = true,
+            "--tenants" => tenants = true,
             "--help" | "-h" => {
                 println!("{FUZZ_HELP}");
                 return;
@@ -293,6 +328,45 @@ fn fuzz(args: &[String]) {
         );
         for f in &report.failures {
             println!("  {f}");
+        }
+        if !report.ok() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if tenants {
+        // --budget 1000 is the shared default; each tenants round spins
+        // a whole daemon (and restarts it on durable rounds), so the
+        // default sweep is 4 rounds.
+        let rounds = if config.budget == 1000 {
+            4
+        } else {
+            config.budget
+        };
+        let tcfg = xia_oracle::TenantsConfig::new(config.seed, rounds);
+        println!(
+            "xia fuzz --tenants: seed {} rounds {} ({} tenants × {} clients × {} ops) — \
+             checking cross-tenant isolation, default-namespace compatibility, restart parity",
+            tcfg.seed, tcfg.rounds, tcfg.tenants, tcfg.clients, tcfg.ops_per_client
+        );
+        let start = std::time::Instant::now();
+        let report = xia_oracle::run_tenants(&tcfg, |done, fails| {
+            println!("  {done} rounds, {fails} failure(s)");
+        });
+        println!(
+            "{} rounds ({} requests, {} acked inserts, {} sheds, {} restart legs) in {:.2}s, \
+             {} failure(s)",
+            report.rounds_run,
+            report.requests_sent,
+            report.inserts_acked,
+            report.sheds_seen,
+            report.restarts_checked,
+            start.elapsed().as_secs_f64(),
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("\n{f}");
         }
         if !report.ok() {
             std::process::exit(1);
@@ -448,11 +522,22 @@ fn build_request(line: &str) -> Result<Value, String> {
     if line.starts_with('{') {
         return xia::server::json::parse(line).map_err(|e| e.to_string());
     }
+    // `@<tenant> <command…>` scopes any command to a named tenant.
+    let (tenant, line) = match line.strip_prefix('@') {
+        Some(rest) => match rest.find(char::is_whitespace) {
+            Some(i) => (Some(&rest[..i]), rest[i..].trim_start()),
+            None => return Err("usage: @<tenant> <command…>".into()),
+        },
+        None => (None, line),
+    };
     let (word, rest) = match line.find(char::is_whitespace) {
         Some(i) => (&line[..i], line[i..].trim()),
         None => (line, ""),
     };
     let mut fields = vec![("cmd", Value::str(word))];
+    if let Some(t) = tenant {
+        fields.push(("tenant", Value::str(t)));
+    }
     match word {
         "query" | "explain" | "profile" => {
             if rest.is_empty() {
@@ -498,6 +583,18 @@ fn build_request(line: &str) -> Result<Value, String> {
                     _ => return Err(usage.into()),
                 }
                 positional += 1;
+            }
+        }
+        "tenant" => {
+            // `tenant` lists the namespaces; `tenant <name> [coll…]`
+            // creates one (idempotent) with the given collections.
+            let mut parts = rest.split_whitespace();
+            if let Some(name) = parts.next() {
+                fields.push(("name", Value::str(name)));
+                let colls: Vec<Value> = parts.map(Value::str).collect();
+                if !colls.is_empty() {
+                    fields.push(("collections", Value::Arr(colls)));
+                }
             }
         }
         _ => {

@@ -91,6 +91,24 @@ pub struct ConvergencePoint {
     pub cost: f64,
 }
 
+/// One greedy acceptance, in order: the node(s) added, the marginal
+/// workload-cost benefit the add was credited with, and the bytes it
+/// costs. Because the greedy is submodular-style, the sequence is a
+/// *frontier*: each entry's benefit is conditional on every earlier
+/// entry, so consumers (the cross-tenant allocator in
+/// [`crate::tenancy`]) must take prefixes, never skip entries.
+/// Warm-start nodes are carried over wholesale and do not appear here.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// DAG node indices added by this step (one for a plain greedy
+    /// add, several for an OR-group add).
+    pub nodes: Vec<usize>,
+    /// Workload-cost reduction credited to this step.
+    pub marginal: f64,
+    /// Estimated index size of this step's additions.
+    pub size_bytes: u64,
+}
+
 /// Telemetry accumulated across all slices of a search.
 #[derive(Debug, Clone, Default)]
 pub struct AnytimeTelemetry {
@@ -109,6 +127,9 @@ pub struct AnytimeTelemetry {
     pub resumes: u64,
     /// Warm-start nodes accepted after trimming.
     pub warm_start: usize,
+    /// Greedy acceptance sequence (marginal benefit per add, in
+    /// order). Prefix-consistent: see [`FrontierPoint`].
+    pub frontier: Vec<FrontierPoint>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -371,6 +392,11 @@ pub fn anytime_step(
                         ));
                         state.chosen.push(i);
                         state.telemetry.iterations += 1;
+                        state.telemetry.frontier.push(FrontierPoint {
+                            nodes: vec![i],
+                            marginal,
+                            size_bytes: ev.dag.nodes[i].candidate.size_bytes,
+                        });
                         point!(scan.current - marginal);
                     }
                     None => {
@@ -392,7 +418,22 @@ pub fn anytime_step(
                                     ev.dag.nodes[i].candidate.pattern
                                 ));
                             }
-                            state.chosen.extend(added);
+                            let group_bytes: u64 = added
+                                .iter()
+                                .map(|&i| ev.dag.nodes[i].candidate.size_bytes)
+                                .sum();
+                            state.chosen.extend(added.clone());
+                            // Uncounted cache-warm re-evaluation: the
+                            // group's config was just costed inside
+                            // `try_or_group_add`, so this read does not
+                            // perturb the eval budget (keeping chopped
+                            // and uninterrupted runs bit-identical).
+                            let after = ev.cost(&state.chosen);
+                            state.telemetry.frontier.push(FrontierPoint {
+                                nodes: added,
+                                marginal: (scan.current - after).max(0.0),
+                                size_bytes: group_bytes,
+                            });
                             state.telemetry.iterations += 1;
                         } else {
                             state.phase = Phase::Evict;

@@ -51,6 +51,7 @@ pub mod generalize;
 pub mod multi;
 pub mod review;
 pub mod search;
+pub mod tenancy;
 pub mod whatif;
 pub mod workload;
 
@@ -58,7 +59,7 @@ pub use advisor::{Advisor, AdvisorConfig, CompressedRecommendation, Recommendati
 pub use analysis::{analyze, AnalysisReport, QueryCostTriple};
 pub use anytime::{
     anytime_search, anytime_step, AnytimeBudget, AnytimeOptions, AnytimeOutcome, AnytimeState,
-    AnytimeTelemetry, ConvergencePoint,
+    AnytimeTelemetry, ConvergencePoint, FrontierPoint,
 };
 pub use candidates::{generate_basic_candidates, Candidate};
 pub use compress::{
@@ -68,5 +69,9 @@ pub use generalize::{generalize, Dag, DagNode, GeneralizationConfig};
 pub use multi::{CollectionAdvice, DatabaseRecommendation};
 pub use review::{render_reviews, review_existing_indexes, IndexReview, IndexVerdict};
 pub use search::{search_with, GreedyKnobs, SearchOutcome, SearchStrategy};
+pub use tenancy::{
+    allocate, merge_frontiers, pages_for, Allocation, FrontierItem, TenantAllocation,
+    TenantFrontier, PAGE_BYTES,
+};
 pub use whatif::{reference_cost, reference_detail, EngineConfig, EvalStats, WhatIfEngine};
 pub use workload::{Statement, StatementKind, Workload};

@@ -70,8 +70,10 @@ pub enum ExecMode {
     Navigational,
 }
 
-/// Execute `plan` for `query` over `collection` through the batched
-/// engine.
+/// Execute `plan` for `query` over `collection`, picking the
+/// verification mode from path statistics ([`choose_mode`]). Both modes
+/// return bit-identical rows and counters, so the pick only moves wall
+/// time.
 ///
 /// Returns the result nodes as `(doc, node)` pairs in document order,
 /// plus work counters.
@@ -80,7 +82,89 @@ pub fn execute(
     query: &NormalizedQuery,
     plan: &Plan,
 ) -> Result<(Vec<(DocId, NodeId)>, ExecStats), ExecError> {
-    execute_mode(collection, query, plan, ExecMode::Batched)
+    execute_mode(
+        collection,
+        query,
+        plan,
+        choose_mode(collection, query, plan),
+    )
+}
+
+/// Pick the per-document verification mode for a plan.
+///
+/// The batch engine's `seed`/join operators pull the **full name
+/// column** for every step of the path — cost proportional to how many
+/// nodes in the document carry each step's label, wherever they sit.
+/// The navigational evaluator instead walks outward from the root,
+/// visiting only children (or subtrees, under `//`) of nodes the path
+/// prefix already matched. For most shapes the columnar constant factor
+/// wins anyway; the exception is a **highly selective child chain**
+/// over a collection where the chain's labels are common elsewhere in
+/// the documents: the walk touches a handful of nodes while the batch
+/// engine drags in every homonymous column entry.
+///
+/// Both estimates come from [`CollectionStats`] path counts (the same
+/// statistics the what-if cost model reads):
+///
+/// * `batch` — Σ per step of the column size (nodes matching `//label`,
+///   or every node for `*`);
+/// * `nav` — Σ per step of the nodes a walk *visits*: matches of the
+///   prefix so far extended by `/*` (child axis) or `//*` (descendant
+///   axis — i.e. whole subtrees, which is why `//`-heavy queries stay
+///   batched).
+///
+/// Navigational wins only when the walk is an order of magnitude
+/// cheaper (8×) **and** the batch cost is non-trivial (> 256 column
+/// entries) — below that, constant factors dominate and the default is
+/// kept. Steps the statistics cannot see through (text()/parent tails,
+/// attribute steps) end the estimate at the prefix walked so far.
+///
+/// [`CollectionStats`]: xia_storage::CollectionStats
+pub fn choose_mode(collection: &Collection, query: &NormalizedQuery, plan: &Plan) -> ExecMode {
+    use xia_xpath::{Axis, LinearStep, NameTest};
+
+    // Index-only plans answer from postings; no verification runs.
+    if matches!(plan.access, AccessPath::IndexOnly { .. }) {
+        return ExecMode::Batched;
+    }
+    let stats = collection.stats();
+    let mut batch_cost: u64 = 0;
+    let mut nav_cost: u64 = 0;
+    let mut prefix: Vec<LinearStep> = Vec::new();
+    for step in &query.xpath.steps {
+        // Column size this step's operator materializes.
+        let column = match (&step.axis, &step.test) {
+            (Axis::Parent, _) | (_, NameTest::Text) | (Axis::Attribute, _) => break,
+            (_, NameTest::Wildcard) => stats.total_nodes(),
+            (_, NameTest::Name(n)) => {
+                stats.count_matching(&xia_xpath::LinearPath::new(vec![LinearStep::descendant(n)]))
+            }
+        };
+        batch_cost = batch_cost.saturating_add(column);
+        // Nodes a tree walk visits to resolve this step from the
+        // prefix matched so far.
+        let wild = match step.axis {
+            Axis::Child => LinearStep::child_wild(),
+            Axis::Descendant => LinearStep::descendant_wild(),
+            Axis::Attribute | Axis::Parent => unreachable!("handled above"),
+        };
+        let mut visited = prefix.clone();
+        visited.push(wild);
+        nav_cost =
+            nav_cost.saturating_add(stats.count_matching(&xia_xpath::LinearPath::new(visited)));
+        prefix.push(match (&step.axis, &step.test) {
+            (Axis::Child, NameTest::Name(n)) => LinearStep::child(n),
+            (Axis::Child, NameTest::Wildcard) => LinearStep::child_wild(),
+            (Axis::Descendant, NameTest::Name(n)) => LinearStep::descendant(n),
+            (Axis::Descendant, NameTest::Wildcard) => LinearStep::descendant_wild(),
+            _ => break,
+        });
+    }
+    if batch_cost > 256 && nav_cost.saturating_mul(8) < batch_cost {
+        ExecMode::Navigational
+    } else {
+        ExecMode::Batched
+    }
 }
 
 /// Execute through the navigational reference path (oracle differential
@@ -548,6 +632,72 @@ mod tests {
             let err = probe(&ix, op, &Literal::Str("x".into()), |_| {}).unwrap_err();
             assert!(err.0.contains("never sargable"), "{err}");
         }
+    }
+
+    /// Documents whose shallow `/site/item/price` chain is cheap to
+    /// walk while `item`/`price` labels also flood a decoy subtree —
+    /// the shape where the batch engine's full-column seeds lose to the
+    /// navigational walk.
+    fn homonym_heavy_collection(n_docs: usize, decoys: usize) -> Collection {
+        let mut c = Collection::new("auctions");
+        for i in 0..n_docs {
+            let mut b = DocumentBuilder::new();
+            b.open("site");
+            b.open("item");
+            b.leaf("price", &format!("{}", i % 20));
+            b.close();
+            b.open("junk");
+            for _ in 0..decoys {
+                b.open("item");
+                b.leaf("price", "0");
+                b.close();
+            }
+            b.close();
+            b.close();
+            c.insert(b.finish().unwrap());
+        }
+        c
+    }
+
+    #[test]
+    fn selective_child_chain_picks_navigational() {
+        let c = homonym_heavy_collection(8, 100);
+        let q = compile("/site/item/price", "auctions").unwrap();
+        let plan = optimize(&Catalog::real_only(&c), &CostModel::default(), &q);
+        // Columns: ~808 item + ~808 price entries; the walk visits only
+        // /site's and /site/item's direct children.
+        assert_eq!(choose_mode(&c, &q, &plan), ExecMode::Navigational);
+        // The auto-picked mode returns exactly what the batched engine
+        // does (rows and counters).
+        let (auto_rows, auto_stats) = execute(&c, &q, &plan).unwrap();
+        let (batched, bstats) = execute_mode(&c, &q, &plan, ExecMode::Batched).unwrap();
+        assert_eq!(auto_rows, batched);
+        assert_eq!(auto_stats, bstats);
+    }
+
+    #[test]
+    fn descendant_queries_stay_batched() {
+        let c = homonym_heavy_collection(8, 100);
+        // `//price` walks every subtree navigationally — the batch
+        // engine's sort-merge join is the right engine and stays picked.
+        let q = compile("//price", "auctions").unwrap();
+        let plan = Plan {
+            access: AccessPath::DocScan,
+            cost: Default::default(),
+            est_results: 0.0,
+            est_docs_fetched: 0.0,
+        };
+        assert_eq!(choose_mode(&c, &q, &plan), ExecMode::Batched);
+    }
+
+    #[test]
+    fn small_collections_stay_batched() {
+        // Same selective shape, but far below the 256-entry floor where
+        // constant factors dominate: keep the default engine.
+        let c = homonym_heavy_collection(2, 3);
+        let q = compile("/site/item/price", "auctions").unwrap();
+        let plan = optimize(&Catalog::real_only(&c), &CostModel::default(), &q);
+        assert_eq!(choose_mode(&c, &q, &plan), ExecMode::Batched);
     }
 
     /// An index-only plan whose leg claims sargability is rejected: the

@@ -30,7 +30,7 @@ pub mod profile;
 pub use catalog::Catalog;
 pub use cost::{CostModel, QueryCost};
 pub use exec::{run_batch, BatchOp, BatchPlan, BatchProfile, OpStats};
-pub use executor::{execute, execute_mode, execute_navigational, ExecMode, ExecStats};
+pub use executor::{choose_mode, execute, execute_mode, execute_navigational, ExecMode, ExecStats};
 pub use explain::{
     enumerate_indexes, evaluate_indexes, evaluate_query, explain, CandidateIndex,
     ConfigurationCost, Explain, ExplainMode, QueryEvaluation,

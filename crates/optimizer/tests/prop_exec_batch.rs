@@ -13,7 +13,9 @@
 
 use proptest::prelude::*;
 use xia_index::{DataType, IndexDefinition, IndexId};
-use xia_optimizer::{execute, execute_navigational, explain, BatchPlan, CostModel};
+use xia_optimizer::{
+    execute, execute_mode, execute_navigational, explain, BatchPlan, CostModel, ExecMode,
+};
 use xia_storage::Collection;
 use xia_xml::DocumentBuilder;
 use xia_xpath::LinearPath;
@@ -204,8 +206,12 @@ proptest! {
             }
 
             // Executor level: same plan, both modes, rows and counters.
+            // The batched engine is pinned explicitly — `execute` now
+            // auto-picks a mode, and this test exists to hold the batch
+            // engine itself against the reference path.
             let ex = explain(&coll, &model, &q);
-            let (batched, bstats) = execute(&coll, &q, &ex.plan).unwrap();
+            let (batched, bstats) =
+                execute_mode(&coll, &q, &ex.plan, ExecMode::Batched).unwrap();
             let (naive, nstats) = execute_navigational(&coll, &q, &ex.plan).unwrap();
             prop_assert_eq!(
                 &batched, &naive,
@@ -216,6 +222,11 @@ proptest! {
                 bstats, nstats,
                 "ExecStats drift between modes for {}", text
             );
+            // And the auto-pick returns the same rows whichever engine
+            // it lands on.
+            let (auto_rows, auto_stats) = execute(&coll, &q, &ex.plan).unwrap();
+            prop_assert_eq!(&auto_rows, &naive, "auto mode disagrees for {}", text);
+            prop_assert_eq!(auto_stats, nstats, "auto stats disagree for {}", text);
         }
     }
 }

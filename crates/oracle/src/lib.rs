@@ -49,6 +49,13 @@
 //! connection ends in a well-formed response, a clean BUSY/TIMEOUT, or
 //! a closed socket — never a wedged worker or a corrupted stream — and
 //! that the overload accounting reconciles exactly.
+//!
+//! A fourth mode ([`tenants`], `xia fuzz --tenants`) targets the
+//! multi-tenant namespace: seeded clients interleave tenant-scoped
+//! writes and reads against a live daemon while the oracle checks
+//! cross-tenant isolation (per-tenant marker counts reconcile exactly,
+//! foreign markers count zero), default-namespace compatibility, and
+//! restart parity over each tenant's durable subdirectory.
 
 pub mod case;
 pub mod check;
@@ -57,6 +64,7 @@ pub mod interleave;
 pub mod netchaos;
 pub mod rng;
 pub mod shrink;
+pub mod tenants;
 
 pub use case::{Case, IndexSpec, Poison};
 pub use check::{check_case, dedupe, CheckOptions, Violation};
@@ -65,6 +73,7 @@ pub use interleave::{run_interleaved, InterleaveConfig, InterleaveReport};
 pub use netchaos::{run_net_chaos, NetChaosConfig, NetChaosReport};
 pub use rng::Rng;
 pub use shrink::shrink;
+pub use tenants::{run_tenants, TenantsConfig, TenantsReport};
 
 use std::path::PathBuf;
 

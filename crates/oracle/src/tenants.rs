@@ -1,0 +1,536 @@
+//! Seeded multi-tenant isolation oracle (`xia fuzz --tenants`).
+//!
+//! Drives a real daemon over TCP with N named tenants plus the default
+//! namespace, hammered by concurrent seeded clients that interleave
+//! tenant-scoped INSERT/QUERY/STATS/TENANT traffic. Every insert
+//! carries a per-tenant *marker* price, so leakage is directly
+//! observable: a marker surfacing under any other tenant is a
+//! namespace violation, not a statistical anomaly.
+//!
+//! Invariants, checked from the client side of the wire:
+//!
+//! 1. **write isolation** — after the sweep, each tenant's marker count
+//!    equals exactly the inserts acknowledged for that tenant, and
+//!    every foreign marker counts zero (checked both mid-race and at
+//!    quiescence). A write applied to the wrong snapshot, a snapshot
+//!    read through the wrong cell, or a shed insert that committed
+//!    anyway all split these counts.
+//! 2. **default-namespace compatibility** — requests without a
+//!    `tenant` field and requests with `tenant: "default"` address the
+//!    same data; the TENANT registry lists every namespace with doc
+//!    counts matching the per-tenant queries.
+//! 3. **restart parity** — on durable rounds the daemon is stopped and
+//!    reopened over the same data directory; every named tenant must
+//!    be rediscovered from its `tenants/<name>` subdirectory with its
+//!    marker count intact (WAL replay includes the namespace's
+//!    provisioning, not just its writes).
+//! 4. **shed hygiene** — per-tenant saturation answers are well-formed
+//!    BUSY frames with a positive `retry_after_ms`, and a shed write
+//!    never reaches the committer (covered by invariant 1's counts).
+//!
+//! As with [`crate::interleave`], thread scheduling is the OS's; what
+//! is seeded is each client's op stream, and the invariants hold for
+//! every interleaving.
+
+use crate::rng::Rng;
+use xia_server::{Client, DurabilityConfig, Server, ServerConfig, Value};
+use xia_storage::Database;
+use xia_xml::Document;
+
+/// Configuration for one multi-tenant sweep.
+#[derive(Debug, Clone)]
+pub struct TenantsConfig {
+    pub seed: u64,
+    /// Independent rounds (fresh daemon + data directory each).
+    pub rounds: u64,
+    /// Named tenants per round (the default namespace rides along).
+    pub tenants: usize,
+    /// Concurrent client threads per round.
+    pub clients: usize,
+    /// Ops issued by each client per round.
+    pub ops_per_client: u64,
+    /// Per-tenant in-flight cap, squeezed so saturation sheds can fire.
+    pub tenant_max_in_flight: u64,
+}
+
+impl TenantsConfig {
+    pub fn new(seed: u64, rounds: u64) -> TenantsConfig {
+        TenantsConfig {
+            seed,
+            rounds,
+            tenants: 6,
+            clients: 6,
+            ops_per_client: 20,
+            tenant_max_in_flight: 2,
+        }
+    }
+}
+
+/// Result of a multi-tenant sweep.
+#[derive(Debug, Clone, Default)]
+pub struct TenantsReport {
+    pub rounds_run: u64,
+    pub requests_sent: u64,
+    pub inserts_acked: u64,
+    /// Per-tenant saturation BUSY answers observed by clients.
+    pub sheds_seen: u64,
+    /// Durable rounds that passed the stop/reopen parity leg.
+    pub restarts_checked: u64,
+    pub failures: Vec<String>,
+}
+
+impl TenantsReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+const COLLECTION: &str = "c0";
+/// Docs seeded into the default tenant's collection before the sweep.
+const DEFAULT_SEED_DOCS: usize = 2;
+
+/// The marker price tagged onto every insert for tenant index `ti`
+/// (index 0 is the default namespace). Seed docs use prices < 100, so
+/// markers never collide with them.
+fn marker(ti: usize) -> usize {
+    500 + ti
+}
+
+fn tenant_name(ti: usize) -> String {
+    if ti == 0 {
+        "default".to_string()
+    } else {
+        format!("t{}", ti - 1)
+    }
+}
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection(COLLECTION);
+    for i in 0..DEFAULT_SEED_DOCS {
+        db.collection_mut(COLLECTION).unwrap().insert(
+            Document::parse(&format!(
+                "<r><item id=\"seed{i}\"><price>{i}</price></item></r>"
+            ))
+            .unwrap(),
+        );
+    }
+    db
+}
+
+/// A tenant-scoped request: the default namespace sometimes names
+/// itself explicitly, pinning the `tenant: "default"` alias.
+fn scoped(mut fields: Vec<(&str, Value)>, ti: usize, explicit_default: bool) -> Value {
+    if ti > 0 || explicit_default {
+        fields.push(("tenant", Value::str(tenant_name(ti))));
+    }
+    Value::obj(fields)
+}
+
+fn count_query(c: &mut Client, ti: usize, m: usize, explicit_default: bool) -> Result<f64, String> {
+    let req = scoped(
+        vec![
+            ("cmd", Value::str("query")),
+            ("q", Value::str(format!("//item[price = {m}]"))),
+            ("collection", Value::str(COLLECTION)),
+        ],
+        ti,
+        explicit_default,
+    );
+    let resp = c.call(&req).map_err(|e| e.to_string())?;
+    if resp.get_bool("busy") == Some(true) {
+        return Err("busy".to_string());
+    }
+    match (resp.get_bool("ok"), resp.get_f64("results")) {
+        (Some(true), Some(n)) => Ok(n),
+        _ => Err(format!("malformed query response: {resp}")),
+    }
+}
+
+/// Outcome tallies from one client thread.
+#[derive(Default)]
+struct ClientTally {
+    requests: u64,
+    /// Acked inserts per tenant index.
+    acked: Vec<u64>,
+    sheds: u64,
+    failures: Vec<String>,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    rng: &mut Rng,
+    config: &TenantsConfig,
+    tally: &mut ClientTally,
+) {
+    let namespaces = config.tenants + 1;
+    tally.acked = vec![0; namespaces];
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            tally.failures.push(format!("client connect failed: {e}"));
+            return;
+        }
+    };
+    for _ in 0..config.ops_per_client {
+        let ti = rng.below(namespaces);
+        let explicit_default = rng.chance(1, 2);
+        match rng.below(10) {
+            // Most ops insert the tenant's marker doc.
+            0..=5 => {
+                let n = rng.below(100_000);
+                let req = scoped(
+                    vec![
+                        ("cmd", Value::str("insert")),
+                        ("collection", Value::str(COLLECTION)),
+                        (
+                            "xml",
+                            Value::str(format!(
+                                "<r><item id=\"x{n}\"><price>{}</price></item></r>",
+                                marker(ti)
+                            )),
+                        ),
+                    ],
+                    ti,
+                    explicit_default,
+                );
+                tally.requests += 1;
+                match c.call(&req) {
+                    Ok(resp) => {
+                        if resp.get_bool("busy") == Some(true) {
+                            tally.sheds += 1;
+                            match resp.get_f64("retry_after_ms") {
+                                Some(ms) if ms > 0.0 => {}
+                                _ => tally.failures.push(format!(
+                                    "shed BUSY without positive retry_after_ms: {resp}"
+                                )),
+                            }
+                        } else if resp.get_bool("ok") == Some(true) {
+                            tally.acked[ti] += 1;
+                        } else {
+                            tally
+                                .failures
+                                .push(format!("insert failed abnormally: {resp}"));
+                        }
+                    }
+                    Err(e) => tally.failures.push(format!("insert transport error: {e}")),
+                }
+            }
+            // Mid-race isolation probe: a foreign marker must count zero
+            // under this tenant, at every instant of the sweep.
+            6 | 7 => {
+                let other = (ti + 1 + rng.below(namespaces - 1)) % namespaces;
+                tally.requests += 1;
+                match count_query(&mut c, ti, marker(other), explicit_default) {
+                    Ok(n) if n != 0.0 => tally.failures.push(format!(
+                        "LEAK: tenant '{}' sees {n} docs with tenant '{}' marker",
+                        tenant_name(ti),
+                        tenant_name(other)
+                    )),
+                    Ok(_) => {}
+                    Err(e) if e == "busy" => tally.sheds += 1,
+                    Err(e) => tally.failures.push(format!("probe query failed: {e}")),
+                }
+            }
+            // Control plane: the registry never sheds and always lists
+            // every namespace.
+            8 => {
+                tally.requests += 1;
+                match c.command("tenant") {
+                    Ok(resp) => match resp.get("tenants") {
+                        Some(Value::Arr(items)) if items.len() == namespaces => {}
+                        Some(Value::Arr(items)) => tally.failures.push(format!(
+                            "registry lists {} namespaces, expected {namespaces}",
+                            items.len()
+                        )),
+                        _ => tally
+                            .failures
+                            .push(format!("malformed tenant list: {resp}")),
+                    },
+                    Err(e) => tally.failures.push(format!("tenant list failed: {e}")),
+                }
+            }
+            // Own-marker query: exercises the read path under load; the
+            // count is racy mid-sweep, so only well-formedness is checked.
+            _ => {
+                tally.requests += 1;
+                if let Err(e) = count_query(&mut c, ti, marker(ti), explicit_default) {
+                    if e == "busy" {
+                        tally.sheds += 1;
+                    } else {
+                        tally.failures.push(format!("own-marker query failed: {e}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check every per-tenant marker count against the acked totals, from a
+/// fresh clean connection. `label` distinguishes pre/post-restart legs.
+fn check_counts(
+    addr: std::net::SocketAddr,
+    acked: &[u64],
+    label: &str,
+    failures: &mut Vec<String>,
+) {
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("{label}: verify connect failed: {e}"));
+            return;
+        }
+    };
+    let namespaces = acked.len();
+    for (ti, &acked_n) in acked.iter().enumerate() {
+        match count_query(&mut c, ti, marker(ti), ti == 0) {
+            Ok(n) if n == acked_n as f64 => {}
+            Ok(n) => failures.push(format!(
+                "{label}: tenant '{}' has {n} marker docs, acked {acked_n}",
+                tenant_name(ti)
+            )),
+            Err(e) => failures.push(format!(
+                "{label}: verify query for '{}' failed: {e}",
+                tenant_name(ti)
+            )),
+        }
+        for other in 0..namespaces {
+            if other == ti {
+                continue;
+            }
+            match count_query(&mut c, ti, marker(other), false) {
+                Ok(n) if n != 0.0 => failures.push(format!(
+                    "{label}: LEAK: tenant '{}' sees {n} docs with tenant '{}' marker",
+                    tenant_name(ti),
+                    tenant_name(other)
+                )),
+                Ok(_) => {}
+                Err(e) => failures.push(format!("{label}: foreign probe failed: {e}")),
+            }
+        }
+    }
+    // The bare and explicit spellings of the default namespace agree.
+    let bare = count_query(&mut c, 0, marker(0), false);
+    let named = count_query(&mut c, 0, marker(0), true);
+    if let (Ok(a), Ok(b)) = (&bare, &named) {
+        if a != b {
+            failures.push(format!(
+                "{label}: default-namespace alias split: bare {a} vs tenant:\"default\" {b}"
+            ));
+        }
+    }
+    // The registry's doc counts reconcile with the queries.
+    match c.command("tenant") {
+        Ok(resp) => match resp.get("tenants") {
+            Some(Value::Arr(items)) => {
+                if items.len() != namespaces {
+                    failures.push(format!(
+                        "{label}: registry lists {} namespaces, expected {namespaces}",
+                        items.len()
+                    ));
+                }
+                for item in items {
+                    let Some(name) = item.get_str("name") else {
+                        failures.push(format!("{label}: registry entry without name: {item}"));
+                        continue;
+                    };
+                    let Some(ti) = (0..namespaces).find(|&i| tenant_name(i) == name) else {
+                        failures.push(format!("{label}: unexpected namespace '{name}'"));
+                        continue;
+                    };
+                    let seeds = if ti == 0 { DEFAULT_SEED_DOCS as u64 } else { 0 };
+                    let want = (acked[ti] + seeds) as f64;
+                    if item.get_f64("documents") != Some(want) {
+                        failures.push(format!(
+                            "{label}: registry says '{name}' holds {:?} docs, queries say {want}",
+                            item.get_f64("documents")
+                        ));
+                    }
+                }
+            }
+            _ => failures.push(format!("{label}: malformed tenant list: {resp}")),
+        },
+        Err(e) => failures.push(format!("{label}: tenant list failed: {e}")),
+    }
+    // Error hygiene: unknown namespaces and invalid names answer with
+    // clean errors, not crashes or silent defaults.
+    match c.call(&Value::obj(vec![
+        ("cmd", Value::str("ping")),
+        ("tenant", Value::str("no-such-tenant")),
+    ])) {
+        Ok(resp) => {
+            let err = resp.get_str("error").unwrap_or("");
+            if resp.get_bool("ok") != Some(false) || !err.contains("unknown tenant") {
+                failures.push(format!("{label}: unknown tenant not rejected: {resp}"));
+            }
+        }
+        Err(e) => failures.push(format!("{label}: unknown-tenant probe failed: {e}")),
+    }
+    match c.call(&Value::obj(vec![
+        ("cmd", Value::str("tenant")),
+        ("name", Value::str("bad/name")),
+    ])) {
+        Ok(resp) => {
+            if resp.get_bool("ok") != Some(false) {
+                failures.push(format!("{label}: invalid tenant name accepted: {resp}"));
+            }
+        }
+        Err(e) => failures.push(format!("{label}: invalid-name probe failed: {e}")),
+    }
+}
+
+fn server_config(scratch: Option<&std::path::Path>, config: &TenantsConfig) -> ServerConfig {
+    ServerConfig {
+        threads: 4,
+        durability: scratch.map(DurabilityConfig::at),
+        tenant_max_in_flight: Some(config.tenant_max_in_flight),
+        ..ServerConfig::default()
+    }
+}
+
+fn run_round(
+    round: u64,
+    config: &TenantsConfig,
+    rng: &mut Rng,
+    scratch: Option<&std::path::Path>,
+    report: &mut TenantsReport,
+) {
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let server = match Server::start(seed_db(), server_config(scratch, config)) {
+        Ok(s) => s,
+        Err(e) => {
+            report
+                .failures
+                .push(format!("round {round}: server failed to start: {e}"));
+            return;
+        }
+    };
+    let addr = server.addr();
+
+    // Provision the named tenants up front, from one setup connection.
+    // Creation is idempotent; re-creating t0 must not wipe it.
+    match Client::connect(addr) {
+        Ok(mut c) => {
+            for ti in 1..=config.tenants {
+                let req = Value::obj(vec![
+                    ("cmd", Value::str("tenant")),
+                    ("name", Value::str(tenant_name(ti))),
+                    ("collections", Value::Arr(vec![Value::str(COLLECTION)])),
+                ]);
+                match c.call(&req) {
+                    Ok(resp) if resp.get_bool("ok") == Some(true) => {}
+                    Ok(resp) => report
+                        .failures
+                        .push(format!("round {round}: tenant create failed: {resp}")),
+                    Err(e) => report
+                        .failures
+                        .push(format!("round {round}: tenant create failed: {e}")),
+                }
+            }
+        }
+        Err(e) => {
+            report
+                .failures
+                .push(format!("round {round}: setup connect failed: {e}"));
+            server.stop();
+            return;
+        }
+    }
+
+    // Seeded clients race tenant-scoped traffic.
+    let mut handles = Vec::new();
+    for _ in 0..config.clients.max(1) {
+        let mut crng = Rng::new(rng.next_u64());
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut tally = ClientTally::default();
+            drive_client(addr, &mut crng, &cfg, &mut tally);
+            tally
+        }));
+    }
+    let mut acked = vec![0u64; config.tenants + 1];
+    for h in handles {
+        let tally = h.join().expect("client thread");
+        report.requests_sent += tally.requests;
+        report.sheds_seen += tally.sheds;
+        for (ti, n) in tally.acked.iter().enumerate() {
+            acked[ti] += n;
+        }
+        report.failures.extend(
+            tally
+                .failures
+                .into_iter()
+                .map(|f| format!("round {round}: {f}")),
+        );
+    }
+    report.inserts_acked += acked.iter().sum::<u64>();
+
+    // Quiescent verification, then (on durable rounds) the restart leg.
+    let mut failures = Vec::new();
+    check_counts(addr, &acked, "live", &mut failures);
+    server.stop();
+    if let Some(dir) = scratch {
+        match Server::start(seed_db(), server_config(Some(dir), config)) {
+            Ok(reopened) => {
+                check_counts(reopened.addr(), &acked, "restart", &mut failures);
+                reopened.stop();
+                if failures.iter().all(|f| !f.starts_with("restart")) {
+                    report.restarts_checked += 1;
+                }
+            }
+            Err(e) => failures.push(format!("restart: daemon failed to reopen: {e}")),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    report
+        .failures
+        .extend(failures.into_iter().map(|f| format!("round {round}: {f}")));
+}
+
+/// Run the multi-tenant sweep. `progress` is called after each round
+/// with (rounds_done, failures_so_far).
+pub fn run_tenants(config: &TenantsConfig, mut progress: impl FnMut(u64, usize)) -> TenantsReport {
+    let scratch_root = std::env::temp_dir().join(format!(
+        "xia_tenants_{}_{}",
+        std::process::id(),
+        config.seed
+    ));
+    let _ = std::fs::create_dir_all(&scratch_root);
+    let mut report = TenantsReport::default();
+    let mut master = Rng::new(config.seed ^ 0xd6e8_feb8_6659_fd93);
+    for round in 0..config.rounds {
+        let mut round_rng = Rng::new(master.next_u64());
+        // Every other round runs durable for the restart-parity leg.
+        let scratch = (round % 2 == 0).then(|| scratch_root.join(format!("r{round}")));
+        run_round(
+            round,
+            config,
+            &mut round_rng,
+            scratch.as_deref(),
+            &mut report,
+        );
+        report.rounds_run += 1;
+        progress(report.rounds_run, report.failures.len());
+    }
+    let _ = std::fs::remove_dir_all(&scratch_root);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned-seed smoke: a short multi-tenant sweep must be clean.
+    /// The long pinned-seed sweep lives in scripts/check.sh
+    /// (`xia fuzz --tenants --seed 42`).
+    #[test]
+    fn short_tenants_sweep_is_clean() {
+        let report = run_tenants(&TenantsConfig::new(42, 2), |_, _| {});
+        assert_eq!(report.rounds_run, 2);
+        assert!(report.ok(), "{:#?}", report.failures);
+        assert!(report.inserts_acked > 0, "clients actually committed");
+        assert_eq!(report.restarts_checked, 1, "the durable round restarted");
+    }
+}

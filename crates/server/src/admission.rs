@@ -103,7 +103,9 @@ pub enum ShedTier {
 pub fn shed_tier(cmd: Command) -> ShedTier {
     match cmd {
         Command::Advise | Command::Recommend | Command::Profile => ShedTier::Expensive,
-        Command::Ping | Command::Stats | Command::Shutdown | Command::Unknown => ShedTier::Never,
+        Command::Ping | Command::Stats | Command::Shutdown | Command::Tenant | Command::Unknown => {
+            ShedTier::Never
+        }
         _ => ShedTier::Normal,
     }
 }

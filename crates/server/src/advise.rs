@@ -36,13 +36,14 @@
 use crate::committer::{submit_and_wait, WriteCmd, WriteOutcome};
 use crate::json::Value;
 use crate::server::ServerState;
+use crate::tenant::TenantState;
 use std::collections::HashMap;
 use std::time::Instant;
 use xia_advisor::{
-    review_existing_indexes, AnytimeBudget, AnytimeTelemetry, CompressedRecommendation, EvalStats,
-    IndexVerdict, SearchStrategy, Workload,
+    pages_for, review_existing_indexes, AnytimeBudget, AnytimeTelemetry, CompressedRecommendation,
+    EvalStats, FrontierItem, IndexVerdict, SearchStrategy, Workload,
 };
-use xia_index::{DataType, IndexDefinition};
+use xia_index::{DataType, IndexDefinition, IndexId};
 use xia_workload::MonitorSnapshot;
 use xia_xquery::NormalizedQuery;
 
@@ -110,6 +111,12 @@ pub struct CollectionCycle {
     pub duration_secs: f64,
     pub anytime: AnytimeTelemetry,
     pub eval_stats: EvalStats,
+    /// The greedy search's benefit frontier as allocator currency: one
+    /// entry per accepted step, in acceptance order (so each entry's
+    /// benefit is conditional on the ones before it — the prefix
+    /// property the cross-tenant allocator relies on). Warm-started
+    /// cycles cover only the incremental steps beyond the warm start.
+    pub frontier: Vec<FrontierItem>,
 }
 
 /// Outcome of one advisor cycle across the whole database.
@@ -265,6 +272,7 @@ fn physical_shapes(defs: &[IndexDefinition]) -> Vec<(String, DataType)> {
 /// queries keep flowing during the (budget-bounded) what-if search.
 pub(crate) fn run_cycle(
     state: &ServerState,
+    tenant: &TenantState,
     snapshot: &MonitorSnapshot,
     seq: u64,
     deltas: &HashMap<String, MonitorDelta>,
@@ -278,7 +286,7 @@ pub(crate) fn run_cycle(
             continue;
         }
         let delta = deltas.get(&name).copied().unwrap_or_default();
-        let Some(cycle) = advise_collection(state, &name, &sub, delta, evictions) else {
+        let Some(cycle) = advise_collection(state, tenant, &name, &sub, delta, evictions) else {
             continue;
         };
         collections.push(cycle);
@@ -293,6 +301,7 @@ pub(crate) fn run_cycle(
 
 fn advise_collection(
     state: &ServerState,
+    tenant: &TenantState,
     name: &str,
     sub: &MonitorSnapshot,
     delta: MonitorDelta,
@@ -303,7 +312,7 @@ fn advise_collection(
     // Physical shapes first: they are part of the reuse fingerprint (a
     // manual CREATE/DROP INDEX between cycles must defeat the reuse).
     let existing: Vec<IndexDefinition> = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         let coll = db.collection(name)?;
         coll.indexes()
             .iter()
@@ -317,7 +326,7 @@ fn advise_collection(
     // holds. Pure decay scales every entry's weight by the same factor,
     // so the search's decisions and improvement ratio are unchanged.
     let (warm, workload) = {
-        let mut memory = state.lock_advisor_memory();
+        let mut memory = tenant.lock_advisor_memory();
         let mem = memory.entry(name.to_string()).or_default();
         if let Some(cached) = &mem.cached {
             if delta.changed == 0 && mem.evictions == evictions && mem.shapes == shapes {
@@ -360,7 +369,7 @@ fn advise_collection(
         max_evals: None,
     };
     let (rec, unused) = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         let coll = db.collection(name)?;
         // A non-default configured strategy opts out of the compressed
         // pipeline (anytime search mirrors the greedy heuristic only);
@@ -420,7 +429,7 @@ fn advise_collection(
     if state.auto_apply {
         for def in &missing {
             match submit_and_wait(
-                &state.committer,
+                &tenant.committer,
                 WriteCmd::CreateIndex {
                     collection: name.to_string(),
                     data_type: def.data_type,
@@ -438,6 +447,28 @@ fn advise_collection(
         }
     }
 
+    // Translate the anytime search's accepted steps into allocator
+    // currency: DDL (reproducible on any daemon), marginal benefit,
+    // index size in pages.
+    let frontier: Vec<FrontierItem> = rec
+        .telemetry
+        .frontier
+        .iter()
+        .map(|p| FrontierItem {
+            collection: name.to_string(),
+            ddl: p
+                .nodes
+                .iter()
+                .map(|&i| {
+                    let c = &rec.dag.nodes[i].candidate;
+                    IndexDefinition::new(IndexId(0), c.pattern.clone(), c.data_type).ddl(name)
+                })
+                .collect(),
+            benefit: p.marginal,
+            pages: pages_for(p.size_bytes),
+        })
+        .collect();
+
     let cycle = CollectionCycle {
         collection: name.to_string(),
         statements: sub.len(),
@@ -453,13 +484,14 @@ fn advise_collection(
         duration_secs: start.elapsed().as_secs_f64(),
         anytime: rec.telemetry.clone(),
         eval_stats: rec.outcome.stats.clone(),
+        frontier,
     };
 
     // Remember this cycle for the incremental fast path and the next
     // warm start. Shapes are re-read post-apply so auto-applied indexes
     // are part of the fingerprint.
     let shapes_after = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         db.collection(name)
             .map(|coll| {
                 physical_shapes(
@@ -483,7 +515,7 @@ fn advise_collection(
         .map(|d| d.ddl(name))
         .collect();
     {
-        let mut memory = state.lock_advisor_memory();
+        let mut memory = tenant.lock_advisor_memory();
         let mem = memory.entry(name.to_string()).or_default();
         mem.monitor_version = delta.version;
         mem.evictions = evictions;

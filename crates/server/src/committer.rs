@@ -86,6 +86,12 @@ pub enum WriteCmd {
         collection: String,
         id: u32,
     },
+    /// Create an empty collection (idempotent — succeeds without a WAL
+    /// record when it already exists). Tenant provisioning goes
+    /// through this so new namespaces are durable before first insert.
+    CreateCollection {
+        collection: String,
+    },
     /// Panic mid-apply: exercises the per-op catch + staged rebuild.
     #[cfg(feature = "testing")]
     Panic,
@@ -112,6 +118,10 @@ pub enum WriteOutcome {
     },
     IndexDropped {
         id: u32,
+    },
+    CollectionCreated {
+        /// False when the collection already existed (no-op commit).
+        created: bool,
     },
 }
 
@@ -589,6 +599,13 @@ fn apply_cmd(
                     id: *id,
                 }),
             ))
+        }
+        WriteCmd::CreateCollection { collection } => {
+            let created = staged.create_collection(collection);
+            let wal = created.then(|| WalOp::CreateCollection {
+                collection: collection.clone(),
+            });
+            Ok((WriteOutcome::CollectionCreated { created }, wal))
         }
         #[cfg(feature = "testing")]
         WriteCmd::Panic => panic!("injected panic inside the committer (testing feature)"),

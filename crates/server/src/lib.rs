@@ -44,6 +44,7 @@ pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
+pub mod tenant;
 pub mod transport;
 
 pub use admission::{shed_tier, Admission, AdmissionConfig, LoadLevel, ShedTier};
@@ -55,7 +56,8 @@ pub use committer::{
 pub use json::Value;
 pub use metrics::{Command, Metrics, OverloadMetrics};
 pub use server::{DurabilityConfig, Server, ServerConfig, ServerState};
-pub use snapshot::{Snapshot, SnapshotCell};
+pub use snapshot::{clear_thread_cache, Snapshot, SnapshotCell};
+pub use tenant::{tenant_dir, validate_tenant_name, TenantState, DEFAULT_TENANT, TENANTS_SUBDIR};
 pub use transport::{
     ChaosFactory, ChaosProfile, FaultPlan, FaultTransport, RealFactory, RealTransport, Transport,
     TransportFactory,

@@ -23,11 +23,12 @@ pub enum Command {
     WorkloadDump,
     Stats,
     Shutdown,
+    Tenant,
     Unknown,
 }
 
 impl Command {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     pub fn all() -> [Command; Command::COUNT] {
         use Command::*;
@@ -44,6 +45,7 @@ impl Command {
             WorkloadDump,
             Stats,
             Shutdown,
+            Tenant,
             Unknown,
         ]
     }
@@ -62,6 +64,7 @@ impl Command {
             Command::WorkloadDump => "workload",
             Command::Stats => "stats",
             Command::Shutdown => "shutdown",
+            Command::Tenant => "tenant",
             Command::Unknown => "unknown",
         }
     }
@@ -81,6 +84,7 @@ impl Command {
             "workload" => Command::WorkloadDump,
             "stats" => Command::Stats,
             "shutdown" => Command::Shutdown,
+            "tenant" => Command::Tenant,
             _ => Command::Unknown,
         }
     }
@@ -100,7 +104,8 @@ impl Command {
             WorkloadDump => 9,
             Stats => 10,
             Shutdown => 11,
-            Unknown => 12,
+            Tenant => 12,
+            Unknown => 13,
         }
     }
 }
@@ -213,6 +218,9 @@ pub struct OverloadMetrics {
     pub shed_expensive: AtomicU64,
     /// ... of which normal-tier commands (query/explain/writes).
     pub shed_normal: AtomicU64,
+    /// Requests answered BUSY because one tenant hit its own in-flight
+    /// cap (counted separately — not part of the global shed split).
+    pub shed_tenant: AtomicU64,
     /// Background advisor cycles skipped because the daemon was loaded.
     pub advisor_pauses: AtomicU64,
     /// Frames dropped for exceeding `max_frame_bytes`.
@@ -235,6 +243,7 @@ impl OverloadMetrics {
             ("requests_shed", g(&self.requests_shed)),
             ("shed_expensive", g(&self.shed_expensive)),
             ("shed_normal", g(&self.shed_normal)),
+            ("shed_tenant", g(&self.shed_tenant)),
             ("advisor_pauses", g(&self.advisor_pauses)),
             ("frames_oversized", g(&self.frames_oversized)),
             ("frames_malformed", g(&self.frames_malformed)),

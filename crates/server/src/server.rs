@@ -20,28 +20,32 @@
 //! Worker sockets use a short read timeout so the pool drains promptly
 //! on shutdown even when clients keep idle connections open.
 
-use crate::admission::{Admission, AdmissionConfig, Busy, ConnectionGuard, QueueGuard};
-use crate::advise::{run_cycle, CollectionMemory, CycleReport, MonitorDelta};
-use crate::committer::{self, Committed, Committer, CommitterConfig, WriteCmd, WriteOutcome};
+use crate::admission::{
+    shed_tier, Admission, AdmissionConfig, Busy, ConnectionGuard, QueueGuard, ShedTier,
+};
+use crate::advise::{run_cycle, CycleReport, MonitorDelta};
+use crate::committer::{self, submit_and_wait, Committed, WriteCmd, WriteOutcome};
 use crate::json::{self, Value};
 use crate::metrics::{Command, Metrics};
-use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::snapshot::{clear_thread_cache, Snapshot};
+use crate::tenant::{
+    scan_tenant_dirs, tenant_dir, validate_tenant_name, TenantDurability, TenantState,
+    DEFAULT_TENANT,
+};
 use crate::transport::{read_frame, Frame, RealFactory, Transport, TransportFactory};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use xia_advisor::{Advisor, AnytimeBudget, SearchStrategy};
+use xia_advisor::{allocate, Advisor, Allocation, AnytimeBudget, SearchStrategy, TenantFrontier};
 use xia_index::DataType;
 use xia_optimizer::{execute, explain, profile_execute};
-use xia_storage::{Database, DurableStore, RealVfs, Vfs};
-use xia_workload::{
-    load_monitor_with, save_monitor_with, Clock, MonitorConfig, SystemClock, WorkloadMonitor,
-};
+use xia_storage::{Database, RealVfs, Vfs};
+use xia_workload::{Clock, MonitorConfig, SystemClock};
 use xia_xpath::LinearPath;
 use xia_xquery::compile;
 
@@ -106,6 +110,18 @@ pub struct ServerConfig {
     /// fault-injecting factory (e.g. [`crate::transport::ChaosFactory`])
     /// in chaos tests. All connection I/O goes through it.
     pub transport: Arc<dyn TransportFactory>,
+    /// Shared page budget the cross-tenant allocator spends over every
+    /// tenant's advisor frontier (marginal-benefit-per-page greedy; see
+    /// `xia_advisor::tenancy`). `None` disables allocation (each tenant
+    /// is advised under `budget_bytes` alone).
+    pub tenant_pages: Option<u64>,
+    /// Pages reserved per tenant before global competition.
+    pub tenant_floor_pages: u64,
+    /// Hard cap on pages any one tenant may be granted.
+    pub tenant_ceiling_pages: Option<u64>,
+    /// Per-tenant brownout: shed sheddable requests once this many are
+    /// already in flight against the same tenant. `None` = uncapped.
+    pub tenant_max_in_flight: Option<u64>,
     /// Inject a `thread::spawn` failure for worker index `i` at startup,
     /// to test that `Server::start` surfaces the error instead of
     /// running with a smaller pool than configured.
@@ -129,6 +145,10 @@ impl Default for ServerConfig {
             request_deadline: None,
             admission: AdmissionConfig::default(),
             transport: Arc::new(RealFactory),
+            tenant_pages: None,
+            tenant_floor_pages: 0,
+            tenant_ceiling_pages: None,
+            tenant_max_in_flight: None,
             #[cfg(feature = "testing")]
             worker_spawn_fault: None,
         }
@@ -136,13 +156,18 @@ impl Default for ServerConfig {
 }
 
 /// State shared by every worker and the background advisor.
+///
+/// Per-database machinery (snapshot cell, committer, monitor, advisor
+/// memory, durable store) lives in [`TenantState`] — once per
+/// namespace. What remains here is genuinely global: the tenant
+/// registry, metrics, admission control, the advisor engine and its
+/// budgets, and the daemon lifecycle.
 pub struct ServerState {
-    /// The snapshot swap point: readers `load()`, the committer
-    /// `publish()`es. Never locked on the query path.
-    pub(crate) cell: Arc<SnapshotCell>,
-    /// The single serialized write path (group commit + WAL + publish).
-    pub(crate) committer: Committer,
-    pub(crate) monitor: Mutex<WorkloadMonitor>,
+    /// The root namespace: requests without a `tenant` field land here,
+    /// preserving the single-tenant wire protocol byte-for-byte.
+    pub(crate) default_tenant: Arc<TenantState>,
+    /// Named tenants (never contains the default).
+    pub(crate) tenants: Mutex<BTreeMap<String, Arc<TenantState>>>,
     pub(crate) metrics: Arc<Metrics>,
     /// Admission control + load shedding; consulted by the acceptor for
     /// every connection and by workers for every request.
@@ -152,16 +177,17 @@ pub struct ServerState {
     pub(crate) strategy: SearchStrategy,
     pub(crate) auto_apply: bool,
     pub(crate) advise_budget: Option<Duration>,
-    /// Per-collection state carried between cycles: monitor stamps,
-    /// catalog fingerprint, warm start, compile cache, cached result.
-    pub(crate) advisor_memory: Mutex<HashMap<String, CollectionMemory>>,
-    pub(crate) last_cycle: Mutex<Option<CycleReport>>,
-    pub(crate) cycles: AtomicU64,
-    /// Crash-safe persistence; `None` for a memory-only daemon. Shared
-    /// with the committer, which owns the write traffic; the server
-    /// only touches it for STATS and the shutdown flush.
-    store: Option<Arc<Mutex<DurableStore>>>,
+    /// Shared page budget for the cross-tenant allocator (`None`
+    /// disables it) plus its per-tenant floors/ceilings.
+    tenant_pages: Option<u64>,
+    tenant_floor_pages: u64,
+    tenant_ceiling_pages: Option<u64>,
+    tenant_max_in_flight: Option<u64>,
+    /// Daemon-level durability root; tenants created at runtime carve
+    /// their subdirectory out of it.
     durability: Option<DurabilityConfig>,
+    monitor_cfg: MonitorConfig,
+    clock: Arc<dyn Clock>,
     request_deadline: Option<Duration>,
     /// Guards the shutdown flush so stop()/join()/Drop run it once.
     flushed: AtomicBool,
@@ -174,7 +200,7 @@ pub struct ServerState {
 
 /// Lock a mutex, healing poison: a panicking holder leaves the data in
 /// place, so clear the flag, count the recovery, and keep serving.
-fn heal_lock<'a, T>(lock: &'a Mutex<T>, metrics: &Metrics) -> MutexGuard<'a, T> {
+pub(crate) fn heal_lock<'a, T>(lock: &'a Mutex<T>, metrics: &Metrics) -> MutexGuard<'a, T> {
     match lock.lock() {
         Ok(g) => g,
         Err(poisoned) => {
@@ -189,13 +215,14 @@ fn heal_lock<'a, T>(lock: &'a Mutex<T>, metrics: &Metrics) -> MutexGuard<'a, T> 
 }
 
 impl ServerState {
-    /// The current database snapshot: an immutable, `Arc`-shared image
-    /// that stays valid (and unchanging) for as long as the caller
-    /// holds it — no lock is taken, concurrent commits just publish
-    /// *newer* snapshots. Derefs to [`Database`]. Public so in-process
-    /// drivers (benchmarks, tests) can inspect the database.
+    /// The **default tenant's** current database snapshot: an
+    /// immutable, `Arc`-shared image that stays valid (and unchanging)
+    /// for as long as the caller holds it — no lock is taken,
+    /// concurrent commits just publish *newer* snapshots. Derefs to
+    /// [`Database`]. Public so in-process drivers (benchmarks, tests)
+    /// can inspect the database.
     pub fn read_db(&self) -> Arc<Snapshot> {
-        self.cell.load()
+        self.default_tenant.read_db()
     }
 
     /// Server metrics, for in-process drivers (oracle sweeps, benches)
@@ -209,16 +236,168 @@ impl ServerState {
         &self.admission
     }
 
-    /// Submit a write to the committer and wait for its group commit,
-    /// bounded by `deadline` (which thereby covers time spent *queued*,
-    /// not just executing). A timed-out write is abandoned: it may still
-    /// commit in the background, but the client gets a clean TIMEOUT.
+    /// The root namespace (requests without a `tenant` field).
+    pub fn default_tenant(&self) -> &Arc<TenantState> {
+        &self.default_tenant
+    }
+
+    /// Look up a tenant by name; `None` for unknown names. The default
+    /// tenant is always found.
+    pub fn tenant(&self, name: &str) -> Option<Arc<TenantState>> {
+        if name == DEFAULT_TENANT {
+            return Some(self.default_tenant.clone());
+        }
+        heal_lock(&self.tenants, &self.metrics).get(name).cloned()
+    }
+
+    /// The tenant a request addresses: its `tenant` field, or the
+    /// default namespace. Unknown names are an error — tenants are
+    /// provisioned explicitly (TENANT command), never as a typo
+    /// side-effect.
+    fn resolve_tenant(&self, req: &Value) -> Result<Arc<TenantState>, String> {
+        match req.get_str("tenant") {
+            None => Ok(self.default_tenant.clone()),
+            Some(name) if name == DEFAULT_TENANT => Ok(self.default_tenant.clone()),
+            Some(name) => self.tenant(name).ok_or_else(|| {
+                format!("unknown tenant '{name}' (create it with the tenant command)")
+            }),
+        }
+    }
+
+    /// Create (or return) a named tenant, provisioning its durable
+    /// subdirectory and any requested collections. Returns the tenant
+    /// and whether this call created it. Idempotent.
+    pub fn create_tenant(
+        &self,
+        name: &str,
+        collections: &[String],
+    ) -> Result<(Arc<TenantState>, bool), String> {
+        validate_tenant_name(name)?;
+        let (tenant, created) = if name == DEFAULT_TENANT {
+            (self.default_tenant.clone(), false)
+        } else {
+            let mut map = heal_lock(&self.tenants, &self.metrics);
+            match map.get(name) {
+                Some(t) => (t.clone(), false),
+                None => {
+                    let durability = self.durability.as_ref().map(|d| TenantDurability {
+                        vfs: d.vfs.clone(),
+                        dir: tenant_dir(&d.dir, name),
+                        checkpoint_every: d.checkpoint_every,
+                    });
+                    let tenant = Arc::new(
+                        TenantState::open(
+                            name,
+                            Database::new(),
+                            durability,
+                            self.monitor_cfg.clone(),
+                            self.clock.clone(),
+                            self.metrics.clone(),
+                        )
+                        .map_err(|e| format!("failed to open tenant '{name}': {e}"))?,
+                    );
+                    map.insert(name.to_string(), tenant.clone());
+                    (tenant, true)
+                }
+            }
+        };
+        // Collections commit through the tenant's own committer (and
+        // WAL), outside the registry lock: idempotent and durable.
+        for coll in collections {
+            submit_and_wait(
+                &tenant.committer,
+                WriteCmd::CreateCollection {
+                    collection: coll.clone(),
+                },
+            )
+            .map_err(|e| format!("failed to create collection '{coll}': {e}"))?;
+        }
+        Ok((tenant, created))
+    }
+
+    /// Every tenant, default first, named ones in name order.
+    pub fn all_tenants(&self) -> Vec<Arc<TenantState>> {
+        let mut out = vec![self.default_tenant.clone()];
+        out.extend(heal_lock(&self.tenants, &self.metrics).values().cloned());
+        out
+    }
+
+    /// Per-tenant brownout: once `tenant_max_in_flight` requests are
+    /// already dispatching against the same tenant, shed further
+    /// sheddable ones with the standard BUSY + `retry_after_ms` answer.
+    /// Control-plane commands (PING/STATS/TENANT/SHUTDOWN) never shed.
+    ///
+    /// Sheds counted here go to `shed_tenant` and the tenant's own
+    /// counter — **not** the global `requests_shed` split, which stays
+    /// partitioned as `shed_expensive + shed_normal`.
+    fn tenant_shed(&self, tenant: &TenantState, cmd: Command) -> Option<Busy> {
+        let cap = self.tenant_max_in_flight?;
+        if shed_tier(cmd) == ShedTier::Never {
+            return None;
+        }
+        if tenant.in_flight.load(Ordering::Relaxed) < cap {
+            return None;
+        }
+        self.metrics
+            .overload
+            .shed_tenant
+            .fetch_add(1, Ordering::Relaxed);
+        tenant.requests_shed.fetch_add(1, Ordering::Relaxed);
+        Some(Busy {
+            reason: format!(
+                "tenant '{}' is saturated ({cap} requests in flight); retry later",
+                tenant.name()
+            ),
+            retry_after_ms: self.admission.retry_after_ms(),
+        })
+    }
+
+    /// Evict this worker's thread-cached snapshot pins that have been
+    /// superseded, across every tenant. Called from idle moments (read
+    /// timeouts) so a quiet connection cannot pin an old generation's
+    /// memory indefinitely.
+    pub fn release_stale_snapshots(&self) {
+        self.default_tenant.cell.release_if_stale();
+        for t in heal_lock(&self.tenants, &self.metrics).values() {
+            t.cell.release_if_stale();
+        }
+    }
+
+    /// Spend the shared page budget across every tenant's latest
+    /// advisor frontier (marginal-benefit-per-page greedy with the
+    /// configured floors/ceilings). `None` when no `tenant_pages`
+    /// budget is configured.
+    pub fn compute_allocation(&self) -> Option<Allocation> {
+        let total = self.tenant_pages?;
+        let frontiers: Vec<TenantFrontier> = self
+            .all_tenants()
+            .iter()
+            .map(|t| {
+                let (items, error_bound) = t.frontier();
+                TenantFrontier {
+                    tenant: t.name().to_string(),
+                    items,
+                    floor_pages: self.tenant_floor_pages,
+                    ceiling_pages: self.tenant_ceiling_pages,
+                    error_bound,
+                }
+            })
+            .collect();
+        Some(allocate(&frontiers, total))
+    }
+
+    /// Submit a write to a tenant's committer and wait for its group
+    /// commit, bounded by `deadline` (which thereby covers time spent
+    /// *queued*, not just executing). A timed-out write is abandoned:
+    /// it may still commit in the background, but the client gets a
+    /// clean TIMEOUT.
     pub(crate) fn submit_write(
         &self,
+        tenant: &TenantState,
         cmd: WriteCmd,
         deadline: Option<Instant>,
     ) -> Result<Committed, String> {
-        let rx = self.committer.submit(cmd, deadline)?;
+        let rx = tenant.committer.submit(cmd, deadline)?;
         match committer::wait_with_deadline(&rx, deadline) {
             Ok(result) => result,
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -238,18 +417,6 @@ impl ServerState {
         }
     }
 
-    pub(crate) fn lock_monitor(&self) -> MutexGuard<'_, WorkloadMonitor> {
-        heal_lock(&self.monitor, &self.metrics)
-    }
-
-    pub(crate) fn lock_cycle(&self) -> MutexGuard<'_, Option<CycleReport>> {
-        heal_lock(&self.last_cycle, &self.metrics)
-    }
-
-    pub(crate) fn lock_advisor_memory(&self) -> MutexGuard<'_, HashMap<String, CollectionMemory>> {
-        heal_lock(&self.advisor_memory, &self.metrics)
-    }
-
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let _guard = heal_lock(&self.advise_signal.0, &self.metrics);
@@ -260,71 +427,37 @@ impl ServerState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Shutdown flush: drain and stop the committer (every acknowledged
-    /// write lands first), then a final checkpoint plus an atomic
-    /// monitor save. Idempotent — every shutdown path calls it, the
-    /// first one wins.
+    /// Shutdown flush: for every tenant, drain and stop its committer
+    /// (every acknowledged write lands first), then a final checkpoint
+    /// plus an atomic monitor save. Idempotent — every shutdown path
+    /// calls it, the first one wins.
     fn flush_durable(&self) {
         if self.flushed.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.committer.stop();
-        let (Some(store), Some(cfg)) = (&self.store, &self.durability) else {
-            return;
-        };
-        {
-            let db = self.read_db();
-            let mut s = heal_lock(store, &self.metrics);
-            match s.checkpoint(db.database()) {
-                Ok(()) => {
-                    self.metrics
-                        .health
-                        .checkpoints
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                Err(e) => eprintln!("xia-server: shutdown checkpoint failed: {e}"),
-            }
-        }
-        let snapshot = self.lock_monitor().snapshot();
-        if let Err(e) = save_monitor_with(cfg.vfs.as_ref(), &snapshot, &cfg.dir) {
-            eprintln!("xia-server: shutdown monitor save failed: {e}");
+        for tenant in self.all_tenants() {
+            tenant.flush_durable();
         }
     }
 
-    /// Current durable generation and WAL depth, for STATS.
-    fn durability_json(&self) -> Value {
-        match &self.store {
-            None => Value::Null,
-            Some(store) => {
-                let s = heal_lock(store, &self.metrics);
-                Value::obj(vec![
-                    ("generation", Value::num(s.generation() as f64)),
-                    ("wal_records", Value::num(s.wal_records() as f64)),
-                    (
-                        "dir",
-                        Value::str(
-                            self.durability
-                                .as_ref()
-                                .map(|d| d.dir.display().to_string())
-                                .unwrap_or_default(),
-                        ),
-                    ),
-                ])
-            }
-        }
+    /// Snapshot the monitor and run one advisor cycle **for the default
+    /// tenant**, recording it as the latest.
+    pub fn force_cycle(&self) -> CycleReport {
+        self.force_cycle_on(&self.default_tenant)
     }
 
-    /// Snapshot the monitor and run one advisor cycle, recording it as
-    /// the latest.
+    /// One advisor cycle for one tenant.
     ///
     /// The snapshot, the per-collection change stamps and the eviction
     /// count are read under one monitor lock so the incremental
     /// fast-path fingerprint is consistent with the workload it covers.
-    pub fn force_cycle(&self) -> CycleReport {
+    /// Afterwards the cycle's per-collection frontiers are merged and
+    /// published as this tenant's bid for the shared page budget.
+    pub fn force_cycle_on(&self, tenant: &Arc<TenantState>) -> CycleReport {
         let (snapshot, deltas, evictions) = {
-            let monitor = self.lock_monitor();
+            let monitor = tenant.lock_monitor();
             let snapshot = monitor.snapshot();
-            let memory = self.lock_advisor_memory();
+            let memory = tenant.lock_advisor_memory();
             let deltas: HashMap<String, MonitorDelta> = snapshot
                 .collections()
                 .into_iter()
@@ -339,9 +472,18 @@ impl ServerState {
                 .collect();
             (snapshot, deltas, monitor.evictions())
         };
-        let seq = self.cycles.fetch_add(1, Ordering::SeqCst) + 1;
-        let report = run_cycle(self, &snapshot, seq, &deltas, evictions);
-        *self.lock_cycle() = Some(report.clone());
+        let seq = tenant.cycles.fetch_add(1, Ordering::SeqCst) + 1;
+        let report = run_cycle(self, tenant, &snapshot, seq, &deltas, evictions);
+        *tenant.lock_cycle() = Some(report.clone());
+        let merged = xia_advisor::merge_frontiers(
+            report
+                .collections
+                .iter()
+                .map(|c| c.frontier.clone())
+                .collect(),
+        );
+        let bound = report.collections.iter().map(|c| c.error_bound).sum();
+        *tenant.lock_frontier() = (merged, bound);
         report
     }
 }
@@ -365,37 +507,40 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
-        let mut monitor = WorkloadMonitor::new(cfg.monitor.clone(), cfg.clock.clone());
-        let (db, store) = match &cfg.durability {
-            None => (db, None),
-            Some(d) => {
-                let io_err = |e: xia_storage::PersistError| std::io::Error::other(e.to_string());
-                let (mut store, recovered) =
-                    DurableStore::open(&d.dir, d.vfs.clone()).map_err(io_err)?;
-                let db = if recovered.generation > 0 {
-                    recovered.database
-                } else {
-                    store.checkpoint(&db).map_err(io_err)?;
-                    db
-                };
-                if let Ok(snapshot) = load_monitor_with(d.vfs.as_ref(), &d.dir) {
-                    monitor.restore(&snapshot);
-                }
-                (db, Some(Arc::new(Mutex::new(store))))
-            }
-        };
-
-        let cell = Arc::new(SnapshotCell::new(db));
         let metrics = Arc::new(Metrics::new());
-        let committer = Committer::start(
-            cell.clone(),
-            store.clone(),
+        // The default tenant recovers at the durability root — exactly
+        // where the single-tenant daemon kept its state.
+        let default_tenant = Arc::new(TenantState::open(
+            DEFAULT_TENANT,
+            db,
+            cfg.durability.as_ref().map(|d| TenantDurability {
+                vfs: d.vfs.clone(),
+                dir: d.dir.clone(),
+                checkpoint_every: d.checkpoint_every,
+            }),
+            cfg.monitor.clone(),
+            cfg.clock.clone(),
             metrics.clone(),
-            CommitterConfig {
-                max_batch: 64,
-                checkpoint_every: cfg.durability.as_ref().and_then(|d| d.checkpoint_every),
-            },
-        );
+        )?);
+        // Named tenants recover from their `tenants/<name>/` subdirs.
+        let mut tenants = BTreeMap::new();
+        if let Some(d) = &cfg.durability {
+            for name in scan_tenant_dirs(d.vfs.as_ref(), &d.dir) {
+                let tenant = TenantState::open(
+                    &name,
+                    Database::new(),
+                    Some(TenantDurability {
+                        vfs: d.vfs.clone(),
+                        dir: tenant_dir(&d.dir, &name),
+                        checkpoint_every: d.checkpoint_every,
+                    }),
+                    cfg.monitor.clone(),
+                    cfg.clock.clone(),
+                    metrics.clone(),
+                )?;
+                tenants.insert(name, Arc::new(tenant));
+            }
+        }
 
         let workers = cfg.threads.max(1);
         let admission = Arc::new(Admission::new(
@@ -404,9 +549,8 @@ impl Server {
             metrics.clone(),
         ));
         let state = Arc::new(ServerState {
-            cell,
-            committer,
-            monitor: Mutex::new(monitor),
+            default_tenant,
+            tenants: Mutex::new(tenants),
             metrics,
             admission,
             advisor: Advisor::default(),
@@ -414,11 +558,13 @@ impl Server {
             strategy: cfg.strategy,
             auto_apply: cfg.auto_apply,
             advise_budget: cfg.advise_budget,
-            advisor_memory: Mutex::new(HashMap::new()),
-            last_cycle: Mutex::new(None),
-            cycles: AtomicU64::new(0),
-            store,
+            tenant_pages: cfg.tenant_pages,
+            tenant_floor_pages: cfg.tenant_floor_pages,
+            tenant_ceiling_pages: cfg.tenant_ceiling_pages,
+            tenant_max_in_flight: cfg.tenant_max_in_flight,
             durability: cfg.durability.clone(),
+            monitor_cfg: cfg.monitor.clone(),
+            clock: cfg.clock.clone(),
             request_deadline: cfg.request_deadline,
             flushed: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
@@ -463,6 +609,10 @@ impl Server {
                                     ConnEnd::Faulted => &o.conns_faulted,
                                 }
                                 .fetch_add(1, Ordering::Relaxed);
+                                // Between connections a worker must not
+                                // pin a snapshot: drop the thread-local
+                                // cache so superseded generations free.
+                                clear_thread_cache();
                                 drop(conn_guard); // frees the live slot
                             }
                             Err(_) => break, // acceptor gone: shutdown
@@ -547,7 +697,12 @@ impl Server {
                         if state.admission.advisor_should_pause() {
                             continue;
                         }
-                        state.force_cycle();
+                        // Cycle every namespace so each tenant's bid
+                        // (frontier) for the shared page budget is fresh.
+                        for tenant in state.all_tenants() {
+                            state.force_cycle_on(&tenant);
+                        }
+                        clear_thread_cache();
                     });
                 match spawned {
                     Ok(handle) => threads.push(handle),
@@ -670,8 +825,11 @@ fn serve_connection(state: &Arc<ServerState>, mut transport: Box<dyn Transport>)
             }
             // Read timeout: partial bytes stay in `buf` and the next
             // read continues the same frame; poll the shutdown flag so
-            // the pool drains even under idle connections.
+            // the pool drains even under idle connections. Idle is also
+            // when this worker ages out any thread-cached snapshot pin
+            // a newer publish has superseded.
             Frame::Timeout => {
+                state.release_stale_snapshots();
                 if state.is_shutdown() {
                     return ConnEnd::Served;
                 }
@@ -724,11 +882,26 @@ pub fn handle_line(state: &Arc<ServerState>, line: &str) -> Value {
         state.metrics.finish(cmd, 0, false);
         return busy_response(cmd.label(), &busy);
     }
+    // Namespace resolution, then the per-tenant saturation check: one
+    // noisy tenant sheds its own overflow instead of starving the rest.
+    let tenant = match state.resolve_tenant(&req) {
+        Ok(t) => t,
+        Err(message) => {
+            state.metrics.finish(cmd, 0, false);
+            return error_response(cmd, &message);
+        }
+    };
+    if let Some(busy) = state.tenant_shed(&tenant, cmd) {
+        state.metrics.finish(cmd, 0, false);
+        return busy_response(cmd.label(), &busy);
+    }
     let o = &state.metrics.overload;
     o.in_flight.fetch_add(1, Ordering::Relaxed);
+    tenant.in_flight.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
-    let result = dispatch_guarded(state, cmd, &req);
+    let result = dispatch_guarded(state, &tenant, cmd, &req);
     let latency_us = start.elapsed().as_micros() as u64;
+    tenant.in_flight.fetch_sub(1, Ordering::Relaxed);
     o.in_flight.fetch_sub(1, Ordering::Relaxed);
     match result {
         Ok(Value::Obj(mut fields)) => {
@@ -781,31 +954,37 @@ fn is_write(cmd: Command) -> bool {
 /// Dispatch with the self-healing guards: a per-request deadline (when
 /// configured) and a panic trap, so one bad request costs one error
 /// response — never a dead worker or a poisoned pool.
-fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Result<Value, String> {
+fn dispatch_guarded(
+    state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
+    cmd: Command,
+    req: &Value,
+) -> Result<Value, String> {
     let Some(budget) = state.request_deadline else {
-        return dispatch_caught(state, cmd, req, None);
+        return dispatch_caught(state, tenant, cmd, req, None);
     };
     // SHUTDOWN must not race its own deadline; it is instant anyway.
     if cmd == Command::Shutdown {
-        return dispatch_caught(state, cmd, req, None);
+        return dispatch_caught(state, tenant, cmd, req, None);
     }
     let deadline = Instant::now() + budget;
     if is_write(cmd) {
-        return dispatch_caught(state, cmd, req, Some(deadline));
+        return dispatch_caught(state, tenant, cmd, req, Some(deadline));
     }
     let (tx, rx) = mpsc::channel();
     let worker = {
         let state = state.clone();
+        let tenant = tenant.clone();
         let req = req.clone();
         std::thread::Builder::new()
             .name("xia-request".to_string())
             .spawn(move || {
-                let _ = tx.send(dispatch_caught(&state, cmd, &req, None));
+                let _ = tx.send(dispatch_caught(&state, &tenant, cmd, &req, None));
             })
     };
     if worker.is_err() {
         // Could not spawn (resource exhaustion): run inline, unbounded.
-        return dispatch_caught(state, cmd, req, None);
+        return dispatch_caught(state, tenant, cmd, req, None);
     }
     match rx.recv_timeout(budget) {
         Ok(result) => result,
@@ -830,11 +1009,14 @@ fn dispatch_guarded(state: &Arc<ServerState>, cmd: Command, req: &Value) -> Resu
 /// healed by the recovery helpers on their next acquisition.
 fn dispatch_caught(
     state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
     cmd: Command,
     req: &Value,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
-    match std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(state, cmd, req, deadline))) {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        dispatch(state, tenant, cmd, req, deadline)
+    })) {
         Ok(result) => result,
         Err(payload) => {
             state
@@ -854,27 +1036,29 @@ fn dispatch_caught(
 
 fn dispatch(
     state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
     cmd: Command,
     req: &Value,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     match cmd {
         Command::Ping => Ok(Value::obj(vec![("pong", Value::Bool(true))])),
-        Command::Query => handle_query(state, req),
-        Command::Explain => handle_explain(state, req, false),
-        Command::Profile => handle_explain(state, req, true),
-        Command::CreateIndex => handle_create_index(state, req, deadline),
-        Command::DropIndex => handle_drop_index(state, req, deadline),
-        Command::Insert => handle_insert(state, req, deadline),
-        Command::Recommend => handle_recommend(state, req),
+        Command::Query => handle_query(state, tenant, req),
+        Command::Explain => handle_explain(state, tenant, req, false),
+        Command::Profile => handle_explain(state, tenant, req, true),
+        Command::CreateIndex => handle_create_index(state, tenant, req, deadline),
+        Command::DropIndex => handle_drop_index(state, tenant, req, deadline),
+        Command::Insert => handle_insert(state, tenant, req, deadline),
+        Command::Recommend => handle_recommend(state, tenant, req),
         Command::Advise => {
-            let report = state.force_cycle();
+            let report = state.force_cycle_on(tenant);
             Ok(Value::obj(vec![
                 ("report", report.to_json()),
                 ("text", Value::str(report.render())),
             ]))
         }
-        Command::WorkloadDump => handle_workload_dump(state, req),
+        Command::WorkloadDump => handle_workload_dump(tenant, req),
+        Command::Tenant => handle_tenant(state, req),
         Command::Stats => handle_stats(state),
         Command::Shutdown => {
             state.request_shutdown();
@@ -895,13 +1079,13 @@ fn dispatch(
                     // committing the rest of the batch; readers never
                     // see a half-applied snapshot.
                     return state
-                        .submit_write(WriteCmd::Panic, deadline)
+                        .submit_write(tenant, WriteCmd::Panic, deadline)
                         .map(|_| unreachable!("Panic op never acknowledges"));
                 }
                 "kill_committer" => {
                     // Take the whole committer thread down; the next
                     // write respawns it (supervisor path).
-                    let _ = state.committer.submit(WriteCmd::Kill, None);
+                    let _ = tenant.committer.submit(WriteCmd::Kill, None);
                     return Ok(Value::obj(vec![("killed", Value::Bool(true))]));
                 }
                 "sleep" => {
@@ -913,20 +1097,51 @@ fn dispatch(
             }
             Err(format!(
                 "unknown command {:?} (try ping, query, explain, profile, insert, \
-                 create_index, drop_index, recommend, advise, workload, stats, shutdown)",
+                 create_index, drop_index, recommend, advise, workload, tenant, stats, shutdown)",
                 req.get_str("cmd").unwrap_or("")
             ))
         }
     }
 }
 
+/// TENANT: without a `name`, list every namespace (per-tenant STATS
+/// sections); with one, create it (idempotent) plus any requested
+/// `collections`. Runs at the `Never` shed tier — provisioning is
+/// control plane, not data plane.
+fn handle_tenant(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+    let Some(name) = req.get_str("name") else {
+        let tenants: Vec<Value> = state.all_tenants().iter().map(|t| t.stats_json()).collect();
+        return Ok(Value::obj(vec![("tenants", Value::Arr(tenants))]));
+    };
+    let collections: Vec<String> = match req.get("collections") {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err("'collections' must be an array of strings".to_string()),
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("'collections' must be an array of strings".to_string()),
+    };
+    let (tenant, created) = state.create_tenant(name, &collections)?;
+    Ok(Value::obj(vec![
+        ("tenant", Value::str(tenant.name())),
+        ("created", Value::Bool(created)),
+        (
+            "collections",
+            Value::Arr(collections.iter().map(Value::str).collect()),
+        ),
+    ]))
+}
+
 /// The collection a request addresses: its `collection` field, or the
-/// database's only collection.
-fn target_collection(state: &ServerState, req: &Value) -> Result<String, String> {
+/// tenant's only collection.
+fn target_collection(tenant: &TenantState, req: &Value) -> Result<String, String> {
     if let Some(name) = req.get_str("collection") {
         return Ok(name.to_string());
     }
-    let db = state.read_db();
+    let db = tenant.read_db();
     let mut names = db.collections().map(|c| c.name().to_string());
     match (names.next(), names.next()) {
         (Some(only), None) => Ok(only),
@@ -935,13 +1150,17 @@ fn target_collection(state: &ServerState, req: &Value) -> Result<String, String>
     }
 }
 
-fn handle_query(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
+fn handle_query(
+    state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
+    req: &Value,
+) -> Result<Value, String> {
     let text = req.get_str("q").ok_or("missing field 'q'")?;
-    let coll_name = target_collection(state, req)?;
+    let coll_name = target_collection(tenant, req)?;
     let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
     let start = Instant::now();
     let (rows, sample, stats, plan_kind) = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         let coll = db
             .collection(&query.collection)
             .ok_or_else(|| format!("no collection '{}'", query.collection))?;
@@ -963,7 +1182,7 @@ fn handle_query(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> 
         (rows.len(), sample, stats, access_kind(&ex.plan))
     };
     // Feed the monitor outside the database lock.
-    state.lock_monitor().observe(&query);
+    tenant.lock_monitor().observe(&query);
     Ok(Value::obj(vec![
         ("results", Value::num(rows as f64)),
         ("sample", Value::Arr(sample)),
@@ -989,11 +1208,16 @@ fn access_kind(plan: &xia_optimizer::Plan) -> &'static str {
     }
 }
 
-fn handle_explain(state: &Arc<ServerState>, req: &Value, profiled: bool) -> Result<Value, String> {
+fn handle_explain(
+    state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
+    req: &Value,
+    profiled: bool,
+) -> Result<Value, String> {
     let text = req.get_str("q").ok_or("missing field 'q'")?;
-    let coll_name = target_collection(state, req)?;
+    let coll_name = target_collection(tenant, req)?;
     let query = compile(text, &coll_name).map_err(|e| e.to_string())?;
-    let db = state.read_db();
+    let db = tenant.read_db();
     let coll = db
         .collection(&query.collection)
         .ok_or_else(|| format!("no collection '{}'", query.collection))?;
@@ -1038,14 +1262,16 @@ fn parse_data_type(s: &str) -> Result<DataType, String> {
 
 fn handle_create_index(
     state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
     req: &Value,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     let pattern_text = req.get_str("pattern").ok_or("missing field 'pattern'")?;
     let data_type = parse_data_type(req.get_str("type").unwrap_or("VARCHAR"))?;
-    let coll_name = target_collection(state, req)?;
+    let coll_name = target_collection(tenant, req)?;
     let pattern = LinearPath::parse(pattern_text).map_err(|e| e.to_string())?;
     let committed = state.submit_write(
+        tenant,
         WriteCmd::CreateIndex {
             collection: coll_name,
             data_type,
@@ -1068,12 +1294,14 @@ fn handle_create_index(
 
 fn handle_drop_index(
     state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
     req: &Value,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     let id = req.get_f64("id").ok_or("missing field 'id'")? as u32;
-    let coll_name = target_collection(state, req)?;
+    let coll_name = target_collection(tenant, req)?;
     let committed = state.submit_write(
+        tenant,
         WriteCmd::DropIndex {
             collection: coll_name,
             id,
@@ -1092,15 +1320,17 @@ fn handle_drop_index(
 
 fn handle_insert(
     state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
     req: &Value,
     deadline: Option<Instant>,
 ) -> Result<Value, String> {
     let xml = req.get_str("xml").ok_or("missing field 'xml'")?;
-    let coll_name = target_collection(state, req)?;
+    let coll_name = target_collection(tenant, req)?;
     // Parse on the worker thread — many clients parse in parallel while
     // the committer only stages and indexes the pre-built documents.
     let doc = xia_xml::Document::parse(xml).map_err(|e| e.to_string())?;
     let committed = state.submit_write(
+        tenant,
         WriteCmd::Insert {
             collection: coll_name,
             doc: Arc::new(doc),
@@ -1134,15 +1364,19 @@ fn parse_strategy(s: &str) -> Result<SearchStrategy, String> {
     }
 }
 
-fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
-    let coll_name = target_collection(state, req)?;
+fn handle_recommend(
+    state: &Arc<ServerState>,
+    tenant: &Arc<TenantState>,
+    req: &Value,
+) -> Result<Value, String> {
+    let coll_name = target_collection(tenant, req)?;
     let budget_bytes = match req.get_f64("budget_kib") {
         Some(kib) if kib > 0.0 => (kib as u64) << 10,
         Some(_) => return Err("budget_kib must be positive".to_string()),
         None => state.budget_bytes,
     };
     let strategy = parse_strategy(req.get_str("strategy").unwrap_or(""))?;
-    let snapshot = state.lock_monitor().snapshot().for_collection(&coll_name);
+    let snapshot = tenant.lock_monitor().snapshot().for_collection(&coll_name);
     if snapshot.is_empty() {
         return Err(format!(
             "no captured statements for collection '{coll_name}' (run queries first)"
@@ -1159,7 +1393,7 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
         }
         let budget = AnytimeBudget::wall_millis(ms as u64);
         let rec = {
-            let db = state.read_db();
+            let db = tenant.read_db();
             let coll = db
                 .collection(&coll_name)
                 .ok_or_else(|| format!("no collection '{coll_name}'"))?;
@@ -1196,7 +1430,7 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
         ]));
     }
     let rec = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         let coll = db
             .collection(&coll_name)
             .ok_or_else(|| format!("no collection '{coll_name}'"))?;
@@ -1225,8 +1459,8 @@ fn handle_recommend(state: &Arc<ServerState>, req: &Value) -> Result<Value, Stri
     ]))
 }
 
-fn handle_workload_dump(state: &Arc<ServerState>, req: &Value) -> Result<Value, String> {
-    let snapshot = state.lock_monitor().snapshot();
+fn handle_workload_dump(tenant: &Arc<TenantState>, req: &Value) -> Result<Value, String> {
+    let snapshot = tenant.lock_monitor().snapshot();
     let snapshot = match req.get_str("collection") {
         Some(name) => snapshot.for_collection(name),
         None => snapshot,
@@ -1285,7 +1519,11 @@ fn overload_json(state: &ServerState) -> Value {
 }
 
 fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
-    let snap = state.read_db();
+    // Top-level sections keep reporting the default tenant, so the
+    // pre-tenancy STATS surface (and every test pinned to it) is
+    // unchanged; per-namespace detail lives under `tenants`.
+    let tenant = state.default_tenant();
+    let snap = tenant.read_db();
     let concurrency = Value::obj(vec![
         ("snapshot_generation", Value::num(snap.generation() as f64)),
         (
@@ -1294,16 +1532,20 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
         ),
         (
             "snapshots_published",
-            Value::num(state.cell.generation() as f64),
+            Value::num(tenant.cell.generation() as f64),
         ),
         (
             "live_snapshot_refs",
-            Value::num(state.cell.live_refs() as f64),
+            Value::num(tenant.cell.live_refs() as f64),
+        ),
+        (
+            "snapshots_alive",
+            Value::num(tenant.cell.snapshots_alive() as f64),
         ),
         ("committer", state.metrics.concurrency.to_json()),
     ]);
     let collections: Vec<Value> = {
-        let db = state.read_db();
+        let db = tenant.read_db();
         db.collections()
             .map(|c| {
                 Value::obj(vec![
@@ -1316,14 +1558,14 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
             .collect()
     };
     let (tracked, observed, evictions) = {
-        let m = state.lock_monitor();
+        let m = tenant.lock_monitor();
         (m.len(), m.observed(), m.evictions())
     };
     // Aggregate the last cycle for the advisor section: duration,
     // compression ratio (templates vs raw statements), delta size,
     // anytime iterations and a convergence-curve summary.
     let (last_cycle, cycle_summary) = {
-        let guard = state.lock_cycle();
+        let guard = tenant.lock_cycle();
         match guard.as_ref() {
             None => (Value::Null, Value::Null),
             Some(report) => {
@@ -1382,13 +1624,17 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
         ("metrics", state.metrics.snapshot_json()),
         ("concurrency", concurrency),
         ("overload", overload_json(state)),
-        ("durability", state.durability_json()),
+        ("durability", tenant.durability_json()),
+        (
+            "tenants",
+            Value::Arr(state.all_tenants().iter().map(|t| t.stats_json()).collect()),
+        ),
         (
             "advisor",
             Value::obj(vec![
                 (
                     "cycles",
-                    Value::num(state.cycles.load(Ordering::SeqCst) as f64),
+                    Value::num(tenant.cycles.load(Ordering::SeqCst) as f64),
                 ),
                 ("budget_kib", Value::num((state.budget_bytes >> 10) as f64)),
                 ("auto_apply", Value::Bool(state.auto_apply)),
@@ -1399,9 +1645,49 @@ fn handle_stats(state: &Arc<ServerState>) -> Result<Value, String> {
                         None => Value::Null,
                     },
                 ),
+                (
+                    "allocation",
+                    state
+                        .compute_allocation()
+                        .map(allocation_json)
+                        .unwrap_or(Value::Null),
+                ),
                 ("last_cycle_summary", cycle_summary),
                 ("last_cycle", last_cycle),
             ]),
         ),
     ]))
+}
+
+/// STATS `advisor.allocation` section: how the shared page budget was
+/// split across tenants on the latest frontiers.
+fn allocation_json(a: Allocation) -> Value {
+    let per_tenant: Vec<Value> = a
+        .per_tenant
+        .iter()
+        .map(|t| {
+            Value::obj(vec![
+                ("tenant", Value::str(&t.tenant)),
+                ("pages", Value::num(t.pages as f64)),
+                ("benefit", Value::num(t.benefit)),
+                ("error_bound", Value::num(t.error_bound)),
+                ("starved", Value::Bool(t.starved)),
+                (
+                    "ddl",
+                    Value::Arr(
+                        t.chosen
+                            .iter()
+                            .flat_map(|i| i.ddl.iter().map(Value::str))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Value::obj(vec![
+        ("total_pages", Value::num(a.total_pages as f64)),
+        ("spent_pages", Value::num(a.spent_pages as f64)),
+        ("total_benefit", Value::num(a.total_benefit)),
+        ("per_tenant", Value::Arr(per_tenant)),
+    ])
 }

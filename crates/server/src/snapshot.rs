@@ -45,6 +45,15 @@ pub struct Snapshot {
     generation: u64,
     /// When this snapshot was published (for STATS snapshot-age).
     published: Instant,
+    /// Shared count of snapshots from this cell still alive (for the
+    /// STATS retention gauge); decremented on drop.
+    alive: Arc<AtomicU64>,
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.alive.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl Snapshot {
@@ -80,26 +89,37 @@ thread_local! {
     static CACHED: RefCell<Option<(u64, u64, Arc<Snapshot>)>> = const { RefCell::new(None) };
 }
 
+/// Drop this thread's cached snapshot Arc unconditionally. Idle worker
+/// threads call this between connections so a cached Arc never pins a
+/// superseded generation (the cache repopulates on the next load).
+pub fn clear_thread_cache() {
+    CACHED.with(|cache| cache.borrow_mut().take());
+}
+
 /// The swap point between the committer (single writer) and every
 /// reader. See the module docs for the design.
 pub struct SnapshotCell {
     id: u64,
     generation: AtomicU64,
     slot: Mutex<Arc<Snapshot>>,
+    alive: Arc<AtomicU64>,
 }
 
 impl SnapshotCell {
     /// Wrap `db` as generation 1 and make it current.
     pub fn new(db: Database) -> SnapshotCell {
+        let alive = Arc::new(AtomicU64::new(1));
         let snapshot = Arc::new(Snapshot {
             db,
             generation: 1,
             published: Instant::now(),
+            alive: alive.clone(),
         });
         SnapshotCell {
             id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
             generation: AtomicU64::new(1),
             slot: Mutex::new(snapshot),
+            alive,
         }
     }
 
@@ -145,10 +165,12 @@ impl SnapshotCell {
             }
         };
         let generation = guard.generation + 1;
+        self.alive.fetch_add(1, Ordering::Relaxed);
         *guard = Arc::new(Snapshot {
             db,
             generation,
             published: Instant::now(),
+            alive: self.alive.clone(),
         });
         // Readers that see the new generation find the new Arc in the
         // slot: the store is ordered after the swap above by Release.
@@ -166,6 +188,34 @@ impl SnapshotCell {
     /// readers come and go — but good enough for STATS.
     pub fn live_refs(&self) -> usize {
         Arc::strong_count(&self.load_slow())
+    }
+
+    /// Snapshot generations from this cell still held somewhere (the
+    /// current one included). Greater than 1 after the current
+    /// generation means a superseded snapshot is still pinned — by a
+    /// running query (fine) or a stale thread-local cache (the
+    /// retention bug this gauge exists to catch).
+    pub fn snapshots_alive(&self) -> u64 {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Drop this thread's cached Arc for **this cell** if it caches a
+    /// superseded generation. Called from idle-poll points (e.g. a
+    /// connection read timeout) so parked workers release old
+    /// generations promptly instead of holding them until their next
+    /// read. Returns true when a stale Arc was released.
+    pub fn release_if_stale(&self) -> bool {
+        let gen_now = self.generation.load(Ordering::Acquire);
+        CACHED.with(|cache| {
+            let mut slot = cache.borrow_mut();
+            match &*slot {
+                Some((cell, generation, _)) if *cell == self.id && *generation != gen_now => {
+                    *slot = None;
+                    true
+                }
+                _ => false,
+            }
+        })
     }
 }
 
@@ -216,6 +266,52 @@ mod tests {
         a.publish(db_with_docs(5));
         assert_eq!(a.load().collection("c").unwrap().len(), 5);
         assert_eq!(b.load().collection("c").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stale_thread_cache_is_released_and_alive_gauge_tracks_it() {
+        let cell = SnapshotCell::new(db_with_docs(1));
+        let _ = cell.load(); // populate this thread's cache
+        assert_eq!(cell.snapshots_alive(), 1);
+
+        cell.publish(db_with_docs(2));
+        // The thread-local cache still pins generation 1.
+        assert_eq!(cell.snapshots_alive(), 2);
+
+        // Fresh cache: nothing stale to release.
+        let _ = cell.load();
+        assert!(!cell.release_if_stale());
+        assert_eq!(cell.snapshots_alive(), 1);
+
+        // Stale cache (publish without a reload): release reclaims it.
+        cell.publish(db_with_docs(3));
+        assert_eq!(cell.snapshots_alive(), 2);
+        assert!(cell.release_if_stale());
+        assert_eq!(cell.snapshots_alive(), 1);
+        // Idempotent: the cache is already empty.
+        assert!(!cell.release_if_stale());
+    }
+
+    #[test]
+    fn release_if_stale_leaves_other_cells_caches_alone() {
+        let a = SnapshotCell::new(db_with_docs(1));
+        let b = SnapshotCell::new(db_with_docs(2));
+        let _ = b.load(); // cache belongs to b, current generation
+        a.publish(db_with_docs(5));
+        // a has no cached entry on this thread; b's entry is fresh.
+        assert!(!a.release_if_stale());
+        assert!(!b.release_if_stale());
+        assert_eq!(b.load().collection("c").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn clear_thread_cache_drops_the_pin_unconditionally() {
+        let cell = SnapshotCell::new(db_with_docs(1));
+        let _ = cell.load();
+        cell.publish(db_with_docs(2));
+        assert_eq!(cell.snapshots_alive(), 2);
+        clear_thread_cache();
+        assert_eq!(cell.snapshots_alive(), 1);
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Multi-tenant isolation acceptance: namespaces sharing one daemon
+//! must never observe each other. Cross-tenant QUERY/INSERT/ADVISE stay
+//! scoped, per-tenant durable state restarts independently (and
+//! survives a crash-matrix sweep over one tenant's subdirectory without
+//! disturbing its neighbors), the per-tenant in-flight cap sheds with a
+//! usable `retry_after_ms` hint while the overload accounting
+//! partitions exactly, and the snapshot-retention gauge proves cached
+//! snapshots age out instead of pinning superseded generations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xia_server::{tenant_dir, Client, DurabilityConfig, RetryPolicy, Server, ServerConfig, Value};
+use xia_storage::{fingerprint, recover_database, Database, Fault, FaultVfs, RealVfs};
+use xia_xml::Document;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xia_tenants_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Default tenant seed: one `shop` collection with one document, so the
+/// default namespace has distinct shape from any named tenant.
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.create_collection("shop");
+    db.collection_mut("shop")
+        .unwrap()
+        .insert(Document::parse("<shop><item><price>1</price></item></shop>").unwrap());
+    db
+}
+
+fn create_tenant(c: &mut Client, name: &str) -> Value {
+    c.call(&Value::obj(vec![
+        ("cmd", Value::str("tenant")),
+        ("name", Value::str(name)),
+        ("collections", Value::Arr(vec![Value::str("docs")])),
+    ]))
+    .unwrap()
+}
+
+fn insert_req(tenant: &str, marker: usize) -> Value {
+    Value::obj(vec![
+        ("cmd", Value::str("insert")),
+        ("collection", Value::str("docs")),
+        (
+            "xml",
+            Value::str(format!("<r><item><price>{marker}</price></item></r>")),
+        ),
+        ("tenant", Value::str(tenant)),
+    ])
+}
+
+fn count_req(tenant: &str, marker: usize) -> Value {
+    Value::obj(vec![
+        ("cmd", Value::str("query")),
+        ("q", Value::str(format!("//item[price = {marker}]"))),
+        ("collection", Value::str("docs")),
+        ("tenant", Value::str(tenant)),
+    ])
+}
+
+fn count(c: &mut Client, tenant: &str, marker: usize) -> f64 {
+    let resp = c.call(&count_req(tenant, marker)).unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    resp.get_f64("results").unwrap()
+}
+
+/// The TENANT list entry for `name`, from a fresh STATS-style listing.
+fn tenant_entry(c: &mut Client, name: &str) -> Value {
+    let resp = c
+        .call(&Value::obj(vec![("cmd", Value::str("tenant"))]))
+        .unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    resp.get("tenants")
+        .and_then(Value::as_arr)
+        .and_then(|ts| ts.iter().find(|t| t.get_str("name") == Some(name)))
+        .unwrap_or_else(|| panic!("tenant '{name}' missing from listing: {resp}"))
+        .clone()
+}
+
+/// Tentpole invariant: two tenants sharing collection names never see
+/// each other's documents, writes, advisor cycles, or generations, and
+/// the default namespace keeps its own shape.
+#[test]
+fn cross_tenant_query_insert_advise_stay_scoped() {
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    for t in ["acme", "globex"] {
+        let resp = create_tenant(&mut c, t);
+        assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+        assert_eq!(resp.get_bool("created"), Some(true), "{resp}");
+    }
+    // Idempotent re-create, and a namespace separator is rejected.
+    assert_eq!(
+        create_tenant(&mut c, "acme").get_bool("created"),
+        Some(false)
+    );
+    let bad = create_tenant(&mut c, "acme/../globex");
+    assert_eq!(bad.get_bool("ok"), Some(false), "{bad}");
+
+    // Same collection name, disjoint markers.
+    for i in 0..5 {
+        let resp = c.call(&insert_req("acme", 100 + i)).unwrap();
+        assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    }
+    for i in 0..3 {
+        let resp = c.call(&insert_req("globex", 200 + i)).unwrap();
+        assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    }
+
+    // QUERY isolation: own markers visible, foreign markers count zero.
+    for i in 0..5 {
+        assert_eq!(count(&mut c, "acme", 100 + i), 1.0);
+        assert_eq!(count(&mut c, "globex", 100 + i), 0.0);
+    }
+    for i in 0..3 {
+        assert_eq!(count(&mut c, "globex", 200 + i), 1.0);
+        assert_eq!(count(&mut c, "acme", 200 + i), 0.0);
+    }
+
+    // The default namespace has no `docs` collection at all, and its
+    // own collection is invisible to named tenants.
+    let resp = c.query("//item", Some("docs")).unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(false), "{resp}");
+    let resp = c
+        .call(&Value::obj(vec![
+            ("cmd", Value::str("query")),
+            ("q", Value::str("//item")),
+            ("collection", Value::str("shop")),
+            ("tenant", Value::str("acme")),
+        ]))
+        .unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(false), "{resp}");
+
+    // INSERT isolation: a write burst into acme never moves globex's
+    // snapshot generation or document count.
+    let globex_before = tenant_entry(&mut c, "globex");
+    for i in 0..8 {
+        let resp = c.call(&insert_req("acme", 150 + i)).unwrap();
+        assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    }
+    let globex_after = tenant_entry(&mut c, "globex");
+    assert_eq!(
+        globex_before.get_f64("snapshot_generation"),
+        globex_after.get_f64("snapshot_generation"),
+        "a neighbor's writes moved globex's generation"
+    );
+    assert_eq!(globex_after.get_f64("documents"), Some(3.0));
+    assert_eq!(
+        tenant_entry(&mut c, "acme").get_f64("documents"),
+        Some(13.0)
+    );
+    assert_eq!(
+        tenant_entry(&mut c, "default").get_f64("documents"),
+        Some(1.0)
+    );
+
+    // ADVISE isolation: a cycle scoped to acme bumps only acme's
+    // counter and recommends from acme's workload.
+    for _ in 0..4 {
+        let resp = c.call(&count_req("acme", 100)).unwrap();
+        assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    }
+    let resp = c
+        .call(&Value::obj(vec![
+            ("cmd", Value::str("advise")),
+            ("tenant", Value::str("acme")),
+        ]))
+        .unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+    assert_eq!(tenant_entry(&mut c, "acme").get_f64("cycles"), Some(1.0));
+    assert_eq!(tenant_entry(&mut c, "globex").get_f64("cycles"), Some(0.0));
+    assert_eq!(tenant_entry(&mut c, "default").get_f64("cycles"), Some(0.0));
+
+    // Unknown tenants are a protocol error, not a silent default.
+    let resp = c.call(&count_req("hooli", 1)).unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(false), "{resp}");
+    assert!(
+        resp.get_str("error").unwrap().contains("unknown tenant"),
+        "{resp}"
+    );
+    server.stop();
+}
+
+/// Durability isolation: each tenant persists under its own
+/// `tenants/<name>/` subdirectory, every per-tenant fingerprint
+/// round-trips through recovery, and a restarted daemon rediscovers the
+/// namespaces by scanning the root.
+#[test]
+fn per_tenant_durable_state_restarts_independently() {
+    let dir = tmp("restart");
+    let durability = || {
+        Some(DurabilityConfig {
+            dir: dir.clone(),
+            vfs: Arc::new(RealVfs),
+            checkpoint_every: Some(8),
+        })
+    };
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 2,
+            durability: durability(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for t in ["acme", "globex"] {
+        assert_eq!(create_tenant(&mut c, t).get_bool("ok"), Some(true));
+    }
+    for i in 0..20 {
+        assert_eq!(
+            c.call(&insert_req("acme", 100 + i)).unwrap().get_bool("ok"),
+            Some(true)
+        );
+    }
+    for i in 0..7 {
+        assert_eq!(
+            c.call(&insert_req("globex", 200 + i))
+                .unwrap()
+                .get_bool("ok"),
+            Some(true)
+        );
+    }
+    let state = server.state().clone();
+    let fp_default = fingerprint(&state.default_tenant().read_db());
+    let fp_acme = fingerprint(&state.tenant("acme").unwrap().read_db());
+    let fp_globex = fingerprint(&state.tenant("globex").unwrap().read_db());
+    assert_ne!(fp_acme, fp_globex, "distinct tenants with distinct data");
+    drop(c);
+    server.stop();
+
+    // On-disk layout: one subdirectory per named tenant, and each one
+    // recovers to its exact in-memory fingerprint on its own.
+    for (name, fp) in [("acme", &fp_acme), ("globex", &fp_globex)] {
+        let sub = tenant_dir(&dir, name);
+        assert!(sub.starts_with(dir.join("tenants")), "{sub:?}");
+        let rec = recover_database(&RealVfs, &sub)
+            .unwrap_or_else(|e| panic!("tenant '{name}' failed recovery: {e}"));
+        assert_eq!(
+            &fingerprint(&rec.database),
+            fp,
+            "tenant '{name}' fingerprint"
+        );
+    }
+    let rec = recover_database(&RealVfs, &dir).expect("default tenant recovers");
+    assert_eq!(fingerprint(&rec.database), fp_default);
+
+    // Restart: the scan under `tenants/` re-registers both namespaces
+    // with their data intact — no re-provisioning step.
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 2,
+            durability: durability(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert_eq!(
+        tenant_entry(&mut c, "acme").get_f64("documents"),
+        Some(20.0)
+    );
+    assert_eq!(
+        tenant_entry(&mut c, "globex").get_f64("documents"),
+        Some(7.0)
+    );
+    assert_eq!(count(&mut c, "acme", 105), 1.0);
+    assert_eq!(count(&mut c, "globex", 105), 0.0);
+    let state = server.state().clone();
+    assert_eq!(
+        fingerprint(&state.tenant("acme").unwrap().read_db()),
+        fp_acme
+    );
+    assert_eq!(
+        fingerprint(&state.tenant("globex").unwrap().read_db()),
+        fp_globex
+    );
+    drop(c);
+    server.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash matrix over one tenant's subdirectory: inject `CrashAfter(i)`
+/// at a sweep of VFS op indices while writing into tenant `acme`. At
+/// every crash point the daemon must stay up and keep serving the
+/// *other* tenant, acknowledged-but-then-failed accounting must stay
+/// sane, and the crashed tenant's directory must recover to a clean
+/// prefix of the acknowledged writes.
+#[test]
+fn tenant_crash_matrix_recovers_a_prefix_and_spares_neighbors() {
+    const INSERTS: usize = 10;
+
+    // Dry run: count the mutating ops one full round performs, so the
+    // sweep can place crashes across the whole write path.
+    let total_ops = {
+        let dir = tmp("crash_dry");
+        let vfs = Arc::new(FaultVfs::new(Arc::new(RealVfs), None));
+        let (acked, _attempted) =
+            crash_round(&dir, vfs.clone(), INSERTS).expect("dry run starts cleanly");
+        assert_eq!(acked, INSERTS, "dry run must ack everything");
+        std::fs::remove_dir_all(&dir).ok();
+        vfs.ops()
+    };
+    assert!(total_ops > 4, "write path performs real VFS traffic");
+
+    // Sweep 8 crash points spread evenly over the op trace.
+    let points: Vec<usize> = (0..8).map(|k| k * total_ops / 8).collect();
+    for crash_after in points {
+        let dir = tmp("crash_sweep");
+        let vfs = Arc::new(FaultVfs::new(
+            Arc::new(RealVfs),
+            Some(Fault::CrashAfter(crash_after)),
+        ));
+        // An early crash point may kill daemon startup itself; that is
+        // a clean refusal, not a recovery round.
+        let Some((acked, attempted)) = crash_round(&dir, vfs.clone(), INSERTS) else {
+            assert!(vfs.crashed(), "startup failed without the injected crash");
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        };
+        assert!(vfs.crashed(), "crash point {crash_after} never fired");
+
+        // Recovery of the wounded tenant directory yields between
+        // `acked` and `attempted` documents: every acknowledged write
+        // is durable, and at most one in-flight batch beyond that may
+        // have reached the WAL before its ack path failed. A recovery
+        // error is tolerable only if the crash landed mid-provision,
+        // before a single write was ever acknowledged.
+        let sub = tenant_dir(&dir, "acme");
+        let docs = if sub.is_dir() {
+            match recover_database(&RealVfs, &sub) {
+                Ok(rec) => rec.database.collection("docs").map_or(0, |coll| coll.len()),
+                Err(e) if acked == 0 => {
+                    // Provisioning itself was cut down; nothing to lose.
+                    let _ = e;
+                    0
+                }
+                Err(e) => panic!("crash point {crash_after}: dirty recovery failed: {e}"),
+            }
+        } else {
+            0
+        };
+        assert!(
+            docs >= acked && docs <= attempted,
+            "crash point {crash_after}: recovered {docs} docs, acked {acked}, attempted {attempted}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// One crash-matrix round: provision acme + globex durably, push
+/// `inserts` writes into acme, and require globex (and the default
+/// namespace) to answer correctly after every single write — even once
+/// acme's disk is gone. Returns (acked, attempted) acme inserts, or
+/// `None` when the crash point killed daemon startup itself.
+fn crash_round(
+    dir: &std::path::Path,
+    vfs: Arc<FaultVfs>,
+    inserts: usize,
+) -> Option<(usize, usize)> {
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 2,
+            durability: Some(DurabilityConfig {
+                dir: dir.to_path_buf(),
+                vfs,
+                checkpoint_every: Some(4),
+            }),
+            ..Default::default()
+        },
+    )
+    .ok()?;
+    let mut c = Client::connect(server.addr()).unwrap();
+    let provisioned = ["acme", "globex"]
+        .iter()
+        .all(|t| create_tenant(&mut c, t).get_bool("ok") == Some(true));
+
+    let (mut acked, mut attempted) = (0, 0);
+    if provisioned {
+        for i in 0..inserts {
+            attempted += 1;
+            let resp = c.call(&insert_req("acme", 100 + i)).unwrap();
+            if resp.get_bool("ok") == Some(true) {
+                assert_eq!(
+                    acked,
+                    attempted - 1,
+                    "an insert succeeded after an earlier one failed on a dead disk"
+                );
+                acked += 1;
+            }
+            // The neighbor keeps serving regardless of acme's disk.
+            assert_eq!(count(&mut c, "globex", 100 + i), 0.0);
+            let resp = c.query("//item", Some("shop")).unwrap();
+            assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+        }
+    }
+    drop(c);
+    server.stop();
+    Some((acked, attempted))
+}
+
+/// Per-tenant saturation: with `tenant_max_in_flight: 1`, concurrent
+/// readers hammering one tenant get BUSY answers carrying a positive
+/// `retry_after_ms` hint, a single-stream neighbor is never shed, the
+/// retrying client path converges, and the overload accounting
+/// partitions exactly (`requests_shed == shed_expensive + shed_normal`,
+/// with tenant sheds counted separately).
+#[test]
+fn tenant_saturation_sheds_with_hint_and_exact_accounting() {
+    const RACERS: usize = 4;
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 8,
+            tenant_max_in_flight: Some(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    for t in ["acme", "globex"] {
+        assert_eq!(create_tenant(&mut c, t).get_bool("ok"), Some(true));
+    }
+    for i in 0..64 {
+        assert_eq!(
+            c.call(&insert_req("acme", i)).unwrap().get_bool("ok"),
+            Some(true)
+        );
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy_seen = Arc::new(AtomicU64::new(0));
+    let mut racers = Vec::new();
+    for _ in 0..RACERS {
+        let (stop, busy_seen) = (stop.clone(), busy_seen.clone());
+        racers.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let (mut oks, mut busies) = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let resp = c.call(&count_req("acme", 7)).unwrap();
+                if resp.get_bool("busy").unwrap_or(false) {
+                    assert!(
+                        resp.get_f64("retry_after_ms").unwrap_or(0.0) > 0.0,
+                        "BUSY without a usable backoff hint: {resp}"
+                    );
+                    busies += 1;
+                    busy_seen.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                    oks += 1;
+                }
+            }
+            (oks, busies)
+        }));
+    }
+    // A single-stream client on the *other* tenant can never exceed its
+    // own in-flight cap of one, so it must never be shed.
+    let neighbor = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut oks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let resp = c.call(&count_req("globex", 7)).unwrap();
+                assert_eq!(resp.get_bool("ok"), Some(true), "neighbor shed: {resp}");
+                oks += 1;
+            }
+            oks
+        })
+    };
+
+    // Run until contention has demonstrably shed, or time out.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while busy_seen.load(Ordering::Relaxed) < 5 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (mut oks, mut busies) = (0u64, 0u64);
+    for r in racers {
+        let (o, b) = r.join().unwrap();
+        oks += o;
+        busies += b;
+    }
+    let neighbor_oks = neighbor.join().unwrap();
+    assert!(oks > 0, "saturated tenant still made progress");
+    assert!(busies >= 5, "{RACERS} racers over cap 1 never shed");
+    assert!(neighbor_oks > 0, "neighbor stream ran");
+
+    // Once the storm is over, a polite retrying client converges.
+    let resp = c
+        .call_with_retry(&count_req("acme", 7), &RetryPolicy::default())
+        .unwrap();
+    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+
+    // Accounting partitions exactly: the global brownout split covers
+    // `requests_shed`; tenant-cap sheds are counted separately and
+    // every BUSY the clients saw is attributed to exactly one bucket.
+    let stats = c.command("stats").unwrap();
+    let m = stats.get("overload").expect("overload section");
+    let global_shed = m.get_f64("requests_shed").unwrap();
+    assert_eq!(
+        global_shed,
+        m.get_f64("shed_expensive").unwrap() + m.get_f64("shed_normal").unwrap(),
+        "{m}"
+    );
+    assert_eq!(
+        m.get_f64("shed_tenant").unwrap() + global_shed,
+        busies as f64,
+        "{m}"
+    );
+    let acme = tenant_entry(&mut c, "acme");
+    let globex = tenant_entry(&mut c, "globex");
+    assert!(acme.get_f64("requests_shed").unwrap() >= busies as f64 - global_shed);
+    assert_eq!(globex.get_f64("requests_shed"), Some(0.0), "{globex}");
+    server.stop();
+}
+
+/// Snapshot retention: after a write storm multiplies generations, the
+/// per-tenant `snapshots_alive` gauge settles back to a small constant
+/// once readers disconnect — worker-thread caches age out rather than
+/// pinning superseded snapshots for the life of the thread.
+#[test]
+fn snapshot_cache_ages_out_after_write_storm() {
+    let server = Server::start(
+        seed_db(),
+        ServerConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(create_tenant(&mut c, "acme").get_bool("ok"), Some(true));
+
+    // Storm: three readers pin snapshots while a writer churns
+    // generations, so the alive gauge must rise above the floor.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = c.call(&count_req("acme", 3)).unwrap();
+                    assert_eq!(resp.get_bool("ok"), Some(true), "{resp}");
+                }
+            })
+        })
+        .collect();
+    for i in 0..120 {
+        assert_eq!(
+            c.call(&insert_req("acme", i)).unwrap().get_bool("ok"),
+            Some(true)
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+
+    // With the readers gone, their worker threads clear their cached
+    // Arcs; the gauge must settle to the published snapshot plus at
+    // most the one worker currently serving this probe.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut alive = f64::MAX;
+    while Instant::now() < deadline {
+        alive = tenant_entry(&mut c, "acme")
+            .get_f64("snapshots_alive")
+            .expect("snapshots_alive gauge");
+        if alive <= 2.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        alive <= 2.0,
+        "snapshot cache never aged out: {alive} snapshots still alive"
+    );
+    assert!(
+        tenant_entry(&mut c, "acme")
+            .get_f64("snapshot_generation")
+            .unwrap()
+            > 100.0,
+        "the storm actually churned generations"
+    );
+    server.stop();
+}

@@ -138,6 +138,12 @@ pub enum WalOp {
         collection: String,
         id: u32,
     },
+    /// Create an empty collection if it does not exist yet. Older WALs
+    /// never contain this record, so decoding stays backward
+    /// compatible.
+    CreateCollection {
+        collection: String,
+    },
 }
 
 /// Percent-escape the characters that would break the one-line,
@@ -195,6 +201,9 @@ impl WalOp {
             WalOp::DropIndex { collection, id } => {
                 format!("drop-index {} {id}", escape(collection))
             }
+            WalOp::CreateCollection { collection } => {
+                format!("create-collection {}", escape(collection))
+            }
         }
     }
 
@@ -232,6 +241,9 @@ impl WalOp {
                     id: id.parse().ok()?,
                 })
             }
+            "create-collection" => Some(WalOp::CreateCollection {
+                collection: unescape(rest)?,
+            }),
             _ => None,
         }
     }
@@ -277,6 +289,7 @@ impl WalOp {
             WalOp::DropIndex { collection, id } => db
                 .collection_mut(collection)
                 .is_some_and(|c| c.drop_index(IndexId(*id))),
+            WalOp::CreateCollection { collection } => db.create_collection(collection),
         }
     }
 }
@@ -732,6 +745,9 @@ mod tests {
             WalOp::DropIndex {
                 collection: "shop".into(),
                 id: 7,
+            },
+            WalOp::CreateCollection {
+                collection: "tenant coll".into(),
             },
         ];
         for op in &ops {

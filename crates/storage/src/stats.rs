@@ -422,6 +422,12 @@ impl CollectionStats {
         self.entries.len()
     }
 
+    /// Total element/attribute nodes across all documents (the cost of
+    /// one full navigational traversal).
+    pub fn total_nodes(&self) -> u64 {
+        self.total_nodes
+    }
+
     /// All entries (for inspection/demo output).
     pub fn entries(&self) -> &[PathEntry] {
         &self.entries

@@ -79,6 +79,16 @@ run_hard cargo test -q --offline -p xia-server --test advise_under_load
 # match navigational evaluation node-for-node (rows and ExecStats) over
 # random documents, queries, and index configurations.
 run_hard cargo test -q --offline -p xia-optimizer --test prop_exec_batch
+# The tenant-isolation suite by name: cross-tenant QUERY/INSERT/ADVISE
+# scoping, independent per-tenant restart fingerprints, the FaultVfs
+# crash matrix over one tenant's subdirectory, per-tenant shed hints
+# with exact accounting partition, and snapshot-cache aging.
+run_hard cargo test -q --offline -p xia-server --test tenants
+# The multi-tenant oracle: seeded clients race tenant-scoped writes and
+# foreign-marker probes against a live daemon under a squeezed
+# per-tenant in-flight cap, then reconcile per-tenant counts exactly —
+# live and again after restart from each tenant's durable directory.
+run_hard ./target/release/xia-cli fuzz --tenants --seed 42 --budget 4
 
 # Persistence code must do ALL file I/O through the injectable Vfs —
 # a direct std::fs call is a fault-injection blind spot the crash
@@ -127,6 +137,20 @@ check_transport_only() {
   fi
 }
 check_transport_only
+
+# Tenant isolation is structural: every durable root is owned by a
+# TenantState, and tenant.rs is the only place the server may build a
+# DurableStore. A stray construction elsewhere could silently share a
+# disk directory between namespaces.
+check_tenant_owned_stores() {
+  echo "==> grep: DurableStore constructed only in tenant.rs"
+  if grep -rnE 'DurableStore::(create|open)' crates/server/src \
+      | grep -v '^crates/server/src/tenant\.rs'; then
+    echo "FAILED: crates/server/src builds a DurableStore outside tenant.rs (see matches above)" >&2
+    failures=$((failures + 1))
+  fi
+}
+check_tenant_owned_stores
 
 run_if_installed fmt cargo fmt --check
 run_if_installed clippy cargo clippy --offline --all-targets -- -D warnings
